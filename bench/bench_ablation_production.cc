@@ -1,0 +1,58 @@
+// Ablation (Section 6): the production variant of the hybrid policy —
+// per-day histograms with retention and optional recency weighting, and the
+// 90-second early pre-warm — compared against the in-memory research policy
+// on the same trace.  Also sweeps the day-weight decay, the knob the paper
+// mentions as future refinement ("use these daily histograms in a weighted
+// fashion to give more importance to recent records").
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/policy/hybrid.h"
+#include "src/policy/policy.h"
+#include "src/policy/production_policy.h"
+#include "src/sim/sweep.h"
+
+int main() {
+  using namespace faas;
+  PrintBenchHeader("Ablation: production variant",
+                   "daily histograms, retention, recency weighting");
+  const Trace trace = MakePolicyTrace();
+
+  std::vector<std::unique_ptr<PolicyFactory>> owned;
+  owned.push_back(
+      std::make_unique<FixedKeepAliveFactory>(Duration::Minutes(10)));
+  owned.push_back(
+      std::make_unique<HybridPolicyFactory>(HybridPolicyConfig{}));
+
+  for (double decay : {1.0, 0.8, 0.5}) {
+    ProductionPolicyConfig config;
+    config.store.day_weight_decay = decay;
+    owned.push_back(std::make_unique<ProductionPolicyFactory>(config));
+  }
+  // Short retention: only yesterday and today inform the windows.
+  ProductionPolicyConfig short_retention;
+  short_retention.store.retention_days = 2;
+  owned.push_back(std::make_unique<ProductionPolicyFactory>(short_retention));
+
+  std::vector<const PolicyFactory*> factories;
+  for (const auto& factory : owned) {
+    factories.push_back(factory.get());
+  }
+  const std::vector<PolicyPoint> points =
+      EvaluatePolicies(trace, factories, /*baseline_index=*/0, {.num_threads = 0});
+
+  std::printf("\n%-44s %12s %20s\n", "policy", "p75 cold", "normalized waste");
+  for (const PolicyPoint& point : points) {
+    std::printf("%-44s %11.1f%% %19.1f%%\n", point.name.c_str(),
+                point.cold_start_p75, point.normalized_wasted_memory_pct);
+  }
+  std::printf(
+      "\nShape check: the production variant matches the research policy's\n"
+      "cold-start profile (same windows modulo the 90s safety shift); decay\n"
+      "and retention barely move a stationary workload but bound how long a\n"
+      "stale pattern can linger after a behaviour change.\n");
+  return 0;
+}

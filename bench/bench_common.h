@@ -1,0 +1,57 @@
+// Shared setup for the per-figure benchmark binaries.
+//
+// Every bench regenerates one table/figure from the paper: it builds the
+// calibrated synthetic trace, runs the relevant pipeline, and prints the
+// same rows/series the paper plots, alongside the paper's anchor numbers
+// ("paper vs measured").  Absolute match is not expected — the substrate is
+// a simulator, not Azure — but the shape (who wins, by what factor, where
+// crossovers fall) must hold.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/trace/types.h"
+#include "src/workload/config.h"
+#include "src/workload/generator.h"
+
+namespace faas {
+
+// Two-week trace for the Section 3 characterization figures (1-8).
+inline Trace MakeCharacterizationTrace() {
+  GeneratorConfig config;
+  config.num_apps = 1500;
+  config.days = 14;
+  config.seed = 20190715;  // The trace collection start date.
+  return WorkloadGenerator(config).Generate();
+}
+
+// One-week trace for the Section 5 policy experiments (the paper uses the
+// first week of its trace as simulator input).
+inline Trace MakePolicyTrace() {
+  GeneratorConfig config;
+  config.num_apps = 1200;
+  config.days = 7;
+  config.seed = 20190715;
+  config.instants_rate_cap_per_day = 4000.0;
+  return WorkloadGenerator(config).Generate();
+}
+
+inline void PrintBenchHeader(const std::string& figure,
+                             const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintPaperVsMeasured(const std::string& metric, double paper,
+                                 double measured, const std::string& unit) {
+  std::printf("  %-52s paper=%8.2f%s  measured=%8.2f%s\n", metric.c_str(),
+              paper, unit.c_str(), measured, unit.c_str());
+}
+
+}  // namespace faas
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,41 @@
+// Figure 1: distribution of the number of functions per application.
+// Series: cumulative % of apps, % of invocations, % of functions vs app size.
+// Paper anchors: 54% of apps have 1 function; 95% have at most 10.
+
+#include "bench/bench_common.h"
+#include "src/characterization/characterization.h"
+
+int main() {
+  using namespace faas;
+  PrintBenchHeader("Figure 1", "functions per application (CDF)");
+  const Trace trace = MakeCharacterizationTrace();
+  const FunctionsPerAppResult result = AnalyzeFunctionsPerApp(trace);
+
+  std::printf("\n%10s %12s %16s %14s\n", "functions", "% apps",
+              "% invocations", "% functions");
+  int printed = 0;
+  for (const FunctionsPerAppRow& row : result.rows) {
+    // Print a readable subset of the x axis (log-ish spacing).
+    if (row.max_functions <= 10 || row.max_functions % 25 == 0 ||
+        &row == &result.rows.back()) {
+      std::printf("%10d %11.1f%% %15.1f%% %13.1f%%\n", row.max_functions,
+                  100.0 * row.fraction_of_apps,
+                  100.0 * row.fraction_of_invocations,
+                  100.0 * row.fraction_of_functions);
+      ++printed;
+    }
+  }
+
+  std::printf("\nAnchors (paper vs measured):\n");
+  PrintPaperVsMeasured("apps with exactly 1 function (%)", 54.0,
+                       100.0 * result.FractionAppsWithAtMost(1), "%");
+  PrintPaperVsMeasured("apps with at most 10 functions (%)", 95.0,
+                       100.0 * result.FractionAppsWithAtMost(10), "%");
+  PrintPaperVsMeasured("invocations from apps with <=3 functions (%)", 50.0,
+                       100.0 * result.FractionInvocationsFromAppsWithAtMost(3),
+                       "%");
+  PrintPaperVsMeasured("functions in apps with <=6 functions (%)", 50.0,
+                       100.0 * result.FractionFunctionsInAppsWithAtMost(6),
+                       "%");
+  return printed > 0 ? 0 : 1;
+}

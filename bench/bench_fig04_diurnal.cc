@@ -1,0 +1,60 @@
+// Figure 4: platform-wide invocations per hour, normalized to the peak.
+// Shape: clear diurnal and weekly patterns over a ~50%-of-peak baseline.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "src/characterization/characterization.h"
+
+int main() {
+  using namespace faas;
+  PrintBenchHeader("Figure 4", "invocations per hour, normalized to peak");
+  const Trace trace = MakeCharacterizationTrace();
+  const HourlyLoadResult result = AnalyzeHourlyLoad(trace);
+
+  // ASCII sparkline: one row per day, one char per hour.
+  static const char kLevels[] = " .:-=+*#%@";
+  std::printf("\nhour:         0         1         2\n");
+  std::printf("              0123456789012345678901234\n");
+  for (size_t day = 0; day * 24 < result.relative_load.size(); ++day) {
+    std::printf("day %2zu (%s)  ", day + 1,
+                (day % 7 >= 5) ? "we" : "wd");
+    for (int hour = 0; hour < 24; ++hour) {
+      const size_t index = day * 24 + static_cast<size_t>(hour);
+      if (index >= result.relative_load.size()) {
+        break;
+      }
+      const int level = std::clamp(
+          static_cast<int>(result.relative_load[index] * 9.999), 0, 9);
+      std::printf("%c", kLevels[level]);
+    }
+    std::printf("\n");
+  }
+
+  // Numeric series (hourly, first three days).
+  std::printf("\nrelative load, day 1 (hourly): ");
+  for (int hour = 0; hour < 24; ++hour) {
+    std::printf("%.2f ", result.relative_load[static_cast<size_t>(hour)]);
+  }
+  std::printf("\n\nAnchors (paper vs measured):\n");
+  PrintPaperVsMeasured("baseline as fraction of peak", 0.50,
+                       result.baseline_fraction, "");
+  // Weekly pattern: mean weekday load above mean weekend load.
+  double weekday = 0.0;
+  double weekend = 0.0;
+  int weekday_hours = 0;
+  int weekend_hours = 0;
+  for (size_t i = 0; i < result.relative_load.size(); ++i) {
+    const size_t day = i / 24;
+    if (day % 7 >= 5) {
+      weekend += result.relative_load[i];
+      ++weekend_hours;
+    } else {
+      weekday += result.relative_load[i];
+      ++weekday_hours;
+    }
+  }
+  std::printf("  mean weekday load %.3f vs weekend %.3f (weekday > weekend)\n",
+              weekday / weekday_hours, weekend / weekend_hours);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 6: CDF of the coefficient of variation of inter-arrival times,
+// for all apps and by timer presence.
+// Paper shape: ~50% of only-timer apps at CV ~ 0; <30% for >=1-timer apps;
+// ~20% across all apps; ~10% of no-timer apps near-periodic; ~40% of all
+// apps above CV 1.
+
+#include "bench/bench_common.h"
+#include "src/characterization/characterization.h"
+
+namespace {
+
+void PrintCvRow(const char* label, const faas::Ecdf& ecdf) {
+  if (ecdf.empty()) {
+    std::printf("%-22s (no apps)\n", label);
+    return;
+  }
+  std::printf("%-22s", label);
+  for (double cv : {0.05, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    std::printf(" %6.3f", ecdf.FractionAtOrBelow(cv));
+  }
+  std::printf("   (n=%zu)\n", ecdf.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace faas;
+  PrintBenchHeader("Figure 6", "CDF of IAT coefficient of variation");
+  const Trace trace = MakeCharacterizationTrace();
+  const IatCvResult result = AnalyzeIatCv(trace);
+
+  std::printf("\nCDF at CV =           0.05    0.5    1.0    2.0    4.0    8.0\n");
+  PrintCvRow("all apps", result.all_apps);
+  PrintCvRow("only timers", result.only_timer_apps);
+  PrintCvRow(">= 1 timer", result.at_least_one_timer_apps);
+  PrintCvRow("no timers", result.no_timer_apps);
+
+  std::printf("\nAnchors (paper vs measured):\n");
+  PrintPaperVsMeasured("only-timer apps with CV ~ 0 (%)", 50.0,
+                       100.0 * result.only_timer_apps.FractionAtOrBelow(0.05),
+                       "%");
+  PrintPaperVsMeasured(
+      ">=1-timer apps with CV ~ 0 (%)", 30.0,
+      100.0 * result.at_least_one_timer_apps.FractionAtOrBelow(0.05), "%");
+  PrintPaperVsMeasured("all apps with CV ~ 0 (%)", 20.0,
+                       100.0 * result.all_apps.FractionAtOrBelow(0.05), "%");
+  PrintPaperVsMeasured("no-timer apps with CV ~ 0 (%)", 10.0,
+                       100.0 * result.no_timer_apps.FractionAtOrBelow(0.05),
+                       "%");
+  PrintPaperVsMeasured("all apps with CV > 1 (%)", 40.0,
+                       100.0 * (1.0 - result.all_apps.FractionAtOrBelow(1.0)),
+                       "%");
+  return 0;
+}

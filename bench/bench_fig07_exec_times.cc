@@ -1,0 +1,44 @@
+// Figure 7: distribution of function execution times (min / avg / max CDFs)
+// with the log-normal fit to the averages.
+// Paper: log-normal fit log-mean -0.38, sigma 2.36; 50% of functions run
+// under 1s on average; 50% have max < ~3s; 96% average under 60s.
+
+#include "bench/bench_common.h"
+#include "src/characterization/characterization.h"
+
+int main() {
+  using namespace faas;
+  PrintBenchHeader("Figure 7", "function execution time distributions");
+  const Trace trace = MakeCharacterizationTrace();
+  const ExecutionTimeResult result = AnalyzeExecutionTimes(trace);
+
+  std::printf("\nCDF at time =        1ms   100ms      1s     10s      1m     10m\n");
+  const auto print_row = [](const char* label, const Ecdf& ecdf) {
+    std::printf("%-16s", label);
+    for (double seconds : {0.001, 0.1, 1.0, 10.0, 60.0, 600.0}) {
+      std::printf(" %7.3f", ecdf.FractionAtOrBelow(seconds));
+    }
+    std::printf("\n");
+  };
+  print_row("minimum", result.minimum_seconds);
+  print_row("average", result.average_seconds);
+  print_row("maximum", result.maximum_seconds);
+
+  std::printf("\nAnchors (paper vs measured):\n");
+  PrintPaperVsMeasured("functions averaging < 1s (%)", 50.0,
+                       100.0 * result.average_seconds.FractionAtOrBelow(1.0),
+                       "%");
+  PrintPaperVsMeasured("functions with max < 3s (%)", 50.0,
+                       100.0 * result.maximum_seconds.FractionAtOrBelow(3.0),
+                       "%");
+  PrintPaperVsMeasured("functions averaging < 60s (%)", 96.0,
+                       100.0 * result.average_seconds.FractionAtOrBelow(60.0),
+                       "%");
+  PrintPaperVsMeasured("functions with max <= 10s (%)", 75.0,
+                       100.0 * result.maximum_seconds.FractionAtOrBelow(10.0),
+                       "%");
+  PrintPaperVsMeasured("log-normal fit: mu", -0.38, result.average_fit.mu, "");
+  PrintPaperVsMeasured("log-normal fit: sigma", 2.36, result.average_fit.sigma,
+                       "");
+  return 0;
+}

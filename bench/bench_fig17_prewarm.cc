@@ -1,0 +1,68 @@
+// Figure 17: the impact of unloading + pre-warming.
+// Compares the hybrid policy without pre-warming (keep loaded from execution
+// end to the tail percentile) against pre-warming at the 1st and 5th
+// percentile heads.
+// Paper: pre-warming cuts wasted memory time significantly at the cost of a
+// small number of extra cold starts (invocations that beat the pre-warm).
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/policy/hybrid.h"
+#include "src/policy/policy.h"
+#include "src/sim/sweep.h"
+
+int main() {
+  using namespace faas;
+  PrintBenchHeader("Figure 17", "impact of unloading and pre-warming");
+  const Trace trace = MakePolicyTrace();
+
+  std::vector<std::unique_ptr<PolicyFactory>> owned;
+  owned.push_back(
+      std::make_unique<FixedKeepAliveFactory>(Duration::Minutes(10)));
+
+  HybridPolicyConfig no_prewarm;
+  no_prewarm.enable_prewarm = false;
+  owned.push_back(std::make_unique<HybridPolicyFactory>(no_prewarm));
+
+  HybridPolicyConfig prewarm_1st;
+  prewarm_1st.head_percentile = 1.0;
+  owned.push_back(std::make_unique<HybridPolicyFactory>(prewarm_1st));
+
+  HybridPolicyConfig prewarm_5th;
+  prewarm_5th.head_percentile = 5.0;
+  owned.push_back(std::make_unique<HybridPolicyFactory>(prewarm_5th));
+
+  std::vector<const PolicyFactory*> factories;
+  for (const auto& factory : owned) {
+    factories.push_back(factory.get());
+  }
+  const std::vector<PolicyPoint> points =
+      EvaluatePolicies(trace, factories, /*baseline_index=*/0, {.num_threads = 0});
+
+  const char* labels[] = {"fixed-10min", "hybrid no PW, KA:99th",
+                          "hybrid PW:1st, KA:99th", "hybrid PW:5th, KA:99th"};
+  std::printf("\n%-26s %14s %20s %14s\n", "policy", "p75 cold",
+              "normalized waste", "prewarms");
+  for (size_t i = 0; i < points.size(); ++i) {
+    int64_t prewarms = 0;
+    for (const auto& app : points[i].result.apps) {
+      prewarms += app.prewarm_loads;
+    }
+    std::printf("%-26s %13.1f%% %19.1f%% %14lld\n", labels[i],
+                points[i].cold_start_p75,
+                points[i].normalized_wasted_memory_pct,
+                static_cast<long long>(prewarms));
+  }
+
+  std::printf("\nShape check (paper): waste(no PW) > waste(PW:1st) > "
+              "waste(PW:5th);\ncold(no PW) <= cold(PW:1st) <= cold(PW:5th) "
+              "— pre-warming trades a few\ncold starts for large memory "
+              "savings, tunable via the head cutoff.\n");
+  const bool waste_ordered =
+      points[1].wasted_memory_minutes > points[2].wasted_memory_minutes &&
+      points[2].wasted_memory_minutes > points[3].wasted_memory_minutes;
+  std::printf("measured: waste ordering %s\n",
+              waste_ordered ? "HOLDS" : "VIOLATED");
+  return waste_ordered ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Figure 18: sensitivity to the histogram-representativeness CV threshold
+// (0, 2, 5, 10) at a 4-hour range.
+// Paper: a small threshold above 0 buys significant cold-start reduction;
+// CV=2 is the chosen default; larger thresholds add memory cost for
+// negligible cold-start gains.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/policy/hybrid.h"
+#include "src/policy/policy.h"
+#include "src/sim/sweep.h"
+
+int main() {
+  using namespace faas;
+  PrintBenchHeader("Figure 18", "CV-threshold sensitivity (4-hour range)");
+  const Trace trace = MakePolicyTrace();
+
+  std::vector<std::unique_ptr<PolicyFactory>> owned;
+  owned.push_back(
+      std::make_unique<FixedKeepAliveFactory>(Duration::Minutes(10)));
+  for (double cv : {0.0, 2.0, 5.0, 10.0}) {
+    HybridPolicyConfig config;
+    config.cv_threshold = cv;
+    owned.push_back(std::make_unique<HybridPolicyFactory>(config));
+  }
+  std::vector<const PolicyFactory*> factories;
+  for (const auto& factory : owned) {
+    factories.push_back(factory.get());
+  }
+  const std::vector<PolicyPoint> points =
+      EvaluatePolicies(trace, factories, /*baseline_index=*/0, {.num_threads = 0});
+
+  std::printf("\n%-34s %10s %14s %20s\n", "policy", "p50 cold", "p75 cold",
+              "normalized waste");
+  for (const PolicyPoint& point : points) {
+    std::printf("%-34s %9.1f%% %13.1f%% %19.1f%%\n", point.name.c_str(),
+                point.result.AppColdStartPercentile(50.0),
+                point.cold_start_p75, point.normalized_wasted_memory_pct);
+  }
+
+  std::printf(
+      "\nShape check (paper): raising the threshold above 0 trades memory\n"
+      "for fewer cold starts; beyond CV=2 the cold-start gains flatten out\n"
+      "while the conservative fallback keeps costing memory.\n");
+  // CV=0 trusts every histogram; higher thresholds fall back to the long
+  // conservative keep-alive more often, so waste rises with the threshold.
+  const bool waste_monotone =
+      points[1].wasted_memory_minutes <= points[2].wasted_memory_minutes &&
+      points[2].wasted_memory_minutes <= points[3].wasted_memory_minutes;
+  std::printf("measured: waste non-decreasing in CV threshold: %s\n",
+              waste_monotone ? "HOLDS" : "VIOLATED");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// CSV series export for the per-figure benches.
+//
+// Every bench prints a human-readable table; SeriesWriter additionally saves
+// the plotted series as CSV so figures can be regenerated with any plotting
+// tool.  Files go to $FAAS_BENCH_RESULTS_DIR, or ./results when the variable
+// is unset; set FAAS_BENCH_RESULTS_DIR=off to disable export entirely.
+
+#ifndef BENCH_SERIES_WRITER_H_
+#define BENCH_SERIES_WRITER_H_
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <string>
+
+namespace faas {
+
+class SeriesWriter {
+ public:
+  // Creates `<dir>/<name>.csv` with the given header columns.
+  SeriesWriter(const std::string& name,
+               std::initializer_list<const char*> columns) {
+    const char* env = std::getenv("FAAS_BENCH_RESULTS_DIR");
+    std::string dir = env != nullptr ? env : "results";
+    if (dir == "off") {
+      return;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return;
+    }
+    path_ = (std::filesystem::path(dir) / (name + ".csv")).string();
+    out_.open(path_);
+    bool first = true;
+    for (const char* column : columns) {
+      if (!first) {
+        out_ << ',';
+      }
+      out_ << column;
+      first = false;
+    }
+    out_ << '\n';
+  }
+
+  bool enabled() const { return out_.is_open(); }
+  const std::string& path() const { return path_; }
+
+  // Writes one row; values are formatted with operator<<.
+  template <typename... Values>
+  void Row(const Values&... values) {
+    if (!out_.is_open()) {
+      return;
+    }
+    bool first = true;
+    ((WriteCell(values, first), first = false), ...);
+    out_ << '\n';
+  }
+
+ private:
+  template <typename T>
+  void WriteCell(const T& value, bool first) {
+    if (!first) {
+      out_ << ',';
+    }
+    out_ << value;
+  }
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace faas
+
+#endif  // BENCH_SERIES_WRITER_H_

@@ -1,0 +1,70 @@
+// Production-rollout walkthrough (Section 6): the daily-histogram variant of
+// the hybrid policy, with state backup/restore across a simulated controller
+// restart and a visible reaction to a pattern change after retention.
+
+#include <cstdio>
+
+#include "src/policy/production_policy.h"
+
+namespace {
+
+faas::TimePoint At(int day, int minute) {
+  return faas::TimePoint(static_cast<int64_t>(day) * 86'400'000 +
+                         static_cast<int64_t>(minute) * 60'000);
+}
+
+void PrintDecision(const char* label, const faas::PolicyDecision& decision) {
+  std::printf("%-34s pre-warm %7.1f min, keep-alive %7.1f min\n", label,
+              decision.prewarm_window.minutes(),
+              decision.keepalive_window.minutes());
+}
+
+}  // namespace
+
+int main() {
+  using namespace faas;
+
+  ProductionPolicyConfig config;
+  config.store.retention_days = 4;
+  ProductionHybridPolicy policy{config};
+
+  PrintDecision("fresh app (conservative)", policy.NextWindows());
+
+  // Three days of a steady 45-minute invocation pattern.
+  for (int day = 0; day < 3; ++day) {
+    for (int i = 1; i <= 20; ++i) {
+      policy.RecordIdleTimeAt(At(day, i * 45), Duration::Minutes(45));
+    }
+  }
+  PrintDecision("after 3 days of 45-min cadence", policy.NextWindows());
+
+  // Hourly backup to the "database", then a controller restart: a fresh
+  // policy instance restores the histograms and produces identical windows.
+  const std::string backup = policy.Backup();
+  std::printf("backup size: %zu bytes (sparse daily histograms)\n",
+              backup.size());
+  ProductionHybridPolicy restarted{config};
+  if (!restarted.Restore(backup)) {
+    std::fprintf(stderr, "restore failed\n");
+    return 1;
+  }
+  PrintDecision("after controller restart", restarted.NextWindows());
+
+  // The app changes behaviour: 2 days of a 90-minute cadence.  With 4-day
+  // retention the mix shifts; after enough days the old mode ages out.
+  for (int day = 3; day < 5; ++day) {
+    for (int i = 1; i <= 12; ++i) {
+      restarted.RecordIdleTimeAt(At(day, i * 90), Duration::Minutes(90));
+    }
+  }
+  PrintDecision("2 days into the new 90-min cadence", restarted.NextWindows());
+  for (int day = 5; day < 7; ++day) {
+    for (int i = 1; i <= 12; ++i) {
+      restarted.RecordIdleTimeAt(At(day, i * 90), Duration::Minutes(90));
+    }
+  }
+  PrintDecision("old pattern aged out of retention", restarted.NextWindows());
+  std::printf("\nretained days: %d (retention limit %d)\n",
+              restarted.store().retained_days(), config.store.retention_days);
+  return 0;
+}

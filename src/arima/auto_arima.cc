@@ -1,0 +1,108 @@
+#include "src/arima/auto_arima.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/arima/series.h"
+#include "src/common/logging.h"
+
+namespace faas {
+
+namespace {
+
+std::optional<ArimaModel> TryFit(std::span<const double> series,
+                                 const ArimaOrder& order, bool with_mean) {
+  if (!ArimaModel::CanFit(series.size(), order)) {
+    return std::nullopt;
+  }
+  ArimaModel model = ArimaModel::Fit(series, order, with_mean);
+  if (!std::isfinite(model.Aic())) {
+    return std::nullopt;
+  }
+  return model;
+}
+
+std::optional<ArimaModel> GridSearch(std::span<const double> series, int d,
+                                     const AutoArimaOptions& options) {
+  std::optional<ArimaModel> best;
+  for (int p = 0; p <= options.max_p; ++p) {
+    for (int q = 0; q <= options.max_q; ++q) {
+      auto candidate = TryFit(series, {p, d, q}, options.with_mean);
+      if (candidate.has_value() &&
+          (!best.has_value() || candidate->Aic() < best->Aic())) {
+        best = std::move(candidate);
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<ArimaModel> StepwiseSearch(std::span<const double> series, int d,
+                                         const AutoArimaOptions& options) {
+  // Hyndman-Khandakar-style neighbourhood walk from standard starting points.
+  std::set<std::pair<int, int>> visited;
+  std::optional<ArimaModel> best;
+
+  const auto consider = [&](int p, int q) {
+    if (p < 0 || q < 0 || p > options.max_p || q > options.max_q) {
+      return;
+    }
+    if (!visited.insert({p, q}).second) {
+      return;
+    }
+    auto candidate = TryFit(series, {p, d, q}, options.with_mean);
+    if (candidate.has_value() &&
+        (!best.has_value() || candidate->Aic() < best->Aic())) {
+      best = std::move(candidate);
+    }
+  };
+
+  consider(0, 0);
+  consider(1, 0);
+  consider(0, 1);
+  consider(2, 2);
+
+  for (int round = 0; round < 16 && best.has_value(); ++round) {
+    const int p = best->order().p;
+    const int q = best->order().q;
+    const double before = best->Aic();
+    consider(p + 1, q);
+    consider(p - 1, q);
+    consider(p, q + 1);
+    consider(p, q - 1);
+    consider(p + 1, q + 1);
+    consider(p - 1, q - 1);
+    if (best->Aic() >= before) {
+      break;  // No neighbour improved.
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<ArimaModel> AutoArima(std::span<const double> series,
+                                    const AutoArimaOptions& options) {
+  if (series.size() < 4) {
+    return std::nullopt;
+  }
+  int d = EstimateDifferencingOrder(series, options.max_d);
+  // Ensure the differenced series leaves room to fit something.
+  while (d > 0 && series.size() <= static_cast<size_t>(d) + 4) {
+    --d;
+  }
+
+  std::optional<ArimaModel> best =
+      options.stepwise ? StepwiseSearch(series, d, options)
+                       : GridSearch(series, d, options);
+  if (!best.has_value()) {
+    // Last resort: random-walk-style mean model.
+    best = TryFit(series, {0, 0, 0}, /*with_mean=*/true);
+  }
+  return best;
+}
+
+}  // namespace faas

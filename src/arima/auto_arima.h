@@ -1,0 +1,35 @@
+// auto_arima: order selection by AIC grid search.
+//
+// Replaces the paper's use of pmdarima.auto_arima.  The differencing order d
+// comes from repeated KPSS tests (pmdarima's default "ndiffs"); p and q are
+// then selected by fitting every combination up to (max_p, max_q) and
+// keeping the lowest-AIC model.  The grid is small (default 4x4 = 16 fits)
+// because the policy's IT series are short.
+
+#ifndef SRC_ARIMA_AUTO_ARIMA_H_
+#define SRC_ARIMA_AUTO_ARIMA_H_
+
+#include <optional>
+#include <span>
+
+#include "src/arima/model.h"
+
+namespace faas {
+
+struct AutoArimaOptions {
+  int max_p = 3;
+  int max_q = 3;
+  int max_d = 2;
+  bool with_mean = true;
+  // Stepwise search (Hyndman-Khandakar neighbourhood walk) instead of the
+  // full grid; ~3x fewer fits with nearly identical selections.
+  bool stepwise = false;
+};
+
+// Returns nullopt when the series is too short to fit even ARIMA(0, d, 0).
+std::optional<ArimaModel> AutoArima(std::span<const double> series,
+                                    const AutoArimaOptions& options = {});
+
+}  // namespace faas
+
+#endif  // SRC_ARIMA_AUTO_ARIMA_H_

@@ -1,0 +1,486 @@
+#include "src/characterization/characterization.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/common/logging.h"
+#include "src/stats/descriptive.h"
+
+namespace faas {
+
+namespace {
+
+double SafeDivide(double num, double denom) {
+  return denom > 0.0 ? num / denom : 0.0;
+}
+
+}  // namespace
+
+// ---- Figure 1 ---------------------------------------------------------------
+
+FunctionsPerAppResult AnalyzeFunctionsPerApp(const Trace& trace) {
+  // Group apps by size; accumulate invocation and function mass per size.
+  std::map<int, std::array<double, 3>> by_size;  // apps, invocations, funcs.
+  for (const AppTrace& app : trace.apps) {
+    auto& entry = by_size[static_cast<int>(app.functions.size())];
+    entry[0] += 1.0;
+    entry[1] += static_cast<double>(app.TotalInvocations());
+    entry[2] += static_cast<double>(app.functions.size());
+  }
+  const double total_apps = static_cast<double>(trace.apps.size());
+  const double total_invocations =
+      static_cast<double>(trace.TotalInvocations());
+  const double total_functions = static_cast<double>(trace.TotalFunctions());
+
+  FunctionsPerAppResult result;
+  double cum_apps = 0.0;
+  double cum_invocations = 0.0;
+  double cum_functions = 0.0;
+  for (const auto& [size, entry] : by_size) {
+    cum_apps += entry[0];
+    cum_invocations += entry[1];
+    cum_functions += entry[2];
+    FunctionsPerAppRow row;
+    row.max_functions = size;
+    row.fraction_of_apps = SafeDivide(cum_apps, total_apps);
+    row.fraction_of_invocations = SafeDivide(cum_invocations, total_invocations);
+    row.fraction_of_functions = SafeDivide(cum_functions, total_functions);
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+namespace {
+
+double RowLookup(const std::vector<FunctionsPerAppRow>& rows, int functions,
+                 double FunctionsPerAppRow::*field) {
+  double value = 0.0;
+  for (const auto& row : rows) {
+    if (row.max_functions > functions) {
+      break;
+    }
+    value = row.*field;
+  }
+  return value;
+}
+
+}  // namespace
+
+double FunctionsPerAppResult::FractionAppsWithAtMost(int functions) const {
+  return RowLookup(rows, functions, &FunctionsPerAppRow::fraction_of_apps);
+}
+
+double FunctionsPerAppResult::FractionInvocationsFromAppsWithAtMost(
+    int functions) const {
+  return RowLookup(rows, functions,
+                   &FunctionsPerAppRow::fraction_of_invocations);
+}
+
+double FunctionsPerAppResult::FractionFunctionsInAppsWithAtMost(
+    int functions) const {
+  return RowLookup(rows, functions,
+                   &FunctionsPerAppRow::fraction_of_functions);
+}
+
+// ---- Figure 2 ---------------------------------------------------------------
+
+TriggerShares AnalyzeTriggerShares(const Trace& trace) {
+  std::array<double, kNumTriggerTypes> functions = {};
+  std::array<double, kNumTriggerTypes> invocations = {};
+  double total_functions = 0.0;
+  double total_invocations = 0.0;
+  for (const AppTrace& app : trace.apps) {
+    for (const FunctionTrace& function : app.functions) {
+      const auto index = static_cast<size_t>(function.trigger);
+      functions[index] += 1.0;
+      invocations[index] += static_cast<double>(function.InvocationCount());
+      total_functions += 1.0;
+      total_invocations += static_cast<double>(function.InvocationCount());
+    }
+  }
+  TriggerShares shares;
+  for (size_t i = 0; i < kNumTriggerTypes; ++i) {
+    shares.percent_functions[i] = 100.0 * SafeDivide(functions[i], total_functions);
+    shares.percent_invocations[i] =
+        100.0 * SafeDivide(invocations[i], total_invocations);
+  }
+  return shares;
+}
+
+// ---- Figure 3 ---------------------------------------------------------------
+
+TriggerComboResult AnalyzeTriggerCombos(const Trace& trace) {
+  TriggerComboResult result;
+  std::map<std::string, int64_t> combo_counts;
+  std::array<int64_t, kNumTriggerTypes> with_trigger = {};
+  int64_t timer_plus_other = 0;
+  for (const AppTrace& app : trace.apps) {
+    const std::set<TriggerType> triggers = app.TriggerSet();
+    for (TriggerType trigger : triggers) {
+      ++with_trigger[static_cast<size_t>(trigger)];
+    }
+    if (triggers.count(TriggerType::kTimer) > 0 && triggers.size() > 1) {
+      ++timer_plus_other;
+    }
+    ++combo_counts[app.TriggerComboKey()];
+  }
+  const double total_apps = static_cast<double>(trace.apps.size());
+  for (size_t i = 0; i < kNumTriggerTypes; ++i) {
+    result.percent_apps_with_trigger[i] =
+        100.0 * SafeDivide(static_cast<double>(with_trigger[i]), total_apps);
+  }
+  result.percent_apps_timer_plus_other =
+      100.0 * SafeDivide(static_cast<double>(timer_plus_other), total_apps);
+
+  std::vector<std::pair<std::string, int64_t>> sorted(combo_counts.begin(),
+                                                      combo_counts.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  double cumulative = 0.0;
+  for (const auto& [combo, count] : sorted) {
+    TriggerComboRow row;
+    row.combo = combo;
+    row.percent_apps =
+        100.0 * SafeDivide(static_cast<double>(count), total_apps);
+    cumulative += row.percent_apps;
+    row.cumulative_percent = cumulative;
+    result.combos.push_back(std::move(row));
+  }
+  return result;
+}
+
+// ---- Figure 4 ---------------------------------------------------------------
+
+HourlyLoadResult AnalyzeHourlyLoad(const Trace& trace) {
+  HourlyLoadResult result;
+  const int hours =
+      static_cast<int>((trace.horizon.millis() + 3'599'999) / 3'600'000);
+  result.invocations_per_hour.assign(static_cast<size_t>(hours), 0);
+  for (const AppTrace& app : trace.apps) {
+    for (const FunctionTrace& function : app.functions) {
+      for (TimePoint t : function.invocations) {
+        const auto hour =
+            static_cast<size_t>(t.millis_since_origin() / 3'600'000);
+        if (hour < result.invocations_per_hour.size()) {
+          ++result.invocations_per_hour[hour];
+        }
+      }
+    }
+  }
+  int64_t peak = 0;
+  for (int64_t count : result.invocations_per_hour) {
+    peak = std::max(peak, count);
+  }
+  result.relative_load.reserve(result.invocations_per_hour.size());
+  double baseline = 1.0;
+  for (int64_t count : result.invocations_per_hour) {
+    const double relative =
+        peak > 0 ? static_cast<double>(count) / static_cast<double>(peak) : 0.0;
+    result.relative_load.push_back(relative);
+    baseline = std::min(baseline, relative);
+  }
+  result.baseline_fraction = baseline;
+  return result;
+}
+
+// ---- Figure 5 ---------------------------------------------------------------
+
+InvocationRateResult AnalyzeInvocationRates(const Trace& trace) {
+  InvocationRateResult result;
+  const double days = trace.horizon.days();
+  FAAS_CHECK(days > 0.0) << "empty trace horizon";
+
+  std::vector<double> app_rates;
+  std::vector<double> function_rates;
+  app_rates.reserve(trace.apps.size());
+  for (const AppTrace& app : trace.apps) {
+    app_rates.push_back(static_cast<double>(app.TotalInvocations()) / days);
+    for (const FunctionTrace& function : app.functions) {
+      function_rates.push_back(
+          static_cast<double>(function.InvocationCount()) / days);
+    }
+  }
+
+  // Anchors before moving the vectors into the ECDFs.
+  const double total_apps = static_cast<double>(app_rates.size());
+  double at_most_hourly = 0.0;
+  double at_most_minutely = 0.0;
+  for (double rate : app_rates) {
+    if (rate <= 24.0) {
+      at_most_hourly += 1.0;
+    }
+    if (rate <= 1440.0) {
+      at_most_minutely += 1.0;
+    }
+  }
+  result.fraction_apps_at_most_hourly = SafeDivide(at_most_hourly, total_apps);
+  result.fraction_apps_at_most_minutely =
+      SafeDivide(at_most_minutely, total_apps);
+
+  // Figure 5(b): popularity curve over apps sorted by rate, descending.
+  std::vector<double> sorted_rates = app_rates;
+  std::sort(sorted_rates.begin(), sorted_rates.end(), std::greater<>());
+  double total_rate = 0.0;
+  for (double rate : sorted_rates) {
+    total_rate += rate;
+  }
+  static constexpr double kPopulationFractions[] = {
+      0.00001, 0.0001, 0.001, 0.01, 0.05, 0.1, 0.186, 0.25, 0.5, 0.75, 1.0};
+  size_t index = 0;
+  double cumulative = 0.0;
+  for (double fraction : kPopulationFractions) {
+    const size_t target = std::min(
+        sorted_rates.size(),
+        static_cast<size_t>(std::ceil(fraction * total_apps)));
+    while (index < target) {
+      cumulative += sorted_rates[index];
+      ++index;
+    }
+    result.app_popularity_curve.emplace_back(
+        fraction, SafeDivide(cumulative, total_rate));
+  }
+  // Share of invocations from apps averaging at least one per minute.
+  double minutely_rate_mass = 0.0;
+  double minutely_apps = 0.0;
+  for (double rate : sorted_rates) {
+    if (rate >= 1440.0) {
+      minutely_rate_mass += rate;
+      minutely_apps += 1.0;
+    } else {
+      break;
+    }
+  }
+  result.invocation_share_of_minutely_apps =
+      SafeDivide(minutely_rate_mass, total_rate);
+  result.fraction_apps_minutely = SafeDivide(minutely_apps, total_apps);
+
+  result.app_daily_rate_cdf = Ecdf(std::move(app_rates));
+  result.function_daily_rate_cdf = Ecdf(std::move(function_rates));
+  return result;
+}
+
+// ---- Figure 6 ---------------------------------------------------------------
+
+IatCvResult AnalyzeIatCv(const Trace& trace, int64_t min_invocations) {
+  std::vector<double> all;
+  std::vector<double> only_timers;
+  std::vector<double> some_timers;
+  std::vector<double> no_timers;
+  for (const AppTrace& app : trace.apps) {
+    if (app.TotalInvocations() < min_invocations) {
+      continue;
+    }
+    const std::vector<TimePoint> merged = app.MergedInvocationTimes();
+    const std::vector<Duration> iats = InterArrivalTimes(merged);
+    if (iats.size() < 2) {
+      continue;
+    }
+    std::vector<double> iat_minutes;
+    iat_minutes.reserve(iats.size());
+    for (Duration iat : iats) {
+      iat_minutes.push_back(iat.minutes());
+    }
+    const double cv = CoefficientOfVariation(iat_minutes);
+
+    all.push_back(cv);
+    const std::set<TriggerType> triggers = app.TriggerSet();
+    const bool has_timer = triggers.count(TriggerType::kTimer) > 0;
+    if (has_timer) {
+      some_timers.push_back(cv);
+      if (triggers.size() == 1) {
+        only_timers.push_back(cv);
+      }
+    } else {
+      no_timers.push_back(cv);
+    }
+  }
+  IatCvResult result;
+  result.all_apps = Ecdf(std::move(all));
+  result.only_timer_apps = Ecdf(std::move(only_timers));
+  result.at_least_one_timer_apps = Ecdf(std::move(some_timers));
+  result.no_timer_apps = Ecdf(std::move(no_timers));
+  return result;
+}
+
+// ---- Section 3.4, idle times vs inter-arrival times -------------------------
+
+IdleVsIatResult AnalyzeIdleVsIat(const Trace& trace, double max_rate_per_day,
+                                 int64_t min_invocations) {
+  IdleVsIatResult result;
+  const double days = trace.horizon.days();
+  std::vector<double> ks_distances;
+  std::vector<double> exec_ratios;
+  for (const AppTrace& app : trace.apps) {
+    const int64_t invocations = app.TotalInvocations();
+    if (invocations < min_invocations ||
+        static_cast<double>(invocations) / days > max_rate_per_day) {
+      continue;
+    }
+    // Weighted average execution time across the app's functions.
+    double exec_ms = 0.0;
+    for (const FunctionTrace& function : app.functions) {
+      exec_ms += function.execution.average_ms *
+                 static_cast<double>(function.InvocationCount());
+    }
+    exec_ms /= static_cast<double>(invocations);
+
+    const std::vector<TimePoint> merged = app.MergedInvocationTimes();
+    const std::vector<Duration> iats = InterArrivalTimes(merged);
+    std::vector<double> iat_minutes;
+    std::vector<double> it_minutes;
+    iat_minutes.reserve(iats.size());
+    it_minutes.reserve(iats.size());
+    // Compare at the dataset's 1-minute resolution (the paper's invocation
+    // data is minute-binned; sub-minute execution shifts are invisible).
+    for (Duration iat : iats) {
+      iat_minutes.push_back(std::floor(iat.minutes()));
+      it_minutes.push_back(std::floor(std::max(
+          0.0, (iat - Duration::Millis(static_cast<int64_t>(exec_ms)))
+                   .minutes())));
+    }
+    const Ecdf iat_cdf(iat_minutes);
+    const Ecdf it_cdf(it_minutes);
+    ks_distances.push_back(KsDistance(iat_cdf, it_cdf));
+
+    const double mean_iat_minutes = Mean(iat_minutes);
+    if (mean_iat_minutes > 0.0) {
+      exec_ratios.push_back((exec_ms / 60'000.0) / mean_iat_minutes);
+    }
+  }
+  if (!ks_distances.empty()) {
+    double nearly_identical = 0.0;
+    for (double d : ks_distances) {
+      if (d < 0.05) {
+        nearly_identical += 1.0;
+      }
+    }
+    result.fraction_nearly_identical =
+        nearly_identical / static_cast<double>(ks_distances.size());
+    result.ks_distance_cdf = Ecdf(std::move(ks_distances));
+  }
+  if (!exec_ratios.empty()) {
+    result.median_exec_to_iat_ratio = Median(exec_ratios);
+  }
+  return result;
+}
+
+// ---- Figure 12 (illustrative) -----------------------------------------------
+
+std::vector<ItHistogramPanel> SampleItHistograms(const Trace& trace, int count,
+                                                 int bins,
+                                                 int64_t min_invocations) {
+  // Collect qualifying apps sorted by invocation volume, then pick evenly
+  // spaced entries so the gallery spans the popularity range.
+  std::vector<const AppTrace*> qualifying;
+  for (const AppTrace& app : trace.apps) {
+    if (app.TotalInvocations() >= min_invocations) {
+      qualifying.push_back(&app);
+    }
+  }
+  std::sort(qualifying.begin(), qualifying.end(),
+            [](const AppTrace* a, const AppTrace* b) {
+              return a->TotalInvocations() < b->TotalInvocations();
+            });
+
+  std::vector<ItHistogramPanel> panels;
+  if (qualifying.empty() || count <= 0) {
+    return panels;
+  }
+  const size_t stride =
+      std::max<size_t>(1, qualifying.size() / static_cast<size_t>(count));
+  for (size_t i = 0; i < qualifying.size() && static_cast<int>(panels.size()) < count;
+       i += stride) {
+    const AppTrace& app = *qualifying[i];
+    ItHistogramPanel panel;
+    panel.app_id = app.app_id;
+    panel.invocations = app.TotalInvocations();
+    std::vector<int64_t> counts(static_cast<size_t>(bins), 0);
+    const std::vector<Duration> iats =
+        InterArrivalTimes(app.MergedInvocationTimes());
+    for (Duration iat : iats) {
+      const auto bin = static_cast<int64_t>(iat.minutes());
+      if (bin >= 0 && bin < bins) {
+        ++counts[static_cast<size_t>(bin)];
+      }
+    }
+    int64_t peak = 0;
+    for (int64_t c : counts) {
+      peak = std::max(peak, c);
+    }
+    panel.normalized_bins.reserve(counts.size());
+    for (int64_t c : counts) {
+      panel.normalized_bins.push_back(
+          peak > 0 ? static_cast<double>(c) / static_cast<double>(peak) : 0.0);
+    }
+    panels.push_back(std::move(panel));
+  }
+  return panels;
+}
+
+// ---- Figure 7 ---------------------------------------------------------------
+
+ExecutionTimeResult AnalyzeExecutionTimes(const Trace& trace) {
+  // Weighted expansion: each function contributes its min/avg/max with
+  // weight = sample count.  For the ECDFs we use weighted percentile grids;
+  // to keep Ecdf semantics simple we expand to a resampled vector of fixed
+  // size via weighted quantiles.
+  std::vector<WeightedSample> minimum;
+  std::vector<WeightedSample> average;
+  std::vector<WeightedSample> maximum;
+  std::vector<double> averages_for_fit;
+  for (const AppTrace& app : trace.apps) {
+    for (const FunctionTrace& function : app.functions) {
+      const double weight =
+          static_cast<double>(std::max<int64_t>(function.execution.count, 1));
+      minimum.push_back({function.execution.minimum_ms / 1000.0, weight});
+      average.push_back({function.execution.average_ms / 1000.0, weight});
+      maximum.push_back({function.execution.maximum_ms / 1000.0, weight});
+      averages_for_fit.push_back(function.execution.average_ms / 1000.0);
+    }
+  }
+  FAAS_CHECK(!average.empty()) << "trace has no execution stats";
+
+  // Resample the weighted distributions on an even quantile grid so that the
+  // Ecdf objects reflect the weighted distribution.
+  const auto resample = [](std::vector<WeightedSample> samples) {
+    constexpr int kGridPoints = 2000;
+    std::vector<double> values;
+    values.reserve(kGridPoints);
+    for (int i = 0; i < kGridPoints; ++i) {
+      const double pct =
+          100.0 * (static_cast<double>(i) + 0.5) / kGridPoints;
+      values.push_back(WeightedPercentile(samples, pct));
+    }
+    return Ecdf(std::move(values));
+  };
+
+  ExecutionTimeResult result;
+  result.minimum_seconds = resample(std::move(minimum));
+  result.average_seconds = resample(std::move(average));
+  result.maximum_seconds = resample(std::move(maximum));
+  result.average_fit = FitLogNormalMle(averages_for_fit);
+  return result;
+}
+
+// ---- Figure 8 ---------------------------------------------------------------
+
+MemoryResult AnalyzeMemory(const Trace& trace) {
+  std::vector<double> pct1;
+  std::vector<double> average;
+  std::vector<double> maximum;
+  for (const AppTrace& app : trace.apps) {
+    pct1.push_back(app.memory.percentile1_mb);
+    average.push_back(app.memory.average_mb);
+    maximum.push_back(app.memory.maximum_mb);
+  }
+  FAAS_CHECK(!average.empty()) << "trace has no memory stats";
+  MemoryResult result;
+  result.average_fit = FitBurrXiiMle(average);
+  result.percentile1_mb = Ecdf(std::move(pct1));
+  result.average_mb = Ecdf(std::move(average));
+  result.maximum_mb = Ecdf(std::move(maximum));
+  return result;
+}
+
+}  // namespace faas

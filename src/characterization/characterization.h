@@ -1,0 +1,177 @@
+// Workload characterization pipeline (Section 3).
+//
+// One analysis entry point per figure in the paper's characterization:
+//   Figure 1 — functions per application (CDF + invocation/function shares);
+//   Figure 2 — trigger shares of functions and invocations;
+//   Figure 3 — trigger presence and combinations per application;
+//   Figure 4 — platform load per hour, normalised to the peak;
+//   Figure 5 — daily invocation-rate CDFs and popularity skew;
+//   Figure 6 — coefficient of variation of inter-arrival times;
+//   Figure 7 — execution-time distributions and log-normal fit;
+//   Figure 8 — allocated-memory distributions and Burr fit.
+// Each returns plain series/anchor values so tests can assert against the
+// paper's numbers and benches can print the same rows the figures plot.
+
+#ifndef SRC_CHARACTERIZATION_CHARACTERIZATION_H_
+#define SRC_CHARACTERIZATION_CHARACTERIZATION_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/stats/ecdf.h"
+#include "src/stats/fitting.h"
+#include "src/trace/types.h"
+
+namespace faas {
+
+// ---- Figure 1 ---------------------------------------------------------------
+struct FunctionsPerAppRow {
+  int max_functions = 0;          // Apps with at most this many functions...
+  double fraction_of_apps = 0.0;  // ...are this fraction of all apps,
+  double fraction_of_invocations = 0.0;  // ...carry this invocation share,
+  double fraction_of_functions = 0.0;    // ...and hold this function share.
+};
+
+struct FunctionsPerAppResult {
+  std::vector<FunctionsPerAppRow> rows;  // At each distinct app size.
+
+  // Convenience anchors (paper: 54% single-function, 95% at most 10).
+  double FractionAppsWithAtMost(int functions) const;
+  double FractionInvocationsFromAppsWithAtMost(int functions) const;
+  double FractionFunctionsInAppsWithAtMost(int functions) const;
+};
+
+FunctionsPerAppResult AnalyzeFunctionsPerApp(const Trace& trace);
+
+// ---- Figure 2 ---------------------------------------------------------------
+struct TriggerShares {
+  std::array<double, kNumTriggerTypes> percent_functions = {};
+  std::array<double, kNumTriggerTypes> percent_invocations = {};
+};
+
+TriggerShares AnalyzeTriggerShares(const Trace& trace);
+
+// ---- Figure 3 ---------------------------------------------------------------
+struct TriggerComboRow {
+  std::string combo;         // e.g. "H", "HT", "HTQ".
+  double percent_apps = 0.0;
+  double cumulative_percent = 0.0;
+};
+
+struct TriggerComboResult {
+  // Figure 3(a): % of apps with at least one trigger of each class.
+  std::array<double, kNumTriggerTypes> percent_apps_with_trigger = {};
+  // Figure 3(b): combinations sorted by popularity.
+  std::vector<TriggerComboRow> combos;
+  // Paper call-out: % of apps with timers AND at least one other trigger.
+  double percent_apps_timer_plus_other = 0.0;
+};
+
+TriggerComboResult AnalyzeTriggerCombos(const Trace& trace);
+
+// ---- Figure 4 ---------------------------------------------------------------
+struct HourlyLoadResult {
+  std::vector<int64_t> invocations_per_hour;
+  // Same series normalised so the peak hour equals 1.0.
+  std::vector<double> relative_load;
+  // Minimum of the relative series: the paper observes a ~50% baseline.
+  double baseline_fraction = 0.0;
+};
+
+HourlyLoadResult AnalyzeHourlyLoad(const Trace& trace);
+
+// ---- Figure 5 ---------------------------------------------------------------
+struct InvocationRateResult {
+  Ecdf app_daily_rate_cdf;       // Average invocations/day per app.
+  Ecdf function_daily_rate_cdf;  // Average invocations/day per function.
+
+  // Figure 5(a) anchors.
+  double fraction_apps_at_most_hourly = 0.0;  // <= 24/day (paper: 45%).
+  double fraction_apps_at_most_minutely = 0.0;  // <= 1440/day (paper: 81%).
+
+  // Figure 5(b): cumulative invocation share of the most popular apps, at
+  // the given population fractions.
+  std::vector<std::pair<double, double>> app_popularity_curve;
+  // Paper call-out: invocation share of apps invoked at least once/minute.
+  double invocation_share_of_minutely_apps = 0.0;
+  double fraction_apps_minutely = 0.0;  // Paper: 18.6%.
+};
+
+InvocationRateResult AnalyzeInvocationRates(const Trace& trace);
+
+// ---- Figure 6 ---------------------------------------------------------------
+struct IatCvResult {
+  Ecdf all_apps;
+  Ecdf only_timer_apps;
+  Ecdf at_least_one_timer_apps;
+  Ecdf no_timer_apps;
+};
+
+// CV of each app's merged inter-arrival times; apps with fewer than
+// `min_invocations` invocations are skipped (a CV needs several IATs).
+IatCvResult AnalyzeIatCv(const Trace& trace, int64_t min_invocations = 10);
+
+// ---- Section 3.4, idle times vs inter-arrival times -------------------------
+// The paper verifies that for infrequently invoked applications (at most one
+// invocation per minute on average, 81% of apps) the idle-time distribution
+// is "extremely similar" to the IAT distribution, because executions are ~2
+// orders of magnitude shorter than the gaps.  This analysis measures the
+// per-app KS distance between the two distributions (idle time = IAT minus
+// the invoked function's average execution time, floored at zero).
+struct IdleVsIatResult {
+  // KS distances, one per qualifying app.
+  Ecdf ks_distance_cdf;
+  // Fraction of qualifying apps whose KS distance is below 0.05.
+  double fraction_nearly_identical = 0.0;
+  // Median ratio of average execution time to average IAT (paper: <= 1e-2).
+  double median_exec_to_iat_ratio = 0.0;
+};
+
+// Considers apps invoked at most `max_rate_per_day` times per day on average
+// (default: once per minute) with at least `min_invocations` invocations.
+IdleVsIatResult AnalyzeIdleVsIat(const Trace& trace,
+                                 double max_rate_per_day = 1440.0,
+                                 int64_t min_invocations = 10);
+
+// ---- Figure 12 (illustrative) -----------------------------------------------
+// Normalised binned idle-time distribution of one app over the trace, for
+// the 9-panel gallery of real IT shapes.
+struct ItHistogramPanel {
+  std::string app_id;
+  int64_t invocations = 0;
+  // Bin counts over [0, bins) minutes, normalised so the max bin is 1.0.
+  std::vector<double> normalized_bins;
+};
+
+// Returns up to `count` panels from apps with at least `min_invocations`,
+// spread across the popularity range; `bins` 1-minute bins per panel.
+std::vector<ItHistogramPanel> SampleItHistograms(const Trace& trace,
+                                                 int count = 9, int bins = 30,
+                                                 int64_t min_invocations = 50);
+
+// ---- Figure 7 ---------------------------------------------------------------
+struct ExecutionTimeResult {
+  // Weighted percentiles over per-function statistics, weight = sample count
+  // (the paper's methodology for approximating the true distribution).
+  Ecdf minimum_seconds;
+  Ecdf average_seconds;
+  Ecdf maximum_seconds;
+  LogNormalFit average_fit;  // Paper: log-mean -0.38, sigma 2.36.
+};
+
+ExecutionTimeResult AnalyzeExecutionTimes(const Trace& trace);
+
+// ---- Figure 8 ---------------------------------------------------------------
+struct MemoryResult {
+  Ecdf percentile1_mb;
+  Ecdf average_mb;
+  Ecdf maximum_mb;
+  BurrXiiFit average_fit;  // Paper: c=11.652, k=0.221, lambda=107.083.
+};
+
+MemoryResult AnalyzeMemory(const Trace& trace);
+
+}  // namespace faas
+
+#endif  // SRC_CHARACTERIZATION_CHARACTERIZATION_H_

@@ -1,0 +1,175 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/cluster/controller.h"
+#include "src/cluster/event_queue.h"
+#include "src/cluster/invoker.h"
+#include "src/common/logging.h"
+#include "src/stats/descriptive.h"
+
+namespace faas {
+
+namespace {
+
+// One invocation to replay, pre-sampled with its execution time.
+struct ReplayEvent {
+  TimePoint at;
+  const AppTrace* app;
+  const FunctionTrace* function;
+  Duration execution;
+
+  bool operator<(const ReplayEvent& other) const { return at < other.at; }
+};
+
+}  // namespace
+
+ClusterResult ClusterSimulator::Replay(const Trace& trace,
+                                       const PolicyFactory& factory) const {
+  EventQueue queue;
+  Rng rng(config_.seed);
+
+  std::vector<std::unique_ptr<Invoker>> invokers;
+  std::vector<Invoker*> invoker_ptrs;
+  invokers.reserve(static_cast<size_t>(config_.num_invokers));
+  for (int i = 0; i < config_.num_invokers; ++i) {
+    invokers.push_back(std::make_unique<Invoker>(
+        i, config_.invoker_memory_mb, &queue, config_.latency, rng.Fork()));
+    invoker_ptrs.push_back(invokers.back().get());
+  }
+  Controller controller(&queue, invoker_ptrs, factory, config_.latency,
+                        rng.Fork(), config_.collect_latencies,
+                        config_.load_balancing);
+
+  // Flatten the trace into time-ordered replay events with pre-sampled
+  // per-invocation execution times.
+  std::vector<ReplayEvent> events;
+  events.reserve(static_cast<size_t>(trace.TotalInvocations()));
+  for (const AppTrace& app : trace.apps) {
+    for (const FunctionTrace& function : app.functions) {
+      Rng fn_rng = rng.Fork();
+      const double avg = std::max(function.execution.average_ms, 1.0);
+      const double lo = std::max(function.execution.minimum_ms, 0.0);
+      const double hi = std::max(function.execution.maximum_ms, avg);
+      for (TimePoint t : function.invocations) {
+        const double sampled = std::clamp(
+            fn_rng.NextLogNormal(std::log(avg), config_.execution_sigma), lo,
+            hi);
+        events.push_back(
+            {t, &app, &function,
+             Duration::Millis(static_cast<int64_t>(sampled))});
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end());
+
+  // Schedule fault-injection outages.
+  for (const ClusterConfig::Outage& outage : config_.outages) {
+    FAAS_CHECK(outage.invoker >= 0 && outage.invoker < config_.num_invokers)
+        << "outage for unknown invoker " << outage.invoker;
+    Invoker* target = invoker_ptrs[static_cast<size_t>(outage.invoker)];
+    queue.Schedule(TimePoint::Origin() + outage.start,
+                   [target]() { target->SetHealthy(false); });
+    queue.Schedule(TimePoint::Origin() + outage.end,
+                   [target]() { target->SetHealthy(true); });
+  }
+
+  for (const ReplayEvent& event : events) {
+    queue.Schedule(event.at, [&controller, &event]() {
+      controller.OnInvocation(event.app->app_id, event.function->function_id,
+                              event.execution, event.app->memory.average_mb);
+    });
+  }
+  // Run to the end of the trace horizon and measure memory there, so both
+  // policies are integrated over the same wall-clock window (keep-alive
+  // unload timers stretching past the horizon do not distort the integral).
+  const TimePoint end = TimePoint::Origin() + trace.horizon;
+  queue.RunUntil(end);
+  ClusterResult result;
+  result.policy_name = factory.name();
+  // Snapshot the memory integral at the horizon, then drain the queue so
+  // in-flight dispatches and executions straddling the horizon complete and
+  // are counted.
+  for (const auto& invoker : invokers) {
+    invoker->FinalizeAt(end);
+    result.memory_mb_seconds += invoker->memory_mb_seconds();
+  }
+  queue.Run();
+  for (const auto& invoker : invokers) {
+    result.total_cold_starts += invoker->cold_starts();
+    result.total_warm_starts += invoker->warm_starts();
+    result.total_evictions += invoker->evictions();
+    result.total_prewarm_loads += invoker->prewarm_loads();
+  }
+  const double wall_seconds =
+      static_cast<double>(end.millis_since_origin()) / 1e3;
+  result.avg_resident_mb_per_invoker =
+      wall_seconds > 0.0
+          ? result.memory_mb_seconds /
+                (wall_seconds * static_cast<double>(config_.num_invokers))
+          : 0.0;
+
+  for (const auto& [app_id, stats] : controller.app_stats()) {
+    ClusterAppResult app_result;
+    app_result.app_id = app_id;
+    app_result.invocations = stats.invocations;
+    app_result.cold_starts = stats.cold_starts;
+    app_result.dropped = stats.dropped;
+    result.apps.push_back(std::move(app_result));
+    result.total_invocations += stats.invocations;
+    result.total_dropped += stats.dropped;
+  }
+  std::sort(result.apps.begin(), result.apps.end(),
+            [](const ClusterAppResult& a, const ClusterAppResult& b) {
+              return a.app_id < b.app_id;
+            });
+
+  result.billed_execution_ms = controller.billed_execution_ms();
+  result.billed_mean_ms_stream = controller.billed_mean_ms_stream();
+  result.billed_p50_ms_stream = controller.billed_p50_ms_stream();
+  result.billed_p99_ms_stream = controller.billed_p99_ms_stream();
+  result.end_to_end_latency_ms = controller.end_to_end_latency_ms();
+  result.policy_overhead_mean_us = controller.policy_overhead_mean_us();
+  result.policy_overhead_max_us = controller.policy_overhead_max_us();
+  return result;
+}
+
+double ClusterResult::MeanBilledExecutionMs() const {
+  return billed_execution_ms.empty() ? billed_mean_ms_stream
+                                     : Mean(billed_execution_ms);
+}
+
+double ClusterResult::BilledExecutionPercentileMs(double pct) const {
+  if (!billed_execution_ms.empty()) {
+    return Percentile(billed_execution_ms, pct);
+  }
+  if (pct == 50.0) {
+    return billed_p50_ms_stream;
+  }
+  FAAS_CHECK(pct == 99.0)
+      << "only p50/p99 streaming estimates exist without sample collection";
+  return billed_p99_ms_stream;
+}
+
+Ecdf ClusterResult::AppColdStartEcdf() const {
+  std::vector<double> percentages;
+  percentages.reserve(apps.size());
+  for (const auto& app : apps) {
+    percentages.push_back(app.ColdStartPercent());
+  }
+  return Ecdf(std::move(percentages));
+}
+
+double ClusterResult::AppColdStartPercentile(double pct) const {
+  FAAS_CHECK(!apps.empty()) << "no apps in cluster result";
+  std::vector<double> percentages;
+  percentages.reserve(apps.size());
+  for (const auto& app : apps) {
+    percentages.push_back(app.ColdStartPercent());
+  }
+  return Percentile(percentages, pct);
+}
+
+}  // namespace faas

@@ -1,0 +1,119 @@
+// Cluster simulator facade: a mini-OpenWhisk deployment driven by a trace.
+//
+// Substitutes for the paper's 19-VM OpenWhisk testbed (Section 5.3): one
+// controller, N invoker workers with a memory budget each, and a trace
+// replayer standing in for FaaSProfiler.  Figure 20's comparison (cold-start
+// CDF and worker memory consumption, hybrid vs 10-minute fixed keep-alive)
+// is a property of the container-lifecycle policy, which this model
+// reproduces with the paper's O(100 ms) container-init and O(10 ms)
+// runtime-bootstrap latency constants.
+
+#ifndef SRC_CLUSTER_CLUSTER_H_
+#define SRC_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cluster/controller.h"
+#include "src/cluster/latency_model.h"
+#include "src/policy/policy.h"
+#include "src/stats/ecdf.h"
+#include "src/trace/types.h"
+
+namespace faas {
+
+struct ClusterConfig {
+  // The paper's deployment: 18 invoker VMs (plus one controller VM).
+  int num_invokers = 18;
+  double invoker_memory_mb = 4096.0;
+  LatencyModel latency;
+  uint64_t seed = 7;
+  // Record per-invocation latency samples (disable for very large replays).
+  bool collect_latencies = true;
+  // Per-invocation execution times are sampled log-normally around each
+  // function's average with this log-space sigma, clamped to [min, max].
+  double execution_sigma = 0.4;
+  // How the controller routes activations (OpenWhisk-style app affinity by
+  // default; least-loaded spreads memory at the cost of container reuse).
+  LoadBalancingPolicy load_balancing = LoadBalancingPolicy::kAppAffinity;
+
+  // Fault injection: invoker `invoker` is out of rotation during
+  // [start, end) — it drains its containers and rejects work; the
+  // controller fails activations over to the survivors.
+  struct Outage {
+    int invoker = 0;
+    Duration start;
+    Duration end;
+  };
+  std::vector<Outage> outages;
+};
+
+struct ClusterAppResult {
+  std::string app_id;
+  int64_t invocations = 0;
+  int64_t cold_starts = 0;
+  int64_t dropped = 0;
+
+  double ColdStartPercent() const {
+    const int64_t completed = invocations - dropped;
+    return completed > 0 ? 100.0 * static_cast<double>(cold_starts) /
+                               static_cast<double>(completed)
+                         : 0.0;
+  }
+};
+
+struct ClusterResult {
+  std::string policy_name;
+  std::vector<ClusterAppResult> apps;
+
+  int64_t total_invocations = 0;
+  int64_t total_cold_starts = 0;
+  int64_t total_warm_starts = 0;
+  int64_t total_evictions = 0;
+  int64_t total_prewarm_loads = 0;
+  int64_t total_dropped = 0;
+
+  // Integral of resident container memory over all invokers, MB*seconds,
+  // and the same divided by (invokers * wall time): average resident MB.
+  double memory_mb_seconds = 0.0;
+  double avg_resident_mb_per_invoker = 0.0;
+
+  // Billed execution time (function run + init on cold starts).  The vector
+  // is populated only when collect_latencies is set; the streaming fields
+  // are always available (P-square estimators, O(1) memory).
+  std::vector<double> billed_execution_ms;
+  double billed_mean_ms_stream = 0.0;
+  double billed_p50_ms_stream = 0.0;
+  double billed_p99_ms_stream = 0.0;
+  // Exact when samples were collected, streaming estimates otherwise.
+  double MeanBilledExecutionMs() const;
+  // pct must be 50 or 99 when only streaming estimates are available.
+  double BilledExecutionPercentileMs(double pct) const;
+
+  // End-to-end latency (adds container init on cold starts).
+  std::vector<double> end_to_end_latency_ms;
+
+  // Policy wall-clock overhead per invocation, microseconds.
+  double policy_overhead_mean_us = 0.0;
+  double policy_overhead_max_us = 0.0;
+
+  Ecdf AppColdStartEcdf() const;
+  double AppColdStartPercentile(double pct) const;
+};
+
+class ClusterSimulator {
+ public:
+  explicit ClusterSimulator(ClusterConfig config = {}) : config_(config) {}
+
+  // Replays every invocation in the trace through a fresh cluster governed
+  // by the given policy.
+  ClusterResult Replay(const Trace& trace, const PolicyFactory& factory) const;
+
+ private:
+  ClusterConfig config_;
+};
+
+}  // namespace faas
+
+#endif  // SRC_CLUSTER_CLUSTER_H_

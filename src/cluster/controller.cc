@@ -1,0 +1,179 @@
+#include "src/cluster/controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+#include "src/common/logging.h"
+
+namespace faas {
+
+Controller::Controller(EventQueue* queue, std::vector<Invoker*> invokers,
+                       const PolicyFactory& policy_factory,
+                       const LatencyModel& latency, Rng rng,
+                       bool collect_latencies,
+                       LoadBalancingPolicy load_balancing)
+    : queue_(queue),
+      invokers_(std::move(invokers)),
+      policy_factory_(policy_factory),
+      latency_(latency),
+      rng_(rng),
+      collect_latencies_(collect_latencies),
+      load_balancing_(load_balancing) {
+  FAAS_CHECK(queue_ != nullptr) << "controller needs an event queue";
+  FAAS_CHECK(!invokers_.empty()) << "controller needs at least one invoker";
+  for (Invoker* invoker : invokers_) {
+    invoker->set_completion_callback(
+        [this](const CompletionMessage& message) { OnCompletion(message); });
+  }
+}
+
+Controller::AppState& Controller::GetOrCreateApp(const std::string& app_id) {
+  auto [it, inserted] = apps_.try_emplace(app_id);
+  if (inserted) {
+    it->second.policy = policy_factory_.CreateForApp();
+    it->second.home_invoker = static_cast<int>(
+        std::hash<std::string>{}(app_id) % invokers_.size());
+  }
+  return it->second;
+}
+
+bool Controller::Dispatch(AppState& state, const ActivationMessage& message) {
+  const size_t n = invokers_.size();
+  if (load_balancing_ == LoadBalancingPolicy::kLeastLoaded) {
+    // Try invokers in order of free memory (most free first).
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) {
+      order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+      const double free_a =
+          invokers_[a]->memory_capacity_mb() - invokers_[a]->memory_in_use_mb();
+      const double free_b =
+          invokers_[b]->memory_capacity_mb() - invokers_[b]->memory_in_use_mb();
+      return free_a > free_b;
+    });
+    for (size_t index : order) {
+      if (invokers_[index]->HandleActivation(message)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  for (size_t attempt = 0; attempt < n; ++attempt) {
+    const size_t index =
+        (static_cast<size_t>(state.home_invoker) + attempt) % n;
+    if (invokers_[index]->HandleActivation(message)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Controller::OnInvocation(const std::string& app_id,
+                              const std::string& function_id,
+                              Duration execution, double memory_mb) {
+  AppState& state = GetOrCreateApp(app_id);
+  AppStats& stats = app_stats_[app_id];
+  ++stats.invocations;
+
+  // An arriving invocation supersedes any scheduled pre-warm.
+  state.prewarm_event.Cancel();
+
+  // Run the policy: record the just-completed idle period, then recompute
+  // the windows that will govern the next one.  This is the code path whose
+  // wall-clock cost the paper reports (835.7us in their Scala prototype).
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (state.has_executed && state.inflight == 0) {
+    const Duration idle = queue_->now() - state.last_exec_end;
+    if (!idle.IsNegative()) {
+      state.policy->RecordIdleTimeAt(queue_->now(), idle);
+    }
+  }
+  state.decision = state.policy->NextWindows();
+  const auto wall_end = std::chrono::steady_clock::now();
+  const double overhead_us =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end -
+                                                           wall_start)
+          .count() /
+      1000.0;
+  policy_overhead_total_us_ += overhead_us;
+  policy_overhead_max_us_ = std::max(policy_overhead_max_us_, overhead_us);
+  ++policy_invocations_;
+
+  ActivationMessage message;
+  message.activation_id = next_activation_id_++;
+  message.app_id = app_id;
+  message.function_id = function_id;
+  message.memory_mb = memory_mb;
+  message.execution = execution;
+  message.keepalive = state.decision.keepalive_window;
+  message.unload_after_execution =
+      !state.decision.prewarm_window.IsZero();
+  state.memory_mb = memory_mb;
+  ++state.inflight;
+
+  // Model the controller -> invoker messaging hop.
+  const Duration dispatch_delay = latency_.SampleDispatch(rng_);
+  queue_->ScheduleAfter(dispatch_delay, [this, message, app_id]() {
+    AppState& app_state = apps_.at(app_id);
+    if (!Dispatch(app_state, message)) {
+      --app_state.inflight;
+      ++app_stats_[app_id].dropped;
+      ++total_dropped_;
+    }
+  });
+}
+
+void Controller::OnCompletion(const CompletionMessage& message) {
+  AppState& state = apps_.at(message.app_id);
+  AppStats& stats = app_stats_[message.app_id];
+  if (message.cold_start) {
+    ++stats.cold_starts;
+  }
+  --state.inflight;
+  state.last_exec_end = message.execution_end;
+  state.has_executed = true;
+
+  const double billed_ms = message.billed_execution.seconds() * 1e3;
+  billed_sum_ms_ += billed_ms;
+  ++billed_count_;
+  billed_p50_.Add(billed_ms);
+  billed_p99_.Add(billed_ms);
+  if (collect_latencies_) {
+    billed_execution_ms_.push_back(billed_ms);
+    end_to_end_latency_ms_.push_back(message.total_latency.seconds() * 1e3);
+  }
+
+  // Schedule the pre-warm for the predicted next invocation.
+  if (state.inflight == 0 && !state.decision.prewarm_window.IsZero() &&
+      state.decision.keepalive_window > Duration::Zero()) {
+    const PolicyDecision decision = state.decision;
+    const std::string app_id = message.app_id;
+    const double memory_mb = state.memory_mb;
+    const int home = state.home_invoker;
+    state.prewarm_event = queue_->ScheduleAfter(
+        decision.prewarm_window, [this, app_id, decision, home, memory_mb]() {
+          PrewarmMessage prewarm;
+          prewarm.app_id = app_id;
+          prewarm.memory_mb = memory_mb;
+          prewarm.keepalive = decision.keepalive_window;
+          const size_t n = invokers_.size();
+          for (size_t attempt = 0; attempt < n; ++attempt) {
+            const size_t index = (static_cast<size_t>(home) + attempt) % n;
+            if (invokers_[index]->HandlePrewarm(prewarm)) {
+              return;
+            }
+          }
+        });
+  }
+}
+
+double Controller::policy_overhead_mean_us() const {
+  return policy_invocations_ > 0
+             ? policy_overhead_total_us_ /
+                   static_cast<double>(policy_invocations_)
+             : 0.0;
+}
+
+}  // namespace faas

@@ -1,0 +1,127 @@
+// Controller: the load balancer + policy brain of the cluster.
+//
+// All invocations pass through the controller (as in OpenWhisk), which makes
+// it the place where the per-application policy state lives (Section 4.3).
+// On each invocation the controller records the application's idle time,
+// re-computes the keep-alive/pre-warm windows, and ships the keep-alive to
+// the chosen invoker inside the activation message.  On completion it
+// schedules the pre-warm event for the predicted next invocation.
+
+#ifndef SRC_CLUSTER_CONTROLLER_H_
+#define SRC_CLUSTER_CONTROLLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/event_queue.h"
+#include "src/cluster/invoker.h"
+#include "src/cluster/latency_model.h"
+#include "src/policy/policy.h"
+#include "src/stats/p2_quantile.h"
+
+namespace faas {
+
+// How the controller picks an invoker for an activation.
+enum class LoadBalancingPolicy {
+  // Hash the app to a home invoker and fail over round-robin (OpenWhisk's
+  // co-primary scheme): maximises container reuse.
+  kAppAffinity,
+  // Send to the invoker with the most free memory: spreads load but breaks
+  // container affinity (more cold starts, fewer evictions).
+  kLeastLoaded,
+};
+
+class Controller {
+ public:
+  struct AppStats {
+    int64_t invocations = 0;
+    int64_t cold_starts = 0;
+    int64_t dropped = 0;  // No invoker could host the activation.
+  };
+
+  Controller(EventQueue* queue, std::vector<Invoker*> invokers,
+             const PolicyFactory& policy_factory, const LatencyModel& latency,
+             Rng rng, bool collect_latencies = true,
+             LoadBalancingPolicy load_balancing =
+                 LoadBalancingPolicy::kAppAffinity);
+
+  // Entry point for the trace replayer.
+  void OnInvocation(const std::string& app_id, const std::string& function_id,
+                    Duration execution, double memory_mb);
+
+  const std::unordered_map<std::string, AppStats>& app_stats() const {
+    return app_stats_;
+  }
+  int64_t total_dropped() const { return total_dropped_; }
+  const std::vector<double>& billed_execution_ms() const {
+    return billed_execution_ms_;
+  }
+  const std::vector<double>& end_to_end_latency_ms() const {
+    return end_to_end_latency_ms_;
+  }
+  // Streaming latency statistics, maintained in O(1) memory even when
+  // per-sample collection is disabled (P-square estimators).
+  double billed_mean_ms_stream() const {
+    return billed_count_ > 0 ? billed_sum_ms_ / static_cast<double>(billed_count_)
+                             : 0.0;
+  }
+  double billed_p50_ms_stream() const {
+    return billed_p50_.count() > 0 ? billed_p50_.Value() : 0.0;
+  }
+  double billed_p99_ms_stream() const {
+    return billed_p99_.count() > 0 ? billed_p99_.Value() : 0.0;
+  }
+  // Wall-clock cost of running the policy per invocation (Section 5.3's
+  // "policy overhead" measurement), microseconds.
+  double policy_overhead_mean_us() const;
+  double policy_overhead_max_us() const { return policy_overhead_max_us_; }
+  int64_t policy_invocations() const { return policy_invocations_; }
+
+ private:
+  struct AppState {
+    std::unique_ptr<KeepAlivePolicy> policy;
+    PolicyDecision decision;
+    TimePoint last_exec_end;
+    bool has_executed = false;
+    int64_t inflight = 0;
+    int home_invoker = 0;
+    double memory_mb = 128.0;  // Last-seen container footprint for pre-warms.
+    EventQueue::Handle prewarm_event;
+  };
+
+  AppState& GetOrCreateApp(const std::string& app_id);
+  void OnCompletion(const CompletionMessage& message);
+  // Tries the home invoker first (container affinity, like OpenWhisk's
+  // hash-based co-primary), then the rest round-robin.
+  bool Dispatch(AppState& state, const ActivationMessage& message);
+
+  EventQueue* queue_;
+  std::vector<Invoker*> invokers_;
+  const PolicyFactory& policy_factory_;
+  LatencyModel latency_;
+  Rng rng_;
+  bool collect_latencies_;
+  LoadBalancingPolicy load_balancing_;
+
+  std::unordered_map<std::string, AppState> apps_;
+  std::unordered_map<std::string, AppStats> app_stats_;
+  int64_t total_dropped_ = 0;
+  int64_t next_activation_id_ = 1;
+
+  std::vector<double> billed_execution_ms_;
+  std::vector<double> end_to_end_latency_ms_;
+  double billed_sum_ms_ = 0.0;
+  int64_t billed_count_ = 0;
+  P2Quantile billed_p50_{0.5};
+  P2Quantile billed_p99_{0.99};
+  double policy_overhead_total_us_ = 0.0;
+  double policy_overhead_max_us_ = 0.0;
+  int64_t policy_invocations_ = 0;
+};
+
+}  // namespace faas
+
+#endif  // SRC_CLUSTER_CONTROLLER_H_

@@ -1,0 +1,50 @@
+#include "src/cluster/event_queue.h"
+
+#include "src/common/logging.h"
+
+namespace faas {
+
+EventQueue::Handle EventQueue::Schedule(TimePoint at,
+                                        std::function<void()> action) {
+  FAAS_CHECK(at >= now_) << "scheduling into the past: " << at.ToString()
+                         << " < " << now_.ToString();
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{at, next_sequence_++, alive, std::move(action)});
+  return Handle(std::move(alive));
+}
+
+EventQueue::Handle EventQueue::ScheduleAfter(Duration delay,
+                                             std::function<void()> action) {
+  return Schedule(now_ + delay, std::move(action));
+}
+
+void EventQueue::RunUntil(TimePoint until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.at;
+    if (*event.alive) {
+      ++executed_;
+      event.action();
+    }
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+}
+
+void EventQueue::Run() {
+  // Drain the queue; the clock stops at the last executed event rather than
+  // jumping to infinity.
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.at;
+    if (*event.alive) {
+      ++executed_;
+      event.action();
+    }
+  }
+}
+
+}  // namespace faas

@@ -1,0 +1,79 @@
+// Discrete-event engine for the cluster simulator.
+//
+// A simple calendar queue: events are (time, sequence, closure) tuples,
+// executed in time order (FIFO among equal times).  Scheduling returns a
+// handle that can cancel the event (used for keep-alive unload timers that
+// are superseded by a new invocation).
+
+#ifndef SRC_CLUSTER_EVENT_QUEUE_H_
+#define SRC_CLUSTER_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace faas {
+
+class EventQueue {
+ public:
+  // Handle used to cancel a scheduled event.  Cancellation is lazy: the
+  // event stays in the queue but is skipped when popped.
+  class Handle {
+   public:
+    Handle() = default;
+    void Cancel() {
+      if (alive_) {
+        *alive_ = false;
+      }
+    }
+    bool IsValid() const { return alive_ != nullptr && *alive_; }
+
+   private:
+    friend class EventQueue;
+    explicit Handle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+    std::shared_ptr<bool> alive_;
+  };
+
+  TimePoint now() const { return now_; }
+
+  // Schedules `action` at absolute time `at` (must not be in the past).
+  Handle Schedule(TimePoint at, std::function<void()> action);
+  // Schedules `action` `delay` after the current time.
+  Handle ScheduleAfter(Duration delay, std::function<void()> action);
+
+  // Runs events until the queue is empty or the next event is after `until`.
+  void RunUntil(TimePoint until);
+  // Runs until the queue drains.
+  void Run();
+
+  size_t pending_events() const { return queue_.size(); }
+  int64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    int64_t sequence;
+    std::shared_ptr<bool> alive;
+    std::function<void()> action;
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) {
+        return at > other.at;
+      }
+      return sequence > other.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  TimePoint now_ = TimePoint::Origin();
+  int64_t next_sequence_ = 0;
+  int64_t executed_ = 0;
+};
+
+}  // namespace faas
+
+#endif  // SRC_CLUSTER_EVENT_QUEUE_H_

@@ -1,0 +1,111 @@
+// Invoker: a worker VM that runs function containers.
+//
+// Each invoker owns a pool of per-application containers with a memory
+// budget.  It executes activations (creating containers on the cold path),
+// enforces the keep-alive parameter received with each activation, services
+// pre-warm requests, and evicts idle containers under memory pressure.
+// Container-seconds of resident memory are integrated over time for the
+// Figure 20 memory-consumption comparison.
+
+#ifndef SRC_CLUSTER_INVOKER_H_
+#define SRC_CLUSTER_INVOKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "src/cluster/event_queue.h"
+#include "src/cluster/latency_model.h"
+#include "src/cluster/messages.h"
+#include "src/common/rng.h"
+
+namespace faas {
+
+class Invoker {
+ public:
+  using CompletionCallback = std::function<void(const CompletionMessage&)>;
+
+  Invoker(int id, double memory_capacity_mb, EventQueue* queue,
+          const LatencyModel& latency, Rng rng);
+
+  int id() const { return id_; }
+
+  void set_completion_callback(CompletionCallback callback) {
+    on_completion_ = std::move(callback);
+  }
+
+  // Handles one activation.  Returns false when the invoker cannot host the
+  // app even after evicting every idle container (the controller then tries
+  // another invoker).
+  bool HandleActivation(const ActivationMessage& message);
+
+  // Pre-warm request: load a container for the app (no-op if one is already
+  // resident) and arm its keep-alive.
+  bool HandlePrewarm(const PrewarmMessage& message);
+
+  // Fault injection: an unhealthy invoker rejects new activations and
+  // pre-warms, drops its idle containers immediately, and destroys busy ones
+  // as their executions finish (drain semantics — a VM being pulled from
+  // rotation).  Setting healthy again restores normal operation with an
+  // empty (cold) container pool.
+  void SetHealthy(bool healthy);
+  bool healthy() const { return healthy_; }
+
+  // --- Introspection / metrics ---
+  double memory_in_use_mb() const { return memory_in_use_mb_; }
+  double memory_capacity_mb() const { return memory_capacity_mb_; }
+  int resident_containers() const { return resident_containers_; }
+  int64_t cold_starts() const { return cold_starts_; }
+  int64_t warm_starts() const { return warm_starts_; }
+  int64_t evictions() const { return evictions_; }
+  int64_t prewarm_loads() const { return prewarm_loads_; }
+  // Integral of resident container memory over time, MB*seconds.  Call
+  // FinalizeAt once at the end of the run to close the integral.
+  double memory_mb_seconds() const { return memory_mb_seconds_; }
+  void FinalizeAt(TimePoint end);
+
+ private:
+  struct Container {
+    std::string app_id;
+    double memory_mb = 0.0;
+    bool busy = false;
+    TimePoint keepalive_deadline;
+    EventQueue::Handle unload_timer;
+  };
+  using ContainerList = std::list<Container>;
+
+  // Finds an idle resident container for the app, or returns nullptr.
+  Container* FindIdleContainer(const std::string& app_id);
+  // Creates a container, evicting idle ones if needed; nullptr on failure.
+  Container* CreateContainer(const std::string& app_id, double memory_mb);
+  void DestroyContainer(ContainerList::iterator it);
+  bool EvictIdleContainers(double needed_mb);
+  void ArmKeepAlive(ContainerList::iterator it, Duration keepalive);
+  void AccrueMemoryTime();
+
+  int id_;
+  bool healthy_ = true;
+  double memory_capacity_mb_;
+  EventQueue* queue_;
+  LatencyModel latency_;
+  Rng rng_;
+  CompletionCallback on_completion_;
+
+  ContainerList containers_;
+  std::unordered_map<std::string, int> resident_count_by_app_;
+
+  double memory_in_use_mb_ = 0.0;
+  int resident_containers_ = 0;
+  int64_t cold_starts_ = 0;
+  int64_t warm_starts_ = 0;
+  int64_t evictions_ = 0;
+  int64_t prewarm_loads_ = 0;
+  double memory_mb_seconds_ = 0.0;
+  TimePoint last_memory_change_;
+};
+
+}  // namespace faas
+
+#endif  // SRC_CLUSTER_INVOKER_H_

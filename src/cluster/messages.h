@@ -1,0 +1,59 @@
+// Message types exchanged between the controller and the invokers.
+//
+// Mirrors the paper's OpenWhisk changes (Section 4.3): the controller ships
+// the latest keep-alive parameter to the invoker inside the activation
+// message, and publishes explicit pre-warm messages; invokers enforce the
+// per-activation keep-alive instead of the hardwired 10-minute default.
+
+#ifndef SRC_CLUSTER_MESSAGES_H_
+#define SRC_CLUSTER_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/time.h"
+
+namespace faas {
+
+struct ActivationMessage {
+  int64_t activation_id = 0;
+  std::string app_id;
+  std::string function_id;
+  // Memory footprint of the app's container.
+  double memory_mb = 0.0;
+  // Pure function execution time (excludes any cold-start latency).
+  Duration execution;
+  // Keep-alive the invoker must apply after this execution ends; the field
+  // the paper added to OpenWhisk's ActivationMessage.
+  Duration keepalive;
+  // Whether the invoker should unload the container right after execution
+  // (the controller will schedule a pre-warm instead).
+  bool unload_after_execution = false;
+};
+
+struct PrewarmMessage {
+  std::string app_id;
+  double memory_mb = 0.0;
+  // Keep-alive counted from the pre-warm load.
+  Duration keepalive;
+};
+
+// Completion notification from invoker back to the controller.
+struct CompletionMessage {
+  int64_t activation_id = 0;
+  std::string app_id;
+  int invoker_id = -1;
+  bool cold_start = false;
+  TimePoint execution_end;
+  // End-to-end latency from activation arrival at the invoker to execution
+  // end (includes container init and runtime bootstrap on cold paths).
+  Duration total_latency;
+  // "Execution time" as the platform bills it: function run time plus the
+  // runtime bootstrap on cold starts (OpenWhisk's secondary effect that the
+  // hybrid policy's warm containers avoid).
+  Duration billed_execution;
+};
+
+}  // namespace faas
+
+#endif  // SRC_CLUSTER_MESSAGES_H_

@@ -1,0 +1,69 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace faas {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace log_internal {
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_log_level.load(std::memory_order_relaxed);
+}
+
+void EmitLog(LogLevel level, const char* file, int line,
+             const std::string& message) {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file),
+               line, message.c_str());
+}
+
+CheckFailure::CheckFailure(const char* file, int line, const char* condition)
+    : file_(file), line_(line), condition_(condition) {}
+
+CheckFailure::~CheckFailure() {
+  std::fprintf(stderr, "[FATAL %s:%d] check failed: %s %s\n", Basename(file_),
+               line_, condition_, stream_.str().c_str());
+  std::abort();
+}
+
+}  // namespace log_internal
+
+}  // namespace faas

@@ -1,0 +1,90 @@
+// Minimal leveled logging.
+//
+// The simulators run millions of events; logging must be cheap when disabled.
+// The FAAS_LOG macro evaluates its stream expression only when the level is
+// enabled, so disabled log lines cost one branch.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace faas {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Global threshold; messages below it are dropped.  Defaults to kWarning so
+// library users see problems but not chatter.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace log_internal {
+
+bool LogEnabled(LogLevel level);
+void EmitLog(LogLevel level, const char* file, int line, const std::string& message);
+
+// Collects one log statement's stream output and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLog(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define FAAS_LOG(level)                                                      \
+  if (!::faas::log_internal::LogEnabled(::faas::LogLevel::level)) {          \
+  } else                                                                     \
+    ::faas::log_internal::LogMessage(::faas::LogLevel::level, __FILE__,      \
+                                     __LINE__)                               \
+        .stream()
+
+#define FAAS_CHECK(condition)                                                \
+  if (condition) {                                                           \
+  } else                                                                     \
+    ::faas::log_internal::CheckFailure(__FILE__, __LINE__, #condition).stream()
+
+namespace log_internal {
+
+// Prints the failed condition and aborts when destroyed.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  [[noreturn]] ~CheckFailure();
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+}  // namespace faas
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,46 @@
+#include "src/common/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace faas {
+
+int HardwareThreads() {
+  const unsigned int n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                 int num_threads) {
+  if (num_threads == 0) {
+    num_threads = HardwareThreads();
+  }
+  if (num_threads <= 1 || count <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  const size_t workers =
+      std::min(static_cast<size_t>(num_threads), count);
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&]() {
+      while (true) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) {
+          return;
+        }
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+}
+
+}  // namespace faas

@@ -1,0 +1,29 @@
+// Minimal parallel-for over an index range.
+//
+// Policy evaluation is embarrassingly parallel across applications (each app
+// gets its own policy instance); this helper spreads an index range over a
+// fixed number of worker threads using an atomic work counter.  Results must
+// be written to pre-allocated, per-index slots so the output is identical to
+// the sequential run.
+
+#ifndef SRC_COMMON_PARALLEL_H_
+#define SRC_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace faas {
+
+// Invokes fn(i) for every i in [0, count), using `num_threads` workers.
+// num_threads <= 1 runs inline on the calling thread; 0 means "use the
+// hardware concurrency".  fn must be safe to call concurrently for distinct
+// indices.
+void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                 int num_threads);
+
+// Hardware concurrency with a sane floor of 1.
+int HardwareThreads();
+
+}  // namespace faas
+
+#endif  // SRC_COMMON_PARALLEL_H_

@@ -1,0 +1,86 @@
+#include "src/common/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace faas {
+
+std::vector<std::string_view> SplitString(std::string_view input, char delim) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(input.substr(start));
+      break;
+    }
+    parts.push_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view StripWhitespace(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(input[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1])) != 0) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::optional<double> ParseDouble(std::string_view input) {
+  input = StripWhitespace(input);
+  if (input.empty()) {
+    return std::nullopt;
+  }
+  // std::from_chars<double> is available in libstdc++ >= 11.
+  double value = 0.0;
+  const char* first = input.data();
+  const char* last = input.data() + input.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<int64_t> ParseInt64(std::string_view input) {
+  input = StripWhitespace(input);
+  if (input.empty()) {
+    return std::nullopt;
+  }
+  int64_t value = 0;
+  const char* first = input.data();
+  const char* last = input.data() + input.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) {
+      out.append(sep);
+    }
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+}  // namespace faas

@@ -1,0 +1,32 @@
+// Small string utilities used by the CSV trace readers/writers.
+
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faas {
+
+// Splits on every occurrence of `delim` (adjacent delimiters yield empty
+// fields, matching CSV semantics).
+std::vector<std::string_view> SplitString(std::string_view input, char delim);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+// Locale-independent numeric parsing; returns nullopt on any trailing junk.
+std::optional<double> ParseDouble(std::string_view input);
+std::optional<int64_t> ParseInt64(std::string_view input);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Joins the pieces with `sep` between them.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+}  // namespace faas
+
+#endif  // SRC_COMMON_STRINGS_H_

@@ -1,0 +1,34 @@
+#include "src/common/time.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace faas {
+
+std::string Duration::ToString() const {
+  char buf[64];
+  int64_t ms = millis_;
+  const char* sign = "";
+  if (ms < 0) {
+    sign = "-";
+    ms = -ms;
+  }
+  if (ms < 1000) {
+    std::snprintf(buf, sizeof(buf), "%s%" PRId64 "ms", sign, ms);
+  } else if (ms < 60'000) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fs", sign, static_cast<double>(ms) / 1e3);
+  } else if (ms < 3'600'000) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fmin", sign, static_cast<double>(ms) / 6e4);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.2fh", sign, static_cast<double>(ms) / 3.6e6);
+  }
+  return buf;
+}
+
+std::string TimePoint::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t+%.3fs", static_cast<double>(millis_) / 1e3);
+  return buf;
+}
+
+}  // namespace faas

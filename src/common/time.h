@@ -1,0 +1,137 @@
+// Strong time types for simulation.
+//
+// All simulation clocks in this project are integral milliseconds since the
+// start of the trace.  Using a dedicated pair of types (Duration for spans,
+// TimePoint for instants) instead of bare int64_t prevents the classic
+// instant-vs-span mixups, while staying trivially copyable and cheap enough
+// for the hot simulation loops.
+//
+// The millisecond tick is chosen because (a) the paper's invocation data is
+// binned at 1-minute granularity, so ms is far finer than any signal in the
+// input, and (b) cold-start latencies in the cluster model are O(10-100 ms)
+// and must be representable exactly.
+
+#ifndef SRC_COMMON_TIME_H_
+#define SRC_COMMON_TIME_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace faas {
+
+// A span of simulated time in integral milliseconds.  May be negative in
+// intermediate arithmetic, but most APIs expect non-negative spans.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(int64_t millis) : millis_(millis) {}
+
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms); }
+  static constexpr Duration Seconds(int64_t s) { return Duration(s * 1000); }
+  static constexpr Duration Minutes(int64_t m) { return Duration(m * 60'000); }
+  static constexpr Duration Hours(int64_t h) { return Duration(h * 3'600'000); }
+  static constexpr Duration Days(int64_t d) { return Duration(d * 86'400'000); }
+
+  // Fractional constructors, rounded to the nearest millisecond.
+  static constexpr Duration FromSecondsF(double s) {
+    return Duration(RoundToInt64(s * 1000.0));
+  }
+  static constexpr Duration FromMinutesF(double m) {
+    return Duration(RoundToInt64(m * 60'000.0));
+  }
+  static constexpr Duration FromHoursF(double h) {
+    return Duration(RoundToInt64(h * 3'600'000.0));
+  }
+
+  static constexpr Duration Zero() { return Duration(0); }
+  static constexpr Duration Max() {
+    return Duration(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t millis() const { return millis_; }
+  constexpr double seconds() const { return static_cast<double>(millis_) / 1e3; }
+  constexpr double minutes() const { return static_cast<double>(millis_) / 6e4; }
+  constexpr double hours() const { return static_cast<double>(millis_) / 3.6e6; }
+  constexpr double days() const { return static_cast<double>(millis_) / 8.64e7; }
+
+  constexpr bool IsZero() const { return millis_ == 0; }
+  constexpr bool IsNegative() const { return millis_ < 0; }
+
+  constexpr Duration operator+(Duration other) const {
+    return Duration(millis_ + other.millis_);
+  }
+  constexpr Duration operator-(Duration other) const {
+    return Duration(millis_ - other.millis_);
+  }
+  constexpr Duration operator*(double factor) const {
+    return Duration(RoundToInt64(static_cast<double>(millis_) * factor));
+  }
+  constexpr Duration operator/(int64_t divisor) const {
+    return Duration(millis_ / divisor);
+  }
+  constexpr double operator/(Duration other) const {
+    return static_cast<double>(millis_) / static_cast<double>(other.millis_);
+  }
+  constexpr Duration operator-() const { return Duration(-millis_); }
+
+  Duration& operator+=(Duration other) {
+    millis_ += other.millis_;
+    return *this;
+  }
+  Duration& operator-=(Duration other) {
+    millis_ -= other.millis_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  static constexpr int64_t RoundToInt64(double v) {
+    return static_cast<int64_t>(v >= 0 ? v + 0.5 : v - 0.5);
+  }
+
+  int64_t millis_ = 0;
+};
+
+// An instant of simulated time: milliseconds since the start of the trace.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(int64_t millis) : millis_(millis) {}
+
+  static constexpr TimePoint Origin() { return TimePoint(0); }
+  static constexpr TimePoint Max() {
+    return TimePoint(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t millis_since_origin() const { return millis_; }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(millis_ + d.millis());
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint(millis_ - d.millis());
+  }
+  constexpr Duration operator-(TimePoint other) const {
+    return Duration(millis_ - other.millis_);
+  }
+
+  TimePoint& operator+=(Duration d) {
+    millis_ += d.millis();
+    return *this;
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  int64_t millis_ = 0;
+};
+
+}  // namespace faas
+
+#endif  // SRC_COMMON_TIME_H_

@@ -1,0 +1,152 @@
+#include "src/policy/hybrid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace faas {
+
+HybridHistogramPolicy::HybridHistogramPolicy(HybridPolicyConfig config)
+    : config_(std::move(config)),
+      histogram_(config_.bin_width, config_.num_bins) {
+  FAAS_CHECK(config_.head_percentile >= 0.0 &&
+             config_.head_percentile <= config_.tail_percentile &&
+             config_.tail_percentile <= 100.0)
+      << "invalid percentile cutoffs";
+}
+
+void HybridHistogramPolicy::RecordIdleTime(Duration idle_time) {
+  histogram_.Add(idle_time);
+  if (config_.enable_arima) {
+    it_history_minutes_.push_back(idle_time.minutes());
+    while (it_history_minutes_.size() > config_.arima_history_limit) {
+      it_history_minutes_.pop_front();
+    }
+  }
+}
+
+bool HybridHistogramPolicy::HistogramIsRepresentative() const {
+  if (histogram_.in_bounds_count() < config_.min_histogram_samples) {
+    return false;
+  }
+  return histogram_.BinCountCv() >= config_.cv_threshold;
+}
+
+bool HybridHistogramPolicy::ShouldUseArima() const {
+  if (!config_.enable_arima) {
+    return false;
+  }
+  if (histogram_.total_count() <
+      static_cast<int64_t>(config_.arima_min_observations)) {
+    return false;
+  }
+  return histogram_.OutOfBoundsFraction() > config_.oob_threshold;
+}
+
+PolicyDecision ComputeWindowsFromHistogram(
+    const RangeLimitedHistogram& histogram, const HybridPolicyConfig& config) {
+  const Duration head = histogram.PercentileLowerEdge(config.head_percentile);
+  const Duration tail = histogram.PercentileUpperEdge(config.tail_percentile);
+
+  PolicyDecision decision;
+  if (!config.enable_prewarm || head.IsZero()) {
+    // Head rounded down to zero (centre column of Figure 12): do not unload;
+    // keep alive until the tail cutoff, inflated by the margin.
+    decision.prewarm_window = Duration::Zero();
+    decision.keepalive_window = tail * (1.0 + config.keepalive_margin);
+  } else {
+    decision.prewarm_window = head * (1.0 - config.prewarm_margin);
+    const Duration keepalive_end = tail * (1.0 + config.keepalive_margin);
+    decision.keepalive_window = keepalive_end - decision.prewarm_window;
+    if (decision.keepalive_window.IsNegative()) {
+      decision.keepalive_window = Duration::Zero();
+    }
+  }
+  return decision;
+}
+
+PolicyDecision HybridHistogramPolicy::DecideFromHistogram() {
+  return ComputeWindowsFromHistogram(histogram_, config_);
+}
+
+PolicyDecision HybridHistogramPolicy::DecideStandardKeepAlive() {
+  // Conservative: stay loaded for the entire histogram range so the
+  // histogram can learn the pattern with few cold starts.
+  return {Duration::Zero(), config_.HistogramRange()};
+}
+
+PolicyDecision HybridHistogramPolicy::DecideFromArima() {
+  const std::vector<double> series(it_history_minutes_.begin(),
+                                   it_history_minutes_.end());
+  const std::optional<ArimaModel> model =
+      AutoArima(series, config_.arima_options);
+  if (!model.has_value()) {
+    return DecideStandardKeepAlive();
+  }
+  const double predicted_minutes = model->ForecastOne();
+  if (!std::isfinite(predicted_minutes) || predicted_minutes <= 0.0) {
+    return DecideStandardKeepAlive();
+  }
+
+  // Half-width of the window around the prediction: a fixed fraction by
+  // default (the paper's 15%), optionally widened to +-z forecast standard
+  // errors when confidence-aware margins are enabled.
+  double half_width_minutes = config_.arima_margin * predicted_minutes;
+  if (config_.arima_use_confidence) {
+    const auto intervals = model->ForecastWithErrors(1);
+    const double z_width = config_.arima_confidence_z * intervals[0].stderr_;
+    half_width_minutes = std::max(half_width_minutes, z_width);
+    // Never wider than the prediction itself (a pre-warm window below zero
+    // would degenerate into never unloading).
+    half_width_minutes = std::min(half_width_minutes, predicted_minutes);
+  }
+
+  PolicyDecision decision;
+  decision.prewarm_window =
+      Duration::FromMinutesF(predicted_minutes - half_width_minutes);
+  decision.keepalive_window = Duration::FromMinutesF(2.0 * half_width_minutes);
+  if (decision.prewarm_window.IsNegative()) {
+    decision.prewarm_window = Duration::Zero();
+  }
+  return decision;
+}
+
+PolicyDecision HybridHistogramPolicy::NextWindows() {
+  if (ShouldUseArima()) {
+    last_decision_ = DecisionKind::kArima;
+    ++decisions_by_arima_;
+    return DecideFromArima();
+  }
+  if (HistogramIsRepresentative()) {
+    last_decision_ = DecisionKind::kHistogram;
+    ++decisions_by_histogram_;
+    return DecideFromHistogram();
+  }
+  last_decision_ = DecisionKind::kStandardKeepAlive;
+  ++decisions_by_standard_;
+  return DecideStandardKeepAlive();
+}
+
+std::string HybridHistogramPolicy::name() const {
+  char buf[112];
+  std::snprintf(buf, sizeof(buf), "hybrid[%g,%g] range=%dmin cv=%g%s%s",
+                config_.head_percentile, config_.tail_percentile,
+                static_cast<int>(config_.HistogramRange().minutes()),
+                config_.cv_threshold, config_.enable_arima ? "" : " no-arima",
+                config_.enable_prewarm ? "" : " no-prewarm");
+  return buf;
+}
+
+size_t HybridHistogramPolicy::ApproximateSizeBytes() const {
+  return sizeof(*this) + histogram_.ApproximateSizeBytes() +
+         it_history_minutes_.size() * sizeof(double);
+}
+
+std::string HybridPolicyFactory::name() const {
+  return HybridHistogramPolicy(config_).name();
+}
+
+}  // namespace faas

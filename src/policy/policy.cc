@@ -1,0 +1,22 @@
+#include "src/policy/policy.h"
+
+#include <cstdio>
+
+namespace faas {
+
+namespace {
+
+std::string FixedName(Duration keepalive) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "fixed-%dmin",
+                static_cast<int>(keepalive.minutes()));
+  return buf;
+}
+
+}  // namespace
+
+std::string FixedKeepAlivePolicy::name() const { return FixedName(keepalive_); }
+
+std::string FixedKeepAliveFactory::name() const { return FixedName(keepalive_); }
+
+}  // namespace faas

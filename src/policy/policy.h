@@ -1,0 +1,125 @@
+// Keep-alive / pre-warming policy interface (Section 4).
+//
+// A policy governs two per-application parameters, re-decided after every
+// function execution:
+//   - pre-warming window: how long after an execution ends the app image is
+//     unloaded before being re-loaded in anticipation of the next invocation
+//     (0 = never unload after the execution);
+//   - keep-alive window: how long the image stays loaded after the load
+//     event (the execution end when pre-warm = 0, else the pre-warm load).
+//
+// Policies are instantiated per application (the unit of scheduling and
+// memory allocation); a PolicyFactory stamps out per-app instances so the
+// simulators can evaluate any policy uniformly.
+
+#ifndef SRC_POLICY_POLICY_H_
+#define SRC_POLICY_POLICY_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/time.h"
+
+namespace faas {
+
+struct PolicyDecision {
+  // Time to wait after execution end before re-loading the app image.
+  // Zero means "do not unload".
+  Duration prewarm_window = Duration::Zero();
+  // Time the image stays loaded counted from the load instant.
+  // Duration::Max() means "never unload" (no-unloading policy).
+  Duration keepalive_window = Duration::Zero();
+
+  bool KeepsLoadedForever() const {
+    return prewarm_window.IsZero() && keepalive_window == Duration::Max();
+  }
+};
+
+class KeepAlivePolicy {
+ public:
+  virtual ~KeepAlivePolicy() = default;
+
+  // Observes one completed idle period: the time between the end of an
+  // execution and the next invocation of the same application.
+  virtual void RecordIdleTime(Duration idle_time) = 0;
+
+  // As above, with the absolute trace time of the invocation.  Policies that
+  // keep time-partitioned state (the production daily-histogram policy)
+  // override this; the default ignores the timestamp.
+  virtual void RecordIdleTimeAt(TimePoint /*now*/, Duration idle_time) {
+    RecordIdleTime(idle_time);
+  }
+
+  // Decides the windows for the upcoming idle period.  Called when the
+  // application transitions from executing to idle.
+  virtual PolicyDecision NextWindows() = 0;
+
+  virtual std::string name() const = 0;
+
+  // Per-application metadata footprint, for the tracking-overhead analysis
+  // (design challenge #4).
+  virtual size_t ApproximateSizeBytes() const { return sizeof(*this); }
+};
+
+class PolicyFactory {
+ public:
+  virtual ~PolicyFactory() = default;
+  virtual std::unique_ptr<KeepAlivePolicy> CreateForApp() const = 0;
+  virtual std::string name() const = 0;
+};
+
+// ---- Fixed keep-alive (the state of the practice) -------------------------
+// AWS keeps images ~10 minutes, Azure ~20, OpenWhisk defaults to 10; all
+// ignore the app's invocation pattern.  Pre-warming window is always 0.
+class FixedKeepAlivePolicy final : public KeepAlivePolicy {
+ public:
+  explicit FixedKeepAlivePolicy(Duration keepalive)
+      : keepalive_(keepalive) {}
+
+  void RecordIdleTime(Duration) override {}
+  PolicyDecision NextWindows() override {
+    return {Duration::Zero(), keepalive_};
+  }
+  std::string name() const override;
+
+ private:
+  Duration keepalive_;
+};
+
+class FixedKeepAliveFactory final : public PolicyFactory {
+ public:
+  explicit FixedKeepAliveFactory(Duration keepalive)
+      : keepalive_(keepalive) {}
+
+  std::unique_ptr<KeepAlivePolicy> CreateForApp() const override {
+    return std::make_unique<FixedKeepAlivePolicy>(keepalive_);
+  }
+  std::string name() const override;
+
+ private:
+  Duration keepalive_;
+};
+
+// ---- No unloading ----------------------------------------------------------
+// Keeps every image resident forever: zero cold starts after the first
+// invocation, unbounded memory cost.  The paper's upper-bound baseline.
+class NoUnloadPolicy final : public KeepAlivePolicy {
+ public:
+  void RecordIdleTime(Duration) override {}
+  PolicyDecision NextWindows() override {
+    return {Duration::Zero(), Duration::Max()};
+  }
+  std::string name() const override { return "no-unloading"; }
+};
+
+class NoUnloadFactory final : public PolicyFactory {
+ public:
+  std::unique_ptr<KeepAlivePolicy> CreateForApp() const override {
+    return std::make_unique<NoUnloadPolicy>();
+  }
+  std::string name() const override { return "no-unloading"; }
+};
+
+}  // namespace faas
+
+#endif  // SRC_POLICY_POLICY_H_

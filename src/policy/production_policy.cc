@@ -1,0 +1,75 @@
+#include "src/policy/production_policy.h"
+
+#include <cstdio>
+
+namespace faas {
+
+ProductionHybridPolicy::ProductionHybridPolicy(ProductionPolicyConfig config)
+    : config_(std::move(config)), store_(config_.store) {}
+
+void ProductionHybridPolicy::RecordIdleTime(Duration idle_time) {
+  // Callers without a clock land on the most recently seen day.
+  RecordIdleTimeAt(last_seen_, idle_time);
+}
+
+void ProductionHybridPolicy::RecordIdleTimeAt(TimePoint now,
+                                              Duration idle_time) {
+  if (now > last_seen_) {
+    last_seen_ = now;
+  }
+  store_.RecordIdleTime(last_seen_, idle_time);
+}
+
+PolicyDecision ProductionHybridPolicy::NextWindows() {
+  const RangeLimitedHistogram aggregate = store_.Aggregate();
+  const bool representative =
+      aggregate.in_bounds_count() >= config_.hybrid.min_histogram_samples &&
+      aggregate.BinCountCv() >= config_.hybrid.cv_threshold;
+  if (!representative) {
+    return {Duration::Zero(), config_.hybrid.HistogramRange()};
+  }
+  PolicyDecision decision =
+      ComputeWindowsFromHistogram(aggregate, config_.hybrid);
+  // Pre-warm a fixed safety margin early (90s in the production rollout);
+  // widen the keep-alive window by the same amount so its end is unchanged.
+  if (!decision.prewarm_window.IsZero()) {
+    const Duration shift =
+        decision.prewarm_window < config_.prewarm_safety
+            ? decision.prewarm_window
+            : config_.prewarm_safety;
+    decision.prewarm_window -= shift;
+    decision.keepalive_window += shift;
+  }
+  return decision;
+}
+
+bool ProductionHybridPolicy::Restore(const std::string& data) {
+  auto restored = DailyHistogramStore::Deserialize(data);
+  if (!restored.has_value()) {
+    return false;
+  }
+  store_ = std::move(*restored);
+  return true;
+}
+
+std::string ProductionHybridPolicy::name() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "production-hybrid[%g,%g] days=%d decay=%g",
+                config_.hybrid.head_percentile, config_.hybrid.tail_percentile,
+                config_.store.retention_days, config_.store.day_weight_decay);
+  return buf;
+}
+
+size_t ProductionHybridPolicy::ApproximateSizeBytes() const {
+  return sizeof(*this) +
+         static_cast<size_t>(store_.retained_days()) *
+             (static_cast<size_t>(config_.store.num_bins) * sizeof(int64_t) +
+              64);
+}
+
+std::string ProductionPolicyFactory::name() const {
+  return ProductionHybridPolicy(config_).name();
+}
+
+}  // namespace faas

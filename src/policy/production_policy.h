@@ -1,0 +1,78 @@
+// Production-style hybrid policy (Section 6).
+//
+// The variant rolled out in Azure Functions for HTTP-triggered apps: idle
+// times go into per-day histograms (DailyHistogramStore) so that pattern
+// changes are tracked day over day; windows come from the weighted aggregate
+// of the retained days; the pre-warm event is scheduled a fixed safety
+// margin EARLY (90 seconds in production) because some initialisation work
+// can only happen when the real invocation arrives; and all state survives
+// controller restarts via serialization (the hourly database backup).
+//
+// Differences from HybridHistogramPolicy: no ARIMA branch (the production
+// rollout described in the paper covers the histogram + conservative
+// fallback path), and time-aware idle-time recording.
+
+#ifndef SRC_POLICY_PRODUCTION_POLICY_H_
+#define SRC_POLICY_PRODUCTION_POLICY_H_
+
+#include <memory>
+#include <string>
+
+#include "src/policy/hybrid.h"
+#include "src/policy/policy.h"
+#include "src/policy/production_store.h"
+
+namespace faas {
+
+struct ProductionPolicyConfig {
+  HybridPolicyConfig hybrid;
+  DailyStoreConfig store;
+  // Scheduled pre-warms fire this much before the computed instant.
+  Duration prewarm_safety = Duration::Seconds(90);
+
+  ProductionPolicyConfig() {
+    // Keep the store geometry in lockstep with the window computation.
+    store.bin_width = hybrid.bin_width;
+    store.num_bins = hybrid.num_bins;
+  }
+};
+
+class ProductionHybridPolicy final : public KeepAlivePolicy {
+ public:
+  explicit ProductionHybridPolicy(ProductionPolicyConfig config);
+
+  void RecordIdleTime(Duration idle_time) override;
+  void RecordIdleTimeAt(TimePoint now, Duration idle_time) override;
+  PolicyDecision NextWindows() override;
+  std::string name() const override;
+  size_t ApproximateSizeBytes() const override;
+
+  const DailyHistogramStore& store() const { return store_; }
+
+  // Backup / restore of the policy state (Section 6's hourly DB backup).
+  std::string Backup() const { return store_.Serialize(); }
+  bool Restore(const std::string& data);
+
+ private:
+  ProductionPolicyConfig config_;
+  DailyHistogramStore store_;
+  TimePoint last_seen_ = TimePoint::Origin();
+};
+
+class ProductionPolicyFactory final : public PolicyFactory {
+ public:
+  explicit ProductionPolicyFactory(ProductionPolicyConfig config = {})
+      : config_(std::move(config)) {}
+
+  std::unique_ptr<KeepAlivePolicy> CreateForApp() const override {
+    return std::make_unique<ProductionHybridPolicy>(config_);
+  }
+  std::string name() const override;
+
+ private:
+  ProductionPolicyConfig config_;
+};
+
+}  // namespace faas
+
+#endif  // SRC_POLICY_PRODUCTION_POLICY_H_

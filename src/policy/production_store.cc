@@ -1,0 +1,167 @@
+#include "src/policy/production_store.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace faas {
+
+DailyHistogramStore::DailyHistogramStore(DailyStoreConfig config)
+    : config_(config) {
+  FAAS_CHECK(config_.retention_days >= 1) << "retention must be at least a day";
+  FAAS_CHECK(config_.day_weight_decay > 0.0 && config_.day_weight_decay <= 1.0)
+      << "day weight decay must be in (0, 1]";
+}
+
+void DailyHistogramStore::RollTo(int64_t day_index) {
+  while (!has_current_day_ || days_.front().day_index < day_index) {
+    const int64_t next =
+        has_current_day_ ? days_.front().day_index + 1 : day_index;
+    days_.push_front(
+        Day{next, RangeLimitedHistogram(config_.bin_width, config_.num_bins)});
+    has_current_day_ = true;
+  }
+  while (static_cast<int>(days_.size()) > config_.retention_days) {
+    days_.pop_back();
+  }
+}
+
+void DailyHistogramStore::RecordIdleTime(TimePoint now, Duration idle_time) {
+  const int64_t day_index = now.millis_since_origin() / 86'400'000;
+  FAAS_CHECK(!has_current_day_ || day_index >= days_.front().day_index)
+      << "time moved backwards across days";
+  RollTo(day_index);
+  days_.front().histogram.Add(idle_time);
+}
+
+RangeLimitedHistogram DailyHistogramStore::Aggregate() const {
+  RangeLimitedHistogram aggregate(config_.bin_width, config_.num_bins);
+  double weight = 1.0;
+  for (const Day& day : days_) {
+    // Weighted merge: replicate each day's bins `round(weight * count)`
+    // times.  With decay = 1 this is a plain merge.
+    if (weight >= 0.999999) {
+      aggregate.MergeFrom(day.histogram);
+    } else {
+      RangeLimitedHistogram scaled(config_.bin_width, config_.num_bins);
+      const auto& bins = day.histogram.bins();
+      for (int b = 0; b < day.histogram.num_bins(); ++b) {
+        const auto scaled_count = static_cast<int64_t>(
+            std::llround(weight * static_cast<double>(bins[static_cast<size_t>(b)])));
+        for (int64_t k = 0; k < scaled_count; ++k) {
+          scaled.Add(config_.bin_width * static_cast<int64_t>(b));
+        }
+      }
+      // OOB counts scale the same way.
+      const auto scaled_oob = static_cast<int64_t>(std::llround(
+          weight * static_cast<double>(day.histogram.oob_count())));
+      for (int64_t k = 0; k < scaled_oob; ++k) {
+        scaled.Add(config_.bin_width * static_cast<int64_t>(config_.num_bins));
+      }
+      aggregate.MergeFrom(scaled);
+    }
+    weight *= config_.day_weight_decay;
+  }
+  return aggregate;
+}
+
+int64_t DailyHistogramStore::total_observations() const {
+  int64_t total = 0;
+  for (const Day& day : days_) {
+    total += day.histogram.total_count();
+  }
+  return total;
+}
+
+std::string DailyHistogramStore::Serialize() const {
+  std::ostringstream out;
+  out << "dailystore v1 " << config_.bin_width.millis() << ' '
+      << config_.num_bins << ' ' << config_.retention_days << ' '
+      << config_.day_weight_decay << '\n';
+  for (const Day& day : days_) {
+    out << "day " << day.day_index << " oob " << day.histogram.oob_count();
+    const auto& bins = day.histogram.bins();
+    // Sparse encoding: only non-empty bins.
+    for (int b = 0; b < day.histogram.num_bins(); ++b) {
+      if (bins[static_cast<size_t>(b)] > 0) {
+        out << ' ' << b << ':' << bins[static_cast<size_t>(b)];
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::optional<DailyHistogramStore> DailyHistogramStore::Deserialize(
+    const std::string& data) {
+  std::istringstream in(data);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return std::nullopt;
+  }
+  const auto header = SplitString(line, ' ');
+  if (header.size() != 6 || header[0] != "dailystore" || header[1] != "v1") {
+    return std::nullopt;
+  }
+  const auto bin_ms = ParseInt64(header[2]);
+  const auto num_bins = ParseInt64(header[3]);
+  const auto retention = ParseInt64(header[4]);
+  const auto decay = ParseDouble(header[5]);
+  if (!bin_ms || !num_bins || !retention || !decay || *bin_ms <= 0 ||
+      *num_bins <= 0 || *retention <= 0 || *decay <= 0.0 || *decay > 1.0) {
+    return std::nullopt;
+  }
+  DailyStoreConfig config;
+  config.bin_width = Duration::Millis(*bin_ms);
+  config.num_bins = static_cast<int>(*num_bins);
+  config.retention_days = static_cast<int>(*retention);
+  config.day_weight_decay = *decay;
+  DailyHistogramStore store(config);
+
+  while (std::getline(in, line)) {
+    if (StripWhitespace(line).empty()) {
+      continue;
+    }
+    const auto fields = SplitString(line, ' ');
+    if (fields.size() < 4 || fields[0] != "day" || fields[2] != "oob") {
+      return std::nullopt;
+    }
+    const auto day_index = ParseInt64(fields[1]);
+    const auto oob = ParseInt64(fields[3]);
+    if (!day_index || !oob || *oob < 0) {
+      return std::nullopt;
+    }
+    Day day{*day_index,
+            RangeLimitedHistogram(config.bin_width, config.num_bins)};
+    for (size_t i = 4; i < fields.size(); ++i) {
+      const auto parts = SplitString(fields[i], ':');
+      if (parts.size() != 2) {
+        return std::nullopt;
+      }
+      const auto bin = ParseInt64(parts[0]);
+      const auto count = ParseInt64(parts[1]);
+      if (!bin || !count || *bin < 0 || *bin >= config.num_bins ||
+          *count < 0) {
+        return std::nullopt;
+      }
+      for (int64_t k = 0; k < *count; ++k) {
+        day.histogram.Add(config.bin_width * *bin);
+      }
+    }
+    for (int64_t k = 0; k < *oob; ++k) {
+      day.histogram.Add(config.bin_width * static_cast<int64_t>(config.num_bins));
+    }
+    // Days are serialized most-recent first; append preserves the order.
+    if (!store.days_.empty() &&
+        store.days_.back().day_index <= day.day_index) {
+      return std::nullopt;  // Must be strictly decreasing.
+    }
+    store.days_.push_back(std::move(day));
+    store.has_current_day_ = true;
+  }
+  return store;
+}
+
+}  // namespace faas

@@ -1,0 +1,81 @@
+// Production-style histogram store (Section 6).
+//
+// The Azure Functions production implementation keeps one idle-time
+// histogram PER DAY per application (a bucket of 240 integers, 960 bytes),
+// backs them up hourly to a database, discards histograms older than two
+// weeks, and aggregates the retained days — optionally weighting recent days
+// more — to compute the pre-warm/keep-alive windows.  Starting a fresh
+// histogram each day lets the system track invocation-pattern changes.
+//
+// This module reproduces that design on top of RangeLimitedHistogram:
+// DailyHistogramStore manages the per-day ring, exponential day weighting,
+// retention, and a text serialization format standing in for the database
+// backup.
+
+#ifndef SRC_POLICY_PRODUCTION_STORE_H_
+#define SRC_POLICY_PRODUCTION_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "src/common/time.h"
+#include "src/stats/histogram.h"
+
+namespace faas {
+
+struct DailyStoreConfig {
+  Duration bin_width = Duration::Minutes(1);
+  int num_bins = 240;
+  // Histograms older than this many days are dropped (paper: 2 weeks).
+  int retention_days = 14;
+  // Aggregation weight of day d (0 = today) is decay^d; 1.0 weighs all
+  // retained days equally, smaller values favour recent behaviour ("we can
+  // potentially use these daily histograms in a weighted fashion").
+  double day_weight_decay = 1.0;
+};
+
+class DailyHistogramStore {
+ public:
+  explicit DailyHistogramStore(DailyStoreConfig config = {});
+
+  // Records one idle time observed at absolute trace time `now`.  Rolls to a
+  // new daily histogram (and applies retention) when `now` crosses a day
+  // boundary.
+  void RecordIdleTime(TimePoint now, Duration idle_time);
+
+  // Aggregated view across retained days with the configured day weighting.
+  // Weighted counts are rounded to integers (minimum 1 for non-empty bins)
+  // so percentile queries behave like the plain histogram's.
+  RangeLimitedHistogram Aggregate() const;
+
+  int retained_days() const { return static_cast<int>(days_.size()); }
+  int64_t total_observations() const;
+
+  // --- Backup / restore (stand-in for the hourly database backup) ---------
+  // Serializes the store into a line-oriented text format.
+  std::string Serialize() const;
+  // Restores a store from Serialize() output; nullopt on parse failure.
+  static std::optional<DailyHistogramStore> Deserialize(
+      const std::string& data);
+
+  const DailyStoreConfig& config() const { return config_; }
+
+ private:
+  struct Day {
+    int64_t day_index = 0;
+    RangeLimitedHistogram histogram;
+  };
+
+  void RollTo(int64_t day_index);
+
+  DailyStoreConfig config_;
+  // Most recent day at the front.
+  std::deque<Day> days_;
+  bool has_current_day_ = false;
+};
+
+}  // namespace faas
+
+#endif  // SRC_POLICY_PRODUCTION_STORE_H_

@@ -1,0 +1,164 @@
+#include "src/sim/cache_sim.h"
+
+#include <algorithm>
+#include <list>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+#include "src/stats/descriptive.h"
+
+namespace faas {
+
+namespace {
+
+struct GlobalEvent {
+  TimePoint time;
+  size_t app_index;
+};
+
+struct CacheEntry {
+  size_t app_index;
+  double memory_mb;
+  TimePoint last_use;
+  int64_t hits;
+};
+
+}  // namespace
+
+CacheSimResult LazyCacheSimulator::Run(const Trace& trace) const {
+  FAAS_CHECK(options_.budget_mb > 0.0) << "cache budget must be positive";
+
+  // Flatten all invocations into one time-ordered stream.
+  std::vector<GlobalEvent> events;
+  events.reserve(static_cast<size_t>(trace.TotalInvocations()));
+  for (size_t a = 0; a < trace.apps.size(); ++a) {
+    for (const FunctionTrace& function : trace.apps[a].functions) {
+      for (TimePoint t : function.invocations) {
+        events.push_back({t, a});
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const GlobalEvent& x, const GlobalEvent& y) {
+                     return x.time < y.time;
+                   });
+
+  CacheSimResult result;
+  result.apps.resize(trace.apps.size());
+  for (size_t a = 0; a < trace.apps.size(); ++a) {
+    result.apps[a].app_id = trace.apps[a].app_id;
+  }
+
+  // LRU list: most recent at the front.  The map holds list iterators.
+  std::list<CacheEntry> lru;
+  std::unordered_map<size_t, std::list<CacheEntry>::iterator> resident;
+  double resident_mb = 0.0;
+  double resident_mb_time_integral = 0.0;  // MB * ms.
+  TimePoint last_event_time = TimePoint::Origin();
+
+  const auto footprint = [&](size_t app_index) {
+    return options_.use_app_memory
+               ? std::max(trace.apps[app_index].memory.average_mb, 1.0)
+               : 1.0;
+  };
+
+  const auto evict_one = [&]() -> bool {
+    if (lru.empty()) {
+      return false;
+    }
+    auto victim = std::prev(lru.end());
+    if (options_.eviction == CacheEvictionPolicy::kLeastFrequent) {
+      for (auto it = lru.begin(); it != lru.end(); ++it) {
+        if (it->hits < victim->hits ||
+            (it->hits == victim->hits && it->last_use < victim->last_use)) {
+          victim = it;
+        }
+      }
+    }
+    resident_mb -= victim->memory_mb;
+    resident.erase(victim->app_index);
+    lru.erase(victim);
+    ++result.total_evictions;
+    return true;
+  };
+
+  for (const GlobalEvent& event : events) {
+    // Advance the clock: everything resident was idle in the interim (the
+    // simulation follows the paper's zero-execution-time convention, so all
+    // resident time between events is idle time).
+    const Duration elapsed = event.time - last_event_time;
+    if (!elapsed.IsNegative()) {
+      resident_mb_time_integral +=
+          resident_mb * static_cast<double>(elapsed.millis());
+    }
+    last_event_time = event.time;
+
+    CacheAppResult& app_result = result.apps[event.app_index];
+    ++app_result.invocations;
+    ++result.total_invocations;
+
+    const auto it = resident.find(event.app_index);
+    if (it != resident.end()) {
+      // Warm hit: refresh recency.
+      it->second->last_use = event.time;
+      ++it->second->hits;
+      lru.splice(lru.begin(), lru, it->second);
+      continue;
+    }
+
+    // Miss: cold start, load the app, evicting until it fits.
+    ++app_result.cold_starts;
+    ++result.total_cold_starts;
+    const double needed = footprint(event.app_index);
+    if (needed > options_.budget_mb) {
+      continue;  // Larger than the whole cache: executes but never cached.
+    }
+    while (resident_mb + needed > options_.budget_mb) {
+      if (!evict_one()) {
+        break;
+      }
+    }
+    lru.push_front(CacheEntry{event.app_index, needed, event.time, 1});
+    resident.emplace(event.app_index, lru.begin());
+    resident_mb += needed;
+    result.peak_resident_mb = std::max(result.peak_resident_mb, resident_mb);
+  }
+
+  // Tail: resident memory stays idle until the end of the trace.
+  const TimePoint horizon_end = TimePoint::Origin() + trace.horizon;
+  if (horizon_end > last_event_time) {
+    resident_mb_time_integral +=
+        resident_mb *
+        static_cast<double>((horizon_end - last_event_time).millis());
+  }
+
+  result.wasted_memory_mb_minutes = resident_mb_time_integral / 60'000.0;
+  const double horizon_ms = static_cast<double>(trace.horizon.millis());
+  result.avg_resident_mb =
+      horizon_ms > 0.0 ? resident_mb_time_integral / horizon_ms : 0.0;
+  return result;
+}
+
+double CacheSimResult::AppColdStartPercentile(double pct) const {
+  FAAS_CHECK(!apps.empty()) << "no apps simulated";
+  std::vector<double> percentages;
+  percentages.reserve(apps.size());
+  for (const auto& app : apps) {
+    if (app.invocations > 0) {
+      percentages.push_back(app.ColdStartPercent());
+    }
+  }
+  return Percentile(percentages, pct);
+}
+
+Ecdf CacheSimResult::AppColdStartEcdf() const {
+  std::vector<double> percentages;
+  for (const auto& app : apps) {
+    if (app.invocations > 0) {
+      percentages.push_back(app.ColdStartPercent());
+    }
+  }
+  return Ecdf(std::move(percentages));
+}
+
+}  // namespace faas

@@ -1,0 +1,82 @@
+// Lazy-caching baseline (Section 7, "Cache management").
+//
+// The paper contrasts its eager keep-alive policy with classical lazy
+// caches, which free space only on demand: applications stay loaded until
+// the memory budget is exhausted and a victim must be evicted.  This
+// simulator implements that alternative over the same traces so the
+// trade-off can be measured rather than argued: under a given global memory
+// budget, a lazy LRU cache gets cold starts whenever an app was evicted,
+// and its resident-but-idle memory is pinned near the budget, whereas the
+// eager policies free memory proactively.
+//
+// Unlike the per-app ColdStartSimulator, this is a global simulation: all
+// apps' invocations are replayed in one time-ordered stream against a
+// shared cache.
+
+#ifndef SRC_SIM_CACHE_SIM_H_
+#define SRC_SIM_CACHE_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/stats/ecdf.h"
+#include "src/trace/types.h"
+
+namespace faas {
+
+enum class CacheEvictionPolicy {
+  kLru,             // Evict the least-recently-used idle app.
+  kLeastFrequent,   // Evict the app with the fewest hits so far (LFU).
+};
+
+struct CacheSimOptions {
+  // Global memory budget in MB.  Apps larger than the budget always miss.
+  double budget_mb = 0.0;
+  CacheEvictionPolicy eviction = CacheEvictionPolicy::kLru;
+  // Treat each app's footprint as its average allocated memory; when false,
+  // every app counts 1 MB (the paper's equal-memory assumption).
+  bool use_app_memory = true;
+};
+
+struct CacheAppResult {
+  std::string app_id;
+  int64_t invocations = 0;
+  int64_t cold_starts = 0;  // First touch or touch-after-eviction.
+
+  double ColdStartPercent() const {
+    return invocations > 0 ? 100.0 * static_cast<double>(cold_starts) /
+                                 static_cast<double>(invocations)
+                           : 0.0;
+  }
+};
+
+struct CacheSimResult {
+  std::vector<CacheAppResult> apps;
+  int64_t total_invocations = 0;
+  int64_t total_cold_starts = 0;
+  int64_t total_evictions = 0;
+  // Integral of loaded-but-idle memory over time, MB*minutes — directly
+  // comparable to the eager simulator's wasted memory time (weighted mode).
+  double wasted_memory_mb_minutes = 0.0;
+  // Peak and time-average resident MB.
+  double peak_resident_mb = 0.0;
+  double avg_resident_mb = 0.0;
+
+  double AppColdStartPercentile(double pct) const;
+  Ecdf AppColdStartEcdf() const;
+};
+
+class LazyCacheSimulator {
+ public:
+  explicit LazyCacheSimulator(CacheSimOptions options) : options_(options) {}
+
+  CacheSimResult Run(const Trace& trace) const;
+
+ private:
+  CacheSimOptions options_;
+};
+
+}  // namespace faas
+
+#endif  // SRC_SIM_CACHE_SIM_H_

@@ -1,0 +1,261 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/parallel.h"
+#include "src/stats/descriptive.h"
+
+namespace faas {
+
+namespace {
+
+struct MergedInvocation {
+  TimePoint time;
+  Duration execution;
+};
+
+// Merges an app's invocations across its functions, keeping each
+// invocation's execution time (the per-function average when the simulator
+// runs with execution times enabled).
+std::vector<MergedInvocation> MergeInvocations(const AppTrace& app,
+                                               bool use_execution_times) {
+  std::vector<MergedInvocation> merged;
+  size_t total = 0;
+  for (const auto& function : app.functions) {
+    total += function.invocations.size();
+  }
+  merged.reserve(total);
+  for (const auto& function : app.functions) {
+    const Duration execution =
+        use_execution_times
+            ? Duration::Millis(
+                  static_cast<int64_t>(function.execution.average_ms))
+            : Duration::Zero();
+    for (TimePoint t : function.invocations) {
+      merged.push_back({t, execution});
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const MergedInvocation& a, const MergedInvocation& b) {
+              return a.time < b.time;
+            });
+  return merged;
+}
+
+}  // namespace
+
+AppSimResult ColdStartSimulator::SimulateApp(const AppTrace& app,
+                                             Duration horizon,
+                                             KeepAlivePolicy& policy) const {
+  AppSimResult result;
+  result.app_id = app.app_id;
+
+  const std::vector<MergedInvocation> invocations =
+      MergeInvocations(app, options_.use_execution_times);
+  result.invocations = static_cast<int64_t>(invocations.size());
+  if (invocations.empty()) {
+    return result;
+  }
+
+  double wasted_ms = 0.0;
+
+  const auto track = [&](TimePoint t, bool is_cold) {
+    if (!options_.track_hourly) {
+      return;
+    }
+    const auto hour = static_cast<size_t>(t.millis_since_origin() / 3'600'000);
+    if (hour >= result.invocations_per_hour.size()) {
+      result.invocations_per_hour.resize(hour + 1, 0);
+      result.cold_per_hour.resize(hour + 1, 0);
+    }
+    ++result.invocations_per_hour[hour];
+    if (is_cold) {
+      ++result.cold_per_hour[hour];
+    }
+  };
+
+  // The first invocation is always a cold start (Section 5.1).
+  result.cold_starts = 1;
+  track(invocations[0].time, true);
+  TimePoint exec_end = invocations[0].time + invocations[0].execution;
+  PolicyDecision decision = policy.NextWindows();
+
+  for (size_t i = 1; i < invocations.size(); ++i) {
+    const TimePoint t = invocations[i].time;
+    if (t <= exec_end) {
+      // Arrived while the app was still executing: trivially warm; the image
+      // is busy, not idle, so no waste accrues and no idle time is recorded.
+      track(t, false);
+      exec_end = std::max(exec_end, t + invocations[i].execution);
+      continue;
+    }
+    const Duration idle = t - exec_end;
+    const Duration pw = decision.prewarm_window;
+    const Duration ka = decision.keepalive_window;
+
+    bool cold = false;
+    if (decision.KeepsLoadedForever()) {
+      wasted_ms += static_cast<double>(idle.millis());
+    } else if (pw.IsZero()) {
+      if (idle <= ka) {
+        wasted_ms += static_cast<double>(idle.millis());
+      } else {
+        cold = true;
+        wasted_ms += static_cast<double>(ka.millis());
+      }
+    } else {
+      if (idle < pw) {
+        // The invocation beat the scheduled pre-warm: cold, but nothing was
+        // loaded in the meantime, so no waste.  The pre-warm is cancelled.
+        cold = true;
+      } else if (idle <= pw + ka) {
+        ++result.prewarm_loads;
+        wasted_ms += static_cast<double>((idle - pw).millis());
+      } else {
+        cold = true;
+        ++result.prewarm_loads;
+        wasted_ms += static_cast<double>(ka.millis());
+      }
+    }
+    if (cold) {
+      ++result.cold_starts;
+    }
+    track(t, cold);
+
+    policy.RecordIdleTimeAt(t, idle);
+    exec_end = t + invocations[i].execution;
+    decision = policy.NextWindows();
+  }
+
+  if (options_.count_tail_residency) {
+    // Charge residency between the last execution and the end of the trace.
+    const TimePoint horizon_end = TimePoint::Origin() + horizon;
+    if (horizon_end > exec_end) {
+      const Duration remaining = horizon_end - exec_end;
+      const Duration pw = decision.prewarm_window;
+      const Duration ka = decision.keepalive_window;
+      if (decision.KeepsLoadedForever()) {
+        wasted_ms += static_cast<double>(remaining.millis());
+      } else if (pw.IsZero()) {
+        wasted_ms +=
+            static_cast<double>(std::min(ka, remaining).millis());
+      } else if (remaining > pw) {
+        ++result.prewarm_loads;
+        wasted_ms +=
+            static_cast<double>(std::min(ka, remaining - pw).millis());
+      }
+    }
+  }
+
+  result.wasted_memory_minutes = wasted_ms / 60'000.0;
+  if (options_.weight_by_memory) {
+    result.wasted_memory_minutes *= app.memory.average_mb;
+  }
+  return result;
+}
+
+SimulationResult ColdStartSimulator::Run(const Trace& trace,
+                                         const PolicyFactory& factory) const {
+  SimulationResult result;
+  result.policy_name = factory.name();
+  result.apps.resize(trace.apps.size());
+  ParallelFor(
+      trace.apps.size(),
+      [&](size_t i) {
+        const std::unique_ptr<KeepAlivePolicy> policy = factory.CreateForApp();
+        result.apps[i] = SimulateApp(trace.apps[i], trace.horizon, *policy);
+      },
+      options_.num_threads);
+  return result;
+}
+
+int64_t SimulationResult::TotalInvocations() const {
+  int64_t total = 0;
+  for (const auto& app : apps) {
+    total += app.invocations;
+  }
+  return total;
+}
+
+int64_t SimulationResult::TotalColdStarts() const {
+  int64_t total = 0;
+  for (const auto& app : apps) {
+    total += app.cold_starts;
+  }
+  return total;
+}
+
+double SimulationResult::TotalWastedMemoryMinutes() const {
+  double total = 0.0;
+  for (const auto& app : apps) {
+    total += app.wasted_memory_minutes;
+  }
+  return total;
+}
+
+double SimulationResult::AppColdStartPercentile(double pct) const {
+  FAAS_CHECK(!apps.empty()) << "no apps simulated";
+  std::vector<double> percentages;
+  percentages.reserve(apps.size());
+  for (const auto& app : apps) {
+    percentages.push_back(app.ColdStartPercent());
+  }
+  return Percentile(percentages, pct);
+}
+
+Ecdf SimulationResult::AppColdStartEcdf() const {
+  std::vector<double> percentages;
+  percentages.reserve(apps.size());
+  for (const auto& app : apps) {
+    percentages.push_back(app.ColdStartPercent());
+  }
+  return Ecdf(std::move(percentages));
+}
+
+std::vector<double> SimulationResult::HourlyColdFraction() const {
+  size_t hours = 0;
+  for (const auto& app : apps) {
+    hours = std::max(hours, app.invocations_per_hour.size());
+  }
+  std::vector<int64_t> cold(hours, 0);
+  std::vector<int64_t> total(hours, 0);
+  for (const auto& app : apps) {
+    for (size_t h = 0; h < app.invocations_per_hour.size(); ++h) {
+      total[h] += app.invocations_per_hour[h];
+      cold[h] += app.cold_per_hour[h];
+    }
+  }
+  std::vector<double> fraction(hours, 0.0);
+  for (size_t h = 0; h < hours; ++h) {
+    fraction[h] = total[h] > 0 ? static_cast<double>(cold[h]) /
+                                     static_cast<double>(total[h])
+                               : 0.0;
+  }
+  return fraction;
+}
+
+double SimulationResult::FractionAppsAlwaysCold(
+    bool exclude_single_invocation) const {
+  int64_t eligible = 0;
+  int64_t always_cold = 0;
+  for (const auto& app : apps) {
+    if (app.invocations == 0) {
+      continue;
+    }
+    if (exclude_single_invocation && app.invocations == 1) {
+      continue;
+    }
+    ++eligible;
+    if (app.cold_starts == app.invocations) {
+      ++always_cold;
+    }
+  }
+  if (eligible == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(always_cold) / static_cast<double>(eligible);
+}
+
+}  // namespace faas

@@ -1,0 +1,110 @@
+// Analytic cold-start simulator (Section 5.1).
+//
+// Replays each application's merged invocation stream against a keep-alive
+// policy and classifies every invocation as warm or cold, while accounting
+// the "wasted memory time": the time an application image sat loaded in
+// memory without executing anything.  Following the paper, function
+// execution times default to zero (the conservative worst case for waste),
+// the first invocation of every app is a cold start, and all apps are
+// assumed to use the same amount of memory unless weighting is enabled.
+//
+// Window semantics (Figure 9): when an execution ends at time E with
+// decision (PW, KA):
+//   - PW = 0: the image stays loaded during [E, E + KA].  An invocation in
+//     that interval is warm; afterwards, cold.
+//   - PW > 0: the image is unloaded at E and re-loaded at E + PW, staying
+//     until E + PW + KA.  An invocation before E + PW is cold (it beat the
+//     pre-warm); within [E + PW, E + PW + KA] warm; afterwards cold.
+// Idle memory is charged from load to unload minus execution time; a window
+// that expires unused is charged in full.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/policy/policy.h"
+#include "src/stats/ecdf.h"
+#include "src/trace/types.h"
+
+namespace faas {
+
+struct SimulatorOptions {
+  // Charge the residency after the last invocation (until the keep-alive
+  // expires or the trace horizon ends, whichever is first).
+  bool count_tail_residency = true;
+  // Use each function's average execution time instead of zero.  Idle time
+  // is then measured from execution end, as in the real system.
+  bool use_execution_times = false;
+  // Weight each app's wasted memory time by its average allocated MB
+  // (extension; the paper assumes equal memory use for this analysis).
+  bool weight_by_memory = false;
+  // Worker threads for Run(); apps are independent, so the result is
+  // bit-identical to the sequential run.  0 = hardware concurrency.
+  int num_threads = 1;
+  // Record per-hour cold-start and invocation counts (for adaptation
+  // experiments: how quickly a policy recovers after a pattern change).
+  bool track_hourly = false;
+};
+
+struct AppSimResult {
+  std::string app_id;
+  int64_t invocations = 0;
+  int64_t cold_starts = 0;
+  // Number of pre-warm loads the policy scheduled that actually happened.
+  int64_t prewarm_loads = 0;
+  // Loaded-but-idle time, in minutes (scaled by memory when weighting is on).
+  double wasted_memory_minutes = 0.0;
+  // Per-hour counts; populated only when SimulatorOptions::track_hourly.
+  std::vector<int32_t> cold_per_hour;
+  std::vector<int32_t> invocations_per_hour;
+
+  double ColdStartPercent() const {
+    return invocations > 0 ? 100.0 * static_cast<double>(cold_starts) /
+                                 static_cast<double>(invocations)
+                           : 0.0;
+  }
+};
+
+struct SimulationResult {
+  std::string policy_name;
+  std::vector<AppSimResult> apps;
+
+  int64_t TotalInvocations() const;
+  int64_t TotalColdStarts() const;
+  double TotalWastedMemoryMinutes() const;
+  // Percentile (e.g. 75 for the paper's headline metric) of the per-app
+  // cold-start percentage distribution.
+  double AppColdStartPercentile(double pct) const;
+  // CDF of per-app cold-start percentages (Figures 14, 16, 17, 18, 20).
+  Ecdf AppColdStartEcdf() const;
+  // Fraction of apps whose every invocation was cold (Figure 19).  When
+  // `exclude_single_invocation` is set, apps with exactly one invocation are
+  // excluded from both numerator and denominator.
+  double FractionAppsAlwaysCold(bool exclude_single_invocation) const;
+  // Aggregate cold-start fraction per hour across all apps (empty unless the
+  // run tracked hourly counts).
+  std::vector<double> HourlyColdFraction() const;
+};
+
+class ColdStartSimulator {
+ public:
+  explicit ColdStartSimulator(SimulatorOptions options = {})
+      : options_(options) {}
+
+  // Simulates one application against a fresh policy instance.
+  AppSimResult SimulateApp(const AppTrace& app, Duration horizon,
+                           KeepAlivePolicy& policy) const;
+
+  // Simulates the whole trace, one policy instance per app.
+  SimulationResult Run(const Trace& trace, const PolicyFactory& factory) const;
+
+ private:
+  SimulatorOptions options_;
+};
+
+}  // namespace faas
+
+#endif  // SRC_SIM_SIMULATOR_H_

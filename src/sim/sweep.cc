@@ -1,0 +1,34 @@
+#include "src/sim/sweep.h"
+
+#include "src/common/logging.h"
+
+namespace faas {
+
+std::vector<PolicyPoint> EvaluatePolicies(
+    const Trace& trace, const std::vector<const PolicyFactory*>& factories,
+    size_t baseline_index, const SimulatorOptions& options) {
+  FAAS_CHECK(baseline_index < factories.size()) << "baseline out of range";
+  const ColdStartSimulator simulator(options);
+
+  std::vector<PolicyPoint> points;
+  points.reserve(factories.size());
+  for (const PolicyFactory* factory : factories) {
+    PolicyPoint point;
+    point.result = simulator.Run(trace, *factory);
+    point.name = point.result.policy_name;
+    point.cold_start_p75 = point.result.AppColdStartPercentile(75.0);
+    point.wasted_memory_minutes = point.result.TotalWastedMemoryMinutes();
+    points.push_back(std::move(point));
+  }
+
+  const double baseline_waste = points[baseline_index].wasted_memory_minutes;
+  for (PolicyPoint& point : points) {
+    point.normalized_wasted_memory_pct =
+        baseline_waste > 0.0
+            ? 100.0 * point.wasted_memory_minutes / baseline_waste
+            : 0.0;
+  }
+  return points;
+}
+
+}  // namespace faas

@@ -1,0 +1,39 @@
+// Policy sweep harness: evaluates a set of policies on one trace and
+// normalises wasted memory time against a baseline policy, producing the
+// (cold-start %, normalized waste %) points that Figures 15-18 plot.
+
+#ifndef SRC_SIM_SWEEP_H_
+#define SRC_SIM_SWEEP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace faas {
+
+struct PolicyPoint {
+  std::string name;
+  // 75th percentile of per-app cold-start percentage (the paper's headline
+  // "3rd Quartile App Cold Start" metric).
+  double cold_start_p75 = 0.0;
+  // Total wasted memory time, minutes.
+  double wasted_memory_minutes = 0.0;
+  // Wasted memory time normalised to the baseline policy, percent
+  // (100 = same as baseline, the 10-minute fixed keep-alive in the paper).
+  double normalized_wasted_memory_pct = 0.0;
+  // Full per-app results for CDF plots.
+  SimulationResult result;
+};
+
+// Runs each factory on the trace; the entry at `baseline_index` defines 100%
+// wasted memory time.
+std::vector<PolicyPoint> EvaluatePolicies(
+    const Trace& trace,
+    const std::vector<const PolicyFactory*>& factories,
+    size_t baseline_index = 0, const SimulatorOptions& options = {});
+
+}  // namespace faas
+
+#endif  // SRC_SIM_SWEEP_H_

@@ -1,0 +1,112 @@
+#include "src/stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace faas {
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double SampleStdDev(std::span<const double> values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(values);
+  double m2 = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    m2 += d * d;
+  }
+  return std::sqrt(m2 / static_cast<double>(values.size() - 1));
+}
+
+double CoefficientOfVariation(std::span<const double> values) {
+  const double mean = Mean(values);
+  if (mean == 0.0) {
+    return 0.0;
+  }
+  return SampleStdDev(values) / mean;
+}
+
+double PercentileSorted(std::span<const double> sorted, double pct) {
+  FAAS_CHECK(!sorted.empty()) << "percentile of empty span";
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double clamped = std::clamp(pct, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double Percentile(std::span<const double> values, double pct) {
+  FAAS_CHECK(!values.empty()) << "percentile of empty span";
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileSorted(sorted, pct);
+}
+
+double Min(std::span<const double> values) {
+  FAAS_CHECK(!values.empty()) << "min of empty span";
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(std::span<const double> values) {
+  FAAS_CHECK(!values.empty()) << "max of empty span";
+  return *std::max_element(values.begin(), values.end());
+}
+
+double Median(std::span<const double> values) {
+  return Percentile(values, 50.0);
+}
+
+double WeightedPercentile(std::vector<WeightedSample> samples, double pct) {
+  FAAS_CHECK(!samples.empty()) << "weighted percentile of empty input";
+  std::sort(samples.begin(), samples.end(),
+            [](const WeightedSample& a, const WeightedSample& b) {
+              return a.value < b.value;
+            });
+  double total = 0.0;
+  for (const auto& s : samples) {
+    FAAS_CHECK(s.weight >= 0.0) << "negative weight";
+    total += s.weight;
+  }
+  FAAS_CHECK(total > 0.0) << "non-positive total weight";
+  const double target = std::clamp(pct, 0.0, 100.0) / 100.0 * total;
+  double cumulative = 0.0;
+  for (const auto& s : samples) {
+    cumulative += s.weight;
+    if (cumulative >= target) {
+      return s.value;
+    }
+  }
+  return samples.back().value;
+}
+
+double WeightedMean(std::span<const WeightedSample> samples) {
+  double total_weight = 0.0;
+  double weighted_sum = 0.0;
+  for (const auto& s : samples) {
+    total_weight += s.weight;
+    weighted_sum += s.value * s.weight;
+  }
+  if (total_weight == 0.0) {
+    return 0.0;
+  }
+  return weighted_sum / total_weight;
+}
+
+}  // namespace faas

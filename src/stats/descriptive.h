@@ -1,0 +1,49 @@
+// Descriptive statistics over in-memory samples.
+//
+// Batch helpers used throughout the characterization pipeline and the
+// benchmark harnesses.  Percentiles use linear interpolation between order
+// statistics (the "type 7" estimator, matching numpy's default) so the
+// reproduced CDF anchor points are comparable to the paper's plots.
+
+#ifndef SRC_STATS_DESCRIPTIVE_H_
+#define SRC_STATS_DESCRIPTIVE_H_
+
+#include <span>
+#include <vector>
+
+namespace faas {
+
+double Mean(std::span<const double> values);
+// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double SampleStdDev(std::span<const double> values);
+// Coefficient of variation = sample stddev / mean; 0 when the mean is 0.
+double CoefficientOfVariation(std::span<const double> values);
+
+// Percentile in [0, 100] of an UNSORTED input (copies and sorts internally).
+// Requires a non-empty input.
+double Percentile(std::span<const double> values, double pct);
+// Percentile of an already ascending-sorted input (no copy).
+double PercentileSorted(std::span<const double> sorted, double pct);
+
+double Min(std::span<const double> values);
+double Max(std::span<const double> values);
+double Median(std::span<const double> values);
+
+// A (value, weight) sample; the paper's duration/memory traces expose
+// per-interval averages with sample counts, which are treated as `count`
+// replicas of the average when computing percentiles (Section 3.1).
+struct WeightedSample {
+  double value = 0.0;
+  double weight = 0.0;
+};
+
+// Weighted percentile: conceptually replicates each value `weight` times.
+// Requires a non-empty input with positive total weight.
+double WeightedPercentile(std::vector<WeightedSample> samples, double pct);
+
+// Weighted mean.
+double WeightedMean(std::span<const WeightedSample> samples);
+
+}  // namespace faas
+
+#endif  // SRC_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,191 @@
+#include "src/stats/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace faas {
+
+double StandardNormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double StandardNormalQuantile(double p) {
+  FAAS_CHECK(p > 0.0 && p < 1.0) << "normal quantile needs p in (0,1), got " << p;
+  // Peter Acklam's rational approximation with the usual three regions.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  static constexpr double p_low = 0.02425;
+  static constexpr double p_high = 1.0 - p_low;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+LogNormalDistribution::LogNormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  FAAS_CHECK(sigma > 0.0) << "log-normal sigma must be positive";
+}
+
+double LogNormalDistribution::Pdf(double x) const {
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (x * sigma_ * std::sqrt(2.0 * M_PI));
+}
+
+double LogNormalDistribution::Cdf(double x) const {
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  return StandardNormalCdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormalDistribution::Quantile(double p) const {
+  return std::exp(mu_ + sigma_ * StandardNormalQuantile(p));
+}
+
+double LogNormalDistribution::Mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LogNormalDistribution::Median() const { return std::exp(mu_); }
+
+double LogNormalDistribution::Sample(Rng& rng) const {
+  return rng.NextLogNormal(mu_, sigma_);
+}
+
+BurrXiiDistribution::BurrXiiDistribution(double c, double k, double lambda)
+    : c_(c), k_(k), lambda_(lambda) {
+  FAAS_CHECK(c > 0.0 && k > 0.0 && lambda > 0.0)
+      << "Burr XII parameters must be positive";
+}
+
+double BurrXiiDistribution::Pdf(double x) const {
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  const double t = x / lambda_;
+  return (c_ * k_ / lambda_) * std::pow(t, c_ - 1.0) *
+         std::pow(1.0 + std::pow(t, c_), -k_ - 1.0);
+}
+
+double BurrXiiDistribution::Cdf(double x) const {
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  const double t = x / lambda_;
+  return 1.0 - std::pow(1.0 + std::pow(t, c_), -k_);
+}
+
+double BurrXiiDistribution::Quantile(double p) const {
+  FAAS_CHECK(p >= 0.0 && p < 1.0) << "Burr quantile needs p in [0,1)";
+  return lambda_ * std::pow(std::pow(1.0 - p, -1.0 / k_) - 1.0, 1.0 / c_);
+}
+
+double BurrXiiDistribution::Median() const { return Quantile(0.5); }
+
+double BurrXiiDistribution::Sample(Rng& rng) const {
+  return Quantile(rng.NextDouble());
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n), s_(s) {
+  FAAS_CHECK(n >= 1) << "Zipf needs at least one rank";
+  cumulative_.reserve(n);
+  double total = 0.0;
+  for (uint64_t rank = 1; rank <= n; ++rank) {
+    total += std::pow(static_cast<double>(rank), -s_);
+    cumulative_.push_back(total);
+  }
+  for (double& c : cumulative_) {
+    c /= total;
+  }
+}
+
+double ZipfDistribution::Pmf(uint64_t rank) const {
+  FAAS_CHECK(rank >= 1 && rank <= n_) << "Zipf rank out of range";
+  const size_t i = static_cast<size_t>(rank - 1);
+  const double below = i == 0 ? 0.0 : cumulative_[i - 1];
+  return cumulative_[i] - below;
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<uint64_t>(it - cumulative_.begin()) + 1;
+}
+
+ExponentialDistribution::ExponentialDistribution(double rate) : rate_(rate) {
+  FAAS_CHECK(rate > 0.0) << "exponential rate must be positive";
+}
+
+double ExponentialDistribution::Pdf(double x) const {
+  return x < 0.0 ? 0.0 : rate_ * std::exp(-rate_ * x);
+}
+
+double ExponentialDistribution::Cdf(double x) const {
+  return x < 0.0 ? 0.0 : 1.0 - std::exp(-rate_ * x);
+}
+
+double ExponentialDistribution::Quantile(double p) const {
+  FAAS_CHECK(p >= 0.0 && p < 1.0) << "exponential quantile needs p in [0,1)";
+  return -std::log(1.0 - p) / rate_;
+}
+
+double ExponentialDistribution::Sample(Rng& rng) const {
+  return rng.NextExponential(rate_);
+}
+
+ParetoDistribution::ParetoDistribution(double xm, double alpha)
+    : xm_(xm), alpha_(alpha) {
+  FAAS_CHECK(xm > 0.0 && alpha > 0.0) << "Pareto parameters must be positive";
+}
+
+double ParetoDistribution::Pdf(double x) const {
+  if (x < xm_) {
+    return 0.0;
+  }
+  return alpha_ * std::pow(xm_, alpha_) / std::pow(x, alpha_ + 1.0);
+}
+
+double ParetoDistribution::Cdf(double x) const {
+  if (x < xm_) {
+    return 0.0;
+  }
+  return 1.0 - std::pow(xm_ / x, alpha_);
+}
+
+double ParetoDistribution::Quantile(double p) const {
+  FAAS_CHECK(p >= 0.0 && p < 1.0) << "Pareto quantile needs p in [0,1)";
+  return xm_ / std::pow(1.0 - p, 1.0 / alpha_);
+}
+
+double ParetoDistribution::Sample(Rng& rng) const {
+  return Quantile(rng.NextDouble());
+}
+
+}  // namespace faas

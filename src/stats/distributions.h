@@ -1,0 +1,121 @@
+// Analytic probability distributions.
+//
+// The paper fits two families to its workload: a log-normal to function
+// execution times (log mean -0.38, sigma 2.36; Figure 7) and a Burr XII to
+// per-application allocated memory (c = 11.652, k = 0.221, lambda = 107.083;
+// Figure 8).  The synthetic workload generator samples from these, plus Zipf
+// for popularity skew and exponential/Pareto for arrival modelling.
+
+#ifndef SRC_STATS_DISTRIBUTIONS_H_
+#define SRC_STATS_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace faas {
+
+// Phi(x): standard normal CDF.
+double StandardNormalCdf(double x);
+// Phi^-1(p): Acklam's rational approximation (|relative error| < 1.15e-9).
+double StandardNormalQuantile(double p);
+
+// X = exp(N(mu, sigma^2)).
+class LogNormalDistribution {
+ public:
+  LogNormalDistribution(double mu, double sigma);
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+  double Pdf(double x) const;
+  double Cdf(double x) const;
+  double Quantile(double p) const;
+  double Mean() const;
+  double Median() const;
+  double Sample(Rng& rng) const;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+// Burr type XII with shape parameters c, k and scale lambda:
+//   CDF(x) = 1 - (1 + (x/lambda)^c)^(-k).
+class BurrXiiDistribution {
+ public:
+  BurrXiiDistribution(double c, double k, double lambda);
+
+  double c() const { return c_; }
+  double k() const { return k_; }
+  double lambda() const { return lambda_; }
+
+  double Pdf(double x) const;
+  double Cdf(double x) const;
+  double Quantile(double p) const;
+  double Median() const;
+  double Sample(Rng& rng) const;
+
+ private:
+  double c_;
+  double k_;
+  double lambda_;
+};
+
+// Zipf over ranks {1..n} with exponent s: P(rank) proportional to rank^-s.
+// Sampling precomputes the cumulative mass (O(n) memory, O(log n) draw),
+// which is ample for app-population sizes in the tens of thousands.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double s);
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+  // Probability mass of a given rank in [1, n].
+  double Pmf(uint64_t rank) const;
+  // Samples a rank in [1, n].
+  uint64_t Sample(Rng& rng) const;
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cumulative_;
+};
+
+class ExponentialDistribution {
+ public:
+  explicit ExponentialDistribution(double rate);
+
+  double rate() const { return rate_; }
+  double Pdf(double x) const;
+  double Cdf(double x) const;
+  double Quantile(double p) const;
+  double Mean() const { return 1.0 / rate_; }
+  double Sample(Rng& rng) const;
+
+ private:
+  double rate_;
+};
+
+// Pareto (type I): CDF(x) = 1 - (xm/x)^alpha for x >= xm.
+class ParetoDistribution {
+ public:
+  ParetoDistribution(double xm, double alpha);
+
+  double xm() const { return xm_; }
+  double alpha() const { return alpha_; }
+  double Pdf(double x) const;
+  double Cdf(double x) const;
+  double Quantile(double p) const;
+  double Sample(Rng& rng) const;
+
+ private:
+  double xm_;
+  double alpha_;
+};
+
+}  // namespace faas
+
+#endif  // SRC_STATS_DISTRIBUTIONS_H_

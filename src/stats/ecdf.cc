@@ -1,0 +1,106 @@
+#include "src/stats/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace faas {
+
+Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::FractionAtOrBelow(double x) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::Quantile(double p) const {
+  FAAS_CHECK(!sorted_.empty()) << "quantile of empty ECDF";
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  size_t rank = static_cast<size_t>(
+      std::ceil(clamped * static_cast<double>(sorted_.size())));
+  if (rank == 0) {
+    rank = 1;
+  }
+  return sorted_[rank - 1];
+}
+
+double Ecdf::MinValue() const {
+  FAAS_CHECK(!sorted_.empty()) << "min of empty ECDF";
+  return sorted_.front();
+}
+
+double Ecdf::MaxValue() const {
+  FAAS_CHECK(!sorted_.empty()) << "max of empty ECDF";
+  return sorted_.back();
+}
+
+std::vector<std::pair<double, double>> Ecdf::Curve(int points,
+                                                   bool log_scale) const {
+  std::vector<std::pair<double, double>> curve;
+  if (sorted_.empty() || points < 2) {
+    return curve;
+  }
+  curve.reserve(static_cast<size_t>(points));
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (int i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    double x;
+    if (log_scale && lo > 0.0 && hi > lo) {
+      x = lo * std::pow(hi / lo, t);
+    } else {
+      x = lo + (hi - lo) * t;
+    }
+    curve.emplace_back(x, FractionAtOrBelow(x));
+  }
+  return curve;
+}
+
+double KsDistance(const Ecdf& a, const Ecdf& b) {
+  FAAS_CHECK(!a.empty() && !b.empty()) << "KS of empty ECDF";
+  // Walk the merged sorted samples; the supremum is attained at a sample.
+  const auto& sa = a.sorted_samples();
+  const auto& sb = b.sorted_samples();
+  double max_diff = 0.0;
+  size_t ia = 0;
+  size_t ib = 0;
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) {
+      ++ia;
+    }
+    while (ib < sb.size() && sb[ib] <= x) {
+      ++ib;
+    }
+    const double diff =
+        std::fabs(static_cast<double>(ia) / na - static_cast<double>(ib) / nb);
+    max_diff = std::max(max_diff, diff);
+  }
+  return max_diff;
+}
+
+double KsDistance(const Ecdf& a, const std::function<double(double)>& cdf) {
+  FAAS_CHECK(!a.empty()) << "KS of empty ECDF";
+  const auto& samples = a.sorted_samples();
+  const double n = static_cast<double>(samples.size());
+  double max_diff = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const double theoretical = cdf(samples[i]);
+    const double below = static_cast<double>(i) / n;
+    const double at_or_below = static_cast<double>(i + 1) / n;
+    max_diff = std::max(max_diff, std::fabs(theoretical - below));
+    max_diff = std::max(max_diff, std::fabs(theoretical - at_or_below));
+  }
+  return max_diff;
+}
+
+}  // namespace faas

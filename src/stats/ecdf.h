@@ -1,0 +1,55 @@
+// Empirical cumulative distribution function.
+//
+// The characterization pipeline reports nearly everything as CDFs (Figures 1,
+// 5, 6, 7, 8, 14, 16-18, 20).  Ecdf owns a sorted copy of its samples and
+// answers F(x) and quantile queries; KsDistance is used by the tests and the
+// benches to compare the synthetic workload against the paper's analytic
+// fits.
+
+#ifndef SRC_STATS_ECDF_H_
+#define SRC_STATS_ECDF_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace faas {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> samples);
+
+  bool empty() const { return sorted_.empty(); }
+  size_t size() const { return sorted_.size(); }
+
+  // F(x) = fraction of samples <= x.
+  double FractionAtOrBelow(double x) const;
+  // Inverse: smallest sample value v with F(v) >= p, p in [0, 1].
+  // Requires a non-empty ECDF.
+  double Quantile(double p) const;
+
+  double MinValue() const;
+  double MaxValue() const;
+
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+  // Evaluation grid for plotting: `points` (x, F(x)) pairs spanning the
+  // sample range, geometric spacing when log_scale is set (useful for the
+  // 8-orders-of-magnitude rate CDFs).
+  std::vector<std::pair<double, double>> Curve(int points,
+                                               bool log_scale = false) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// Two-sample Kolmogorov-Smirnov statistic: sup_x |F1(x) - F2(x)|.
+double KsDistance(const Ecdf& a, const Ecdf& b);
+
+// One-sample KS statistic against a theoretical CDF.
+double KsDistance(const Ecdf& a, const std::function<double(double)>& cdf);
+
+}  // namespace faas
+
+#endif  // SRC_STATS_ECDF_H_

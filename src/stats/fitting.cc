@@ -1,0 +1,122 @@
+#include "src/stats/fitting.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/nelder_mead.h"
+
+namespace faas {
+
+namespace {
+
+std::vector<double> PositiveSamples(std::span<const double> samples) {
+  std::vector<double> positive;
+  positive.reserve(samples.size());
+  for (double s : samples) {
+    if (s > 0.0) {
+      positive.push_back(s);
+    }
+  }
+  return positive;
+}
+
+}  // namespace
+
+LogNormalFit FitLogNormalMle(std::span<const double> samples) {
+  const std::vector<double> positive = PositiveSamples(samples);
+  FAAS_CHECK(positive.size() >= 2) << "log-normal MLE needs >= 2 positive samples";
+
+  const double n = static_cast<double>(positive.size());
+  double log_sum = 0.0;
+  for (double s : positive) {
+    log_sum += std::log(s);
+  }
+  const double mu = log_sum / n;
+  double sq = 0.0;
+  for (double s : positive) {
+    const double d = std::log(s) - mu;
+    sq += d * d;
+  }
+  // MLE uses the population (1/n) variance of the logs.
+  const double sigma = std::sqrt(sq / n);
+
+  LogNormalFit fit;
+  fit.mu = mu;
+  fit.sigma = sigma > 0.0 ? sigma : 1e-9;
+  const LogNormalDistribution dist(fit.mu, fit.sigma);
+  double ll = 0.0;
+  for (double s : positive) {
+    ll += std::log(dist.Pdf(s));
+  }
+  fit.log_likelihood = ll;
+  return fit;
+}
+
+BurrXiiFit FitBurrXiiMle(std::span<const double> samples) {
+  const std::vector<double> positive = PositiveSamples(samples);
+  FAAS_CHECK(positive.size() >= 3) << "Burr MLE needs >= 3 positive samples";
+  const double median = Median(positive);
+  return FitBurrXiiMle(samples, BurrXiiDistribution(2.0, 1.0, median));
+}
+
+BurrXiiFit FitBurrXiiMle(std::span<const double> samples,
+                         const BurrXiiDistribution& initial) {
+  const std::vector<double> positive = PositiveSamples(samples);
+  FAAS_CHECK(positive.size() >= 3) << "Burr MLE needs >= 3 positive samples";
+
+  // Optimise in log-space so c, k, lambda stay positive.
+  const auto negative_ll = [&positive](const std::vector<double>& params) {
+    const double c = std::exp(params[0]);
+    const double k = std::exp(params[1]);
+    const double lambda = std::exp(params[2]);
+    if (!std::isfinite(c) || !std::isfinite(k) || !std::isfinite(lambda) ||
+        c > 1e4 || k > 1e4 || lambda > 1e12) {
+      return std::numeric_limits<double>::infinity();
+    }
+    // log pdf = log c + log k - log lambda + (c-1) log(x/lambda)
+    //           - (k+1) log(1 + (x/lambda)^c)
+    double ll = 0.0;
+    const double log_ck_over_lambda =
+        std::log(c) + std::log(k) - std::log(lambda);
+    for (double x : positive) {
+      const double log_t = std::log(x / lambda);
+      const double t_pow_c = std::exp(c * log_t);
+      if (!std::isfinite(t_pow_c)) {
+        return std::numeric_limits<double>::infinity();
+      }
+      ll += log_ck_over_lambda + (c - 1.0) * log_t -
+            (k + 1.0) * std::log1p(t_pow_c);
+    }
+    if (!std::isfinite(ll)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return -ll;
+  };
+
+  NelderMeadOptions options;
+  options.max_iterations = 5000;
+  options.relative_step = 0.1;
+  const std::vector<double> start = {std::log(initial.c()),
+                                     std::log(initial.k()),
+                                     std::log(initial.lambda())};
+  const NelderMeadResult opt = NelderMeadMinimize(negative_ll, start, options);
+
+  BurrXiiFit fit;
+  fit.c = std::exp(opt.x[0]);
+  fit.k = std::exp(opt.x[1]);
+  fit.lambda = std::exp(opt.x[2]);
+  fit.log_likelihood = -opt.f;
+  fit.converged = opt.converged;
+  return fit;
+}
+
+double FitExponentialRateMle(std::span<const double> samples) {
+  const std::vector<double> positive = PositiveSamples(samples);
+  FAAS_CHECK(!positive.empty()) << "exponential MLE needs positive samples";
+  return 1.0 / Mean(positive);
+}
+
+}  // namespace faas

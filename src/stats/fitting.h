@@ -1,0 +1,54 @@
+// Distribution fitting (maximum likelihood).
+//
+// Figure 7 fits a log-normal to average execution times via MLE; Figure 8
+// fits a Burr XII to allocated memory.  The log-normal MLE is closed form;
+// the Burr fit maximises the log-likelihood with Nelder-Mead in a
+// log-parameterisation that keeps all three parameters positive.
+
+#ifndef SRC_STATS_FITTING_H_
+#define SRC_STATS_FITTING_H_
+
+#include <span>
+
+#include "src/stats/distributions.h"
+
+namespace faas {
+
+struct LogNormalFit {
+  double mu = 0.0;
+  double sigma = 1.0;
+  double log_likelihood = 0.0;
+
+  LogNormalDistribution ToDistribution() const {
+    return LogNormalDistribution(mu, sigma);
+  }
+};
+
+// MLE over strictly positive samples (non-positive samples are skipped; at
+// least two positive samples are required).
+LogNormalFit FitLogNormalMle(std::span<const double> samples);
+
+struct BurrXiiFit {
+  double c = 1.0;
+  double k = 1.0;
+  double lambda = 1.0;
+  double log_likelihood = 0.0;
+  bool converged = false;
+
+  BurrXiiDistribution ToDistribution() const {
+    return BurrXiiDistribution(c, k, lambda);
+  }
+};
+
+// MLE via Nelder-Mead; non-positive samples are skipped.  `initial` seeds the
+// search (a decent default is c=2, k=1, lambda=median(samples)).
+BurrXiiFit FitBurrXiiMle(std::span<const double> samples);
+BurrXiiFit FitBurrXiiMle(std::span<const double> samples,
+                         const BurrXiiDistribution& initial);
+
+// Closed-form exponential MLE (rate = 1/mean) over positive samples.
+double FitExponentialRateMle(std::span<const double> samples);
+
+}  // namespace faas
+
+#endif  // SRC_STATS_FITTING_H_

@@ -1,0 +1,115 @@
+#include "src/stats/histogram.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace faas {
+
+RangeLimitedHistogram::RangeLimitedHistogram(Duration bin_width, int num_bins)
+    : bin_width_(bin_width), bins_(static_cast<size_t>(num_bins), 0) {
+  FAAS_CHECK(bin_width.millis() > 0) << "bin width must be positive";
+  FAAS_CHECK(num_bins >= 1) << "need at least one bin";
+  // Seed the Welford population with the (all-zero) bin counts so that
+  // Replace() keeps it consistent from the first Add().
+  for (int i = 0; i < num_bins; ++i) {
+    bin_count_stats_.Add(0.0);
+  }
+}
+
+int RangeLimitedHistogram::BinIndexFor(Duration value) const {
+  if (value.IsNegative()) {
+    return 0;
+  }
+  const int64_t index = value.millis() / bin_width_.millis();
+  if (index >= static_cast<int64_t>(bins_.size())) {
+    return -1;  // Out of bounds.
+  }
+  return static_cast<int>(index);
+}
+
+void RangeLimitedHistogram::Add(Duration value) {
+  const int index = BinIndexFor(value);
+  if (index < 0) {
+    ++oob_count_;
+    return;
+  }
+  const int64_t old_count = bins_[static_cast<size_t>(index)];
+  bins_[static_cast<size_t>(index)] = old_count + 1;
+  ++in_bounds_count_;
+  bin_count_stats_.Replace(static_cast<double>(old_count),
+                           static_cast<double>(old_count + 1));
+}
+
+double RangeLimitedHistogram::OutOfBoundsFraction() const {
+  const int64_t total = total_count();
+  if (total == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(oob_count_) / static_cast<double>(total);
+}
+
+int RangeLimitedHistogram::CumulativeSearch(int64_t target) const {
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    cumulative += bins_[i];
+    if (cumulative >= target) {
+      return static_cast<int>(i);
+    }
+  }
+  return static_cast<int>(bins_.size()) - 1;
+}
+
+Duration RangeLimitedHistogram::PercentileLowerEdge(double pct) const {
+  FAAS_CHECK(in_bounds_count_ > 0) << "percentile of empty histogram";
+  // Smallest bin index at which the cumulative fraction reaches pct/100.
+  const double fraction = pct / 100.0;
+  int64_t target = static_cast<int64_t>(
+      std::ceil(fraction * static_cast<double>(in_bounds_count_)));
+  if (target < 1) {
+    target = 1;
+  }
+  const int bin = CumulativeSearch(target);
+  return bin_width_ * static_cast<int64_t>(bin);
+}
+
+Duration RangeLimitedHistogram::PercentileUpperEdge(double pct) const {
+  FAAS_CHECK(in_bounds_count_ > 0) << "percentile of empty histogram";
+  const double fraction = pct / 100.0;
+  int64_t target = static_cast<int64_t>(
+      std::ceil(fraction * static_cast<double>(in_bounds_count_)));
+  if (target < 1) {
+    target = 1;
+  }
+  const int bin = CumulativeSearch(target);
+  return bin_width_ * static_cast<int64_t>(bin + 1);
+}
+
+void RangeLimitedHistogram::MergeFrom(const RangeLimitedHistogram& other) {
+  FAAS_CHECK(other.bin_width_ == bin_width_ && other.bins_.size() == bins_.size())
+      << "histogram geometry mismatch";
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    const int64_t old_count = bins_[i];
+    bins_[i] += other.bins_[i];
+    bin_count_stats_.Replace(static_cast<double>(old_count),
+                             static_cast<double>(bins_[i]));
+  }
+  in_bounds_count_ += other.in_bounds_count_;
+  oob_count_ += other.oob_count_;
+}
+
+void RangeLimitedHistogram::Reset() {
+  std::fill(bins_.begin(), bins_.end(), 0);
+  in_bounds_count_ = 0;
+  oob_count_ = 0;
+  bin_count_stats_.Reset();
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    bin_count_stats_.Add(0.0);
+  }
+}
+
+size_t RangeLimitedHistogram::ApproximateSizeBytes() const {
+  return sizeof(*this) + bins_.capacity() * sizeof(int64_t);
+}
+
+}  // namespace faas

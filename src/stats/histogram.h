@@ -1,0 +1,79 @@
+// Range-limited fixed-width histogram.
+//
+// This is the centerpiece data structure of the hybrid policy (Section 4.2):
+// one instance per application tracks the distribution of idle times (ITs) in
+// 1-minute bins up to a configurable range (default 4 hours = 240 bins).
+// Values at or beyond the range are counted as out-of-bounds (OOB) and drive
+// the ARIMA fallback.  The bin-count coefficient of variation, maintained
+// online with Welford's algorithm, drives the representativeness check.
+
+#ifndef SRC_STATS_HISTOGRAM_H_
+#define SRC_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/stats/welford.h"
+
+namespace faas {
+
+class RangeLimitedHistogram {
+ public:
+  // `bin_width` must be positive; `num_bins` >= 1.  The representable range
+  // is [0, bin_width * num_bins).
+  RangeLimitedHistogram(Duration bin_width, int num_bins);
+
+  // Adds one observation.  Negative values clamp to the first bin; values at
+  // or beyond the range increment the OOB counter instead of a bin.
+  void Add(Duration value);
+
+  Duration bin_width() const { return bin_width_; }
+  int num_bins() const { return static_cast<int>(bins_.size()); }
+  Duration range() const { return bin_width_ * static_cast<int64_t>(bins_.size()); }
+
+  int64_t in_bounds_count() const { return in_bounds_count_; }
+  int64_t oob_count() const { return oob_count_; }
+  int64_t total_count() const { return in_bounds_count_ + oob_count_; }
+  // Fraction of all observations that fell out of bounds (0 when empty).
+  double OutOfBoundsFraction() const;
+
+  const std::vector<int64_t>& bins() const { return bins_; }
+
+  // Percentile of the in-bounds distribution, `pct` in [0, 100].
+  // The paper rounds the head percentile down to the bin's lower edge and the
+  // tail percentile up to the bin's upper edge, hence two accessors.
+  // Both require in_bounds_count() > 0.
+  Duration PercentileLowerEdge(double pct) const;
+  Duration PercentileUpperEdge(double pct) const;
+
+  // Coefficient of variation of the bin counts (population stddev / mean),
+  // maintained online.  High CV = mass concentrated in few bins = the
+  // histogram is representative; CV near 0 = flat/uninformative.
+  double BinCountCv() const { return bin_count_stats_.CoefficientOfVariation(); }
+
+  // Merges another histogram with identical geometry (used by the production
+  // implementation's daily-histogram aggregation, Section 6).
+  void MergeFrom(const RangeLimitedHistogram& other);
+
+  void Reset();
+
+  // Approximate in-memory footprint in bytes (the paper stresses the
+  // per-application metadata cost: 240 integers = 960 bytes in production).
+  size_t ApproximateSizeBytes() const;
+
+ private:
+  int BinIndexFor(Duration value) const;
+  // Index of the first bin whose cumulative count reaches `target`.
+  int CumulativeSearch(int64_t target) const;
+
+  Duration bin_width_;
+  std::vector<int64_t> bins_;
+  int64_t in_bounds_count_ = 0;
+  int64_t oob_count_ = 0;
+  WelfordAccumulator bin_count_stats_;
+};
+
+}  // namespace faas
+
+#endif  // SRC_STATS_HISTOGRAM_H_

@@ -1,0 +1,44 @@
+// Derivative-free Nelder-Mead simplex minimiser.
+//
+// Used for maximum-likelihood fits with no closed form (Burr XII memory fit,
+// Figure 8) and for the conditional-sum-of-squares refinement inside the
+// ARIMA fitter.  The implementation is the standard adaptive simplex with
+// reflection / expansion / contraction / shrink steps.
+
+#ifndef SRC_STATS_NELDER_MEAD_H_
+#define SRC_STATS_NELDER_MEAD_H_
+
+#include <functional>
+#include <vector>
+
+namespace faas {
+
+struct NelderMeadOptions {
+  int max_iterations = 2000;
+  // Convergence: stop when the simplex's function-value spread falls below
+  // `f_tolerance` AND its coordinate diameter falls below `x_tolerance`
+  // (both required, so a simplex straddling the optimum keeps contracting).
+  double f_tolerance = 1e-10;
+  double x_tolerance = 1e-7;
+  // Initial simplex edge length relative to each coordinate (absolute step
+  // `initial_step` is used for coordinates near zero).
+  double relative_step = 0.05;
+  double initial_step = 0.00025;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double f = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Minimises `objective` starting from `initial`.  The objective may return
+// +infinity to reject infeasible points (used to enforce parameter bounds).
+NelderMeadResult NelderMeadMinimize(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<double>& initial, const NelderMeadOptions& options = {});
+
+}  // namespace faas
+
+#endif  // SRC_STATS_NELDER_MEAD_H_

@@ -1,0 +1,110 @@
+#include "src/stats/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace faas {
+
+P2Quantile::P2Quantile(double quantile) : quantile_(quantile) {
+  FAAS_CHECK(quantile > 0.0 && quantile < 1.0)
+      << "quantile must be in (0, 1)";
+  desired_increment_ = {0.0, quantile_ / 2.0, quantile_,
+                        (1.0 + quantile_) / 2.0, 1.0};
+}
+
+void P2Quantile::Add(double value) {
+  if (count_ < 5) {
+    heights_[static_cast<size_t>(count_)] = value;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) {
+        positions_[static_cast<size_t>(i)] = static_cast<double>(i + 1);
+      }
+      desired_ = {1.0, 1.0 + 2.0 * quantile_, 1.0 + 4.0 * quantile_,
+                  3.0 + 2.0 * quantile_, 5.0};
+    }
+    return;
+  }
+
+  // Locate the cell containing the new observation and update extremes.
+  int cell;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    cell = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], value);
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && value >= heights_[static_cast<size_t>(cell + 1)]) {
+      ++cell;
+    }
+  }
+
+  for (int i = cell + 1; i < 5; ++i) {
+    positions_[static_cast<size_t>(i)] += 1.0;
+  }
+  for (int i = 0; i < 5; ++i) {
+    desired_[static_cast<size_t>(i)] +=
+        desired_increment_[static_cast<size_t>(i)];
+  }
+  ++count_;
+  AdjustMarkers();
+}
+
+void P2Quantile::AdjustMarkers() {
+  for (int i = 1; i <= 3; ++i) {
+    const double gap = desired_[static_cast<size_t>(i)] -
+                       positions_[static_cast<size_t>(i)];
+    const double gap_right = positions_[static_cast<size_t>(i + 1)] -
+                             positions_[static_cast<size_t>(i)];
+    const double gap_left = positions_[static_cast<size_t>(i - 1)] -
+                            positions_[static_cast<size_t>(i)];
+    if ((gap >= 1.0 && gap_right > 1.0) || (gap <= -1.0 && gap_left < -1.0)) {
+      MoveMarker(i, gap >= 1.0 ? 1 : -1);
+    }
+  }
+}
+
+void P2Quantile::MoveMarker(int i, int direction) {
+  const auto idx = static_cast<size_t>(i);
+  const double d = direction;
+  const double q = heights_[idx];
+  const double q_prev = heights_[idx - 1];
+  const double q_next = heights_[idx + 1];
+  const double n = positions_[idx];
+  const double n_prev = positions_[idx - 1];
+  const double n_next = positions_[idx + 1];
+
+  // Piecewise-parabolic prediction.
+  double candidate =
+      q + d / (n_next - n_prev) *
+              ((n - n_prev + d) * (q_next - q) / (n_next - n) +
+               (n_next - n - d) * (q - q_prev) / (n - n_prev));
+  if (candidate <= q_prev || candidate >= q_next) {
+    // Linear fallback keeps the markers ordered.
+    const double neighbour = direction > 0 ? q_next : q_prev;
+    const double neighbour_pos = direction > 0 ? n_next : n_prev;
+    candidate = q + d * (neighbour - q) / (neighbour_pos - n);
+  }
+  heights_[idx] = candidate;
+  positions_[idx] += d;
+}
+
+double P2Quantile::Value() const {
+  FAAS_CHECK(count_ > 0) << "quantile of empty stream";
+  if (count_ < 5) {
+    // Exact: sort the few observations we have.
+    std::array<double, 5> copy = heights_;
+    std::sort(copy.begin(), copy.begin() + count_);
+    const auto rank = static_cast<int64_t>(
+        std::ceil(quantile_ * static_cast<double>(count_)));
+    return copy[static_cast<size_t>(std::clamp<int64_t>(rank, 1, count_) - 1)];
+  }
+  return heights_[2];
+}
+
+}  // namespace faas

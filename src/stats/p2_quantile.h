@@ -1,0 +1,48 @@
+// P-square (P²) streaming quantile estimator (Jain & Chlamtac, 1985).
+//
+// Estimates a single quantile of a stream in O(1) memory — five markers —
+// without storing observations.  The cluster simulator uses it to report
+// tail latencies on replays too large to buffer, and it is generally useful
+// wherever the histogram's fixed range does not fit (latencies span six
+// orders of magnitude).
+
+#ifndef SRC_STATS_P2_QUANTILE_H_
+#define SRC_STATS_P2_QUANTILE_H_
+
+#include <array>
+#include <cstdint>
+
+namespace faas {
+
+class P2Quantile {
+ public:
+  // `quantile` in (0, 1), e.g. 0.99 for the p99.
+  explicit P2Quantile(double quantile);
+
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+  // Current estimate; exact while fewer than 5 observations were seen.
+  // Requires count() > 0.
+  double Value() const;
+
+ private:
+  void AdjustMarkers();
+  // Piecewise-parabolic (P²) update of marker `i`'s height toward the
+  // desired position, falling back to linear when the parabola would leave
+  // the bracket.
+  void MoveMarker(int i, int direction);
+
+  double quantile_;
+  int64_t count_ = 0;
+  // Marker heights (estimates) and integer positions, plus desired
+  // positions and their per-observation increments.
+  std::array<double, 5> heights_ = {};
+  std::array<double, 5> positions_ = {};
+  std::array<double, 5> desired_ = {};
+  std::array<double, 5> desired_increment_ = {};
+};
+
+}  // namespace faas
+
+#endif  // SRC_STATS_P2_QUANTILE_H_

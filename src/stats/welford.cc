@@ -1,0 +1,59 @@
+#include "src/stats/welford.h"
+
+#include <cmath>
+
+namespace faas {
+
+void WelfordAccumulator::Add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void WelfordAccumulator::Replace(double old_value, double new_value) {
+  // Derivation: with fixed n, mean' = mean + (new - old)/n and
+  // M2' = M2 + (new - old) * (new - mean' + old - mean).
+  if (count_ == 0) {
+    return;
+  }
+  const double n = static_cast<double>(count_);
+  const double delta = new_value - old_value;
+  const double new_mean = mean_ + delta / n;
+  m2_ += delta * (new_value - new_mean + old_value - mean_);
+  mean_ = new_mean;
+  if (m2_ < 0.0) {
+    m2_ = 0.0;  // Guard against tiny negative drift from cancellation.
+  }
+}
+
+double WelfordAccumulator::PopulationVariance() const {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double WelfordAccumulator::SampleVariance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double WelfordAccumulator::PopulationStdDev() const {
+  return std::sqrt(PopulationVariance());
+}
+
+double WelfordAccumulator::SampleStdDev() const {
+  return std::sqrt(SampleVariance());
+}
+
+double WelfordAccumulator::CoefficientOfVariation() const {
+  if (count_ == 0 || mean_ == 0.0) {
+    return 0.0;
+  }
+  return PopulationStdDev() / mean_;
+}
+
+void WelfordAccumulator::Reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+}  // namespace faas

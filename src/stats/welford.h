@@ -1,0 +1,48 @@
+// Welford's online algorithm for streaming mean/variance.
+//
+// The paper (Section 4.2) tracks the coefficient of variation of the
+// histogram bin counts with Welford's method so the representativeness check
+// is O(1) per update and needs no second pass over the bins.
+
+#ifndef SRC_STATS_WELFORD_H_
+#define SRC_STATS_WELFORD_H_
+
+#include <cstdint>
+
+namespace faas {
+
+class WelfordAccumulator {
+ public:
+  // Adds one observation.
+  void Add(double value);
+  // Replaces a previously added observation with a new value, keeping the
+  // count unchanged.  This is what lets the histogram CV track bin-count
+  // changes in O(1): incrementing a bin replaces `old_count` with
+  // `old_count + 1` in the population of bin counts.
+  void Replace(double old_value, double new_value);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Population variance (divide by n); the CV check treats the bins as the
+  // full population, not a sample.
+  double PopulationVariance() const;
+  // Sample variance (divide by n-1).
+  double SampleVariance() const;
+  double PopulationStdDev() const;
+  double SampleStdDev() const;
+  // Coefficient of variation = population stddev / mean.  Returns 0 when the
+  // mean is 0 (an all-empty histogram is maximally uninformative, which the
+  // policy treats as "not representative", consistent with CV = 0).
+  double CoefficientOfVariation() const;
+
+  void Reset();
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Sum of squared deviations from the running mean.
+};
+
+}  // namespace faas
+
+#endif  // SRC_STATS_WELFORD_H_

@@ -1,0 +1,488 @@
+#include "src/trace/csv.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace faas {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Writes one day's invocation counts for every function.
+bool WriteInvocationDay(const Trace& trace, const std::string& path, int day) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "HashOwner,HashApp,HashFunction,Trigger";
+  for (int minute = 1; minute <= kMinutesPerDay; ++minute) {
+    out << ',' << minute;
+  }
+  out << '\n';
+
+  const int64_t day_start_ms = static_cast<int64_t>(day - 1) * 86'400'000;
+  const int64_t day_end_ms = day_start_ms + 86'400'000;
+  std::vector<int32_t> counts(kMinutesPerDay);
+  for (const auto& app : trace.apps) {
+    for (const auto& function : app.functions) {
+      std::fill(counts.begin(), counts.end(), 0);
+      for (TimePoint t : function.invocations) {
+        const int64_t ms = t.millis_since_origin();
+        if (ms < day_start_ms || ms >= day_end_ms) {
+          continue;
+        }
+        const int minute = static_cast<int>((ms - day_start_ms) / 60'000);
+        ++counts[static_cast<size_t>(minute)];
+      }
+      out << app.owner_id << ',' << app.app_id << ',' << function.function_id
+          << ',' << TriggerTypeName(function.trigger);
+      for (int minute = 0; minute < kMinutesPerDay; ++minute) {
+        out << ',' << counts[static_cast<size_t>(minute)];
+      }
+      out << '\n';
+    }
+  }
+  return out.good();
+}
+
+bool WriteDurations(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum\n";
+  for (const auto& app : trace.apps) {
+    for (const auto& function : app.functions) {
+      const ExecutionStats& e = function.execution;
+      out << app.owner_id << ',' << app.app_id << ',' << function.function_id
+          << ',' << e.average_ms << ',' << e.count << ',' << e.minimum_ms
+          << ',' << e.maximum_ms << '\n';
+    }
+  }
+  return out.good();
+}
+
+bool WriteMemory(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "HashOwner,HashApp,SampleCount,AverageAllocatedMb,"
+         "AverageAllocatedMb_pct1,AverageAllocatedMb_pct100\n";
+  for (const auto& app : trace.apps) {
+    const MemoryStats& m = app.memory;
+    out << app.owner_id << ',' << app.app_id << ',' << m.sample_count << ','
+        << m.average_mb << ',' << m.percentile1_mb << ',' << m.maximum_mb
+        << '\n';
+  }
+  return out.good();
+}
+
+struct FunctionKey {
+  std::string owner;
+  std::string app;
+  std::string function;
+
+  bool operator<(const FunctionKey& other) const {
+    if (owner != other.owner) {
+      return owner < other.owner;
+    }
+    if (app != other.app) {
+      return app < other.app;
+    }
+    return function < other.function;
+  }
+};
+
+}  // namespace
+
+std::string InvocationsFileName(int day_index) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "invocations_per_function.d%02d.csv",
+                day_index);
+  return buf;
+}
+
+std::string WriteTraceCsv(const Trace& trace, const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return "cannot create directory " + directory + ": " + ec.message();
+  }
+  const int days = static_cast<int>(
+      (trace.horizon.millis() + 86'399'999) / 86'400'000);
+  for (int day = 1; day <= std::max(days, 1); ++day) {
+    const std::string path =
+        (fs::path(directory) / InvocationsFileName(day)).string();
+    if (!WriteInvocationDay(trace, path, day)) {
+      return "failed writing " + path;
+    }
+  }
+  const std::string durations_path =
+      (fs::path(directory) / kDurationsFileName).string();
+  if (!WriteDurations(trace, durations_path)) {
+    return "failed writing " + durations_path;
+  }
+  const std::string memory_path =
+      (fs::path(directory) / kMemoryFileName).string();
+  if (!WriteMemory(trace, memory_path)) {
+    return "failed writing " + memory_path;
+  }
+  return "";
+}
+
+namespace {
+
+// Maps header column names to their indices.
+std::map<std::string, size_t, std::less<>> BuildHeaderIndex(
+    std::string_view header) {
+  std::map<std::string, size_t, std::less<>> index;
+  const std::vector<std::string_view> names = SplitString(header, ',');
+  for (size_t i = 0; i < names.size(); ++i) {
+    index.emplace(std::string(StripWhitespace(names[i])), i);
+  }
+  return index;
+}
+
+// Returns the first existing file among `directory/name` for each candidate
+// pattern (patterns may contain one %02d day placeholder).
+std::ifstream OpenFirstExisting(const std::string& directory,
+                                const std::vector<std::string>& names,
+                                std::string* opened_path) {
+  for (const std::string& name : names) {
+    const fs::path path = fs::path(directory) / name;
+    std::ifstream in(path);
+    if (in) {
+      if (opened_path != nullptr) {
+        *opened_path = path.string();
+      }
+      return in;
+    }
+  }
+  return std::ifstream();
+}
+
+std::string DayFileName(const char* pattern, int day) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), pattern, day);
+  return buf;
+}
+
+}  // namespace
+
+TraceIoResult<Trace> ReadTraceCsv(const std::string& directory) {
+  using Result = TraceIoResult<Trace>;
+
+  // Accumulate per-function state across day files.
+  struct FunctionBuilder {
+    TriggerType trigger = TriggerType::kHttp;
+    std::vector<TimePoint> invocations;
+    ExecutionStats execution;
+  };
+  std::map<FunctionKey, FunctionBuilder> functions;
+  // Preserve first-seen order of apps and functions for deterministic output.
+  std::vector<FunctionKey> function_order;
+
+  // ---- Invocations: per-day files, header-driven ---------------------------
+  // Accepts both this library's file names and the Azure public dataset's
+  // ("invocations_per_function_md.anon.dNN.csv").
+  int day = 1;
+  int days_read = 0;
+  while (true) {
+    std::string opened;
+    std::ifstream in = OpenFirstExisting(
+        directory,
+        {DayFileName("invocations_per_function.d%02d.csv", day),
+         DayFileName("invocations_per_function_md.anon.d%02d.csv", day)},
+        &opened);
+    if (!in.is_open()) {
+      break;
+    }
+    std::string line;
+    if (!std::getline(in, line)) {
+      return Result::Failure("empty invocations file: " + opened);
+    }
+    const auto header = BuildHeaderIndex(line);
+    const auto owner_col = header.find("HashOwner");
+    const auto app_col = header.find("HashApp");
+    const auto function_col = header.find("HashFunction");
+    const auto trigger_col = header.find("Trigger");
+    if (owner_col == header.end() || app_col == header.end() ||
+        function_col == header.end() || trigger_col == header.end()) {
+      return Result::Failure(opened + ": missing Hash*/Trigger columns");
+    }
+    // Column index of each minute "1".."1440".
+    std::vector<size_t> minute_cols(kMinutesPerDay);
+    for (int minute = 1; minute <= kMinutesPerDay; ++minute) {
+      const auto it = header.find(std::to_string(minute));
+      if (it == header.end()) {
+        return Result::Failure(opened + ": missing minute column " +
+                               std::to_string(minute));
+      }
+      minute_cols[static_cast<size_t>(minute - 1)] = it->second;
+    }
+
+    const int64_t day_start_ms = static_cast<int64_t>(day - 1) * 86'400'000;
+    int line_number = 1;
+    while (std::getline(in, line)) {
+      ++line_number;
+      if (StripWhitespace(line).empty()) {
+        continue;
+      }
+      const std::vector<std::string_view> fields = SplitString(line, ',');
+      if (fields.size() < header.size()) {
+        return Result::Failure(opened + ":" + std::to_string(line_number) +
+                               ": expected " + std::to_string(header.size()) +
+                               " fields, got " +
+                               std::to_string(fields.size()));
+      }
+      FunctionKey key{std::string(fields[owner_col->second]),
+                      std::string(fields[app_col->second]),
+                      std::string(fields[function_col->second])};
+      auto [it, inserted] = functions.try_emplace(key);
+      if (inserted) {
+        function_order.push_back(key);
+        const auto trigger = ParseTriggerType(fields[trigger_col->second]);
+        if (!trigger.has_value()) {
+          return Result::Failure(opened + ":" + std::to_string(line_number) +
+                                 ": unknown trigger '" +
+                                 std::string(fields[trigger_col->second]) +
+                                 "'");
+        }
+        it->second.trigger = *trigger;
+      }
+      for (int minute = 0; minute < kMinutesPerDay; ++minute) {
+        const auto count =
+            ParseInt64(fields[minute_cols[static_cast<size_t>(minute)]]);
+        if (!count.has_value() || *count < 0) {
+          return Result::Failure(opened + ":" + std::to_string(line_number) +
+                                 ": bad count in minute " +
+                                 std::to_string(minute + 1));
+        }
+        const int64_t k = *count;
+        if (k == 0) {
+          continue;
+        }
+        // Expand a count of k into k instants evenly spaced in the minute.
+        const int64_t minute_start =
+            day_start_ms + static_cast<int64_t>(minute) * 60'000;
+        for (int64_t i = 0; i < k; ++i) {
+          const int64_t offset = (2 * i + 1) * 60'000 / (2 * k);
+          it->second.invocations.emplace_back(minute_start + offset);
+        }
+      }
+    }
+    ++day;
+    ++days_read;
+  }
+  if (days_read == 0) {
+    return Result::Failure("no invocation day files found in " + directory);
+  }
+
+  // ---- Durations: single file or the dataset's per-day files ---------------
+  // Multi-day summaries merge as count-weighted averages, with min/max
+  // aggregated across days.
+  {
+    std::vector<std::string> candidates = {kDurationsFileName};
+    for (int d = 1; d <= days_read; ++d) {
+      candidates.push_back(
+          DayFileName("function_durations_percentiles.anon.d%02d.csv", d));
+    }
+    for (const std::string& name : candidates) {
+      const fs::path path = fs::path(directory) / name;
+      std::ifstream in(path);
+      if (!in) {
+        continue;
+      }
+      std::string line;
+      if (!std::getline(in, line)) {
+        continue;
+      }
+      const auto header = BuildHeaderIndex(line);
+      const auto owner_col = header.find("HashOwner");
+      const auto app_col = header.find("HashApp");
+      const auto function_col = header.find("HashFunction");
+      const auto average_col = header.find("Average");
+      const auto count_col = header.find("Count");
+      const auto minimum_col = header.find("Minimum");
+      const auto maximum_col = header.find("Maximum");
+      if (owner_col == header.end() || app_col == header.end() ||
+          function_col == header.end() || average_col == header.end() ||
+          count_col == header.end() || minimum_col == header.end() ||
+          maximum_col == header.end()) {
+        return Result::Failure(path.string() + ": missing duration columns");
+      }
+      int line_number = 1;
+      while (std::getline(in, line)) {
+        ++line_number;
+        if (StripWhitespace(line).empty()) {
+          continue;
+        }
+        const std::vector<std::string_view> fields = SplitString(line, ',');
+        if (fields.size() < header.size()) {
+          return Result::Failure(path.string() + ":" +
+                                 std::to_string(line_number) +
+                                 ": short duration row");
+        }
+        FunctionKey key{std::string(fields[owner_col->second]),
+                        std::string(fields[app_col->second]),
+                        std::string(fields[function_col->second])};
+        const auto it = functions.find(key);
+        if (it == functions.end()) {
+          continue;  // Duration rows for functions with no invocations.
+        }
+        const auto average = ParseDouble(fields[average_col->second]);
+        const auto count = ParseInt64(fields[count_col->second]);
+        const auto minimum = ParseDouble(fields[minimum_col->second]);
+        const auto maximum = ParseDouble(fields[maximum_col->second]);
+        if (!average || !count || !minimum || !maximum) {
+          return Result::Failure(path.string() + ":" +
+                                 std::to_string(line_number) +
+                                 ": bad numeric field");
+        }
+        ExecutionStats& stats = it->second.execution;
+        if (stats.count == 0) {
+          stats = {*average, *minimum, *maximum, *count};
+        } else {
+          const double total =
+              static_cast<double>(stats.count) + static_cast<double>(*count);
+          if (total > 0.0) {
+            stats.average_ms = (stats.average_ms *
+                                    static_cast<double>(stats.count) +
+                                *average * static_cast<double>(*count)) /
+                               total;
+          }
+          stats.minimum_ms = std::min(stats.minimum_ms, *minimum);
+          stats.maximum_ms = std::max(stats.maximum_ms, *maximum);
+          stats.count += *count;
+        }
+      }
+    }
+  }
+
+  // ---- Memory: single file or the dataset's per-day files ------------------
+  struct AppMemory {
+    MemoryStats stats;
+  };
+  std::map<std::pair<std::string, std::string>, AppMemory> memory;
+  {
+    std::vector<std::string> candidates = {kMemoryFileName};
+    for (int d = 1; d <= days_read; ++d) {
+      candidates.push_back(
+          DayFileName("app_memory_percentiles.anon.d%02d.csv", d));
+    }
+    for (const std::string& name : candidates) {
+      const fs::path path = fs::path(directory) / name;
+      std::ifstream in(path);
+      if (!in) {
+        continue;
+      }
+      std::string line;
+      if (!std::getline(in, line)) {
+        continue;
+      }
+      const auto header = BuildHeaderIndex(line);
+      const auto owner_col = header.find("HashOwner");
+      const auto app_col = header.find("HashApp");
+      const auto samples_col = header.find("SampleCount");
+      const auto average_col = header.find("AverageAllocatedMb");
+      const auto pct1_col = header.find("AverageAllocatedMb_pct1");
+      const auto pct100_col = header.find("AverageAllocatedMb_pct100");
+      if (owner_col == header.end() || app_col == header.end() ||
+          samples_col == header.end() || average_col == header.end()) {
+        return Result::Failure(path.string() + ": missing memory columns");
+      }
+      int line_number = 1;
+      while (std::getline(in, line)) {
+        ++line_number;
+        if (StripWhitespace(line).empty()) {
+          continue;
+        }
+        const std::vector<std::string_view> fields = SplitString(line, ',');
+        if (fields.size() < header.size()) {
+          return Result::Failure(path.string() + ":" +
+                                 std::to_string(line_number) +
+                                 ": short memory row");
+        }
+        const auto samples = ParseInt64(fields[samples_col->second]);
+        const auto average = ParseDouble(fields[average_col->second]);
+        if (!samples || !average) {
+          return Result::Failure(path.string() + ":" +
+                                 std::to_string(line_number) +
+                                 ": bad numeric field");
+        }
+        double pct1 = *average;
+        double maximum = *average;
+        if (pct1_col != header.end()) {
+          pct1 = ParseDouble(fields[pct1_col->second]).value_or(*average);
+        }
+        if (pct100_col != header.end()) {
+          maximum = ParseDouble(fields[pct100_col->second]).value_or(*average);
+        }
+        const std::pair<std::string, std::string> app_key{
+            std::string(fields[owner_col->second]),
+            std::string(fields[app_col->second])};
+        AppMemory& entry = memory[app_key];
+        MemoryStats& stats = entry.stats;
+        if (stats.sample_count == 0) {
+          stats = {*average, pct1, maximum, *samples};
+        } else {
+          const double total = static_cast<double>(stats.sample_count) +
+                               static_cast<double>(*samples);
+          if (total > 0.0) {
+            stats.average_mb =
+                (stats.average_mb * static_cast<double>(stats.sample_count) +
+                 *average * static_cast<double>(*samples)) /
+                total;
+            stats.percentile1_mb =
+                (stats.percentile1_mb *
+                     static_cast<double>(stats.sample_count) +
+                 pct1 * static_cast<double>(*samples)) /
+                total;
+          }
+          stats.maximum_mb = std::max(stats.maximum_mb, maximum);
+          stats.sample_count += *samples;
+        }
+      }
+    }
+  }
+
+  // Assemble apps, preserving first-seen order.
+  Trace trace;
+  trace.horizon = Duration::Days(days_read);
+  std::map<std::pair<std::string, std::string>, size_t> app_index;
+  for (const FunctionKey& key : function_order) {
+    FunctionBuilder& builder = functions[key];
+    const std::pair<std::string, std::string> app_key{key.owner, key.app};
+    auto [it, inserted] = app_index.try_emplace(app_key, trace.apps.size());
+    if (inserted) {
+      AppTrace app;
+      app.owner_id = key.owner;
+      app.app_id = key.app;
+      const auto mem_it = memory.find(app_key);
+      if (mem_it != memory.end()) {
+        app.memory = mem_it->second.stats;
+      }
+      trace.apps.push_back(std::move(app));
+    }
+    FunctionTrace function;
+    function.function_id = key.function;
+    function.trigger = builder.trigger;
+    function.invocations = std::move(builder.invocations);
+    function.execution = builder.execution;
+    trace.apps[it->second].functions.push_back(std::move(function));
+  }
+  return Result::Success(std::move(trace));
+}
+
+}  // namespace faas

@@ -1,0 +1,67 @@
+// CSV serialization of traces in the Azure public dataset schemas.
+//
+// The dataset released with the paper has three file families:
+//   1. invocations_per_function.dNN.csv — one file per trace day, one row per
+//      function: HashOwner,HashApp,HashFunction,Trigger,1,2,...,1440 with the
+//      per-minute invocation counts of that day;
+//   2. function_durations.csv — per-function execution-time summary:
+//      HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum (ms);
+//   3. app_memory.csv — per-application allocated memory summary:
+//      HashOwner,HashApp,SampleCount,AverageAllocatedMb,
+//      AverageAllocatedMb_pct1,AverageAllocatedMb_pct100.
+//
+// The writer emits exactly these schemas from a Trace; the reader parses them
+// back.  Because the public dataset (and therefore the schema) bins
+// invocations per minute, exact sub-minute instants are not preserved across
+// a round trip: the reader re-expands a count of k in minute m into k
+// instants evenly spaced inside the minute, the same granularity limitation
+// the paper works under (Section 3.1, "Limitations").
+
+#ifndef SRC_TRACE_CSV_H_
+#define SRC_TRACE_CSV_H_
+
+#include <string>
+
+#include "src/trace/types.h"
+
+namespace faas {
+
+// Outcome of a parse/IO operation: holds either a value or an error message.
+template <typename T>
+struct TraceIoResult {
+  T value{};
+  bool ok = false;
+  std::string error;
+
+  static TraceIoResult Success(T v) {
+    TraceIoResult r;
+    r.value = std::move(v);
+    r.ok = true;
+    return r;
+  }
+  static TraceIoResult Failure(std::string message) {
+    TraceIoResult r;
+    r.error = std::move(message);
+    return r;
+  }
+};
+
+inline constexpr int kMinutesPerDay = 1440;
+
+// Writes the three file families into `directory` (created if missing).
+// Returns an empty string on success, otherwise an error description.
+std::string WriteTraceCsv(const Trace& trace, const std::string& directory);
+
+// Reads a trace previously written by WriteTraceCsv (or hand-assembled in
+// the same schema).  Day files are read while
+// `directory/invocations_per_function.dNN.csv` exists, starting at d01.
+TraceIoResult<Trace> ReadTraceCsv(const std::string& directory);
+
+// File-name helpers (exposed for tests).
+std::string InvocationsFileName(int day_index);  // day_index starts at 1.
+inline constexpr char kDurationsFileName[] = "function_durations.csv";
+inline constexpr char kMemoryFileName[] = "app_memory.csv";
+
+}  // namespace faas
+
+#endif  // SRC_TRACE_CSV_H_

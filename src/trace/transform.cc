@@ -1,0 +1,94 @@
+#include "src/trace/transform.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace faas {
+
+Trace ClipToHorizon(const Trace& trace, Duration horizon) {
+  Trace clipped;
+  clipped.horizon = horizon;
+  for (const AppTrace& app : trace.apps) {
+    AppTrace copy = app;
+    for (FunctionTrace& function : copy.functions) {
+      std::vector<TimePoint> kept;
+      kept.reserve(function.invocations.size());
+      for (TimePoint t : function.invocations) {
+        if (t.millis_since_origin() < horizon.millis()) {
+          kept.push_back(t);
+        }
+      }
+      function.invocations = std::move(kept);
+    }
+    std::erase_if(copy.functions, [](const FunctionTrace& function) {
+      return function.invocations.empty();
+    });
+    if (!copy.functions.empty()) {
+      clipped.apps.push_back(std::move(copy));
+    }
+  }
+  return clipped;
+}
+
+Trace FilterApps(const Trace& trace,
+                 const std::function<bool(const AppTrace&)>& predicate) {
+  Trace filtered;
+  filtered.horizon = trace.horizon;
+  for (const AppTrace& app : trace.apps) {
+    if (predicate(app)) {
+      filtered.apps.push_back(app);
+    }
+  }
+  return filtered;
+}
+
+Trace SampleApps(const Trace& trace, size_t count, uint64_t seed) {
+  std::vector<size_t> indices(trace.apps.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = i;
+  }
+  Rng rng(seed);
+  // Fisher-Yates shuffle, deterministic per seed.
+  for (size_t i = indices.size(); i > 1; --i) {
+    std::swap(indices[i - 1], indices[rng.UniformInt(i)]);
+  }
+  Trace sampled;
+  sampled.horizon = trace.horizon;
+  const size_t kept = std::min(count, indices.size());
+  for (size_t i = 0; i < kept; ++i) {
+    sampled.apps.push_back(trace.apps[indices[i]]);
+  }
+  // Keep output order deterministic and readable.
+  std::sort(sampled.apps.begin(), sampled.apps.end(),
+            [](const AppTrace& a, const AppTrace& b) {
+              return a.app_id < b.app_id;
+            });
+  return sampled;
+}
+
+std::function<bool(const AppTrace&)> InvocationCountBetween(int64_t lo,
+                                                            int64_t hi) {
+  return [lo, hi](const AppTrace& app) {
+    const int64_t invocations = app.TotalInvocations();
+    return invocations >= lo && invocations <= hi;
+  };
+}
+
+std::function<bool(const AppTrace&)> MedianIatBetween(Duration lo, Duration hi,
+                                                      int64_t min_invocations) {
+  return [lo, hi, min_invocations](const AppTrace& app) {
+    if (app.TotalInvocations() < min_invocations) {
+      return false;
+    }
+    std::vector<Duration> iats = InterArrivalTimes(app.MergedInvocationTimes());
+    if (iats.empty()) {
+      return false;
+    }
+    std::sort(iats.begin(), iats.end());
+    const Duration median = iats[iats.size() / 2];
+    return median >= lo && median <= hi;
+  };
+}
+
+}  // namespace faas

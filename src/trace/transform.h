@@ -1,0 +1,45 @@
+// Trace transformation utilities: clipping, filtering, sampling.
+//
+// The paper's experiments repeatedly carve sub-traces out of the full one
+// (the first week for simulations; 68 mid-popularity apps clipped to 8 hours
+// for the OpenWhisk run).  These helpers implement those operations once,
+// preserving structural invariants (sorted invocations, no empty functions
+// or apps).
+
+#ifndef SRC_TRACE_TRANSFORM_H_
+#define SRC_TRACE_TRANSFORM_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/trace/types.h"
+
+namespace faas {
+
+// Returns a copy containing only invocations in [0, horizon); functions and
+// apps left with no invocations are dropped; the result's horizon is
+// `horizon`.
+Trace ClipToHorizon(const Trace& trace, Duration horizon);
+
+// Returns a copy containing only the apps for which `predicate` returns
+// true.  The horizon is unchanged.
+Trace FilterApps(const Trace& trace,
+                 const std::function<bool(const AppTrace&)>& predicate);
+
+// Deterministically samples up to `count` apps (uniformly, seeded shuffle).
+Trace SampleApps(const Trace& trace, size_t count, uint64_t seed);
+
+// Convenience predicate helpers -------------------------------------------
+
+// Total invocations within [lo, hi].
+std::function<bool(const AppTrace&)> InvocationCountBetween(int64_t lo,
+                                                            int64_t hi);
+
+// Median inter-arrival time within [lo, hi]; apps with fewer than
+// `min_invocations` invocations never match.
+std::function<bool(const AppTrace&)> MedianIatBetween(
+    Duration lo, Duration hi, int64_t min_invocations = 10);
+
+}  // namespace faas
+
+#endif  // SRC_TRACE_TRANSFORM_H_

@@ -1,0 +1,191 @@
+#include "src/trace/types.h"
+
+#include <algorithm>
+#include <array>
+
+namespace faas {
+
+const std::vector<TriggerType>& AllTriggerTypes() {
+  static const std::vector<TriggerType> kAll = {
+      TriggerType::kHttp,  TriggerType::kQueue,   TriggerType::kEvent,
+      TriggerType::kOrchestration, TriggerType::kTimer, TriggerType::kStorage,
+      TriggerType::kOthers};
+  return kAll;
+}
+
+std::string_view TriggerTypeName(TriggerType trigger) {
+  switch (trigger) {
+    case TriggerType::kHttp:
+      return "http";
+    case TriggerType::kQueue:
+      return "queue";
+    case TriggerType::kEvent:
+      return "event";
+    case TriggerType::kOrchestration:
+      return "orchestration";
+    case TriggerType::kTimer:
+      return "timer";
+    case TriggerType::kStorage:
+      return "storage";
+    case TriggerType::kOthers:
+      return "others";
+  }
+  return "unknown";
+}
+
+std::optional<TriggerType> ParseTriggerType(std::string_view name) {
+  for (TriggerType trigger : AllTriggerTypes()) {
+    if (TriggerTypeName(trigger) == name) {
+      return trigger;
+    }
+  }
+  return std::nullopt;
+}
+
+char TriggerShortCode(TriggerType trigger) {
+  switch (trigger) {
+    case TriggerType::kHttp:
+      return 'H';
+    case TriggerType::kQueue:
+      return 'Q';
+    case TriggerType::kEvent:
+      return 'E';
+    case TriggerType::kOrchestration:
+      return 'O';
+    case TriggerType::kTimer:
+      return 'T';
+    case TriggerType::kStorage:
+      return 'S';
+    case TriggerType::kOthers:
+      return 'o';
+  }
+  return '?';
+}
+
+int64_t AppTrace::TotalInvocations() const {
+  int64_t total = 0;
+  for (const auto& function : functions) {
+    total += function.InvocationCount();
+  }
+  return total;
+}
+
+std::vector<TimePoint> AppTrace::MergedInvocationTimes() const {
+  std::vector<TimePoint> merged;
+  size_t total = 0;
+  for (const auto& function : functions) {
+    total += function.invocations.size();
+  }
+  merged.reserve(total);
+  for (const auto& function : functions) {
+    merged.insert(merged.end(), function.invocations.begin(),
+                  function.invocations.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  return merged;
+}
+
+std::set<TriggerType> AppTrace::TriggerSet() const {
+  std::set<TriggerType> triggers;
+  for (const auto& function : functions) {
+    triggers.insert(function.trigger);
+  }
+  return triggers;
+}
+
+bool AppTrace::HasTrigger(TriggerType trigger) const {
+  for (const auto& function : functions) {
+    if (function.trigger == trigger) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string AppTrace::TriggerComboKey() const {
+  // Figure 3(b) orders combination keys H, T, Q, S, E, O, o.
+  static constexpr std::array<TriggerType, kNumTriggerTypes> kOrder = {
+      TriggerType::kHttp,    TriggerType::kTimer,  TriggerType::kQueue,
+      TriggerType::kStorage, TriggerType::kEvent,
+      TriggerType::kOrchestration, TriggerType::kOthers};
+  const std::set<TriggerType> present = TriggerSet();
+  std::string key;
+  for (TriggerType trigger : kOrder) {
+    if (present.count(trigger) > 0) {
+      key.push_back(TriggerShortCode(trigger));
+    }
+  }
+  return key;
+}
+
+int64_t Trace::TotalInvocations() const {
+  int64_t total = 0;
+  for (const auto& app : apps) {
+    total += app.TotalInvocations();
+  }
+  return total;
+}
+
+int64_t Trace::TotalFunctions() const {
+  int64_t total = 0;
+  for (const auto& app : apps) {
+    total += static_cast<int64_t>(app.functions.size());
+  }
+  return total;
+}
+
+std::optional<std::string> Trace::Validate() const {
+  for (const auto& app : apps) {
+    if (app.app_id.empty()) {
+      return "app with empty id";
+    }
+    if (app.functions.empty()) {
+      return "app " + app.app_id + " has no functions";
+    }
+    for (const auto& function : app.functions) {
+      if (function.function_id.empty()) {
+        return "function with empty id in app " + app.app_id;
+      }
+      TimePoint previous = TimePoint::Origin();
+      bool first = true;
+      for (TimePoint t : function.invocations) {
+        if (t < TimePoint::Origin() ||
+            t.millis_since_origin() >= horizon.millis()) {
+          return "invocation outside horizon in function " +
+                 function.function_id;
+        }
+        if (!first && t < previous) {
+          return "unsorted invocations in function " + function.function_id;
+        }
+        previous = t;
+        first = false;
+      }
+      if (function.execution.minimum_ms < 0.0 ||
+          function.execution.average_ms < 0.0 ||
+          function.execution.maximum_ms < function.execution.minimum_ms) {
+        return "invalid execution stats in function " + function.function_id;
+      }
+    }
+    if (app.memory.average_mb < 0.0 ||
+        app.memory.maximum_mb < app.memory.average_mb * 0.999999 - 1e-9) {
+      // max can equal avg (single sample) but must not be smaller.
+      return "invalid memory stats in app " + app.app_id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Duration> InterArrivalTimes(
+    const std::vector<TimePoint>& instants) {
+  std::vector<Duration> iats;
+  if (instants.size() < 2) {
+    return iats;
+  }
+  iats.reserve(instants.size() - 1);
+  for (size_t i = 1; i < instants.size(); ++i) {
+    iats.push_back(instants[i] - instants[i - 1]);
+  }
+  return iats;
+}
+
+}  // namespace faas

@@ -1,0 +1,114 @@
+// FaaS trace object model.
+//
+// Mirrors the structure of the Azure Functions public dataset released with
+// the paper (github.com/Azure/AzurePublicDataset): owners own applications,
+// applications group functions (the app is the unit of scheduling and memory
+// allocation), each function has one trigger class and a stream of
+// invocations, execution-time summary stats are per function, and memory
+// stats are per application.
+
+#ifndef SRC_TRACE_TYPES_H_
+#define SRC_TRACE_TYPES_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace faas {
+
+// The paper groups Azure's many trigger kinds into 7 classes (Section 2).
+enum class TriggerType : uint8_t {
+  kHttp = 0,
+  kQueue = 1,
+  kEvent = 2,
+  kOrchestration = 3,
+  kTimer = 4,
+  kStorage = 5,
+  kOthers = 6,
+};
+
+inline constexpr int kNumTriggerTypes = 7;
+
+// All trigger values, in enum order, for iteration.
+const std::vector<TriggerType>& AllTriggerTypes();
+
+std::string_view TriggerTypeName(TriggerType trigger);
+std::optional<TriggerType> ParseTriggerType(std::string_view name);
+
+// Per-function execution-time summary, as recorded by the duration dataset
+// (Section 3.1, dataset 3): per-interval average/min/max with a sample count.
+struct ExecutionStats {
+  double average_ms = 0.0;
+  double minimum_ms = 0.0;
+  double maximum_ms = 0.0;
+  int64_t count = 0;
+};
+
+// Per-application allocated-memory summary (Section 3.1, dataset 4).  The
+// paper uses the 1st percentile instead of the minimum because the minimum
+// measurement was unusable.
+struct MemoryStats {
+  double average_mb = 0.0;
+  double percentile1_mb = 0.0;
+  double maximum_mb = 0.0;
+  int64_t sample_count = 0;
+};
+
+struct FunctionTrace {
+  std::string function_id;
+  TriggerType trigger = TriggerType::kHttp;
+  // Invocation instants, ascending.  (The public dataset stores 1-minute
+  // counts; our CSV reader expands counts back to instants.)
+  std::vector<TimePoint> invocations;
+  ExecutionStats execution;
+
+  int64_t InvocationCount() const {
+    return static_cast<int64_t>(invocations.size());
+  }
+};
+
+struct AppTrace {
+  std::string owner_id;
+  std::string app_id;
+  std::vector<FunctionTrace> functions;
+  MemoryStats memory;
+
+  int64_t TotalInvocations() const;
+  // All invocation instants across functions, merged and sorted ascending.
+  std::vector<TimePoint> MergedInvocationTimes() const;
+  // Distinct trigger classes present in this app.
+  std::set<TriggerType> TriggerSet() const;
+  bool HasTrigger(TriggerType trigger) const;
+  // Canonical combination key ordered as the paper's Figure 3(b): e.g. "HT"
+  // for HTTP+Timer, "HTQ" for HTTP+Timer+Queue.
+  std::string TriggerComboKey() const;
+};
+
+struct Trace {
+  std::vector<AppTrace> apps;
+  // Trace horizon: all invocations lie in [0, horizon).
+  Duration horizon;
+
+  int64_t TotalInvocations() const;
+  int64_t TotalFunctions() const;
+
+  // Checks structural invariants (ascending invocation times within the
+  // horizon, non-empty ids, sane stats).  Returns an error description or
+  // nullopt when valid.
+  std::optional<std::string> Validate() const;
+};
+
+// Inter-arrival times (consecutive differences) of a sorted instant stream.
+std::vector<Duration> InterArrivalTimes(const std::vector<TimePoint>& instants);
+
+// Single-letter code used in trigger combination keys (H, Q, E, O, T, S, o).
+char TriggerShortCode(TriggerType trigger);
+
+}  // namespace faas
+
+#endif  // SRC_TRACE_TYPES_H_

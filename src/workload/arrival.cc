@@ -1,0 +1,167 @@
+#include "src/workload/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace faas {
+
+namespace {
+
+constexpr double kMillisPerDay = 86'400'000.0;
+
+}  // namespace
+
+DiurnalProfile::DiurnalProfile(const GeneratorConfig& config)
+    : baseline_(config.diurnal_baseline),
+      weekend_dampening_(config.weekend_dampening),
+      peak_hour_(config.peak_hour_utc) {
+  FAAS_CHECK(baseline_ > 0.0 && baseline_ <= 1.0) << "baseline in (0,1]";
+}
+
+double DiurnalProfile::MultiplierAt(TimePoint t) const {
+  const double ms = static_cast<double>(t.millis_since_origin());
+  const double day_fraction = std::fmod(ms, kMillisPerDay) / kMillisPerDay;
+  const double hour = day_fraction * 24.0;
+  const int day_index = static_cast<int>(ms / kMillisPerDay);
+  // Day 0 is a Monday (the trace starts Monday, July 15th 2019); days 5 and
+  // 6 of each week are the weekend.
+  const bool weekend = (day_index % 7) >= 5;
+
+  // Raised-cosine hump centred on the peak hour, on top of the baseline.
+  const double phase = 2.0 * M_PI * (hour - peak_hour_) / 24.0;
+  double hump = 0.5 * (1.0 + std::cos(phase));  // In [0, 1], peak at peak_hour.
+  // Sharpen the hump slightly so the peak is pronounced, as in Figure 4.
+  hump = std::pow(hump, 1.5);
+  double multiplier = baseline_ + (1.0 - baseline_) * hump;
+  if (weekend) {
+    // Weekends keep the baseline but shrink the diurnal swing.
+    multiplier = baseline_ + (multiplier - baseline_) * weekend_dampening_;
+  }
+  return multiplier;
+}
+
+std::vector<TimePoint> GeneratePeriodicArrivals(Duration period,
+                                                Duration horizon, Rng& rng,
+                                                double jitter_fraction) {
+  FAAS_CHECK(period.millis() > 0) << "period must be positive";
+  std::vector<TimePoint> arrivals;
+  const int64_t phase =
+      static_cast<int64_t>(rng.NextDouble() * static_cast<double>(period.millis()));
+  const double jitter_ms =
+      jitter_fraction * static_cast<double>(period.millis());
+  for (int64_t t = phase; t < horizon.millis(); t += period.millis()) {
+    int64_t instant = t;
+    if (jitter_ms > 0.0) {
+      instant += static_cast<int64_t>((rng.NextDouble() - 0.5) * jitter_ms);
+      instant = std::clamp<int64_t>(instant, 0, horizon.millis() - 1);
+    }
+    arrivals.emplace_back(instant);
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  return arrivals;
+}
+
+std::vector<TimePoint> GeneratePoissonArrivals(double mean_rate_per_day,
+                                               Duration horizon,
+                                               const DiurnalProfile& profile,
+                                               Rng& rng) {
+  std::vector<TimePoint> arrivals;
+  if (mean_rate_per_day <= 0.0) {
+    return arrivals;
+  }
+  // The diurnal multiplier's time average over a week is needed so that the
+  // realised mean rate matches the request.  Estimate it once on a coarse
+  // grid (hourly over one week is exact enough for a smooth profile).
+  double avg_multiplier = 0.0;
+  constexpr int kGrid = 24 * 7;
+  for (int i = 0; i < kGrid; ++i) {
+    avg_multiplier += profile.MultiplierAt(
+        TimePoint(static_cast<int64_t>(i) * 3'600'000));
+  }
+  avg_multiplier /= kGrid;
+
+  // Lewis-Shedler thinning with majorant rate = peak (multiplier 1).
+  const double peak_rate_per_ms =
+      (mean_rate_per_day / avg_multiplier) / kMillisPerDay;
+  arrivals.reserve(static_cast<size_t>(
+      mean_rate_per_day * horizon.millis() / kMillisPerDay * 1.1) + 4);
+  double t_ms = 0.0;
+  const double horizon_ms = static_cast<double>(horizon.millis());
+  while (true) {
+    t_ms += rng.NextExponential(peak_rate_per_ms);
+    if (t_ms >= horizon_ms) {
+      break;
+    }
+    const TimePoint candidate(static_cast<int64_t>(t_ms));
+    if (rng.NextDouble() < profile.MultiplierAt(candidate)) {
+      arrivals.push_back(candidate);
+    }
+  }
+  return arrivals;
+}
+
+std::vector<TimePoint> GenerateBurstyArrivals(double mean_rate_per_day,
+                                              Duration horizon,
+                                              const DiurnalProfile& profile,
+                                              Rng& rng,
+                                              double events_per_burst,
+                                              Duration intra_burst_iat) {
+  std::vector<TimePoint> arrivals;
+  if (mean_rate_per_day <= 0.0) {
+    return arrivals;
+  }
+  FAAS_CHECK(events_per_burst >= 1.0) << "need at least one event per burst";
+  FAAS_CHECK(intra_burst_iat.millis() > 0) << "intra-burst IAT must be positive";
+
+  // Burst epochs: diurnal-modulated Poisson at rate / events_per_burst.
+  const std::vector<TimePoint> epochs = GeneratePoissonArrivals(
+      mean_rate_per_day / events_per_burst, horizon, profile, rng);
+
+  const double intra_rate_per_ms =
+      1.0 / static_cast<double>(intra_burst_iat.millis());
+  const double horizon_ms = static_cast<double>(horizon.millis());
+  for (TimePoint epoch : epochs) {
+    arrivals.push_back(epoch);
+    const double extra = rng.NextPoisson(events_per_burst - 1.0);
+    double t_ms = static_cast<double>(epoch.millis_since_origin());
+    for (double k = 0; k < extra; k += 1.0) {
+      t_ms += rng.NextExponential(intra_rate_per_ms);
+      if (t_ms >= horizon_ms) {
+        break;
+      }
+      arrivals.emplace_back(static_cast<int64_t>(t_ms));
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  return arrivals;
+}
+
+Duration SnapToTimerPeriod(double desired_rate_per_day) {
+  // Cron-style grid: 1, 2, 5, 10, 15, 30 minutes; 1, 2, 4, 6, 12 hours; 1 day.
+  static const Duration kGrid[] = {
+      Duration::Minutes(1),  Duration::Minutes(2),  Duration::Minutes(5),
+      Duration::Minutes(10), Duration::Minutes(15), Duration::Minutes(30),
+      Duration::Hours(1),    Duration::Hours(2),    Duration::Hours(4),
+      Duration::Hours(6),    Duration::Hours(12),   Duration::Days(1),
+  };
+  if (desired_rate_per_day <= 0.0) {
+    return Duration::Days(1);
+  }
+  const double desired_period_ms = kMillisPerDay / desired_rate_per_day;
+  Duration best = kGrid[0];
+  double best_error = std::numeric_limits<double>::infinity();
+  for (Duration candidate : kGrid) {
+    const double error = std::fabs(
+        std::log(static_cast<double>(candidate.millis()) / desired_period_ms));
+    if (error < best_error) {
+      best_error = error;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace faas

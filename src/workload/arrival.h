@@ -1,0 +1,72 @@
+// Arrival-process generators for synthetic invocation streams.
+//
+// Three behaviours cover the IAT-variability spectrum the paper measures
+// (Figure 6): periodic streams (timers and IoT-style callers, CV ~ 0),
+// diurnal-modulated Poisson streams (human traffic, CV ~ 1), and bursty
+// on/off-modulated Poisson streams (queue drains and event batches, CV > 1).
+// The diurnal profile reproduces the platform-wide hourly shape of Figure 4:
+// a constant baseline around 50% of peak plus daily and weekly swings.
+
+#ifndef SRC_WORKLOAD_ARRIVAL_H_
+#define SRC_WORKLOAD_ARRIVAL_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/workload/config.h"
+
+namespace faas {
+
+// Platform load multiplier over time, normalised so the PEAK is 1.0.
+class DiurnalProfile {
+ public:
+  explicit DiurnalProfile(const GeneratorConfig& config);
+
+  // Multiplier in (0, 1] at an instant (day 0 = Monday by convention; the
+  // paper's trace starts Monday July 15th, 2019).
+  double MultiplierAt(TimePoint t) const;
+
+  double baseline() const { return baseline_; }
+
+ private:
+  double baseline_;
+  double weekend_dampening_;
+  double peak_hour_;
+};
+
+// Periodic arrivals: period `period`, phase uniform in [0, period), plus an
+// optional per-event jitter (fraction of the period; 0 = strictly periodic).
+std::vector<TimePoint> GeneratePeriodicArrivals(Duration period,
+                                                Duration horizon, Rng& rng,
+                                                double jitter_fraction = 0.0);
+
+// Non-homogeneous Poisson arrivals via Lewis-Shedler thinning against the
+// diurnal profile.  `mean_rate_per_day` is the time-averaged rate; the
+// instantaneous rate is scaled so the average over the horizon matches.
+std::vector<TimePoint> GeneratePoissonArrivals(double mean_rate_per_day,
+                                               Duration horizon,
+                                               const DiurnalProfile& profile,
+                                               Rng& rng);
+
+// Bursty arrivals: a Poisson cluster (Neyman-Scott) process.  Burst epochs
+// arrive as a diurnal-modulated Poisson stream with rate
+// `mean_rate_per_day / events_per_burst`; each burst carries
+// 1 + Poisson(events_per_burst - 1) events whose intra-burst inter-arrival
+// times are exponential with mean `intra_burst_iat`.  Crucially the
+// intra-burst spacing is independent of how rare the app is — matching the
+// production observation that even infrequently-invoked applications see
+// tight clumps of invocations — and IAT CVs land well above 1.
+std::vector<TimePoint> GenerateBurstyArrivals(
+    double mean_rate_per_day, Duration horizon, const DiurnalProfile& profile,
+    Rng& rng, double events_per_burst = 8.0,
+    Duration intra_burst_iat = Duration::Seconds(45));
+
+// Picks the timer period (a "cron-like" round value) whose firing rate best
+// matches the requested daily rate.  95% of timer functions fire at most
+// once per minute, so the grid starts at one minute.
+Duration SnapToTimerPeriod(double desired_rate_per_day);
+
+}  // namespace faas
+
+#endif  // SRC_WORKLOAD_ARRIVAL_H_

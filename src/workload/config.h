@@ -1,0 +1,186 @@
+// Configuration for the synthetic workload generator.
+//
+// Every default below is calibrated against a number the paper publishes;
+// the comment next to each knob cites the figure/table it reproduces.  The
+// characterization test suite asserts that traces drawn with these defaults
+// land near the paper's anchor points.
+
+#ifndef SRC_WORKLOAD_CONFIG_H_
+#define SRC_WORKLOAD_CONFIG_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/types.h"
+
+namespace faas {
+
+struct GeneratorConfig {
+  uint64_t seed = 42;
+  int num_apps = 2000;
+  int days = 14;  // The paper's trace covers July 15-28, 2019 (two weeks).
+
+  // ---- Invocation rates (Figure 5a) -------------------------------------
+  // CDF of log10(daily invocations per app) modelled as piecewise linear
+  // between knots.  Anchors from the paper: 45% of apps average at most one
+  // invocation per hour (24/day) and 81% at most one per minute (1440/day);
+  // the full range spans 8 orders of magnitude.
+  double rate_log10_min = -1.15;  // ~1 invocation per 2 weeks.
+  double rate_log10_knee1 = 1.3802112;   // log10(24): once per hour.
+  double rate_log10_knee2 = 3.1583625;   // log10(1440): once per minute.
+  double rate_log10_max = 8.0;           // Most popular apps: 1e8/day.
+  double cdf_at_knee1 = 0.45;
+  double cdf_at_knee2 = 0.81;
+  // Traces that materialise every invocation instant cap the per-app daily
+  // rate here (memory bound); the analytic Figure 5 bench samples the
+  // uncapped model directly.  The cap only compresses the always-warm top of
+  // the popularity range, which no keep-alive policy differentiates.
+  double instants_rate_cap_per_day = 8000.0;
+
+  // ---- Functions per app (Figure 1) --------------------------------------
+  // 54% of apps have exactly 1 function; 95% have at most 10; only 0.04%
+  // have more than 100.
+  double frac_single_function = 0.54;
+  double frac_upto_10_functions = 0.95;
+  double frac_over_100_functions = 0.0004;
+  int max_functions_per_app = 2000;
+
+  // ---- Trigger mix (Figures 2 and 3) -------------------------------------
+  // Popular app-level trigger combinations from Figure 3(b) (percent of
+  // apps).  The residual mass is spread over random 2-3 trigger combos.
+  struct TriggerCombo {
+    const char* key;  // Short codes: H, T, Q, S, E, O, o.
+    double percent;
+  };
+  std::vector<TriggerCombo> trigger_combos = {
+      {"H", 43.27},  {"T", 13.36}, {"Q", 9.47},  {"HT", 4.59}, {"HQ", 4.22},
+      {"E", 3.01},   {"S", 2.80},  {"TQ", 2.57}, {"HTQ", 2.48}, {"Ho", 1.69},
+      {"HS", 1.05},  {"HO", 1.03},
+  };
+
+  // Function-level trigger shares (Figure 2, %Functions), used to assign
+  // triggers to an app's extra functions within the chosen combo.
+  std::array<double, kNumTriggerTypes> function_share_by_trigger = {
+      55.0,  // http
+      15.2,  // queue
+      2.2,   // event
+      6.9,   // orchestration
+      15.6,  // timer
+      2.8,   // storage
+      2.2,   // others
+  };
+
+  // Relative invocation intensity of a trigger = %Invocations / %Functions
+  // from Figure 2.  Used to split an app's total rate across its functions
+  // so Event/Queue functions carry disproportionally many invocations.
+  std::array<double, kNumTriggerTypes> invocation_intensity_by_trigger = {
+      35.9 / 55.0,  // http  ~0.65
+      33.5 / 15.2,  // queue ~2.2
+      24.7 / 2.2,   // event ~11.2
+      2.3 / 6.9,    // orchestration ~0.33
+      2.0 / 15.6,   // timer ~0.13
+      0.7 / 2.8,    // storage ~0.25
+      1.0 / 2.2,    // others ~0.45
+  };
+
+  // ---- Arrival-process behaviour mix (Figure 6) ---------------------------
+  // Probability that a function of each trigger class behaves periodically
+  // (CV ~ 0), as a Poisson stream (CV ~ 1), or bursty (CV > 1).  Timers are
+  // always periodic.  ~10% of no-timer apps being near-periodic (IoT-style
+  // callers) motivates the periodic share of HTTP/Storage/Others.
+  struct BehaviorMix {
+    double periodic = 0.0;
+    double poisson = 0.0;
+    double bursty = 0.0;
+  };
+  // Calibration note: these shares balance two published shapes that pull
+  // in opposite directions — the IAT-CV spectrum of Figure 6 (wants more
+  // periodic/Poisson mass) and the cold-start CDFs of Figures 14-15 (want
+  // rare apps to arrive in tight clumps, i.e. bursty).  The cold-start
+  // experiments are the paper's core contribution, so the mix leans bursty;
+  // Figure 6's qualitative ordering across app classes still holds.
+  std::array<BehaviorMix, kNumTriggerTypes> behavior_by_trigger = {{
+      {0.06, 0.09, 0.85},  // http
+      {0.04, 0.08, 0.88},  // queue
+      {0.06, 0.12, 0.82},  // event
+      {0.00, 0.13, 0.87},  // orchestration
+      {1.00, 0.00, 0.00},  // timer
+      {0.07, 0.12, 0.81},  // storage
+      {0.09, 0.13, 0.78},  // others
+  }};
+
+  // Non-timer periodic callers (IoT-style) jitter their period by a uniform
+  // fraction in [0, this]; the resulting CV spread fills the 0..1 band of
+  // Figure 6 that strictly-periodic and Poisson streams cannot produce.
+  double periodic_jitter_max = 0.8;
+
+  // Survival-bias correction when assigning triggers to an app's extra
+  // functions: timers always fire (periodic) while low-rate HTTP/queue
+  // functions may never fire inside the horizon and get dropped, so raw
+  // Figure 2 weights would over-represent timers among surviving functions.
+  double timer_extra_weight_factor = 0.22;
+
+  // Fraction of apps that are invoked exactly once over the whole trace
+  // (test deployments, abandoned apps).  The paper observes ~3.5% of apps
+  // with a single invocation in the week — always cold even under
+  // no-unloading (Figure 14), and beyond help from any predictor
+  // (Figure 19).
+  double frac_one_shot_apps = 0.035;
+
+  // Fraction of apps whose invocation pattern CHANGES partway through the
+  // trace (rate scaled by a random factor and the arrival process
+  // re-sampled).  Models the "transitioning to a different IT regime"
+  // scenario that motivates the policy's representativeness check (design
+  // challenge #2).  Default 0 keeps the calibration experiments stationary;
+  // the adaptation ablation bench turns it up.
+  double pattern_change_fraction = 0.0;
+
+  // Strength of the rate/trigger-combo correlation in [0, 1]: 0 assigns
+  // sampled rates to apps at random; 1 ranks apps purely by their combo's
+  // invocation intensity.  The paper's Figure 2 requires Event/Queue apps to
+  // sit in the high-rate tail (24.7% of invocations from 2.2% of functions).
+  double rate_intensity_correlation = 1.0;
+
+
+  // ---- Diurnal load shape (Figure 4) --------------------------------------
+  // The platform-wide hourly load has a flat baseline of roughly 50% of the
+  // peak plus diurnal and weekly swings.
+  double diurnal_baseline = 0.38;
+  double weekend_dampening = 0.75;  // Weekend peaks are visibly lower.
+  double peak_hour_utc = 15.0;      // Hour of day with maximum load.
+
+  // ---- Execution times (Figure 7) -----------------------------------------
+  // Log-normal fit to average execution times (seconds): log-mean -0.38,
+  // sigma 2.36.  Per-trigger multipliers reproduce the ~10x median spread
+  // (orchestration functions are ~30ms dispatch shims).
+  double exec_lognormal_mu = -0.38;
+  double exec_lognormal_sigma = 2.36;
+  std::array<double, kNumTriggerTypes> exec_median_multiplier = {
+      1.0,    // http
+      1.8,    // queue
+      1.4,    // event
+      0.045,  // orchestration (~30ms median)
+      1.2,    // timer
+      2.2,    // storage
+      1.0,    // others
+  };
+  // Clamp sampled average execution times into a plausible band.
+  double exec_min_ms = 1.0;
+  double exec_max_ms = 3.0 * 3'600'000.0;
+
+  // ---- Memory (Figure 8) ---------------------------------------------------
+  // Burr XII fit to average allocated memory (MB): c, k, lambda from the
+  // paper; 50% of apps allocate <= ~170MB, 90% <= ~400MB.
+  double memory_burr_c = 11.652;
+  double memory_burr_k = 0.221;
+  double memory_burr_lambda = 107.083;
+  double memory_min_mb = 10.0;
+  double memory_max_mb = 4096.0;
+
+  Duration Horizon() const { return Duration::Days(days); }
+};
+
+}  // namespace faas
+
+#endif  // SRC_WORKLOAD_CONFIG_H_

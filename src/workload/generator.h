@@ -1,0 +1,79 @@
+// Synthetic FaaS trace generator.
+//
+// Produces Trace objects whose population statistics match the paper's
+// published distributions (see GeneratorConfig for the calibration map).
+// The generator is deterministic given a seed: the same config always
+// produces the identical trace, which keeps every experiment reproducible.
+
+#ifndef SRC_WORKLOAD_GENERATOR_H_
+#define SRC_WORKLOAD_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/trace/types.h"
+#include "src/workload/config.h"
+#include "src/workload/rate_model.h"
+
+namespace faas {
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(GeneratorConfig config);
+
+  // Generates the full trace.  Apps that receive zero invocations over the
+  // horizon are dropped (the Azure dataset only contains invoked functions);
+  // `num_apps` is the number of *sampled* apps, so the returned trace may
+  // contain slightly fewer.
+  Trace Generate();
+
+  const GeneratorConfig& config() const { return config_; }
+
+  // Exposed for the Figure 5 benches: samples `n` uncapped daily rates.
+  std::vector<double> SampleDailyRates(int n);
+
+ private:
+  // Builds the two combo tables (see SampleTriggerCombo).
+  void BuildComboTables();
+  // Number of functions in a new app (Figure 1 calibration).
+  int SampleFunctionsPerApp(Rng& rng);
+  // Trigger classes for a new app (Figure 3b calibration).  Single-function
+  // apps can only hold single-trigger combos, so the sampler keeps two
+  // tables: a renormalised single-trigger table for size-1 apps and a
+  // compensated table for larger apps, constructed so the aggregate combo
+  // marginals still match Figure 3(b).
+  std::vector<TriggerType> SampleTriggerCombo(int num_functions, Rng& rng);
+  // Assigns triggers to `count` functions covering `combo` at least once.
+  std::vector<TriggerType> AssignFunctionTriggers(
+      const std::vector<TriggerType>& combo, int count, Rng& rng);
+  // Invocation instants for one function over [0, horizon).
+  std::vector<TimePoint> GenerateInvocations(TriggerType trigger,
+                                             double rate_per_day,
+                                             Duration horizon, Rng& rng);
+  // As above, but the pattern switches at a random point mid-trace
+  // (pattern_change_fraction apps use this).
+  std::vector<TimePoint> GenerateInvocationsWithPatternChange(
+      TriggerType trigger, double rate_per_day, Rng& rng);
+  // Per-function execution summary (Figure 7 calibration).
+  ExecutionStats SampleExecutionStats(TriggerType trigger, int64_t invocations,
+                                      Rng& rng);
+  // Per-app memory summary (Figure 8 calibration).
+  MemoryStats SampleMemoryStats(Rng& rng);
+
+  GeneratorConfig config_;
+  RateModel rate_model_;
+  Rng root_rng_;
+
+  struct WeightedCombo {
+    std::vector<TriggerType> triggers;
+    double weight = 0.0;
+  };
+  std::vector<WeightedCombo> single_function_combos_;
+  std::vector<WeightedCombo> multi_function_combos_;
+  double multi_residual_weight_ = 0.0;  // Random 2-3 trigger combos.
+};
+
+}  // namespace faas
+
+#endif  // SRC_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,67 @@
+#include "src/workload/rate_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace faas {
+
+RateModel::RateModel(const GeneratorConfig& config)
+    : cap_(config.instants_rate_cap_per_day) {
+  knots_ = {
+      {config.rate_log10_min, 0.0},
+      {config.rate_log10_knee1, config.cdf_at_knee1},
+      {config.rate_log10_knee2, config.cdf_at_knee2},
+      {config.rate_log10_max, 1.0},
+  };
+  for (size_t i = 1; i < knots_.size(); ++i) {
+    FAAS_CHECK(knots_[i].log10_rate > knots_[i - 1].log10_rate &&
+               knots_[i].cdf >= knots_[i - 1].cdf)
+        << "rate model knots must be increasing";
+  }
+}
+
+double RateModel::SampleDailyRate(Rng& rng) const {
+  const double u = rng.NextDouble();
+  // Find the segment containing u and invert the linear CDF piece.
+  for (size_t i = 1; i < knots_.size(); ++i) {
+    if (u <= knots_[i].cdf || i == knots_.size() - 1) {
+      const double cdf_span = knots_[i].cdf - knots_[i - 1].cdf;
+      const double t =
+          cdf_span > 0.0 ? (u - knots_[i - 1].cdf) / cdf_span : 0.0;
+      const double log10_rate =
+          knots_[i - 1].log10_rate +
+          t * (knots_[i].log10_rate - knots_[i - 1].log10_rate);
+      return std::pow(10.0, log10_rate);
+    }
+  }
+  return std::pow(10.0, knots_.back().log10_rate);
+}
+
+double RateModel::SampleCappedDailyRate(Rng& rng) const {
+  return std::min(SampleDailyRate(rng), cap_);
+}
+
+double RateModel::CdfAtDailyRate(double rate_per_day) const {
+  if (rate_per_day <= 0.0) {
+    return 0.0;
+  }
+  const double x = std::log10(rate_per_day);
+  if (x <= knots_.front().log10_rate) {
+    return 0.0;
+  }
+  if (x >= knots_.back().log10_rate) {
+    return 1.0;
+  }
+  for (size_t i = 1; i < knots_.size(); ++i) {
+    if (x <= knots_[i].log10_rate) {
+      const double t = (x - knots_[i - 1].log10_rate) /
+                       (knots_[i].log10_rate - knots_[i - 1].log10_rate);
+      return knots_[i - 1].cdf + t * (knots_[i].cdf - knots_[i - 1].cdf);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace faas

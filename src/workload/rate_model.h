@@ -1,0 +1,44 @@
+// Per-application invocation-rate model (Figure 5a).
+//
+// The paper reports the CDF of average daily invocations per application:
+// the range spans 8 orders of magnitude, 45% of apps average at most one
+// invocation per hour, and 81% at most one per minute.  We model the CDF of
+// log10(daily rate) as a piecewise-linear function through those anchors and
+// sample by inverse transform.
+
+#ifndef SRC_WORKLOAD_RATE_MODEL_H_
+#define SRC_WORKLOAD_RATE_MODEL_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workload/config.h"
+
+namespace faas {
+
+class RateModel {
+ public:
+  explicit RateModel(const GeneratorConfig& config);
+
+  // Samples an average daily invocation rate (invocations per day).
+  double SampleDailyRate(Rng& rng) const;
+
+  // As above but clamped to the instants cap (used when every invocation is
+  // materialised as a timestamp).
+  double SampleCappedDailyRate(Rng& rng) const;
+
+  // CDF of the uncapped model at a given daily rate, for verification.
+  double CdfAtDailyRate(double rate_per_day) const;
+
+ private:
+  struct Knot {
+    double log10_rate;
+    double cdf;
+  };
+  std::vector<Knot> knots_;
+  double cap_;
+};
+
+}  // namespace faas
+
+#endif  // SRC_WORKLOAD_RATE_MODEL_H_

@@ -1,0 +1,244 @@
+#include "src/arima/model.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/arima/auto_arima.h"
+#include "src/common/rng.h"
+
+namespace faas {
+namespace {
+
+std::vector<double> SimulateAr1(double phi, double mean, size_t n,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> series(n);
+  double x = mean;
+  for (size_t t = 0; t < n; ++t) {
+    x = mean + phi * (x - mean) + rng.NextGaussian();
+    series[t] = x;
+  }
+  return series;
+}
+
+TEST(ArimaModelTest, OrderToString) {
+  EXPECT_EQ((ArimaOrder{2, 1, 1}).ToString(), "ARIMA(2,1,1)");
+}
+
+TEST(ArimaModelTest, CanFitRequiresEnoughData) {
+  EXPECT_FALSE(ArimaModel::CanFit(3, {1, 0, 0}));
+  EXPECT_TRUE(ArimaModel::CanFit(10, {1, 0, 0}));
+  EXPECT_FALSE(ArimaModel::CanFit(5, {3, 2, 3}));
+}
+
+TEST(ArimaModelTest, WhiteNoiseMeanModel) {
+  Rng rng(200);
+  std::vector<double> series(2000);
+  for (double& s : series) {
+    s = 5.0 + rng.NextGaussian();
+  }
+  const ArimaModel model = ArimaModel::Fit(series, {0, 0, 0});
+  EXPECT_NEAR(model.mean(), 5.0, 0.1);
+  EXPECT_NEAR(model.sigma2(), 1.0, 0.1);
+  EXPECT_NEAR(model.ForecastOne(), 5.0, 0.1);
+}
+
+TEST(ArimaModelTest, RecoversAr1Coefficient) {
+  const std::vector<double> series = SimulateAr1(0.7, 10.0, 5000, 201);
+  const ArimaModel model = ArimaModel::Fit(series, {1, 0, 0});
+  ASSERT_EQ(model.ar().size(), 1u);
+  EXPECT_NEAR(model.ar()[0], 0.7, 0.05);
+  EXPECT_NEAR(model.mean(), 10.0, 0.5);
+}
+
+TEST(ArimaModelTest, RecoversMa1Coefficient) {
+  Rng rng(202);
+  const double theta = 0.6;
+  std::vector<double> series(5000);
+  double prev_e = rng.NextGaussian();
+  for (double& s : series) {
+    const double e = rng.NextGaussian();
+    s = e + theta * prev_e;
+    prev_e = e;
+  }
+  const ArimaModel model = ArimaModel::Fit(series, {0, 0, 1});
+  ASSERT_EQ(model.ma().size(), 1u);
+  EXPECT_NEAR(model.ma()[0], theta, 0.07);
+}
+
+TEST(ArimaModelTest, Arma11Fit) {
+  Rng rng(203);
+  const double phi = 0.5;
+  const double theta = 0.4;
+  std::vector<double> series(8000);
+  double x = 0.0;
+  double prev_e = rng.NextGaussian();
+  for (double& s : series) {
+    const double e = rng.NextGaussian();
+    x = phi * x + e + theta * prev_e;
+    prev_e = e;
+    s = x;
+  }
+  const ArimaModel model = ArimaModel::Fit(series, {1, 0, 1});
+  EXPECT_NEAR(model.ar()[0], phi, 0.1);
+  EXPECT_NEAR(model.ma()[0], theta, 0.1);
+}
+
+TEST(ArimaModelTest, ForecastsLinearTrendWithDifferencing) {
+  // A clean linear trend: ARIMA(0,1,0) with mean on the differences is a
+  // drift model; but d=1 disables the intercept in our implementation, so
+  // use (1,1,0) which captures the constant increments through the AR term's
+  // zero-mean residual structure.  The forecast should continue upward.
+  std::vector<double> series;
+  for (int i = 0; i < 50; ++i) {
+    series.push_back(10.0 + 3.0 * i);
+  }
+  const ArimaModel model = ArimaModel::Fit(series, {1, 1, 0});
+  const std::vector<double> forecast = model.Forecast(3);
+  ASSERT_EQ(forecast.size(), 3u);
+  // Last observation is 157; forecasts should keep climbing toward ~160+.
+  EXPECT_GT(forecast[0], series.back());
+  EXPECT_GT(forecast[2], forecast[0]);
+}
+
+TEST(ArimaModelTest, ForecastOfConstantSeriesIsConstant) {
+  const std::vector<double> series(30, 42.0);
+  const ArimaModel model = ArimaModel::Fit(series, {1, 0, 0});
+  EXPECT_NEAR(model.ForecastOne(), 42.0, 1e-6);
+}
+
+TEST(ArimaModelTest, PeriodicIdleTimesForecastWell) {
+  // The policy's use case: an app invoked every ~300 minutes (outside a
+  // 240-minute histogram).  The IT series is nearly constant; the one-step
+  // forecast must land near 300.
+  Rng rng(204);
+  std::vector<double> its(40);
+  for (double& it : its) {
+    it = 300.0 + rng.UniformDouble(-5.0, 5.0);
+  }
+  const ArimaModel model = ArimaModel::Fit(its, {1, 0, 0});
+  EXPECT_NEAR(model.ForecastOne(), 300.0, 10.0);
+}
+
+TEST(ArimaModelTest, AicPenalisesParameters) {
+  const std::vector<double> series = SimulateAr1(0.0, 0.0, 1000, 205);
+  const ArimaModel small = ArimaModel::Fit(series, {0, 0, 0});
+  const ArimaModel big = ArimaModel::Fit(series, {3, 0, 3});
+  // On pure white noise the bigger model cannot buy enough likelihood to
+  // justify six extra parameters.
+  EXPECT_LT(small.Aic(), big.Aic() + 1e-6);
+}
+
+TEST(ArimaModelTest, ResidualsAreWhiteAfterAr1Fit) {
+  const std::vector<double> series = SimulateAr1(0.8, 0.0, 5000, 206);
+  const ArimaModel model = ArimaModel::Fit(series, {1, 0, 0});
+  // Lag-1 autocorrelation of residuals should be near zero.
+  const std::vector<double>& res = model.residuals();
+  double mean = 0.0;
+  for (double r : res) {
+    mean += r;
+  }
+  mean /= static_cast<double>(res.size());
+  double num = 0.0;
+  double denom = 0.0;
+  for (size_t t = 1; t < res.size(); ++t) {
+    num += (res[t] - mean) * (res[t - 1] - mean);
+  }
+  for (double r : res) {
+    denom += (r - mean) * (r - mean);
+  }
+  EXPECT_LT(std::fabs(num / denom), 0.05);
+}
+
+TEST(ArimaModelTest, StationarityEnforced) {
+  // Fit AR(1) to a random walk without differencing: the CSS optimum wants
+  // phi -> 1, but the fitted coefficient must stay inside the unit circle.
+  Rng rng(207);
+  std::vector<double> series(2000);
+  double level = 0.0;
+  for (double& s : series) {
+    level += rng.NextGaussian();
+    s = level;
+  }
+  const ArimaModel model = ArimaModel::Fit(series, {1, 0, 0});
+  EXPECT_LT(std::fabs(model.ar()[0]), 1.0 + 1e-9);
+}
+
+TEST(ArimaForecastErrorTest, OneStepErrorIsSigma) {
+  const std::vector<double> series = SimulateAr1(0.6, 0.0, 3000, 300);
+  const ArimaModel model = ArimaModel::Fit(series, {1, 0, 0});
+  const auto intervals = model.ForecastWithErrors(1);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_NEAR(intervals[0].stderr_, std::sqrt(model.sigma2()), 1e-9);
+  EXPECT_NEAR(intervals[0].mean, model.ForecastOne(), 1e-9);
+}
+
+TEST(ArimaForecastErrorTest, ErrorsGrowWithHorizonForAr) {
+  const std::vector<double> series = SimulateAr1(0.8, 5.0, 3000, 301);
+  const ArimaModel model = ArimaModel::Fit(series, {1, 0, 0});
+  const auto intervals = model.ForecastWithErrors(5);
+  for (size_t h = 1; h < intervals.size(); ++h) {
+    EXPECT_GE(intervals[h].stderr_, intervals[h - 1].stderr_ - 1e-12);
+  }
+  // AR(1) h-step variance: sigma^2 * sum phi^{2j}; check h=2 analytically.
+  const double phi = model.ar()[0];
+  EXPECT_NEAR(intervals[1].stderr_,
+              std::sqrt(model.sigma2() * (1.0 + phi * phi)), 1e-6);
+}
+
+TEST(ArimaForecastErrorTest, RandomWalkErrorsGrowLikeSqrtH) {
+  Rng rng(302);
+  std::vector<double> series(2000);
+  double level = 0.0;
+  for (double& s : series) {
+    level += rng.NextGaussian();
+    s = level;
+  }
+  const ArimaModel model = ArimaModel::Fit(series, {0, 1, 0});
+  const auto intervals = model.ForecastWithErrors(4);
+  // For a pure random walk, stderr(h) = sigma * sqrt(h).
+  for (int h = 1; h <= 4; ++h) {
+    EXPECT_NEAR(intervals[static_cast<size_t>(h - 1)].stderr_,
+                std::sqrt(model.sigma2() * h),
+                0.05 * std::sqrt(model.sigma2() * h));
+  }
+}
+
+TEST(ArimaForecastErrorTest, IntervalBracketsMean) {
+  const std::vector<double> series = SimulateAr1(0.5, 100.0, 500, 303);
+  const ArimaModel model = ArimaModel::Fit(series, {1, 0, 0});
+  const auto intervals = model.ForecastWithErrors(3);
+  for (const auto& interval : intervals) {
+    EXPECT_LT(interval.Lower(), interval.mean);
+    EXPECT_GT(interval.Upper(), interval.mean);
+    EXPECT_NEAR(interval.Upper() - interval.Lower(),
+                2.0 * 1.96 * interval.stderr_, 1e-9);
+  }
+}
+
+class ArimaOrderSweep : public ::testing::TestWithParam<ArimaOrder> {};
+
+TEST_P(ArimaOrderSweep, FitProducesFiniteModelAndForecast) {
+  const ArimaOrder order = GetParam();
+  const std::vector<double> series = SimulateAr1(0.5, 20.0, 300, 208);
+  const ArimaModel model = ArimaModel::Fit(series, order);
+  EXPECT_TRUE(std::isfinite(model.Aic()));
+  EXPECT_TRUE(std::isfinite(model.sigma2()));
+  const std::vector<double> forecast = model.Forecast(5);
+  for (double f : forecast) {
+    EXPECT_TRUE(std::isfinite(f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, ArimaOrderSweep,
+    ::testing::Values(ArimaOrder{0, 0, 0}, ArimaOrder{1, 0, 0},
+                      ArimaOrder{0, 0, 1}, ArimaOrder{2, 0, 2},
+                      ArimaOrder{1, 1, 1}, ArimaOrder{0, 1, 1},
+                      ArimaOrder{2, 1, 0}, ArimaOrder{3, 0, 3},
+                      ArimaOrder{1, 2, 1}));
+
+}  // namespace
+}  // namespace faas

@@ -1,0 +1,114 @@
+#include "src/arima/auto_arima.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace faas {
+namespace {
+
+TEST(AutoArimaTest, TooShortSeriesReturnsNullopt) {
+  const std::vector<double> series = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(AutoArima(series).has_value());
+}
+
+TEST(AutoArimaTest, WhiteNoisePrefersSmallOrders) {
+  Rng rng(300);
+  std::vector<double> series(1500);
+  for (double& s : series) {
+    s = rng.NextGaussian();
+  }
+  const auto model = AutoArima(series);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(model->order().d, 0);
+  EXPECT_LE(model->order().p + model->order().q, 2);
+}
+
+TEST(AutoArimaTest, SelectsDifferencingForRandomWalk) {
+  Rng rng(301);
+  std::vector<double> series(800);
+  double level = 0.0;
+  for (double& s : series) {
+    level += rng.NextGaussian();
+    s = level;
+  }
+  const auto model = AutoArima(series);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_GE(model->order().d, 1);
+}
+
+TEST(AutoArimaTest, Ar2SignalGetsArTerms) {
+  Rng rng(302);
+  std::vector<double> series(4000);
+  series[0] = series[1] = 0.0;
+  for (size_t t = 2; t < series.size(); ++t) {
+    series[t] = 0.6 * series[t - 1] + 0.25 * series[t - 2] +
+                rng.NextGaussian();
+  }
+  const auto model = AutoArima(series);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_GE(model->order().p, 1);
+}
+
+TEST(AutoArimaTest, StepwiseAndGridAgreeOnStrongSignal) {
+  Rng rng(303);
+  std::vector<double> series(3000);
+  double x = 0.0;
+  for (double& s : series) {
+    x = 0.8 * x + rng.NextGaussian();
+    s = x;
+  }
+  AutoArimaOptions grid_options;
+  grid_options.stepwise = false;
+  AutoArimaOptions stepwise_options;
+  stepwise_options.stepwise = true;
+  const auto grid = AutoArima(series, grid_options);
+  const auto stepwise = AutoArima(series, stepwise_options);
+  ASSERT_TRUE(grid.has_value());
+  ASSERT_TRUE(stepwise.has_value());
+  // Both should find models whose AIC is within a whisker of each other.
+  EXPECT_NEAR(grid->Aic(), stepwise->Aic(),
+              0.01 * std::fabs(grid->Aic()) + 10.0);
+}
+
+TEST(AutoArimaTest, ShortIdleTimeSeriesStillFits) {
+  // The policy calls auto-ARIMA with as few as 8 idle times.
+  const std::vector<double> its = {290.0, 310.0, 305.0, 295.0,
+                                   300.0, 302.0, 297.0, 303.0};
+  const auto model = AutoArima(its);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_NEAR(model->ForecastOne(), 300.0, 30.0);
+}
+
+TEST(AutoArimaTest, ForecastTracksSlowDrift) {
+  // Idle times drifting upward (an app slowly getting quieter).
+  std::vector<double> its;
+  for (int i = 0; i < 30; ++i) {
+    its.push_back(250.0 + 4.0 * i);
+  }
+  const auto model = AutoArima(its);
+  ASSERT_TRUE(model.has_value());
+  // Next IT should be predicted near (or above) the last observed ~366.
+  EXPECT_GT(model->ForecastOne(), 330.0);
+}
+
+TEST(AutoArimaTest, RespectsMaxOrderBounds) {
+  Rng rng(304);
+  std::vector<double> series(500);
+  for (double& s : series) {
+    s = rng.NextGaussian();
+  }
+  AutoArimaOptions options;
+  options.max_p = 1;
+  options.max_q = 0;
+  const auto model = AutoArima(series, options);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_LE(model->order().p, 1);
+  EXPECT_EQ(model->order().q, 0);
+}
+
+}  // namespace
+}  // namespace faas

@@ -1,0 +1,230 @@
+#include "src/characterization/characterization.h"
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+// A tiny hand-built trace with exactly known statistics.
+Trace MakeKnownTrace() {
+  Trace trace;
+  trace.horizon = Duration::Days(1);
+
+  // App 1: single HTTP function, 4 invocations at minutes 0, 10, 20, 30.
+  AppTrace app1;
+  app1.owner_id = "o1";
+  app1.app_id = "a1";
+  app1.memory = {100.0, 95.0, 120.0, 4};
+  FunctionTrace f1;
+  f1.function_id = "f1";
+  f1.trigger = TriggerType::kHttp;
+  for (int64_t m : {0, 10, 20, 30}) {
+    f1.invocations.push_back(TimePoint(m * 60'000));
+  }
+  f1.execution = {500.0, 100.0, 900.0, 4};
+  app1.functions.push_back(f1);
+  trace.apps.push_back(app1);
+
+  // App 2: HTTP + timer, 2 functions, 6 invocations total.
+  AppTrace app2;
+  app2.owner_id = "o1";
+  app2.app_id = "a2";
+  app2.memory = {200.0, 180.0, 250.0, 6};
+  FunctionTrace f2;
+  f2.function_id = "f1";
+  f2.trigger = TriggerType::kHttp;
+  for (int64_t m : {5, 65}) {
+    f2.invocations.push_back(TimePoint(m * 60'000));
+  }
+  f2.execution = {2000.0, 1500.0, 3000.0, 2};
+  app2.functions.push_back(f2);
+  FunctionTrace f3;
+  f3.function_id = "f2";
+  f3.trigger = TriggerType::kTimer;
+  for (int64_t m : {0, 360, 720, 1080}) {
+    f3.invocations.push_back(TimePoint(m * 60'000));
+  }
+  f3.execution = {100.0, 90.0, 110.0, 4};
+  app2.functions.push_back(f3);
+  trace.apps.push_back(app2);
+
+  // App 3: timer-only app with perfectly periodic invocations.
+  AppTrace app3;
+  app3.owner_id = "o2";
+  app3.app_id = "a3";
+  app3.memory = {300.0, 280.0, 330.0, 10};
+  FunctionTrace f4;
+  f4.function_id = "f1";
+  f4.trigger = TriggerType::kTimer;
+  for (int i = 0; i < 10; ++i) {
+    f4.invocations.push_back(TimePoint(static_cast<int64_t>(i) * 60 * 60'000));
+  }
+  f4.execution = {50.0, 50.0, 50.0, 10};
+  app3.functions.push_back(f4);
+  trace.apps.push_back(app3);
+
+  return trace;
+}
+
+TEST(FunctionsPerAppTest, CumulativeRowsAreCorrect) {
+  const FunctionsPerAppResult result = AnalyzeFunctionsPerApp(MakeKnownTrace());
+  // Sizes: app1=1, app2=2, app3=1.  Two of three apps have one function.
+  EXPECT_NEAR(result.FractionAppsWithAtMost(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(result.FractionAppsWithAtMost(2), 1.0, 1e-12);
+  // Invocations: app1=4, app2=6, app3=10; apps with <=1 function carry 14/20.
+  EXPECT_NEAR(result.FractionInvocationsFromAppsWithAtMost(1), 0.7, 1e-12);
+  // Functions: single-function apps hold 2 of 4 functions.
+  EXPECT_NEAR(result.FractionFunctionsInAppsWithAtMost(1), 0.5, 1e-12);
+}
+
+TEST(TriggerSharesTest, PercentagesSumTo100) {
+  const TriggerShares shares = AnalyzeTriggerShares(MakeKnownTrace());
+  double function_total = 0.0;
+  double invocation_total = 0.0;
+  for (size_t i = 0; i < kNumTriggerTypes; ++i) {
+    function_total += shares.percent_functions[i];
+    invocation_total += shares.percent_invocations[i];
+  }
+  EXPECT_NEAR(function_total, 100.0, 1e-9);
+  EXPECT_NEAR(invocation_total, 100.0, 1e-9);
+  // 2 of 4 functions are HTTP; 6 of 20 invocations are HTTP.
+  EXPECT_NEAR(shares.percent_functions[static_cast<size_t>(TriggerType::kHttp)],
+              50.0, 1e-9);
+  EXPECT_NEAR(
+      shares.percent_invocations[static_cast<size_t>(TriggerType::kHttp)],
+      30.0, 1e-9);
+}
+
+TEST(TriggerCombosTest, ComboPartitionAndPresence) {
+  const TriggerComboResult result = AnalyzeTriggerCombos(MakeKnownTrace());
+  // Presence: HTTP in 2/3 apps, timer in 2/3 apps.
+  EXPECT_NEAR(
+      result.percent_apps_with_trigger[static_cast<size_t>(TriggerType::kHttp)],
+      200.0 / 3.0, 1e-9);
+  EXPECT_NEAR(result.percent_apps_with_trigger[static_cast<size_t>(
+                  TriggerType::kTimer)],
+              200.0 / 3.0, 1e-9);
+  // Combos: H (app1), HT (app2), T (app3) -- each 1/3.
+  ASSERT_EQ(result.combos.size(), 3u);
+  EXPECT_NEAR(result.combos[0].percent_apps, 100.0 / 3.0, 1e-9);
+  EXPECT_NEAR(result.combos.back().cumulative_percent, 100.0, 1e-9);
+  // App2 is the only app with a timer plus another trigger.
+  EXPECT_NEAR(result.percent_apps_timer_plus_other, 100.0 / 3.0, 1e-9);
+}
+
+TEST(HourlyLoadTest, CountsAndNormalisation) {
+  const HourlyLoadResult result = AnalyzeHourlyLoad(MakeKnownTrace());
+  ASSERT_EQ(result.invocations_per_hour.size(), 24u);
+  // Hour 0 contains app1's 4 + app2's f2@5 + f3@0 + app3's first = 7.
+  EXPECT_EQ(result.invocations_per_hour[0], 7);
+  double peak = 0.0;
+  for (double load : result.relative_load) {
+    peak = std::max(peak, load);
+  }
+  EXPECT_DOUBLE_EQ(peak, 1.0);
+}
+
+TEST(InvocationRatesTest, RatesAndPopularity) {
+  const InvocationRateResult result =
+      AnalyzeInvocationRates(MakeKnownTrace());
+  // Rates per day: app1=4, app2=6, app3=10 -> all at most hourly (<=24).
+  EXPECT_DOUBLE_EQ(result.fraction_apps_at_most_hourly, 1.0);
+  EXPECT_DOUBLE_EQ(result.fraction_apps_at_most_minutely, 1.0);
+  EXPECT_DOUBLE_EQ(result.app_daily_rate_cdf.MaxValue(), 10.0);
+  // Popularity curve ends at (1.0, 1.0).
+  ASSERT_FALSE(result.app_popularity_curve.empty());
+  EXPECT_DOUBLE_EQ(result.app_popularity_curve.back().second, 1.0);
+}
+
+TEST(IatCvTest, PeriodicTimerAppHasZeroCv) {
+  const IatCvResult result = AnalyzeIatCv(MakeKnownTrace(), 4);
+  // app3 (timer-only, hourly) must appear with CV = 0.
+  ASSERT_FALSE(result.only_timer_apps.empty());
+  EXPECT_NEAR(result.only_timer_apps.MinValue(), 0.0, 1e-9);
+}
+
+TEST(IatCvTest, MinInvocationFilterApplies) {
+  const IatCvResult strict = AnalyzeIatCv(MakeKnownTrace(), 100);
+  EXPECT_TRUE(strict.all_apps.empty());
+}
+
+TEST(ExecutionTimesTest, WeightedDistributionsOrdered) {
+  const ExecutionTimeResult result =
+      AnalyzeExecutionTimes(MakeKnownTrace());
+  // Min <= avg <= max at every quantile.
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_LE(result.minimum_seconds.Quantile(p),
+              result.average_seconds.Quantile(p) + 1e-12);
+    EXPECT_LE(result.average_seconds.Quantile(p),
+              result.maximum_seconds.Quantile(p) + 1e-12);
+  }
+  EXPECT_GT(result.average_fit.sigma, 0.0);
+}
+
+TEST(MemoryTest, DistributionsAndFit) {
+  const MemoryResult result = AnalyzeMemory(MakeKnownTrace());
+  EXPECT_DOUBLE_EQ(result.average_mb.Quantile(0.5), 200.0);
+  EXPECT_DOUBLE_EQ(result.maximum_mb.MaxValue(), 330.0);
+  EXPECT_LE(result.percentile1_mb.Quantile(0.5),
+            result.average_mb.Quantile(0.5));
+  EXPECT_GT(result.average_fit.lambda, 0.0);
+}
+
+}  // namespace
+}  // namespace faas
+
+namespace faas {
+namespace {
+
+TEST(IdleVsIatTest, ZeroExecutionMakesDistributionsIdentical) {
+  Trace trace = MakeKnownTrace();
+  // Zero out execution times: IT == IAT exactly.
+  for (auto& app : trace.apps) {
+    for (auto& function : app.functions) {
+      function.execution.average_ms = 0.0;
+    }
+  }
+  const IdleVsIatResult result = AnalyzeIdleVsIat(trace, 1e9, 4);
+  ASSERT_FALSE(result.ks_distance_cdf.empty());
+  EXPECT_NEAR(result.ks_distance_cdf.MaxValue(), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(result.fraction_nearly_identical, 1.0);
+}
+
+TEST(IdleVsIatTest, RateFilterExcludesPopularApps) {
+  const Trace trace = MakeKnownTrace();
+  // Max rate of 1/day excludes every app in the known trace (4-10 per day).
+  const IdleVsIatResult result = AnalyzeIdleVsIat(trace, 1.0, 1);
+  EXPECT_TRUE(result.ks_distance_cdf.empty());
+}
+
+TEST(IdleVsIatTest, ExecRatioReflectsShortExecutions) {
+  const Trace trace = MakeKnownTrace();
+  const IdleVsIatResult result = AnalyzeIdleVsIat(trace, 1e9, 4);
+  // Executions are <= 2s while IATs are minutes-to-hours.
+  EXPECT_LT(result.median_exec_to_iat_ratio, 0.01);
+}
+
+TEST(ItHistogramTest, PanelsNormalisedAndSized) {
+  const Trace trace = MakeKnownTrace();
+  const auto panels = SampleItHistograms(trace, 3, 30, 4);
+  ASSERT_FALSE(panels.empty());
+  for (const auto& panel : panels) {
+    ASSERT_EQ(panel.normalized_bins.size(), 30u);
+    double peak = 0.0;
+    for (double v : panel.normalized_bins) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      peak = std::max(peak, v);
+    }
+    // app1 (10-minute IATs) peaks at 1.0 inside the 30-minute window.
+    EXPECT_LE(peak, 1.0);
+  }
+}
+
+TEST(ItHistogramTest, MinInvocationFilter) {
+  const Trace trace = MakeKnownTrace();
+  EXPECT_TRUE(SampleItHistograms(trace, 9, 30, 1000).empty());
+}
+
+}  // namespace
+}  // namespace faas

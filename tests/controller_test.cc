@@ -1,0 +1,145 @@
+#include "src/cluster/controller.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/policy/hybrid.h"
+#include "src/policy/policy.h"
+
+namespace faas {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  void Build(int num_invokers, double memory_mb,
+             const PolicyFactory& factory) {
+    invokers_.clear();
+    invoker_ptrs_.clear();
+    LatencyModel latency;
+    Rng rng(11);
+    for (int i = 0; i < num_invokers; ++i) {
+      invokers_.push_back(std::make_unique<Invoker>(i, memory_mb, &queue_,
+                                                    latency, rng.Fork()));
+      invoker_ptrs_.push_back(invokers_.back().get());
+    }
+    controller_ = std::make_unique<Controller>(&queue_, invoker_ptrs_,
+                                               factory, latency, rng.Fork());
+  }
+
+  void Invoke(const std::string& app, Duration execution,
+              double memory_mb = 128.0) {
+    controller_->OnInvocation(app, "f", execution, memory_mb);
+  }
+
+  EventQueue queue_;
+  std::vector<std::unique_ptr<Invoker>> invokers_;
+  std::vector<Invoker*> invoker_ptrs_;
+  std::unique_ptr<Controller> controller_;
+};
+
+TEST_F(ControllerTest, CountsInvocationsAndColdStarts) {
+  const FixedKeepAliveFactory factory(Duration::Minutes(10));
+  Build(2, 4096.0, factory);
+  Invoke("app", Duration::Seconds(1));
+  // Advance only 30 seconds (draining the whole queue would also fire the
+  // 10-minute keep-alive unload timer).
+  queue_.RunUntil(TimePoint(30'000));
+  Invoke("app", Duration::Seconds(1));
+  queue_.RunUntil(TimePoint(60'000));
+  const auto& stats = controller_->app_stats().at("app");
+  EXPECT_EQ(stats.invocations, 2);
+  EXPECT_EQ(stats.cold_starts, 1);  // Second hit is warm.
+  EXPECT_EQ(stats.dropped, 0);
+}
+
+TEST_F(ControllerTest, FailsOverToAnotherInvoker) {
+  const FixedKeepAliveFactory factory(Duration::Minutes(10));
+  // Each invoker fits exactly one 128MB container.
+  Build(2, 128.0, factory);
+  // Two different apps with long executions: the second cannot share the
+  // first's invoker (its only slot is busy) and must fail over.
+  Invoke("a", Duration::Minutes(5));
+  Invoke("b", Duration::Minutes(5));
+  queue_.Run();
+  EXPECT_EQ(controller_->total_dropped(), 0);
+  EXPECT_EQ(invokers_[0]->cold_starts() + invokers_[1]->cold_starts(), 2);
+  EXPECT_EQ(invokers_[0]->cold_starts(), 1);
+  EXPECT_EQ(invokers_[1]->cold_starts(), 1);
+}
+
+TEST_F(ControllerTest, DropsWhenClusterIsFull) {
+  const FixedKeepAliveFactory factory(Duration::Minutes(10));
+  Build(1, 128.0, factory);
+  Invoke("a", Duration::Minutes(5));
+  Invoke("b", Duration::Minutes(5));  // No room anywhere: dropped.
+  queue_.Run();
+  EXPECT_EQ(controller_->total_dropped(), 1);
+  EXPECT_EQ(controller_->app_stats().at("b").dropped, 1);
+}
+
+TEST_F(ControllerTest, HybridSchedulesPrewarmAfterLearning) {
+  HybridPolicyConfig config;
+  config.min_histogram_samples = 3;
+  const HybridPolicyFactory factory{config};
+  Build(1, 4096.0, factory);
+  // Train with a steady 30-minute pattern.
+  for (int i = 0; i < 8; ++i) {
+    queue_.RunUntil(TimePoint(static_cast<int64_t>(i) * 30 * 60'000));
+    Invoke("app", Duration::Seconds(1));
+  }
+  queue_.Run();
+  // After the histogram became representative the container is unloaded
+  // after execution and re-created by pre-warm messages.
+  EXPECT_GT(invokers_[0]->prewarm_loads(), 0);
+  const auto& stats = controller_->app_stats().at("app");
+  // Early invocations may be cold; the trained tail must be warm.
+  EXPECT_LT(stats.cold_starts, 4);
+}
+
+TEST_F(ControllerTest, NoPrewarmWhileTrafficIsContinuous) {
+  // Sub-minute idle times keep the histogram head at bin 0, so the policy
+  // never unloads and no pre-warm messages are ever published; any scheduled
+  // pre-warm from a transient decision is cancelled by the next invocation.
+  HybridPolicyConfig config;
+  config.min_histogram_samples = 2;
+  const HybridPolicyFactory factory{config};
+  Build(1, 4096.0, factory);
+  for (int i = 0; i < 30; ++i) {
+    queue_.RunUntil(TimePoint(static_cast<int64_t>(i) * 20'000));
+    Invoke("app", Duration::Seconds(1));
+  }
+  queue_.Run();
+  EXPECT_EQ(invokers_[0]->prewarm_loads(), 0);
+  EXPECT_EQ(controller_->app_stats().at("app").cold_starts, 1);
+}
+
+TEST_F(ControllerTest, MeasuresPolicyOverhead) {
+  const HybridPolicyFactory factory{HybridPolicyConfig{}};
+  Build(1, 4096.0, factory);
+  for (int i = 0; i < 20; ++i) {
+    queue_.RunUntil(TimePoint(static_cast<int64_t>(i) * 60'000));
+    Invoke("app", Duration::Seconds(1));
+  }
+  queue_.Run();
+  EXPECT_EQ(controller_->policy_invocations(), 20);
+  EXPECT_GT(controller_->policy_overhead_mean_us(), 0.0);
+  EXPECT_GE(controller_->policy_overhead_max_us(),
+            controller_->policy_overhead_mean_us());
+}
+
+TEST_F(ControllerTest, CollectsLatencySamples) {
+  const FixedKeepAliveFactory factory(Duration::Minutes(10));
+  Build(1, 4096.0, factory);
+  Invoke("app", Duration::Millis(500));
+  queue_.Run();
+  ASSERT_EQ(controller_->billed_execution_ms().size(), 1u);
+  // Cold start: billed includes container init + bootstrap + execution.
+  EXPECT_GT(controller_->billed_execution_ms()[0], 500.0);
+  ASSERT_EQ(controller_->end_to_end_latency_ms().size(), 1u);
+  EXPECT_GE(controller_->end_to_end_latency_ms()[0],
+            controller_->billed_execution_ms()[0] - 1e-9);
+}
+
+}  // namespace
+}  // namespace faas

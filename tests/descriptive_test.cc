@@ -1,0 +1,114 @@
+#include "src/stats/descriptive.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+TEST(DescriptiveTest, MeanBasics) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+}
+
+TEST(DescriptiveTest, SampleStdDevKnownValue) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(SampleStdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(SampleStdDev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(DescriptiveTest, CoefficientOfVariation) {
+  const std::vector<double> constant = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation(constant), 0.0);
+  const std::vector<double> zero_mean = {-1.0, 1.0};
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation(zero_mean), 0.0);
+  const std::vector<double> v = {1.0, 3.0};
+  // mean 2, sample sd sqrt(2) -> CV = sqrt(2)/2.
+  EXPECT_NEAR(CoefficientOfVariation(v), std::sqrt(2.0) / 2.0, 1e-12);
+}
+
+TEST(DescriptiveTest, PercentileInterpolates) {
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 17.5);
+}
+
+TEST(DescriptiveTest, PercentileUnsortedInput) {
+  const std::vector<double> v = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 25.0);
+}
+
+TEST(DescriptiveTest, PercentileClampsOutOfRange) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 200.0), 2.0);
+}
+
+TEST(DescriptiveTest, SingleElement) {
+  const std::vector<double> v = {7.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(Median(v), 7.0);
+}
+
+TEST(DescriptiveTest, MinMaxMedian) {
+  const std::vector<double> v = {3.0, 1.0, 4.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(Min(v), 1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 5.0);
+  EXPECT_DOUBLE_EQ(Median(v), 3.0);
+}
+
+TEST(DescriptiveTest, WeightedPercentileReplicatesWeights) {
+  // 100ms with weight 45 and 200ms with weight 5: like 45 copies + 5 copies.
+  std::vector<WeightedSample> samples = {{100.0, 45.0}, {200.0, 5.0}};
+  EXPECT_DOUBLE_EQ(WeightedPercentile(samples, 50.0), 100.0);
+  EXPECT_DOUBLE_EQ(WeightedPercentile(samples, 90.0), 100.0);
+  EXPECT_DOUBLE_EQ(WeightedPercentile(samples, 95.0), 200.0);
+  EXPECT_DOUBLE_EQ(WeightedPercentile(samples, 99.0), 200.0);
+}
+
+TEST(DescriptiveTest, WeightedPercentileUnsorted) {
+  std::vector<WeightedSample> samples = {{5.0, 1.0}, {1.0, 1.0}, {3.0, 1.0}};
+  EXPECT_DOUBLE_EQ(WeightedPercentile(samples, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(WeightedPercentile(samples, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(WeightedPercentile(samples, 100.0), 5.0);
+}
+
+TEST(DescriptiveTest, WeightedPercentileZeroWeightEntriesSkipped) {
+  std::vector<WeightedSample> samples = {{1.0, 0.0}, {2.0, 10.0}};
+  EXPECT_DOUBLE_EQ(WeightedPercentile(samples, 50.0), 2.0);
+}
+
+TEST(DescriptiveTest, WeightedMean) {
+  const std::vector<WeightedSample> samples = {{10.0, 1.0}, {20.0, 3.0}};
+  EXPECT_DOUBLE_EQ(WeightedMean(samples), 17.5);
+  EXPECT_DOUBLE_EQ(WeightedMean(std::vector<WeightedSample>{}), 0.0);
+}
+
+// Property: weighted percentile with all-equal weights matches the plain
+// nearest-rank percentile semantics on the same data.
+class WeightedPercentileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeightedPercentileSweep, EqualWeightsMatchUnweightedRank) {
+  const double pct = GetParam();
+  std::vector<double> plain;
+  std::vector<WeightedSample> weighted;
+  for (int i = 1; i <= 100; ++i) {
+    plain.push_back(static_cast<double>(i));
+    weighted.push_back({static_cast<double>(i), 2.5});
+  }
+  const double expected = std::ceil(pct);  // Nearest-rank on 1..100.
+  EXPECT_DOUBLE_EQ(WeightedPercentile(weighted, pct),
+                   std::max(expected, 1.0));
+  (void)plain;
+}
+
+INSTANTIATE_TEST_SUITE_P(Percentiles, WeightedPercentileSweep,
+                         ::testing::Values(1.0, 5.0, 25.0, 50.0, 75.0, 99.0));
+
+}  // namespace
+}  // namespace faas

@@ -1,0 +1,187 @@
+#include "src/stats/distributions.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace faas {
+namespace {
+
+TEST(StandardNormalTest, CdfKnownValues) {
+  EXPECT_NEAR(StandardNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StandardNormalCdf(1.96), 0.975, 1e-4);
+  EXPECT_NEAR(StandardNormalCdf(-1.96), 0.025, 1e-4);
+  EXPECT_NEAR(StandardNormalCdf(3.0), 0.99865, 1e-5);
+}
+
+TEST(StandardNormalTest, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 0.999}) {
+    const double x = StandardNormalQuantile(p);
+    EXPECT_NEAR(StandardNormalCdf(x), p, 1e-6) << "p=" << p;
+  }
+}
+
+TEST(LogNormalTest, MedianAndMean) {
+  // The paper's execution-time fit: log-mean -0.38, sigma 2.36 (seconds).
+  const LogNormalDistribution dist(-0.38, 2.36);
+  EXPECT_NEAR(dist.Median(), std::exp(-0.38), 1e-9);
+  // Median ~0.68s: "50% of functions execute for less than 1s on average".
+  EXPECT_LT(dist.Median(), 1.0);
+  EXPECT_NEAR(dist.Mean(), std::exp(-0.38 + 0.5 * 2.36 * 2.36), 1e-6);
+}
+
+TEST(LogNormalTest, CdfQuantileRoundTrip) {
+  const LogNormalDistribution dist(1.0, 0.7);
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_NEAR(dist.Cdf(dist.Quantile(p)), p, 1e-9);
+  }
+}
+
+TEST(LogNormalTest, PdfIntegratesToCdf) {
+  const LogNormalDistribution dist(0.0, 1.0);
+  // Trapezoidal integral of the pdf over [0, 10] approximates Cdf(10).
+  double integral = 0.0;
+  const int steps = 100'000;
+  double prev = dist.Pdf(1e-9);
+  for (int i = 1; i <= steps; ++i) {
+    const double x = 10.0 * i / steps;
+    const double cur = dist.Pdf(x);
+    integral += 0.5 * (prev + cur) * (10.0 / steps);
+    prev = cur;
+  }
+  EXPECT_NEAR(integral, dist.Cdf(10.0), 1e-4);
+}
+
+TEST(LogNormalTest, NonPositiveSupport) {
+  const LogNormalDistribution dist(0.0, 1.0);
+  EXPECT_EQ(dist.Pdf(0.0), 0.0);
+  EXPECT_EQ(dist.Pdf(-1.0), 0.0);
+  EXPECT_EQ(dist.Cdf(0.0), 0.0);
+}
+
+TEST(LogNormalTest, SamplesMatchCdf) {
+  Rng rng(31);
+  const LogNormalDistribution dist(0.5, 1.5);
+  int below_median = 0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (dist.Sample(rng) <= dist.Median()) {
+      ++below_median;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(below_median) / kSamples, 0.5, 0.01);
+}
+
+TEST(BurrTest, PaperMemoryFitQuantiles) {
+  // Figure 8's fit to AVERAGE allocated memory: c=11.652, k=0.221,
+  // lambda=107.083 (MB).  (The paper's 170MB/400MB read-offs are for the
+  // separate MAXIMUM-memory curve.)  The fit's own quantiles are ~140MB at
+  // the median and ~262MB at the 90th percentile, comfortably inside the
+  // "4x variation in the first 90% of applications" the paper highlights.
+  const BurrXiiDistribution dist(11.652, 0.221, 107.083);
+  EXPECT_NEAR(dist.Quantile(0.5), 139.6, 1.0);
+  EXPECT_NEAR(dist.Quantile(0.9), 261.9, 1.0);
+  const double spread = dist.Quantile(0.9) / dist.Quantile(0.1);
+  EXPECT_GT(spread, 2.0);
+  EXPECT_LT(spread, 4.5);
+}
+
+TEST(BurrTest, CdfQuantileRoundTrip) {
+  const BurrXiiDistribution dist(2.0, 3.0, 10.0);
+  for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(dist.Cdf(dist.Quantile(p)), p, 1e-9);
+  }
+}
+
+TEST(BurrTest, PdfMatchesCdfDerivative) {
+  const BurrXiiDistribution dist(3.0, 1.5, 5.0);
+  for (double x : {0.5, 2.0, 5.0, 12.0}) {
+    const double h = 1e-6;
+    const double numeric = (dist.Cdf(x + h) - dist.Cdf(x - h)) / (2.0 * h);
+    EXPECT_NEAR(dist.Pdf(x), numeric, 1e-5) << "x=" << x;
+  }
+}
+
+TEST(BurrTest, SamplesMatchMedian) {
+  Rng rng(32);
+  const BurrXiiDistribution dist(11.652, 0.221, 107.083);
+  int below = 0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (dist.Sample(rng) <= dist.Median()) {
+      ++below;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(below) / kSamples, 0.5, 0.01);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  const ZipfDistribution dist(1000, 1.1);
+  double total = 0.0;
+  for (uint64_t rank = 1; rank <= 1000; ++rank) {
+    total += dist.Pmf(rank);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankOneIsMostLikely) {
+  const ZipfDistribution dist(100, 1.0);
+  EXPECT_GT(dist.Pmf(1), dist.Pmf(2));
+  EXPECT_GT(dist.Pmf(2), dist.Pmf(50));
+  EXPECT_NEAR(dist.Pmf(1) / dist.Pmf(2), 2.0, 1e-9);
+}
+
+TEST(ZipfTest, SampleFrequenciesFollowPmf) {
+  Rng rng(33);
+  const ZipfDistribution dist(10, 1.0);
+  std::vector<int> counts(11, 0);
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[dist.Sample(rng)];
+  }
+  for (uint64_t rank = 1; rank <= 10; ++rank) {
+    EXPECT_NEAR(static_cast<double>(counts[rank]) / kSamples, dist.Pmf(rank),
+                0.01)
+        << "rank=" << rank;
+  }
+}
+
+TEST(ZipfTest, SingleRank) {
+  Rng rng(34);
+  const ZipfDistribution dist(1, 2.0);
+  EXPECT_EQ(dist.Sample(rng), 1u);
+  EXPECT_DOUBLE_EQ(dist.Pmf(1), 1.0);
+}
+
+TEST(ExponentialTest, QuantileCdfRoundTrip) {
+  const ExponentialDistribution dist(0.5);
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(dist.Cdf(dist.Quantile(p)), p, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(dist.Mean(), 2.0);
+  EXPECT_EQ(dist.Cdf(-1.0), 0.0);
+}
+
+TEST(ParetoTest, SupportAndQuantiles) {
+  const ParetoDistribution dist(2.0, 1.5);
+  EXPECT_EQ(dist.Cdf(1.9), 0.0);
+  EXPECT_EQ(dist.Pdf(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Quantile(0.0), 2.0);
+  for (double p : {0.25, 0.5, 0.95}) {
+    EXPECT_NEAR(dist.Cdf(dist.Quantile(p)), p, 1e-12);
+  }
+}
+
+TEST(ParetoTest, SamplesAboveMinimum) {
+  Rng rng(35);
+  const ParetoDistribution dist(3.0, 2.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(dist.Sample(rng), 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace faas

@@ -1,0 +1,113 @@
+#include "src/stats/ecdf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/stats/distributions.h"
+
+namespace faas {
+namespace {
+
+TEST(EcdfTest, EmptyEcdf) {
+  const Ecdf ecdf;
+  EXPECT_TRUE(ecdf.empty());
+  EXPECT_EQ(ecdf.FractionAtOrBelow(10.0), 0.0);
+}
+
+TEST(EcdfTest, FractionAtOrBelow) {
+  const Ecdf ecdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(ecdf.FractionAtOrBelow(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.FractionAtOrBelow(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf.FractionAtOrBelow(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf.FractionAtOrBelow(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.FractionAtOrBelow(100.0), 1.0);
+}
+
+TEST(EcdfTest, HandlesDuplicates) {
+  const Ecdf ecdf({2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(ecdf.FractionAtOrBelow(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf.FractionAtOrBelow(1.9), 0.0);
+}
+
+TEST(EcdfTest, QuantileInverseOfCdf) {
+  const Ecdf ecdf({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.21), 20.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.0), 10.0);
+}
+
+TEST(EcdfTest, MinMax) {
+  const Ecdf ecdf({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(ecdf.MinValue(), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.MaxValue(), 3.0);
+}
+
+TEST(EcdfTest, CurveIsMonotonic) {
+  Rng rng(3);
+  std::vector<double> samples(500);
+  for (double& s : samples) {
+    s = rng.NextLogNormal(0.0, 2.0);
+  }
+  const Ecdf ecdf(std::move(samples));
+  const auto curve = ecdf.Curve(50, /*log_scale=*/true);
+  ASSERT_EQ(curve.size(), 50u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(KsDistanceTest, IdenticalSamplesGiveZero) {
+  const Ecdf a({1.0, 2.0, 3.0});
+  const Ecdf b({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(KsDistance(a, b), 0.0);
+}
+
+TEST(KsDistanceTest, DisjointSamplesGiveOne) {
+  const Ecdf a({1.0, 2.0});
+  const Ecdf b({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(KsDistance(a, b), 1.0);
+}
+
+TEST(KsDistanceTest, KnownShiftedValue) {
+  const Ecdf a({1.0, 2.0, 3.0, 4.0});
+  const Ecdf b({2.0, 3.0, 4.0, 5.0});
+  // Max gap is 0.25 (one sample displaced).
+  EXPECT_NEAR(KsDistance(a, b), 0.25, 1e-12);
+}
+
+TEST(KsDistanceTest, AgainstTheoreticalCdfSmallForMatchingSamples) {
+  Rng rng(4);
+  const LogNormalDistribution dist(-0.38, 2.36);
+  std::vector<double> samples(20'000);
+  for (double& s : samples) {
+    s = dist.Sample(rng);
+  }
+  const Ecdf ecdf(std::move(samples));
+  const double ks =
+      KsDistance(ecdf, [&dist](double x) { return dist.Cdf(x); });
+  // For n = 20000 the 1% critical value is ~0.0115; allow slack.
+  EXPECT_LT(ks, 0.02);
+}
+
+TEST(KsDistanceTest, DetectsWrongDistribution) {
+  Rng rng(5);
+  const LogNormalDistribution actual(0.0, 1.0);
+  const LogNormalDistribution wrong(2.0, 0.5);
+  std::vector<double> samples(5000);
+  for (double& s : samples) {
+    s = actual.Sample(rng);
+  }
+  const Ecdf ecdf(std::move(samples));
+  const double ks =
+      KsDistance(ecdf, [&wrong](double x) { return wrong.Cdf(x); });
+  EXPECT_GT(ks, 0.5);
+}
+
+}  // namespace
+}  // namespace faas

@@ -1,0 +1,109 @@
+#include "src/cluster/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(TimePoint(300), [&order]() { order.push_back(3); });
+  queue.Schedule(TimePoint(100), [&order]() { order.push_back(1); });
+  queue.Schedule(TimePoint(200), [&order]() { order.push_back(2); });
+  queue.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.executed_events(), 3);
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimes) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(TimePoint(100), [&order]() { order.push_back(1); });
+  queue.Schedule(TimePoint(100), [&order]() { order.push_back(2); });
+  queue.Schedule(TimePoint(100), [&order]() { order.push_back(3); });
+  queue.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, NowAdvancesWithEvents) {
+  EventQueue queue;
+  TimePoint seen;
+  queue.Schedule(TimePoint(5000), [&]() { seen = queue.now(); });
+  queue.Run();
+  EXPECT_EQ(seen, TimePoint(5000));
+  EXPECT_EQ(queue.now(), TimePoint(5000));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue queue;
+  TimePoint seen;
+  queue.Schedule(TimePoint(1000), [&]() {
+    queue.ScheduleAfter(Duration::Millis(500), [&]() { seen = queue.now(); });
+  });
+  queue.Run();
+  EXPECT_EQ(seen, TimePoint(1500));
+}
+
+TEST(EventQueueTest, CancelledEventsDoNotRun) {
+  EventQueue queue;
+  bool ran = false;
+  EventQueue::Handle handle =
+      queue.Schedule(TimePoint(100), [&ran]() { ran = true; });
+  handle.Cancel();
+  queue.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(queue.executed_events(), 0);
+}
+
+TEST(EventQueueTest, CancelFromInsideEarlierEvent) {
+  EventQueue queue;
+  bool ran = false;
+  EventQueue::Handle later =
+      queue.Schedule(TimePoint(200), [&ran]() { ran = true; });
+  queue.Schedule(TimePoint(100), [&later]() { later.Cancel(); });
+  queue.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(TimePoint(100), [&order]() { order.push_back(1); });
+  queue.Schedule(TimePoint(300), [&order]() { order.push_back(2); });
+  queue.RunUntil(TimePoint(200));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(queue.now(), TimePoint(200));
+  EXPECT_EQ(queue.pending_events(), 1u);
+  queue.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue queue;
+  int count = 0;
+  std::function<void()> reschedule = [&]() {
+    ++count;
+    if (count < 5) {
+      queue.ScheduleAfter(Duration::Millis(10), reschedule);
+    }
+  };
+  queue.Schedule(TimePoint(0), reschedule);
+  queue.Run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(queue.now(), TimePoint(40));
+}
+
+TEST(EventQueueTest, HandleValidityReflectsLifecycle) {
+  EventQueue queue;
+  EventQueue::Handle handle = queue.Schedule(TimePoint(10), []() {});
+  EXPECT_TRUE(handle.IsValid());
+  handle.Cancel();
+  EXPECT_FALSE(handle.IsValid());
+  EXPECT_FALSE(EventQueue::Handle().IsValid());
+}
+
+}  // namespace
+}  // namespace faas

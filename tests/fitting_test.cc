@@ -1,0 +1,111 @@
+#include "src/stats/fitting.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace faas {
+namespace {
+
+TEST(LogNormalFitTest, RecoversKnownParameters) {
+  Rng rng(100);
+  const LogNormalDistribution truth(-0.38, 2.36);  // The paper's exec fit.
+  std::vector<double> samples(50'000);
+  for (double& s : samples) {
+    s = truth.Sample(rng);
+  }
+  const LogNormalFit fit = FitLogNormalMle(samples);
+  EXPECT_NEAR(fit.mu, -0.38, 0.05);
+  EXPECT_NEAR(fit.sigma, 2.36, 0.05);
+}
+
+TEST(LogNormalFitTest, SkipsNonPositiveSamples) {
+  Rng rng(101);
+  const LogNormalDistribution truth(1.0, 0.5);
+  std::vector<double> samples = {0.0, -3.0};
+  for (int i = 0; i < 20'000; ++i) {
+    samples.push_back(truth.Sample(rng));
+  }
+  const LogNormalFit fit = FitLogNormalMle(samples);
+  EXPECT_NEAR(fit.mu, 1.0, 0.05);
+}
+
+TEST(LogNormalFitTest, LogLikelihoodIsFiniteAndNegative) {
+  Rng rng(102);
+  const LogNormalDistribution truth(0.0, 1.0);
+  std::vector<double> samples(1000);
+  for (double& s : samples) {
+    s = truth.Sample(rng);
+  }
+  const LogNormalFit fit = FitLogNormalMle(samples);
+  EXPECT_TRUE(std::isfinite(fit.log_likelihood));
+}
+
+TEST(LogNormalFitTest, FitBeatsWrongParametersInLikelihood) {
+  Rng rng(103);
+  const LogNormalDistribution truth(0.5, 1.2);
+  std::vector<double> samples(5000);
+  for (double& s : samples) {
+    s = truth.Sample(rng);
+  }
+  const LogNormalFit fit = FitLogNormalMle(samples);
+  const LogNormalDistribution wrong(2.0, 0.3);
+  double wrong_ll = 0.0;
+  for (double s : samples) {
+    wrong_ll += std::log(wrong.Pdf(s));
+  }
+  EXPECT_GT(fit.log_likelihood, wrong_ll);
+}
+
+TEST(BurrFitTest, RecoversPaperMemoryParameters) {
+  Rng rng(104);
+  const BurrXiiDistribution truth(11.652, 0.221, 107.083);
+  std::vector<double> samples(20'000);
+  for (double& s : samples) {
+    s = truth.Sample(rng);
+  }
+  const BurrXiiFit fit = FitBurrXiiMle(samples);
+  // Burr parameters trade off; check the fitted distribution's quantiles
+  // instead of raw parameters.
+  const BurrXiiDistribution fitted = fit.ToDistribution();
+  EXPECT_NEAR(fitted.Quantile(0.5), truth.Quantile(0.5),
+              truth.Quantile(0.5) * 0.05);
+  EXPECT_NEAR(fitted.Quantile(0.9), truth.Quantile(0.9),
+              truth.Quantile(0.9) * 0.10);
+  EXPECT_NEAR(fitted.Quantile(0.1), truth.Quantile(0.1),
+              truth.Quantile(0.1) * 0.10);
+}
+
+TEST(BurrFitTest, CustomInitialGuess) {
+  Rng rng(105);
+  const BurrXiiDistribution truth(3.0, 1.0, 50.0);
+  std::vector<double> samples(10'000);
+  for (double& s : samples) {
+    s = truth.Sample(rng);
+  }
+  const BurrXiiFit fit =
+      FitBurrXiiMle(samples, BurrXiiDistribution(1.0, 1.0, 10.0));
+  const BurrXiiDistribution fitted = fit.ToDistribution();
+  EXPECT_NEAR(fitted.Quantile(0.5), truth.Quantile(0.5),
+              truth.Quantile(0.5) * 0.08);
+}
+
+TEST(ExponentialFitTest, RateIsInverseMean) {
+  const std::vector<double> samples = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(FitExponentialRateMle(samples), 0.5);
+}
+
+TEST(ExponentialFitTest, RecoversKnownRate) {
+  Rng rng(106);
+  std::vector<double> samples(50'000);
+  for (double& s : samples) {
+    s = rng.NextExponential(3.0);
+  }
+  EXPECT_NEAR(FitExponentialRateMle(samples), 3.0, 0.05);
+}
+
+}  // namespace
+}  // namespace faas

@@ -1,0 +1,97 @@
+#include "tools/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+// Builds argv from string literals (argv[0] is the program name).
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    pointers_.push_back(const_cast<char*>("test_binary"));
+    for (std::string& arg : storage_) {
+      pointers_.push_back(arg.data());
+    }
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(FlagParserTest, EqualsSyntax) {
+  ArgvBuilder args({"--apps=100", "--out=/tmp/x"});
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(flags.GetInt("apps", 0), 100);
+  EXPECT_EQ(flags.GetString("out", ""), "/tmp/x");
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  ArgvBuilder args({"--apps", "250", "--trace", "dir"});
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(flags.GetInt("apps", 0), 250);
+  EXPECT_EQ(flags.GetString("trace", ""), "dir");
+}
+
+TEST(FlagParserTest, BareBooleanFlag) {
+  ArgvBuilder args({"--use-exec-times", "--weight-by-memory"});
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_TRUE(flags.GetBool("use-exec-times", false));
+  EXPECT_TRUE(flags.GetBool("weight-by-memory", false));
+  EXPECT_FALSE(flags.GetBool("absent", false));
+}
+
+TEST(FlagParserTest, BooleanBeforeAnotherFlag) {
+  ArgvBuilder args({"--verbose", "--apps", "5"});
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetInt("apps", 0), 5);
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsentOrMalformed) {
+  ArgvBuilder args({"--rate=abc"});
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 7.5), 7.5);
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  EXPECT_EQ(flags.GetString("missing", "dflt"), "dflt");
+}
+
+TEST(FlagParserTest, DoubleParsing) {
+  ArgvBuilder args({"--cap", "1250.5"});
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("cap", 0.0), 1250.5);
+}
+
+TEST(FlagParserTest, RejectsPositionalArguments) {
+  ArgvBuilder args({"stray"});
+  FlagParser flags;
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagParserTest, HasReportsPresence) {
+  ArgvBuilder args({"--trace=dir"});
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_TRUE(flags.Has("trace"));
+  EXPECT_FALSE(flags.Has("out"));
+}
+
+TEST(FlagParserTest, LastValueWins) {
+  ArgvBuilder args({"--apps=1", "--apps=2"});
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(flags.GetInt("apps", 0), 2);
+}
+
+}  // namespace
+}  // namespace faas

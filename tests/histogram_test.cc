@@ -1,0 +1,205 @@
+#include "src/stats/histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+RangeLimitedHistogram MakeDefault() {
+  // The policy's default geometry: 1-minute bins, 4-hour range.
+  return RangeLimitedHistogram(Duration::Minutes(1), 240);
+}
+
+TEST(HistogramTest, GeometryAccessors) {
+  const RangeLimitedHistogram h = MakeDefault();
+  EXPECT_EQ(h.num_bins(), 240);
+  EXPECT_EQ(h.bin_width(), Duration::Minutes(1));
+  EXPECT_EQ(h.range(), Duration::Hours(4));
+  EXPECT_EQ(h.total_count(), 0);
+}
+
+TEST(HistogramTest, AddRoutesToCorrectBin) {
+  RangeLimitedHistogram h = MakeDefault();
+  h.Add(Duration::Seconds(30));   // Bin 0.
+  h.Add(Duration::Minutes(1));    // Bin 1 (lower edge inclusive).
+  h.Add(Duration::Seconds(119));  // Bin 1.
+  h.Add(Duration::Minutes(239));  // Last bin.
+  EXPECT_EQ(h.bins()[0], 1);
+  EXPECT_EQ(h.bins()[1], 2);
+  EXPECT_EQ(h.bins()[239], 1);
+  EXPECT_EQ(h.in_bounds_count(), 4);
+  EXPECT_EQ(h.oob_count(), 0);
+}
+
+TEST(HistogramTest, OutOfBoundsCounted) {
+  RangeLimitedHistogram h = MakeDefault();
+  h.Add(Duration::Hours(4));      // Exactly the range -> OOB.
+  h.Add(Duration::Hours(10));     // OOB.
+  h.Add(Duration::Minutes(100));  // In bounds.
+  EXPECT_EQ(h.oob_count(), 2);
+  EXPECT_EQ(h.in_bounds_count(), 1);
+  EXPECT_NEAR(h.OutOfBoundsFraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(HistogramTest, NegativeClampsToFirstBin) {
+  RangeLimitedHistogram h = MakeDefault();
+  h.Add(Duration::Millis(-5));
+  EXPECT_EQ(h.bins()[0], 1);
+  EXPECT_EQ(h.in_bounds_count(), 1);
+}
+
+TEST(HistogramTest, OobFractionOfEmptyIsZero) {
+  const RangeLimitedHistogram h = MakeDefault();
+  EXPECT_EQ(h.OutOfBoundsFraction(), 0.0);
+}
+
+TEST(HistogramTest, PercentileEdgesSingleBin) {
+  RangeLimitedHistogram h = MakeDefault();
+  for (int i = 0; i < 10; ++i) {
+    h.Add(Duration::Minutes(27) + Duration::Seconds(i));
+  }
+  // All mass in bin 27: head rounds to its lower edge, tail to its upper.
+  EXPECT_EQ(h.PercentileLowerEdge(5.0), Duration::Minutes(27));
+  EXPECT_EQ(h.PercentileUpperEdge(99.0), Duration::Minutes(28));
+  EXPECT_EQ(h.PercentileLowerEdge(50.0), Duration::Minutes(27));
+}
+
+TEST(HistogramTest, PercentilesAcrossBins) {
+  RangeLimitedHistogram h(Duration::Minutes(1), 10);
+  // 100 samples: 5 in bin 0, 90 in bin 4, 5 in bin 9.
+  for (int i = 0; i < 5; ++i) {
+    h.Add(Duration::Seconds(10));
+  }
+  for (int i = 0; i < 90; ++i) {
+    h.Add(Duration::Minutes(4) + Duration::Seconds(30));
+  }
+  for (int i = 0; i < 5; ++i) {
+    h.Add(Duration::Minutes(9) + Duration::Seconds(30));
+  }
+  // 5th percentile: the 5th sample is still in bin 0.
+  EXPECT_EQ(h.PercentileLowerEdge(5.0), Duration::Minutes(0));
+  // 6th..95th percentile fall in bin 4.
+  EXPECT_EQ(h.PercentileLowerEdge(50.0), Duration::Minutes(4));
+  EXPECT_EQ(h.PercentileUpperEdge(95.0), Duration::Minutes(5));
+  // 99th percentile reaches the last bin.
+  EXPECT_EQ(h.PercentileUpperEdge(99.0), Duration::Minutes(10));
+}
+
+TEST(HistogramTest, PercentileZeroReturnsFirstOccupiedBin) {
+  RangeLimitedHistogram h(Duration::Minutes(1), 10);
+  h.Add(Duration::Minutes(3));
+  h.Add(Duration::Minutes(7));
+  EXPECT_EQ(h.PercentileLowerEdge(0.0), Duration::Minutes(3));
+  EXPECT_EQ(h.PercentileUpperEdge(100.0), Duration::Minutes(8));
+}
+
+TEST(HistogramTest, BinCountCvConcentratedVsFlat) {
+  RangeLimitedHistogram concentrated(Duration::Minutes(1), 100);
+  for (int i = 0; i < 50; ++i) {
+    concentrated.Add(Duration::Minutes(10));
+  }
+  EXPECT_GT(concentrated.BinCountCv(), 5.0);
+
+  RangeLimitedHistogram flat(Duration::Minutes(1), 100);
+  for (int bin = 0; bin < 100; ++bin) {
+    flat.Add(Duration::Minutes(bin));
+  }
+  EXPECT_NEAR(flat.BinCountCv(), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, CvMatchesDirectComputation) {
+  RangeLimitedHistogram h(Duration::Minutes(1), 8);
+  const int adds[] = {4, 0, 2, 0, 0, 1, 0, 1};
+  for (int bin = 0; bin < 8; ++bin) {
+    for (int k = 0; k < adds[bin]; ++k) {
+      h.Add(Duration::Minutes(bin));
+    }
+  }
+  // Direct: counts {4,0,2,0,0,1,0,1}, mean 1, pop var = (9+0+1+...)=...
+  double mean = 1.0;
+  double var = 0.0;
+  for (int bin = 0; bin < 8; ++bin) {
+    var += (adds[bin] - mean) * (adds[bin] - mean);
+  }
+  var /= 8.0;
+  EXPECT_NEAR(h.BinCountCv(), std::sqrt(var) / mean, 1e-9);
+}
+
+TEST(HistogramTest, MergePreservesCounts) {
+  RangeLimitedHistogram a(Duration::Minutes(1), 20);
+  RangeLimitedHistogram b(Duration::Minutes(1), 20);
+  a.Add(Duration::Minutes(3));
+  a.Add(Duration::Hours(5));  // OOB.
+  b.Add(Duration::Minutes(3));
+  b.Add(Duration::Minutes(10));
+  a.MergeFrom(b);
+  EXPECT_EQ(a.bins()[3], 2);
+  EXPECT_EQ(a.bins()[10], 1);
+  EXPECT_EQ(a.in_bounds_count(), 3);
+  EXPECT_EQ(a.oob_count(), 1);
+}
+
+TEST(HistogramTest, MergeKeepsCvConsistent) {
+  RangeLimitedHistogram a(Duration::Minutes(1), 16);
+  RangeLimitedHistogram b(Duration::Minutes(1), 16);
+  for (int i = 0; i < 9; ++i) {
+    a.Add(Duration::Minutes(2));
+    b.Add(Duration::Minutes(5));
+  }
+  a.MergeFrom(b);
+  RangeLimitedHistogram direct(Duration::Minutes(1), 16);
+  for (int i = 0; i < 9; ++i) {
+    direct.Add(Duration::Minutes(2));
+    direct.Add(Duration::Minutes(5));
+  }
+  EXPECT_NEAR(a.BinCountCv(), direct.BinCountCv(), 1e-9);
+}
+
+TEST(HistogramTest, ResetClears) {
+  RangeLimitedHistogram h = MakeDefault();
+  h.Add(Duration::Minutes(5));
+  h.Add(Duration::Hours(9));
+  h.Reset();
+  EXPECT_EQ(h.total_count(), 0);
+  EXPECT_EQ(h.oob_count(), 0);
+  EXPECT_NEAR(h.BinCountCv(), 0.0, 1e-12);
+}
+
+TEST(HistogramTest, FootprintMatchesProductionBudget) {
+  // Section 6: 240 bins ~ a per-app metadata budget of a few KB.
+  const RangeLimitedHistogram h = MakeDefault();
+  EXPECT_LT(h.ApproximateSizeBytes(), 4096u);
+}
+
+// Property sweep: for any bin width/count, percentile edges are multiples of
+// the bin width and bracket the mass.
+class HistogramGeometryTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HistogramGeometryTest, PercentileEdgesAreBinAligned) {
+  const auto [bin_minutes, num_bins] = GetParam();
+  RangeLimitedHistogram h(Duration::Minutes(bin_minutes), num_bins);
+  for (int i = 0; i < 500; ++i) {
+    h.Add(Duration::Minutes((i * 7) % (bin_minutes * num_bins)));
+  }
+  for (double pct : {1.0, 5.0, 50.0, 95.0, 99.0}) {
+    const Duration lower = h.PercentileLowerEdge(pct);
+    const Duration upper = h.PercentileUpperEdge(pct);
+    EXPECT_EQ(lower.millis() % (bin_minutes * 60'000), 0);
+    EXPECT_EQ(upper.millis() % (bin_minutes * 60'000), 0);
+    EXPECT_EQ(upper - lower, Duration::Minutes(bin_minutes));
+    EXPECT_GE(lower, Duration::Zero());
+    EXPECT_LE(upper, h.range());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, HistogramGeometryTest,
+    ::testing::Values(std::make_tuple(1, 60), std::make_tuple(1, 240),
+                      std::make_tuple(2, 120), std::make_tuple(5, 48),
+                      std::make_tuple(10, 24)));
+
+}  // namespace
+}  // namespace faas

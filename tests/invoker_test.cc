@@ -1,0 +1,175 @@
+#include "src/cluster/invoker.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+class InvokerTest : public ::testing::Test {
+ protected:
+  InvokerTest()
+      : invoker_(0, /*memory_capacity_mb=*/1000.0, &queue_, LatencyModel{},
+                 Rng(1)) {
+    invoker_.set_completion_callback(
+        [this](const CompletionMessage& message) {
+          completions_.push_back(message);
+        });
+  }
+
+  ActivationMessage MakeActivation(const std::string& app, double memory_mb,
+                                   Duration execution, Duration keepalive,
+                                   bool unload_after = false) {
+    ActivationMessage message;
+    message.activation_id = next_id_++;
+    message.app_id = app;
+    message.function_id = "f";
+    message.memory_mb = memory_mb;
+    message.execution = execution;
+    message.keepalive = keepalive;
+    message.unload_after_execution = unload_after;
+    return message;
+  }
+
+  EventQueue queue_;
+  Invoker invoker_;
+  std::vector<CompletionMessage> completions_;
+  int64_t next_id_ = 1;
+};
+
+TEST_F(InvokerTest, FirstActivationIsColdStart) {
+  ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
+      "app", 100.0, Duration::Seconds(1), Duration::Minutes(10))));
+  queue_.Run();
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_TRUE(completions_[0].cold_start);
+  EXPECT_EQ(invoker_.cold_starts(), 1);
+  // Cold start adds container init + runtime bootstrap to the latency.
+  EXPECT_GT(completions_[0].total_latency, Duration::Seconds(1));
+  EXPECT_GT(completions_[0].billed_execution, Duration::Seconds(1));
+}
+
+TEST_F(InvokerTest, SecondActivationWithinKeepAliveIsWarm) {
+  ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
+      "app", 100.0, Duration::Seconds(1), Duration::Minutes(10))));
+  queue_.RunUntil(TimePoint(30'000));
+  ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
+      "app", 100.0, Duration::Seconds(1), Duration::Minutes(10))));
+  queue_.Run();
+  ASSERT_EQ(completions_.size(), 2u);
+  EXPECT_FALSE(completions_[1].cold_start);
+  EXPECT_EQ(invoker_.warm_starts(), 1);
+  // Warm start: billed execution is exactly the function run time.
+  EXPECT_EQ(completions_[1].billed_execution, Duration::Seconds(1));
+}
+
+TEST_F(InvokerTest, KeepAliveExpiryUnloadsContainer) {
+  ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
+      "app", 100.0, Duration::Seconds(1), Duration::Minutes(10))));
+  queue_.Run();  // Runs execution AND the keep-alive unload timer.
+  EXPECT_EQ(invoker_.resident_containers(), 0);
+  EXPECT_DOUBLE_EQ(invoker_.memory_in_use_mb(), 0.0);
+  // A new activation after expiry is cold again.
+  ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
+      "app", 100.0, Duration::Seconds(1), Duration::Minutes(10))));
+  queue_.Run();
+  EXPECT_EQ(invoker_.cold_starts(), 2);
+}
+
+TEST_F(InvokerTest, UnloadAfterExecutionRemovesContainerImmediately) {
+  ASSERT_TRUE(invoker_.HandleActivation(
+      MakeActivation("app", 100.0, Duration::Seconds(1), Duration::Minutes(10),
+                     /*unload_after=*/true)));
+  queue_.Run();
+  EXPECT_EQ(invoker_.resident_containers(), 0);
+  ASSERT_EQ(completions_.size(), 1u);
+}
+
+TEST_F(InvokerTest, PrewarmMakesNextActivationWarm) {
+  PrewarmMessage prewarm;
+  prewarm.app_id = "app";
+  prewarm.memory_mb = 100.0;
+  prewarm.keepalive = Duration::Minutes(5);
+  ASSERT_TRUE(invoker_.HandlePrewarm(prewarm));
+  EXPECT_EQ(invoker_.prewarm_loads(), 1);
+  EXPECT_EQ(invoker_.resident_containers(), 1);
+
+  ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
+      "app", 100.0, Duration::Seconds(1), Duration::Minutes(10))));
+  queue_.Run();
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_FALSE(completions_[0].cold_start);
+}
+
+TEST_F(InvokerTest, PrewarmForResidentAppRefreshesTimer) {
+  PrewarmMessage prewarm;
+  prewarm.app_id = "app";
+  prewarm.memory_mb = 100.0;
+  prewarm.keepalive = Duration::Minutes(5);
+  ASSERT_TRUE(invoker_.HandlePrewarm(prewarm));
+  ASSERT_TRUE(invoker_.HandlePrewarm(prewarm));
+  // Second pre-warm must not create a second container.
+  EXPECT_EQ(invoker_.resident_containers(), 1);
+  EXPECT_EQ(invoker_.prewarm_loads(), 1);
+}
+
+TEST_F(InvokerTest, ConcurrentActivationsNeedSeparateContainers) {
+  // Two overlapping executions of the same app: the second cannot reuse the
+  // busy container and cold-starts a second one.
+  ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
+      "app", 100.0, Duration::Minutes(5), Duration::Minutes(10))));
+  queue_.RunUntil(TimePoint(1000));
+  ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
+      "app", 100.0, Duration::Minutes(5), Duration::Minutes(10))));
+  EXPECT_EQ(invoker_.cold_starts(), 2);
+  EXPECT_EQ(invoker_.resident_containers(), 2);
+  queue_.Run();
+}
+
+TEST_F(InvokerTest, CapacityRejectionWhenAllBusy) {
+  // Fill the 1000MB invoker with two busy 400MB containers; a 300MB app
+  // cannot fit and nothing is evictable.
+  ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
+      "a", 400.0, Duration::Minutes(5), Duration::Minutes(10))));
+  ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
+      "b", 400.0, Duration::Minutes(5), Duration::Minutes(10))));
+  EXPECT_FALSE(invoker_.HandleActivation(MakeActivation(
+      "c", 300.0, Duration::Minutes(5), Duration::Minutes(10))));
+  queue_.Run();
+}
+
+TEST_F(InvokerTest, EvictsIdleContainerUnderPressure) {
+  // App a finishes and sits idle; app b then needs the space.
+  ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
+      "a", 600.0, Duration::Seconds(1), Duration::Minutes(30))));
+  queue_.RunUntil(TimePoint(10'000));
+  EXPECT_EQ(invoker_.resident_containers(), 1);
+  ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
+      "b", 600.0, Duration::Seconds(1), Duration::Minutes(10))));
+  EXPECT_EQ(invoker_.evictions(), 1);
+  EXPECT_EQ(invoker_.resident_containers(), 1);
+  queue_.Run();
+}
+
+TEST_F(InvokerTest, MemoryIntegralAccumulates) {
+  ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
+      "app", 500.0, Duration::Seconds(10), Duration::Seconds(50))));
+  queue_.Run();
+  invoker_.FinalizeAt(queue_.now());
+  // The container lives from ~t=0 (activation) through execution (~10s plus
+  // cold-start latency) plus 50s keep-alive: roughly 60s * 500MB.
+  const double mb_seconds = invoker_.memory_mb_seconds();
+  EXPECT_GT(mb_seconds, 500.0 * 55.0);
+  EXPECT_LT(mb_seconds, 500.0 * 70.0);
+}
+
+TEST_F(InvokerTest, InfiniteKeepAliveNeverUnloads) {
+  ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
+      "app", 100.0, Duration::Seconds(1), Duration::Max())));
+  queue_.Run();
+  EXPECT_EQ(invoker_.resident_containers(), 1);
+}
+
+}  // namespace
+}  // namespace faas

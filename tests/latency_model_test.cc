@@ -1,0 +1,53 @@
+#include "src/cluster/latency_model.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+TEST(LatencyModelTest, SamplesArePositive) {
+  LatencyModel model;
+  Rng rng(71);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(model.SampleContainerInit(rng).millis(), 0);
+    EXPECT_GE(model.SampleRuntimeBootstrap(rng).millis(), 0);
+    EXPECT_GE(model.SampleDispatch(rng).millis(), 0);
+  }
+}
+
+TEST(LatencyModelTest, MediansNearConfiguredValues) {
+  LatencyModel model;
+  Rng rng(72);
+  std::vector<double> init_samples;
+  std::vector<double> bootstrap_samples;
+  for (int i = 0; i < 20'000; ++i) {
+    init_samples.push_back(model.SampleContainerInit(rng).seconds() * 1e3);
+    bootstrap_samples.push_back(
+        model.SampleRuntimeBootstrap(rng).seconds() * 1e3);
+  }
+  std::sort(init_samples.begin(), init_samples.end());
+  std::sort(bootstrap_samples.begin(), bootstrap_samples.end());
+  // Paper constants: container init O(100ms), runtime bootstrap O(10ms).
+  EXPECT_NEAR(init_samples[init_samples.size() / 2],
+              model.container_init_median_ms, 10.0);
+  EXPECT_NEAR(bootstrap_samples[bootstrap_samples.size() / 2],
+              model.runtime_bootstrap_median_ms, 2.0);
+}
+
+TEST(LatencyModelTest, ColdPathDominatesDispatch) {
+  LatencyModel model;
+  Rng rng(73);
+  double init_total = 0.0;
+  double dispatch_total = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    init_total += model.SampleContainerInit(rng).seconds();
+    dispatch_total += model.SampleDispatch(rng).seconds();
+  }
+  EXPECT_GT(init_total, 10.0 * dispatch_total);
+}
+
+}  // namespace
+}  // namespace faas

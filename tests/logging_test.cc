@@ -1,0 +1,68 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+// Restores the global log level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_); }
+
+ private:
+  LogLevel previous_;
+};
+
+TEST_F(LoggingTest, LevelThresholdGates) {
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_FALSE(log_internal::LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_internal::LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_internal::LogEnabled(LogLevel::kWarning));
+  EXPECT_TRUE(log_internal::LogEnabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+  EXPECT_FALSE(log_internal::LogEnabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, DisabledLogDoesNotEvaluateStream) {
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  const auto touch = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  FAAS_LOG(kDebug) << touch();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, EnabledLogEvaluatesStream) {
+  SetLogLevel(LogLevel::kDebug);
+  int evaluations = 0;
+  const auto touch = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  FAAS_LOG(kDebug) << touch();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, CheckPassesSilently) {
+  FAAS_CHECK(1 + 1 == 2) << "never shown";
+}
+
+using LoggingDeathTest = LoggingTest;
+
+TEST_F(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ FAAS_CHECK(false) << "boom value=" << 42; },
+               "check failed: false boom value=42");
+}
+
+}  // namespace
+}  // namespace faas

@@ -1,0 +1,92 @@
+#include "src/stats/nelder_mead.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+TEST(NelderMeadTest, QuadraticOneDim) {
+  const auto objective = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  };
+  const NelderMeadResult result = NelderMeadMinimize(objective, {0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 3.0, 1e-3);
+  EXPECT_NEAR(result.f, 0.0, 1e-6);
+}
+
+TEST(NelderMeadTest, QuadraticBowlThreeDim) {
+  const auto objective = [](const std::vector<double>& x) {
+    double f = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double target = static_cast<double>(i) - 1.0;
+      f += (x[i] - target) * (x[i] - target);
+    }
+    return f;
+  };
+  const NelderMeadResult result =
+      NelderMeadMinimize(objective, {5.0, 5.0, 5.0});
+  EXPECT_NEAR(result.x[0], -1.0, 1e-3);
+  EXPECT_NEAR(result.x[1], 0.0, 1e-3);
+  EXPECT_NEAR(result.x[2], 1.0, 1e-3);
+}
+
+TEST(NelderMeadTest, RosenbrockValley) {
+  const auto rosenbrock = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions options;
+  options.max_iterations = 10'000;
+  options.f_tolerance = 1e-14;
+  const NelderMeadResult result =
+      NelderMeadMinimize(rosenbrock, {-1.2, 1.0}, options);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMeadTest, InfinityRejectsInfeasibleRegion) {
+  // Minimise (x-2)^2 subject to x >= 0 via an infinite barrier.
+  const auto objective = [](const std::vector<double>& x) {
+    if (x[0] < 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return (x[0] - 2.0) * (x[0] - 2.0);
+  };
+  const NelderMeadResult result = NelderMeadMinimize(objective, {0.5});
+  EXPECT_NEAR(result.x[0], 2.0, 1e-4);
+}
+
+TEST(NelderMeadTest, StartAtOptimumStaysThere) {
+  const auto objective = [](const std::vector<double>& x) {
+    return x[0] * x[0] + x[1] * x[1];
+  };
+  const NelderMeadResult result = NelderMeadMinimize(objective, {0.0, 0.0});
+  EXPECT_NEAR(result.f, 0.0, 1e-8);
+}
+
+TEST(NelderMeadTest, RespectsIterationBudget) {
+  const auto objective = [](const std::vector<double>& x) {
+    return std::sin(x[0]) + 0.01 * x[0] * x[0];
+  };
+  NelderMeadOptions options;
+  options.max_iterations = 5;
+  const NelderMeadResult result = NelderMeadMinimize(objective, {10.0}, options);
+  EXPECT_LE(result.iterations, 5);
+}
+
+TEST(NelderMeadTest, ReportsIterationsAndConvergence) {
+  const auto objective = [](const std::vector<double>& x) {
+    return x[0] * x[0];
+  };
+  const NelderMeadResult result = NelderMeadMinimize(objective, {4.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.iterations, 0);
+}
+
+}  // namespace
+}  // namespace faas

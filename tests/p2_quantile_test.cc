@@ -1,0 +1,106 @@
+#include "src/stats/p2_quantile.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/stats/descriptive.h"
+
+namespace faas {
+namespace {
+
+TEST(P2QuantileTest, ExactForFewerThanFiveSamples) {
+  P2Quantile median(0.5);
+  median.Add(30.0);
+  EXPECT_DOUBLE_EQ(median.Value(), 30.0);
+  median.Add(10.0);
+  median.Add(20.0);
+  // Nearest-rank median of {10, 20, 30} is 20.
+  EXPECT_DOUBLE_EQ(median.Value(), 20.0);
+  EXPECT_EQ(median.count(), 3);
+}
+
+TEST(P2QuantileTest, MedianOfUniformStream) {
+  Rng rng(61);
+  P2Quantile median(0.5);
+  for (int i = 0; i < 100'000; ++i) {
+    median.Add(rng.UniformDouble(0.0, 100.0));
+  }
+  EXPECT_NEAR(median.Value(), 50.0, 1.5);
+}
+
+TEST(P2QuantileTest, TailQuantileOfExponentialStream) {
+  Rng rng(62);
+  P2Quantile p99(0.99);
+  for (int i = 0; i < 200'000; ++i) {
+    p99.Add(rng.NextExponential(1.0));
+  }
+  // True p99 of Exp(1) is -ln(0.01) ~ 4.605.
+  EXPECT_NEAR(p99.Value(), 4.605, 0.35);
+}
+
+TEST(P2QuantileTest, MatchesBatchPercentileOnLogNormal) {
+  Rng rng(63);
+  P2Quantile p95(0.95);
+  std::vector<double> all;
+  constexpr int kSamples = 50'000;
+  all.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.NextLogNormal(0.0, 1.0);
+    p95.Add(v);
+    all.push_back(v);
+  }
+  const double exact = Percentile(all, 95.0);
+  EXPECT_NEAR(p95.Value(), exact, exact * 0.05);
+}
+
+TEST(P2QuantileTest, SortedAndReversedStreamsAgree) {
+  std::vector<double> values(10'000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  P2Quantile ascending(0.9);
+  for (double v : values) {
+    ascending.Add(v);
+  }
+  P2Quantile descending(0.9);
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    descending.Add(*it);
+  }
+  EXPECT_NEAR(ascending.Value(), 9000.0, 250.0);
+  EXPECT_NEAR(descending.Value(), 9000.0, 250.0);
+}
+
+TEST(P2QuantileTest, ConstantStream) {
+  P2Quantile median(0.5);
+  for (int i = 0; i < 1000; ++i) {
+    median.Add(7.0);
+  }
+  EXPECT_DOUBLE_EQ(median.Value(), 7.0);
+}
+
+class P2QuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2QuantileSweep, TracksGaussianQuantiles) {
+  const double q = GetParam();
+  Rng rng(64);
+  P2Quantile estimator(q);
+  std::vector<double> all;
+  constexpr int kSamples = 80'000;
+  all.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.NextGaussian();
+    estimator.Add(v);
+    all.push_back(v);
+  }
+  const double exact = Percentile(all, q * 100.0);
+  EXPECT_NEAR(estimator.Value(), exact, 0.06) << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2QuantileSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 0.99));
+
+}  // namespace
+}  // namespace faas

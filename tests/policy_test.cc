@@ -1,0 +1,55 @@
+#include "src/policy/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+TEST(FixedKeepAlivePolicyTest, AlwaysReturnsConfiguredWindow) {
+  FixedKeepAlivePolicy policy(Duration::Minutes(10));
+  for (int i = 0; i < 5; ++i) {
+    const PolicyDecision decision = policy.NextWindows();
+    EXPECT_EQ(decision.prewarm_window, Duration::Zero());
+    EXPECT_EQ(decision.keepalive_window, Duration::Minutes(10));
+    policy.RecordIdleTime(Duration::Hours(i + 1));  // Must be ignored.
+  }
+}
+
+TEST(FixedKeepAlivePolicyTest, NameEncodesWindow) {
+  EXPECT_EQ(FixedKeepAlivePolicy(Duration::Minutes(10)).name(), "fixed-10min");
+  EXPECT_EQ(FixedKeepAlivePolicy(Duration::Hours(2)).name(), "fixed-120min");
+}
+
+TEST(FixedKeepAliveFactoryTest, CreatesIndependentInstances) {
+  const FixedKeepAliveFactory factory(Duration::Minutes(20));
+  const auto a = factory.CreateForApp();
+  const auto b = factory.CreateForApp();
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->NextWindows().keepalive_window, Duration::Minutes(20));
+  EXPECT_EQ(factory.name(), "fixed-20min");
+}
+
+TEST(NoUnloadPolicyTest, KeepsLoadedForever) {
+  NoUnloadPolicy policy;
+  const PolicyDecision decision = policy.NextWindows();
+  EXPECT_TRUE(decision.KeepsLoadedForever());
+  EXPECT_EQ(decision.keepalive_window, Duration::Max());
+}
+
+TEST(PolicyDecisionTest, KeepsLoadedForeverRequiresBoth) {
+  PolicyDecision decision;
+  decision.prewarm_window = Duration::Zero();
+  decision.keepalive_window = Duration::Minutes(10);
+  EXPECT_FALSE(decision.KeepsLoadedForever());
+  decision.keepalive_window = Duration::Max();
+  EXPECT_TRUE(decision.KeepsLoadedForever());
+  decision.prewarm_window = Duration::Minutes(1);
+  EXPECT_FALSE(decision.KeepsLoadedForever());
+}
+
+TEST(NoUnloadFactoryTest, Name) {
+  EXPECT_EQ(NoUnloadFactory().name(), "no-unloading");
+}
+
+}  // namespace
+}  // namespace faas

@@ -1,0 +1,133 @@
+#include "src/policy/production_store.h"
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+TimePoint AtDay(int day, int hour = 0) {
+  return TimePoint(static_cast<int64_t>(day) * 86'400'000 +
+                   static_cast<int64_t>(hour) * 3'600'000);
+}
+
+TEST(DailyStoreTest, SingleDayAggregatesLikePlainHistogram) {
+  DailyHistogramStore store;
+  for (int i = 0; i < 20; ++i) {
+    store.RecordIdleTime(AtDay(0, i % 24), Duration::Minutes(30));
+  }
+  EXPECT_EQ(store.retained_days(), 1);
+  const RangeLimitedHistogram aggregate = store.Aggregate();
+  EXPECT_EQ(aggregate.in_bounds_count(), 20);
+  EXPECT_EQ(aggregate.bins()[30], 20);
+}
+
+TEST(DailyStoreTest, NewDayStartsNewHistogram) {
+  DailyHistogramStore store;
+  store.RecordIdleTime(AtDay(0), Duration::Minutes(10));
+  store.RecordIdleTime(AtDay(1), Duration::Minutes(20));
+  store.RecordIdleTime(AtDay(2), Duration::Minutes(30));
+  EXPECT_EQ(store.retained_days(), 3);
+  const RangeLimitedHistogram aggregate = store.Aggregate();
+  EXPECT_EQ(aggregate.in_bounds_count(), 3);
+  EXPECT_EQ(aggregate.bins()[10], 1);
+  EXPECT_EQ(aggregate.bins()[20], 1);
+  EXPECT_EQ(aggregate.bins()[30], 1);
+}
+
+TEST(DailyStoreTest, GapDaysCreateEmptyHistograms) {
+  DailyHistogramStore store;
+  store.RecordIdleTime(AtDay(0), Duration::Minutes(10));
+  store.RecordIdleTime(AtDay(4), Duration::Minutes(10));
+  EXPECT_EQ(store.retained_days(), 5);  // Days 0..4.
+  EXPECT_EQ(store.total_observations(), 2);
+}
+
+TEST(DailyStoreTest, RetentionDropsOldDays) {
+  DailyStoreConfig config;
+  config.retention_days = 14;
+  DailyHistogramStore store(config);
+  // Day 0 gets a distinctive observation, then 20 more days arrive.
+  store.RecordIdleTime(AtDay(0), Duration::Minutes(7));
+  for (int day = 1; day <= 20; ++day) {
+    store.RecordIdleTime(AtDay(day), Duration::Minutes(100));
+  }
+  EXPECT_EQ(store.retained_days(), 14);
+  const RangeLimitedHistogram aggregate = store.Aggregate();
+  EXPECT_EQ(aggregate.bins()[7], 0);  // Day 0 was discarded.
+}
+
+TEST(DailyStoreTest, OobCountsSurviveAggregation) {
+  DailyHistogramStore store;
+  store.RecordIdleTime(AtDay(0), Duration::Hours(9));  // OOB for 4h range.
+  store.RecordIdleTime(AtDay(1), Duration::Hours(9));
+  const RangeLimitedHistogram aggregate = store.Aggregate();
+  EXPECT_EQ(aggregate.oob_count(), 2);
+  EXPECT_EQ(aggregate.in_bounds_count(), 0);
+}
+
+TEST(DailyStoreTest, DecayWeightsRecentDaysMore) {
+  DailyStoreConfig config;
+  config.day_weight_decay = 0.5;
+  DailyHistogramStore store(config);
+  // Old day: 40 ITs at 10 minutes.  Recent day: 10 ITs at 100 minutes.
+  for (int i = 0; i < 40; ++i) {
+    store.RecordIdleTime(AtDay(0), Duration::Minutes(10));
+  }
+  for (int i = 0; i < 10; ++i) {
+    store.RecordIdleTime(AtDay(1), Duration::Minutes(100));
+  }
+  const RangeLimitedHistogram aggregate = store.Aggregate();
+  // The recent day keeps full weight (10), the old day is halved (20).
+  EXPECT_EQ(aggregate.bins()[100], 10);
+  EXPECT_EQ(aggregate.bins()[10], 20);
+}
+
+TEST(DailyStoreTest, SerializeRoundTrip) {
+  DailyStoreConfig config;
+  config.retention_days = 7;
+  config.day_weight_decay = 0.8;
+  DailyHistogramStore store(config);
+  store.RecordIdleTime(AtDay(0), Duration::Minutes(5));
+  store.RecordIdleTime(AtDay(0), Duration::Minutes(5));
+  store.RecordIdleTime(AtDay(1), Duration::Minutes(90));
+  store.RecordIdleTime(AtDay(1), Duration::Hours(10));  // OOB.
+
+  const std::string data = store.Serialize();
+  const auto restored = DailyHistogramStore::Deserialize(data);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->retained_days(), 2);
+  EXPECT_EQ(restored->total_observations(), 4);
+  const RangeLimitedHistogram original = store.Aggregate();
+  const RangeLimitedHistogram copy = restored->Aggregate();
+  EXPECT_EQ(original.bins(), copy.bins());
+  EXPECT_EQ(original.oob_count(), copy.oob_count());
+  EXPECT_EQ(restored->config().retention_days, 7);
+  EXPECT_DOUBLE_EQ(restored->config().day_weight_decay, 0.8);
+}
+
+TEST(DailyStoreTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(DailyHistogramStore::Deserialize("").has_value());
+  EXPECT_FALSE(DailyHistogramStore::Deserialize("nonsense").has_value());
+  EXPECT_FALSE(
+      DailyHistogramStore::Deserialize("dailystore v2 60000 240 14 1\n")
+          .has_value());
+  EXPECT_FALSE(DailyHistogramStore::Deserialize(
+                   "dailystore v1 60000 240 14 1\nday x oob 0\n")
+                   .has_value());
+  // Bin index out of range.
+  EXPECT_FALSE(DailyHistogramStore::Deserialize(
+                   "dailystore v1 60000 240 14 1\nday 0 oob 0 999:1\n")
+                   .has_value());
+}
+
+TEST(DailyStoreTest, SerializeIsSparse) {
+  DailyHistogramStore store;
+  store.RecordIdleTime(AtDay(0), Duration::Minutes(3));
+  const std::string data = store.Serialize();
+  // One header line + one day line; the day line carries a single bin entry.
+  EXPECT_NE(data.find("3:1"), std::string::npos);
+  EXPECT_LT(data.size(), 120u);
+}
+
+}  // namespace
+}  // namespace faas

@@ -1,0 +1,85 @@
+#include "src/workload/rate_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+TEST(RateModelTest, CdfAnchorsMatchPaper) {
+  const GeneratorConfig config;
+  const RateModel model(config);
+  // Figure 5(a): 45% of apps average at most one invocation per hour,
+  // 81% at most one per minute.
+  EXPECT_NEAR(model.CdfAtDailyRate(24.0), 0.45, 1e-6);
+  EXPECT_NEAR(model.CdfAtDailyRate(1440.0), 0.81, 1e-6);
+  EXPECT_EQ(model.CdfAtDailyRate(0.0), 0.0);
+  EXPECT_EQ(model.CdfAtDailyRate(1e9), 1.0);
+}
+
+TEST(RateModelTest, SamplesHonourAnchors) {
+  const GeneratorConfig config;
+  const RateModel model(config);
+  Rng rng(400);
+  constexpr int kSamples = 200'000;
+  int at_most_hourly = 0;
+  int at_most_minutely = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double rate = model.SampleDailyRate(rng);
+    if (rate <= 24.0) {
+      ++at_most_hourly;
+    }
+    if (rate <= 1440.0) {
+      ++at_most_minutely;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(at_most_hourly) / kSamples, 0.45, 0.01);
+  EXPECT_NEAR(static_cast<double>(at_most_minutely) / kSamples, 0.81, 0.01);
+}
+
+TEST(RateModelTest, RangeSpansEightOrdersOfMagnitude) {
+  const GeneratorConfig config;
+  const RateModel model(config);
+  Rng rng(401);
+  double min_rate = 1e18;
+  double max_rate = 0.0;
+  for (int i = 0; i < 200'000; ++i) {
+    const double rate = model.SampleDailyRate(rng);
+    min_rate = std::min(min_rate, rate);
+    max_rate = std::max(max_rate, rate);
+  }
+  EXPECT_GT(std::log10(max_rate) - std::log10(min_rate), 8.0);
+}
+
+TEST(RateModelTest, CappedSamplingClamps) {
+  GeneratorConfig config;
+  config.instants_rate_cap_per_day = 100.0;
+  const RateModel model(config);
+  Rng rng(402);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LE(model.SampleCappedDailyRate(rng), 100.0);
+  }
+}
+
+TEST(RateModelTest, PopularitySkewDominatesInvocations) {
+  // Figure 5(b): the ~19% of apps invoked at least once per minute carry
+  // ~99.6% of invocations.  Verify on the uncapped model.
+  const GeneratorConfig config;
+  const RateModel model(config);
+  Rng rng(403);
+  double total = 0.0;
+  double from_minutely = 0.0;
+  constexpr int kSamples = 300'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double rate = model.SampleDailyRate(rng);
+    total += rate;
+    if (rate >= 1440.0) {
+      from_minutely += rate;
+    }
+  }
+  EXPECT_GT(from_minutely / total, 0.99);
+}
+
+}  // namespace
+}  // namespace faas

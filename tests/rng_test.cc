@@ -1,0 +1,199 @@
+#include "src/common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(7);
+  Rng child1 = parent.Fork();
+  Rng child2 = parent.Fork();
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.Next() != child2.Next()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(6);
+  double sum = 0.0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.NextDouble();
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  Rng rng(9);
+  constexpr uint64_t kBuckets = 10;
+  std::vector<int> counts(kBuckets, 0);
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.UniformInt(kBuckets)];
+  }
+  for (int count : counts) {
+    EXPECT_NEAR(count, kSamples / static_cast<int>(kBuckets),
+                kSamples / static_cast<int>(kBuckets) / 10);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(10);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(13);
+  constexpr int kSamples = 200'000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double z = rng.NextGaussian();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(14);
+  constexpr int kSamples = 100'000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.NextExponential(4.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.25, 0.01);
+}
+
+TEST(RngTest, LogNormalMedianIsExpMu) {
+  Rng rng(15);
+  constexpr int kSamples = 50'000;
+  std::vector<double> samples(kSamples);
+  for (double& s : samples) {
+    s = rng.NextLogNormal(1.0, 0.5);
+  }
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[kSamples / 2], std::exp(1.0), 0.1);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(16);
+  constexpr int kSamples = 100'000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.NextPoisson(3.0);
+  }
+  EXPECT_NEAR(sum / kSamples, 3.0, 0.05);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(17);
+  constexpr int kSamples = 50'000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.NextPoisson(200.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kSamples, 200.0, 1.0);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(18);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0.0);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(19);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kSamples, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kSamples, 0.75, 0.01);
+}
+
+TEST(RngTest, SplitMix64Mixes) {
+  uint64_t state = 0;
+  const uint64_t a = SplitMix64(state);
+  const uint64_t b = SplitMix64(state);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, 0u);
+}
+
+}  // namespace
+}  // namespace faas

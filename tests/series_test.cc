@@ -1,0 +1,205 @@
+#include "src/arima/series.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace faas {
+namespace {
+
+TEST(DifferenceTest, FirstOrder) {
+  const std::vector<double> series = {1.0, 3.0, 6.0, 10.0};
+  const std::vector<double> diff = Difference(series, 1);
+  EXPECT_EQ(diff, (std::vector<double>{2.0, 3.0, 4.0}));
+}
+
+TEST(DifferenceTest, SecondOrder) {
+  const std::vector<double> series = {1.0, 3.0, 6.0, 10.0};
+  const std::vector<double> diff = Difference(series, 2);
+  EXPECT_EQ(diff, (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(DifferenceTest, ZeroOrderIsIdentity) {
+  const std::vector<double> series = {5.0, 7.0};
+  EXPECT_EQ(Difference(series, 0), series);
+}
+
+TEST(DifferenceTest, OverDifferencingGivesEmpty) {
+  const std::vector<double> series = {1.0, 2.0};
+  EXPECT_TRUE(Difference(series, 3).empty());
+}
+
+TEST(IntegrateForecastTest, InvertsDifferencing) {
+  const std::vector<double> series = {2.0, 5.0, 4.0, 8.0, 9.0};
+  const std::vector<double> tails = DifferencingTails(series, 1);
+  ASSERT_EQ(tails.size(), 1u);
+  EXPECT_DOUBLE_EQ(tails[0], 9.0);
+  // If the differenced series continues with {1.0, -2.0}, the original
+  // continues with {10.0, 8.0}.
+  const std::vector<double> restored =
+      IntegrateForecast(std::vector<double>{1.0, -2.0}, tails);
+  EXPECT_EQ(restored, (std::vector<double>{10.0, 8.0}));
+}
+
+TEST(IntegrateForecastTest, SecondOrderRoundTrip) {
+  const std::vector<double> series = {1.0, 4.0, 9.0, 16.0, 25.0};
+  const std::vector<double> tails = DifferencingTails(series, 2);
+  // d=2 of squares is constant 2; forecasting {2.0, 2.0} must continue the
+  // squares: 36, 49.
+  const std::vector<double> restored =
+      IntegrateForecast(std::vector<double>{2.0, 2.0}, tails);
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_DOUBLE_EQ(restored[0], 36.0);
+  EXPECT_DOUBLE_EQ(restored[1], 49.0);
+}
+
+TEST(AcfTest, LagZeroIsOne) {
+  const std::vector<double> series = {1.0, 2.0, 1.5, 3.0, 2.5};
+  const std::vector<double> acf = Acf(series, 2);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+}
+
+TEST(AcfTest, ConstantSeriesHasZeroCorrelations) {
+  const std::vector<double> series(20, 4.0);
+  const std::vector<double> acf = Acf(series, 5);
+  for (int lag = 1; lag <= 5; ++lag) {
+    EXPECT_DOUBLE_EQ(acf[static_cast<size_t>(lag)], 0.0);
+  }
+}
+
+TEST(AcfTest, Ar1SeriesDecaysGeometrically) {
+  Rng rng(55);
+  const double phi = 0.8;
+  std::vector<double> series(20'000);
+  series[0] = 0.0;
+  for (size_t t = 1; t < series.size(); ++t) {
+    series[t] = phi * series[t - 1] + rng.NextGaussian();
+  }
+  const std::vector<double> acf = Acf(series, 3);
+  EXPECT_NEAR(acf[1], phi, 0.03);
+  EXPECT_NEAR(acf[2], phi * phi, 0.04);
+  EXPECT_NEAR(acf[3], phi * phi * phi, 0.05);
+}
+
+TEST(PacfTest, Ar1CutsOffAfterLagOne) {
+  Rng rng(56);
+  const double phi = 0.7;
+  std::vector<double> series(20'000);
+  series[0] = 0.0;
+  for (size_t t = 1; t < series.size(); ++t) {
+    series[t] = phi * series[t - 1] + rng.NextGaussian();
+  }
+  const std::vector<double> pacf = Pacf(series, 4);
+  EXPECT_NEAR(pacf[1], phi, 0.03);
+  EXPECT_NEAR(pacf[2], 0.0, 0.03);
+  EXPECT_NEAR(pacf[3], 0.0, 0.03);
+}
+
+TEST(YuleWalkerTest, RecoversAr2Coefficients) {
+  Rng rng(57);
+  const double phi1 = 0.5;
+  const double phi2 = 0.3;
+  std::vector<double> series(50'000);
+  series[0] = series[1] = 0.0;
+  for (size_t t = 2; t < series.size(); ++t) {
+    series[t] =
+        phi1 * series[t - 1] + phi2 * series[t - 2] + rng.NextGaussian();
+  }
+  const std::vector<double> phi = YuleWalkerAr(series, 2);
+  ASSERT_EQ(phi.size(), 2u);
+  EXPECT_NEAR(phi[0], phi1, 0.03);
+  EXPECT_NEAR(phi[1], phi2, 0.03);
+}
+
+TEST(YuleWalkerTest, OrderZeroIsEmpty) {
+  const std::vector<double> series = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_TRUE(YuleWalkerAr(series, 0).empty());
+}
+
+TEST(KpssTest, StationaryNoiseAccepted) {
+  Rng rng(58);
+  std::vector<double> series(500);
+  for (double& s : series) {
+    s = rng.NextGaussian();
+  }
+  EXPECT_TRUE(IsLevelStationaryKpss(series));
+}
+
+TEST(KpssTest, RandomWalkRejected) {
+  Rng rng(59);
+  std::vector<double> series(500);
+  double level = 0.0;
+  for (double& s : series) {
+    level += rng.NextGaussian();
+    s = level;
+  }
+  EXPECT_FALSE(IsLevelStationaryKpss(series));
+}
+
+TEST(KpssTest, ConstantSeriesIsStationary) {
+  const std::vector<double> series(50, 3.0);
+  EXPECT_TRUE(IsLevelStationaryKpss(series));
+}
+
+TEST(EstimateDifferencingOrderTest, StationaryNeedsNone) {
+  Rng rng(60);
+  std::vector<double> series(400);
+  for (double& s : series) {
+    s = rng.NextGaussian();
+  }
+  EXPECT_EQ(EstimateDifferencingOrder(series, 2), 0);
+}
+
+TEST(EstimateDifferencingOrderTest, RandomWalkNeedsOne) {
+  Rng rng(61);
+  std::vector<double> series(400);
+  double level = 0.0;
+  for (double& s : series) {
+    level += rng.NextGaussian();
+    s = level;
+  }
+  EXPECT_EQ(EstimateDifferencingOrder(series, 2), 1);
+}
+
+TEST(EstimateDifferencingOrderTest, IntegratedTwiceNeedsTwo) {
+  Rng rng(62);
+  std::vector<double> series(400);
+  double level = 0.0;
+  double slope = 0.0;
+  for (double& s : series) {
+    slope += rng.NextGaussian();
+    level += slope;
+    s = level;
+  }
+  EXPECT_EQ(EstimateDifferencingOrder(series, 2), 2);
+}
+
+TEST(RootsTest, EmptyAndZeroCoefficientsAreStable) {
+  EXPECT_TRUE(RootsOutsideUnitCircle(std::vector<double>{}));
+  EXPECT_TRUE(RootsOutsideUnitCircle(std::vector<double>{0.0, 0.0}));
+}
+
+TEST(RootsTest, StableAr1) {
+  EXPECT_TRUE(RootsOutsideUnitCircle(std::vector<double>{0.5}));
+  EXPECT_TRUE(RootsOutsideUnitCircle(std::vector<double>{-0.9}));
+}
+
+TEST(RootsTest, UnstableAr1) {
+  EXPECT_FALSE(RootsOutsideUnitCircle(std::vector<double>{1.0}));
+  EXPECT_FALSE(RootsOutsideUnitCircle(std::vector<double>{1.2}));
+  EXPECT_FALSE(RootsOutsideUnitCircle(std::vector<double>{-1.05}));
+}
+
+TEST(RootsTest, Ar2StabilityTriangle) {
+  // AR(2) is stationary iff phi2 + phi1 < 1, phi2 - phi1 < 1, |phi2| < 1.
+  EXPECT_TRUE(RootsOutsideUnitCircle(std::vector<double>{0.5, 0.3}));
+  EXPECT_TRUE(RootsOutsideUnitCircle(std::vector<double>{-0.5, 0.3}));
+  EXPECT_FALSE(RootsOutsideUnitCircle(std::vector<double>{0.8, 0.3}));
+  EXPECT_FALSE(RootsOutsideUnitCircle(std::vector<double>{0.0, 1.1}));
+}
+
+}  // namespace
+}  // namespace faas

@@ -1,0 +1,83 @@
+#include "src/common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+TEST(SplitStringTest, BasicSplit) {
+  const auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitStringTest, AdjacentDelimitersYieldEmptyFields) {
+  const auto parts = SplitString("a,,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitStringTest, LeadingAndTrailingDelimiters) {
+  const auto parts = SplitString(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(SplitStringTest, EmptyInputGivesOneEmptyField) {
+  const auto parts = SplitString("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  hello \t\n"), "hello");
+  EXPECT_EQ(StripWhitespace("hello"), "hello");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(ParseDoubleTest, ValidNumbers) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 42 ").value(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("0").value(), 0.0);
+}
+
+TEST(ParseDoubleTest, RejectsJunk) {
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("1.5x").has_value());
+  EXPECT_FALSE(ParseDouble("1.5 2.5").has_value());
+}
+
+TEST(ParseInt64Test, ValidNumbers) {
+  EXPECT_EQ(ParseInt64("123").value(), 123);
+  EXPECT_EQ(ParseInt64("-5").value(), -5);
+  EXPECT_EQ(ParseInt64("  7 ").value(), 7);
+}
+
+TEST(ParseInt64Test, RejectsJunkAndFractions) {
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("1.5").has_value());
+  EXPECT_FALSE(ParseInt64("12abc").has_value());
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("hello world", "hello"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("abc", "abcd"));
+  EXPECT_FALSE(StartsWith("abc", "b"));
+}
+
+TEST(JoinStringsTest, Basic) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({"only"}, ","), "only");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+}  // namespace
+}  // namespace faas

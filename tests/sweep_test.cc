@@ -1,0 +1,102 @@
+#include "src/sim/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "src/policy/hybrid.h"
+#include "src/policy/policy.h"
+
+namespace faas {
+namespace {
+
+Trace MakeTrace() {
+  Trace trace;
+  trace.horizon = Duration::Hours(6);
+  for (int a = 0; a < 10; ++a) {
+    AppTrace app;
+    app.owner_id = "o";
+    app.app_id = "app" + std::to_string(a);
+    app.memory = {100.0, 90.0, 120.0, 1};
+    FunctionTrace function;
+    function.function_id = "f";
+    function.trigger = TriggerType::kHttp;
+    // App a is invoked every (a+1)*5 minutes.
+    const int64_t period = (a + 1) * 5;
+    for (int64_t t = 0; t < 6 * 60; t += period) {
+      function.invocations.push_back(TimePoint(t * 60'000));
+    }
+    function.execution = {0, 0, 0, 1};
+    app.functions.push_back(std::move(function));
+    trace.apps.push_back(std::move(app));
+  }
+  return trace;
+}
+
+TEST(SweepTest, BaselineNormalizesToHundredPercent) {
+  const Trace trace = MakeTrace();
+  const FixedKeepAliveFactory fixed10(Duration::Minutes(10));
+  const FixedKeepAliveFactory fixed30(Duration::Minutes(30));
+  const std::vector<const PolicyFactory*> factories = {&fixed10, &fixed30};
+  const auto points = EvaluatePolicies(trace, factories, 0);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].normalized_wasted_memory_pct, 100.0);
+  EXPECT_GT(points[1].normalized_wasted_memory_pct, 100.0);
+}
+
+TEST(SweepTest, BaselineIndexSelectsNormalizer) {
+  const Trace trace = MakeTrace();
+  const FixedKeepAliveFactory fixed10(Duration::Minutes(10));
+  const FixedKeepAliveFactory fixed30(Duration::Minutes(30));
+  const std::vector<const PolicyFactory*> factories = {&fixed10, &fixed30};
+  const auto points = EvaluatePolicies(trace, factories, 1);
+  EXPECT_DOUBLE_EQ(points[1].normalized_wasted_memory_pct, 100.0);
+  EXPECT_LT(points[0].normalized_wasted_memory_pct, 100.0);
+}
+
+TEST(SweepTest, NamesAndMetricsPropagate) {
+  const Trace trace = MakeTrace();
+  const HybridPolicyFactory hybrid{HybridPolicyConfig{}};
+  const std::vector<const PolicyFactory*> factories = {&hybrid};
+  const auto points = EvaluatePolicies(trace, factories, 0);
+  EXPECT_EQ(points[0].name, hybrid.name());
+  EXPECT_EQ(points[0].result.apps.size(), trace.apps.size());
+  EXPECT_GE(points[0].cold_start_p75, 0.0);
+  EXPECT_LE(points[0].cold_start_p75, 100.0);
+  EXPECT_NEAR(points[0].wasted_memory_minutes,
+              points[0].result.TotalWastedMemoryMinutes(), 1e-9);
+}
+
+TEST(SweepTest, OptionsForwardedToSimulator) {
+  const Trace trace = MakeTrace();
+  const FixedKeepAliveFactory fixed10(Duration::Minutes(10));
+  const std::vector<const PolicyFactory*> factories = {&fixed10};
+  SimulatorOptions weighted;
+  weighted.weight_by_memory = true;
+  const auto plain = EvaluatePolicies(trace, factories, 0);
+  const auto scaled = EvaluatePolicies(trace, factories, 0, weighted);
+  // All apps are 100MB, so weighting scales waste by exactly 100.
+  EXPECT_NEAR(scaled[0].wasted_memory_minutes,
+              plain[0].wasted_memory_minutes * 100.0, 1e-6);
+}
+
+TEST(SweepTest, LongerKeepAliveMonotonicInBothAxes) {
+  // Property over the whole sweep: longer fixed windows never increase cold
+  // starts and never decrease waste.
+  const Trace trace = MakeTrace();
+  std::vector<std::unique_ptr<FixedKeepAliveFactory>> owned;
+  std::vector<const PolicyFactory*> factories;
+  for (int minutes : {5, 10, 20, 40, 80}) {
+    owned.push_back(
+        std::make_unique<FixedKeepAliveFactory>(Duration::Minutes(minutes)));
+    factories.push_back(owned.back().get());
+  }
+  const auto points = EvaluatePolicies(trace, factories, 0);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].result.TotalColdStarts(),
+              points[i - 1].result.TotalColdStarts());
+    EXPECT_GE(points[i].wasted_memory_minutes,
+              points[i - 1].wasted_memory_minutes - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace faas

@@ -1,0 +1,95 @@
+#include "src/common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+TEST(DurationTest, FactoryUnitsConvert) {
+  EXPECT_EQ(Duration::Millis(1500).millis(), 1500);
+  EXPECT_EQ(Duration::Seconds(2).millis(), 2000);
+  EXPECT_EQ(Duration::Minutes(3).millis(), 180'000);
+  EXPECT_EQ(Duration::Hours(4).millis(), 14'400'000);
+  EXPECT_EQ(Duration::Days(1).millis(), 86'400'000);
+}
+
+TEST(DurationTest, FractionalFactoriesRound) {
+  EXPECT_EQ(Duration::FromSecondsF(1.2345).millis(), 1235);
+  EXPECT_EQ(Duration::FromMinutesF(0.5).millis(), 30'000);
+  EXPECT_EQ(Duration::FromHoursF(1.5).millis(), 5'400'000);
+  EXPECT_EQ(Duration::FromSecondsF(-1.2345).millis(), -1235);
+}
+
+TEST(DurationTest, AccessorsConvertBack) {
+  const Duration d = Duration::Minutes(90);
+  EXPECT_DOUBLE_EQ(d.seconds(), 5400.0);
+  EXPECT_DOUBLE_EQ(d.minutes(), 90.0);
+  EXPECT_DOUBLE_EQ(d.hours(), 1.5);
+  EXPECT_DOUBLE_EQ(d.days(), 1.5 / 24.0);
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::Minutes(10);
+  const Duration b = Duration::Minutes(4);
+  EXPECT_EQ((a + b).minutes(), 14.0);
+  EXPECT_EQ((a - b).minutes(), 6.0);
+  EXPECT_EQ((a * 1.5).minutes(), 15.0);
+  EXPECT_EQ((a / 2).minutes(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_EQ((-a).minutes(), -10.0);
+}
+
+TEST(DurationTest, ScalingRoundsToNearestMillisecond) {
+  EXPECT_EQ((Duration::Millis(3) * 0.5).millis(), 2);   // 1.5 -> 2.
+  EXPECT_EQ((Duration::Millis(5) * 0.1).millis(), 1);   // 0.5 -> 1.
+  EXPECT_EQ((Duration::Millis(-3) * 0.5).millis(), -2); // -1.5 -> -2.
+}
+
+TEST(DurationTest, CompoundAssignment) {
+  Duration d = Duration::Seconds(1);
+  d += Duration::Seconds(2);
+  EXPECT_EQ(d.seconds(), 3.0);
+  d -= Duration::Seconds(4);
+  EXPECT_EQ(d.millis(), -1000);
+  EXPECT_TRUE(d.IsNegative());
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::Seconds(1), Duration::Seconds(2));
+  EXPECT_EQ(Duration::Minutes(1), Duration::Seconds(60));
+  EXPECT_GT(Duration::Max(), Duration::Days(100000));
+  EXPECT_TRUE(Duration::Zero().IsZero());
+}
+
+TEST(DurationTest, ToStringPicksUnits) {
+  EXPECT_EQ(Duration::Millis(5).ToString(), "5ms");
+  EXPECT_EQ(Duration::Seconds(2).ToString(), "2.000s");
+  EXPECT_EQ(Duration::Minutes(5).ToString(), "5.00min");
+  EXPECT_EQ(Duration::Hours(3).ToString(), "3.00h");
+  EXPECT_EQ(Duration::Millis(-5).ToString(), "-5ms");
+}
+
+TEST(TimePointTest, ArithmeticWithDurations) {
+  const TimePoint t0 = TimePoint::Origin();
+  const TimePoint t1 = t0 + Duration::Minutes(5);
+  EXPECT_EQ(t1.millis_since_origin(), 300'000);
+  EXPECT_EQ((t1 - t0).minutes(), 5.0);
+  EXPECT_EQ((t1 - Duration::Minutes(2)).millis_since_origin(), 180'000);
+}
+
+TEST(TimePointTest, Ordering) {
+  const TimePoint a(100);
+  const TimePoint b(200);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a + Duration::Millis(100), b);
+  EXPECT_GT(TimePoint::Max(), b);
+}
+
+TEST(TimePointTest, CompoundAdvance) {
+  TimePoint t(0);
+  t += Duration::Seconds(10);
+  EXPECT_EQ(t.millis_since_origin(), 10'000);
+}
+
+}  // namespace
+}  // namespace faas

@@ -1,0 +1,323 @@
+#include "src/trace/csv.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/generator.h"
+
+namespace faas {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceCsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("faas_csv_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+
+  fs::path dir_;
+};
+
+Trace MakeSmallTrace() {
+  Trace trace;
+  trace.horizon = Duration::Days(2);
+  AppTrace app;
+  app.owner_id = "owner1";
+  app.app_id = "app1";
+  app.memory = {150.0, 140.0, 180.0, 42};
+
+  FunctionTrace f1;
+  f1.function_id = "fn1";
+  f1.trigger = TriggerType::kHttp;
+  // Two invocations in minute 0 of day 1, one in minute 3 of day 2.
+  f1.invocations = {TimePoint(10'000), TimePoint(20'000),
+                    TimePoint(86'400'000 + 3 * 60'000 + 30'000)};
+  f1.execution = {123.5, 50.0, 400.0, 3};
+  app.functions.push_back(f1);
+
+  FunctionTrace f2;
+  f2.function_id = "fn2";
+  f2.trigger = TriggerType::kTimer;
+  f2.invocations = {TimePoint(60'000), TimePoint(120'000)};
+  f2.execution = {30.0, 28.0, 35.0, 2};
+  app.functions.push_back(f2);
+  trace.apps.push_back(app);
+
+  AppTrace app2;
+  app2.owner_id = "owner2";
+  app2.app_id = "app2";
+  app2.memory = {90.0, 85.0, 100.0, 7};
+  FunctionTrace f3;
+  f3.function_id = "fn1";
+  f3.trigger = TriggerType::kQueue;
+  f3.invocations = {TimePoint(5 * 60'000)};
+  f3.execution = {1000.0, 1000.0, 1000.0, 1};
+  app2.functions.push_back(f3);
+  trace.apps.push_back(app2);
+  return trace;
+}
+
+TEST_F(TraceCsvTest, WriteCreatesExpectedFiles) {
+  const Trace trace = MakeSmallTrace();
+  EXPECT_EQ(WriteTraceCsv(trace, dir()), "");
+  EXPECT_TRUE(fs::exists(fs::path(dir()) / "invocations_per_function.d01.csv"));
+  EXPECT_TRUE(fs::exists(fs::path(dir()) / "invocations_per_function.d02.csv"));
+  EXPECT_TRUE(fs::exists(fs::path(dir()) / kDurationsFileName));
+  EXPECT_TRUE(fs::exists(fs::path(dir()) / kMemoryFileName));
+}
+
+TEST_F(TraceCsvTest, RoundTripPreservesStructure) {
+  const Trace original = MakeSmallTrace();
+  ASSERT_EQ(WriteTraceCsv(original, dir()), "");
+  const auto result = ReadTraceCsv(dir());
+  ASSERT_TRUE(result.ok) << result.error;
+  const Trace& restored = result.value;
+
+  ASSERT_EQ(restored.apps.size(), 2u);
+  EXPECT_EQ(restored.horizon, Duration::Days(2));
+  const AppTrace& app = restored.apps[0];
+  EXPECT_EQ(app.owner_id, "owner1");
+  EXPECT_EQ(app.app_id, "app1");
+  ASSERT_EQ(app.functions.size(), 2u);
+  EXPECT_EQ(app.functions[0].trigger, TriggerType::kHttp);
+  EXPECT_EQ(app.functions[1].trigger, TriggerType::kTimer);
+  EXPECT_EQ(app.functions[0].InvocationCount(), 3);
+  EXPECT_EQ(app.functions[1].InvocationCount(), 2);
+  EXPECT_FALSE(restored.Validate().has_value());
+}
+
+TEST_F(TraceCsvTest, RoundTripPreservesMinuteBins) {
+  const Trace original = MakeSmallTrace();
+  ASSERT_EQ(WriteTraceCsv(original, dir()), "");
+  const auto result = ReadTraceCsv(dir());
+  ASSERT_TRUE(result.ok) << result.error;
+  // fn1 has 2 invocations in minute 0 (day 1) and 1 in minute 3 (day 2);
+  // the restored instants must fall in the same minutes.
+  const auto& invocations = result.value.apps[0].functions[0].invocations;
+  ASSERT_EQ(invocations.size(), 3u);
+  EXPECT_EQ(invocations[0].millis_since_origin() / 60'000, 0);
+  EXPECT_EQ(invocations[1].millis_since_origin() / 60'000, 0);
+  EXPECT_EQ(invocations[2].millis_since_origin() / 60'000, 1440 + 3);
+}
+
+TEST_F(TraceCsvTest, RoundTripPreservesStats) {
+  const Trace original = MakeSmallTrace();
+  ASSERT_EQ(WriteTraceCsv(original, dir()), "");
+  const auto result = ReadTraceCsv(dir());
+  ASSERT_TRUE(result.ok) << result.error;
+  const ExecutionStats& exec = result.value.apps[0].functions[0].execution;
+  EXPECT_NEAR(exec.average_ms, 123.5, 1e-9);
+  EXPECT_NEAR(exec.minimum_ms, 50.0, 1e-9);
+  EXPECT_NEAR(exec.maximum_ms, 400.0, 1e-9);
+  EXPECT_EQ(exec.count, 3);
+  const MemoryStats& mem = result.value.apps[0].memory;
+  EXPECT_NEAR(mem.average_mb, 150.0, 1e-9);
+  EXPECT_NEAR(mem.percentile1_mb, 140.0, 1e-9);
+  EXPECT_NEAR(mem.maximum_mb, 180.0, 1e-9);
+  EXPECT_EQ(mem.sample_count, 42);
+}
+
+TEST_F(TraceCsvTest, ReadMissingDirectoryFails) {
+  const auto result = ReadTraceCsv(dir() + "_nonexistent");
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST_F(TraceCsvTest, ReadRejectsMalformedRow) {
+  fs::create_directories(dir());
+  std::ofstream out(fs::path(dir()) / InvocationsFileName(1));
+  out << "HashOwner,HashApp,HashFunction,Trigger,1,2\n";  // Header (short).
+  out << "o,a,f,http,1,2\n";                              // Too few minutes.
+  out.close();
+  const auto result = ReadTraceCsv(dir());
+  EXPECT_FALSE(result.ok);
+}
+
+TEST_F(TraceCsvTest, ReadRejectsUnknownTrigger) {
+  fs::create_directories(dir());
+  std::ofstream out(fs::path(dir()) / InvocationsFileName(1));
+  out << "HashOwner,HashApp,HashFunction,Trigger";
+  for (int m = 1; m <= kMinutesPerDay; ++m) {
+    out << "," << m;
+  }
+  out << "\n";
+  out << "o,a,f,teleport";
+  for (int m = 1; m <= kMinutesPerDay; ++m) {
+    out << ",0";
+  }
+  out << "\n";
+  out.close();
+  const auto result = ReadTraceCsv(dir());
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("trigger"), std::string::npos);
+}
+
+// --- Azure public dataset schema compatibility ------------------------------
+
+namespace {
+
+void WriteRealDatasetInvocations(const fs::path& path,
+                                 const std::string& owner,
+                                 const std::string& app,
+                                 const std::string& function,
+                                 const std::string& trigger,
+                                 int minute_one_based, int count) {
+  std::ofstream out(path);
+  out << "HashOwner,HashApp,HashFunction,Trigger";
+  for (int m = 1; m <= kMinutesPerDay; ++m) {
+    out << ',' << m;
+  }
+  out << '\n';
+  out << owner << ',' << app << ',' << function << ',' << trigger;
+  for (int m = 1; m <= kMinutesPerDay; ++m) {
+    out << ',' << (m == minute_one_based ? count : 0);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+TEST_F(TraceCsvTest, ReadsRealDatasetFileNamesAndPercentileColumns) {
+  fs::create_directories(dir());
+  // Invocations under the dataset's file name.
+  WriteRealDatasetInvocations(
+      fs::path(dir()) / "invocations_per_function_md.anon.d01.csv", "o", "a",
+      "f", "http", /*minute=*/10, /*count=*/3);
+
+  // Durations with the dataset's percentile columns (extra columns must be
+  // tolerated) under the dataset's per-day file name.
+  {
+    std::ofstream out(fs::path(dir()) /
+                      "function_durations_percentiles.anon.d01.csv");
+    out << "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum,"
+           "percentile_Average_0,percentile_Average_1,percentile_Average_25,"
+           "percentile_Average_50,percentile_Average_75,percentile_Average_99,"
+           "percentile_Average_100\n";
+    out << "o,a,f,250.5,3,100,400,100,110,200,250,300,390,400\n";
+  }
+  // Memory with the dataset's percentile columns.
+  {
+    std::ofstream out(fs::path(dir()) / "app_memory_percentiles.anon.d01.csv");
+    out << "HashOwner,HashApp,SampleCount,AverageAllocatedMb,"
+           "AverageAllocatedMb_pct1,AverageAllocatedMb_pct5,"
+           "AverageAllocatedMb_pct25,AverageAllocatedMb_pct50,"
+           "AverageAllocatedMb_pct75,AverageAllocatedMb_pct95,"
+           "AverageAllocatedMb_pct99,AverageAllocatedMb_pct100\n";
+    out << "o,a,12,180.5,150,155,170,180,190,210,220,230\n";
+  }
+
+  const auto result = ReadTraceCsv(dir());
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.value.apps.size(), 1u);
+  const AppTrace& app = result.value.apps[0];
+  ASSERT_EQ(app.functions.size(), 1u);
+  EXPECT_EQ(app.functions[0].InvocationCount(), 3);
+  EXPECT_EQ(app.functions[0].invocations[0].millis_since_origin() / 60'000, 9);
+  EXPECT_NEAR(app.functions[0].execution.average_ms, 250.5, 1e-9);
+  EXPECT_EQ(app.functions[0].execution.count, 3);
+  EXPECT_NEAR(app.memory.average_mb, 180.5, 1e-9);
+  EXPECT_NEAR(app.memory.percentile1_mb, 150.0, 1e-9);
+  EXPECT_NEAR(app.memory.maximum_mb, 230.0, 1e-9);
+  EXPECT_EQ(app.memory.sample_count, 12);
+}
+
+TEST_F(TraceCsvTest, MergesMultiDayDurationAndMemoryFiles) {
+  fs::create_directories(dir());
+  WriteRealDatasetInvocations(
+      fs::path(dir()) / "invocations_per_function_md.anon.d01.csv", "o", "a",
+      "f", "queue", 5, 2);
+  WriteRealDatasetInvocations(
+      fs::path(dir()) / "invocations_per_function_md.anon.d02.csv", "o", "a",
+      "f", "queue", 7, 2);
+  // Day 1: avg 100 over 2 samples; day 2: avg 300 over 2 -> merged avg 200.
+  {
+    std::ofstream out(fs::path(dir()) /
+                      "function_durations_percentiles.anon.d01.csv");
+    out << "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum\n";
+    out << "o,a,f,100,2,80,120\n";
+  }
+  {
+    std::ofstream out(fs::path(dir()) /
+                      "function_durations_percentiles.anon.d02.csv");
+    out << "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum\n";
+    out << "o,a,f,300,2,70,500\n";
+  }
+  // Memory: day 1 has 10 samples at 100MB; day 2 has 30 at 200MB -> 175MB.
+  {
+    std::ofstream out(fs::path(dir()) / "app_memory_percentiles.anon.d01.csv");
+    out << "HashOwner,HashApp,SampleCount,AverageAllocatedMb,"
+           "AverageAllocatedMb_pct1,AverageAllocatedMb_pct100\n";
+    out << "o,a,10,100,90,120\n";
+  }
+  {
+    std::ofstream out(fs::path(dir()) / "app_memory_percentiles.anon.d02.csv");
+    out << "HashOwner,HashApp,SampleCount,AverageAllocatedMb,"
+           "AverageAllocatedMb_pct1,AverageAllocatedMb_pct100\n";
+    out << "o,a,30,200,180,240\n";
+  }
+
+  const auto result = ReadTraceCsv(dir());
+  ASSERT_TRUE(result.ok) << result.error;
+  const AppTrace& app = result.value.apps[0];
+  EXPECT_EQ(result.value.horizon, Duration::Days(2));
+  EXPECT_EQ(app.functions[0].InvocationCount(), 4);
+  EXPECT_NEAR(app.functions[0].execution.average_ms, 200.0, 1e-9);
+  EXPECT_NEAR(app.functions[0].execution.minimum_ms, 70.0, 1e-9);
+  EXPECT_NEAR(app.functions[0].execution.maximum_ms, 500.0, 1e-9);
+  EXPECT_EQ(app.functions[0].execution.count, 4);
+  EXPECT_NEAR(app.memory.average_mb, 175.0, 1e-9);
+  EXPECT_NEAR(app.memory.maximum_mb, 240.0, 1e-9);
+  EXPECT_EQ(app.memory.sample_count, 40);
+}
+
+TEST_F(TraceCsvTest, ReorderedColumnsAreAccepted) {
+  fs::create_directories(dir());
+  // Header-driven parsing: write the invocation columns in a scrambled
+  // order (Trigger first).
+  {
+    std::ofstream out(fs::path(dir()) / "invocations_per_function.d01.csv");
+    out << "Trigger,HashFunction,HashApp,HashOwner";
+    for (int m = 1; m <= kMinutesPerDay; ++m) {
+      out << ',' << m;
+    }
+    out << '\n';
+    out << "timer,f,a,o";
+    for (int m = 1; m <= kMinutesPerDay; ++m) {
+      out << ',' << (m == 1 ? 1 : 0);
+    }
+    out << '\n';
+  }
+  const auto result = ReadTraceCsv(dir());
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.value.apps[0].owner_id, "o");
+  EXPECT_EQ(result.value.apps[0].app_id, "a");
+  EXPECT_EQ(result.value.apps[0].functions[0].trigger, TriggerType::kTimer);
+}
+
+TEST_F(TraceCsvTest, GeneratedTraceRoundTripsAtMinuteGranularity) {
+  GeneratorConfig config;
+  config.num_apps = 30;
+  config.days = 2;
+  config.seed = 9;
+  WorkloadGenerator generator(config);
+  const Trace original = generator.Generate();
+  ASSERT_EQ(WriteTraceCsv(original, dir()), "");
+  const auto result = ReadTraceCsv(dir());
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.value.apps.size(), original.apps.size());
+  EXPECT_EQ(result.value.TotalInvocations(), original.TotalInvocations());
+  EXPECT_EQ(result.value.TotalFunctions(), original.TotalFunctions());
+  EXPECT_FALSE(result.value.Validate().has_value());
+}
+
+}  // namespace
+}  // namespace faas

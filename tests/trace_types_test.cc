@@ -1,0 +1,179 @@
+#include "src/trace/types.h"
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+FunctionTrace MakeFunction(const std::string& id, TriggerType trigger,
+                           std::vector<int64_t> minutes) {
+  FunctionTrace function;
+  function.function_id = id;
+  function.trigger = trigger;
+  for (int64_t m : minutes) {
+    function.invocations.push_back(TimePoint(m * 60'000));
+  }
+  function.execution = {100.0, 50.0, 200.0,
+                        static_cast<int64_t>(minutes.size())};
+  return function;
+}
+
+TEST(TriggerTypeTest, NamesRoundTrip) {
+  for (TriggerType trigger : AllTriggerTypes()) {
+    const auto parsed = ParseTriggerType(TriggerTypeName(trigger));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, trigger);
+  }
+  EXPECT_FALSE(ParseTriggerType("bogus").has_value());
+}
+
+TEST(TriggerTypeTest, ShortCodesAreUniqueAndMatchPaper) {
+  EXPECT_EQ(TriggerShortCode(TriggerType::kHttp), 'H');
+  EXPECT_EQ(TriggerShortCode(TriggerType::kTimer), 'T');
+  EXPECT_EQ(TriggerShortCode(TriggerType::kQueue), 'Q');
+  EXPECT_EQ(TriggerShortCode(TriggerType::kStorage), 'S');
+  EXPECT_EQ(TriggerShortCode(TriggerType::kEvent), 'E');
+  EXPECT_EQ(TriggerShortCode(TriggerType::kOrchestration), 'O');
+  EXPECT_EQ(TriggerShortCode(TriggerType::kOthers), 'o');
+}
+
+TEST(AppTraceTest, TotalInvocationsSumsFunctions) {
+  AppTrace app;
+  app.app_id = "a";
+  app.functions.push_back(MakeFunction("f1", TriggerType::kHttp, {0, 5, 9}));
+  app.functions.push_back(MakeFunction("f2", TriggerType::kTimer, {2, 7}));
+  EXPECT_EQ(app.TotalInvocations(), 5);
+}
+
+TEST(AppTraceTest, MergedInvocationTimesSorted) {
+  AppTrace app;
+  app.functions.push_back(MakeFunction("f1", TriggerType::kHttp, {0, 9}));
+  app.functions.push_back(MakeFunction("f2", TriggerType::kTimer, {2, 7}));
+  const std::vector<TimePoint> merged = app.MergedInvocationTimes();
+  ASSERT_EQ(merged.size(), 4u);
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1], merged[i]);
+  }
+  EXPECT_EQ(merged[1], TimePoint(2 * 60'000));
+}
+
+TEST(AppTraceTest, TriggerSetAndHasTrigger) {
+  AppTrace app;
+  app.functions.push_back(MakeFunction("f1", TriggerType::kHttp, {0}));
+  app.functions.push_back(MakeFunction("f2", TriggerType::kHttp, {1}));
+  app.functions.push_back(MakeFunction("f3", TriggerType::kQueue, {2}));
+  EXPECT_EQ(app.TriggerSet().size(), 2u);
+  EXPECT_TRUE(app.HasTrigger(TriggerType::kHttp));
+  EXPECT_TRUE(app.HasTrigger(TriggerType::kQueue));
+  EXPECT_FALSE(app.HasTrigger(TriggerType::kTimer));
+}
+
+TEST(AppTraceTest, TriggerComboKeyUsesPaperOrdering) {
+  AppTrace app;
+  app.functions.push_back(MakeFunction("f1", TriggerType::kQueue, {0}));
+  app.functions.push_back(MakeFunction("f2", TriggerType::kHttp, {1}));
+  app.functions.push_back(MakeFunction("f3", TriggerType::kTimer, {2}));
+  // Figure 3(b) writes HTTP+Timer+Queue as "HTQ".
+  EXPECT_EQ(app.TriggerComboKey(), "HTQ");
+}
+
+TEST(TraceTest, TotalsAcrossApps) {
+  Trace trace;
+  trace.horizon = Duration::Days(1);
+  AppTrace a;
+  a.owner_id = "o";
+  a.app_id = "a";
+  a.functions.push_back(MakeFunction("f1", TriggerType::kHttp, {0, 1}));
+  AppTrace b;
+  b.owner_id = "o";
+  b.app_id = "b";
+  b.functions.push_back(MakeFunction("f1", TriggerType::kTimer, {3}));
+  trace.apps = {a, b};
+  EXPECT_EQ(trace.TotalInvocations(), 3);
+  EXPECT_EQ(trace.TotalFunctions(), 2);
+}
+
+TEST(TraceValidateTest, AcceptsWellFormedTrace) {
+  Trace trace;
+  trace.horizon = Duration::Days(1);
+  AppTrace app;
+  app.owner_id = "o";
+  app.app_id = "a";
+  app.functions.push_back(MakeFunction("f1", TriggerType::kHttp, {0, 10}));
+  app.memory = {100.0, 90.0, 120.0, 10};
+  trace.apps.push_back(app);
+  EXPECT_FALSE(trace.Validate().has_value());
+}
+
+TEST(TraceValidateTest, RejectsEmptyAppId) {
+  Trace trace;
+  trace.horizon = Duration::Days(1);
+  AppTrace app;
+  app.functions.push_back(MakeFunction("f1", TriggerType::kHttp, {0}));
+  trace.apps.push_back(app);
+  EXPECT_TRUE(trace.Validate().has_value());
+}
+
+TEST(TraceValidateTest, RejectsInvocationOutsideHorizon) {
+  Trace trace;
+  trace.horizon = Duration::Minutes(5);
+  AppTrace app;
+  app.owner_id = "o";
+  app.app_id = "a";
+  app.functions.push_back(MakeFunction("f1", TriggerType::kHttp, {10}));
+  trace.apps.push_back(app);
+  EXPECT_TRUE(trace.Validate().has_value());
+}
+
+TEST(TraceValidateTest, RejectsUnsortedInvocations) {
+  Trace trace;
+  trace.horizon = Duration::Days(1);
+  AppTrace app;
+  app.owner_id = "o";
+  app.app_id = "a";
+  FunctionTrace function = MakeFunction("f1", TriggerType::kHttp, {10, 5});
+  app.functions.push_back(function);
+  trace.apps.push_back(app);
+  EXPECT_TRUE(trace.Validate().has_value());
+}
+
+TEST(TraceValidateTest, RejectsBadExecutionStats) {
+  Trace trace;
+  trace.horizon = Duration::Days(1);
+  AppTrace app;
+  app.owner_id = "o";
+  app.app_id = "a";
+  FunctionTrace function = MakeFunction("f1", TriggerType::kHttp, {0});
+  function.execution.maximum_ms = 1.0;
+  function.execution.minimum_ms = 5.0;  // max < min.
+  app.functions.push_back(function);
+  trace.apps.push_back(app);
+  EXPECT_TRUE(trace.Validate().has_value());
+}
+
+TEST(TraceValidateTest, RejectsAppWithNoFunctions) {
+  Trace trace;
+  trace.horizon = Duration::Days(1);
+  AppTrace app;
+  app.owner_id = "o";
+  app.app_id = "a";
+  trace.apps.push_back(app);
+  EXPECT_TRUE(trace.Validate().has_value());
+}
+
+TEST(InterArrivalTimesTest, ComputesDifferences) {
+  const std::vector<TimePoint> instants = {TimePoint(0), TimePoint(5000),
+                                           TimePoint(6000)};
+  const std::vector<Duration> iats = InterArrivalTimes(instants);
+  ASSERT_EQ(iats.size(), 2u);
+  EXPECT_EQ(iats[0], Duration::Seconds(5));
+  EXPECT_EQ(iats[1], Duration::Seconds(1));
+}
+
+TEST(InterArrivalTimesTest, FewerThanTwoInstantsGivesEmpty) {
+  EXPECT_TRUE(InterArrivalTimes({}).empty());
+  EXPECT_TRUE(InterArrivalTimes({TimePoint(5)}).empty());
+}
+
+}  // namespace
+}  // namespace faas

@@ -1,0 +1,128 @@
+#include "src/trace/transform.h"
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+Trace MakeTrace() {
+  Trace trace;
+  trace.horizon = Duration::Days(2);
+  for (int a = 0; a < 6; ++a) {
+    AppTrace app;
+    app.owner_id = "o";
+    app.app_id = "app" + std::to_string(a);
+    app.memory = {100, 90, 110, 1};
+    FunctionTrace function;
+    function.function_id = "f";
+    function.trigger = TriggerType::kHttp;
+    // App a gets (a+1)*4 invocations spread over two days.
+    const int n = (a + 1) * 4;
+    for (int i = 0; i < n; ++i) {
+      function.invocations.push_back(
+          TimePoint(static_cast<int64_t>(i) * trace.horizon.millis() / n));
+    }
+    function.execution = {100, 50, 200, n};
+    app.functions.push_back(std::move(function));
+    trace.apps.push_back(std::move(app));
+  }
+  return trace;
+}
+
+TEST(ClipToHorizonTest, DropsLateInvocations) {
+  const Trace trace = MakeTrace();
+  const Trace clipped = ClipToHorizon(trace, Duration::Days(1));
+  EXPECT_EQ(clipped.horizon, Duration::Days(1));
+  for (const AppTrace& app : clipped.apps) {
+    for (const FunctionTrace& function : app.functions) {
+      for (TimePoint t : function.invocations) {
+        EXPECT_LT(t.millis_since_origin(), Duration::Days(1).millis());
+      }
+    }
+  }
+  // Roughly half the invocations survive.
+  EXPECT_LT(clipped.TotalInvocations(), trace.TotalInvocations());
+  EXPECT_GE(clipped.TotalInvocations(), trace.TotalInvocations() / 2 - 6);
+  EXPECT_FALSE(clipped.Validate().has_value());
+}
+
+TEST(ClipToHorizonTest, DropsEmptyAppsAndFunctions) {
+  Trace trace = MakeTrace();
+  // Push one app's invocations entirely past the clip point.
+  for (auto& t : trace.apps[0].functions[0].invocations) {
+    t = TimePoint(Duration::Days(1).millis() + 1000);
+  }
+  const Trace clipped = ClipToHorizon(trace, Duration::Days(1));
+  EXPECT_EQ(clipped.apps.size(), trace.apps.size() - 1);
+}
+
+TEST(FilterAppsTest, PredicateSelects) {
+  const Trace trace = MakeTrace();
+  const Trace filtered = FilterApps(trace, InvocationCountBetween(8, 16));
+  // Apps with 8, 12, 16 invocations qualify.
+  EXPECT_EQ(filtered.apps.size(), 3u);
+  EXPECT_EQ(filtered.horizon, trace.horizon);
+}
+
+TEST(SampleAppsTest, DeterministicAndBounded) {
+  const Trace trace = MakeTrace();
+  const Trace a = SampleApps(trace, 3, 42);
+  const Trace b = SampleApps(trace, 3, 42);
+  ASSERT_EQ(a.apps.size(), 3u);
+  for (size_t i = 0; i < a.apps.size(); ++i) {
+    EXPECT_EQ(a.apps[i].app_id, b.apps[i].app_id);
+  }
+  const Trace c = SampleApps(trace, 3, 43);
+  bool any_difference = c.apps.size() != a.apps.size();
+  for (size_t i = 0; !any_difference && i < a.apps.size(); ++i) {
+    any_difference = a.apps[i].app_id != c.apps[i].app_id;
+  }
+  // Different seeds usually pick different subsets (6 choose 3 = 20).
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SampleAppsTest, CountLargerThanPopulationKeepsAll) {
+  const Trace trace = MakeTrace();
+  const Trace sampled = SampleApps(trace, 100, 1);
+  EXPECT_EQ(sampled.apps.size(), trace.apps.size());
+}
+
+TEST(MedianIatBetweenTest, SelectsByMedianGap) {
+  Trace trace;
+  trace.horizon = Duration::Hours(10);
+  AppTrace fast;  // 1-minute gaps.
+  fast.owner_id = "o";
+  fast.app_id = "fast";
+  FunctionTrace ff;
+  ff.function_id = "f";
+  for (int i = 0; i < 60; ++i) {
+    ff.invocations.push_back(TimePoint(static_cast<int64_t>(i) * 60'000));
+  }
+  ff.execution = {1, 1, 1, 60};
+  fast.functions.push_back(ff);
+  AppTrace slow = fast;  // 30-minute gaps.
+  slow.app_id = "slow";
+  slow.functions[0].invocations.clear();
+  for (int i = 0; i < 19; ++i) {
+    slow.functions[0].invocations.push_back(
+        TimePoint(static_cast<int64_t>(i) * 30 * 60'000));
+  }
+  trace.apps = {fast, slow};
+
+  const auto predicate =
+      MedianIatBetween(Duration::Minutes(5), Duration::Minutes(60), 10);
+  EXPECT_FALSE(predicate(trace.apps[0]));
+  EXPECT_TRUE(predicate(trace.apps[1]));
+}
+
+TEST(MedianIatBetweenTest, MinInvocationGuard) {
+  const Trace trace = MakeTrace();
+  const auto strict =
+      MedianIatBetween(Duration::Zero(), Duration::Days(1), 1000);
+  for (const AppTrace& app : trace.apps) {
+    EXPECT_FALSE(strict(app));
+  }
+}
+
+}  // namespace
+}  // namespace faas

@@ -1,0 +1,144 @@
+#include "src/stats/welford.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace faas {
+namespace {
+
+TEST(WelfordTest, EmptyAccumulator) {
+  WelfordAccumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.PopulationVariance(), 0.0);
+  EXPECT_EQ(acc.SampleVariance(), 0.0);
+  EXPECT_EQ(acc.CoefficientOfVariation(), 0.0);
+}
+
+TEST(WelfordTest, SingleValue) {
+  WelfordAccumulator acc;
+  acc.Add(5.0);
+  EXPECT_EQ(acc.count(), 1);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.PopulationVariance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.SampleVariance(), 0.0);
+}
+
+TEST(WelfordTest, KnownSmallSample) {
+  WelfordAccumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    acc.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.PopulationVariance(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.PopulationStdDev(), 2.0);
+  EXPECT_NEAR(acc.SampleVariance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.CoefficientOfVariation(), 0.4);
+}
+
+TEST(WelfordTest, MatchesTwoPassComputation) {
+  Rng rng(77);
+  std::vector<double> values(1000);
+  WelfordAccumulator acc;
+  double sum = 0.0;
+  for (double& v : values) {
+    v = rng.UniformDouble(-50.0, 50.0);
+    acc.Add(v);
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(values.size());
+  double m2 = 0.0;
+  for (double v : values) {
+    m2 += (v - mean) * (v - mean);
+  }
+  EXPECT_NEAR(acc.mean(), mean, 1e-9);
+  EXPECT_NEAR(acc.PopulationVariance(),
+              m2 / static_cast<double>(values.size()), 1e-9);
+}
+
+TEST(WelfordTest, ReplaceMatchesRecompute) {
+  // Start with bin counts {3, 0, 0, 1}; increment bin 1 -> {3, 1, 0, 1}.
+  WelfordAccumulator acc;
+  for (double v : {3.0, 0.0, 0.0, 1.0}) {
+    acc.Add(v);
+  }
+  acc.Replace(0.0, 1.0);
+  WelfordAccumulator fresh;
+  for (double v : {3.0, 1.0, 0.0, 1.0}) {
+    fresh.Add(v);
+  }
+  EXPECT_NEAR(acc.mean(), fresh.mean(), 1e-12);
+  EXPECT_NEAR(acc.PopulationVariance(), fresh.PopulationVariance(), 1e-12);
+}
+
+TEST(WelfordTest, ManyReplacementsStayConsistent) {
+  // Simulate histogram bin updates: 100 bins, 10000 increments.
+  constexpr int kBins = 100;
+  std::vector<double> bins(kBins, 0.0);
+  WelfordAccumulator acc;
+  for (double b : bins) {
+    acc.Add(b);
+  }
+  Rng rng(42);
+  for (int i = 0; i < 10'000; ++i) {
+    const size_t bin = rng.UniformInt(static_cast<uint64_t>(kBins));
+    acc.Replace(bins[bin], bins[bin] + 1.0);
+    bins[bin] += 1.0;
+  }
+  WelfordAccumulator fresh;
+  for (double b : bins) {
+    fresh.Add(b);
+  }
+  EXPECT_NEAR(acc.mean(), fresh.mean(), 1e-8);
+  EXPECT_NEAR(acc.PopulationVariance(), fresh.PopulationVariance(), 1e-6);
+  EXPECT_NEAR(acc.CoefficientOfVariation(), fresh.CoefficientOfVariation(),
+              1e-8);
+}
+
+TEST(WelfordTest, ReplaceOnEmptyIsNoOp) {
+  WelfordAccumulator acc;
+  acc.Replace(1.0, 2.0);
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.mean(), 0.0);
+}
+
+TEST(WelfordTest, CvZeroWhenMeanZero) {
+  WelfordAccumulator acc;
+  acc.Add(-1.0);
+  acc.Add(1.0);
+  EXPECT_EQ(acc.CoefficientOfVariation(), 0.0);
+}
+
+TEST(WelfordTest, ResetClearsState) {
+  WelfordAccumulator acc;
+  acc.Add(10.0);
+  acc.Add(20.0);
+  acc.Reset();
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.mean(), 0.0);
+  acc.Add(4.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+}
+
+TEST(WelfordTest, ConcentratedBinsHaveHighCv) {
+  // The policy's representativeness check: one hot bin among many zeros
+  // yields a high CV, a flat histogram yields CV 0.
+  WelfordAccumulator concentrated;
+  concentrated.Add(100.0);
+  for (int i = 0; i < 99; ++i) {
+    concentrated.Add(0.0);
+  }
+  WelfordAccumulator flat;
+  for (int i = 0; i < 100; ++i) {
+    flat.Add(1.0);
+  }
+  EXPECT_GT(concentrated.CoefficientOfVariation(), 5.0);
+  EXPECT_DOUBLE_EQ(flat.CoefficientOfVariation(), 0.0);
+}
+
+}  // namespace
+}  // namespace faas

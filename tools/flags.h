@@ -1,0 +1,79 @@
+// Minimal command-line flag parsing for the CLI tools (no dependencies).
+// Supports --name=value and --name value; unknown flags are errors.
+
+#ifndef TOOLS_FLAGS_H_
+#define TOOLS_FLAGS_H_
+
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+
+namespace faas {
+
+class FlagParser {
+ public:
+  // Parses argv; returns false (and prints to stderr) on malformed input.
+  bool Parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (!StartsWith(arg, "--")) {
+        std::fprintf(stderr, "unexpected positional argument: %s\n", argv[i]);
+        return false;
+      }
+      arg.remove_prefix(2);
+      const size_t eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        values_[std::string(arg.substr(0, eq))] =
+            std::string(arg.substr(eq + 1));
+      } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        values_[std::string(arg)] = argv[++i];
+      } else {
+        values_[std::string(arg)] = "true";  // Bare boolean flag.
+      }
+    }
+    return true;
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it != values_.end() ? it->second : fallback;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    return ParseInt64(it->second).value_or(fallback);
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    return ParseDouble(it->second).value_or(fallback);
+  }
+
+  bool GetBool(const std::string& name, bool fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    return it->second == "true" || it->second == "1";
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace faas
+
+#endif  // TOOLS_FLAGS_H_

@@ -1,0 +1,139 @@
+// policy_eval: evaluate keep-alive policies on a trace in the Azure public
+// dataset CSV schema (as produced by trace_gen, or assembled from the real
+// AzurePublicDataset files).
+//
+// Usage:
+//   policy_eval --trace DIR [--policies LIST] [--baseline NAME]
+//               [--range-minutes N=240] [--cv T=2] [--head P=5] [--tail P=99]
+//               [--use-exec-times] [--weight-by-memory]
+//
+// LIST is comma-separated from: fixed-5, fixed-10, ..., fixed-240 (any
+// minute count), no-unload, hybrid, hybrid-no-arima, hybrid-no-prewarm,
+// production.  Default: "fixed-10,fixed-60,hybrid".
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/policy/hybrid.h"
+#include "src/policy/policy.h"
+#include "src/policy/production_policy.h"
+#include "src/sim/sweep.h"
+#include "src/trace/csv.h"
+#include "tools/flags.h"
+
+namespace {
+
+using namespace faas;
+
+std::unique_ptr<PolicyFactory> MakeFactory(std::string_view name,
+                                           const HybridPolicyConfig& hybrid) {
+  if (name == "no-unload") {
+    return std::make_unique<NoUnloadFactory>();
+  }
+  if (name == "hybrid") {
+    return std::make_unique<HybridPolicyFactory>(hybrid);
+  }
+  if (name == "hybrid-no-arima") {
+    HybridPolicyConfig config = hybrid;
+    config.enable_arima = false;
+    return std::make_unique<HybridPolicyFactory>(config);
+  }
+  if (name == "hybrid-no-prewarm") {
+    HybridPolicyConfig config = hybrid;
+    config.enable_prewarm = false;
+    return std::make_unique<HybridPolicyFactory>(config);
+  }
+  if (name == "production") {
+    ProductionPolicyConfig config;
+    config.hybrid = hybrid;
+    config.store.bin_width = hybrid.bin_width;
+    config.store.num_bins = hybrid.num_bins;
+    return std::make_unique<ProductionPolicyFactory>(config);
+  }
+  if (StartsWith(name, "fixed-")) {
+    const auto minutes = ParseInt64(name.substr(6));
+    if (minutes.has_value() && *minutes > 0) {
+      return std::make_unique<FixedKeepAliveFactory>(
+          Duration::Minutes(*minutes));
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (!flags.Parse(argc, argv) || !flags.Has("trace") || flags.Has("help")) {
+    std::fprintf(
+        stderr,
+        "usage: policy_eval --trace DIR [--policies fixed-10,hybrid,...]\n"
+        "                   [--range-minutes N=240] [--cv T=2]\n"
+        "                   [--head P=5] [--tail P=99]\n"
+        "                   [--use-exec-times] [--weight-by-memory]\n");
+    return flags.Has("help") ? 0 : 2;
+  }
+
+  const auto read = ReadTraceCsv(flags.GetString("trace", ""));
+  if (!read.ok) {
+    std::fprintf(stderr, "failed to read trace: %s\n", read.error.c_str());
+    return 1;
+  }
+  const Trace& trace = read.value;
+  std::printf("trace: %zu apps, %lld functions, %lld invocations, %d days\n",
+              trace.apps.size(),
+              static_cast<long long>(trace.TotalFunctions()),
+              static_cast<long long>(trace.TotalInvocations()),
+              static_cast<int>(trace.horizon.days()));
+
+  HybridPolicyConfig hybrid;
+  hybrid.num_bins = static_cast<int>(flags.GetInt("range-minutes", 240));
+  hybrid.cv_threshold = flags.GetDouble("cv", 2.0);
+  hybrid.head_percentile = flags.GetDouble("head", 5.0);
+  hybrid.tail_percentile = flags.GetDouble("tail", 99.0);
+
+  std::vector<std::unique_ptr<PolicyFactory>> owned;
+  const std::string list =
+      flags.GetString("policies", "fixed-10,fixed-60,hybrid");
+  for (std::string_view name : SplitString(list, ',')) {
+    name = StripWhitespace(name);
+    if (name.empty()) {
+      continue;
+    }
+    auto factory = MakeFactory(name, hybrid);
+    if (factory == nullptr) {
+      std::fprintf(stderr, "unknown policy '%.*s'\n",
+                   static_cast<int>(name.size()), name.data());
+      return 2;
+    }
+    owned.push_back(std::move(factory));
+  }
+  if (owned.empty()) {
+    std::fprintf(stderr, "no policies requested\n");
+    return 2;
+  }
+
+  SimulatorOptions options;
+  options.use_execution_times = flags.GetBool("use-exec-times", false);
+  options.weight_by_memory = flags.GetBool("weight-by-memory", false);
+
+  std::vector<const PolicyFactory*> factories;
+  for (const auto& factory : owned) {
+    factories.push_back(factory.get());
+  }
+  const std::vector<PolicyPoint> points =
+      EvaluatePolicies(trace, factories, /*baseline_index=*/0, options);
+
+  std::printf("\n%-44s %10s %10s %12s %18s\n", "policy", "cold p50",
+              "cold p75", "always-cold", "waste vs first");
+  for (const PolicyPoint& point : points) {
+    std::printf("%-44s %9.1f%% %9.1f%% %11.1f%% %17.1f%%\n",
+                point.name.c_str(),
+                point.result.AppColdStartPercentile(50.0),
+                point.cold_start_p75,
+                100.0 * point.result.FractionAppsAlwaysCold(false),
+                point.normalized_wasted_memory_pct);
+  }
+  return 0;
+}

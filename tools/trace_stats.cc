@@ -1,0 +1,107 @@
+// trace_stats: the full Section 3 characterization report for a trace in
+// the Azure public dataset CSV schema (this library's files or the real
+// AzurePublicDataset files).
+//
+// Usage: trace_stats --trace DIR
+
+#include <cstdio>
+
+#include "src/characterization/characterization.h"
+#include "src/trace/csv.h"
+#include "tools/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace faas;
+  FlagParser flags;
+  if (!flags.Parse(argc, argv) || !flags.Has("trace") || flags.Has("help")) {
+    std::fprintf(stderr, "usage: trace_stats --trace DIR\n");
+    return flags.Has("help") ? 0 : 2;
+  }
+
+  const auto read = ReadTraceCsv(flags.GetString("trace", ""));
+  if (!read.ok) {
+    std::fprintf(stderr, "failed to read trace: %s\n", read.error.c_str());
+    return 1;
+  }
+  const Trace& trace = read.value;
+  std::printf("=== trace overview ===\n");
+  std::printf("apps %zu, functions %lld, invocations %lld, days %d\n",
+              trace.apps.size(),
+              static_cast<long long>(trace.TotalFunctions()),
+              static_cast<long long>(trace.TotalInvocations()),
+              static_cast<int>(trace.horizon.days()));
+
+  std::printf("\n=== functions per app (Figure 1) ===\n");
+  const auto per_app = AnalyzeFunctionsPerApp(trace);
+  for (int n : {1, 3, 10, 100}) {
+    std::printf("apps with <= %3d functions: %5.1f%%  (invocation share "
+                "%5.1f%%)\n",
+                n, 100.0 * per_app.FractionAppsWithAtMost(n),
+                100.0 * per_app.FractionInvocationsFromAppsWithAtMost(n));
+  }
+
+  std::printf("\n=== trigger shares (Figure 2) ===\n");
+  const auto shares = AnalyzeTriggerShares(trace);
+  for (TriggerType trigger : AllTriggerTypes()) {
+    const auto i = static_cast<size_t>(trigger);
+    std::printf("%-14s functions %5.1f%%, invocations %5.1f%%\n",
+                std::string(TriggerTypeName(trigger)).c_str(),
+                shares.percent_functions[i], shares.percent_invocations[i]);
+  }
+
+  std::printf("\n=== trigger combinations (Figure 3) ===\n");
+  const auto combos = AnalyzeTriggerCombos(trace);
+  int shown = 0;
+  for (const auto& row : combos.combos) {
+    std::printf("%-8s %6.2f%% (cum %6.2f%%)\n", row.combo.c_str(),
+                row.percent_apps, row.cumulative_percent);
+    if (++shown >= 10) {
+      break;
+    }
+  }
+
+  std::printf("\n=== invocation rates (Figure 5) ===\n");
+  const auto rates = AnalyzeInvocationRates(trace);
+  std::printf("apps <= 1/hour: %5.1f%%, <= 1/minute: %5.1f%%\n",
+              100.0 * rates.fraction_apps_at_most_hourly,
+              100.0 * rates.fraction_apps_at_most_minutely);
+  std::printf("apps >= 1/minute: %5.1f%% carrying %5.1f%% of invocations\n",
+              100.0 * rates.fraction_apps_minutely,
+              100.0 * rates.invocation_share_of_minutely_apps);
+
+  std::printf("\n=== IAT variability (Figure 6) ===\n");
+  const auto cv = AnalyzeIatCv(trace);
+  if (!cv.all_apps.empty()) {
+    std::printf("apps with CV ~ 0: %5.1f%%; CV > 1: %5.1f%%  (n=%zu)\n",
+                100.0 * cv.all_apps.FractionAtOrBelow(0.05),
+                100.0 * (1.0 - cv.all_apps.FractionAtOrBelow(1.0)),
+                cv.all_apps.size());
+  }
+
+  std::printf("\n=== execution times (Figure 7) ===\n");
+  const auto exec = AnalyzeExecutionTimes(trace);
+  std::printf("average exec: p50 %.2fs, p90 %.2fs; log-normal fit mu=%.2f "
+              "sigma=%.2f\n",
+              exec.average_seconds.Quantile(0.5),
+              exec.average_seconds.Quantile(0.9), exec.average_fit.mu,
+              exec.average_fit.sigma);
+
+  std::printf("\n=== memory (Figure 8) ===\n");
+  const auto memory = AnalyzeMemory(trace);
+  std::printf("average MB: p50 %.0f, p90 %.0f; max MB: p50 %.0f, p90 %.0f\n",
+              memory.average_mb.Quantile(0.5), memory.average_mb.Quantile(0.9),
+              memory.maximum_mb.Quantile(0.5),
+              memory.maximum_mb.Quantile(0.9));
+  std::printf("Burr fit: c=%.2f k=%.3f lambda=%.1f\n", memory.average_fit.c,
+              memory.average_fit.k, memory.average_fit.lambda);
+
+  std::printf("\n=== idle time vs IAT (Section 3.4) ===\n");
+  const auto idle = AnalyzeIdleVsIat(trace);
+  if (!idle.ks_distance_cdf.empty()) {
+    std::printf("median KS(IT, IAT) = %.4f over %zu apps; median exec/IAT "
+                "ratio %.2e\n",
+                idle.ks_distance_cdf.Quantile(0.5),
+                idle.ks_distance_cdf.size(), idle.median_exec_to_iat_ratio);
+  }
+  return 0;
+}
