@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_exec_times.dir/bench_ablation_exec_times.cc.o"
+  "CMakeFiles/bench_ablation_exec_times.dir/bench_ablation_exec_times.cc.o.d"
+  "bench_ablation_exec_times"
+  "bench_ablation_exec_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_exec_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

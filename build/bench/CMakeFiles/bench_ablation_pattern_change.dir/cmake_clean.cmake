@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pattern_change.dir/bench_ablation_pattern_change.cc.o"
+  "CMakeFiles/bench_ablation_pattern_change.dir/bench_ablation_pattern_change.cc.o.d"
+  "bench_ablation_pattern_change"
+  "bench_ablation_pattern_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pattern_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

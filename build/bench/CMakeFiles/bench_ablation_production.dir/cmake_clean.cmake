@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_production.dir/bench_ablation_production.cc.o"
+  "CMakeFiles/bench_ablation_production.dir/bench_ablation_production.cc.o.d"
+  "bench_ablation_production"
+  "bench_ablation_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_functions_per_app.dir/bench_fig01_functions_per_app.cc.o"
+  "CMakeFiles/bench_fig01_functions_per_app.dir/bench_fig01_functions_per_app.cc.o.d"
+  "bench_fig01_functions_per_app"
+  "bench_fig01_functions_per_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_functions_per_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

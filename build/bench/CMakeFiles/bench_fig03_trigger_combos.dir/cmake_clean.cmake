@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_trigger_combos.dir/bench_fig03_trigger_combos.cc.o"
+  "CMakeFiles/bench_fig03_trigger_combos.dir/bench_fig03_trigger_combos.cc.o.d"
+  "bench_fig03_trigger_combos"
+  "bench_fig03_trigger_combos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_trigger_combos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_diurnal.dir/bench_fig04_diurnal.cc.o"
+  "CMakeFiles/bench_fig04_diurnal.dir/bench_fig04_diurnal.cc.o.d"
+  "bench_fig04_diurnal"
+  "bench_fig04_diurnal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_diurnal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_iat_cv.dir/bench_fig06_iat_cv.cc.o"
+  "CMakeFiles/bench_fig06_iat_cv.dir/bench_fig06_iat_cv.cc.o.d"
+  "bench_fig06_iat_cv"
+  "bench_fig06_iat_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_iat_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

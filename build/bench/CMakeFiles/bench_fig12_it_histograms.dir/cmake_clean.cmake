@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_it_histograms.dir/bench_fig12_it_histograms.cc.o"
+  "CMakeFiles/bench_fig12_it_histograms.dir/bench_fig12_it_histograms.cc.o.d"
+  "bench_fig12_it_histograms"
+  "bench_fig12_it_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_it_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_fixed_keepalive.dir/bench_fig14_fixed_keepalive.cc.o"
+  "CMakeFiles/bench_fig14_fixed_keepalive.dir/bench_fig14_fixed_keepalive.cc.o.d"
+  "bench_fig14_fixed_keepalive"
+  "bench_fig14_fixed_keepalive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_fixed_keepalive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_cutoffs.dir/bench_fig16_cutoffs.cc.o"
+  "CMakeFiles/bench_fig16_cutoffs.dir/bench_fig16_cutoffs.cc.o.d"
+  "bench_fig16_cutoffs"
+  "bench_fig16_cutoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_cutoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_prewarm.dir/bench_fig17_prewarm.cc.o"
+  "CMakeFiles/bench_fig17_prewarm.dir/bench_fig17_prewarm.cc.o.d"
+  "bench_fig17_prewarm"
+  "bench_fig17_prewarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_prewarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_arima.dir/bench_fig19_arima.cc.o"
+  "CMakeFiles/bench_fig19_arima.dir/bench_fig19_arima.cc.o.d"
+  "bench_fig19_arima"
+  "bench_fig19_arima.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_arima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_cluster.dir/bench_fig20_cluster.cc.o"
+  "CMakeFiles/bench_fig20_cluster.dir/bench_fig20_cluster.cc.o.d"
+  "bench_fig20_cluster"
+  "bench_fig20_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arima_forecast_demo.dir/arima_forecast_demo.cpp.o"
+  "CMakeFiles/arima_forecast_demo.dir/arima_forecast_demo.cpp.o.d"
+  "arima_forecast_demo"
+  "arima_forecast_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arima_forecast_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_replay.dir/cluster_replay.cpp.o"
+  "CMakeFiles/cluster_replay.dir/cluster_replay.cpp.o.d"
+  "cluster_replay"
+  "cluster_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

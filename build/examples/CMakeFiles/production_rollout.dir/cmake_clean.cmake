@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_rollout.dir/production_rollout.cpp.o"
+  "CMakeFiles/production_rollout.dir/production_rollout.cpp.o.d"
+  "production_rollout"
+  "production_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arima/auto_arima.cc" "src/arima/CMakeFiles/faas_arima.dir/auto_arima.cc.o" "gcc" "src/arima/CMakeFiles/faas_arima.dir/auto_arima.cc.o.d"
+  "/root/repo/src/arima/model.cc" "src/arima/CMakeFiles/faas_arima.dir/model.cc.o" "gcc" "src/arima/CMakeFiles/faas_arima.dir/model.cc.o.d"
+  "/root/repo/src/arima/series.cc" "src/arima/CMakeFiles/faas_arima.dir/series.cc.o" "gcc" "src/arima/CMakeFiles/faas_arima.dir/series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/faas_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_arima.dir/auto_arima.cc.o"
+  "CMakeFiles/faas_arima.dir/auto_arima.cc.o.d"
+  "CMakeFiles/faas_arima.dir/model.cc.o"
+  "CMakeFiles/faas_arima.dir/model.cc.o.d"
+  "CMakeFiles/faas_arima.dir/series.cc.o"
+  "CMakeFiles/faas_arima.dir/series.cc.o.d"
+  "libfaas_arima.a"
+  "libfaas_arima.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_arima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfaas_arima.a"
+)

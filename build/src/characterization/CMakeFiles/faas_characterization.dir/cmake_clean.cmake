@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_characterization.dir/characterization.cc.o"
+  "CMakeFiles/faas_characterization.dir/characterization.cc.o.d"
+  "libfaas_characterization.a"
+  "libfaas_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/faas_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/faas_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/controller.cc" "src/cluster/CMakeFiles/faas_cluster.dir/controller.cc.o" "gcc" "src/cluster/CMakeFiles/faas_cluster.dir/controller.cc.o.d"
+  "/root/repo/src/cluster/event_queue.cc" "src/cluster/CMakeFiles/faas_cluster.dir/event_queue.cc.o" "gcc" "src/cluster/CMakeFiles/faas_cluster.dir/event_queue.cc.o.d"
+  "/root/repo/src/cluster/invoker.cc" "src/cluster/CMakeFiles/faas_cluster.dir/invoker.cc.o" "gcc" "src/cluster/CMakeFiles/faas_cluster.dir/invoker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policy/CMakeFiles/faas_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/faas_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/faas_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arima/CMakeFiles/faas_arima.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

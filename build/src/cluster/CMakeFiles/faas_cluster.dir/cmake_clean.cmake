@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_cluster.dir/cluster.cc.o"
+  "CMakeFiles/faas_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/faas_cluster.dir/controller.cc.o"
+  "CMakeFiles/faas_cluster.dir/controller.cc.o.d"
+  "CMakeFiles/faas_cluster.dir/event_queue.cc.o"
+  "CMakeFiles/faas_cluster.dir/event_queue.cc.o.d"
+  "CMakeFiles/faas_cluster.dir/invoker.cc.o"
+  "CMakeFiles/faas_cluster.dir/invoker.cc.o.d"
+  "libfaas_cluster.a"
+  "libfaas_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

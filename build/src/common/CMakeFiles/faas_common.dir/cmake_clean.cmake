@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_common.dir/logging.cc.o"
+  "CMakeFiles/faas_common.dir/logging.cc.o.d"
+  "CMakeFiles/faas_common.dir/parallel.cc.o"
+  "CMakeFiles/faas_common.dir/parallel.cc.o.d"
+  "CMakeFiles/faas_common.dir/rng.cc.o"
+  "CMakeFiles/faas_common.dir/rng.cc.o.d"
+  "CMakeFiles/faas_common.dir/strings.cc.o"
+  "CMakeFiles/faas_common.dir/strings.cc.o.d"
+  "CMakeFiles/faas_common.dir/time.cc.o"
+  "CMakeFiles/faas_common.dir/time.cc.o.d"
+  "libfaas_common.a"
+  "libfaas_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

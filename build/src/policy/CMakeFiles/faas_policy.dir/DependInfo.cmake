@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/hybrid.cc" "src/policy/CMakeFiles/faas_policy.dir/hybrid.cc.o" "gcc" "src/policy/CMakeFiles/faas_policy.dir/hybrid.cc.o.d"
+  "/root/repo/src/policy/policy.cc" "src/policy/CMakeFiles/faas_policy.dir/policy.cc.o" "gcc" "src/policy/CMakeFiles/faas_policy.dir/policy.cc.o.d"
+  "/root/repo/src/policy/production_policy.cc" "src/policy/CMakeFiles/faas_policy.dir/production_policy.cc.o" "gcc" "src/policy/CMakeFiles/faas_policy.dir/production_policy.cc.o.d"
+  "/root/repo/src/policy/production_store.cc" "src/policy/CMakeFiles/faas_policy.dir/production_store.cc.o" "gcc" "src/policy/CMakeFiles/faas_policy.dir/production_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arima/CMakeFiles/faas_arima.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/faas_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_policy.dir/hybrid.cc.o"
+  "CMakeFiles/faas_policy.dir/hybrid.cc.o.d"
+  "CMakeFiles/faas_policy.dir/policy.cc.o"
+  "CMakeFiles/faas_policy.dir/policy.cc.o.d"
+  "CMakeFiles/faas_policy.dir/production_policy.cc.o"
+  "CMakeFiles/faas_policy.dir/production_policy.cc.o.d"
+  "CMakeFiles/faas_policy.dir/production_store.cc.o"
+  "CMakeFiles/faas_policy.dir/production_store.cc.o.d"
+  "libfaas_policy.a"
+  "libfaas_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_sim.cc" "src/sim/CMakeFiles/faas_sim.dir/cache_sim.cc.o" "gcc" "src/sim/CMakeFiles/faas_sim.dir/cache_sim.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/faas_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/faas_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "src/sim/CMakeFiles/faas_sim.dir/sweep.cc.o" "gcc" "src/sim/CMakeFiles/faas_sim.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policy/CMakeFiles/faas_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/faas_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/faas_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arima/CMakeFiles/faas_arima.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_sim.dir/cache_sim.cc.o"
+  "CMakeFiles/faas_sim.dir/cache_sim.cc.o.d"
+  "CMakeFiles/faas_sim.dir/simulator.cc.o"
+  "CMakeFiles/faas_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/faas_sim.dir/sweep.cc.o"
+  "CMakeFiles/faas_sim.dir/sweep.cc.o.d"
+  "libfaas_sim.a"
+  "libfaas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

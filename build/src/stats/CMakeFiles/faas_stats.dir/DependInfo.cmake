@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/faas_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/faas_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/faas_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/faas_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/ecdf.cc" "src/stats/CMakeFiles/faas_stats.dir/ecdf.cc.o" "gcc" "src/stats/CMakeFiles/faas_stats.dir/ecdf.cc.o.d"
+  "/root/repo/src/stats/fitting.cc" "src/stats/CMakeFiles/faas_stats.dir/fitting.cc.o" "gcc" "src/stats/CMakeFiles/faas_stats.dir/fitting.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/faas_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/faas_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/nelder_mead.cc" "src/stats/CMakeFiles/faas_stats.dir/nelder_mead.cc.o" "gcc" "src/stats/CMakeFiles/faas_stats.dir/nelder_mead.cc.o.d"
+  "/root/repo/src/stats/p2_quantile.cc" "src/stats/CMakeFiles/faas_stats.dir/p2_quantile.cc.o" "gcc" "src/stats/CMakeFiles/faas_stats.dir/p2_quantile.cc.o.d"
+  "/root/repo/src/stats/welford.cc" "src/stats/CMakeFiles/faas_stats.dir/welford.cc.o" "gcc" "src/stats/CMakeFiles/faas_stats.dir/welford.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/faas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_stats.dir/descriptive.cc.o"
+  "CMakeFiles/faas_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/faas_stats.dir/distributions.cc.o"
+  "CMakeFiles/faas_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/faas_stats.dir/ecdf.cc.o"
+  "CMakeFiles/faas_stats.dir/ecdf.cc.o.d"
+  "CMakeFiles/faas_stats.dir/fitting.cc.o"
+  "CMakeFiles/faas_stats.dir/fitting.cc.o.d"
+  "CMakeFiles/faas_stats.dir/histogram.cc.o"
+  "CMakeFiles/faas_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/faas_stats.dir/nelder_mead.cc.o"
+  "CMakeFiles/faas_stats.dir/nelder_mead.cc.o.d"
+  "CMakeFiles/faas_stats.dir/p2_quantile.cc.o"
+  "CMakeFiles/faas_stats.dir/p2_quantile.cc.o.d"
+  "CMakeFiles/faas_stats.dir/welford.cc.o"
+  "CMakeFiles/faas_stats.dir/welford.cc.o.d"
+  "libfaas_stats.a"
+  "libfaas_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfaas_stats.a"
+)

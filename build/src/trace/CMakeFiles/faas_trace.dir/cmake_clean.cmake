@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_trace.dir/csv.cc.o"
+  "CMakeFiles/faas_trace.dir/csv.cc.o.d"
+  "CMakeFiles/faas_trace.dir/transform.cc.o"
+  "CMakeFiles/faas_trace.dir/transform.cc.o.d"
+  "CMakeFiles/faas_trace.dir/types.cc.o"
+  "CMakeFiles/faas_trace.dir/types.cc.o.d"
+  "libfaas_trace.a"
+  "libfaas_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_workload.dir/arrival.cc.o"
+  "CMakeFiles/faas_workload.dir/arrival.cc.o.d"
+  "CMakeFiles/faas_workload.dir/generator.cc.o"
+  "CMakeFiles/faas_workload.dir/generator.cc.o.d"
+  "CMakeFiles/faas_workload.dir/rate_model.cc.o"
+  "CMakeFiles/faas_workload.dir/rate_model.cc.o.d"
+  "libfaas_workload.a"
+  "libfaas_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

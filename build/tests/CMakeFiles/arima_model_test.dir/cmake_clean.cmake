@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arima_model_test.dir/arima_model_test.cc.o"
+  "CMakeFiles/arima_model_test.dir/arima_model_test.cc.o.d"
+  "arima_model_test"
+  "arima_model_test.pdb"
+  "arima_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arima_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_arima_test.dir/auto_arima_test.cc.o"
+  "CMakeFiles/auto_arima_test.dir/auto_arima_test.cc.o.d"
+  "auto_arima_test"
+  "auto_arima_test.pdb"
+  "auto_arima_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_arima_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/controller_test.cc" "tests/CMakeFiles/controller_test.dir/controller_test.cc.o" "gcc" "tests/CMakeFiles/controller_test.dir/controller_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/faas_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/faas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/faas_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/characterization/CMakeFiles/faas_characterization.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/faas_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/faas_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/arima/CMakeFiles/faas_arima.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/faas_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

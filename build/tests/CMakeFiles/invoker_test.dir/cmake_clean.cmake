@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invoker_test.dir/invoker_test.cc.o"
+  "CMakeFiles/invoker_test.dir/invoker_test.cc.o.d"
+  "invoker_test"
+  "invoker_test.pdb"
+  "invoker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invoker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

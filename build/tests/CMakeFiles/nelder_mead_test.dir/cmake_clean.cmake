@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nelder_mead_test.dir/nelder_mead_test.cc.o"
+  "CMakeFiles/nelder_mead_test.dir/nelder_mead_test.cc.o.d"
+  "nelder_mead_test"
+  "nelder_mead_test.pdb"
+  "nelder_mead_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nelder_mead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

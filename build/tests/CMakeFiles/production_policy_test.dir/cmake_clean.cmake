@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_policy_test.dir/production_policy_test.cc.o"
+  "CMakeFiles/production_policy_test.dir/production_policy_test.cc.o.d"
+  "production_policy_test"
+  "production_policy_test.pdb"
+  "production_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_store_test.dir/production_store_test.cc.o"
+  "CMakeFiles/production_store_test.dir/production_store_test.cc.o.d"
+  "production_store_test"
+  "production_store_test.pdb"
+  "production_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

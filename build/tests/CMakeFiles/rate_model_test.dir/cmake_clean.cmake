@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_model_test.dir/rate_model_test.cc.o"
+  "CMakeFiles/rate_model_test.dir/rate_model_test.cc.o.d"
+  "rate_model_test"
+  "rate_model_test.pdb"
+  "rate_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_types_test.dir/trace_types_test.cc.o"
+  "CMakeFiles/trace_types_test.dir/trace_types_test.cc.o.d"
+  "trace_types_test"
+  "trace_types_test.pdb"
+  "trace_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_eval.dir/policy_eval.cc.o"
+  "CMakeFiles/policy_eval.dir/policy_eval.cc.o.d"
+  "policy_eval"
+  "policy_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
