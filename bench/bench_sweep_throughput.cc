@@ -1,0 +1,141 @@
+// Sweep-engine throughput: end-to-end wall time of a 5-policy keep-alive
+// sweep over the one-week policy trace, comparing the seed execution model
+// (serial per-policy replay, re-merging the trace for every policy point)
+// against the shared-CompiledTrace engine at 1, half, and all cores.
+//
+// Writes BENCH_sweep.json ({threads, wall_ms, invocations_per_sec} rows,
+// plus the speedup over the seed-equivalent serial sweep) so successive PRs
+// can track the perf trajectory.  Override the output path with
+// FAAS_BENCH_SWEEP_JSON; set it to "off" to skip the file.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/parallel.h"
+#include "src/policy/policy.h"
+#include "src/sim/sweep.h"
+
+namespace {
+
+using namespace faas;
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct Row {
+  std::string mode;
+  int threads = 1;
+  double wall_ms = 0.0;
+  double invocations_per_sec = 0.0;
+  double speedup_vs_seed = 1.0;
+};
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("Sweep throughput",
+                   "compiled-trace + thread-pool sweep engine");
+  const Trace trace = MakePolicyTrace();
+  const int64_t invocations = trace.TotalInvocations();
+  std::printf("trace: %zu apps, %lld invocations over %d days\n",
+              trace.apps.size(), static_cast<long long>(invocations), 7);
+
+  std::vector<std::unique_ptr<PolicyFactory>> owned;
+  for (int minutes : {5, 10, 30, 60, 120}) {
+    owned.push_back(
+        std::make_unique<FixedKeepAliveFactory>(Duration::Minutes(minutes)));
+  }
+  std::vector<const PolicyFactory*> factories;
+  for (const auto& factory : owned) {
+    factories.push_back(factory.get());
+  }
+  const double replayed =
+      static_cast<double>(invocations) * static_cast<double>(factories.size());
+
+  std::vector<Row> rows;
+
+  // Seed-equivalent baseline: one policy after another, each Run compiling
+  // (merging + sorting) the trace from scratch, all on one thread — the
+  // execution model EvaluatePolicies had before the sweep engine.
+  double seed_wall_ms = 0.0;
+  double seed_p75 = 0.0;
+  {
+    SimulatorOptions options;
+    options.num_threads = 1;
+    const ColdStartSimulator simulator(options);
+    const auto start = std::chrono::steady_clock::now();
+    for (const PolicyFactory* factory : factories) {
+      const SimulationResult result = simulator.Run(trace, *factory);
+      seed_p75 = result.AppColdStartPercentile(75.0);
+    }
+    seed_wall_ms = MillisSince(start);
+    rows.push_back({"serial-recompile (seed)", 1, seed_wall_ms,
+                    replayed / (seed_wall_ms / 1000.0), 1.0});
+  }
+
+  const int cores = HardwareThreads();
+  std::vector<int> thread_counts = {1};
+  if (cores / 2 > 1) {
+    thread_counts.push_back(cores / 2);
+  }
+  if (cores > 1 && cores != cores / 2) {
+    thread_counts.push_back(cores);
+  }
+
+  double last_p75 = 0.0;
+  for (int threads : thread_counts) {
+    SimulatorOptions options;
+    options.num_threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<PolicyPoint> points =
+        EvaluatePolicies(trace, factories, /*baseline_index=*/1, options);
+    const double wall_ms = MillisSince(start);
+    last_p75 = points.back().cold_start_p75;
+    rows.push_back({"compiled sweep", threads, wall_ms,
+                    replayed / (wall_ms / 1000.0), seed_wall_ms / wall_ms});
+  }
+  if (seed_p75 != last_p75) {
+    std::printf("WARNING: engine p75 %.6f differs from seed p75 %.6f\n",
+                last_p75, seed_p75);
+  }
+
+  std::printf("\n%-26s %8s %12s %16s %10s\n", "mode", "threads", "wall ms",
+              "invocations/s", "speedup");
+  for (const Row& row : rows) {
+    std::printf("%-26s %8d %12.1f %16.0f %9.2fx\n", row.mode.c_str(),
+                row.threads, row.wall_ms, row.invocations_per_sec,
+                row.speedup_vs_seed);
+  }
+  std::printf("\n(speedup is against the seed-equivalent serial sweep; the "
+              "acceptance target is >= 3x at all cores on an 8-core host)\n");
+
+  const char* env = std::getenv("FAAS_BENCH_SWEEP_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_sweep.json";
+  if (path != "off") {
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"sweep_throughput\",\n";
+    out << "  \"policies\": " << factories.size() << ",\n";
+    out << "  \"invocations_per_policy\": " << invocations << ",\n";
+    out << "  \"rows\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      out << "    {\"mode\": \"" << row.mode << "\", \"threads\": "
+          << row.threads << ", \"wall_ms\": " << row.wall_ms
+          << ", \"invocations_per_sec\": " << row.invocations_per_sec
+          << ", \"speedup_vs_seed\": " << row.speedup_vs_seed << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}

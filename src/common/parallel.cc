@@ -1,8 +1,8 @@
 #include "src/common/parallel.h"
 
-#include <atomic>
 #include <thread>
-#include <vector>
+
+#include "src/common/thread_pool.h"
 
 namespace faas {
 
@@ -22,25 +22,7 @@ void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
     }
     return;
   }
-  const size_t workers =
-      std::min(static_cast<size_t>(num_threads), count);
-  std::atomic<size_t> next{0};
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    threads.emplace_back([&]() {
-      while (true) {
-        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) {
-          return;
-        }
-        fn(i);
-      }
-    });
-  }
-  for (std::thread& thread : threads) {
-    thread.join();
-  }
+  ThreadPool::Shared().For(count, fn, num_threads);
 }
 
 }  // namespace faas

@@ -1,10 +1,10 @@
 // Minimal parallel-for over an index range.
 //
 // Policy evaluation is embarrassingly parallel across applications (each app
-// gets its own policy instance); this helper spreads an index range over a
-// fixed number of worker threads using an atomic work counter.  Results must
-// be written to pre-allocated, per-index slots so the output is identical to
-// the sequential run.
+// gets its own policy instance); this helper spreads an index range over the
+// process-wide persistent thread pool (src/common/thread_pool.h) using
+// chunked dynamic scheduling.  Results must be written to pre-allocated,
+// per-index slots so the output is identical to the sequential run.
 
 #ifndef SRC_COMMON_PARALLEL_H_
 #define SRC_COMMON_PARALLEL_H_
@@ -14,10 +14,12 @@
 
 namespace faas {
 
-// Invokes fn(i) for every i in [0, count), using `num_threads` workers.
+// Invokes fn(i) for every i in [0, count), using up to `num_threads`
+// participants (the calling thread plus shared-pool workers).
 // num_threads <= 1 runs inline on the calling thread; 0 means "use the
 // hardware concurrency".  fn must be safe to call concurrently for distinct
-// indices.
+// indices.  The first exception thrown by any participant is rethrown on
+// the calling thread after the range drains; remaining chunks are skipped.
 void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
                  int num_threads);
 

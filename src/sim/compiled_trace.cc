@@ -1,0 +1,65 @@
+#include "src/sim/compiled_trace.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/parallel.h"
+#include "src/trace/types.h"
+
+namespace faas {
+
+CompiledTrace CompiledTrace::Compile(const Trace& trace, int num_threads) {
+  CompiledTrace compiled;
+  compiled.horizon = trace.horizon;
+
+  const size_t num_apps = trace.apps.size();
+  compiled.spans.resize(num_apps);
+  compiled.app_ids.resize(num_apps);
+  compiled.memory_mb.resize(num_apps);
+
+  size_t total = 0;
+  for (size_t a = 0; a < num_apps; ++a) {
+    const AppTrace& app = trace.apps[a];
+    compiled.spans[a].begin = total;
+    for (const auto& function : app.functions) {
+      total += function.invocations.size();
+    }
+    compiled.spans[a].end = total;
+    compiled.app_ids[a] = app.app_id;
+    compiled.memory_mb[a] = app.memory.average_mb;
+  }
+  compiled.times_ms.resize(total);
+  compiled.exec_ms.resize(total);
+
+  ParallelFor(
+      num_apps,
+      [&](size_t a) {
+        const AppTrace& app = trace.apps[a];
+        const AppSpan span = compiled.spans[a];
+        // Merge through (time, exec) pairs so ties between functions break
+        // exactly as the legacy per-policy merge broke them: same insertion
+        // order, same time-only comparator, same (unstable) sort.
+        std::vector<std::pair<int64_t, int64_t>> merged;
+        merged.reserve(span.size());
+        for (const auto& function : app.functions) {
+          const int64_t exec =
+              static_cast<int64_t>(function.execution.average_ms);
+          for (TimePoint t : function.invocations) {
+            merged.emplace_back(t.millis_since_origin(), exec);
+          }
+        }
+        std::sort(merged.begin(), merged.end(),
+                  [](const std::pair<int64_t, int64_t>& lhs,
+                     const std::pair<int64_t, int64_t>& rhs) {
+                    return lhs.first < rhs.first;
+                  });
+        for (size_t i = 0; i < merged.size(); ++i) {
+          compiled.times_ms[span.begin + i] = merged[i].first;
+          compiled.exec_ms[span.begin + i] = merged[i].second;
+        }
+      },
+      num_threads);
+  return compiled;
+}
+
+}  // namespace faas

@@ -1,0 +1,67 @@
+// Policy-invariant compiled form of a Trace for sweep replay.
+//
+// Every policy point of a sweep (Figures 14-18) replays the same trace; the
+// only per-policy work is the warm/cold classification.  The seed simulator
+// nevertheless re-merged and re-sorted each app's per-function invocation
+// streams on every SimulateApp call, so an N-policy sweep paid the merge N
+// times.  CompiledTrace does that merge exactly once, into two contiguous
+// structure-of-arrays arenas:
+//
+//   times_ms[begin..end)  invocation instants, ascending per app
+//   exec_ms[begin..end)   the invocation's execution duration (the function
+//                         average), stored unconditionally; the simulator
+//                         substitutes zero when execution times are disabled
+//
+// with one [begin, end) span per app plus the per-app metadata the simulator
+// needs (id, average memory).  The arenas are self-contained: the source
+// Trace may be destroyed after Compile returns.
+//
+// Replay over a CompiledTrace is bit-identical to the legacy per-app merge:
+// the merge enumerates functions in the same order and sorts with the same
+// time-only comparator, so the instant sequence (and, with execution times
+// enabled, the paired durations) match the seed path exactly.
+
+#ifndef SRC_SIM_COMPILED_TRACE_H_
+#define SRC_SIM_COMPILED_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace faas {
+
+struct Trace;
+
+struct CompiledTrace {
+  struct AppSpan {
+    size_t begin = 0;
+    size_t end = 0;
+    size_t size() const { return end - begin; }
+  };
+
+  // Invocation arenas; all apps' merged streams back to back.
+  std::vector<int64_t> times_ms;
+  std::vector<int64_t> exec_ms;
+  // Per-app slices of the arenas, in trace order.
+  std::vector<AppSpan> spans;
+  // Per-app metadata, parallel to `spans`.
+  std::vector<std::string> app_ids;
+  std::vector<double> memory_mb;
+  Duration horizon;
+
+  size_t num_apps() const { return spans.size(); }
+  int64_t total_invocations() const {
+    return static_cast<int64_t>(times_ms.size());
+  }
+
+  // Merges and sorts every app's invocation streams.  num_threads as in
+  // SimulatorOptions: 0 = hardware concurrency, <= 1 = inline.
+  static CompiledTrace Compile(const Trace& trace, int num_threads = 1);
+};
+
+}  // namespace faas
+
+#endif  // SRC_SIM_COMPILED_TRACE_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "src/common/logging.h"
 #include "src/common/parallel.h"
@@ -11,37 +13,44 @@ namespace faas {
 
 namespace {
 
-struct MergedInvocation {
-  TimePoint time;
-  Duration execution;
+// Merged, time-sorted invocation stream of one app, structure-of-arrays.
+struct MergedStream {
+  std::vector<int64_t> times_ms;
+  std::vector<int64_t> exec_ms;
 };
 
 // Merges an app's invocations across its functions, keeping each
 // invocation's execution time (the per-function average when the simulator
 // runs with execution times enabled).
-std::vector<MergedInvocation> MergeInvocations(const AppTrace& app,
-                                               bool use_execution_times) {
-  std::vector<MergedInvocation> merged;
+MergedStream MergeInvocations(const AppTrace& app, bool use_execution_times) {
+  std::vector<std::pair<int64_t, int64_t>> merged;
   size_t total = 0;
   for (const auto& function : app.functions) {
     total += function.invocations.size();
   }
   merged.reserve(total);
   for (const auto& function : app.functions) {
-    const Duration execution =
+    const int64_t execution =
         use_execution_times
-            ? Duration::Millis(
-                  static_cast<int64_t>(function.execution.average_ms))
-            : Duration::Zero();
+            ? static_cast<int64_t>(function.execution.average_ms)
+            : 0;
     for (TimePoint t : function.invocations) {
-      merged.push_back({t, execution});
+      merged.emplace_back(t.millis_since_origin(), execution);
     }
   }
   std::sort(merged.begin(), merged.end(),
-            [](const MergedInvocation& a, const MergedInvocation& b) {
-              return a.time < b.time;
+            [](const std::pair<int64_t, int64_t>& a,
+               const std::pair<int64_t, int64_t>& b) {
+              return a.first < b.first;
             });
-  return merged;
+  MergedStream stream;
+  stream.times_ms.reserve(total);
+  stream.exec_ms.reserve(total);
+  for (const auto& [time, execution] : merged) {
+    stream.times_ms.push_back(time);
+    stream.exec_ms.push_back(execution);
+  }
+  return stream;
 }
 
 }  // namespace
@@ -49,15 +58,44 @@ std::vector<MergedInvocation> MergeInvocations(const AppTrace& app,
 AppSimResult ColdStartSimulator::SimulateApp(const AppTrace& app,
                                              Duration horizon,
                                              KeepAlivePolicy& policy) const {
-  AppSimResult result;
-  result.app_id = app.app_id;
-
-  const std::vector<MergedInvocation> invocations =
+  const MergedStream stream =
       MergeInvocations(app, options_.use_execution_times);
-  result.invocations = static_cast<int64_t>(invocations.size());
-  if (invocations.empty()) {
+  return SimulateStream(app.app_id, stream.times_ms.data(),
+                        stream.exec_ms.data(), stream.times_ms.size(),
+                        app.memory.average_mb, horizon, policy);
+}
+
+AppSimResult ColdStartSimulator::SimulateApp(const CompiledTrace& compiled,
+                                             size_t app_index,
+                                             KeepAlivePolicy& policy) const {
+  FAAS_CHECK(app_index < compiled.num_apps()) << "app index out of range";
+  const CompiledTrace::AppSpan span = compiled.spans[app_index];
+  // The arenas store real execution durations unconditionally; substitute
+  // the all-zero stream by passing a null pointer when they are disabled.
+  const int64_t* exec = options_.use_execution_times
+                            ? compiled.exec_ms.data() + span.begin
+                            : nullptr;
+  return SimulateStream(compiled.app_ids[app_index],
+                        compiled.times_ms.data() + span.begin, exec,
+                        span.size(), compiled.memory_mb[app_index],
+                        compiled.horizon, policy);
+}
+
+AppSimResult ColdStartSimulator::SimulateStream(
+    std::string app_id, const int64_t* times_ms, const int64_t* exec_ms,
+    size_t count, double memory_mb, Duration horizon,
+    KeepAlivePolicy& policy) const {
+  AppSimResult result;
+  result.app_id = std::move(app_id);
+  result.invocations = static_cast<int64_t>(count);
+  if (count == 0) {
     return result;
   }
+
+  const auto time_at = [&](size_t i) { return TimePoint(times_ms[i]); };
+  const auto exec_at = [&](size_t i) {
+    return Duration::Millis(exec_ms != nullptr ? exec_ms[i] : 0);
+  };
 
   double wasted_ms = 0.0;
 
@@ -78,17 +116,17 @@ AppSimResult ColdStartSimulator::SimulateApp(const AppTrace& app,
 
   // The first invocation is always a cold start (Section 5.1).
   result.cold_starts = 1;
-  track(invocations[0].time, true);
-  TimePoint exec_end = invocations[0].time + invocations[0].execution;
+  track(time_at(0), true);
+  TimePoint exec_end = time_at(0) + exec_at(0);
   PolicyDecision decision = policy.NextWindows();
 
-  for (size_t i = 1; i < invocations.size(); ++i) {
-    const TimePoint t = invocations[i].time;
+  for (size_t i = 1; i < count; ++i) {
+    const TimePoint t = time_at(i);
     if (t <= exec_end) {
       // Arrived while the app was still executing: trivially warm; the image
       // is busy, not idle, so no waste accrues and no idle time is recorded.
       track(t, false);
-      exec_end = std::max(exec_end, t + invocations[i].execution);
+      exec_end = std::max(exec_end, t + exec_at(i));
       continue;
     }
     const Duration idle = t - exec_end;
@@ -125,7 +163,7 @@ AppSimResult ColdStartSimulator::SimulateApp(const AppTrace& app,
     track(t, cold);
 
     policy.RecordIdleTimeAt(t, idle);
-    exec_end = t + invocations[i].execution;
+    exec_end = t + exec_at(i);
     decision = policy.NextWindows();
   }
 
@@ -151,21 +189,26 @@ AppSimResult ColdStartSimulator::SimulateApp(const AppTrace& app,
 
   result.wasted_memory_minutes = wasted_ms / 60'000.0;
   if (options_.weight_by_memory) {
-    result.wasted_memory_minutes *= app.memory.average_mb;
+    result.wasted_memory_minutes *= memory_mb;
   }
   return result;
 }
 
 SimulationResult ColdStartSimulator::Run(const Trace& trace,
                                          const PolicyFactory& factory) const {
+  return Run(CompiledTrace::Compile(trace, options_.num_threads), factory);
+}
+
+SimulationResult ColdStartSimulator::Run(const CompiledTrace& compiled,
+                                         const PolicyFactory& factory) const {
   SimulationResult result;
   result.policy_name = factory.name();
-  result.apps.resize(trace.apps.size());
+  result.apps.resize(compiled.num_apps());
   ParallelFor(
-      trace.apps.size(),
+      compiled.num_apps(),
       [&](size_t i) {
         const std::unique_ptr<KeepAlivePolicy> policy = factory.CreateForApp();
-        result.apps[i] = SimulateApp(trace.apps[i], trace.horizon, *policy);
+        result.apps[i] = SimulateApp(compiled, i, *policy);
       },
       options_.num_threads);
   return result;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/policy/policy.h"
+#include "src/sim/compiled_trace.h"
 #include "src/stats/ecdf.h"
 #include "src/trace/types.h"
 
@@ -94,14 +95,32 @@ class ColdStartSimulator {
   explicit ColdStartSimulator(SimulatorOptions options = {})
       : options_(options) {}
 
-  // Simulates one application against a fresh policy instance.
+  // Simulates one application against a fresh policy instance, merging the
+  // app's per-function streams in place (the legacy single-app path; sweeps
+  // should compile the trace once instead).
   AppSimResult SimulateApp(const AppTrace& app, Duration horizon,
                            KeepAlivePolicy& policy) const;
 
-  // Simulates the whole trace, one policy instance per app.
+  // Simulates one app of a pre-compiled trace.  Bit-identical to the
+  // AppTrace overload on the same app.
+  AppSimResult SimulateApp(const CompiledTrace& compiled, size_t app_index,
+                           KeepAlivePolicy& policy) const;
+
+  // Simulates the whole trace, one policy instance per app.  The Trace
+  // overload compiles the trace and delegates; callers evaluating several
+  // policies should compile once and use the CompiledTrace overload.
   SimulationResult Run(const Trace& trace, const PolicyFactory& factory) const;
+  SimulationResult Run(const CompiledTrace& compiled,
+                       const PolicyFactory& factory) const;
 
  private:
+  // Shared replay core over a merged, time-sorted invocation stream.
+  // `exec_ms` may be null, meaning every execution takes zero time.
+  AppSimResult SimulateStream(std::string app_id, const int64_t* times_ms,
+                              const int64_t* exec_ms, size_t count,
+                              double memory_mb, Duration horizon,
+                              KeepAlivePolicy& policy) const;
+
   SimulatorOptions options_;
 };
 

@@ -1,26 +1,66 @@
 #include "src/sim/sweep.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
+#include "src/common/parallel.h"
 
 namespace faas {
 
 std::vector<PolicyPoint> EvaluatePolicies(
     const Trace& trace, const std::vector<const PolicyFactory*>& factories,
     size_t baseline_index, const SimulatorOptions& options) {
+  return EvaluatePolicies(CompiledTrace::Compile(trace, options.num_threads),
+                          factories, baseline_index, options);
+}
+
+std::vector<PolicyPoint> EvaluatePolicies(
+    const CompiledTrace& compiled,
+    const std::vector<const PolicyFactory*>& factories, size_t baseline_index,
+    const SimulatorOptions& options) {
   FAAS_CHECK(baseline_index < factories.size()) << "baseline out of range";
   const ColdStartSimulator simulator(options);
+  const size_t num_apps = compiled.num_apps();
+  const size_t num_policies = factories.size();
 
-  std::vector<PolicyPoint> points;
-  points.reserve(factories.size());
-  for (const PolicyFactory* factory : factories) {
-    PolicyPoint point;
-    point.result = simulator.Run(trace, *factory);
-    point.name = point.result.policy_name;
-    point.cold_start_p75 = point.result.AppColdStartPercentile(75.0);
-    point.wasted_memory_minutes = point.result.TotalWastedMemoryMinutes();
-    points.push_back(std::move(point));
+  std::vector<PolicyPoint> points(num_policies);
+  for (size_t p = 0; p < num_policies; ++p) {
+    points[p].name = factories[p]->name();
+    points[p].result.policy_name = points[p].name;
+    points[p].result.apps.resize(num_apps);
   }
 
+  // One task simulates one shard of apps under one policy; every (policy,
+  // app) cell lands in its own pre-sized slot, so scheduling order cannot
+  // change the output.  Shards keep the task count well above the thread
+  // count for load balance without paying one dispatch per app.
+  const int threads =
+      options.num_threads == 0 ? HardwareThreads() : options.num_threads;
+  const size_t shard_size = std::clamp<size_t>(
+      num_apps / std::max<size_t>(1, static_cast<size_t>(threads) * 4), 1,
+      256);
+  const size_t num_shards =
+      num_apps == 0 ? 0 : (num_apps + shard_size - 1) / shard_size;
+
+  ParallelFor(
+      num_policies * num_shards,
+      [&](size_t task) {
+        const size_t p = task / num_shards;
+        const size_t shard = task % num_shards;
+        const size_t begin = shard * shard_size;
+        const size_t end = std::min(begin + shard_size, num_apps);
+        for (size_t i = begin; i < end; ++i) {
+          const std::unique_ptr<KeepAlivePolicy> policy =
+              factories[p]->CreateForApp();
+          points[p].result.apps[i] = simulator.SimulateApp(compiled, i, *policy);
+        }
+      },
+      options.num_threads);
+
+  for (PolicyPoint& point : points) {
+    point.cold_start_p75 = point.result.AppColdStartPercentile(75.0);
+    point.wasted_memory_minutes = point.result.TotalWastedMemoryMinutes();
+  }
   const double baseline_waste = points[baseline_index].wasted_memory_minutes;
   for (PolicyPoint& point : points) {
     point.normalized_wasted_memory_pct =

@@ -1,6 +1,13 @@
 // Policy sweep harness: evaluates a set of policies on one trace and
 // normalises wasted memory time against a baseline policy, producing the
 // (cold-start %, normalized waste %) points that Figures 15-18 plot.
+//
+// The sweep engine compiles the trace once (CompiledTrace) and schedules
+// (policy x app-shard) tasks on the shared thread pool, so the merge/sort
+// cost is paid once per sweep instead of once per policy point, and all
+// policy points progress concurrently.  Each app still gets a fresh policy
+// instance and writes its own result slot, so the output is bit-identical
+// to evaluating the policies one after another on a single thread.
 
 #ifndef SRC_SIM_SWEEP_H_
 #define SRC_SIM_SWEEP_H_
@@ -9,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/compiled_trace.h"
 #include "src/sim/simulator.h"
 
 namespace faas {
@@ -28,9 +36,16 @@ struct PolicyPoint {
 };
 
 // Runs each factory on the trace; the entry at `baseline_index` defines 100%
-// wasted memory time.
+// wasted memory time.  options.num_threads parallelises across (policy, app)
+// pairs: 0 = hardware concurrency, <= 1 = sequential.  The Trace overload
+// compiles the trace once and delegates.
 std::vector<PolicyPoint> EvaluatePolicies(
     const Trace& trace,
+    const std::vector<const PolicyFactory*>& factories,
+    size_t baseline_index = 0, const SimulatorOptions& options = {});
+
+std::vector<PolicyPoint> EvaluatePolicies(
+    const CompiledTrace& compiled,
     const std::vector<const PolicyFactory*>& factories,
     size_t baseline_index = 0, const SimulatorOptions& options = {});
 

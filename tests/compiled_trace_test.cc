@@ -1,0 +1,151 @@
+#include "src/sim/compiled_trace.h"
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/policy/hybrid.h"
+#include "src/policy/policy.h"
+#include "src/sim/simulator.h"
+#include "src/workload/generator.h"
+
+namespace faas {
+namespace {
+
+Trace MakeSeededTrace() {
+  GeneratorConfig config;
+  config.num_apps = 150;
+  config.days = 2;
+  config.seed = 77;
+  config.instants_rate_cap_per_day = 1500.0;
+  return WorkloadGenerator(config).Generate();
+}
+
+void ExpectSameAppResult(const AppSimResult& legacy,
+                         const AppSimResult& compiled) {
+  EXPECT_EQ(legacy.app_id, compiled.app_id);
+  EXPECT_EQ(legacy.invocations, compiled.invocations);
+  EXPECT_EQ(legacy.cold_starts, compiled.cold_starts);
+  EXPECT_EQ(legacy.prewarm_loads, compiled.prewarm_loads);
+  EXPECT_DOUBLE_EQ(legacy.wasted_memory_minutes,
+                   compiled.wasted_memory_minutes);
+  EXPECT_EQ(legacy.cold_per_hour, compiled.cold_per_hour);
+  EXPECT_EQ(legacy.invocations_per_hour, compiled.invocations_per_hour);
+}
+
+TEST(CompiledTraceTest, ArenasAreContiguousAndSorted) {
+  const Trace trace = MakeSeededTrace();
+  const CompiledTrace compiled = CompiledTrace::Compile(trace);
+
+  ASSERT_EQ(compiled.num_apps(), trace.apps.size());
+  EXPECT_EQ(compiled.total_invocations(), trace.TotalInvocations());
+  EXPECT_EQ(compiled.times_ms.size(), compiled.exec_ms.size());
+  EXPECT_EQ(compiled.horizon, trace.horizon);
+
+  size_t expected_begin = 0;
+  for (size_t a = 0; a < compiled.num_apps(); ++a) {
+    const CompiledTrace::AppSpan span = compiled.spans[a];
+    EXPECT_EQ(span.begin, expected_begin) << "app " << a;
+    EXPECT_EQ(static_cast<int64_t>(span.size()),
+              trace.apps[a].TotalInvocations());
+    EXPECT_TRUE(std::is_sorted(compiled.times_ms.begin() + span.begin,
+                               compiled.times_ms.begin() + span.end))
+        << "app " << a;
+    EXPECT_EQ(compiled.app_ids[a], trace.apps[a].app_id);
+    EXPECT_DOUBLE_EQ(compiled.memory_mb[a], trace.apps[a].memory.average_mb);
+    expected_begin = span.end;
+  }
+  EXPECT_EQ(expected_begin, compiled.times_ms.size());
+}
+
+TEST(CompiledTraceTest, ParallelCompileMatchesSequential) {
+  const Trace trace = MakeSeededTrace();
+  const CompiledTrace sequential = CompiledTrace::Compile(trace, 1);
+  const CompiledTrace parallel = CompiledTrace::Compile(trace, 4);
+  EXPECT_EQ(sequential.times_ms, parallel.times_ms);
+  EXPECT_EQ(sequential.exec_ms, parallel.exec_ms);
+  ASSERT_EQ(sequential.spans.size(), parallel.spans.size());
+  for (size_t a = 0; a < sequential.spans.size(); ++a) {
+    EXPECT_EQ(sequential.spans[a].begin, parallel.spans[a].begin);
+    EXPECT_EQ(sequential.spans[a].end, parallel.spans[a].end);
+  }
+}
+
+class CompiledReplayEquivalenceTest
+    : public ::testing::TestWithParam<SimulatorOptions> {};
+
+TEST_P(CompiledReplayEquivalenceTest, MatchesLegacyPerAppMerge) {
+  const Trace trace = MakeSeededTrace();
+  const CompiledTrace compiled = CompiledTrace::Compile(trace);
+  const ColdStartSimulator simulator(GetParam());
+  const FixedKeepAliveFactory fixed(Duration::Minutes(10));
+  const HybridPolicyFactory hybrid{HybridPolicyConfig{}};
+
+  for (const PolicyFactory* factory :
+       {static_cast<const PolicyFactory*>(&fixed),
+        static_cast<const PolicyFactory*>(&hybrid)}) {
+    for (size_t a = 0; a < trace.apps.size(); ++a) {
+      const std::unique_ptr<KeepAlivePolicy> legacy_policy =
+          factory->CreateForApp();
+      const AppSimResult legacy = simulator.SimulateApp(
+          trace.apps[a], trace.horizon, *legacy_policy);
+      const std::unique_ptr<KeepAlivePolicy> compiled_policy =
+          factory->CreateForApp();
+      const AppSimResult via_arena =
+          simulator.SimulateApp(compiled, a, *compiled_policy);
+      ExpectSameAppResult(legacy, via_arena);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Options, CompiledReplayEquivalenceTest,
+    ::testing::Values(SimulatorOptions{},
+                      SimulatorOptions{.use_execution_times = true},
+                      SimulatorOptions{.use_execution_times = true,
+                                       .weight_by_memory = true},
+                      SimulatorOptions{.count_tail_residency = false,
+                                       .track_hourly = true}));
+
+TEST(CompiledTraceTest, RunOverloadsAgree) {
+  const Trace trace = MakeSeededTrace();
+  const CompiledTrace compiled = CompiledTrace::Compile(trace);
+  SimulatorOptions options;
+  options.use_execution_times = true;
+  const ColdStartSimulator simulator(options);
+  const FixedKeepAliveFactory factory(Duration::Minutes(20));
+
+  const SimulationResult from_trace = simulator.Run(trace, factory);
+  const SimulationResult from_compiled = simulator.Run(compiled, factory);
+  ASSERT_EQ(from_trace.apps.size(), from_compiled.apps.size());
+  for (size_t a = 0; a < from_trace.apps.size(); ++a) {
+    ExpectSameAppResult(from_trace.apps[a], from_compiled.apps[a]);
+  }
+  EXPECT_EQ(from_trace.TotalColdStarts(), from_compiled.TotalColdStarts());
+  EXPECT_DOUBLE_EQ(from_trace.TotalWastedMemoryMinutes(),
+                   from_compiled.TotalWastedMemoryMinutes());
+}
+
+TEST(CompiledTraceTest, EmptyAppYieldsEmptyResult) {
+  Trace trace;
+  trace.horizon = Duration::Hours(1);
+  AppTrace app;
+  app.owner_id = "o";
+  app.app_id = "empty";
+  app.memory = {64.0, 60.0, 70.0, 1};
+  trace.apps.push_back(app);
+  const CompiledTrace compiled = CompiledTrace::Compile(trace);
+  ASSERT_EQ(compiled.num_apps(), 1u);
+  EXPECT_EQ(compiled.spans[0].size(), 0u);
+
+  const ColdStartSimulator simulator;
+  FixedKeepAlivePolicy policy(Duration::Minutes(10));
+  const AppSimResult result = simulator.SimulateApp(compiled, 0, policy);
+  EXPECT_EQ(result.invocations, 0);
+  EXPECT_EQ(result.cold_starts, 0);
+  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes, 0.0);
+}
+
+}  // namespace
+}  // namespace faas

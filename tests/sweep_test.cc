@@ -4,6 +4,7 @@
 
 #include "src/policy/hybrid.h"
 #include "src/policy/policy.h"
+#include "src/workload/generator.h"
 
 namespace faas {
 namespace {
@@ -95,6 +96,69 @@ TEST(SweepTest, LongerKeepAliveMonotonicInBothAxes) {
               points[i - 1].result.TotalColdStarts());
     EXPECT_GE(points[i].wasted_memory_minutes,
               points[i - 1].wasted_memory_minutes - 1e-9);
+  }
+}
+
+TEST(SweepTest, ParallelSweepBitIdenticalToSequential) {
+  // The engine schedules (policy x app-shard) tasks; every PolicyPoint
+  // number must nevertheless match the one-thread run bit for bit.
+  GeneratorConfig config;
+  config.num_apps = 180;
+  config.days = 2;
+  config.seed = 91;
+  config.instants_rate_cap_per_day = 1200.0;
+  const Trace trace = WorkloadGenerator(config).Generate();
+
+  const FixedKeepAliveFactory fixed10(Duration::Minutes(10));
+  const FixedKeepAliveFactory fixed60(Duration::Minutes(60));
+  const HybridPolicyFactory hybrid{HybridPolicyConfig{}};
+  const std::vector<const PolicyFactory*> factories = {&fixed10, &fixed60,
+                                                       &hybrid};
+
+  SimulatorOptions sequential;
+  sequential.num_threads = 1;
+  sequential.use_execution_times = true;
+  SimulatorOptions parallel = sequential;
+  parallel.num_threads = 4;
+
+  const auto a = EvaluatePolicies(trace, factories, 0, sequential);
+  const auto b = EvaluatePolicies(trace, factories, 0, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t p = 0; p < a.size(); ++p) {
+    EXPECT_EQ(a[p].name, b[p].name);
+    EXPECT_EQ(a[p].cold_start_p75, b[p].cold_start_p75);
+    EXPECT_EQ(a[p].wasted_memory_minutes, b[p].wasted_memory_minutes);
+    EXPECT_EQ(a[p].normalized_wasted_memory_pct,
+              b[p].normalized_wasted_memory_pct);
+    ASSERT_EQ(a[p].result.apps.size(), b[p].result.apps.size());
+    for (size_t i = 0; i < a[p].result.apps.size(); ++i) {
+      EXPECT_EQ(a[p].result.apps[i].app_id, b[p].result.apps[i].app_id);
+      EXPECT_EQ(a[p].result.apps[i].cold_starts,
+                b[p].result.apps[i].cold_starts);
+      EXPECT_EQ(a[p].result.apps[i].prewarm_loads,
+                b[p].result.apps[i].prewarm_loads);
+      EXPECT_EQ(a[p].result.apps[i].wasted_memory_minutes,
+                b[p].result.apps[i].wasted_memory_minutes);
+    }
+  }
+}
+
+TEST(SweepTest, CompiledOverloadMatchesTraceOverload) {
+  const Trace trace = MakeTrace();
+  const CompiledTrace compiled = CompiledTrace::Compile(trace);
+  const FixedKeepAliveFactory fixed10(Duration::Minutes(10));
+  const FixedKeepAliveFactory fixed30(Duration::Minutes(30));
+  const std::vector<const PolicyFactory*> factories = {&fixed10, &fixed30};
+
+  const auto from_trace = EvaluatePolicies(trace, factories, 0);
+  const auto from_compiled = EvaluatePolicies(compiled, factories, 0);
+  ASSERT_EQ(from_trace.size(), from_compiled.size());
+  for (size_t p = 0; p < from_trace.size(); ++p) {
+    EXPECT_EQ(from_trace[p].cold_start_p75, from_compiled[p].cold_start_p75);
+    EXPECT_EQ(from_trace[p].wasted_memory_minutes,
+              from_compiled[p].wasted_memory_minutes);
+    EXPECT_EQ(from_trace[p].normalized_wasted_memory_pct,
+              from_compiled[p].normalized_wasted_memory_pct);
   }
 }
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + full test suite, then the concurrency
+# tests (thread pool, parallel-for, sweep engine, compiled trace) rebuilt
+# and re-run under ThreadSanitizer.
+#
+# Usage: tools/check.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+if [[ "${1:-}" == "--skip-tsan" ]]; then
+  echo "== skipping TSan pass =="
+  exit 0
+fi
+
+echo "== TSan: concurrency tests =="
+cmake -B build-tsan -S . -DFAAS_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}" --target \
+    thread_pool_test parallel_test sweep_test compiled_trace_test
+# gtest_discover_tests registers suite names (not target names), so match
+# the suites those four binaries contain.
+(cd build-tsan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
+    -R 'ThreadPool|ParallelFor|ParallelSimulation|Sweep|CompiledTrace|CompiledReplay')
+
+echo "== all checks passed =="

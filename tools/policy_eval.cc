@@ -5,7 +5,10 @@
 // Usage:
 //   policy_eval --trace DIR [--policies LIST] [--baseline NAME]
 //               [--range-minutes N=240] [--cv T=2] [--head P=5] [--tail P=99]
-//               [--use-exec-times] [--weight-by-memory]
+//               [--use-exec-times] [--weight-by-memory] [--threads N=0]
+//
+// --threads sets the sweep parallelism (0 = all hardware cores, 1 = fully
+// sequential).  Results are bit-identical at any thread count.
 //
 // LIST is comma-separated from: fixed-5, fixed-10, ..., fixed-240 (any
 // minute count), no-unload, hybrid, hybrid-no-arima, hybrid-no-prewarm,
@@ -71,7 +74,8 @@ int main(int argc, char** argv) {
         "usage: policy_eval --trace DIR [--policies fixed-10,hybrid,...]\n"
         "                   [--range-minutes N=240] [--cv T=2]\n"
         "                   [--head P=5] [--tail P=99]\n"
-        "                   [--use-exec-times] [--weight-by-memory]\n");
+        "                   [--use-exec-times] [--weight-by-memory]\n"
+        "                   [--threads N=0 (0 = all cores)]\n");
     return flags.Has("help") ? 0 : 2;
   }
 
@@ -117,6 +121,11 @@ int main(int argc, char** argv) {
   SimulatorOptions options;
   options.use_execution_times = flags.GetBool("use-exec-times", false);
   options.weight_by_memory = flags.GetBool("weight-by-memory", false);
+  options.num_threads = static_cast<int>(flags.GetInt("threads", 0));
+  if (options.num_threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return 2;
+  }
 
   std::vector<const PolicyFactory*> factories;
   for (const auto& factory : owned) {
