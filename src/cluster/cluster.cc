@@ -31,17 +31,22 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
   EventQueue queue;
   Rng rng(config_.seed);
 
+  const std::string fault_error =
+      config_.faults.Validate(config_.num_invokers);
+  FAAS_CHECK(fault_error.empty()) << "invalid fault plan: " << fault_error;
+
   std::vector<std::unique_ptr<Invoker>> invokers;
   std::vector<Invoker*> invoker_ptrs;
   invokers.reserve(static_cast<size_t>(config_.num_invokers));
   for (int i = 0; i < config_.num_invokers; ++i) {
     invokers.push_back(std::make_unique<Invoker>(
-        i, config_.invoker_memory_mb, &queue, config_.latency, rng.Fork()));
+        i, config_.invoker_memory_mb, &queue, config_.latency, rng.Fork(),
+        &config_.faults));
     invoker_ptrs.push_back(invokers.back().get());
   }
   Controller controller(&queue, invoker_ptrs, factory, config_.latency,
                         rng.Fork(), config_.collect_latencies,
-                        config_.load_balancing);
+                        config_.load_balancing, config_.retry);
 
   // Flatten the trace into time-ordered replay events with pre-sampled
   // per-invocation execution times.
@@ -76,6 +81,43 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
                    [target]() { target->SetHealthy(true); });
   }
 
+  const TimePoint end = TimePoint::Origin() + trace.horizon;
+
+  // Schedule the chaos engine.  An empty FaultPlan (the default) schedules
+  // nothing here, leaving event sequence numbers — and therefore FIFO
+  // tie-breaks — bit-identical to a pre-chaos replay.
+  for (const CrashEvent& crash : config_.faults.crashes) {
+    Invoker* target = invoker_ptrs[static_cast<size_t>(crash.invoker)];
+    const Duration downtime = crash.downtime;
+    queue.Schedule(crash.at, [target, &controller, &queue, downtime]() {
+                     // Crash() reports each in-flight activation to the
+                     // controller synchronously, which may schedule retries.
+                     const int64_t epoch = target->Crash();
+                     controller.NoteInvokerCrash();
+                     queue.ScheduleAfter(
+                         downtime, [target, &controller, epoch]() {
+                           if (target->Restart(epoch)) {
+                             controller.NoteInvokerRestart();
+                           }
+                         });
+    });
+  }
+  for (const StateWipeEvent& wipe : config_.faults.wipes) {
+    queue.Schedule(wipe.at,
+                   [&controller]() { controller.WipePolicyState(); });
+  }
+  if (config_.policy_checkpoint_interval > Duration::Zero()) {
+    const Duration interval = config_.policy_checkpoint_interval;
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [&controller, &queue, tick, interval, end]() {
+      controller.CheckpointPolicies();
+      if (queue.now() + interval <= end) {
+        queue.ScheduleAfter(interval, *tick);
+      }
+    };
+    queue.Schedule(TimePoint::Origin() + interval, *tick);
+  }
+
   for (const ReplayEvent& event : events) {
     queue.Schedule(event.at, [&controller, &event]() {
       controller.OnInvocation(event.app->app_id, event.function->function_id,
@@ -85,7 +127,6 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
   // Run to the end of the trace horizon and measure memory there, so both
   // policies are integrated over the same wall-clock window (keep-alive
   // unload timers stretching past the horizon do not distort the integral).
-  const TimePoint end = TimePoint::Origin() + trace.horizon;
   queue.RunUntil(end);
   ClusterResult result;
   result.policy_name = factory.name();
@@ -117,10 +158,17 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
     app_result.invocations = stats.invocations;
     app_result.cold_starts = stats.cold_starts;
     app_result.dropped = stats.dropped;
+    app_result.rejected_outage = stats.rejected_outage;
+    app_result.abandoned = stats.abandoned;
+    app_result.lost = stats.lost;
     result.apps.push_back(std::move(app_result));
     result.total_invocations += stats.invocations;
     result.total_dropped += stats.dropped;
+    result.total_rejected_outage += stats.rejected_outage;
+    result.total_abandoned += stats.abandoned;
+    result.total_lost += stats.lost;
   }
+  result.faults = controller.ledger();
   std::sort(result.apps.begin(), result.apps.end(),
             [](const ClusterAppResult& a, const ClusterAppResult& b) {
               return a.app_id < b.app_id;

@@ -17,6 +17,7 @@
 
 #include "src/cluster/controller.h"
 #include "src/cluster/latency_model.h"
+#include "src/faults/fault_plan.h"
 #include "src/policy/policy.h"
 #include "src/stats/ecdf.h"
 #include "src/trace/types.h"
@@ -47,16 +48,38 @@ struct ClusterConfig {
     Duration end;
   };
   std::vector<Outage> outages;
+
+  // Chaos engine: crash/restart, policy-state wipes, latency spikes and
+  // transient-failure windows.  An empty plan (the default) schedules no
+  // events and draws no random numbers, so the replay stays bit-identical
+  // to a fault-free run.
+  FaultPlan faults;
+  // Retry/timeout budget for activations (disabled by default).
+  RetryPolicy retry;
+  // Snapshot every app's policy state this often (the controller's
+  // checkpoint database); WipePolicyState restores from the latest
+  // snapshot.  Zero disables checkpointing.
+  Duration policy_checkpoint_interval = Duration::Zero();
 };
 
 struct ClusterAppResult {
   std::string app_id;
   int64_t invocations = 0;
   int64_t cold_starts = 0;
+  // Terminal failures, split by cause: memory pressure with every worker
+  // healthy (dropped), unplaceable during an outage/crash (rejected_outage),
+  // timed out past the retry budget (abandoned), killed by a crash or
+  // transient fault with no retry left (lost).
   int64_t dropped = 0;
+  int64_t rejected_outage = 0;
+  int64_t abandoned = 0;
+  int64_t lost = 0;
 
+  int64_t Completed() const {
+    return invocations - dropped - rejected_outage - abandoned - lost;
+  }
   double ColdStartPercent() const {
-    const int64_t completed = invocations - dropped;
+    const int64_t completed = Completed();
     return completed > 0 ? 100.0 * static_cast<double>(cold_starts) /
                                static_cast<double>(completed)
                          : 0.0;
@@ -73,6 +96,13 @@ struct ClusterResult {
   int64_t total_evictions = 0;
   int64_t total_prewarm_loads = 0;
   int64_t total_dropped = 0;
+  int64_t total_rejected_outage = 0;
+  int64_t total_abandoned = 0;
+  int64_t total_lost = 0;
+
+  // Everything the fault machinery observed (crashes, retries, timeouts,
+  // state wipes, degraded-mode recoveries); all-zero for fault-free runs.
+  FaultLedger faults;
 
   // Integral of resident container memory over all invokers, MB*seconds,
   // and the same divided by (invokers * wall time): average resident MB.

@@ -3,28 +3,46 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <utility>
 
 #include "src/common/logging.h"
 
 namespace faas {
 
+Duration RetryPolicy::BackoffForRetry(int retry_number, Rng& rng) const {
+  const double max_ms = max_backoff.seconds() * 1e3;
+  double ms = base_backoff.seconds() * 1e3;
+  for (int i = 1; i < retry_number && ms < max_ms; ++i) {
+    ms *= 2.0;
+  }
+  ms = std::min(ms, max_ms);
+  if (jitter > 0.0) {
+    ms *= rng.UniformDouble(1.0 - jitter, 1.0 + jitter);
+  }
+  return Duration::Millis(static_cast<int64_t>(ms));
+}
+
 Controller::Controller(EventQueue* queue, std::vector<Invoker*> invokers,
                        const PolicyFactory& policy_factory,
                        const LatencyModel& latency, Rng rng,
                        bool collect_latencies,
-                       LoadBalancingPolicy load_balancing)
+                       LoadBalancingPolicy load_balancing, RetryPolicy retry)
     : queue_(queue),
       invokers_(std::move(invokers)),
       policy_factory_(policy_factory),
       latency_(latency),
       rng_(rng),
       collect_latencies_(collect_latencies),
-      load_balancing_(load_balancing) {
+      load_balancing_(load_balancing),
+      retry_(retry) {
   FAAS_CHECK(queue_ != nullptr) << "controller needs an event queue";
   FAAS_CHECK(!invokers_.empty()) << "controller needs at least one invoker";
+  FAAS_CHECK(retry_.max_retries >= 0) << "negative retry budget";
   for (Invoker* invoker : invokers_) {
     invoker->set_completion_callback(
         [this](const CompletionMessage& message) { OnCompletion(message); });
+    invoker->set_failure_callback(
+        [this](const FailureMessage& message) { OnFailure(message); });
   }
 }
 
@@ -38,8 +56,10 @@ Controller::AppState& Controller::GetOrCreateApp(const std::string& app_id) {
   return it->second;
 }
 
-bool Controller::Dispatch(AppState& state, const ActivationMessage& message) {
+Controller::DispatchOutcome Controller::Dispatch(
+    AppState& state, const ActivationMessage& message) {
   const size_t n = invokers_.size();
+  bool saw_unhealthy = false;
   if (load_balancing_ == LoadBalancingPolicy::kLeastLoaded) {
     // Try invokers in order of free memory (most free first).
     std::vector<size_t> order(n);
@@ -54,20 +74,30 @@ bool Controller::Dispatch(AppState& state, const ActivationMessage& message) {
       return free_a > free_b;
     });
     for (size_t index : order) {
+      if (!invokers_[index]->healthy()) {
+        saw_unhealthy = true;
+        continue;
+      }
       if (invokers_[index]->HandleActivation(message)) {
-        return true;
+        return DispatchOutcome::kAccepted;
       }
     }
-    return false;
+    return saw_unhealthy ? DispatchOutcome::kOutage
+                         : DispatchOutcome::kNoCapacity;
   }
   for (size_t attempt = 0; attempt < n; ++attempt) {
     const size_t index =
         (static_cast<size_t>(state.home_invoker) + attempt) % n;
+    if (!invokers_[index]->healthy()) {
+      saw_unhealthy = true;
+      continue;
+    }
     if (invokers_[index]->HandleActivation(message)) {
-      return true;
+      return DispatchOutcome::kAccepted;
     }
   }
-  return false;
+  return saw_unhealthy ? DispatchOutcome::kOutage
+                       : DispatchOutcome::kNoCapacity;
 }
 
 void Controller::OnInvocation(const std::string& app_id,
@@ -101,35 +131,192 @@ void Controller::OnInvocation(const std::string& app_id,
   policy_overhead_max_us_ = std::max(policy_overhead_max_us_, overhead_us);
   ++policy_invocations_;
 
-  ActivationMessage message;
-  message.activation_id = next_activation_id_++;
-  message.app_id = app_id;
-  message.function_id = function_id;
-  message.memory_mb = memory_mb;
-  message.execution = execution;
-  message.keepalive = state.decision.keepalive_window;
-  message.unload_after_execution =
-      !state.decision.prewarm_window.IsZero();
+  // Degraded-mode exit: the policy relearned enough since the wipe.
+  if (state.degraded && !state.policy->IsLearning()) {
+    state.degraded = false;
+    ++ledger_.degraded_recoveries;
+    const double degraded_ms = (queue_->now() - state.wiped_at).seconds() * 1e3;
+    ledger_.total_degraded_ms += degraded_ms;
+    ledger_.max_degraded_ms = std::max(ledger_.max_degraded_ms, degraded_ms);
+  }
+
   state.memory_mb = memory_mb;
   ++state.inflight;
 
+  const int64_t activation_id = next_activation_id_++;
+  PendingActivation pending;
+  pending.app_id = app_id;
+  pending.function_id = function_id;
+  pending.execution = execution;
+  pending.memory_mb = memory_mb;
+  pending_.emplace(activation_id, std::move(pending));
+  SendAttempt(activation_id);
+}
+
+void Controller::SendAttempt(int64_t activation_id) {
+  auto it = pending_.find(activation_id);
+  if (it == pending_.end()) {
+    return;  // Timed out while the retry backoff was pending.
+  }
+  PendingActivation& pending = it->second;
+  AppState& state = apps_.at(pending.app_id);
+
+  ActivationMessage message;
+  message.activation_id = activation_id;
+  message.app_id = pending.app_id;
+  message.function_id = pending.function_id;
+  message.memory_mb = pending.memory_mb;
+  message.execution = pending.execution;
+  message.keepalive = state.decision.keepalive_window;
+  message.unload_after_execution = !state.decision.prewarm_window.IsZero();
+
+  if (retry_.activation_timeout != Duration::Max()) {
+    pending.timeout_event.Cancel();
+    pending.timeout_event = queue_->ScheduleAfter(
+        retry_.activation_timeout,
+        [this, activation_id]() { OnTimeout(activation_id); });
+  }
+
   // Model the controller -> invoker messaging hop.
   const Duration dispatch_delay = latency_.SampleDispatch(rng_);
-  queue_->ScheduleAfter(dispatch_delay, [this, message, app_id]() {
-    AppState& app_state = apps_.at(app_id);
-    if (!Dispatch(app_state, message)) {
-      --app_state.inflight;
-      ++app_stats_[app_id].dropped;
-      ++total_dropped_;
+  queue_->ScheduleAfter(dispatch_delay, [this, activation_id, message]() {
+    auto pending_it = pending_.find(activation_id);
+    if (pending_it == pending_.end()) {
+      return;  // Timed out in flight.
+    }
+    AppState& app_state = apps_.at(message.app_id);
+    switch (Dispatch(app_state, message)) {
+      case DispatchOutcome::kAccepted:
+        return;
+      case DispatchOutcome::kNoCapacity:
+        // Memory pressure with every worker up: drop, as before the chaos
+        // engine (retrying against a full cluster is not failover).
+        pending_it->second.timeout_event.Cancel();
+        pending_.erase(pending_it);
+        --app_state.inflight;
+        ++app_stats_[message.app_id].dropped;
+        ++total_dropped_;
+        return;
+      case DispatchOutcome::kOutage:
+        FailAttempt(activation_id, FailureClass::kOutage);
+        return;
     }
   });
 }
 
+void Controller::FailAttempt(int64_t activation_id, FailureClass failure) {
+  auto it = pending_.find(activation_id);
+  FAAS_CHECK(it != pending_.end()) << "failing an unknown activation";
+  PendingActivation& pending = it->second;
+  pending.timeout_event.Cancel();
+  if (pending.first_failure == FailureClass::kNone) {
+    pending.first_failure = failure;
+  }
+
+  if (pending.attempts <= retry_.max_retries) {
+    const int retry_number = pending.attempts;
+    ++pending.attempts;
+    const Duration backoff = retry_.BackoffForRetry(retry_number, rng_);
+    ++ledger_.retries_scheduled;
+    ledger_.total_backoff_ms += backoff.seconds() * 1e3;
+    // Re-key under a fresh attempt id so any result of the failed attempt
+    // (e.g. a zombie execution finishing after a timeout) misses the table.
+    const int64_t new_id = next_activation_id_++;
+    PendingActivation moved = std::move(pending);
+    pending_.erase(it);
+    pending_.emplace(new_id, std::move(moved));
+    queue_->ScheduleAfter(backoff,
+                          [this, new_id]() { SendAttempt(new_id); });
+    return;
+  }
+
+  // Budget spent: terminal failure.
+  AppState& state = apps_.at(pending.app_id);
+  AppStats& stats = app_stats_[pending.app_id];
+  --state.inflight;
+  switch (failure) {
+    case FailureClass::kTimeout:
+      ++stats.abandoned;
+      ++total_abandoned_;
+      ++ledger_.abandoned;
+      break;
+    case FailureClass::kOutage:
+      ++stats.rejected_outage;
+      ++total_rejected_outage_;
+      ++ledger_.rejected_by_outage;
+      break;
+    case FailureClass::kCrash:
+    case FailureClass::kTransient:
+      ++stats.lost;
+      ++total_lost_;
+      ++ledger_.lost;
+      break;
+    case FailureClass::kNone:
+      FAAS_CHECK(false) << "terminal failure without a class";
+      break;
+  }
+  pending_.erase(it);
+}
+
+void Controller::OnFailure(const FailureMessage& message) {
+  auto it = pending_.find(message.activation_id);
+  if (it == pending_.end()) {
+    return;  // A superseded (already retried / timed-out) attempt.
+  }
+  if (message.kind == FailureKind::kCrash) {
+    ++ledger_.lost_in_flight;
+    FailAttempt(message.activation_id, FailureClass::kCrash);
+  } else {
+    ++ledger_.transient_failures;
+    FailAttempt(message.activation_id, FailureClass::kTransient);
+  }
+}
+
+void Controller::OnTimeout(int64_t activation_id) {
+  auto it = pending_.find(activation_id);
+  if (it == pending_.end()) {
+    return;  // Completed or failed just before the timer fired.
+  }
+  ++ledger_.timeouts;
+  FailAttempt(activation_id, FailureClass::kTimeout);
+}
+
 void Controller::OnCompletion(const CompletionMessage& message) {
+  auto pending_it = pending_.find(message.activation_id);
+  if (pending_it == pending_.end()) {
+    return;  // Zombie execution of a timed-out attempt: result discarded.
+  }
+  const int attempts = pending_it->second.attempts;
+  const FailureClass first_failure = pending_it->second.first_failure;
+  pending_it->second.timeout_event.Cancel();
+  pending_.erase(pending_it);
+
   AppState& state = apps_.at(message.app_id);
   AppStats& stats = app_stats_[message.app_id];
   if (message.cold_start) {
     ++stats.cold_starts;
+    if (state.degraded) {
+      ++ledger_.cold_starts_in_degraded_mode;
+    }
+    switch (first_failure) {
+      case FailureClass::kNone:
+        break;
+      case FailureClass::kCrash:
+        ++ledger_.cold_starts_after_crash;
+        break;
+      case FailureClass::kTransient:
+        ++ledger_.cold_starts_after_transient;
+        break;
+      case FailureClass::kTimeout:
+        ++ledger_.cold_starts_after_timeout;
+        break;
+      case FailureClass::kOutage:
+        ++ledger_.cold_starts_after_outage;
+        break;
+    }
+  }
+  if (attempts > 1) {
+    ++ledger_.retry_successes;
   }
   --state.inflight;
   state.last_exec_end = message.execution_end;
@@ -166,6 +353,50 @@ void Controller::OnCompletion(const CompletionMessage& message) {
             }
           }
         });
+  }
+}
+
+void Controller::CheckpointPolicies() {
+  for (auto& [app_id, state] : apps_) {
+    auto snapshot = state.policy->SnapshotState();
+    if (snapshot != nullptr) {
+      checkpoints_[app_id] = std::move(snapshot);
+    }
+  }
+}
+
+void Controller::WipePolicyState() {
+  ++ledger_.policy_state_wipes;
+  for (auto& [app_id, state] : apps_) {
+    state.policy->WipeState();
+    bool restored = false;
+    auto checkpoint_it = checkpoints_.find(app_id);
+    if (checkpoint_it != checkpoints_.end() &&
+        checkpoint_it->second != nullptr) {
+      restored = state.policy->RestoreState(*checkpoint_it->second);
+    }
+    if (restored) {
+      ++ledger_.policy_states_restored;
+    } else {
+      ++ledger_.policy_states_lost;
+    }
+    // Recompute the windows from the post-wipe state so the next activation
+    // does not ship a keep-alive derived from the lost histogram.
+    state.decision = state.policy->NextWindows();
+    if (state.policy->IsLearning()) {
+      if (!state.degraded) {
+        state.degraded = true;
+        state.wiped_at = queue_->now();
+      }
+    } else if (state.degraded) {
+      // A checkpoint restore can bring a previously degraded app back.
+      state.degraded = false;
+      ++ledger_.degraded_recoveries;
+      const double degraded_ms =
+          (queue_->now() - state.wiped_at).seconds() * 1e3;
+      ledger_.total_degraded_ms += degraded_ms;
+      ledger_.max_degraded_ms = std::max(ledger_.max_degraded_ms, degraded_ms);
+    }
   }
 }
 

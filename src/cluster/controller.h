@@ -6,6 +6,16 @@
 // re-computes the keep-alive/pre-warm windows, and ships the keep-alive to
 // the chosen invoker inside the activation message.  On completion it
 // schedules the pre-warm event for the predicted next invocation.
+//
+// The controller also owns the failure path of the chaos engine: every
+// outstanding activation is tracked in a pending table keyed by its
+// per-attempt activation id.  Invoker crashes and transient sandbox faults
+// surface as FailureMessages; per-activation timeouts catch activations
+// whose execution (or result) vanished silently.  Failed attempts are
+// retried with exponential backoff + jitter up to a bounded budget, re-using
+// the normal dispatch path so failover respects the load-balancing policy.
+// Terminal outcomes are split by cause (memory drop / outage rejection /
+// timeout abandonment / crash loss) and recorded in a FaultLedger.
 
 #ifndef SRC_CLUSTER_CONTROLLER_H_
 #define SRC_CLUSTER_CONTROLLER_H_
@@ -34,28 +44,123 @@ enum class LoadBalancingPolicy {
   kLeastLoaded,
 };
 
+// Retry/timeout budget for activations (disabled by default: zero retries
+// and an infinite timeout reproduce the fire-and-forget pre-chaos
+// controller bit-for-bit).
+struct RetryPolicy {
+  int max_retries = 0;
+  Duration base_backoff = Duration::Millis(200);
+  Duration max_backoff = Duration::Seconds(30);
+  // Backoff is multiplied by uniform[1 - jitter, 1 + jitter] (0 disables).
+  double jitter = 0.2;
+  // An attempt not completed within this window is failed and retried (or
+  // abandoned once the budget is spent).  Duration::Max() disables.
+  Duration activation_timeout = Duration::Max();
+
+  bool enabled() const {
+    return max_retries > 0 || activation_timeout != Duration::Max();
+  }
+  // Backoff before retry number `retry_number` (1-based): base * 2^(n-1)
+  // capped at max_backoff, then jittered.  Draws from `rng` only when
+  // jitter > 0.
+  Duration BackoffForRetry(int retry_number, Rng& rng) const;
+};
+
+// Tally of everything the fault machinery observed during a replay.
+// Comparable so determinism tests can assert bit-identical ledgers.
+struct FaultLedger {
+  // Fault events.
+  int64_t invoker_crashes = 0;
+  int64_t invoker_restarts = 0;
+  int64_t policy_state_wipes = 0;
+  // Per-app outcomes of state wipes (restored from a checkpoint vs lost).
+  int64_t policy_states_restored = 0;
+  int64_t policy_states_lost = 0;
+
+  // Failure events (not terminal by themselves: a retry may still succeed).
+  int64_t lost_in_flight = 0;       // Executions killed by an invoker crash.
+  int64_t transient_failures = 0;   // Sandbox faults reported by invokers.
+  int64_t timeouts = 0;             // Activation-timeout expirations.
+
+  // Retry machinery.
+  int64_t retries_scheduled = 0;
+  int64_t retry_successes = 0;      // Completions needing >= 2 attempts.
+  double total_backoff_ms = 0.0;
+
+  // Terminal failures (these activations never complete).
+  int64_t abandoned = 0;            // Timed out with the budget spent.
+  int64_t rejected_by_outage = 0;   // Unplaceable while workers were down.
+  int64_t lost = 0;                 // Crash/transient-killed, no retry left.
+
+  // Cold-start penalty attribution: cold starts on the eventual successful
+  // attempt of a retried activation, by the class of its first failure.
+  int64_t cold_starts_after_crash = 0;
+  int64_t cold_starts_after_transient = 0;
+  int64_t cold_starts_after_timeout = 0;
+  int64_t cold_starts_after_outage = 0;
+  // Cold starts taken while the app's policy was re-learning after a wipe.
+  int64_t cold_starts_in_degraded_mode = 0;
+
+  // Degraded-mode recovery: time from a state wipe that left the policy
+  // non-representative until its histogram is representative again.
+  int64_t degraded_recoveries = 0;
+  double total_degraded_ms = 0.0;
+  double max_degraded_ms = 0.0;
+
+  double MeanDegradedMs() const {
+    return degraded_recoveries > 0
+               ? total_degraded_ms / static_cast<double>(degraded_recoveries)
+               : 0.0;
+  }
+
+  bool operator==(const FaultLedger&) const = default;
+};
+
 class Controller {
  public:
   struct AppStats {
     int64_t invocations = 0;
     int64_t cold_starts = 0;
-    int64_t dropped = 0;  // No invoker could host the activation.
+    int64_t dropped = 0;          // No invoker had memory (all healthy).
+    int64_t rejected_outage = 0;  // Unplaceable while workers were down.
+    int64_t abandoned = 0;        // Timed out after the retry budget.
+    int64_t lost = 0;             // Crash/transient failure, no retry left.
   };
 
   Controller(EventQueue* queue, std::vector<Invoker*> invokers,
              const PolicyFactory& policy_factory, const LatencyModel& latency,
              Rng rng, bool collect_latencies = true,
              LoadBalancingPolicy load_balancing =
-                 LoadBalancingPolicy::kAppAffinity);
+                 LoadBalancingPolicy::kAppAffinity,
+             RetryPolicy retry = {});
 
   // Entry point for the trace replayer.
   void OnInvocation(const std::string& app_id, const std::string& function_id,
                     Duration execution, double memory_mb);
 
+  // --- Fault hooks (driven by the cluster's fault schedule) ---
+  // Snapshots every app's policy state (the periodic checkpoint a real
+  // controller would write to its database).
+  void CheckpointPolicies();
+  // Controller failure: every app's policy state is wiped, then restored
+  // from the latest checkpoint where one exists.  Apps left with a
+  // non-representative policy enter degraded mode (standard keep-alive via
+  // the policy's own fallback) until representative again.
+  void WipePolicyState();
+  // Ledger bookkeeping for invoker crash/restart events.
+  void NoteInvokerCrash() { ++ledger_.invoker_crashes; }
+  void NoteInvokerRestart() { ++ledger_.invoker_restarts; }
+
   const std::unordered_map<std::string, AppStats>& app_stats() const {
     return app_stats_;
   }
   int64_t total_dropped() const { return total_dropped_; }
+  int64_t total_rejected_outage() const { return total_rejected_outage_; }
+  int64_t total_abandoned() const { return total_abandoned_; }
+  int64_t total_lost() const { return total_lost_; }
+  const FaultLedger& ledger() const { return ledger_; }
+  // Activations still awaiting completion/retry (drained replays end at 0).
+  size_t pending_activations() const { return pending_.size(); }
   const std::vector<double>& billed_execution_ms() const {
     return billed_execution_ms_;
   }
@@ -81,6 +186,15 @@ class Controller {
   int64_t policy_invocations() const { return policy_invocations_; }
 
  private:
+  // How a dispatch attempt ended.
+  enum class DispatchOutcome {
+    kAccepted,
+    kNoCapacity,  // Every healthy invoker was out of memory.
+    kOutage,      // Placement failed and at least one invoker was down.
+  };
+  // Why an attempt failed (kNone = never failed).
+  enum class FailureClass { kNone, kCrash, kTransient, kTimeout, kOutage };
+
   struct AppState {
     std::unique_ptr<KeepAlivePolicy> policy;
     PolicyDecision decision;
@@ -90,13 +204,38 @@ class Controller {
     int home_invoker = 0;
     double memory_mb = 128.0;  // Last-seen container footprint for pre-warms.
     EventQueue::Handle prewarm_event;
+    // Degraded mode: the policy lost its learned state in a wipe and is
+    // falling back to the standard keep-alive until representative again.
+    bool degraded = false;
+    TimePoint wiped_at;
+  };
+
+  // One outstanding activation.  Keyed in `pending_` by the activation id
+  // of its CURRENT attempt; completions/failures for superseded attempts
+  // miss the table and are ignored (zombie executions).
+  struct PendingActivation {
+    std::string app_id;
+    std::string function_id;
+    Duration execution;
+    double memory_mb = 0.0;
+    int attempts = 1;  // Dispatch attempts made (1 = first attempt).
+    FailureClass first_failure = FailureClass::kNone;
+    EventQueue::Handle timeout_event;
   };
 
   AppState& GetOrCreateApp(const std::string& app_id);
   void OnCompletion(const CompletionMessage& message);
+  void OnFailure(const FailureMessage& message);
+  void OnTimeout(int64_t activation_id);
+  // Sends the current attempt of pending activation `id`: arms the timeout,
+  // models the dispatch hop, then routes through Dispatch.
+  void SendAttempt(int64_t activation_id);
+  // Handles a failed attempt: schedules a backoff retry if budget remains,
+  // otherwise records the terminal outcome and forgets the activation.
+  void FailAttempt(int64_t activation_id, FailureClass failure);
   // Tries the home invoker first (container affinity, like OpenWhisk's
   // hash-based co-primary), then the rest round-robin.
-  bool Dispatch(AppState& state, const ActivationMessage& message);
+  DispatchOutcome Dispatch(AppState& state, const ActivationMessage& message);
 
   EventQueue* queue_;
   std::vector<Invoker*> invokers_;
@@ -105,10 +244,19 @@ class Controller {
   Rng rng_;
   bool collect_latencies_;
   LoadBalancingPolicy load_balancing_;
+  RetryPolicy retry_;
 
   std::unordered_map<std::string, AppState> apps_;
   std::unordered_map<std::string, AppStats> app_stats_;
+  std::unordered_map<int64_t, PendingActivation> pending_;
+  // Latest policy-state checkpoint per app (WipePolicyState restores these).
+  std::unordered_map<std::string, std::unique_ptr<PolicyStateSnapshot>>
+      checkpoints_;
+  FaultLedger ledger_;
   int64_t total_dropped_ = 0;
+  int64_t total_rejected_outage_ = 0;
+  int64_t total_abandoned_ = 0;
+  int64_t total_lost_ = 0;
   int64_t next_activation_id_ = 1;
 
   std::vector<double> billed_execution_ms_;

@@ -1,18 +1,21 @@
 #include "src/cluster/invoker.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "src/common/logging.h"
 
 namespace faas {
 
 Invoker::Invoker(int id, double memory_capacity_mb, EventQueue* queue,
-                 const LatencyModel& latency, Rng rng)
+                 const LatencyModel& latency, Rng rng, const FaultPlan* faults)
     : id_(id),
       memory_capacity_mb_(memory_capacity_mb),
       queue_(queue),
       latency_(latency),
       rng_(rng),
+      faults_(faults),
       last_memory_change_(queue->now()) {
   FAAS_CHECK(queue != nullptr) << "invoker needs an event queue";
   FAAS_CHECK(memory_capacity_mb > 0.0) << "invoker memory must be positive";
@@ -88,6 +91,7 @@ void Invoker::DestroyContainer(ContainerList::iterator it) {
   FAAS_CHECK(!it->busy) << "destroying a busy container";
   AccrueMemoryTime();
   it->unload_timer.Cancel();
+  it->exec_end_event.Cancel();
   memory_in_use_mb_ -= it->memory_mb;
   --resident_containers_;
   auto count_it = resident_count_by_app_.find(it->app_id);
@@ -129,9 +133,70 @@ void Invoker::SetHealthy(bool healthy) {
   }
 }
 
+int64_t Invoker::Crash() {
+  ++crash_epoch_;
+  healthy_ = false;
+  AccrueMemoryTime();
+  // Collect in-flight losses first, then clear all container state, then
+  // notify: the callback may re-dispatch, and must observe a dead invoker.
+  std::vector<FailureMessage> lost;
+  for (Container& container : containers_) {
+    container.unload_timer.Cancel();
+    container.exec_end_event.Cancel();
+    if (container.busy && container.activation_id != 0) {
+      FailureMessage failure;
+      failure.activation_id = container.activation_id;
+      failure.app_id = container.app_id;
+      failure.invoker_id = id_;
+      failure.kind = FailureKind::kCrash;
+      lost.push_back(std::move(failure));
+    }
+  }
+  containers_.clear();
+  resident_count_by_app_.clear();
+  memory_in_use_mb_ = 0.0;
+  resident_containers_ = 0;
+  if (on_failure_) {
+    for (const FailureMessage& failure : lost) {
+      on_failure_(failure);
+    }
+  }
+  return crash_epoch_;
+}
+
+bool Invoker::Restart(int64_t epoch) {
+  if (epoch != crash_epoch_ || healthy_) {
+    return false;  // A newer crash superseded this restart, or already up.
+  }
+  healthy_ = true;
+  AccrueMemoryTime();  // Re-anchor the (empty-pool) memory integral.
+  return true;
+}
+
 bool Invoker::HandleActivation(const ActivationMessage& message) {
   if (!healthy_) {
     return false;
+  }
+  if (faults_ != nullptr) {
+    // Transient sandbox fault: the activation is accepted but fails before
+    // the function runs; the controller hears about it after a messaging
+    // hop.  The Bernoulli draw only happens inside an active fault window,
+    // so fault-free replays consume an identical rng stream.
+    const double p = faults_->TransientFailureProbabilityAt(queue_->now());
+    if (p > 0.0 && rng_.Bernoulli(p)) {
+      FailureMessage failure;
+      failure.activation_id = message.activation_id;
+      failure.app_id = message.app_id;
+      failure.invoker_id = id_;
+      failure.kind = FailureKind::kTransient;
+      queue_->ScheduleAfter(latency_.SampleDispatch(rng_),
+                            [this, failure]() {
+                              if (on_failure_) {
+                                on_failure_(failure);
+                              }
+                            });
+      return true;
+    }
   }
   Container* container = FindIdleContainer(message.app_id);
   bool cold = false;
@@ -148,10 +213,14 @@ bool Invoker::HandleActivation(const ActivationMessage& message) {
     }
     cold = true;
     ++cold_starts_;
-    bootstrap = latency_.SampleRuntimeBootstrap(rng_);
-    startup = latency_.SampleContainerInit(rng_) + bootstrap;
+    const double scale = faults_ == nullptr
+                             ? 1.0
+                             : faults_->LatencyMultiplierAt(queue_->now());
+    bootstrap = latency_.SampleRuntimeBootstrap(rng_, scale);
+    startup = latency_.SampleContainerInit(rng_, scale) + bootstrap;
   }
   container->busy = true;
+  container->activation_id = message.activation_id;
 
   // Find the iterator for the container (list iterators are stable; for a
   // fresh container it is the last element, for a warm one we search).
@@ -174,25 +243,28 @@ bool Invoker::HandleActivation(const ActivationMessage& message) {
   const Duration billed = startup + message.execution;
   (void)bootstrap;
   const ActivationMessage msg = message;  // Copy for the closure.
-  queue_->Schedule(exec_end, [this, it, msg, cold, total_latency, billed]() {
-    it->busy = false;
-    if (msg.unload_after_execution || !healthy_) {
-      DestroyContainer(it);
-    } else {
-      ArmKeepAlive(it, msg.keepalive);
-    }
-    if (on_completion_) {
-      CompletionMessage completion;
-      completion.activation_id = msg.activation_id;
-      completion.app_id = msg.app_id;
-      completion.invoker_id = id_;
-      completion.cold_start = cold;
-      completion.execution_end = queue_->now();
-      completion.total_latency = total_latency;
-      completion.billed_execution = billed;
-      on_completion_(completion);
-    }
-  });
+  it->exec_end_event = queue_->Schedule(
+      exec_end, [this, it, msg, cold, total_latency, billed]() {
+        it->busy = false;
+        it->activation_id = 0;
+        it->exec_end_event = EventQueue::Handle();
+        if (msg.unload_after_execution || !healthy_) {
+          DestroyContainer(it);
+        } else {
+          ArmKeepAlive(it, msg.keepalive);
+        }
+        if (on_completion_) {
+          CompletionMessage completion;
+          completion.activation_id = msg.activation_id;
+          completion.app_id = msg.app_id;
+          completion.invoker_id = id_;
+          completion.cold_start = cold;
+          completion.execution_end = queue_->now();
+          completion.total_latency = total_latency;
+          completion.billed_execution = billed;
+          on_completion_(completion);
+        }
+      });
   return true;
 }
 

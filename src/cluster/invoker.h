@@ -6,6 +6,13 @@
 // pre-warm requests, and evicts idle containers under memory pressure.
 // Container-seconds of resident memory are integrated over time for the
 // Figure 20 memory-consumption comparison.
+//
+// Fault injection distinguishes two ways a worker leaves rotation:
+//   - drain (SetHealthy(false)): the polite path — idle containers drop
+//     immediately, busy ones finish their executions and are then destroyed;
+//   - crash (Crash()): the VM dies — every container including busy ones is
+//     gone instantly, and each in-flight activation is reported to the
+//     controller through the failure callback so it can be retried.
 
 #ifndef SRC_CLUSTER_INVOKER_H_
 #define SRC_CLUSTER_INVOKER_H_
@@ -20,20 +27,28 @@
 #include "src/cluster/latency_model.h"
 #include "src/cluster/messages.h"
 #include "src/common/rng.h"
+#include "src/faults/fault_plan.h"
 
 namespace faas {
 
 class Invoker {
  public:
   using CompletionCallback = std::function<void(const CompletionMessage&)>;
+  using FailureCallback = std::function<void(const FailureMessage&)>;
 
+  // `faults` (optional) supplies latency-spike multipliers and transient
+  // failure windows; it must outlive the invoker.
   Invoker(int id, double memory_capacity_mb, EventQueue* queue,
-          const LatencyModel& latency, Rng rng);
+          const LatencyModel& latency, Rng rng,
+          const FaultPlan* faults = nullptr);
 
   int id() const { return id_; }
 
   void set_completion_callback(CompletionCallback callback) {
     on_completion_ = std::move(callback);
+  }
+  void set_failure_callback(FailureCallback callback) {
+    on_failure_ = std::move(callback);
   }
 
   // Handles one activation.  Returns false when the invoker cannot host the
@@ -53,6 +68,16 @@ class Invoker {
   void SetHealthy(bool healthy);
   bool healthy() const { return healthy_; }
 
+  // Crash fault: the VM dies right now.  All containers (busy included) are
+  // destroyed, pending exec-end and unload events are cancelled, and one
+  // FailureMessage per in-flight activation is delivered synchronously to
+  // the failure callback.  Returns a crash epoch to pair with Restart so an
+  // overlapping older restart cannot revive a newer crash.
+  int64_t Crash();
+  // Brings the invoker back (cold) if `epoch` matches the latest crash;
+  // returns whether it actually restarted.
+  bool Restart(int64_t epoch);
+
   // --- Introspection / metrics ---
   double memory_in_use_mb() const { return memory_in_use_mb_; }
   double memory_capacity_mb() const { return memory_capacity_mb_; }
@@ -71,8 +96,12 @@ class Invoker {
     std::string app_id;
     double memory_mb = 0.0;
     bool busy = false;
+    // Activation currently executing in this container (0 when idle), used
+    // to report in-flight losses on a crash.
+    int64_t activation_id = 0;
     TimePoint keepalive_deadline;
     EventQueue::Handle unload_timer;
+    EventQueue::Handle exec_end_event;
   };
   using ContainerList = std::list<Container>;
 
@@ -87,11 +116,14 @@ class Invoker {
 
   int id_;
   bool healthy_ = true;
+  int64_t crash_epoch_ = 0;
   double memory_capacity_mb_;
   EventQueue* queue_;
   LatencyModel latency_;
   Rng rng_;
+  const FaultPlan* faults_;
   CompletionCallback on_completion_;
+  FailureCallback on_failure_;
 
   ContainerList containers_;
   std::unordered_map<std::string, int> resident_count_by_app_;

@@ -27,19 +27,23 @@ struct LatencyModel {
   double dispatch_median_ms = 2.0;
   double dispatch_sigma = 0.2;
 
-  Duration SampleContainerInit(Rng& rng) const {
+  // `scale` stretches a sample during fault-injected latency spikes; the
+  // default 1.0 multiplies exactly (IEEE), so fault-free runs are
+  // bit-identical to the unscaled model.
+  Duration SampleContainerInit(Rng& rng, double scale = 1.0) const {
     return Duration::Millis(static_cast<int64_t>(
-        rng.NextLogNormal(std::log(container_init_median_ms),
-                          container_init_sigma)));
+        scale * rng.NextLogNormal(std::log(container_init_median_ms),
+                                  container_init_sigma)));
   }
-  Duration SampleRuntimeBootstrap(Rng& rng) const {
+  Duration SampleRuntimeBootstrap(Rng& rng, double scale = 1.0) const {
     return Duration::Millis(static_cast<int64_t>(
-        rng.NextLogNormal(std::log(runtime_bootstrap_median_ms),
-                          runtime_bootstrap_sigma)));
+        scale * rng.NextLogNormal(std::log(runtime_bootstrap_median_ms),
+                                  runtime_bootstrap_sigma)));
   }
-  Duration SampleDispatch(Rng& rng) const {
+  Duration SampleDispatch(Rng& rng, double scale = 1.0) const {
     return Duration::Millis(static_cast<int64_t>(
-        rng.NextLogNormal(std::log(dispatch_median_ms), dispatch_sigma)));
+        scale * rng.NextLogNormal(std::log(dispatch_median_ms),
+                                  dispatch_sigma)));
   }
 };
 

@@ -38,6 +38,25 @@ struct PrewarmMessage {
   Duration keepalive;
 };
 
+// Why an in-flight activation failed before producing a result.
+enum class FailureKind {
+  // The invoker VM crashed: container and execution progress are gone.
+  kCrash,
+  // The sandbox failed before the function ran (flaky dependency / fault
+  // window); the invoker itself stays healthy.
+  kTransient,
+};
+
+// Failure notification from invoker back to the controller, the input to
+// the retry/backoff path.  Only emitted for activations that were accepted
+// (a rejected placement is reported synchronously by HandleActivation).
+struct FailureMessage {
+  int64_t activation_id = 0;
+  std::string app_id;
+  int invoker_id = -1;
+  FailureKind kind = FailureKind::kCrash;
+};
+
 // Completion notification from invoker back to the controller.
 struct CompletionMessage {
   int64_t activation_id = 0;

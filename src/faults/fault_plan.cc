@@ -1,0 +1,270 @@
+#include "src/faults/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace faas {
+
+double FaultPlan::LatencyMultiplierAt(TimePoint t) const {
+  double multiplier = 1.0;
+  for (const LatencySpike& spike : spikes) {
+    if (spike.Covers(t)) {
+      multiplier *= spike.multiplier;
+    }
+  }
+  return multiplier;
+}
+
+double FaultPlan::TransientFailureProbabilityAt(TimePoint t) const {
+  double probability = 0.0;
+  for (const TransientFaultWindow& window : transient_windows) {
+    if (window.Covers(t)) {
+      probability = std::max(probability, window.failure_probability);
+    }
+  }
+  return probability;
+}
+
+std::string FaultPlan::Validate(int num_invokers) const {
+  for (const CrashEvent& crash : crashes) {
+    if (crash.invoker < 0 || crash.invoker >= num_invokers) {
+      return "crash targets invoker " + std::to_string(crash.invoker) +
+             " in a cluster of " + std::to_string(num_invokers);
+    }
+    if (crash.at < TimePoint::Origin() || crash.downtime.IsNegative()) {
+      return "crash with negative time or downtime";
+    }
+  }
+  for (const StateWipeEvent& wipe : wipes) {
+    if (wipe.at < TimePoint::Origin()) {
+      return "state wipe scheduled before the trace start";
+    }
+  }
+  for (const LatencySpike& spike : spikes) {
+    if (spike.multiplier < 1.0) {
+      return "latency spike multiplier below 1";
+    }
+    if (spike.start < TimePoint::Origin() || spike.duration.IsNegative()) {
+      return "latency spike with negative time or duration";
+    }
+  }
+  for (const TransientFaultWindow& window : transient_windows) {
+    if (window.failure_probability < 0.0 ||
+        window.failure_probability > 1.0) {
+      return "transient failure probability outside [0, 1]";
+    }
+    if (window.start < TimePoint::Origin() || window.duration.IsNegative()) {
+      return "transient window with negative time or duration";
+    }
+  }
+  return "";
+}
+
+FaultPlan FaultPlan::FromMtbf(const MtbfModel& model, int num_invokers,
+                              Duration horizon) {
+  FaultPlan plan;
+  Rng root(model.seed);
+  const double mtbf_ms = model.mtbf_hours * 3.6e6;
+  const double mttr_ms = std::max(model.mttr_minutes * 6e4, 1e3);
+  for (int invoker = 0; invoker < num_invokers; ++invoker) {
+    Rng rng = root.Fork();
+    if (mtbf_ms <= 0.0) {
+      continue;
+    }
+    double t_ms = rng.NextExponential(1.0 / mtbf_ms);
+    while (t_ms < static_cast<double>(horizon.millis())) {
+      const double down_ms =
+          std::max(rng.NextExponential(1.0 / mttr_ms), 1e3);
+      plan.crashes.push_back(
+          {invoker, TimePoint(static_cast<int64_t>(t_ms)),
+           Duration::Millis(static_cast<int64_t>(down_ms))});
+      t_ms += down_ms + rng.NextExponential(1.0 / mtbf_ms);
+    }
+  }
+  if (model.wipe_mtbf_hours > 0.0) {
+    Rng rng = root.Fork();
+    const double wipe_mtbf_ms = model.wipe_mtbf_hours * 3.6e6;
+    double t_ms = rng.NextExponential(1.0 / wipe_mtbf_ms);
+    while (t_ms < static_cast<double>(horizon.millis())) {
+      plan.wipes.push_back({TimePoint(static_cast<int64_t>(t_ms))});
+      t_ms += rng.NextExponential(1.0 / wipe_mtbf_ms);
+    }
+  }
+  return plan;
+}
+
+std::optional<Duration> ParseDuration(std::string_view text) {
+  text = StripWhitespace(text);
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  double scale_ms = 1e3;  // Bare numbers are seconds.
+  if (text.size() >= 2 && text.substr(text.size() - 2) == "ms") {
+    scale_ms = 1.0;
+    text.remove_suffix(2);
+  } else {
+    switch (text.back()) {
+      case 's':
+        scale_ms = 1e3;
+        text.remove_suffix(1);
+        break;
+      case 'm':
+        scale_ms = 6e4;
+        text.remove_suffix(1);
+        break;
+      case 'h':
+        scale_ms = 3.6e6;
+        text.remove_suffix(1);
+        break;
+      case 'd':
+        scale_ms = 8.64e7;
+        text.remove_suffix(1);
+        break;
+      default:
+        break;
+    }
+  }
+  const std::optional<double> value = ParseDouble(text);
+  if (!value.has_value() || !std::isfinite(*value)) {
+    return std::nullopt;
+  }
+  return Duration::Millis(static_cast<int64_t>(*value * scale_ms + 0.5));
+}
+
+namespace {
+
+// One clause's key=value pairs, e.g. "invoker=0,at=30m,down=5m".
+struct ClauseArgs {
+  std::vector<std::pair<std::string_view, std::string_view>> pairs;
+
+  std::optional<std::string_view> Get(std::string_view key) const {
+    for (const auto& [k, v] : pairs) {
+      if (k == key) {
+        return v;
+      }
+    }
+    return std::nullopt;
+  }
+};
+
+std::optional<ClauseArgs> ParseArgs(std::string_view body, std::string* error,
+                                    std::string_view clause) {
+  ClauseArgs args;
+  for (std::string_view pair : SplitString(body, ',')) {
+    pair = StripWhitespace(pair);
+    if (pair.empty()) {
+      continue;
+    }
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      *error = std::string(clause) + ": expected key=value, got '" +
+               std::string(pair) + "'";
+      return std::nullopt;
+    }
+    args.pairs.emplace_back(StripWhitespace(pair.substr(0, eq)),
+                            StripWhitespace(pair.substr(eq + 1)));
+  }
+  return args;
+}
+
+std::optional<Duration> GetDuration(const ClauseArgs& args,
+                                    std::string_view key, std::string* error,
+                                    std::string_view clause) {
+  const auto raw = args.Get(key);
+  if (!raw.has_value()) {
+    *error = std::string(clause) + ": missing " + std::string(key) + "=";
+    return std::nullopt;
+  }
+  const auto parsed = ParseDuration(*raw);
+  if (!parsed.has_value()) {
+    *error = std::string(clause) + ": bad duration '" + std::string(*raw) +
+             "' for " + std::string(key);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::Parse(std::string_view spec,
+                                          std::string* error) {
+  std::string local_error;
+  if (error == nullptr) {
+    error = &local_error;
+  }
+  FaultPlan plan;
+  for (std::string_view clause : SplitString(spec, ';')) {
+    clause = StripWhitespace(clause);
+    if (clause.empty()) {
+      continue;
+    }
+    const size_t colon = clause.find(':');
+    const std::string_view kind =
+        StripWhitespace(clause.substr(0, colon));
+    const std::string_view body =
+        colon == std::string_view::npos ? std::string_view{}
+                                        : clause.substr(colon + 1);
+    const auto args = ParseArgs(body, error, clause);
+    if (!args.has_value()) {
+      return std::nullopt;
+    }
+    if (kind == "crash") {
+      const auto invoker_raw = args->Get("invoker");
+      const auto invoker =
+          invoker_raw.has_value() ? ParseInt64(*invoker_raw) : std::nullopt;
+      const auto at = GetDuration(*args, "at", error, clause);
+      const auto down = GetDuration(*args, "down", error, clause);
+      if (!invoker.has_value()) {
+        *error = std::string(clause) + ": missing or bad invoker=";
+        return std::nullopt;
+      }
+      if (!at.has_value() || !down.has_value()) {
+        return std::nullopt;
+      }
+      plan.crashes.push_back({static_cast<int>(*invoker),
+                              TimePoint::Origin() + *at, *down});
+    } else if (kind == "wipe") {
+      const auto at = GetDuration(*args, "at", error, clause);
+      if (!at.has_value()) {
+        return std::nullopt;
+      }
+      plan.wipes.push_back({TimePoint::Origin() + *at});
+    } else if (kind == "spike") {
+      const auto at = GetDuration(*args, "at", error, clause);
+      const auto duration = GetDuration(*args, "for", error, clause);
+      const auto x_raw = args->Get("x");
+      const auto x = x_raw.has_value() ? ParseDouble(*x_raw) : std::nullopt;
+      if (!at.has_value() || !duration.has_value()) {
+        return std::nullopt;
+      }
+      if (!x.has_value()) {
+        *error = std::string(clause) + ": missing or bad x=";
+        return std::nullopt;
+      }
+      plan.spikes.push_back({TimePoint::Origin() + *at, *duration, *x});
+    } else if (kind == "flaky") {
+      const auto at = GetDuration(*args, "at", error, clause);
+      const auto duration = GetDuration(*args, "for", error, clause);
+      const auto p_raw = args->Get("p");
+      const auto p = p_raw.has_value() ? ParseDouble(*p_raw) : std::nullopt;
+      if (!at.has_value() || !duration.has_value()) {
+        return std::nullopt;
+      }
+      if (!p.has_value()) {
+        *error = std::string(clause) + ": missing or bad p=";
+        return std::nullopt;
+      }
+      plan.transient_windows.push_back(
+          {TimePoint::Origin() + *at, *duration, *p});
+    } else {
+      *error = "unknown fault clause '" + std::string(kind) +
+               "' (expected crash/wipe/spike/flaky)";
+      return std::nullopt;
+    }
+  }
+  return plan;
+}
+
+}  // namespace faas

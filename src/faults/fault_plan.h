@@ -1,0 +1,123 @@
+// Deterministic fault-injection plans for the mini-OpenWhisk cluster.
+//
+// The paper evaluates the hybrid policy on a healthy 19-VM deployment
+// (Section 5.3); a FaultPlan perturbs that deployment the way production
+// clusters are perturbed: invoker crashes that kill in-flight activations
+// and resident containers, controller failovers that wipe the per-app
+// policy state of Section 4.3, transient activation failures, and latency
+// spikes on the messaging/cold-start paths.  A plan is pure data — either
+// written out explicitly or generated from MTBF/MTTR distributions with a
+// fixed seed — so every chaos experiment is exactly reproducible.
+
+#ifndef SRC_FAULTS_FAULT_PLAN_H_
+#define SRC_FAULTS_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace faas {
+
+// An invoker VM dies at `at`, losing every resident container and every
+// in-flight activation, and rejoins cold after `downtime`.
+struct CrashEvent {
+  int invoker = 0;
+  TimePoint at;
+  Duration downtime;
+
+  bool operator==(const CrashEvent&) const = default;
+};
+
+// A controller failover at `at`: the in-memory per-app policy state
+// (histograms, IT histories) is lost.  Whether anything survives depends on
+// the controller's checkpointing configuration.
+struct StateWipeEvent {
+  TimePoint at;
+
+  bool operator==(const StateWipeEvent&) const = default;
+};
+
+// Messaging/cold-start latencies are multiplied by `multiplier` while
+// [start, start + duration) is active (an overloaded Kafka / image registry).
+struct LatencySpike {
+  TimePoint start;
+  Duration duration;
+  double multiplier = 1.0;
+
+  bool Covers(TimePoint t) const { return t >= start && t < start + duration; }
+  bool operator==(const LatencySpike&) const = default;
+};
+
+// Activations placed while [start, start + duration) is active fail before
+// the function runs with probability `failure_probability` (a flaky sandbox
+// or a dependency brown-out).
+struct TransientFaultWindow {
+  TimePoint start;
+  Duration duration;
+  double failure_probability = 0.0;
+
+  bool Covers(TimePoint t) const { return t >= start && t < start + duration; }
+  bool operator==(const TransientFaultWindow&) const = default;
+};
+
+// Parameters for the MTBF/MTTR plan generator.
+struct MtbfModel {
+  // Mean time between crashes per invoker (exponential).
+  double mtbf_hours = 4.0;
+  // Mean downtime per crash (exponential, floored at one second).
+  double mttr_minutes = 10.0;
+  // Mean time between controller failovers (state wipes); 0 disables them.
+  double wipe_mtbf_hours = 0.0;
+  uint64_t seed = 42;
+};
+
+struct FaultPlan {
+  std::vector<CrashEvent> crashes;
+  std::vector<StateWipeEvent> wipes;
+  std::vector<LatencySpike> spikes;
+  std::vector<TransientFaultWindow> transient_windows;
+
+  bool Empty() const {
+    return crashes.empty() && wipes.empty() && spikes.empty() &&
+           transient_windows.empty();
+  }
+
+  // Product of every spike multiplier active at `t` (1.0 when none).
+  double LatencyMultiplierAt(TimePoint t) const;
+  // Largest transient failure probability active at `t` (0.0 when none).
+  double TransientFailureProbabilityAt(TimePoint t) const;
+
+  // Empty string when the plan is well-formed for a cluster of
+  // `num_invokers`; otherwise a description of the first problem.
+  std::string Validate(int num_invokers) const;
+
+  // Draws crash (and optionally wipe) events from exponential MTBF/MTTR
+  // distributions over [0, horizon).  Deterministic in `model.seed`; each
+  // invoker gets an independent forked stream so the plan for invoker i does
+  // not depend on how many other invokers exist before it.
+  static FaultPlan FromMtbf(const MtbfModel& model, int num_invokers,
+                            Duration horizon);
+
+  // Parses a plan from a compact spec: semicolon-separated clauses of
+  //   crash:invoker=I,at=D,down=D
+  //   wipe:at=D
+  //   spike:at=D,for=D,x=M
+  //   flaky:at=D,for=D,p=P
+  // where durations D accept ms/s/m/h/d suffixes (bare numbers = seconds).
+  // Returns nullopt and sets *error on malformed input.
+  static std::optional<FaultPlan> Parse(std::string_view spec,
+                                        std::string* error);
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+// Parses "250ms" / "30s" / "15m" / "4h" / "2d" (bare numbers are seconds).
+std::optional<Duration> ParseDuration(std::string_view text);
+
+}  // namespace faas
+
+#endif  // SRC_FAULTS_FAULT_PLAN_H_

@@ -130,6 +130,48 @@ PolicyDecision HybridHistogramPolicy::NextWindows() {
   return DecideStandardKeepAlive();
 }
 
+namespace {
+
+// Snapshot = a verbatim copy of the learned state (histogram + IT history).
+// The histogram carries its own geometry, so restoring into a policy with a
+// different configuration is detected and refused.
+struct HybridStateSnapshot final : public PolicyStateSnapshot {
+  RangeLimitedHistogram histogram;
+  std::deque<double> it_history_minutes;
+
+  explicit HybridStateSnapshot(RangeLimitedHistogram h, std::deque<double> i)
+      : histogram(std::move(h)), it_history_minutes(std::move(i)) {}
+};
+
+}  // namespace
+
+std::unique_ptr<PolicyStateSnapshot> HybridHistogramPolicy::SnapshotState()
+    const {
+  return std::make_unique<HybridStateSnapshot>(histogram_,
+                                               it_history_minutes_);
+}
+
+bool HybridHistogramPolicy::RestoreState(const PolicyStateSnapshot& snapshot) {
+  const auto* state = dynamic_cast<const HybridStateSnapshot*>(&snapshot);
+  if (state == nullptr ||
+      state->histogram.bin_width() != histogram_.bin_width() ||
+      state->histogram.num_bins() != histogram_.num_bins()) {
+    return false;
+  }
+  histogram_ = state->histogram;
+  it_history_minutes_ = state->it_history_minutes;
+  return true;
+}
+
+void HybridHistogramPolicy::WipeState() {
+  histogram_.Reset();
+  it_history_minutes_.clear();
+}
+
+bool HybridHistogramPolicy::IsLearning() const {
+  return !ShouldUseArima() && !HistogramIsRepresentative();
+}
+
 std::string HybridHistogramPolicy::name() const {
   char buf[112];
   std::snprintf(buf, sizeof(buf), "hybrid[%g,%g] range=%dmin cv=%g%s%s",

@@ -102,6 +102,14 @@ class HybridHistogramPolicy final : public KeepAlivePolicy {
   std::string name() const override;
   size_t ApproximateSizeBytes() const override;
 
+  // Failover support: snapshots carry the histogram and the bounded IT
+  // history; a wiped policy reverts to the standard keep-alive until the
+  // histogram is representative again.
+  std::unique_ptr<PolicyStateSnapshot> SnapshotState() const override;
+  bool RestoreState(const PolicyStateSnapshot& snapshot) override;
+  void WipeState() override;
+  bool IsLearning() const override;
+
   const HybridPolicyConfig& config() const { return config_; }
   DecisionKind last_decision() const { return last_decision_; }
   int64_t decisions_by_histogram() const { return decisions_by_histogram_; }

@@ -35,6 +35,16 @@ struct PolicyDecision {
   }
 };
 
+// Opaque snapshot of a policy's learned state, produced by
+// KeepAlivePolicy::SnapshotState and consumed by RestoreState.  Concrete
+// policies define their own derived snapshot types; the controller treats
+// snapshots as sealed blobs (the analogue of the production hourly DB
+// backup, Section 6).
+class PolicyStateSnapshot {
+ public:
+  virtual ~PolicyStateSnapshot() = default;
+};
+
 class KeepAlivePolicy {
  public:
   virtual ~KeepAlivePolicy() = default;
@@ -59,6 +69,27 @@ class KeepAlivePolicy {
   // Per-application metadata footprint, for the tracking-overhead analysis
   // (design challenge #4).
   virtual size_t ApproximateSizeBytes() const { return sizeof(*this); }
+
+  // --- Failover support (Section 4.3: state lives in the controller) -------
+  // Captures the learned state for checkpointing.  Stateless policies
+  // return nullptr (nothing worth saving).
+  virtual std::unique_ptr<PolicyStateSnapshot> SnapshotState() const {
+    return nullptr;
+  }
+  // Replaces the current state with a snapshot previously produced by the
+  // same policy kind/geometry.  Returns false when the snapshot is
+  // incompatible (the caller then continues with whatever state it has).
+  virtual bool RestoreState(const PolicyStateSnapshot& /*snapshot*/) {
+    return false;
+  }
+  // Drops all learned state: what a controller failover without a backup
+  // does to this app.  Stateless policies have nothing to lose.
+  virtual void WipeState() {}
+  // True while the policy is operating without enough learned state to use
+  // its informed path (e.g. a hybrid policy whose histogram is not yet
+  // representative, which falls back to the standard keep-alive).  Used to
+  // measure post-wipe recovery time.
+  virtual bool IsLearning() const { return false; }
 };
 
 class PolicyFactory {

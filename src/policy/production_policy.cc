@@ -43,6 +43,38 @@ PolicyDecision ProductionHybridPolicy::NextWindows() {
   return decision;
 }
 
+namespace {
+
+// Snapshot = the serialized daily-histogram store (the DB backup payload).
+struct ProductionStateSnapshot final : public PolicyStateSnapshot {
+  std::string backup;
+
+  explicit ProductionStateSnapshot(std::string b) : backup(std::move(b)) {}
+};
+
+}  // namespace
+
+std::unique_ptr<PolicyStateSnapshot> ProductionHybridPolicy::SnapshotState()
+    const {
+  return std::make_unique<ProductionStateSnapshot>(Backup());
+}
+
+bool ProductionHybridPolicy::RestoreState(
+    const PolicyStateSnapshot& snapshot) {
+  const auto* state = dynamic_cast<const ProductionStateSnapshot*>(&snapshot);
+  return state != nullptr && Restore(state->backup);
+}
+
+void ProductionHybridPolicy::WipeState() {
+  store_ = DailyHistogramStore(config_.store);
+}
+
+bool ProductionHybridPolicy::IsLearning() const {
+  const RangeLimitedHistogram aggregate = store_.Aggregate();
+  return aggregate.in_bounds_count() < config_.hybrid.min_histogram_samples ||
+         aggregate.BinCountCv() < config_.hybrid.cv_threshold;
+}
+
 bool ProductionHybridPolicy::Restore(const std::string& data) {
   auto restored = DailyHistogramStore::Deserialize(data);
   if (!restored.has_value()) {

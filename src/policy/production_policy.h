@@ -53,6 +53,12 @@ class ProductionHybridPolicy final : public KeepAlivePolicy {
   std::string Backup() const { return store_.Serialize(); }
   bool Restore(const std::string& data);
 
+  // Generic failover interface on top of the serialized store backup.
+  std::unique_ptr<PolicyStateSnapshot> SnapshotState() const override;
+  bool RestoreState(const PolicyStateSnapshot& snapshot) override;
+  void WipeState() override;
+  bool IsLearning() const override;
+
  private:
   ProductionPolicyConfig config_;
   DailyHistogramStore store_;

@@ -181,7 +181,14 @@ std::string DayFileName(const char* pattern, int day) {
 }  // namespace
 
 TraceIoResult<Trace> ReadTraceCsv(const std::string& directory) {
+  return ReadTraceCsv(directory, CsvReadOptions{});
+}
+
+TraceIoResult<Trace> ReadTraceCsv(const std::string& directory,
+                                  const CsvReadOptions& options) {
   using Result = TraceIoResult<Trace>;
+  // "file:line: reason" for every row skipped in skip-malformed mode.
+  std::vector<std::string> warnings;
 
   // Accumulate per-function state across day files.
   struct FunctionBuilder {
@@ -234,17 +241,52 @@ TraceIoResult<Trace> ReadTraceCsv(const std::string& directory) {
 
     const int64_t day_start_ms = static_cast<int64_t>(day - 1) * 86'400'000;
     int line_number = 1;
+    std::vector<int64_t> counts(static_cast<size_t>(kMinutesPerDay));
     while (std::getline(in, line)) {
       ++line_number;
       if (StripWhitespace(line).empty()) {
         continue;
       }
+      // Parse the whole row before touching any state, so a row skipped in
+      // skip-malformed mode leaves nothing half-committed.
       const std::vector<std::string_view> fields = SplitString(line, ',');
-      if (fields.size() < header.size()) {
-        return Result::Failure(opened + ":" + std::to_string(line_number) +
-                               ": expected " + std::to_string(header.size()) +
-                               " fields, got " +
-                               std::to_string(fields.size()));
+      std::string row_error;
+      TriggerType trigger_value = TriggerType::kHttp;
+      if (fields.size() != header.size()) {
+        row_error = "expected " + std::to_string(header.size()) +
+                    " fields, got " + std::to_string(fields.size());
+      } else {
+        const auto trigger = ParseTriggerType(fields[trigger_col->second]);
+        if (!trigger.has_value()) {
+          row_error = "unknown trigger '" +
+                      std::string(fields[trigger_col->second]) + "'";
+        } else {
+          trigger_value = *trigger;
+          for (int minute = 0; minute < kMinutesPerDay; ++minute) {
+            const auto count =
+                ParseInt64(fields[minute_cols[static_cast<size_t>(minute)]]);
+            if (!count.has_value()) {
+              row_error = "non-numeric count in minute column " +
+                          std::to_string(minute + 1);
+              break;
+            }
+            if (*count < 0) {
+              row_error = "negative count in minute column " +
+                          std::to_string(minute + 1);
+              break;
+            }
+            counts[static_cast<size_t>(minute)] = *count;
+          }
+        }
+      }
+      if (!row_error.empty()) {
+        const std::string message =
+            opened + ":" + std::to_string(line_number) + ": " + row_error;
+        if (options.skip_malformed) {
+          warnings.push_back(message);
+          continue;
+        }
+        return Result::Failure(message);
       }
       FunctionKey key{std::string(fields[owner_col->second]),
                       std::string(fields[app_col->second]),
@@ -252,24 +294,10 @@ TraceIoResult<Trace> ReadTraceCsv(const std::string& directory) {
       auto [it, inserted] = functions.try_emplace(key);
       if (inserted) {
         function_order.push_back(key);
-        const auto trigger = ParseTriggerType(fields[trigger_col->second]);
-        if (!trigger.has_value()) {
-          return Result::Failure(opened + ":" + std::to_string(line_number) +
-                                 ": unknown trigger '" +
-                                 std::string(fields[trigger_col->second]) +
-                                 "'");
-        }
-        it->second.trigger = *trigger;
+        it->second.trigger = trigger_value;
       }
       for (int minute = 0; minute < kMinutesPerDay; ++minute) {
-        const auto count =
-            ParseInt64(fields[minute_cols[static_cast<size_t>(minute)]]);
-        if (!count.has_value() || *count < 0) {
-          return Result::Failure(opened + ":" + std::to_string(line_number) +
-                                 ": bad count in minute " +
-                                 std::to_string(minute + 1));
-        }
-        const int64_t k = *count;
+        const int64_t k = counts[static_cast<size_t>(minute)];
         if (k == 0) {
           continue;
         }
@@ -329,10 +357,40 @@ TraceIoResult<Trace> ReadTraceCsv(const std::string& directory) {
           continue;
         }
         const std::vector<std::string_view> fields = SplitString(line, ',');
-        if (fields.size() < header.size()) {
-          return Result::Failure(path.string() + ":" +
-                                 std::to_string(line_number) +
-                                 ": short duration row");
+        std::string row_error;
+        double average_value = 0.0;
+        double minimum_value = 0.0;
+        double maximum_value = 0.0;
+        int64_t count_value = 0;
+        if (fields.size() != header.size()) {
+          row_error = "expected " + std::to_string(header.size()) +
+                      " fields, got " + std::to_string(fields.size());
+        } else {
+          const auto average = ParseDouble(fields[average_col->second]);
+          const auto count = ParseInt64(fields[count_col->second]);
+          const auto minimum = ParseDouble(fields[minimum_col->second]);
+          const auto maximum = ParseDouble(fields[maximum_col->second]);
+          if (!average || !count || !minimum || !maximum) {
+            row_error = "non-numeric duration field";
+          } else if (*average < 0.0 || *minimum < 0.0 || *maximum < 0.0 ||
+                     *count < 0) {
+            row_error = "negative duration/count";
+          } else {
+            average_value = *average;
+            minimum_value = *minimum;
+            maximum_value = *maximum;
+            count_value = *count;
+          }
+        }
+        if (!row_error.empty()) {
+          const std::string message = path.string() + ":" +
+                                      std::to_string(line_number) + ": " +
+                                      row_error;
+          if (options.skip_malformed) {
+            warnings.push_back(message);
+            continue;
+          }
+          return Result::Failure(message);
         }
         FunctionKey key{std::string(fields[owner_col->second]),
                         std::string(fields[app_col->second]),
@@ -341,30 +399,21 @@ TraceIoResult<Trace> ReadTraceCsv(const std::string& directory) {
         if (it == functions.end()) {
           continue;  // Duration rows for functions with no invocations.
         }
-        const auto average = ParseDouble(fields[average_col->second]);
-        const auto count = ParseInt64(fields[count_col->second]);
-        const auto minimum = ParseDouble(fields[minimum_col->second]);
-        const auto maximum = ParseDouble(fields[maximum_col->second]);
-        if (!average || !count || !minimum || !maximum) {
-          return Result::Failure(path.string() + ":" +
-                                 std::to_string(line_number) +
-                                 ": bad numeric field");
-        }
         ExecutionStats& stats = it->second.execution;
         if (stats.count == 0) {
-          stats = {*average, *minimum, *maximum, *count};
+          stats = {average_value, minimum_value, maximum_value, count_value};
         } else {
-          const double total =
-              static_cast<double>(stats.count) + static_cast<double>(*count);
+          const double total = static_cast<double>(stats.count) +
+                               static_cast<double>(count_value);
           if (total > 0.0) {
-            stats.average_ms = (stats.average_ms *
-                                    static_cast<double>(stats.count) +
-                                *average * static_cast<double>(*count)) /
-                               total;
+            stats.average_ms =
+                (stats.average_ms * static_cast<double>(stats.count) +
+                 average_value * static_cast<double>(count_value)) /
+                total;
           }
-          stats.minimum_ms = std::min(stats.minimum_ms, *minimum);
-          stats.maximum_ms = std::max(stats.maximum_ms, *maximum);
-          stats.count += *count;
+          stats.minimum_ms = std::min(stats.minimum_ms, minimum_value);
+          stats.maximum_ms = std::max(stats.maximum_ms, maximum_value);
+          stats.count += count_value;
         }
       }
     }
@@ -409,25 +458,42 @@ TraceIoResult<Trace> ReadTraceCsv(const std::string& directory) {
           continue;
         }
         const std::vector<std::string_view> fields = SplitString(line, ',');
-        if (fields.size() < header.size()) {
-          return Result::Failure(path.string() + ":" +
-                                 std::to_string(line_number) +
-                                 ": short memory row");
+        std::string row_error;
+        int64_t samples_value = 0;
+        double average_value = 0.0;
+        if (fields.size() != header.size()) {
+          row_error = "expected " + std::to_string(header.size()) +
+                      " fields, got " + std::to_string(fields.size());
+        } else {
+          const auto samples = ParseInt64(fields[samples_col->second]);
+          const auto average = ParseDouble(fields[average_col->second]);
+          if (!samples || !average) {
+            row_error = "non-numeric memory field";
+          } else if (*samples < 0 || *average < 0.0) {
+            row_error = "negative memory field";
+          } else {
+            samples_value = *samples;
+            average_value = *average;
+          }
         }
-        const auto samples = ParseInt64(fields[samples_col->second]);
-        const auto average = ParseDouble(fields[average_col->second]);
-        if (!samples || !average) {
-          return Result::Failure(path.string() + ":" +
-                                 std::to_string(line_number) +
-                                 ": bad numeric field");
+        if (!row_error.empty()) {
+          const std::string message = path.string() + ":" +
+                                      std::to_string(line_number) + ": " +
+                                      row_error;
+          if (options.skip_malformed) {
+            warnings.push_back(message);
+            continue;
+          }
+          return Result::Failure(message);
         }
-        double pct1 = *average;
-        double maximum = *average;
+        double pct1 = average_value;
+        double maximum = average_value;
         if (pct1_col != header.end()) {
-          pct1 = ParseDouble(fields[pct1_col->second]).value_or(*average);
+          pct1 = ParseDouble(fields[pct1_col->second]).value_or(average_value);
         }
         if (pct100_col != header.end()) {
-          maximum = ParseDouble(fields[pct100_col->second]).value_or(*average);
+          maximum =
+              ParseDouble(fields[pct100_col->second]).value_or(average_value);
         }
         const std::pair<std::string, std::string> app_key{
             std::string(fields[owner_col->second]),
@@ -435,23 +501,23 @@ TraceIoResult<Trace> ReadTraceCsv(const std::string& directory) {
         AppMemory& entry = memory[app_key];
         MemoryStats& stats = entry.stats;
         if (stats.sample_count == 0) {
-          stats = {*average, pct1, maximum, *samples};
+          stats = {average_value, pct1, maximum, samples_value};
         } else {
           const double total = static_cast<double>(stats.sample_count) +
-                               static_cast<double>(*samples);
+                               static_cast<double>(samples_value);
           if (total > 0.0) {
             stats.average_mb =
                 (stats.average_mb * static_cast<double>(stats.sample_count) +
-                 *average * static_cast<double>(*samples)) /
+                 average_value * static_cast<double>(samples_value)) /
                 total;
             stats.percentile1_mb =
                 (stats.percentile1_mb *
                      static_cast<double>(stats.sample_count) +
-                 pct1 * static_cast<double>(*samples)) /
+                 pct1 * static_cast<double>(samples_value)) /
                 total;
           }
           stats.maximum_mb = std::max(stats.maximum_mb, maximum);
-          stats.sample_count += *samples;
+          stats.sample_count += samples_value;
         }
       }
     }
@@ -482,7 +548,9 @@ TraceIoResult<Trace> ReadTraceCsv(const std::string& directory) {
     function.execution = builder.execution;
     trace.apps[it->second].functions.push_back(std::move(function));
   }
-  return Result::Success(std::move(trace));
+  Result result = Result::Success(std::move(trace));
+  result.warnings = std::move(warnings);
+  return result;
 }
 
 }  // namespace faas

@@ -21,17 +21,21 @@
 #define SRC_TRACE_CSV_H_
 
 #include <string>
+#include <vector>
 
 #include "src/trace/types.h"
 
 namespace faas {
 
 // Outcome of a parse/IO operation: holds either a value or an error message.
+// `warnings` carries the "file:line: reason" records of rows skipped in
+// skip-malformed mode (empty in strict mode, which fails instead).
 template <typename T>
 struct TraceIoResult {
   T value{};
   bool ok = false;
   std::string error;
+  std::vector<std::string> warnings;
 
   static TraceIoResult Success(T v) {
     TraceIoResult r;
@@ -46,6 +50,16 @@ struct TraceIoResult {
   }
 };
 
+// How the reader treats malformed data rows (wrong field count, non-numeric
+// fields, negative counts/durations/memory, unknown triggers).  Structural
+// problems — unreadable files, missing columns — are errors in both modes.
+struct CsvReadOptions {
+  // false (strict): the first malformed row fails the whole read with a
+  // file:line-numbered error.  true: malformed rows are skipped, each
+  // recorded in TraceIoResult::warnings, and the rest of the file is used.
+  bool skip_malformed = false;
+};
+
 inline constexpr int kMinutesPerDay = 1440;
 
 // Writes the three file families into `directory` (created if missing).
@@ -56,6 +70,8 @@ std::string WriteTraceCsv(const Trace& trace, const std::string& directory);
 // the same schema).  Day files are read while
 // `directory/invocations_per_function.dNN.csv` exists, starting at d01.
 TraceIoResult<Trace> ReadTraceCsv(const std::string& directory);
+TraceIoResult<Trace> ReadTraceCsv(const std::string& directory,
+                                  const CsvReadOptions& options);
 
 // File-name helpers (exposed for tests).
 std::string InvocationsFileName(int day_index);  // day_index starts at 1.

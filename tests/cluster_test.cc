@@ -215,7 +215,7 @@ TEST(ClusterFaultTest, OutageFailsOverToHealthyInvoker) {
   EXPECT_LE(result.total_cold_starts, 5);
 }
 
-TEST(ClusterFaultTest, FullClusterOutageDropsActivations) {
+TEST(ClusterFaultTest, FullClusterOutageRejectsActivations) {
   const Trace trace = MakePeriodicTrace(1, 12, Duration::Minutes(5));
   ClusterConfig config;
   config.num_invokers = 2;
@@ -227,10 +227,14 @@ TEST(ClusterFaultTest, FullClusterOutageDropsActivations) {
   const ClusterSimulator simulator(config);
   const ClusterResult result =
       simulator.Replay(trace, FixedKeepAliveFactory(Duration::Minutes(10)));
-  EXPECT_GT(result.total_dropped, 0);
-  EXPECT_LT(result.total_dropped, 12);
+  // Activations arriving while every worker is down are outage rejections,
+  // counted apart from memory-pressure drops (of which there are none).
+  EXPECT_EQ(result.total_dropped, 0);
+  EXPECT_GT(result.total_rejected_outage, 0);
+  EXPECT_LT(result.total_rejected_outage, 12);
+  EXPECT_EQ(result.total_rejected_outage, result.faults.rejected_by_outage);
   EXPECT_EQ(result.total_cold_starts + result.total_warm_starts +
-                result.total_dropped,
+                result.total_rejected_outage,
             result.total_invocations);
 }
 
@@ -245,13 +249,14 @@ TEST(ClusterFaultTest, RecoveryRestoresNormalOperation) {
   const ClusterSimulator simulator(config);
   const ClusterResult result =
       simulator.Replay(trace, FixedKeepAliveFactory(Duration::Minutes(10)));
-  // Invocations during the 3-minute outage (minutes 10, 12) are dropped;
+  // Invocations during the 3-minute outage (minutes 10, 12) are rejected;
   // everything after recovery succeeds, with one re-warm-up cold start.
-  EXPECT_GT(result.total_dropped, 0);
-  EXPECT_LE(result.total_dropped, 2);
+  EXPECT_EQ(result.total_dropped, 0);
+  EXPECT_GT(result.total_rejected_outage, 0);
+  EXPECT_LE(result.total_rejected_outage, 2);
   EXPECT_LE(result.total_cold_starts, 3);
   EXPECT_EQ(result.total_cold_starts + result.total_warm_starts +
-                result.total_dropped,
+                result.total_rejected_outage,
             result.total_invocations);
 }
 

@@ -1,6 +1,8 @@
 #include "src/cluster/controller.h"
 
+#include <functional>
 #include <memory>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -112,6 +114,39 @@ TEST_F(ControllerTest, NoPrewarmWhileTrafficIsContinuous) {
   queue_.Run();
   EXPECT_EQ(invokers_[0]->prewarm_loads(), 0);
   EXPECT_EQ(controller_->app_stats().at("app").cold_starts, 1);
+}
+
+TEST_F(ControllerTest, AffinityFailsOverDuringOutageAndReturnsHome) {
+  const FixedKeepAliveFactory factory(Duration::Minutes(10));
+  Build(3, 4096.0, factory);
+  // The default load balancer is kAppAffinity: "app" hashes to a home
+  // invoker and fails over round-robin from there.
+  const int home = static_cast<int>(std::hash<std::string>{}("app") % 3);
+  const int next = (home + 1) % 3;
+
+  Invoke("app", Duration::Seconds(1));
+  queue_.RunUntil(TimePoint(60'000));
+  EXPECT_EQ(invokers_[static_cast<size_t>(home)]->cold_starts(), 1);
+
+  // Home goes down (drained, containers kept): the next invocation must
+  // fail over to the round-robin successor and cold-start there.
+  invokers_[static_cast<size_t>(home)]->SetHealthy(false);
+  Invoke("app", Duration::Seconds(1));
+  queue_.RunUntil(TimePoint(120'000));
+  EXPECT_EQ(invokers_[static_cast<size_t>(next)]->cold_starts(), 1);
+  EXPECT_EQ(invokers_[static_cast<size_t>(home)]->cold_starts(), 1);
+
+  // Home recovers: affinity routes back there (draining destroyed its idle
+  // container, so the homecoming is a cold start), and the failover target
+  // sees no further traffic.
+  invokers_[static_cast<size_t>(home)]->SetHealthy(true);
+  Invoke("app", Duration::Seconds(1));
+  queue_.RunUntil(TimePoint(180'000));
+  EXPECT_EQ(invokers_[static_cast<size_t>(home)]->cold_starts(), 2);
+  EXPECT_EQ(invokers_[static_cast<size_t>(next)]->cold_starts(), 1);
+  EXPECT_EQ(invokers_[static_cast<size_t>(next)]->warm_starts(), 0);
+  EXPECT_EQ(controller_->total_dropped(), 0);
+  EXPECT_EQ(controller_->total_rejected_outage(), 0);
 }
 
 TEST_F(ControllerTest, MeasuresPolicyOverhead) {

@@ -1,0 +1,397 @@
+// Chaos-engine tests: FaultPlan parsing/generation, crash loss, retry with
+// backoff, timeout abandonment, policy-state wipes with checkpoint recovery,
+// and determinism of the failure ledger.
+
+#include "src/faults/fault_plan.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+#include "src/common/parallel.h"
+#include "src/policy/hybrid.h"
+#include "src/policy/policy.h"
+
+namespace faas {
+namespace {
+
+// One app, one function, invocations every `period`, fixed execution time
+// (minimum == maximum pins the log-normal sample exactly).
+Trace MakeTrace(int invocations, Duration period, Duration execution) {
+  Trace trace;
+  trace.horizon = period * static_cast<double>(invocations + 1);
+  AppTrace app;
+  app.owner_id = "o";
+  app.app_id = "app";
+  app.memory = {128.0, 120.0, 150.0, 10};
+  FunctionTrace function;
+  function.function_id = "f";
+  function.trigger = TriggerType::kHttp;
+  for (int i = 0; i < invocations; ++i) {
+    function.invocations.push_back(
+        TimePoint(static_cast<int64_t>(i) * period.millis()));
+  }
+  const double exec_ms = static_cast<double>(execution.millis());
+  function.execution = {exec_ms, exec_ms, exec_ms, invocations};
+  app.functions.push_back(std::move(function));
+  trace.apps.push_back(std::move(app));
+  return trace;
+}
+
+// ---- FaultPlan data model -------------------------------------------------
+
+TEST(FaultPlanTest, ParseDurationSuffixes) {
+  EXPECT_EQ(ParseDuration("250ms"), Duration::Millis(250));
+  EXPECT_EQ(ParseDuration("30s"), Duration::Seconds(30));
+  EXPECT_EQ(ParseDuration("15m"), Duration::Minutes(15));
+  EXPECT_EQ(ParseDuration("4h"), Duration::Hours(4));
+  EXPECT_EQ(ParseDuration("2d"), Duration::Days(2));
+  EXPECT_EQ(ParseDuration("90"), Duration::Seconds(90));  // Bare = seconds.
+  EXPECT_FALSE(ParseDuration("").has_value());
+  EXPECT_FALSE(ParseDuration("abc").has_value());
+}
+
+TEST(FaultPlanTest, ParsesFullSpec) {
+  std::string error;
+  const auto plan = FaultPlan::Parse(
+      "crash:invoker=2,at=30m,down=5m; wipe:at=1h; "
+      "spike:at=10m,for=2m,x=8; flaky:at=20m,for=30s,p=0.5",
+      &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  ASSERT_EQ(plan->crashes.size(), 1u);
+  EXPECT_EQ(plan->crashes[0].invoker, 2);
+  EXPECT_EQ(plan->crashes[0].at, TimePoint::Origin() + Duration::Minutes(30));
+  EXPECT_EQ(plan->crashes[0].downtime, Duration::Minutes(5));
+  ASSERT_EQ(plan->wipes.size(), 1u);
+  EXPECT_EQ(plan->wipes[0].at, TimePoint::Origin() + Duration::Hours(1));
+  ASSERT_EQ(plan->spikes.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan->spikes[0].multiplier, 8.0);
+  ASSERT_EQ(plan->transient_windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan->transient_windows[0].failure_probability, 0.5);
+  EXPECT_FALSE(plan->Empty());
+}
+
+TEST(FaultPlanTest, ParseRejectsMalformedSpecs) {
+  std::string error;
+  EXPECT_FALSE(FaultPlan::Parse("explode:at=1m", &error).has_value());
+  EXPECT_NE(error.find("unknown fault clause"), std::string::npos);
+  EXPECT_FALSE(FaultPlan::Parse("crash:at=1m,down=1m", &error).has_value());
+  EXPECT_NE(error.find("invoker"), std::string::npos);
+  EXPECT_FALSE(FaultPlan::Parse("crash:invoker=0,at=oops,down=1m", &error)
+                   .has_value());
+  EXPECT_FALSE(FaultPlan::Parse("spike:at=1m,for=1m", &error).has_value());
+  EXPECT_FALSE(FaultPlan::Parse("flaky:at=1m,for=1m,p", &error).has_value());
+}
+
+TEST(FaultPlanTest, ActiveWindowLookups) {
+  FaultPlan plan;
+  plan.spikes.push_back(
+      {TimePoint::Origin() + Duration::Minutes(10), Duration::Minutes(5), 4.0});
+  plan.spikes.push_back(
+      {TimePoint::Origin() + Duration::Minutes(12), Duration::Minutes(1), 2.0});
+  plan.transient_windows.push_back(
+      {TimePoint::Origin() + Duration::Minutes(10), Duration::Minutes(5), 0.3});
+  const TimePoint before = TimePoint::Origin() + Duration::Minutes(9);
+  const TimePoint overlap = TimePoint::Origin() + Duration::Minutes(12);
+  const TimePoint single = TimePoint::Origin() + Duration::Minutes(14);
+  EXPECT_DOUBLE_EQ(plan.LatencyMultiplierAt(before), 1.0);
+  EXPECT_DOUBLE_EQ(plan.LatencyMultiplierAt(overlap), 8.0);  // Product.
+  EXPECT_DOUBLE_EQ(plan.LatencyMultiplierAt(single), 4.0);
+  EXPECT_DOUBLE_EQ(plan.TransientFailureProbabilityAt(before), 0.0);
+  EXPECT_DOUBLE_EQ(plan.TransientFailureProbabilityAt(overlap), 0.3);
+}
+
+TEST(FaultPlanTest, ValidateCatchesBadPlans) {
+  FaultPlan plan;
+  plan.crashes.push_back({5, TimePoint::Origin(), Duration::Minutes(1)});
+  EXPECT_NE(plan.Validate(2), "");  // Invoker 5 in a 2-worker cluster.
+  EXPECT_EQ(plan.Validate(6), "");
+  FaultPlan spike_plan;
+  spike_plan.spikes.push_back({TimePoint::Origin(), Duration::Minutes(1), 0.5});
+  EXPECT_NE(spike_plan.Validate(2), "");  // Multiplier < 1.
+  FaultPlan flaky_plan;
+  flaky_plan.transient_windows.push_back(
+      {TimePoint::Origin(), Duration::Minutes(1), 1.5});
+  EXPECT_NE(flaky_plan.Validate(2), "");  // p > 1.
+}
+
+TEST(FaultPlanTest, FromMtbfIsDeterministicInSeed) {
+  MtbfModel model;
+  model.mtbf_hours = 0.5;
+  model.mttr_minutes = 5.0;
+  model.wipe_mtbf_hours = 2.0;
+  const FaultPlan a = FaultPlan::FromMtbf(model, 4, Duration::Days(1));
+  const FaultPlan b = FaultPlan::FromMtbf(model, 4, Duration::Days(1));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.Empty());
+  EXPECT_EQ(a.Validate(4), "");
+  model.seed = 43;
+  const FaultPlan c = FaultPlan::FromMtbf(model, 4, Duration::Days(1));
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultPlanTest, FromMtbfPerInvokerStreamsAreStable) {
+  // Invoker i's crash schedule must not depend on the cluster size (each
+  // invoker gets its own forked stream).
+  MtbfModel model;
+  model.mtbf_hours = 0.5;
+  const FaultPlan small = FaultPlan::FromMtbf(model, 2, Duration::Days(1));
+  const FaultPlan large = FaultPlan::FromMtbf(model, 6, Duration::Days(1));
+  auto ForInvoker = [](const FaultPlan& plan, int invoker) {
+    std::vector<CrashEvent> events;
+    for (const CrashEvent& crash : plan.crashes) {
+      if (crash.invoker == invoker) {
+        events.push_back(crash);
+      }
+    }
+    return events;
+  };
+  for (int invoker = 0; invoker < 2; ++invoker) {
+    EXPECT_EQ(ForInvoker(small, invoker), ForInvoker(large, invoker));
+  }
+}
+
+// ---- Chaos in the cluster simulator ---------------------------------------
+
+TEST(ChaosClusterTest, CrashLosesInFlightActivationsWithoutRetry) {
+  // 30-second executions every minute on a single worker; the worker dies
+  // 10 seconds into an execution and is down for 90 seconds.
+  const Trace trace = MakeTrace(10, Duration::Minutes(1), Duration::Seconds(30));
+  ClusterConfig config;
+  config.num_invokers = 1;
+  config.faults.crashes.push_back({0,
+                                   TimePoint::Origin() + Duration::Seconds(10),
+                                   Duration::Seconds(90)});
+  const ClusterSimulator simulator(config);
+  const ClusterResult result =
+      simulator.Replay(trace, FixedKeepAliveFactory(Duration::Minutes(10)));
+
+  EXPECT_EQ(result.faults.invoker_crashes, 1);
+  EXPECT_EQ(result.faults.invoker_restarts, 1);
+  // The execution started at ~t=0 was killed mid-flight and, with no retry
+  // budget, is terminally lost.
+  EXPECT_EQ(result.faults.lost_in_flight, 1);
+  EXPECT_EQ(result.faults.lost, 1);
+  EXPECT_EQ(result.total_lost, 1);
+  // The invocation at t=60s arrived while the worker was down.
+  EXPECT_GE(result.total_rejected_outage, 1);
+  EXPECT_EQ(result.total_dropped, 0);
+  ASSERT_EQ(result.apps.size(), 1u);
+  EXPECT_EQ(result.apps[0].lost, 1);
+  EXPECT_EQ(result.apps[0].Completed(),
+            result.apps[0].invocations - result.apps[0].lost -
+                result.apps[0].rejected_outage);
+
+  // Deterministic: an identical replay produces an identical ledger.
+  const ClusterResult again =
+      simulator.Replay(trace, FixedKeepAliveFactory(Duration::Minutes(10)));
+  EXPECT_EQ(result.faults, again.faults);
+}
+
+TEST(ChaosClusterTest, RetryWithBackoffSurvivesCrash) {
+  const Trace trace = MakeTrace(10, Duration::Minutes(1), Duration::Seconds(30));
+  ClusterConfig config;
+  config.num_invokers = 1;
+  config.faults.crashes.push_back({0,
+                                   TimePoint::Origin() + Duration::Seconds(10),
+                                   Duration::Millis(700)});
+  config.retry.max_retries = 5;
+  config.retry.base_backoff = Duration::Millis(200);
+  const ClusterSimulator simulator(config);
+  const ClusterResult result =
+      simulator.Replay(trace, FixedKeepAliveFactory(Duration::Minutes(10)));
+
+  // The killed execution was retried with backoff until the worker returned,
+  // then completed with a cold start attributed to the crash.
+  EXPECT_EQ(result.faults.lost_in_flight, 1);
+  EXPECT_EQ(result.faults.lost, 0);
+  EXPECT_EQ(result.total_lost, 0);
+  EXPECT_GE(result.faults.retries_scheduled, 1);
+  EXPECT_GE(result.faults.retry_successes, 1);
+  EXPECT_GT(result.faults.total_backoff_ms, 0.0);
+  EXPECT_EQ(result.faults.cold_starts_after_crash, 1);
+  // Nothing is terminally failed: every invocation eventually completes.
+  EXPECT_EQ(result.total_rejected_outage, 0);
+  EXPECT_EQ(result.total_abandoned, 0);
+  ASSERT_EQ(result.apps.size(), 1u);
+  EXPECT_EQ(result.apps[0].Completed(), result.apps[0].invocations);
+}
+
+TEST(ChaosClusterTest, TimeoutAbandonsAfterRetryBudget) {
+  // One 30-second execution with a 5-second activation timeout and a single
+  // retry: both attempts time out and the activation is abandoned.
+  const Trace trace = MakeTrace(1, Duration::Minutes(1), Duration::Seconds(30));
+  ClusterConfig config;
+  config.num_invokers = 1;
+  config.retry.max_retries = 1;
+  config.retry.activation_timeout = Duration::Seconds(5);
+  config.retry.jitter = 0.0;
+  const ClusterSimulator simulator(config);
+  const ClusterResult result =
+      simulator.Replay(trace, FixedKeepAliveFactory(Duration::Minutes(10)));
+
+  EXPECT_EQ(result.faults.timeouts, 2);
+  EXPECT_EQ(result.faults.retries_scheduled, 1);
+  EXPECT_EQ(result.faults.abandoned, 1);
+  EXPECT_EQ(result.total_abandoned, 1);
+  EXPECT_EQ(result.faults.retry_successes, 0);
+  ASSERT_EQ(result.apps.size(), 1u);
+  EXPECT_EQ(result.apps[0].abandoned, 1);
+  EXPECT_EQ(result.apps[0].Completed(), 0);
+  // The zombie executions finished after their timeouts; their results were
+  // discarded, so nothing was billed.
+  EXPECT_TRUE(result.billed_execution_ms.empty());
+}
+
+TEST(ChaosClusterTest, TransientFaultsAreRetriedToSuccess) {
+  // A 1-second flaky window with p=1 catches the first invocation; retries
+  // with backoff walk out of the window and succeed.
+  const Trace trace = MakeTrace(5, Duration::Minutes(1), Duration::Millis(200));
+  ClusterConfig config;
+  config.num_invokers = 1;
+  config.faults.transient_windows.push_back(
+      {TimePoint::Origin(), Duration::Seconds(1), 1.0});
+  config.retry.max_retries = 5;
+  config.retry.base_backoff = Duration::Millis(300);
+  config.retry.jitter = 0.0;
+  const ClusterSimulator simulator(config);
+  const ClusterResult result =
+      simulator.Replay(trace, FixedKeepAliveFactory(Duration::Minutes(10)));
+
+  EXPECT_GE(result.faults.transient_failures, 1);
+  EXPECT_EQ(result.faults.retry_successes, 1);
+  EXPECT_EQ(result.total_lost, 0);
+  ASSERT_EQ(result.apps.size(), 1u);
+  EXPECT_EQ(result.apps[0].Completed(), result.apps[0].invocations);
+  EXPECT_EQ(result.faults.cold_starts_after_transient, 1);
+}
+
+TEST(ChaosClusterTest, StateWipeFallsBackToStandardKeepAlive) {
+  // Steady 10-minute pattern under the hybrid policy; the controller loses
+  // its policy state mid-trace with no checkpoint to restore from.
+  const Trace trace = MakeTrace(30, Duration::Minutes(10), Duration::Seconds(1));
+  ClusterConfig config;
+  config.num_invokers = 1;
+  config.faults.wipes.push_back(
+      {TimePoint::Origin() + Duration::Minutes(105)});
+  HybridPolicyConfig policy;
+  policy.min_histogram_samples = 4;
+  const ClusterSimulator simulator(config);
+  const ClusterResult result =
+      simulator.Replay(trace, HybridPolicyFactory{policy});
+
+  EXPECT_EQ(result.faults.policy_state_wipes, 1);
+  EXPECT_EQ(result.faults.policy_states_lost, 1);
+  EXPECT_EQ(result.faults.policy_states_restored, 0);
+  // The wiped app fell back to the standard keep-alive (its 4-hour window
+  // covers the 10-minute gaps, so it stays warm while re-learning) and
+  // became representative again after min_histogram_samples new idle times.
+  EXPECT_EQ(result.faults.degraded_recoveries, 1);
+  EXPECT_GT(result.faults.total_degraded_ms, 0.0);
+  ASSERT_EQ(result.apps.size(), 1u);
+  EXPECT_EQ(result.apps[0].Completed(), result.apps[0].invocations);
+  EXPECT_LE(result.apps[0].cold_starts, 3);
+}
+
+TEST(ChaosClusterTest, CheckpointRestoreSkipsDegradedMode) {
+  const Trace trace = MakeTrace(30, Duration::Minutes(10), Duration::Seconds(1));
+  ClusterConfig config;
+  config.num_invokers = 1;
+  config.faults.wipes.push_back(
+      {TimePoint::Origin() + Duration::Minutes(105)});
+  config.policy_checkpoint_interval = Duration::Minutes(15);
+  HybridPolicyConfig policy;
+  policy.min_histogram_samples = 4;
+  const ClusterSimulator simulator(config);
+  const ClusterResult result =
+      simulator.Replay(trace, HybridPolicyFactory{policy});
+
+  // The wipe hit, but the state came back from a checkpoint taken at most
+  // 15 minutes earlier, so the policy never left representative mode.
+  EXPECT_EQ(result.faults.policy_state_wipes, 1);
+  EXPECT_EQ(result.faults.policy_states_restored, 1);
+  EXPECT_EQ(result.faults.policy_states_lost, 0);
+  EXPECT_EQ(result.faults.degraded_recoveries, 0);
+  EXPECT_DOUBLE_EQ(result.faults.total_degraded_ms, 0.0);
+}
+
+TEST(ChaosClusterTest, LatencySpikeInflatesColdStarts) {
+  // 30-minute gaps with a 10-minute keep-alive: every invocation is cold.
+  const Trace trace = MakeTrace(8, Duration::Minutes(30), Duration::Seconds(1));
+  ClusterConfig config;
+  config.num_invokers = 1;
+  const ClusterSimulator baseline_sim(config);
+  const ClusterResult baseline =
+      baseline_sim.Replay(trace, FixedKeepAliveFactory(Duration::Minutes(10)));
+
+  config.faults.spikes.push_back(
+      {TimePoint::Origin(), trace.horizon, 10.0});
+  const ClusterSimulator spiked_sim(config);
+  const ClusterResult spiked =
+      spiked_sim.Replay(trace, FixedKeepAliveFactory(Duration::Minutes(10)));
+
+  EXPECT_EQ(baseline.total_cold_starts, spiked.total_cold_starts);
+  EXPECT_GT(spiked.MeanBilledExecutionMs(),
+            baseline.MeanBilledExecutionMs() * 2.0);
+}
+
+TEST(ChaosClusterTest, EmptyPlanAddsNothingToLedger) {
+  const Trace trace = MakeTrace(10, Duration::Minutes(5), Duration::Seconds(1));
+  ClusterConfig config;
+  config.num_invokers = 2;
+  const ClusterSimulator simulator(config);
+  const ClusterResult result =
+      simulator.Replay(trace, FixedKeepAliveFactory(Duration::Minutes(10)));
+  EXPECT_EQ(result.faults, FaultLedger{});
+  EXPECT_EQ(result.total_rejected_outage, 0);
+  EXPECT_EQ(result.total_abandoned, 0);
+  EXPECT_EQ(result.total_lost, 0);
+}
+
+TEST(ChaosClusterTest, LedgerIsDeterministicAcrossThreadCounts) {
+  // The same seeded chaos replay must produce a bit-identical failure ledger
+  // whether replays run sequentially or concurrently on a thread pool.
+  const Trace trace = MakeTrace(20, Duration::Minutes(1), Duration::Seconds(20));
+  ClusterConfig config;
+  config.num_invokers = 2;
+  std::string spec_error;
+  config.faults = *FaultPlan::Parse(
+      "crash:invoker=0,at=90s,down=2m; crash:invoker=1,at=5m,down=30s; "
+      "flaky:at=6m,for=4m,p=0.7; wipe:at=10m; spike:at=12m,for=2m,x=5",
+      &spec_error);
+  config.retry.max_retries = 3;
+  config.retry.activation_timeout = Duration::Seconds(45);
+  const ClusterSimulator simulator(config);
+
+  const ClusterResult reference =
+      simulator.Replay(trace, FixedKeepAliveFactory(Duration::Minutes(10)));
+  // The chaos machinery actually engaged in this scenario.
+  EXPECT_GE(reference.faults.invoker_crashes, 2);
+  EXPECT_GE(reference.faults.transient_failures, 1);
+  EXPECT_EQ(reference.faults.policy_state_wipes, 1);
+
+  for (int num_threads : {1, 4}) {
+    std::vector<ClusterResult> results(4);
+    ParallelFor(
+        results.size(),
+        [&](size_t i) {
+          results[i] = simulator.Replay(
+              trace, FixedKeepAliveFactory(Duration::Minutes(10)));
+        },
+        num_threads);
+    for (const ClusterResult& result : results) {
+      EXPECT_EQ(result.faults, reference.faults);
+      EXPECT_EQ(result.total_cold_starts, reference.total_cold_starts);
+      EXPECT_EQ(result.total_rejected_outage,
+                reference.total_rejected_outage);
+      EXPECT_EQ(result.total_abandoned, reference.total_abandoned);
+      EXPECT_EQ(result.total_lost, reference.total_lost);
+      EXPECT_EQ(result.memory_mb_seconds, reference.memory_mb_seconds);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace faas

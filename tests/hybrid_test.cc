@@ -308,6 +308,65 @@ TEST(HybridPolicyTest, NameReflectsConfiguration) {
   EXPECT_EQ(policy.name(), "hybrid[1,95] range=240min cv=2 no-arima");
 }
 
+TEST(HybridPolicyTest, SnapshotRestoreRoundTripsLearnedState) {
+  HybridHistogramPolicy policy(DefaultConfig());
+  for (int i = 0; i < 50; ++i) {
+    policy.RecordIdleTime(Duration::Minutes(30) + Duration::Seconds(i % 40));
+  }
+  const PolicyDecision before = policy.NextWindows();
+  ASSERT_EQ(policy.last_decision(),
+            HybridHistogramPolicy::DecisionKind::kHistogram);
+  EXPECT_FALSE(policy.IsLearning());
+
+  const auto snapshot = policy.SnapshotState();
+  ASSERT_NE(snapshot, nullptr);
+  policy.WipeState();
+  // Wiped: the histogram is gone, so the policy is learning again and falls
+  // back to the conservative standard keep-alive.
+  EXPECT_TRUE(policy.IsLearning());
+  const PolicyDecision wiped = policy.NextWindows();
+  EXPECT_EQ(policy.last_decision(),
+            HybridHistogramPolicy::DecisionKind::kStandardKeepAlive);
+  EXPECT_EQ(wiped.keepalive_window, Duration::Hours(4));
+
+  // Restoring the snapshot brings back the exact learned windows.
+  ASSERT_TRUE(policy.RestoreState(*snapshot));
+  EXPECT_FALSE(policy.IsLearning());
+  const PolicyDecision after = policy.NextWindows();
+  EXPECT_EQ(policy.last_decision(),
+            HybridHistogramPolicy::DecisionKind::kHistogram);
+  EXPECT_EQ(after.prewarm_window, before.prewarm_window);
+  EXPECT_EQ(after.keepalive_window, before.keepalive_window);
+}
+
+TEST(HybridPolicyTest, WipedPolicyRelearnsFromFreshIdleTimes) {
+  HybridPolicyConfig config = DefaultConfig();
+  config.min_histogram_samples = 3;
+  HybridHistogramPolicy policy(config);
+  for (int i = 0; i < 10; ++i) {
+    policy.RecordIdleTime(Duration::Minutes(30));
+  }
+  policy.NextWindows();
+  ASSERT_FALSE(policy.IsLearning());
+  policy.WipeState();
+  EXPECT_TRUE(policy.IsLearning());
+  for (int i = 0; i < 3; ++i) {
+    policy.RecordIdleTime(Duration::Minutes(30));
+    policy.NextWindows();
+  }
+  EXPECT_FALSE(policy.IsLearning());
+  EXPECT_EQ(policy.last_decision(),
+            HybridHistogramPolicy::DecisionKind::kHistogram);
+}
+
+TEST(HybridPolicyTest, RestoreRejectsForeignSnapshot) {
+  HybridHistogramPolicy policy(DefaultConfig());
+  // A base snapshot that is not a hybrid snapshot must be rejected without
+  // disturbing the policy's state.
+  const PolicyStateSnapshot foreign;
+  EXPECT_FALSE(policy.RestoreState(foreign));
+}
+
 TEST(HybridFactoryTest, InstancesAreIndependent) {
   const HybridPolicyFactory factory{DefaultConfig()};
   const auto a = factory.CreateForApp();

@@ -161,6 +161,111 @@ TEST_F(TraceCsvTest, ReadRejectsUnknownTrigger) {
   EXPECT_NE(result.error.find("trigger"), std::string::npos);
 }
 
+// --- Malformed-row handling: strict vs skip mode ----------------------------
+
+namespace {
+
+// Writes an invocations day file with one good row and one row produced by
+// `mutate` (given the good row's fields, returns the malformed line).
+void WriteInvocationsWithBadRow(const fs::path& path,
+                                const std::string& bad_line) {
+  std::ofstream out(path);
+  out << "HashOwner,HashApp,HashFunction,Trigger";
+  for (int m = 1; m <= kMinutesPerDay; ++m) {
+    out << ',' << m;
+  }
+  out << '\n';
+  out << "o,good,f,http";
+  for (int m = 1; m <= kMinutesPerDay; ++m) {
+    out << ',' << (m == 1 ? 2 : 0);
+  }
+  out << '\n';
+  out << bad_line << '\n';
+}
+
+std::string InvocationRow(const std::string& app, const std::string& count) {
+  std::string row = "o," + app + ",f,http";
+  for (int m = 1; m <= kMinutesPerDay; ++m) {
+    row += ',';
+    row += (m == 1 ? count : "0");
+  }
+  return row;
+}
+
+}  // namespace
+
+TEST_F(TraceCsvTest, StrictModeFailsWithLineNumberedError) {
+  fs::create_directories(dir());
+  // Row 3 has a non-numeric count in a minute column.
+  WriteInvocationsWithBadRow(fs::path(dir()) / InvocationsFileName(1),
+                             InvocationRow("bad", "oops"));
+  const auto result = ReadTraceCsv(dir());
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find(":3:"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.find(InvocationsFileName(1)), std::string::npos)
+      << result.error;
+  EXPECT_TRUE(result.warnings.empty());
+}
+
+TEST_F(TraceCsvTest, SkipModeKeepsGoodRowsAndRecordsWarnings) {
+  fs::create_directories(dir());
+  WriteInvocationsWithBadRow(fs::path(dir()) / InvocationsFileName(1),
+                             InvocationRow("bad", "-4"));  // Negative count.
+  CsvReadOptions options;
+  options.skip_malformed = true;
+  const auto result = ReadTraceCsv(dir(), options);
+  ASSERT_TRUE(result.ok) << result.error;
+  // The good row survived; the malformed one was skipped with a warning.
+  ASSERT_EQ(result.value.apps.size(), 1u);
+  EXPECT_EQ(result.value.apps[0].app_id, "good");
+  ASSERT_EQ(result.warnings.size(), 1u);
+  EXPECT_NE(result.warnings[0].find(":3:"), std::string::npos)
+      << result.warnings[0];
+  EXPECT_NE(result.warnings[0].find("negative"), std::string::npos)
+      << result.warnings[0];
+}
+
+TEST_F(TraceCsvTest, WrongFieldCountIsReportedWithBothModes) {
+  fs::create_directories(dir());
+  WriteInvocationsWithBadRow(fs::path(dir()) / InvocationsFileName(1),
+                             "o,short,f,http,1,2,3");  // Truncated row.
+  const auto strict = ReadTraceCsv(dir());
+  EXPECT_FALSE(strict.ok);
+  EXPECT_NE(strict.error.find("fields"), std::string::npos) << strict.error;
+  CsvReadOptions options;
+  options.skip_malformed = true;
+  const auto skip = ReadTraceCsv(dir(), options);
+  ASSERT_TRUE(skip.ok) << skip.error;
+  EXPECT_EQ(skip.value.apps.size(), 1u);
+  EXPECT_EQ(skip.warnings.size(), 1u);
+}
+
+TEST_F(TraceCsvTest, MalformedDurationAndMemoryRowsAreSkippable) {
+  const Trace trace = MakeSmallTrace();
+  ASSERT_EQ(WriteTraceCsv(trace, dir()), "");
+  // Corrupt the durations file (negative duration) and the memory file
+  // (non-numeric average) by appending bad rows.
+  {
+    std::ofstream out(fs::path(dir()) / kDurationsFileName, std::ios::app);
+    out << "o,x,f,-100,2,50,400\n";
+  }
+  {
+    std::ofstream out(fs::path(dir()) / kMemoryFileName, std::ios::app);
+    out << "o,y,7,NaNMb,90,120\n";
+  }
+  const auto strict = ReadTraceCsv(dir());
+  EXPECT_FALSE(strict.ok);
+  CsvReadOptions options;
+  options.skip_malformed = true;
+  const auto skip = ReadTraceCsv(dir(), options);
+  ASSERT_TRUE(skip.ok) << skip.error;
+  EXPECT_EQ(skip.warnings.size(), 2u);
+  // The original trace's stats are untouched by the skipped rows.
+  EXPECT_NEAR(skip.value.apps[0].functions[0].execution.average_ms, 123.5,
+              1e-9);
+  EXPECT_NEAR(skip.value.apps[0].memory.average_mb, 150.0, 1e-9);
+}
+
 // --- Azure public dataset schema compatibility ------------------------------
 
 namespace {

@@ -1,31 +1,52 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + full test suite, then the concurrency
-# tests (thread pool, parallel-for, sweep engine, compiled trace) rebuilt
-# and re-run under ThreadSanitizer.
+# tests (thread pool, parallel-for, sweep engine, compiled trace) plus the
+# chaos-engine tests rebuilt and re-run under ThreadSanitizer, and the
+# chaos/controller tests once more under UndefinedBehaviorSanitizer.
 #
-# Usage: tools/check.sh [--skip-tsan]
+# Usage: tools/check.sh [--skip-tsan] [--skip-ubsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+SKIP_TSAN=0
+SKIP_UBSAN=0
+for arg in "$@"; do
+  case "${arg}" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-ubsan) SKIP_UBSAN=1 ;;
+    *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
-if [[ "${1:-}" == "--skip-tsan" ]]; then
+if [[ "${SKIP_TSAN}" == "1" ]]; then
   echo "== skipping TSan pass =="
-  exit 0
+else
+  echo "== TSan: concurrency + chaos tests =="
+  cmake -B build-tsan -S . -DFAAS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target \
+      thread_pool_test parallel_test sweep_test compiled_trace_test \
+      faults_test controller_test
+  # gtest_discover_tests registers suite names (not target names), so match
+  # the suites those binaries contain.
+  (cd build-tsan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
+      -R 'ThreadPool|ParallelFor|ParallelSimulation|Sweep|CompiledTrace|CompiledReplay|FaultPlan|ChaosCluster|Controller')
 fi
 
-echo "== TSan: concurrency tests =="
-cmake -B build-tsan -S . -DFAAS_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target \
-    thread_pool_test parallel_test sweep_test compiled_trace_test
-# gtest_discover_tests registers suite names (not target names), so match
-# the suites those four binaries contain.
-(cd build-tsan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-    -R 'ThreadPool|ParallelFor|ParallelSimulation|Sweep|CompiledTrace|CompiledReplay')
+if [[ "${SKIP_UBSAN}" == "1" ]]; then
+  echo "== skipping UBSan pass =="
+else
+  echo "== UBSan: chaos + controller tests =="
+  cmake -B build-ubsan -S . -DFAAS_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j "${JOBS}" --target \
+      faults_test controller_test cluster_test
+  (cd build-ubsan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
+      -R 'FaultPlan|ChaosCluster|Controller|Cluster')
+fi
 
 echo "== all checks passed =="

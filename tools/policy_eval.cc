@@ -6,18 +6,36 @@
 //   policy_eval --trace DIR [--policies LIST] [--baseline NAME]
 //               [--range-minutes N=240] [--cv T=2] [--head P=5] [--tail P=99]
 //               [--use-exec-times] [--weight-by-memory] [--threads N=0]
+//               [--skip-malformed]
 //
 // --threads sets the sweep parallelism (0 = all hardware cores, 1 = fully
 // sequential).  Results are bit-identical at any thread count.
+// --skip-malformed tolerates malformed CSV rows (each is skipped with a
+// warning) instead of failing the read on the first bad row.
 //
 // LIST is comma-separated from: fixed-5, fixed-10, ..., fixed-240 (any
 // minute count), no-unload, hybrid, hybrid-no-arima, hybrid-no-prewarm,
 // production.  Default: "fixed-10,fixed-60,hybrid".
+//
+// Chaos mode — any of the fault flags switches evaluation from the app-level
+// sweep to the mini-OpenWhisk cluster simulator with fault injection:
+//   policy_eval --trace DIR --faults SPEC | --mtbf H [--mttr M]
+//               [--wipe-mtbf H] [--fault-seed N]
+//               [--invokers N=18] [--invoker-memory MB=4096]
+//               [--retries N] [--timeout D] [--backoff D] [--checkpoint D]
+//
+// SPEC is semicolon-separated clauses: crash:invoker=I,at=D,down=D;
+// wipe:at=D; spike:at=D,for=D,x=M; flaky:at=D,for=D,p=P, with durations
+// accepting ms/s/m/h/d suffixes.  The report adds the failure ledger
+// (crashes, retries, timeouts, abandoned/lost activations, degraded time).
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "src/cluster/cluster.h"
+#include "src/faults/fault_plan.h"
 #include "src/policy/hybrid.h"
 #include "src/policy/policy.h"
 #include "src/policy/production_policy.h"
@@ -64,6 +82,124 @@ std::unique_ptr<PolicyFactory> MakeFactory(std::string_view name,
   return nullptr;
 }
 
+// Reads a duration flag with ms/s/m/h/d suffixes (bare numbers = seconds).
+std::optional<Duration> GetDurationFlag(const FlagParser& flags,
+                                        const std::string& name) {
+  if (!flags.Has(name)) {
+    return std::nullopt;
+  }
+  const auto parsed = ParseDuration(flags.GetString(name, ""));
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "--%s: bad duration '%s'\n", name.c_str(),
+                 flags.GetString(name, "").c_str());
+  }
+  return parsed;
+}
+
+// Evaluates the requested policies on the cluster simulator under a fault
+// plan and prints the outcome split plus the failure ledger per policy.
+int RunChaosEvaluation(const FlagParser& flags, const Trace& trace,
+                       const std::vector<const PolicyFactory*>& factories) {
+  ClusterConfig config;
+  config.num_invokers = static_cast<int>(flags.GetInt("invokers", 18));
+  config.invoker_memory_mb = flags.GetDouble("invoker-memory", 4096.0);
+  if (config.num_invokers <= 0) {
+    std::fprintf(stderr, "--invokers must be positive\n");
+    return 2;
+  }
+
+  if (flags.Has("faults")) {
+    std::string error;
+    const auto plan = FaultPlan::Parse(flags.GetString("faults", ""), &error);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "--faults: %s\n", error.c_str());
+      return 2;
+    }
+    config.faults = *plan;
+  } else if (flags.Has("mtbf")) {
+    MtbfModel model;
+    model.mtbf_hours = flags.GetDouble("mtbf", model.mtbf_hours);
+    model.mttr_minutes = flags.GetDouble("mttr", model.mttr_minutes);
+    model.wipe_mtbf_hours =
+        flags.GetDouble("wipe-mtbf", model.wipe_mtbf_hours);
+    model.seed = static_cast<uint64_t>(flags.GetInt("fault-seed", 42));
+    config.faults =
+        FaultPlan::FromMtbf(model, config.num_invokers, trace.horizon);
+    std::printf("generated fault plan: %zu crashes, %zu wipes "
+                "(mtbf=%.2gh, mttr=%.2gm, seed=%llu)\n",
+                config.faults.crashes.size(), config.faults.wipes.size(),
+                model.mtbf_hours, model.mttr_minutes,
+                static_cast<unsigned long long>(model.seed));
+  }
+  const std::string plan_error = config.faults.Validate(config.num_invokers);
+  if (!plan_error.empty()) {
+    std::fprintf(stderr, "invalid fault plan: %s\n", plan_error.c_str());
+    return 2;
+  }
+
+  config.retry.max_retries = static_cast<int>(flags.GetInt("retries", 0));
+  if (const auto timeout = GetDurationFlag(flags, "timeout")) {
+    config.retry.activation_timeout = *timeout;
+  } else if (flags.Has("timeout")) {
+    return 2;
+  }
+  if (const auto backoff = GetDurationFlag(flags, "backoff")) {
+    config.retry.base_backoff = *backoff;
+  } else if (flags.Has("backoff")) {
+    return 2;
+  }
+  if (const auto checkpoint = GetDurationFlag(flags, "checkpoint")) {
+    config.policy_checkpoint_interval = *checkpoint;
+  } else if (flags.Has("checkpoint")) {
+    return 2;
+  }
+
+  const ClusterSimulator simulator(config);
+  std::printf("\nchaos evaluation: %d invokers, %zu crashes, %zu wipes, "
+              "%zu spikes, %zu flaky windows, retries=%d\n",
+              config.num_invokers, config.faults.crashes.size(),
+              config.faults.wipes.size(), config.faults.spikes.size(),
+              config.faults.transient_windows.size(),
+              config.retry.max_retries);
+  std::printf("\n%-44s %9s %9s %9s %9s %9s %9s\n", "policy", "cold p50",
+              "dropped", "rejected", "abandon", "lost", "retries");
+  for (const PolicyFactory* factory : factories) {
+    const ClusterResult result = simulator.Replay(trace, *factory);
+    std::printf("%-44s %8.1f%% %9lld %9lld %9lld %9lld %9lld\n",
+                result.policy_name.c_str(),
+                result.AppColdStartPercentile(50.0),
+                static_cast<long long>(result.total_dropped),
+                static_cast<long long>(result.total_rejected_outage),
+                static_cast<long long>(result.total_abandoned),
+                static_cast<long long>(result.total_lost),
+                static_cast<long long>(result.faults.retries_scheduled));
+    const FaultLedger& ledger = result.faults;
+    std::printf("    crashes=%lld restarts=%lld lost-in-flight=%lld "
+                "transient=%lld timeouts=%lld retry-ok=%lld\n",
+                static_cast<long long>(ledger.invoker_crashes),
+                static_cast<long long>(ledger.invoker_restarts),
+                static_cast<long long>(ledger.lost_in_flight),
+                static_cast<long long>(ledger.transient_failures),
+                static_cast<long long>(ledger.timeouts),
+                static_cast<long long>(ledger.retry_successes));
+    std::printf("    wipes=%lld restored=%lld lost-state=%lld "
+                "degraded-recoveries=%lld degraded-time=%.1fs "
+                "cold-after{crash=%lld transient=%lld timeout=%lld "
+                "outage=%lld degraded=%lld}\n",
+                static_cast<long long>(ledger.policy_state_wipes),
+                static_cast<long long>(ledger.policy_states_restored),
+                static_cast<long long>(ledger.policy_states_lost),
+                static_cast<long long>(ledger.degraded_recoveries),
+                ledger.total_degraded_ms / 1e3,
+                static_cast<long long>(ledger.cold_starts_after_crash),
+                static_cast<long long>(ledger.cold_starts_after_transient),
+                static_cast<long long>(ledger.cold_starts_after_timeout),
+                static_cast<long long>(ledger.cold_starts_after_outage),
+                static_cast<long long>(ledger.cold_starts_in_degraded_mode));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -75,14 +211,27 @@ int main(int argc, char** argv) {
         "                   [--range-minutes N=240] [--cv T=2]\n"
         "                   [--head P=5] [--tail P=99]\n"
         "                   [--use-exec-times] [--weight-by-memory]\n"
-        "                   [--threads N=0 (0 = all cores)]\n");
+        "                   [--threads N=0 (0 = all cores)]\n"
+        "                   [--skip-malformed]\n"
+        "chaos mode (cluster simulator with fault injection):\n"
+        "                   [--faults SPEC | --mtbf H [--mttr M]\n"
+        "                    [--wipe-mtbf H] [--fault-seed N]]\n"
+        "                   [--invokers N=18] [--invoker-memory MB=4096]\n"
+        "                   [--retries N] [--timeout D] [--backoff D]\n"
+        "                   [--checkpoint D]\n");
     return flags.Has("help") ? 0 : 2;
   }
 
-  const auto read = ReadTraceCsv(flags.GetString("trace", ""));
+  CsvReadOptions read_options;
+  read_options.skip_malformed = flags.GetBool("skip-malformed", false);
+  const auto read = ReadTraceCsv(flags.GetString("trace", ""), read_options);
   if (!read.ok) {
     std::fprintf(stderr, "failed to read trace: %s\n", read.error.c_str());
     return 1;
+  }
+  for (const std::string& warning : read.warnings) {
+    std::fprintf(stderr, "warning: skipped malformed row: %s\n",
+                 warning.c_str());
   }
   const Trace& trace = read.value;
   std::printf("trace: %zu apps, %lld functions, %lld invocations, %d days\n",
@@ -131,6 +280,11 @@ int main(int argc, char** argv) {
   for (const auto& factory : owned) {
     factories.push_back(factory.get());
   }
+
+  if (flags.Has("faults") || flags.Has("mtbf")) {
+    return RunChaosEvaluation(flags, trace, factories);
+  }
+
   const std::vector<PolicyPoint> points =
       EvaluatePolicies(trace, factories, /*baseline_index=*/0, options);
 
