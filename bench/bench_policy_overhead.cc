@@ -4,15 +4,24 @@
 // These benchmarks measure the corresponding code paths in this
 // implementation: histogram update, window computation, full per-invocation
 // policy step, and ARIMA fitting.
+//
+// The BM_*Telemetry{Off,On} pairs measure the telemetry subsystem's cost on
+// the simulation hot paths: Off runs with null instrument pointers (the
+// zero-cost branch), On runs with metrics and tracing fully enabled.  The
+// acceptance bar is <5% overhead on the end-to-end replay loops.
 
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
 #include "src/arima/auto_arima.h"
+#include "src/cluster/cluster.h"
 #include "src/common/rng.h"
 #include "src/policy/hybrid.h"
 #include "src/policy/policy.h"
+#include "src/sim/sweep.h"
+#include "src/telemetry/telemetry.h"
+#include "src/workload/generator.h"
 
 namespace faas {
 namespace {
@@ -120,6 +129,108 @@ void BM_PolicyFootprint(benchmark::State& state) {
       static_cast<double>(policy.ApproximateSizeBytes());
 }
 BENCHMARK(BM_PolicyFootprint);
+
+// --- Telemetry overhead -------------------------------------------------
+
+const Trace& OverheadTrace() {
+  // Large enough that per-run fixed costs (instrument registration, first
+  // shard/ring allocation) amortize away and the steady-state replay loop
+  // dominates, as it does in a real policy_eval run.
+  static const Trace trace = [] {
+    GeneratorConfig config;
+    config.num_apps = 200;
+    config.days = 1;
+    config.seed = 99;
+    return WorkloadGenerator(config).Generate();
+  }();
+  return trace;
+}
+
+void BM_SweepReplayTelemetryOff(benchmark::State& state) {
+  const Trace& trace = OverheadTrace();
+  const HybridPolicyFactory hybrid{HybridPolicyConfig{}};
+  const std::vector<const PolicyFactory*> factories = {&hybrid};
+  SimulatorOptions options;
+  options.num_threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluatePolicies(trace, factories, 0, options));
+  }
+}
+BENCHMARK(BM_SweepReplayTelemetryOff)->Unit(benchmark::kMillisecond);
+
+void BM_SweepReplayTelemetryOn(benchmark::State& state) {
+  const Trace& trace = OverheadTrace();
+  const HybridPolicyFactory hybrid{HybridPolicyConfig{}};
+  const std::vector<const PolicyFactory*> factories = {&hybrid};
+  for (auto _ : state) {
+    // A fresh Telemetry per run mirrors one policy_eval invocation and keeps
+    // span storage from accumulating across iterations.
+    Telemetry telemetry;
+    SimulatorOptions options;
+    options.num_threads = 1;
+    options.telemetry = &telemetry;
+    benchmark::DoNotOptimize(EvaluatePolicies(trace, factories, 0, options));
+  }
+}
+BENCHMARK(BM_SweepReplayTelemetryOn)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterReplayTelemetryOff(benchmark::State& state) {
+  const Trace& trace = OverheadTrace();
+  const FixedKeepAliveFactory fixed10(Duration::Minutes(10));
+  ClusterConfig config;
+  config.num_invokers = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClusterSimulator(config).Replay(trace, fixed10));
+  }
+}
+BENCHMARK(BM_ClusterReplayTelemetryOff)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterReplayTelemetryOn(benchmark::State& state) {
+  const Trace& trace = OverheadTrace();
+  const FixedKeepAliveFactory fixed10(Duration::Minutes(10));
+  for (auto _ : state) {
+    Telemetry telemetry;
+    ClusterConfig config;
+    config.num_invokers = 4;
+    config.telemetry = &telemetry;
+    benchmark::DoNotOptimize(ClusterSimulator(config).Replay(trace, fixed10));
+  }
+}
+BENCHMARK(BM_ClusterReplayTelemetryOn)->Unit(benchmark::kMillisecond);
+
+// Raw instrument costs, for attributing any overhead seen above.
+void BM_TelemetryCounterInc(benchmark::State& state) {
+  MetricsRegistry registry;
+  const CounterId id = registry.AddCounter("bench_total", "bench");
+  for (auto _ : state) {
+    registry.Inc(id);
+  }
+}
+BENCHMARK(BM_TelemetryCounterInc);
+
+void BM_TelemetryHistogramObserve(benchmark::State& state) {
+  MetricsRegistry registry;
+  const HistogramId id =
+      registry.AddHistogram("bench_ms", "bench", {1, 10, 100, 1000});
+  double value = 0.0;
+  for (auto _ : state) {
+    registry.Observe(id, value);
+    value = value < 2000.0 ? value + 1.0 : 0.0;
+  }
+}
+BENCHMARK(BM_TelemetryHistogramObserve);
+
+void BM_TracerRecordSpan(benchmark::State& state) {
+  Tracer tracer;
+  SpanRecord span;
+  span.dur_ms = 5;
+  span.name = static_cast<int16_t>(SpanName::kActivation);
+  for (auto _ : state) {
+    tracer.Record(span);
+    ++span.start_ms;
+  }
+}
+BENCHMARK(BM_TracerRecordSpan);
 
 }  // namespace
 }  // namespace faas

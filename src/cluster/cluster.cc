@@ -35,18 +35,34 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
       config_.faults.Validate(config_.num_invokers);
   FAAS_CHECK(fault_error.empty()) << "invalid fault plan: " << fault_error;
 
+  // Telemetry instruments for this replay (one bundle per policy label).
+  ClusterInstruments instruments_storage;
+  const ClusterInstruments* instruments = nullptr;
+  if (config_.telemetry != nullptr) {
+    instruments_storage = ClusterInstruments::Register(
+        *config_.telemetry, factory.name(), config_.telemetry_pid,
+        trace.horizon, config_.metrics_interval);
+    instruments = &instruments_storage;
+    if (instruments_storage.tracer != nullptr) {
+      for (int i = 0; i < config_.num_invokers; ++i) {
+        instruments_storage.tracer->RegisterThread(
+            config_.telemetry_pid, i + 1, "invoker " + std::to_string(i));
+      }
+    }
+  }
+
   std::vector<std::unique_ptr<Invoker>> invokers;
   std::vector<Invoker*> invoker_ptrs;
   invokers.reserve(static_cast<size_t>(config_.num_invokers));
   for (int i = 0; i < config_.num_invokers; ++i) {
     invokers.push_back(std::make_unique<Invoker>(
         i, config_.invoker_memory_mb, &queue, config_.latency, rng.Fork(),
-        &config_.faults));
+        &config_.faults, instruments));
     invoker_ptrs.push_back(invokers.back().get());
   }
   Controller controller(&queue, invoker_ptrs, factory, config_.latency,
                         rng.Fork(), config_.collect_latencies,
-                        config_.load_balancing, config_.retry);
+                        config_.load_balancing, config_.retry, instruments);
 
   // Flatten the trace into time-ordered replay events with pre-sampled
   // per-invocation execution times.
@@ -70,6 +86,25 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
   }
   std::stable_sort(events.begin(), events.end());
 
+  // Telemetry event recorder for the fault schedule (a copyable no-op when
+  // telemetry is off).  arg0 carries the window's scaled parameter.
+  const auto record_event = [instruments](SpanName name, int64_t start_ms,
+                                          int64_t dur_ms, int32_t tid,
+                                          int64_t arg0) {
+    if (instruments == nullptr || instruments->tracer == nullptr) {
+      return;
+    }
+    SpanRecord record;
+    record.start_ms = start_ms;
+    record.dur_ms = dur_ms;
+    record.arg0 = arg0;
+    record.label_id = instruments->label_id;
+    record.name = static_cast<int16_t>(name);
+    record.pid = instruments->pid;
+    record.tid = tid;
+    instruments->tracer->Record(record);
+  };
+
   // Schedule fault-injection outages.
   for (const ClusterConfig::Outage& outage : config_.outages) {
     FAAS_CHECK(outage.invoker >= 0 && outage.invoker < config_.num_invokers)
@@ -79,6 +114,22 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
                    [target]() { target->SetHealthy(false); });
     queue.Schedule(TimePoint::Origin() + outage.end,
                    [target]() { target->SetHealthy(true); });
+    record_event(SpanName::kOutage, outage.start.millis(),
+                 (outage.end - outage.start).millis(), outage.invoker + 1, 0);
+  }
+
+  // The fault plan's windows are known up front, so their spans are recorded
+  // at setup; crash/restart instants are recorded when they actually fire.
+  for (const LatencySpike& spike : config_.faults.spikes) {
+    record_event(SpanName::kLatencySpike,
+                 spike.start.millis_since_origin(), spike.duration.millis(),
+                 0, static_cast<int64_t>(spike.multiplier * 100.0));
+  }
+  for (const TransientFaultWindow& window : config_.faults.transient_windows) {
+    record_event(SpanName::kFlakyWindow,
+                 window.start.millis_since_origin(),
+                 window.duration.millis(), 0,
+                 static_cast<int64_t>(window.failure_probability * 1e6));
   }
 
   const TimePoint end = TimePoint::Origin() + trace.horizon;
@@ -89,15 +140,24 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
   for (const CrashEvent& crash : config_.faults.crashes) {
     Invoker* target = invoker_ptrs[static_cast<size_t>(crash.invoker)];
     const Duration downtime = crash.downtime;
-    queue.Schedule(crash.at, [target, &controller, &queue, downtime]() {
+    queue.Schedule(crash.at,
+                   [target, &controller, &queue, downtime, record_event]() {
                      // Crash() reports each in-flight activation to the
                      // controller synchronously, which may schedule retries.
                      const int64_t epoch = target->Crash();
                      controller.NoteInvokerCrash();
+                     record_event(SpanName::kInvokerCrash,
+                                  queue.now().millis_since_origin(),
+                                  SpanRecord::kInstant, target->id() + 1, 0);
                      queue.ScheduleAfter(
-                         downtime, [target, &controller, epoch]() {
+                         downtime,
+                         [target, &controller, &queue, epoch, record_event]() {
                            if (target->Restart(epoch)) {
                              controller.NoteInvokerRestart();
+                             record_event(SpanName::kInvokerRestart,
+                                          queue.now().millis_since_origin(),
+                                          SpanRecord::kInstant,
+                                          target->id() + 1, 0);
                            }
                          });
     });
@@ -116,6 +176,47 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
       }
     };
     queue.Schedule(TimePoint::Origin() + interval, *tick);
+  }
+
+  // Telemetry interval sampler: at each boundary, credit the just-elapsed
+  // window's bin with the counter deltas and the sampled queue depth /
+  // resident memory.  Read-only with respect to simulation state, so the
+  // replayed behaviour is unchanged; scheduled at all only when telemetry is
+  // on, so a telemetry-off replay consumes identical event sequence numbers.
+  if (instruments != nullptr && instruments->registry != nullptr &&
+      config_.metrics_interval > Duration::Zero()) {
+    MetricsRegistry* registry = instruments->registry;
+    const Duration interval = config_.metrics_interval;
+    auto last = std::make_shared<std::pair<int64_t, int64_t>>(0, 0);
+    auto sample = std::make_shared<std::function<void()>>();
+    *sample = [&queue, &controller, &invoker_ptrs, sample, last, registry,
+               instruments, interval, end]() {
+      const TimePoint now = queue.now();
+      const TimePoint window_start = now - interval;
+      const int64_t invocations =
+          registry->CounterValue(instruments->invocations);
+      const int64_t cold = registry->CounterValue(instruments->cold_starts);
+      registry->SeriesAdd(instruments->minute_invocations, window_start,
+                          invocations - last->first);
+      registry->SeriesAdd(instruments->minute_cold_starts, window_start,
+                          cold - last->second);
+      last->first = invocations;
+      last->second = cold;
+      double memory_mb = 0.0;
+      for (Invoker* invoker : invoker_ptrs) {
+        memory_mb += invoker->memory_in_use_mb();
+      }
+      registry->SeriesAdd(
+          instruments->minute_queue_depth, window_start,
+          static_cast<int64_t>(controller.pending_activations()));
+      registry->SeriesAdd(instruments->minute_memory_mb, window_start,
+                          static_cast<int64_t>(memory_mb));
+      registry->Set(instruments->memory_in_use_mb, memory_mb, now);
+      if (now + interval <= end) {
+        queue.ScheduleAfter(interval, *sample);
+      }
+    };
+    queue.Schedule(TimePoint::Origin() + interval, *sample);
   }
 
   for (const ReplayEvent& event : events) {

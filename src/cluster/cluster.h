@@ -20,6 +20,7 @@
 #include "src/faults/fault_plan.h"
 #include "src/policy/policy.h"
 #include "src/stats/ecdf.h"
+#include "src/telemetry/telemetry.h"
 #include "src/trace/types.h"
 
 namespace faas {
@@ -60,6 +61,19 @@ struct ClusterConfig {
   // checkpoint database); WipePolicyState restores from the latest
   // snapshot.  Zero disables checkpointing.
   Duration policy_checkpoint_interval = Duration::Zero();
+
+  // Telemetry sink (optional, non-owning; must outlive the replay).  When
+  // set, the replay registers a per-policy instrument bundle, emits
+  // activation/container spans, and samples per-interval series (queue
+  // depth, memory, cold-start counts).  Null (the default) schedules no
+  // sampler events and leaves every instrumentation site as one pointer
+  // test, keeping the replay bit-identical to a telemetry-free build.
+  Telemetry* telemetry = nullptr;
+  // Chrome-trace process lane for this replay (one lane per policy when a
+  // caller replays several policies into one Telemetry sink).
+  int16_t telemetry_pid = 0;
+  // Sampling period for the per-interval series.
+  Duration metrics_interval = Duration::Minutes(1);
 };
 
 struct ClusterAppResult {

@@ -26,7 +26,8 @@ Controller::Controller(EventQueue* queue, std::vector<Invoker*> invokers,
                        const PolicyFactory& policy_factory,
                        const LatencyModel& latency, Rng rng,
                        bool collect_latencies,
-                       LoadBalancingPolicy load_balancing, RetryPolicy retry)
+                       LoadBalancingPolicy load_balancing, RetryPolicy retry,
+                       const ClusterInstruments* instruments)
     : queue_(queue),
       invokers_(std::move(invokers)),
       policy_factory_(policy_factory),
@@ -34,7 +35,8 @@ Controller::Controller(EventQueue* queue, std::vector<Invoker*> invokers,
       rng_(rng),
       collect_latencies_(collect_latencies),
       load_balancing_(load_balancing),
-      retry_(retry) {
+      retry_(retry),
+      instruments_(instruments) {
   FAAS_CHECK(queue_ != nullptr) << "controller needs an event queue";
   FAAS_CHECK(!invokers_.empty()) << "controller needs at least one invoker";
   FAAS_CHECK(retry_.max_retries >= 0) << "negative retry budget";
@@ -43,6 +45,70 @@ Controller::Controller(EventQueue* queue, std::vector<Invoker*> invokers,
         [this](const CompletionMessage& message) { OnCompletion(message); });
     invoker->set_failure_callback(
         [this](const FailureMessage& message) { OnFailure(message); });
+  }
+}
+
+void Controller::RecordInstant(SpanName name, int64_t trace_id,
+                               int64_t arg0) {
+  if (instruments_ == nullptr || instruments_->tracer == nullptr) {
+    return;
+  }
+  SpanRecord record;
+  record.start_ms = queue_->now().millis_since_origin();
+  record.trace_id = trace_id;
+  record.arg0 = arg0;
+  record.label_id = instruments_->label_id;
+  record.name = static_cast<int16_t>(name);
+  record.pid = instruments_->pid;
+  record.tid = 0;
+  instruments_->tracer->Record(record);
+}
+
+void Controller::RecordSpan(SpanName name, TimePoint start, Duration dur,
+                            int64_t trace_id, int64_t arg0, int64_t arg1) {
+  if (instruments_ == nullptr || instruments_->tracer == nullptr) {
+    return;
+  }
+  SpanRecord record;
+  record.start_ms = start.millis_since_origin();
+  record.dur_ms = std::max<int64_t>(0, dur.millis());
+  record.trace_id = trace_id;
+  record.arg0 = arg0;
+  record.arg1 = arg1;
+  record.label_id = instruments_->label_id;
+  record.name = static_cast<int16_t>(name);
+  record.pid = instruments_->pid;
+  record.tid = 0;
+  instruments_->tracer->Record(record);
+}
+
+void Controller::RecordActivationSpan(const PendingActivation& pending,
+                                      int64_t trace_id,
+                                      int64_t outcome_cold) {
+  RecordSpan(SpanName::kActivation, pending.created_at,
+             queue_->now() - pending.created_at, trace_id, pending.attempts,
+             outcome_cold);
+}
+
+void Controller::IncCounter(CounterId ClusterInstruments::*field,
+                            int64_t delta) {
+  if (instruments_ != nullptr && instruments_->registry != nullptr) {
+    instruments_->registry->Inc(instruments_->*field, delta);
+  }
+}
+
+void Controller::ObserveHistogram(HistogramId ClusterInstruments::*field,
+                                  double value) {
+  if (instruments_ != nullptr && instruments_->registry != nullptr) {
+    instruments_->registry->Observe(instruments_->*field, value);
+  }
+}
+
+void Controller::SetQueueDepthGauge() {
+  if (instruments_ != nullptr && instruments_->registry != nullptr) {
+    instruments_->registry->Set(instruments_->queue_depth,
+                                static_cast<double>(pending_.size()),
+                                queue_->now());
   }
 }
 
@@ -149,7 +215,10 @@ void Controller::OnInvocation(const std::string& app_id,
   pending.function_id = function_id;
   pending.execution = execution;
   pending.memory_mb = memory_mb;
+  pending.created_at = queue_->now();
   pending_.emplace(activation_id, std::move(pending));
+  IncCounter(&ClusterInstruments::invocations);
+  SetQueueDepthGauge();
   SendAttempt(activation_id);
 }
 
@@ -192,7 +261,12 @@ void Controller::SendAttempt(int64_t activation_id) {
         // Memory pressure with every worker up: drop, as before the chaos
         // engine (retrying against a full cluster is not failover).
         pending_it->second.timeout_event.Cancel();
+        RecordActivationSpan(pending_it->second, activation_id, 0);
+        RecordInstant(SpanName::kDrop, activation_id,
+                      pending_it->second.attempts);
+        IncCounter(&ClusterInstruments::dropped);
         pending_.erase(pending_it);
+        SetQueueDepthGauge();
         --app_state.inflight;
         ++app_stats_[message.app_id].dropped;
         ++total_dropped_;
@@ -219,6 +293,10 @@ void Controller::FailAttempt(int64_t activation_id, FailureClass failure) {
     const Duration backoff = retry_.BackoffForRetry(retry_number, rng_);
     ++ledger_.retries_scheduled;
     ledger_.total_backoff_ms += backoff.seconds() * 1e3;
+    IncCounter(&ClusterInstruments::retries);
+    RecordInstant(SpanName::kRetry, activation_id, retry_number);
+    RecordSpan(SpanName::kBackoff, queue_->now(), backoff, activation_id,
+               retry_number);
     // Re-key under a fresh attempt id so any result of the failed attempt
     // (e.g. a zombie execution finishing after a timeout) misses the table.
     const int64_t new_id = next_activation_id_++;
@@ -234,28 +312,36 @@ void Controller::FailAttempt(int64_t activation_id, FailureClass failure) {
   AppState& state = apps_.at(pending.app_id);
   AppStats& stats = app_stats_[pending.app_id];
   --state.inflight;
+  RecordActivationSpan(pending, activation_id, 0);
   switch (failure) {
     case FailureClass::kTimeout:
       ++stats.abandoned;
       ++total_abandoned_;
       ++ledger_.abandoned;
+      IncCounter(&ClusterInstruments::abandoned);
+      RecordInstant(SpanName::kAbandon, activation_id, pending.attempts);
       break;
     case FailureClass::kOutage:
       ++stats.rejected_outage;
       ++total_rejected_outage_;
       ++ledger_.rejected_by_outage;
+      IncCounter(&ClusterInstruments::rejected_outage);
+      RecordInstant(SpanName::kRejectOutage, activation_id, pending.attempts);
       break;
     case FailureClass::kCrash:
     case FailureClass::kTransient:
       ++stats.lost;
       ++total_lost_;
       ++ledger_.lost;
+      IncCounter(&ClusterInstruments::lost);
+      RecordInstant(SpanName::kLost, activation_id, pending.attempts);
       break;
     case FailureClass::kNone:
       FAAS_CHECK(false) << "terminal failure without a class";
       break;
   }
   pending_.erase(it);
+  SetQueueDepthGauge();
 }
 
 void Controller::OnFailure(const FailureMessage& message) {
@@ -278,6 +364,8 @@ void Controller::OnTimeout(int64_t activation_id) {
     return;  // Completed or failed just before the timer fired.
   }
   ++ledger_.timeouts;
+  IncCounter(&ClusterInstruments::timeouts);
+  RecordInstant(SpanName::kTimeout, activation_id);
   FailAttempt(activation_id, FailureClass::kTimeout);
 }
 
@@ -289,7 +377,16 @@ void Controller::OnCompletion(const CompletionMessage& message) {
   const int attempts = pending_it->second.attempts;
   const FailureClass first_failure = pending_it->second.first_failure;
   pending_it->second.timeout_event.Cancel();
+  RecordActivationSpan(pending_it->second, message.activation_id,
+                       message.cold_start ? 1 : 0);
+  IncCounter(&ClusterInstruments::completions);
+  if (instruments_ != nullptr && instruments_->registry != nullptr) {
+    instruments_->registry->Observe(
+        instruments_->e2e_latency_ms,
+        (queue_->now() - pending_it->second.created_at).seconds() * 1e3);
+  }
   pending_.erase(pending_it);
+  SetQueueDepthGauge();
 
   AppState& state = apps_.at(message.app_id);
   AppStats& stats = app_stats_[message.app_id];
@@ -323,6 +420,7 @@ void Controller::OnCompletion(const CompletionMessage& message) {
   state.has_executed = true;
 
   const double billed_ms = message.billed_execution.seconds() * 1e3;
+  ObserveHistogram(&ClusterInstruments::billed_ms, billed_ms);
   billed_sum_ms_ += billed_ms;
   ++billed_count_;
   billed_p50_.Add(billed_ms);
@@ -357,6 +455,8 @@ void Controller::OnCompletion(const CompletionMessage& message) {
 }
 
 void Controller::CheckpointPolicies() {
+  IncCounter(&ClusterInstruments::checkpoints);
+  RecordInstant(SpanName::kCheckpoint, 0);
   for (auto& [app_id, state] : apps_) {
     auto snapshot = state.policy->SnapshotState();
     if (snapshot != nullptr) {
@@ -367,6 +467,8 @@ void Controller::CheckpointPolicies() {
 
 void Controller::WipePolicyState() {
   ++ledger_.policy_state_wipes;
+  IncCounter(&ClusterInstruments::policy_wipes);
+  RecordInstant(SpanName::kPolicyWipe, 0);
   for (auto& [app_id, state] : apps_) {
     state.policy->WipeState();
     bool restored = false;

@@ -31,6 +31,7 @@
 #include "src/cluster/latency_model.h"
 #include "src/policy/policy.h"
 #include "src/stats/p2_quantile.h"
+#include "src/telemetry/telemetry.h"
 
 namespace faas {
 
@@ -127,12 +128,16 @@ class Controller {
     int64_t lost = 0;             // Crash/transient failure, no retry left.
   };
 
+  // `instruments` (optional, non-owning) receives counters, latency
+  // histograms, the queue-depth gauge, and activation-lifecycle spans; null
+  // (the default) leaves every telemetry site as a single pointer test.
   Controller(EventQueue* queue, std::vector<Invoker*> invokers,
              const PolicyFactory& policy_factory, const LatencyModel& latency,
              Rng rng, bool collect_latencies = true,
              LoadBalancingPolicy load_balancing =
                  LoadBalancingPolicy::kAppAffinity,
-             RetryPolicy retry = {});
+             RetryPolicy retry = {},
+             const ClusterInstruments* instruments = nullptr);
 
   // Entry point for the trace replayer.
   void OnInvocation(const std::string& app_id, const std::string& function_id,
@@ -148,8 +153,14 @@ class Controller {
   // the policy's own fallback) until representative again.
   void WipePolicyState();
   // Ledger bookkeeping for invoker crash/restart events.
-  void NoteInvokerCrash() { ++ledger_.invoker_crashes; }
-  void NoteInvokerRestart() { ++ledger_.invoker_restarts; }
+  void NoteInvokerCrash() {
+    ++ledger_.invoker_crashes;
+    IncCounter(&ClusterInstruments::invoker_crashes);
+  }
+  void NoteInvokerRestart() {
+    ++ledger_.invoker_restarts;
+    IncCounter(&ClusterInstruments::invoker_restarts);
+  }
 
   const std::unordered_map<std::string, AppStats>& app_stats() const {
     return app_stats_;
@@ -221,6 +232,9 @@ class Controller {
     int attempts = 1;  // Dispatch attempts made (1 = first attempt).
     FailureClass first_failure = FailureClass::kNone;
     EventQueue::Handle timeout_event;
+    // When the activation entered the controller (for the kActivation span
+    // and the end-to-end latency histogram).
+    TimePoint created_at;
   };
 
   AppState& GetOrCreateApp(const std::string& app_id);
@@ -237,6 +251,17 @@ class Controller {
   // hash-based co-primary), then the rest round-robin.
   DispatchOutcome Dispatch(AppState& state, const ActivationMessage& message);
 
+  // --- Telemetry helpers (no-ops when instruments are absent) ---
+  void RecordInstant(SpanName name, int64_t trace_id, int64_t arg0 = 0);
+  void RecordSpan(SpanName name, TimePoint start, Duration dur,
+                  int64_t trace_id, int64_t arg0 = 0, int64_t arg1 = 0);
+  // Closes the lifecycle span of `pending` (terminal outcome reached).
+  void RecordActivationSpan(const PendingActivation& pending,
+                            int64_t trace_id, int64_t outcome_cold);
+  void IncCounter(CounterId ClusterInstruments::*field, int64_t delta = 1);
+  void ObserveHistogram(HistogramId ClusterInstruments::*field, double value);
+  void SetQueueDepthGauge();
+
   EventQueue* queue_;
   std::vector<Invoker*> invokers_;
   const PolicyFactory& policy_factory_;
@@ -245,6 +270,7 @@ class Controller {
   bool collect_latencies_;
   LoadBalancingPolicy load_balancing_;
   RetryPolicy retry_;
+  const ClusterInstruments* instruments_;
 
   std::unordered_map<std::string, AppState> apps_;
   std::unordered_map<std::string, AppStats> app_stats_;

@@ -9,16 +9,42 @@
 namespace faas {
 
 Invoker::Invoker(int id, double memory_capacity_mb, EventQueue* queue,
-                 const LatencyModel& latency, Rng rng, const FaultPlan* faults)
+                 const LatencyModel& latency, Rng rng, const FaultPlan* faults,
+                 const ClusterInstruments* instruments)
     : id_(id),
       memory_capacity_mb_(memory_capacity_mb),
       queue_(queue),
       latency_(latency),
       rng_(rng),
       faults_(faults),
+      instruments_(instruments),
       last_memory_change_(queue->now()) {
   FAAS_CHECK(queue != nullptr) << "invoker needs an event queue";
   FAAS_CHECK(memory_capacity_mb > 0.0) << "invoker memory must be positive";
+}
+
+void Invoker::IncCounter(CounterId ClusterInstruments::*field,
+                         int64_t delta) {
+  if (instruments_ != nullptr && instruments_->registry != nullptr) {
+    instruments_->registry->Inc(instruments_->*field, delta);
+  }
+}
+
+void Invoker::RecordSpanAt(SpanName name, TimePoint start, int64_t dur_ms,
+                           int64_t trace_id, int64_t arg0) {
+  if (instruments_ == nullptr || instruments_->tracer == nullptr) {
+    return;
+  }
+  SpanRecord record;
+  record.start_ms = start.millis_since_origin();
+  record.dur_ms = dur_ms;
+  record.trace_id = trace_id;
+  record.arg0 = arg0;
+  record.label_id = instruments_->label_id;
+  record.name = static_cast<int16_t>(name);
+  record.pid = instruments_->pid;
+  record.tid = id_ + 1;  // Lane 0 is the controller.
+  instruments_->tracer->Record(record);
 }
 
 void Invoker::AccrueMemoryTime() {
@@ -65,6 +91,8 @@ bool Invoker::EvictIdleContainers(double needed_mb) {
       return false;  // Everything resident is busy.
     }
     ++evictions_;
+    IncCounter(&ClusterInstruments::evictions);
+    RecordSpanAt(SpanName::kEviction, queue_->now(), SpanRecord::kInstant, 0);
     DestroyContainer(victim);
   }
   return true;
@@ -184,6 +212,9 @@ bool Invoker::HandleActivation(const ActivationMessage& message) {
     // so fault-free replays consume an identical rng stream.
     const double p = faults_->TransientFailureProbabilityAt(queue_->now());
     if (p > 0.0 && rng_.Bernoulli(p)) {
+      IncCounter(&ClusterInstruments::transient_faults);
+      RecordSpanAt(SpanName::kTransientFault, queue_->now(),
+                   SpanRecord::kInstant, message.activation_id);
       FailureMessage failure;
       failure.activation_id = message.activation_id;
       failure.app_id = message.app_id;
@@ -205,6 +236,9 @@ bool Invoker::HandleActivation(const ActivationMessage& message) {
 
   if (container != nullptr) {
     ++warm_starts_;
+    IncCounter(&ClusterInstruments::warm_starts);
+    RecordSpanAt(SpanName::kWarmHit, queue_->now(), SpanRecord::kInstant,
+                 message.activation_id);
     container->unload_timer.Cancel();
   } else {
     container = CreateContainer(message.app_id, message.memory_mb);
@@ -218,6 +252,13 @@ bool Invoker::HandleActivation(const ActivationMessage& message) {
                              : faults_->LatencyMultiplierAt(queue_->now());
     bootstrap = latency_.SampleRuntimeBootstrap(rng_, scale);
     startup = latency_.SampleContainerInit(rng_, scale) + bootstrap;
+    IncCounter(&ClusterInstruments::cold_starts);
+    if (instruments_ != nullptr && instruments_->registry != nullptr) {
+      instruments_->registry->Observe(instruments_->cold_startup_ms,
+                                      startup.seconds() * 1e3);
+    }
+    RecordSpanAt(SpanName::kColdLoad, queue_->now(), startup.millis(),
+                 message.activation_id);
   }
   container->busy = true;
   container->activation_id = message.activation_id;
@@ -235,6 +276,8 @@ bool Invoker::HandleActivation(const ActivationMessage& message) {
   FAAS_CHECK(it != containers_.end()) << "container vanished";
 
   const TimePoint exec_end = queue_->now() + startup + message.execution;
+  RecordSpanAt(SpanName::kExecute, queue_->now() + startup,
+               message.execution.millis(), message.activation_id);
   const Duration total_latency = startup + message.execution;
   // OpenWhisk activation records charge the full initialisation (container
   // init + runtime bootstrap) to a cold activation's duration; warm
@@ -286,6 +329,9 @@ bool Invoker::HandlePrewarm(const PrewarmMessage& message) {
     return false;
   }
   ++prewarm_loads_;
+  IncCounter(&ClusterInstruments::prewarm_loads);
+  RecordSpanAt(SpanName::kPrewarmLoad, queue_->now(), SpanRecord::kInstant,
+               0);
   auto it = std::prev(containers_.end());
   ArmKeepAlive(it, message.keepalive);
   return true;

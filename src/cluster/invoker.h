@@ -28,6 +28,7 @@
 #include "src/cluster/messages.h"
 #include "src/common/rng.h"
 #include "src/faults/fault_plan.h"
+#include "src/telemetry/telemetry.h"
 
 namespace faas {
 
@@ -37,10 +38,13 @@ class Invoker {
   using FailureCallback = std::function<void(const FailureMessage&)>;
 
   // `faults` (optional) supplies latency-spike multipliers and transient
-  // failure windows; it must outlive the invoker.
+  // failure windows; it must outlive the invoker.  `instruments` (optional,
+  // non-owning) receives container-lifecycle counters and spans on thread
+  // lane id + 1.
   Invoker(int id, double memory_capacity_mb, EventQueue* queue,
           const LatencyModel& latency, Rng rng,
-          const FaultPlan* faults = nullptr);
+          const FaultPlan* faults = nullptr,
+          const ClusterInstruments* instruments = nullptr);
 
   int id() const { return id_; }
 
@@ -114,6 +118,11 @@ class Invoker {
   void ArmKeepAlive(ContainerList::iterator it, Duration keepalive);
   void AccrueMemoryTime();
 
+  // --- Telemetry helpers (no-ops when instruments are absent) ---
+  void IncCounter(CounterId ClusterInstruments::*field, int64_t delta = 1);
+  void RecordSpanAt(SpanName name, TimePoint start, int64_t dur_ms,
+                    int64_t trace_id, int64_t arg0 = 0);
+
   int id_;
   bool healthy_ = true;
   int64_t crash_epoch_ = 0;
@@ -122,6 +131,7 @@ class Invoker {
   LatencyModel latency_;
   Rng rng_;
   const FaultPlan* faults_;
+  const ClusterInstruments* instruments_;
   CompletionCallback on_completion_;
   FailureCallback on_failure_;
 

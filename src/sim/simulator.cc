@@ -65,9 +65,9 @@ AppSimResult ColdStartSimulator::SimulateApp(const AppTrace& app,
                         app.memory.average_mb, horizon, policy);
 }
 
-AppSimResult ColdStartSimulator::SimulateApp(const CompiledTrace& compiled,
-                                             size_t app_index,
-                                             KeepAlivePolicy& policy) const {
+AppSimResult ColdStartSimulator::SimulateApp(
+    const CompiledTrace& compiled, size_t app_index, KeepAlivePolicy& policy,
+    const SimPolicyInstruments* instruments) const {
   FAAS_CHECK(app_index < compiled.num_apps()) << "app index out of range";
   const CompiledTrace::AppSpan span = compiled.spans[app_index];
   // The arenas store real execution durations unconditionally; substitute
@@ -75,16 +75,34 @@ AppSimResult ColdStartSimulator::SimulateApp(const CompiledTrace& compiled,
   const int64_t* exec = options_.use_execution_times
                             ? compiled.exec_ms.data() + span.begin
                             : nullptr;
-  return SimulateStream(compiled.app_ids[app_index],
-                        compiled.times_ms.data() + span.begin, exec,
-                        span.size(), compiled.memory_mb[app_index],
-                        compiled.horizon, policy);
+  AppSimResult result = SimulateStream(
+      compiled.app_ids[app_index], compiled.times_ms.data() + span.begin,
+      exec, span.size(), compiled.memory_mb[app_index], compiled.horizon,
+      policy, instruments);
+  if (instruments != nullptr && instruments->tracer != nullptr &&
+      span.size() > 0) {
+    // One span per (policy, app): start at the first invocation, run to the
+    // last, keyed so the span set is a pure function of the sweep shape.
+    SpanRecord record;
+    record.start_ms = compiled.times_ms[span.begin];
+    record.dur_ms = compiled.times_ms[span.end - 1] - record.start_ms;
+    record.trace_id =
+        instruments->trace_id_base + static_cast<int64_t>(app_index);
+    record.arg0 = result.invocations;
+    record.arg1 = result.cold_starts;
+    record.label_id = instruments->label_id;
+    record.name = static_cast<int16_t>(SpanName::kAppReplay);
+    record.pid = instruments->pid;
+    record.tid = 0;
+    instruments->tracer->Record(record);
+  }
+  return result;
 }
 
 AppSimResult ColdStartSimulator::SimulateStream(
     std::string app_id, const int64_t* times_ms, const int64_t* exec_ms,
-    size_t count, double memory_mb, Duration horizon,
-    KeepAlivePolicy& policy) const {
+    size_t count, double memory_mb, Duration horizon, KeepAlivePolicy& policy,
+    const SimPolicyInstruments* instruments) const {
   AppSimResult result;
   result.app_id = std::move(app_id);
   result.invocations = static_cast<int64_t>(count);
@@ -99,7 +117,43 @@ AppSimResult ColdStartSimulator::SimulateStream(
 
   double wasted_ms = 0.0;
 
+  // Per-invocation telemetry rides the classification the loop already
+  // makes.  Invocation times are ordered, so the per-minute series updates
+  // are run-length batched: counts accumulate in two locals and flush to the
+  // registry only when the minute bin changes.  Everything heavier
+  // (counters, histogram, span) flushes once per app below, keeping the
+  // per-invocation cost at a couple of arithmetic ops when enabled and one
+  // pointer test when not.
+  MetricsRegistry* metrics =
+      instruments != nullptr ? instruments->registry : nullptr;
+  int64_t series_bin = -1;
+  int64_t bin_invocations = 0;
+  int64_t bin_cold = 0;
+  const auto flush_series = [&]() {
+    if (series_bin < 0) {
+      return;
+    }
+    const TimePoint at(series_bin * 60'000);
+    metrics->SeriesAdd(instruments->minute_invocations, at, bin_invocations);
+    if (bin_cold > 0) {
+      metrics->SeriesAdd(instruments->minute_cold_starts, at, bin_cold);
+    }
+    bin_invocations = 0;
+    bin_cold = 0;
+  };
+
   const auto track = [&](TimePoint t, bool is_cold) {
+    if (metrics != nullptr) {
+      // Clamp below at zero so a (theoretical) negative timestamp cannot
+      // collide with the -1 "no bin yet" sentinel; SeriesAdd clamps the top.
+      const int64_t bin = std::max<int64_t>(t.millis_since_origin(), 0) / 60'000;
+      if (bin != series_bin) {
+        flush_series();
+        series_bin = bin;
+      }
+      ++bin_invocations;
+      bin_cold += is_cold ? 1 : 0;
+    }
     if (!options_.track_hourly) {
       return;
     }
@@ -191,6 +245,14 @@ AppSimResult ColdStartSimulator::SimulateStream(
   if (options_.weight_by_memory) {
     result.wasted_memory_minutes *= memory_mb;
   }
+  if (metrics != nullptr) {
+    flush_series();
+    metrics->Inc(instruments->apps);
+    metrics->Inc(instruments->invocations, result.invocations);
+    metrics->Inc(instruments->cold_starts, result.cold_starts);
+    metrics->Inc(instruments->prewarm_loads, result.prewarm_loads);
+    metrics->Observe(instruments->app_cold_percent, result.ColdStartPercent());
+  }
   return result;
 }
 
@@ -204,11 +266,21 @@ SimulationResult ColdStartSimulator::Run(const CompiledTrace& compiled,
   SimulationResult result;
   result.policy_name = factory.name();
   result.apps.resize(compiled.num_apps());
+  // Register instruments before the parallel region (the registry sizes
+  // per-thread shards on first touch).
+  SimPolicyInstruments instruments_storage;
+  const SimPolicyInstruments* instruments = nullptr;
+  if (options_.telemetry != nullptr) {
+    instruments_storage = SimPolicyInstruments::Register(
+        *options_.telemetry, factory.name(), /*pid=*/0, /*trace_id_base=*/0,
+        compiled.horizon);
+    instruments = &instruments_storage;
+  }
   ParallelFor(
       compiled.num_apps(),
       [&](size_t i) {
         const std::unique_ptr<KeepAlivePolicy> policy = factory.CreateForApp();
-        result.apps[i] = SimulateApp(compiled, i, *policy);
+        result.apps[i] = SimulateApp(compiled, i, *policy, instruments);
       },
       options_.num_threads);
   return result;

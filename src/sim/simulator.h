@@ -28,6 +28,7 @@
 #include "src/policy/policy.h"
 #include "src/sim/compiled_trace.h"
 #include "src/stats/ecdf.h"
+#include "src/telemetry/telemetry.h"
 #include "src/trace/types.h"
 
 namespace faas {
@@ -48,6 +49,9 @@ struct SimulatorOptions {
   // Record per-hour cold-start and invocation counts (for adaptation
   // experiments: how quickly a policy recovers after a pattern change).
   bool track_hourly = false;
+  // Optional telemetry sink (non-owning; must outlive the run).  Null keeps
+  // the hot loop free of any telemetry branches beyond one pointer test.
+  Telemetry* telemetry = nullptr;
 };
 
 struct AppSimResult {
@@ -102,9 +106,13 @@ class ColdStartSimulator {
                            KeepAlivePolicy& policy) const;
 
   // Simulates one app of a pre-compiled trace.  Bit-identical to the
-  // AppTrace overload on the same app.
+  // AppTrace overload on the same app.  `instruments` (optional) receives
+  // per-minute series updates, per-app counter flushes and one kAppReplay
+  // span; the simulated result itself is unaffected.
   AppSimResult SimulateApp(const CompiledTrace& compiled, size_t app_index,
-                           KeepAlivePolicy& policy) const;
+                           KeepAlivePolicy& policy,
+                           const SimPolicyInstruments* instruments =
+                               nullptr) const;
 
   // Simulates the whole trace, one policy instance per app.  The Trace
   // overload compiles the trace and delegates; callers evaluating several
@@ -119,7 +127,9 @@ class ColdStartSimulator {
   AppSimResult SimulateStream(std::string app_id, const int64_t* times_ms,
                               const int64_t* exec_ms, size_t count,
                               double memory_mb, Duration horizon,
-                              KeepAlivePolicy& policy) const;
+                              KeepAlivePolicy& policy,
+                              const SimPolicyInstruments* instruments =
+                                  nullptr) const;
 
   SimulatorOptions options_;
 };

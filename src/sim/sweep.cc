@@ -30,6 +30,21 @@ std::vector<PolicyPoint> EvaluatePolicies(
     points[p].result.apps.resize(num_apps);
   }
 
+  // Telemetry: one instrument bundle per policy, registered on this thread
+  // before the parallel region so worker shards are sized correctly.  The
+  // Chrome-trace process lane is the policy ordinal and kAppReplay trace ids
+  // are p * num_apps + app, so the collected span set is a deterministic
+  // function of the sweep shape, independent of --threads.
+  std::vector<SimPolicyInstruments> instruments;
+  if (options.telemetry != nullptr) {
+    instruments.reserve(num_policies);
+    for (size_t p = 0; p < num_policies; ++p) {
+      instruments.push_back(SimPolicyInstruments::Register(
+          *options.telemetry, factories[p]->name(), static_cast<int16_t>(p),
+          static_cast<int64_t>(p * num_apps), compiled.horizon));
+    }
+  }
+
   // One task simulates one shard of apps under one policy; every (policy,
   // app) cell lands in its own pre-sized slot, so scheduling order cannot
   // change the output.  Shards keep the task count well above the thread
@@ -49,10 +64,13 @@ std::vector<PolicyPoint> EvaluatePolicies(
         const size_t shard = task % num_shards;
         const size_t begin = shard * shard_size;
         const size_t end = std::min(begin + shard_size, num_apps);
+        const SimPolicyInstruments* policy_instruments =
+            instruments.empty() ? nullptr : &instruments[p];
         for (size_t i = begin; i < end; ++i) {
           const std::unique_ptr<KeepAlivePolicy> policy =
               factories[p]->CreateForApp();
-          points[p].result.apps[i] = simulator.SimulateApp(compiled, i, *policy);
+          points[p].result.apps[i] =
+              simulator.SimulateApp(compiled, i, *policy, policy_instruments);
         }
       },
       options.num_threads);

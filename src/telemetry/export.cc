@@ -1,0 +1,271 @@
+#include "src/telemetry/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace faas {
+
+namespace {
+
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string CsvQuote(const std::string& text) {
+  bool needs_quotes = false;
+  for (char c : text) {
+    if (c == ',' || c == '"' || c == '\n') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) {
+    return text;
+  }
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+// `name{policy="hybrid",le="5"}` -- joins the metric's label body with any
+// extra labels (used for the histogram `le` label).
+std::string PrometheusSeries(const std::string& name, const std::string& label,
+                             const std::string& extra = "") {
+  std::string body = label;
+  if (!extra.empty()) {
+    if (!body.empty()) {
+      body += ",";
+    }
+    body += extra;
+  }
+  if (body.empty()) {
+    return name;
+  }
+  return name + "{" + body + "}";
+}
+
+}  // namespace
+
+std::string FormatMetricValue(double value) {
+  if (std::isnan(value)) {
+    return "NaN";
+  }
+  if (std::isinf(value)) {
+    return value > 0 ? "+Inf" : "-Inf";
+  }
+  // Exact integers print plainly ("60", not "6e+01") so bucket edges and
+  // sums stay human-readable.
+  if (std::abs(value) < 1e15 &&
+      value == static_cast<double>(static_cast<int64_t>(value))) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+    return buffer;
+  }
+  // Otherwise the shortest representation that round-trips, so output is
+  // deterministic and lossless across platforms.
+  char buffer[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) {
+      break;
+    }
+  }
+  return buffer;
+}
+
+void WriteChromeTrace(const CollectedTrace& trace, std::ostream& out) {
+  out << "[";
+  bool first = true;
+  const auto separator = [&]() {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\n";
+  };
+
+  for (const auto& [pid, name] : trace.processes) {
+    separator();
+    out << "{\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+        << EscapeJson(name) << "\"}}";
+  }
+  for (const auto& [key, name] : trace.threads) {
+    separator();
+    out << "{\"ph\":\"M\",\"pid\":" << key.first << ",\"tid\":" << key.second
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << EscapeJson(name) << "\"}}";
+  }
+  for (const SpanRecord& span : trace.spans) {
+    separator();
+    const char* name = SpanNameString(static_cast<SpanName>(span.name));
+    const std::string category =
+        span.label_id >= 0 &&
+                static_cast<size_t>(span.label_id) < trace.labels.size()
+            ? trace.labels[static_cast<size_t>(span.label_id)]
+            : std::string("faas");
+    // Simulation ms -> trace us.
+    const int64_t ts = span.start_ms * 1000;
+    out << "{\"ph\":\"" << (span.dur_ms == SpanRecord::kInstant ? "i" : "X")
+        << "\",\"pid\":" << span.pid << ",\"tid\":" << span.tid
+        << ",\"ts\":" << ts;
+    if (span.dur_ms == SpanRecord::kInstant) {
+      out << ",\"s\":\"t\"";
+    } else {
+      out << ",\"dur\":" << span.dur_ms * 1000;
+    }
+    out << ",\"name\":\"" << name << "\",\"cat\":\"" << EscapeJson(category)
+        << "\",\"args\":{\"trace_id\":" << span.trace_id
+        << ",\"arg0\":" << span.arg0 << ",\"arg1\":" << span.arg1 << "}}";
+  }
+  out << "\n]\n";
+}
+
+void WritePrometheusText(const RegistrySnapshot& snapshot, std::ostream& out) {
+  // HELP/TYPE are emitted once per base name (the metrics of one base differ
+  // only in label); metrics follow registration order.
+  std::unordered_set<std::string> announced;
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    if (announced.insert(metric.name).second) {
+      out << "# HELP " << metric.name << " " << metric.help << "\n";
+      out << "# TYPE " << metric.name << " ";
+      switch (metric.kind) {
+        case MetricKind::kCounter:
+        case MetricKind::kSeries:  // Exposed as its total (bins go to CSV).
+          out << "counter";
+          break;
+        case MetricKind::kGauge:
+          out << "gauge";
+          break;
+        case MetricKind::kHistogram:
+          out << "histogram";
+          break;
+      }
+      out << "\n";
+    }
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        out << PrometheusSeries(metric.name, metric.label) << " "
+            << metric.counter << "\n";
+        break;
+      case MetricKind::kGauge:
+        out << PrometheusSeries(metric.name, metric.label) << " "
+            << FormatMetricValue(metric.gauge) << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        // Cumulative `le` buckets.  Our buckets are left-closed (a value on
+        // an edge counts above it), so `le` here means strictly-below the
+        // edge; the +Inf bucket is exact either way.
+        int64_t cumulative = 0;
+        for (size_t i = 0; i < metric.edges.size(); ++i) {
+          cumulative += metric.counts[i];
+          out << PrometheusSeries(metric.name + "_bucket", metric.label,
+                                  "le=\"" +
+                                      FormatMetricValue(metric.edges[i]) +
+                                      "\"")
+              << " " << cumulative << "\n";
+        }
+        out << PrometheusSeries(metric.name + "_bucket", metric.label,
+                                "le=\"+Inf\"")
+            << " " << metric.observations << "\n";
+        out << PrometheusSeries(metric.name + "_sum", metric.label) << " "
+            << FormatMetricValue(metric.sum) << "\n";
+        out << PrometheusSeries(metric.name + "_count", metric.label) << " "
+            << metric.observations << "\n";
+        break;
+      }
+      case MetricKind::kSeries: {
+        int64_t total = 0;
+        for (int64_t bin : metric.bins) {
+          total += bin;
+        }
+        out << PrometheusSeries(metric.name, metric.label) << " " << total
+            << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void WriteSeriesCsv(const RegistrySnapshot& snapshot, std::ostream& out) {
+  std::vector<const MetricSnapshot*> series;
+  size_t max_bins = 0;
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    if (metric.kind == MetricKind::kSeries) {
+      series.push_back(&metric);
+      max_bins = std::max(max_bins, metric.bins.size());
+    }
+  }
+  out << "bin,start_s";
+  for (const MetricSnapshot* metric : series) {
+    std::string column = metric->name;
+    if (!metric->label.empty()) {
+      column += "{" + metric->label + "}";
+    }
+    out << "," << CsvQuote(column);
+  }
+  out << "\n";
+  for (size_t bin = 0; bin < max_bins; ++bin) {
+    out << bin;
+    // All our series share one bin width; with mixed widths each column
+    // still starts where its own series does.
+    const int64_t width_ms =
+        series.empty() ? 0 : series.front()->bin_width_ms;
+    out << "," << FormatMetricValue(
+                      static_cast<double>(bin) *
+                      (static_cast<double>(width_ms) / 1000.0));
+    for (const MetricSnapshot* metric : series) {
+      out << ",";
+      if (bin < metric->bins.size()) {
+        out << metric->bins[bin];
+      }
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace faas

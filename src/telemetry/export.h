@@ -1,0 +1,41 @@
+// Exporters for the telemetry subsystem.
+//
+//   WriteChromeTrace      Chrome trace_event JSON (the "JSON Array Format"):
+//                         load the file in chrome://tracing or
+//                         https://ui.perfetto.dev.  Simulation milliseconds
+//                         are exported as trace microseconds so Perfetto's
+//                         zoom works at cold-start resolution.
+//   WritePrometheusText   Prometheus text exposition (# HELP / # TYPE plus
+//                         cumulative `le` buckets for histograms).
+//   WriteSeriesCsv        Wide CSV of every Series metric: one row per bin,
+//                         one column per (name, label) — the per-minute
+//                         cold-start / memory-pressure / queue-depth series.
+//
+// All writers emit deterministic byte streams for a given collected trace or
+// snapshot: iteration follows the canonical orders established by
+// Tracer::Collect() and registration order in the registry.
+
+#ifndef SRC_TELEMETRY_EXPORT_H_
+#define SRC_TELEMETRY_EXPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/tracer.h"
+
+namespace faas {
+
+void WriteChromeTrace(const CollectedTrace& trace, std::ostream& out);
+
+void WritePrometheusText(const RegistrySnapshot& snapshot, std::ostream& out);
+
+void WriteSeriesCsv(const RegistrySnapshot& snapshot, std::ostream& out);
+
+// Shared by the writers and trace_stats --summary-metrics: stable text
+// rendering of a double (shortest round-trippable form, no locale).
+std::string FormatMetricValue(double value);
+
+}  // namespace faas
+
+#endif  // SRC_TELEMETRY_EXPORT_H_

@@ -1,0 +1,187 @@
+#include "src/telemetry/telemetry.h"
+
+#include <algorithm>
+
+namespace faas {
+
+namespace {
+
+std::string PolicyLabel(const std::string& policy_name) {
+  // Pre-rendered Prometheus label body; escape the few characters the text
+  // exposition format reserves inside label values.
+  std::string escaped;
+  escaped.reserve(policy_name.size());
+  for (char c : policy_name) {
+    if (c == '\\' || c == '"') {
+      escaped.push_back('\\');
+    }
+    if (c == '\n') {
+      escaped += "\\n";
+      continue;
+    }
+    escaped.push_back(c);
+  }
+  return "policy=\"" + escaped + "\"";
+}
+
+size_t MinuteBins(Duration horizon, Duration bin_width) {
+  const int64_t width = std::max<int64_t>(1, bin_width.millis());
+  const int64_t bins = (horizon.millis() + width - 1) / width;
+  return static_cast<size_t>(std::max<int64_t>(1, bins));
+}
+
+// Shared latency bucket edges, milliseconds.  Wide enough for cold-start
+// startup (O(100 ms)) through multi-minute executions.
+std::vector<double> LatencyEdgesMs() {
+  return {1,    2,     5,     10,    20,    50,     100,    200,
+          500,  1000,  2000,  5000,  10000, 30000,  60000,  120000,
+          300000};
+}
+
+}  // namespace
+
+Telemetry::Telemetry(TelemetryConfig config)
+    : config_(config), tracer_(config.ring_capacity) {}
+
+ClusterInstruments ClusterInstruments::Register(Telemetry& telemetry,
+                                                const std::string& policy_name,
+                                                int16_t pid, Duration horizon,
+                                                Duration sample_interval) {
+  ClusterInstruments instruments;
+  instruments.pid = pid;
+  if (telemetry.metrics_enabled()) {
+    instruments.registry = &telemetry.metrics();
+  }
+  if (telemetry.trace_enabled()) {
+    instruments.tracer = &telemetry.tracer();
+  }
+  const std::string label = PolicyLabel(policy_name);
+  if (instruments.tracer != nullptr) {
+    instruments.label_id = instruments.tracer->InternLabel(label);
+    instruments.tracer->RegisterProcess(pid, "cluster " + policy_name);
+    instruments.tracer->RegisterThread(pid, 0, "controller");
+  }
+  if (instruments.registry == nullptr) {
+    return instruments;
+  }
+  MetricsRegistry& r = *instruments.registry;
+  instruments.invocations = r.AddCounter(
+      "faas_cluster_invocations_total", "Invocations replayed", label);
+  instruments.completions = r.AddCounter(
+      "faas_cluster_completions_total", "Activations completed", label);
+  instruments.retries = r.AddCounter("faas_cluster_retries_total",
+                                     "Retry attempts scheduled", label);
+  instruments.timeouts = r.AddCounter("faas_cluster_timeouts_total",
+                                      "Activation timeouts fired", label);
+  instruments.dropped = r.AddCounter(
+      "faas_cluster_dropped_total",
+      "Terminal: no memory on any healthy invoker", label);
+  instruments.rejected_outage = r.AddCounter(
+      "faas_cluster_rejected_outage_total",
+      "Terminal: unplaceable during an outage", label);
+  instruments.abandoned = r.AddCounter(
+      "faas_cluster_abandoned_total",
+      "Terminal: timed out past the retry budget", label);
+  instruments.lost = r.AddCounter(
+      "faas_cluster_lost_total",
+      "Terminal: crash/transient failure with no retry left", label);
+  instruments.policy_wipes = r.AddCounter("faas_cluster_policy_wipes_total",
+                                          "Controller state wipes", label);
+  instruments.checkpoints = r.AddCounter("faas_cluster_checkpoints_total",
+                                         "Policy checkpoints taken", label);
+  instruments.cold_starts = r.AddCounter("faas_cluster_cold_starts_total",
+                                         "Cold container starts", label);
+  instruments.warm_starts = r.AddCounter("faas_cluster_warm_starts_total",
+                                         "Warm container hits", label);
+  instruments.prewarm_loads = r.AddCounter("faas_cluster_prewarm_loads_total",
+                                           "Pre-warm container loads", label);
+  instruments.evictions = r.AddCounter("faas_cluster_evictions_total",
+                                       "Idle containers evicted", label);
+  instruments.transient_faults =
+      r.AddCounter("faas_cluster_transient_faults_total",
+                   "Transient sandbox faults", label);
+  instruments.invoker_crashes = r.AddCounter(
+      "faas_cluster_invoker_crashes_total", "Invoker VM crashes", label);
+  instruments.invoker_restarts = r.AddCounter(
+      "faas_cluster_invoker_restarts_total", "Invoker VM restarts", label);
+  instruments.e2e_latency_ms = r.AddHistogram(
+      "faas_cluster_e2e_latency_ms",
+      "End-to-end activation latency (enqueue to completion), ms",
+      LatencyEdgesMs(), label);
+  instruments.cold_startup_ms = r.AddHistogram(
+      "faas_cluster_cold_startup_ms",
+      "Cold-start startup (container init + runtime bootstrap), ms",
+      LatencyEdgesMs(), label);
+  instruments.billed_ms =
+      r.AddHistogram("faas_cluster_billed_ms",
+                     "Billed execution time (run + init when cold), ms",
+                     LatencyEdgesMs(), label);
+  instruments.queue_depth = r.AddGauge(
+      "faas_cluster_queue_depth",
+      "Activations awaiting completion or retry", label);
+  instruments.memory_in_use_mb = r.AddGauge(
+      "faas_cluster_memory_in_use_mb",
+      "Resident container memory across invokers, MB", label);
+  const size_t bins = MinuteBins(horizon, sample_interval);
+  instruments.minute_invocations = r.AddSeries(
+      "faas_cluster_minute_invocations", "Invocations per sample interval",
+      sample_interval, bins, label);
+  instruments.minute_cold_starts = r.AddSeries(
+      "faas_cluster_minute_cold_starts", "Cold starts per sample interval",
+      sample_interval, bins, label);
+  instruments.minute_queue_depth = r.AddSeries(
+      "faas_cluster_minute_queue_depth",
+      "Pending activations sampled at each interval", sample_interval, bins,
+      label);
+  instruments.minute_memory_mb = r.AddSeries(
+      "faas_cluster_minute_memory_mb",
+      "Resident container MB sampled at each interval", sample_interval,
+      bins, label);
+  return instruments;
+}
+
+SimPolicyInstruments SimPolicyInstruments::Register(
+    Telemetry& telemetry, const std::string& policy_name, int16_t pid,
+    int64_t trace_id_base, Duration horizon) {
+  SimPolicyInstruments instruments;
+  instruments.pid = pid;
+  instruments.trace_id_base = trace_id_base;
+  if (telemetry.metrics_enabled()) {
+    instruments.registry = &telemetry.metrics();
+  }
+  if (telemetry.trace_enabled()) {
+    instruments.tracer = &telemetry.tracer();
+  }
+  const std::string label = PolicyLabel(policy_name);
+  if (instruments.tracer != nullptr) {
+    instruments.label_id = instruments.tracer->InternLabel(label);
+    instruments.tracer->RegisterProcess(pid, "sweep " + policy_name);
+    instruments.tracer->RegisterThread(pid, 0, "apps");
+  }
+  if (instruments.registry == nullptr) {
+    return instruments;
+  }
+  MetricsRegistry& r = *instruments.registry;
+  instruments.apps =
+      r.AddCounter("faas_sim_apps_total", "Apps simulated", label);
+  instruments.invocations = r.AddCounter("faas_sim_invocations_total",
+                                         "Invocations simulated", label);
+  instruments.cold_starts =
+      r.AddCounter("faas_sim_cold_starts_total", "Cold starts", label);
+  instruments.prewarm_loads = r.AddCounter(
+      "faas_sim_prewarm_loads_total", "Pre-warm loads that happened", label);
+  instruments.app_cold_percent = r.AddHistogram(
+      "faas_sim_app_cold_percent",
+      "Per-app cold-start percentage distribution",
+      {0.5, 1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 99.5}, label);
+  const size_t bins = MinuteBins(horizon, Duration::Minutes(1));
+  instruments.minute_invocations =
+      r.AddSeries("faas_sim_minute_invocations", "Invocations per minute",
+                  Duration::Minutes(1), bins, label);
+  instruments.minute_cold_starts =
+      r.AddSeries("faas_sim_minute_cold_starts", "Cold starts per minute",
+                  Duration::Minutes(1), bins, label);
+  return instruments;
+}
+
+}  // namespace faas

@@ -1,0 +1,215 @@
+#include "src/telemetry/tracer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <tuple>
+
+#include "src/common/logging.h"
+
+namespace faas {
+
+namespace {
+
+std::atomic<uint64_t> g_tracer_serial{1};
+
+// Bounded like the metrics shard cache: move-to-front on hit, tail eviction
+// on insert.  Evicting a live tracer's entry is safe — the next Record mints
+// a fresh ring and the old one's spans still surface in Collect.
+struct RingCacheEntry {
+  uint64_t serial = 0;
+  void* ring = nullptr;
+};
+constexpr size_t kMaxRingCacheEntries = 8;
+thread_local std::vector<RingCacheEntry> t_ring_cache;
+
+}  // namespace
+
+const char* SpanNameString(SpanName name) {
+  switch (name) {
+    case SpanName::kActivation:
+      return "activation";
+    case SpanName::kBackoff:
+      return "backoff";
+    case SpanName::kRetry:
+      return "retry";
+    case SpanName::kTimeout:
+      return "timeout";
+    case SpanName::kAbandon:
+      return "abandon";
+    case SpanName::kDrop:
+      return "drop";
+    case SpanName::kRejectOutage:
+      return "reject_outage";
+    case SpanName::kLost:
+      return "lost";
+    case SpanName::kPolicyWipe:
+      return "policy_wipe";
+    case SpanName::kCheckpoint:
+      return "checkpoint";
+    case SpanName::kColdLoad:
+      return "cold_load";
+    case SpanName::kWarmHit:
+      return "warm_hit";
+    case SpanName::kPrewarmLoad:
+      return "prewarm_load";
+    case SpanName::kExecute:
+      return "execute";
+    case SpanName::kEviction:
+      return "eviction";
+    case SpanName::kTransientFault:
+      return "transient_fault";
+    case SpanName::kInvokerCrash:
+      return "invoker_crash";
+    case SpanName::kInvokerRestart:
+      return "invoker_restart";
+    case SpanName::kOutage:
+      return "outage";
+    case SpanName::kLatencySpike:
+      return "latency_spike";
+    case SpanName::kFlakyWindow:
+      return "flaky_window";
+    case SpanName::kAppReplay:
+      return "app_replay";
+    case SpanName::kNumSpanNames:
+      break;
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(size_t ring_capacity)
+    : serial_(g_tracer_serial.fetch_add(1, std::memory_order_relaxed)),
+      ring_capacity_(std::max<size_t>(1, ring_capacity)) {}
+
+Tracer::~Tracer() = default;
+
+int32_t Tracer::InternLabel(const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) {
+      return static_cast<int32_t>(i);
+    }
+  }
+  labels_.push_back(label);
+  return static_cast<int32_t>(labels_.size() - 1);
+}
+
+void Tracer::RegisterProcess(int16_t pid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [existing_pid, existing_name] : processes_) {
+    if (existing_pid == pid) {
+      existing_name = std::move(name);
+      return;
+    }
+  }
+  processes_.emplace_back(pid, std::move(name));
+}
+
+void Tracer::RegisterThread(int16_t pid, int32_t tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, existing_name] : threads_) {
+    if (key.first == pid && key.second == tid) {
+      existing_name = std::move(name);
+      return;
+    }
+  }
+  threads_.emplace_back(std::make_pair(pid, tid), std::move(name));
+}
+
+Tracer::Ring& Tracer::LocalRing() const {
+  std::vector<RingCacheEntry>& cache = t_ring_cache;
+  for (size_t i = 0; i < cache.size(); ++i) {
+    if (cache[i].serial == serial_) {
+      if (i != 0) {
+        std::swap(cache[0], cache[i]);  // Keep the hot tracer up front.
+      }
+      return *static_cast<Ring*>(cache[0].ring);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto ring = std::make_unique<Ring>();
+  ring->spans.reserve(ring_capacity_);
+  Ring* raw = ring.get();
+  rings_.push_back(std::move(ring));
+  if (cache.size() >= kMaxRingCacheEntries) {
+    cache.pop_back();
+  }
+  cache.insert(cache.begin(), RingCacheEntry{serial_, raw});
+  return *raw;
+}
+
+void Tracer::Record(const SpanRecord& span) {
+  Ring& ring = LocalRing();
+  ring.spans.push_back(span);
+  if (ring.spans.size() >= ring_capacity_) {
+    // Hand the full ring off to the central store: one lock acquisition per
+    // `ring_capacity_` records, and nothing is ever dropped.
+    std::lock_guard<std::mutex> lock(mu_);
+    flushed_.insert(flushed_.end(), ring.spans.begin(), ring.spans.end());
+    ring.spans.clear();
+  }
+}
+
+CollectedTrace Tracer::Collect() const {
+  CollectedTrace trace;
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Canonicalise labels: sorted lexicographically, spans remapped, so the
+  // result does not depend on which thread interned what first.
+  std::vector<size_t> order(labels_.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return labels_[a] < labels_[b];
+  });
+  std::vector<int32_t> remap(labels_.size(), -1);
+  trace.labels.reserve(labels_.size());
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    remap[order[rank]] = static_cast<int32_t>(rank);
+    trace.labels.push_back(labels_[order[rank]]);
+  }
+
+  size_t total = flushed_.size();
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    total += ring->spans.size();
+  }
+  trace.spans.reserve(total);
+  trace.spans = flushed_;
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    trace.spans.insert(trace.spans.end(), ring->spans.begin(),
+                       ring->spans.end());
+  }
+  for (SpanRecord& span : trace.spans) {
+    if (span.label_id >= 0) {
+      FAAS_CHECK(static_cast<size_t>(span.label_id) < remap.size())
+          << "span references an unknown label";
+      span.label_id = remap[static_cast<size_t>(span.label_id)];
+    }
+  }
+  // Canonical order.  Every key is either simulation state or a remapped
+  // (string-ordered) id, so the sort is independent of recording thread.
+  std::sort(trace.spans.begin(), trace.spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return std::tie(a.pid, a.start_ms, a.trace_id, a.name, a.tid,
+                              a.label_id, a.dur_ms, a.arg0, a.arg1) <
+                     std::tie(b.pid, b.start_ms, b.trace_id, b.name, b.tid,
+                              b.label_id, b.dur_ms, b.arg0, b.arg1);
+            });
+
+  trace.processes = processes_;
+  std::sort(trace.processes.begin(), trace.processes.end());
+  trace.threads = threads_;
+  std::sort(trace.threads.begin(), trace.threads.end());
+  return trace;
+}
+
+size_t Tracer::num_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = flushed_.size();
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    total += ring->spans.size();
+  }
+  return total;
+}
+
+}  // namespace faas

@@ -1,0 +1,146 @@
+// Span-based activation tracing.
+//
+// Every span is stamped with *simulation* time (milliseconds since the trace
+// origin, never wall clock), so the recorded span set depends only on the
+// simulated schedule: running the same replay with --threads=1 and
+// --threads=N collects bit-identical traces.
+//
+// Hot-path recording writes into a per-thread ring buffer; when a ring
+// fills, the whole ring is handed off to a central store under one mutex
+// acquisition, so locking is amortised over `ring_capacity` records and no
+// span is ever dropped.  Collect() (which requires quiescence, like a
+// metrics scrape) merges the central store with every live ring, resolves
+// interned label strings, and sorts the result into a canonical order that
+// is independent of which thread recorded what.
+//
+// SpanRecord is deliberately a small POD of integers: the only strings in
+// the system are interned labels (e.g. `policy="hybrid"`) and registered
+// process/thread names, both created at setup time on one thread.
+
+#ifndef SRC_TELEMETRY_TRACER_H_
+#define SRC_TELEMETRY_TRACER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace faas {
+
+// Every span/instant name the instrumentation can emit.  A closed enum keeps
+// SpanRecord free of strings; the exporter resolves display names from
+// SpanNameString().
+enum class SpanName : int16_t {
+  // Controller-side activation lifecycle.
+  kActivation,      // Full activation: enqueue -> terminal outcome.
+  kBackoff,         // Retry backoff window (dur = backoff).
+  kRetry,           // Instant: a retry attempt was scheduled.
+  kTimeout,         // Instant: an activation timeout fired.
+  kAbandon,         // Instant: terminal — timed out past the retry budget.
+  kDrop,            // Instant: terminal — no memory on any healthy invoker.
+  kRejectOutage,    // Instant: terminal — unplaceable during an outage.
+  kLost,            // Instant: terminal — crash/transient, no retry left.
+  kPolicyWipe,      // Instant: controller state wipe.
+  kCheckpoint,      // Instant: periodic policy checkpoint.
+  // Invoker-side container lifecycle.
+  kColdLoad,        // Container init + runtime bootstrap (dur = startup).
+  kWarmHit,         // Instant: activation reused a warm container.
+  kPrewarmLoad,     // Instant: a pre-warm request loaded a container.
+  kExecute,         // Function execution (dur = execution).
+  kEviction,        // Instant: idle container evicted under pressure.
+  kTransientFault,  // Instant: sandbox fault killed an accepted activation.
+  // Fault-plan windows (emitted once at setup from the plan itself).
+  kInvokerCrash,    // Instant: invoker VM crash.
+  kInvokerRestart,  // Instant: invoker VM restart.
+  kOutage,          // Drain window of one invoker (dur = outage length).
+  kLatencySpike,    // Cold-start latency multiplier window.
+  kFlakyWindow,     // Transient-failure probability window.
+  // Analytic sweep.
+  kAppReplay,       // One app under one policy (dur = active span of app).
+  kNumSpanNames,    // Sentinel; keep last.
+};
+
+const char* SpanNameString(SpanName name);
+
+// One recorded span (dur_ms >= 0) or instant event (dur_ms == kInstant).
+struct SpanRecord {
+  static constexpr int64_t kInstant = -1;
+
+  int64_t start_ms = 0;       // Simulation time of the span start.
+  int64_t dur_ms = kInstant;  // Span length, or kInstant for point events.
+  int64_t trace_id = 0;       // Groups spans of one activation/app replay.
+  int64_t arg0 = 0;           // Name-specific payload (attempts, counts...).
+  int64_t arg1 = 0;
+  int32_t label_id = -1;      // InternLabel() id, -1 = unlabelled.
+  int16_t name = 0;           // SpanName.
+  int16_t pid = 0;            // Process lane (policy ordinal in a sweep).
+  int32_t tid = 0;            // Thread lane (0 = controller, i+1 = invoker i).
+
+  bool operator==(const SpanRecord&) const = default;
+};
+
+// Quiesced, canonicalised view of everything the tracer recorded.  Label ids
+// in `spans` are remapped to indices into `labels`, which is sorted, so the
+// whole structure is independent of interning order and thread count.
+struct CollectedTrace {
+  std::vector<SpanRecord> spans;
+  std::vector<std::string> labels;
+  // (pid, name) and (pid, tid, name), sorted.
+  std::vector<std::pair<int16_t, std::string>> processes;
+  std::vector<std::pair<std::pair<int16_t, int32_t>, std::string>> threads;
+};
+
+class Tracer {
+ public:
+  static constexpr size_t kDefaultRingCapacity = 4096;
+
+  explicit Tracer(size_t ring_capacity = kDefaultRingCapacity);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Interns a label string (idempotent), returning its id for SpanRecord.
+  // Call at setup time; takes the central mutex.
+  int32_t InternLabel(const std::string& label);
+
+  // Names a process / thread lane for the Chrome trace metadata.
+  void RegisterProcess(int16_t pid, std::string name);
+  void RegisterThread(int16_t pid, int32_t tid, std::string name);
+
+  // Hot path: appends to this thread's ring, handing the full ring off to
+  // the central store when it reaches capacity.
+  void Record(const SpanRecord& span);
+
+  // Merges the central store and all live rings into canonical order.
+  // Requires quiescence (no concurrent Record calls).
+  CollectedTrace Collect() const;
+
+  // Total spans recorded so far (central + rings).  Requires quiescence.
+  size_t num_spans() const;
+
+ private:
+  struct Ring {
+    std::vector<SpanRecord> spans;
+  };
+
+  Ring& LocalRing() const;
+
+  const uint64_t serial_;  // Distinguishes tracers in thread-local caches.
+  const size_t ring_capacity_;
+
+  mutable std::mutex mu_;
+  std::vector<std::string> labels_;
+  std::vector<std::pair<int16_t, std::string>> processes_;
+  std::vector<std::pair<std::pair<int16_t, int32_t>, std::string>> threads_;
+  mutable std::vector<std::unique_ptr<Ring>> rings_;
+  mutable std::vector<SpanRecord> flushed_;
+};
+
+}  // namespace faas
+
+#endif  // SRC_TELEMETRY_TRACER_H_

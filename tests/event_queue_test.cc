@@ -1,5 +1,8 @@
 #include "src/cluster/event_queue.h"
 
+#include <algorithm>
+#include <random>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -94,6 +97,86 @@ TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
   queue.Run();
   EXPECT_EQ(count, 5);
   EXPECT_EQ(queue.now(), TimePoint(40));
+}
+
+// Tie-break regression tests: the telemetry span streams (and the cluster
+// replay's byte-identical results) depend on FIFO-by-insertion ordering
+// among events with equal timestamps, even when ties are created from
+// inside a running event or thinned by cancellation.
+
+TEST(EventQueueTest, NestedSameTimeSchedulingRunsAfterExistingTies) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(TimePoint(100), [&]() {
+    order.push_back(1);
+    // Scheduled mid-tie at the same timestamp: must run after every event
+    // that was already queued for t=100, not jump ahead of them.
+    queue.Schedule(TimePoint(100), [&order]() { order.push_back(4); });
+  });
+  queue.Schedule(TimePoint(100), [&order]() { order.push_back(2); });
+  queue.Schedule(TimePoint(100), [&order]() { order.push_back(3); });
+  queue.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(queue.now(), TimePoint(100));
+}
+
+TEST(EventQueueTest, CancelMidTiePreservesSurvivorOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  std::vector<EventQueue::Handle> handles;
+  for (int i = 0; i < 6; ++i) {
+    handles.push_back(
+        queue.Schedule(TimePoint(100), [&order, i]() { order.push_back(i); }));
+  }
+  // The first tied event cancels two of its peers; the survivors must still
+  // run in their original insertion order.
+  queue.Schedule(TimePoint(50), [&handles]() {
+    handles[1].Cancel();
+    handles[4].Cancel();
+  });
+  queue.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 5}));
+  EXPECT_EQ(queue.executed_events(), 5);  // 4 survivors + the canceller.
+}
+
+TEST(EventQueueTest, RandomizedStressMatchesStableSortReference) {
+  // Fuzz the queue against the specification: execution order equals a
+  // stable sort of the uncancelled events by timestamp (stability = FIFO
+  // among equal times).  Timestamps are drawn from a tiny range so ties are
+  // plentiful.
+  std::mt19937 rng(20260806);
+  std::uniform_int_distribution<int64_t> time_dist(0, 9);
+  std::bernoulli_distribution cancel_dist(0.25);
+  for (int round = 0; round < 20; ++round) {
+    EventQueue queue;
+    std::vector<int> executed;
+    std::vector<std::pair<int64_t, int>> reference;  // (time, id), queue order.
+    std::vector<EventQueue::Handle> handles;
+    for (int id = 0; id < 200; ++id) {
+      const int64_t at = time_dist(rng);
+      handles.push_back(queue.Schedule(
+          TimePoint(at), [&executed, id]() { executed.push_back(id); }));
+      reference.emplace_back(at, id);
+    }
+    std::vector<std::pair<int64_t, int>> expected;
+    for (int id = 0; id < 200; ++id) {
+      if (cancel_dist(rng)) {
+        handles[static_cast<size_t>(id)].Cancel();
+      } else {
+        expected.push_back(reference[static_cast<size_t>(id)]);
+      }
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    queue.Run();
+    ASSERT_EQ(executed.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(executed[i], expected[i].second) << "round " << round
+                                                 << " position " << i;
+    }
+  }
 }
 
 TEST(EventQueueTest, HandleValidityReflectsLifecycle) {

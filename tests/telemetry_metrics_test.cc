@@ -1,0 +1,304 @@
+#include "src/telemetry/metrics.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+TEST(TelemetryMetrics, CounterAccumulatesAndScrapes) {
+  MetricsRegistry registry;
+  const CounterId id = registry.AddCounter("hits_total", "hits");
+  registry.Inc(id);
+  registry.Inc(id, 4);
+  EXPECT_EQ(registry.CounterValue(id), 5);
+  const RegistrySnapshot snapshot = registry.Scrape();
+  const MetricSnapshot* metric = snapshot.Find("hits_total");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->kind, MetricKind::kCounter);
+  EXPECT_EQ(metric->counter, 5);
+}
+
+TEST(TelemetryMetrics, CounterMergesAcrossThreadShards) {
+  MetricsRegistry registry;
+  const CounterId id = registry.AddCounter("hits_total", "hits");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&registry, id]() {
+      for (int i = 0; i < 1000; ++i) {
+        registry.Inc(id);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(registry.CounterValue(id), 4000);
+  EXPECT_EQ(registry.Scrape().Find("hits_total")->counter, 4000);
+}
+
+TEST(TelemetryMetrics, ConcurrentCounterReadsDuringUpdates) {
+  // The --progress heartbeat reads counters while workers increment them;
+  // reads must be safe and monotone observations must end at the true total.
+  MetricsRegistry registry;
+  const CounterId id = registry.AddCounter("hits_total", "hits");
+  registry.Inc(id, 0);  // Create the main thread's shard before readers run.
+  std::atomic<bool> stop{false};
+  std::thread reader([&]() {
+    int64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const int64_t seen = registry.CounterValue(id);
+      EXPECT_GE(seen, last);
+      last = seen;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&registry, id]() {
+      for (int i = 0; i < 20000; ++i) {
+        registry.Inc(id);
+      }
+    });
+  }
+  for (std::thread& thread : writers) {
+    thread.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(registry.CounterValue(id), 60000);
+}
+
+TEST(TelemetryMetrics, GaugeLatestSimTimestampWins) {
+  MetricsRegistry registry;
+  const GaugeId id = registry.AddGauge("depth", "queue depth");
+  registry.Set(id, 10.0, TimePoint(100));
+  std::thread other([&registry, id]() {
+    registry.Set(id, 3.0, TimePoint(200));
+  });
+  other.join();
+  const RegistrySnapshot snapshot = registry.Scrape();
+  const MetricSnapshot* metric = snapshot.Find("depth");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_TRUE(metric->gauge_set);
+  EXPECT_EQ(metric->gauge, 3.0);
+  EXPECT_EQ(metric->gauge_at, TimePoint(200));
+}
+
+TEST(TelemetryMetrics, GaugeTimestampTieResolvesToLargerValue) {
+  MetricsRegistry registry;
+  const GaugeId id = registry.AddGauge("depth", "queue depth");
+  registry.Set(id, 4.0, TimePoint(100));
+  std::thread other([&registry, id]() {
+    registry.Set(id, 9.0, TimePoint(100));
+  });
+  other.join();
+  // Same timestamp in two shards: the merge must not depend on shard order.
+  EXPECT_EQ(registry.Scrape().Find("depth")->gauge, 9.0);
+}
+
+TEST(TelemetryMetrics, UnsetGaugeScrapesAsUnset) {
+  MetricsRegistry registry;
+  registry.AddGauge("depth", "queue depth");
+  const RegistrySnapshot snapshot = registry.Scrape();
+  const MetricSnapshot* metric = snapshot.Find("depth");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_FALSE(metric->gauge_set);
+}
+
+TEST(TelemetryMetrics, HistogramBoundaryValuesLandLeftClosed) {
+  MetricsRegistry registry;
+  const HistogramId id =
+      registry.AddHistogram("lat_ms", "latency", {10.0, 20.0, 50.0});
+  // A value exactly on an edge belongs to the bucket whose *lower* edge it
+  // equals: [10,20), [20,50), [50,inf).
+  registry.Observe(id, 10.0);
+  registry.Observe(id, 20.0);
+  registry.Observe(id, 50.0);
+  const RegistrySnapshot snapshot = registry.Scrape();
+  const MetricSnapshot* metric = snapshot.Find("lat_ms");
+  ASSERT_NE(metric, nullptr);
+  ASSERT_EQ(metric->counts.size(), 4u);
+  EXPECT_EQ(metric->counts[0], 0);  // underflow (< 10)
+  EXPECT_EQ(metric->counts[1], 1);  // [10, 20)
+  EXPECT_EQ(metric->counts[2], 1);  // [20, 50)
+  EXPECT_EQ(metric->counts[3], 1);  // [50, inf)
+  EXPECT_EQ(metric->observations, 3);
+  EXPECT_DOUBLE_EQ(metric->sum, 80.0);
+}
+
+TEST(TelemetryMetrics, HistogramUnderflowAndOverflowBuckets) {
+  MetricsRegistry registry;
+  const HistogramId id =
+      registry.AddHistogram("lat_ms", "latency", {10.0, 20.0});
+  registry.Observe(id, -5.0);
+  registry.Observe(id, 9.999);
+  registry.Observe(id, 1e9);
+  const RegistrySnapshot snapshot = registry.Scrape();
+  const MetricSnapshot* metric = snapshot.Find("lat_ms");
+  ASSERT_EQ(metric->counts.size(), 3u);
+  EXPECT_EQ(metric->counts[0], 2);
+  EXPECT_EQ(metric->counts[1], 0);
+  EXPECT_EQ(metric->counts[2], 1);
+}
+
+TEST(TelemetryMetrics, EmptyHistogramQuantileIsZero) {
+  MetricsRegistry registry;
+  registry.AddHistogram("lat_ms", "latency", {10.0, 20.0});
+  const RegistrySnapshot snapshot = registry.Scrape();
+  const MetricSnapshot* metric = snapshot.Find("lat_ms");
+  EXPECT_EQ(metric->Quantile(0.0), 0.0);
+  EXPECT_EQ(metric->Quantile(0.5), 0.0);
+  EXPECT_EQ(metric->Quantile(1.0), 0.0);
+}
+
+TEST(TelemetryMetrics, QuantileClampsUnderflowAndOverflow) {
+  MetricsRegistry registry;
+  const HistogramId id =
+      registry.AddHistogram("lat_ms", "latency", {10.0, 20.0});
+  registry.Observe(id, 1.0);  // Underflow only.
+  EXPECT_DOUBLE_EQ(registry.Scrape().Find("lat_ms")->Quantile(0.5), 10.0);
+
+  MetricsRegistry high;
+  const HistogramId hid = high.AddHistogram("lat_ms", "latency", {10.0, 20.0});
+  high.Observe(hid, 100.0);  // Overflow only.
+  EXPECT_DOUBLE_EQ(high.Scrape().Find("lat_ms")->Quantile(0.5), 20.0);
+}
+
+TEST(TelemetryMetrics, QuantileInterpolatesWithinBucket) {
+  MetricsRegistry registry;
+  const HistogramId id =
+      registry.AddHistogram("lat_ms", "latency", {0.0, 100.0});
+  for (int i = 0; i < 100; ++i) {
+    registry.Observe(id, 50.0);  // All land in [0, 100).
+  }
+  const RegistrySnapshot snapshot = registry.Scrape();
+  const MetricSnapshot* metric = snapshot.Find("lat_ms");
+  EXPECT_DOUBLE_EQ(metric->Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(metric->Quantile(1.0), 100.0);
+}
+
+TEST(TelemetryMetrics, HistogramMergesDisjointShards) {
+  MetricsRegistry registry;
+  const HistogramId id =
+      registry.AddHistogram("lat_ms", "latency", {10.0, 20.0});
+  registry.Observe(id, 5.0);
+  std::thread other([&registry, id]() {
+    registry.Observe(id, 15.0);
+    registry.Observe(id, 25.0);
+  });
+  other.join();
+  const RegistrySnapshot snapshot = registry.Scrape();
+  const MetricSnapshot* metric = snapshot.Find("lat_ms");
+  EXPECT_EQ(metric->counts[0], 1);
+  EXPECT_EQ(metric->counts[1], 1);
+  EXPECT_EQ(metric->counts[2], 1);
+  EXPECT_EQ(metric->observations, 3);
+  EXPECT_DOUBLE_EQ(metric->sum, 45.0);
+}
+
+TEST(TelemetryMetrics, ReRegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  const CounterId a = registry.AddCounter("hits_total", "hits");
+  const CounterId b = registry.AddCounter("hits_total", "hits");
+  EXPECT_EQ(a.index, b.index);
+  // A different label is a different metric.
+  const CounterId c =
+      registry.AddCounter("hits_total", "hits", "policy=\"p\"");
+  EXPECT_NE(a.index, c.index);
+  registry.Inc(a);
+  registry.Inc(b);
+  registry.Inc(c, 7);
+  EXPECT_EQ(registry.CounterValue(a), 2);
+  EXPECT_EQ(registry.CounterValue(c), 7);
+  EXPECT_EQ(registry.SumCountersByBase("hits_total"), 9);
+}
+
+TEST(TelemetryMetrics, LateRegistrationRetiresStaleShard) {
+  // Chaos mode registers one instrument bundle per policy, each just before
+  // its replay, so the main thread's shard predates later definitions; its
+  // retired shard must keep its accumulated values.
+  MetricsRegistry registry;
+  const CounterId first = registry.AddCounter("first_total", "first");
+  const GaugeId gauge = registry.AddGauge("depth", "depth");
+  registry.Inc(first, 3);
+  registry.Set(gauge, 8.0, TimePoint(50));
+
+  const CounterId second = registry.AddCounter("second_total", "second");
+  registry.Inc(second, 2);  // Mints a fresh shard on this thread.
+  registry.Inc(first);      // New shard; merges with the retired one.
+
+  EXPECT_EQ(registry.CounterValue(first), 4);
+  EXPECT_EQ(registry.CounterValue(second), 2);
+  const RegistrySnapshot snapshot = registry.Scrape();
+  EXPECT_EQ(snapshot.Find("first_total")->counter, 4);
+  EXPECT_EQ(snapshot.Find("second_total")->counter, 2);
+  // The retired shard's gauge sample is still the latest one.
+  EXPECT_TRUE(snapshot.Find("depth")->gauge_set);
+  EXPECT_EQ(snapshot.Find("depth")->gauge, 8.0);
+}
+
+TEST(TelemetryMetrics, SeriesBinsByTimestampAndClamps) {
+  MetricsRegistry registry;
+  const SeriesId id = registry.AddSeries("per_min", "per minute",
+                                         Duration::Minutes(1), 3);
+  registry.SeriesAdd(id, TimePoint(0));
+  registry.SeriesAdd(id, TimePoint(59'999));       // Still bin 0.
+  registry.SeriesAdd(id, TimePoint(60'000));       // Bin 1.
+  registry.SeriesAdd(id, TimePoint(10'000'000));   // Past the end: last bin.
+  registry.SeriesAdd(id, TimePoint(-5), 2);        // Before origin: bin 0.
+  const RegistrySnapshot snapshot = registry.Scrape();
+  const MetricSnapshot* metric = snapshot.Find("per_min");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->bin_width_ms, 60'000);
+  ASSERT_EQ(metric->bins.size(), 3u);
+  EXPECT_EQ(metric->bins[0], 4);
+  EXPECT_EQ(metric->bins[1], 1);
+  EXPECT_EQ(metric->bins[2], 1);
+}
+
+TEST(TelemetryMetrics, SeriesMergesAcrossShards) {
+  MetricsRegistry registry;
+  const SeriesId id = registry.AddSeries("per_min", "per minute",
+                                         Duration::Minutes(1), 2);
+  registry.SeriesAdd(id, TimePoint(0));
+  std::thread other([&registry, id]() {
+    registry.SeriesAdd(id, TimePoint(0), 2);
+    registry.SeriesAdd(id, TimePoint(60'000), 5);
+  });
+  other.join();
+  const RegistrySnapshot snapshot = registry.Scrape();
+  const MetricSnapshot* metric = snapshot.Find("per_min");
+  EXPECT_EQ(metric->bins[0], 3);
+  EXPECT_EQ(metric->bins[1], 5);
+}
+
+TEST(TelemetryMetrics, ScrapePreservesRegistrationOrder) {
+  MetricsRegistry registry;
+  registry.AddCounter("z_total", "z");
+  registry.AddCounter("a_total", "a");
+  registry.AddGauge("m", "m");
+  const RegistrySnapshot snapshot = registry.Scrape();
+  ASSERT_EQ(snapshot.metrics.size(), 3u);
+  EXPECT_EQ(snapshot.metrics[0].name, "z_total");
+  EXPECT_EQ(snapshot.metrics[1].name, "a_total");
+  EXPECT_EQ(snapshot.metrics[2].name, "m");
+}
+
+TEST(TelemetryMetrics, TwoRegistriesDoNotShareShards) {
+  // The thread-local cache is keyed by registry serial: two live registries
+  // touched from one thread must stay independent.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  const CounterId ca = a.AddCounter("hits_total", "hits");
+  const CounterId cb = b.AddCounter("hits_total", "hits");
+  a.Inc(ca, 2);
+  b.Inc(cb, 5);
+  EXPECT_EQ(a.CounterValue(ca), 2);
+  EXPECT_EQ(b.CounterValue(cb), 5);
+}
+
+}  // namespace
+}  // namespace faas

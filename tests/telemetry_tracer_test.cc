@@ -1,0 +1,160 @@
+#include "src/telemetry/tracer.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace faas {
+namespace {
+
+SpanRecord MakeSpan(int64_t start_ms, int64_t trace_id,
+                    SpanName name = SpanName::kActivation,
+                    int32_t label_id = -1) {
+  SpanRecord span;
+  span.start_ms = start_ms;
+  span.dur_ms = 10;
+  span.trace_id = trace_id;
+  span.label_id = label_id;
+  span.name = static_cast<int16_t>(name);
+  return span;
+}
+
+TEST(TelemetryTracer, RecordsAndCollects) {
+  Tracer tracer;
+  tracer.Record(MakeSpan(100, 1));
+  tracer.Record(MakeSpan(200, 2));
+  EXPECT_EQ(tracer.num_spans(), 2u);
+  const CollectedTrace trace = tracer.Collect();
+  ASSERT_EQ(trace.spans.size(), 2u);
+  EXPECT_EQ(trace.spans[0].start_ms, 100);
+  EXPECT_EQ(trace.spans[1].start_ms, 200);
+}
+
+TEST(TelemetryTracer, RingHandoffLosesNothing) {
+  // A tiny ring forces many handoffs to the central store; every span must
+  // survive, whether it sits in the flushed store or a partly full ring.
+  Tracer tracer(/*ring_capacity=*/4);
+  for (int i = 0; i < 23; ++i) {
+    tracer.Record(MakeSpan(i, i));
+  }
+  EXPECT_EQ(tracer.num_spans(), 23u);
+  const CollectedTrace trace = tracer.Collect();
+  ASSERT_EQ(trace.spans.size(), 23u);
+  for (int i = 0; i < 23; ++i) {
+    EXPECT_EQ(trace.spans[static_cast<size_t>(i)].trace_id, i);
+  }
+}
+
+TEST(TelemetryTracer, CollectIsCanonicalAcrossRecordingThreads) {
+  // The same logical span set recorded on one thread vs scattered over four
+  // must collect to identical bytes — the determinism the --trace-out
+  // acceptance check relies on.
+  std::vector<SpanRecord> spans;
+  for (int i = 0; i < 200; ++i) {
+    spans.push_back(MakeSpan(/*start_ms=*/i % 17, /*trace_id=*/i));
+  }
+
+  Tracer single(/*ring_capacity=*/8);
+  for (const SpanRecord& span : spans) {
+    single.Record(span);
+  }
+
+  Tracer sharded(/*ring_capacity=*/8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&sharded, &spans, t]() {
+      for (size_t i = static_cast<size_t>(t); i < spans.size(); i += 4) {
+        sharded.Record(spans[i]);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  const CollectedTrace a = single.Collect();
+  const CollectedTrace b = sharded.Collect();
+  ASSERT_EQ(a.spans.size(), b.spans.size());
+  EXPECT_EQ(a.spans, b.spans);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(TelemetryTracer, CollectSortsByPidThenStart) {
+  Tracer tracer;
+  SpanRecord late = MakeSpan(500, 1);
+  SpanRecord early = MakeSpan(100, 2);
+  SpanRecord other_pid = MakeSpan(50, 3);
+  other_pid.pid = 1;
+  tracer.Record(late);
+  tracer.Record(other_pid);
+  tracer.Record(early);
+  const CollectedTrace trace = tracer.Collect();
+  ASSERT_EQ(trace.spans.size(), 3u);
+  EXPECT_EQ(trace.spans[0].trace_id, 2);  // pid 0, start 100.
+  EXPECT_EQ(trace.spans[1].trace_id, 1);  // pid 0, start 500.
+  EXPECT_EQ(trace.spans[2].trace_id, 3);  // pid 1.
+}
+
+TEST(TelemetryTracer, LabelsRemapToLexicographicOrder) {
+  // Interning order differs between runs (e.g. policy registration order);
+  // Collect must normalise ids so the output does not depend on it.
+  Tracer tracer;
+  const int32_t zebra = tracer.InternLabel("policy=\"zebra\"");
+  const int32_t alpha = tracer.InternLabel("policy=\"alpha\"");
+  EXPECT_NE(zebra, alpha);
+  EXPECT_EQ(tracer.InternLabel("policy=\"zebra\""), zebra);  // Idempotent.
+  tracer.Record(MakeSpan(1, 1, SpanName::kActivation, zebra));
+  tracer.Record(MakeSpan(2, 2, SpanName::kActivation, alpha));
+  const CollectedTrace trace = tracer.Collect();
+  ASSERT_EQ(trace.labels.size(), 2u);
+  EXPECT_EQ(trace.labels[0], "policy=\"alpha\"");
+  EXPECT_EQ(trace.labels[1], "policy=\"zebra\"");
+  ASSERT_EQ(trace.spans.size(), 2u);
+  EXPECT_EQ(trace.spans[0].label_id, 1);  // zebra, recorded at t=1.
+  EXPECT_EQ(trace.spans[1].label_id, 0);  // alpha, recorded at t=2.
+}
+
+TEST(TelemetryTracer, ProcessAndThreadMetadataSorted) {
+  Tracer tracer;
+  tracer.RegisterProcess(1, "cluster hybrid");
+  tracer.RegisterProcess(0, "cluster fixed-10min");
+  tracer.RegisterThread(0, 2, "invoker 1");
+  tracer.RegisterThread(0, 0, "controller");
+  const CollectedTrace trace = tracer.Collect();
+  ASSERT_EQ(trace.processes.size(), 2u);
+  EXPECT_EQ(trace.processes[0].first, 0);
+  EXPECT_EQ(trace.processes[0].second, "cluster fixed-10min");
+  EXPECT_EQ(trace.processes[1].first, 1);
+  ASSERT_EQ(trace.threads.size(), 2u);
+  EXPECT_EQ(trace.threads[0].first, (std::pair<int16_t, int32_t>{0, 0}));
+  EXPECT_EQ(trace.threads[0].second, "controller");
+  EXPECT_EQ(trace.threads[1].first, (std::pair<int16_t, int32_t>{0, 2}));
+}
+
+TEST(TelemetryTracer, SpanNameStringsAreDistinctAndNonEmpty) {
+  std::vector<std::string> seen;
+  for (int i = 0; i < static_cast<int>(SpanName::kNumSpanNames); ++i) {
+    const char* name = SpanNameString(static_cast<SpanName>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_NE(std::string(name), "");
+    for (const std::string& other : seen) {
+      EXPECT_NE(other, name);
+    }
+    seen.emplace_back(name);
+  }
+}
+
+TEST(TelemetryTracer, TwoTracersDoNotShareRings) {
+  Tracer a(/*ring_capacity=*/4);
+  Tracer b(/*ring_capacity=*/4);
+  a.Record(MakeSpan(1, 1));
+  b.Record(MakeSpan(2, 2));
+  b.Record(MakeSpan(3, 3));
+  EXPECT_EQ(a.Collect().spans.size(), 1u);
+  EXPECT_EQ(b.Collect().spans.size(), 2u);
+}
+
+}  // namespace
+}  // namespace faas

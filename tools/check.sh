@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + full test suite, then the concurrency
 # tests (thread pool, parallel-for, sweep engine, compiled trace) plus the
-# chaos-engine tests rebuilt and re-run under ThreadSanitizer, and the
-# chaos/controller tests once more under UndefinedBehaviorSanitizer.
+# chaos-engine and telemetry tests rebuilt and re-run under ThreadSanitizer,
+# and the chaos/controller/telemetry tests once more under
+# UndefinedBehaviorSanitizer.
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-ubsan]
 set -euo pipefail
@@ -27,26 +28,28 @@ cmake --build build -j "${JOBS}"
 if [[ "${SKIP_TSAN}" == "1" ]]; then
   echo "== skipping TSan pass =="
 else
-  echo "== TSan: concurrency + chaos tests =="
+  echo "== TSan: concurrency + chaos + telemetry tests =="
   cmake -B build-tsan -S . -DFAAS_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "${JOBS}" --target \
       thread_pool_test parallel_test sweep_test compiled_trace_test \
-      faults_test controller_test
+      faults_test controller_test telemetry_metrics_test \
+      telemetry_tracer_test telemetry_export_test telemetry_integration_test
   # gtest_discover_tests registers suite names (not target names), so match
   # the suites those binaries contain.
   (cd build-tsan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'ThreadPool|ParallelFor|ParallelSimulation|Sweep|CompiledTrace|CompiledReplay|FaultPlan|ChaosCluster|Controller')
+      -R 'ThreadPool|ParallelFor|ParallelSimulation|Sweep|CompiledTrace|CompiledReplay|FaultPlan|ChaosCluster|Controller|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration')
 fi
 
 if [[ "${SKIP_UBSAN}" == "1" ]]; then
   echo "== skipping UBSan pass =="
 else
-  echo "== UBSan: chaos + controller tests =="
+  echo "== UBSan: chaos + controller + telemetry tests =="
   cmake -B build-ubsan -S . -DFAAS_SANITIZE=undefined >/dev/null
   cmake --build build-ubsan -j "${JOBS}" --target \
-      faults_test controller_test cluster_test
+      faults_test controller_test cluster_test telemetry_metrics_test \
+      telemetry_tracer_test telemetry_export_test telemetry_integration_test
   (cd build-ubsan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'FaultPlan|ChaosCluster|Controller|Cluster')
+      -R 'FaultPlan|ChaosCluster|Controller|Cluster|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration')
 fi
 
 echo "== all checks passed =="

@@ -13,6 +13,19 @@
 // --skip-malformed tolerates malformed CSV rows (each is skipped with a
 // warning) instead of failing the read on the first bad row.
 //
+// Telemetry (works in both sweep and chaos mode; all optional):
+//   --trace-out=FILE        Chrome trace_event JSON of activation /
+//                           container spans (chrome://tracing, Perfetto).
+//   --metrics-out=FILE      Prometheus text exposition of every counter,
+//                           gauge, histogram and series.
+//   --series-out=FILE       wide CSV of the per-interval series (cold-start
+//                           rate, queue depth, resident memory).
+//   --metrics-interval=D    sampling period for the cluster series
+//                           (default 60s; chaos mode only — the sweep's
+//                           series are fixed per-minute bins).
+//   --progress              periodic stderr heartbeat (rate, % complete,
+//                           ETA) driven by the live telemetry counters.
+//
 // LIST is comma-separated from: fixed-5, fixed-10, ..., fixed-240 (any
 // minute count), no-unload, hybrid, hybrid-no-arima, hybrid-no-prewarm,
 // production.  Default: "fixed-10,fixed-60,hybrid".
@@ -29,9 +42,15 @@
 // accepting ms/s/m/h/d suffixes.  The report adds the failure ledger
 // (crashes, retries, timeouts, abandoned/lost activations, degraded time).
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -40,6 +59,8 @@
 #include "src/policy/policy.h"
 #include "src/policy/production_policy.h"
 #include "src/sim/sweep.h"
+#include "src/telemetry/export.h"
+#include "src/telemetry/telemetry.h"
 #include "src/trace/csv.h"
 #include "tools/flags.h"
 
@@ -96,10 +117,128 @@ std::optional<Duration> GetDurationFlag(const FlagParser& flags,
   return parsed;
 }
 
+// Background stderr heartbeat driven by the live telemetry counters: the
+// sweep and cluster hot paths bump relaxed atomics, so a reader thread can
+// sum them without synchronising with the workers.
+class ProgressHeartbeat {
+ public:
+  ProgressHeartbeat(const MetricsRegistry* registry, std::string counter_base,
+                    std::string unit, int64_t total)
+      : registry_(registry),
+        counter_base_(std::move(counter_base)),
+        unit_(std::move(unit)),
+        total_(total),
+        start_(std::chrono::steady_clock::now()) {
+    if (registry_ != nullptr) {
+      thread_ = std::thread([this]() { Loop(); });
+    }
+  }
+
+  ~ProgressHeartbeat() {
+    if (!thread_.joinable()) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    Beat();  // Final line so the log ends at the true completion count.
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::seconds(2));
+      if (stop_) {
+        return;
+      }
+      Beat();
+    }
+  }
+
+  void Beat() const {
+    const int64_t done = registry_->SumCountersByBase(counter_base_);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed
+                                      : 0.0;
+    const double pct =
+        total_ > 0 ? 100.0 * static_cast<double>(done) /
+                         static_cast<double>(total_)
+                   : 0.0;
+    const double eta =
+        rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
+    std::fprintf(stderr,
+                 "progress: %lld/%lld %s (%.1f%%), %.0f %s/s, eta %.0fs\n",
+                 static_cast<long long>(done),
+                 static_cast<long long>(total_), unit_.c_str(), pct,
+                 rate, unit_.c_str(), eta < 0.0 ? 0.0 : eta);
+  }
+
+  const MetricsRegistry* registry_;
+  std::string counter_base_;
+  std::string unit_;
+  int64_t total_;
+  std::chrono::steady_clock::time_point start_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Writes whichever exports were requested.  Returns 0, or 1 if a file could
+// not be opened.
+int WriteTelemetryOutputs(const FlagParser& flags,
+                          const Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    return 0;
+  }
+  const auto open = [](const std::string& path,
+                       std::ofstream& out) -> bool {
+    out.open(path, std::ios::binary);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    return true;
+  };
+  if (flags.Has("trace-out")) {
+    std::ofstream out;
+    if (!open(flags.GetString("trace-out", ""), out)) {
+      return 1;
+    }
+    WriteChromeTrace(telemetry->tracer().Collect(), out);
+  }
+  if (flags.Has("metrics-out") || flags.Has("series-out")) {
+    const RegistrySnapshot snapshot = telemetry->metrics().Scrape();
+    if (flags.Has("metrics-out")) {
+      std::ofstream out;
+      if (!open(flags.GetString("metrics-out", ""), out)) {
+        return 1;
+      }
+      WritePrometheusText(snapshot, out);
+    }
+    if (flags.Has("series-out")) {
+      std::ofstream out;
+      if (!open(flags.GetString("series-out", ""), out)) {
+        return 1;
+      }
+      WriteSeriesCsv(snapshot, out);
+    }
+  }
+  return 0;
+}
+
 // Evaluates the requested policies on the cluster simulator under a fault
 // plan and prints the outcome split plus the failure ledger per policy.
 int RunChaosEvaluation(const FlagParser& flags, const Trace& trace,
-                       const std::vector<const PolicyFactory*>& factories) {
+                       const std::vector<const PolicyFactory*>& factories,
+                       Telemetry* telemetry, Duration metrics_interval) {
   ClusterConfig config;
   config.num_invokers = static_cast<int>(flags.GetInt("invokers", 18));
   config.invoker_memory_mb = flags.GetDouble("invoker-memory", 4096.0);
@@ -154,16 +293,28 @@ int RunChaosEvaluation(const FlagParser& flags, const Trace& trace,
     return 2;
   }
 
-  const ClusterSimulator simulator(config);
+  config.telemetry = telemetry;
+  config.metrics_interval = metrics_interval;
   std::printf("\nchaos evaluation: %d invokers, %zu crashes, %zu wipes, "
               "%zu spikes, %zu flaky windows, retries=%d\n",
               config.num_invokers, config.faults.crashes.size(),
               config.faults.wipes.size(), config.faults.spikes.size(),
               config.faults.transient_windows.size(),
               config.retry.max_retries);
+  const ProgressHeartbeat heartbeat(
+      flags.GetBool("progress", false) && telemetry != nullptr &&
+              telemetry->metrics_enabled()
+          ? &telemetry->metrics()
+          : nullptr,
+      "faas_cluster_invocations_total", "invocations",
+      trace.TotalInvocations() * static_cast<int64_t>(factories.size()));
   std::printf("\n%-44s %9s %9s %9s %9s %9s %9s\n", "policy", "cold p50",
               "dropped", "rejected", "abandon", "lost", "retries");
-  for (const PolicyFactory* factory : factories) {
+  for (size_t i = 0; i < factories.size(); ++i) {
+    const PolicyFactory* factory = factories[i];
+    // One Chrome-trace process lane per policy.
+    config.telemetry_pid = static_cast<int16_t>(i);
+    const ClusterSimulator simulator(config);
     const ClusterResult result = simulator.Replay(trace, *factory);
     std::printf("%-44s %8.1f%% %9lld %9lld %9lld %9lld %9lld\n",
                 result.policy_name.c_str(),
@@ -213,6 +364,10 @@ int main(int argc, char** argv) {
         "                   [--use-exec-times] [--weight-by-memory]\n"
         "                   [--threads N=0 (0 = all cores)]\n"
         "                   [--skip-malformed]\n"
+        "telemetry (sweep and chaos mode):\n"
+        "                   [--trace-out FILE] [--metrics-out FILE]\n"
+        "                   [--series-out FILE] [--metrics-interval D=60s]\n"
+        "                   [--progress]\n"
         "chaos mode (cluster simulator with fault injection):\n"
         "                   [--faults SPEC | --mtbf H [--mttr M]\n"
         "                    [--wipe-mtbf H] [--fault-seed N]]\n"
@@ -281,12 +436,51 @@ int main(int argc, char** argv) {
     factories.push_back(factory.get());
   }
 
-  if (flags.Has("faults") || flags.Has("mtbf")) {
-    return RunChaosEvaluation(flags, trace, factories);
+  // Telemetry is constructed only when a flag asks for it; otherwise the
+  // simulators run with null instrument pointers (the zero-cost path).
+  const bool want_trace = flags.Has("trace-out");
+  const bool want_metrics = flags.Has("metrics-out") ||
+                            flags.Has("series-out") ||
+                            flags.GetBool("progress", false);
+  std::unique_ptr<Telemetry> telemetry;
+  if (want_trace || want_metrics) {
+    TelemetryConfig telemetry_config;
+    telemetry_config.trace_enabled = want_trace;
+    telemetry_config.metrics_enabled = want_metrics;
+    telemetry = std::make_unique<Telemetry>(telemetry_config);
+  }
+  Duration metrics_interval = Duration::Seconds(60);
+  if (const auto interval = GetDurationFlag(flags, "metrics-interval")) {
+    metrics_interval = *interval;
+  } else if (flags.Has("metrics-interval")) {
+    return 2;
   }
 
-  const std::vector<PolicyPoint> points =
-      EvaluatePolicies(trace, factories, /*baseline_index=*/0, options);
+  if (flags.Has("faults") || flags.Has("mtbf")) {
+    const int status = RunChaosEvaluation(flags, trace, factories,
+                                          telemetry.get(), metrics_interval);
+    if (status != 0) {
+      return status;
+    }
+    return WriteTelemetryOutputs(flags, telemetry.get());
+  }
+
+  options.telemetry = telemetry.get();
+  std::vector<PolicyPoint> points;
+  {
+    const ProgressHeartbeat heartbeat(
+        flags.GetBool("progress", false) && telemetry != nullptr &&
+                telemetry->metrics_enabled()
+            ? &telemetry->metrics()
+            : nullptr,
+        "faas_sim_apps_total", "apps",
+        static_cast<int64_t>(trace.apps.size() * factories.size()));
+    points = EvaluatePolicies(trace, factories, /*baseline_index=*/0, options);
+  }
+  if (const int status = WriteTelemetryOutputs(flags, telemetry.get());
+      status != 0) {
+    return status;
+  }
 
   std::printf("\n%-44s %10s %10s %12s %18s\n", "policy", "cold p50",
               "cold p75", "always-cold", "waste vs first");
