@@ -9,17 +9,21 @@
 #include "src/cluster/invoker.h"
 #include "src/common/logging.h"
 #include "src/stats/descriptive.h"
+#include "src/trace/entity_index.h"
 
 namespace faas {
 
 namespace {
 
-// One invocation to replay, pre-sampled with its execution time.
+// One invocation to replay, pre-sampled with its execution time.  Entities
+// are dense ids (common/intern.h); names re-materialize only when the
+// per-app results are written out.
 struct ReplayEvent {
   TimePoint at;
-  const AppTrace* app;
-  const FunctionTrace* function;
+  AppId app;
+  FunctionId function;
   Duration execution;
+  double memory_mb = 0.0;
 
   bool operator<(const ReplayEvent& other) const { return at < other.at; }
 };
@@ -60,16 +64,22 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
         &config_.faults, instruments));
     invoker_ptrs.push_back(invokers.back().get());
   }
-  Controller controller(&queue, invoker_ptrs, factory, config_.latency,
-                        rng.Fork(), config_.collect_latencies,
+  const std::shared_ptr<const EntityIndex> entities = EntityIndexFor(trace);
+  Controller controller(&queue, invoker_ptrs, entities.get(), factory,
+                        config_.latency, rng.Fork(), config_.collect_latencies,
                         config_.load_balancing, config_.retry, instruments);
 
   // Flatten the trace into time-ordered replay events with pre-sampled
   // per-invocation execution times.
   std::vector<ReplayEvent> events;
   events.reserve(static_cast<size_t>(trace.TotalInvocations()));
-  for (const AppTrace& app : trace.apps) {
+  for (size_t a = 0; a < trace.apps.size(); ++a) {
+    const AppTrace& app = trace.apps[a];
+    const AppId app_id = AppId(a);
     for (const FunctionTrace& function : app.functions) {
+      const FunctionId function_id =
+          entities->FindFunction(app_id, function.function_id)
+              .value_or(FunctionId());
       Rng fn_rng = rng.Fork();
       const double avg = std::max(function.execution.average_ms, 1.0);
       const double lo = std::max(function.execution.minimum_ms, 0.0);
@@ -78,9 +88,9 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
         const double sampled = std::clamp(
             fn_rng.NextLogNormal(std::log(avg), config_.execution_sigma), lo,
             hi);
-        events.push_back(
-            {t, &app, &function,
-             Duration::Millis(static_cast<int64_t>(sampled))});
+        events.push_back({t, app_id, function_id,
+                          Duration::Millis(static_cast<int64_t>(sampled)),
+                          app.memory.average_mb});
       }
     }
   }
@@ -221,8 +231,8 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
 
   for (const ReplayEvent& event : events) {
     queue.Schedule(event.at, [&controller, &event]() {
-      controller.OnInvocation(event.app->app_id, event.function->function_id,
-                              event.execution, event.app->memory.average_mb);
+      controller.OnInvocation(event.app, event.function, event.execution,
+                              event.memory_mb);
     });
   }
   // Run to the end of the trace horizon and measure memory there, so both
@@ -253,9 +263,17 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
                 (wall_seconds * static_cast<double>(config_.num_invokers))
           : 0.0;
 
-  for (const auto& [app_id, stats] : controller.app_stats()) {
+  // Re-materialize names at the output boundary.  Dense slots with zero
+  // invocations are apps the replay never routed (the string-keyed
+  // controller never created map entries for them).
+  const std::vector<Controller::AppStats>& app_stats = controller.app_stats();
+  for (size_t i = 0; i < app_stats.size(); ++i) {
+    const Controller::AppStats& stats = app_stats[i];
+    if (stats.invocations == 0) {
+      continue;
+    }
     ClusterAppResult app_result;
-    app_result.app_id = app_id;
+    app_result.app_id = entities->AppName(AppId(i));
     app_result.invocations = stats.invocations;
     app_result.cold_starts = stats.cold_starts;
     app_result.dropped = stats.dropped;

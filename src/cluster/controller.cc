@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <string>
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/trace/entity_index.h"
 
 namespace faas {
 
@@ -23,6 +25,7 @@ Duration RetryPolicy::BackoffForRetry(int retry_number, Rng& rng) const {
 }
 
 Controller::Controller(EventQueue* queue, std::vector<Invoker*> invokers,
+                       const EntityIndex* entities,
                        const PolicyFactory& policy_factory,
                        const LatencyModel& latency, Rng rng,
                        bool collect_latencies,
@@ -30,6 +33,7 @@ Controller::Controller(EventQueue* queue, std::vector<Invoker*> invokers,
                        const ClusterInstruments* instruments)
     : queue_(queue),
       invokers_(std::move(invokers)),
+      entities_(entities),
       policy_factory_(policy_factory),
       latency_(latency),
       rng_(rng),
@@ -38,6 +42,7 @@ Controller::Controller(EventQueue* queue, std::vector<Invoker*> invokers,
       retry_(retry),
       instruments_(instruments) {
   FAAS_CHECK(queue_ != nullptr) << "controller needs an event queue";
+  FAAS_CHECK(entities_ != nullptr) << "controller needs an entity index";
   FAAS_CHECK(!invokers_.empty()) << "controller needs at least one invoker";
   FAAS_CHECK(retry_.max_retries >= 0) << "negative retry budget";
   for (Invoker* invoker : invokers_) {
@@ -112,14 +117,32 @@ void Controller::SetQueueDepthGauge() {
   }
 }
 
-Controller::AppState& Controller::GetOrCreateApp(const std::string& app_id) {
-  auto [it, inserted] = apps_.try_emplace(app_id);
-  if (inserted) {
-    it->second.policy = policy_factory_.CreateForApp();
-    it->second.home_invoker = static_cast<int>(
-        std::hash<std::string>{}(app_id) % invokers_.size());
+Controller::AppState& Controller::GetOrCreateApp(AppId app_id) {
+  FAAS_CHECK(app_id.valid()) << "invalid app id";
+  if (app_id.index() >= apps_.size()) {
+    apps_.resize(app_id.index() + 1);
+    app_stats_.resize(app_id.index() + 1);
+    checkpoints_.resize(app_id.index() + 1);
   }
-  return it->second;
+  AppState& state = apps_[app_id.index()];
+  if (state.policy == nullptr) {
+    state.policy = policy_factory_.CreateForApp();
+    // Home placement hashes the app NAME, not the dense id: placement stays
+    // byte-identical to the string-keyed controller (and independent of the
+    // order apps first appear in the trace).
+    state.home_invoker = static_cast<int>(
+        std::hash<std::string>{}(entities_->AppName(app_id)) %
+        invokers_.size());
+  }
+  return state;
+}
+
+const Controller::AppStats& Controller::StatsFor(AppId app_id) const {
+  static const AppStats kEmpty;
+  if (!app_id.valid() || app_id.index() >= app_stats_.size()) {
+    return kEmpty;
+  }
+  return app_stats_[app_id.index()];
 }
 
 Controller::DispatchOutcome Controller::Dispatch(
@@ -166,11 +189,10 @@ Controller::DispatchOutcome Controller::Dispatch(
                        : DispatchOutcome::kNoCapacity;
 }
 
-void Controller::OnInvocation(const std::string& app_id,
-                              const std::string& function_id,
+void Controller::OnInvocation(AppId app_id, FunctionId function_id,
                               Duration execution, double memory_mb) {
   AppState& state = GetOrCreateApp(app_id);
-  AppStats& stats = app_stats_[app_id];
+  AppStats& stats = app_stats_[app_id.index()];
   ++stats.invocations;
 
   // An arriving invocation supersedes any scheduled pre-warm.
@@ -228,7 +250,7 @@ void Controller::SendAttempt(int64_t activation_id) {
     return;  // Timed out while the retry backoff was pending.
   }
   PendingActivation& pending = it->second;
-  AppState& state = apps_.at(pending.app_id);
+  AppState& state = apps_[pending.app_id.index()];
 
   ActivationMessage message;
   message.activation_id = activation_id;
@@ -253,7 +275,7 @@ void Controller::SendAttempt(int64_t activation_id) {
     if (pending_it == pending_.end()) {
       return;  // Timed out in flight.
     }
-    AppState& app_state = apps_.at(message.app_id);
+    AppState& app_state = apps_[message.app_id.index()];
     switch (Dispatch(app_state, message)) {
       case DispatchOutcome::kAccepted:
         return;
@@ -268,7 +290,7 @@ void Controller::SendAttempt(int64_t activation_id) {
         pending_.erase(pending_it);
         SetQueueDepthGauge();
         --app_state.inflight;
-        ++app_stats_[message.app_id].dropped;
+        ++app_stats_[message.app_id.index()].dropped;
         ++total_dropped_;
         return;
       case DispatchOutcome::kOutage:
@@ -309,8 +331,8 @@ void Controller::FailAttempt(int64_t activation_id, FailureClass failure) {
   }
 
   // Budget spent: terminal failure.
-  AppState& state = apps_.at(pending.app_id);
-  AppStats& stats = app_stats_[pending.app_id];
+  AppState& state = apps_[pending.app_id.index()];
+  AppStats& stats = app_stats_[pending.app_id.index()];
   --state.inflight;
   RecordActivationSpan(pending, activation_id, 0);
   switch (failure) {
@@ -388,8 +410,8 @@ void Controller::OnCompletion(const CompletionMessage& message) {
   pending_.erase(pending_it);
   SetQueueDepthGauge();
 
-  AppState& state = apps_.at(message.app_id);
-  AppStats& stats = app_stats_[message.app_id];
+  AppState& state = apps_[message.app_id.index()];
+  AppStats& stats = app_stats_[message.app_id.index()];
   if (message.cold_start) {
     ++stats.cold_starts;
     if (state.degraded) {
@@ -434,7 +456,7 @@ void Controller::OnCompletion(const CompletionMessage& message) {
   if (state.inflight == 0 && !state.decision.prewarm_window.IsZero() &&
       state.decision.keepalive_window > Duration::Zero()) {
     const PolicyDecision decision = state.decision;
-    const std::string app_id = message.app_id;
+    const AppId app_id = message.app_id;
     const double memory_mb = state.memory_mb;
     const int home = state.home_invoker;
     state.prewarm_event = queue_->ScheduleAfter(
@@ -457,11 +479,17 @@ void Controller::OnCompletion(const CompletionMessage& message) {
 void Controller::CheckpointPolicies() {
   IncCounter(&ClusterInstruments::checkpoints);
   RecordInstant(SpanName::kCheckpoint, 0);
-  for (auto& [app_id, state] : apps_) {
-    auto snapshot = state.policy->SnapshotState();
-    if (snapshot != nullptr) {
-      checkpoints_[app_id] = std::move(snapshot);
+  for (size_t i = 0; i < apps_.size(); ++i) {
+    AppState& state = apps_[i];
+    if (state.policy == nullptr) {
+      // No live state for this id: prune any snapshot left from an earlier
+      // cycle instead of carrying it (and re-restoring it) forever.
+      checkpoints_[i] = nullptr;
+      continue;
     }
+    // Assign unconditionally: a policy that currently has nothing worth
+    // saving returns null, which also prunes a stale earlier snapshot.
+    checkpoints_[i] = state.policy->SnapshotState();
   }
 }
 
@@ -469,13 +497,15 @@ void Controller::WipePolicyState() {
   ++ledger_.policy_state_wipes;
   IncCounter(&ClusterInstruments::policy_wipes);
   RecordInstant(SpanName::kPolicyWipe, 0);
-  for (auto& [app_id, state] : apps_) {
+  for (size_t i = 0; i < apps_.size(); ++i) {
+    AppState& state = apps_[i];
+    if (state.policy == nullptr) {
+      continue;
+    }
     state.policy->WipeState();
     bool restored = false;
-    auto checkpoint_it = checkpoints_.find(app_id);
-    if (checkpoint_it != checkpoints_.end() &&
-        checkpoint_it->second != nullptr) {
-      restored = state.policy->RestoreState(*checkpoint_it->second);
+    if (i < checkpoints_.size() && checkpoints_[i] != nullptr) {
+      restored = state.policy->RestoreState(*checkpoints_[i]);
     }
     if (restored) {
       ++ledger_.policy_states_restored;

@@ -21,19 +21,22 @@
 #define SRC_CLUSTER_CONTROLLER_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/cluster/event_queue.h"
 #include "src/cluster/invoker.h"
 #include "src/cluster/latency_model.h"
+#include "src/common/intern.h"
 #include "src/policy/policy.h"
 #include "src/stats/p2_quantile.h"
 #include "src/telemetry/telemetry.h"
 
 namespace faas {
+
+class EntityIndex;
 
 // How the controller picks an invoker for an activation.
 enum class LoadBalancingPolicy {
@@ -128,10 +131,15 @@ class Controller {
     int64_t lost = 0;             // Crash/transient failure, no retry left.
   };
 
-  // `instruments` (optional, non-owning) receives counters, latency
-  // histograms, the queue-depth gauge, and activation-lifecycle spans; null
-  // (the default) leaves every telemetry site as a single pointer test.
+  // `entities` (non-owning, must outlive the controller) names the apps the
+  // replay will route; all per-app state is dense arrays indexed by AppId,
+  // and the only string the controller ever touches is the app name hashed
+  // once per app for home-invoker placement.  `instruments` (optional,
+  // non-owning) receives counters, latency histograms, the queue-depth
+  // gauge, and activation-lifecycle spans; null (the default) leaves every
+  // telemetry site as a single pointer test.
   Controller(EventQueue* queue, std::vector<Invoker*> invokers,
+             const EntityIndex* entities,
              const PolicyFactory& policy_factory, const LatencyModel& latency,
              Rng rng, bool collect_latencies = true,
              LoadBalancingPolicy load_balancing =
@@ -140,8 +148,8 @@ class Controller {
              const ClusterInstruments* instruments = nullptr);
 
   // Entry point for the trace replayer.
-  void OnInvocation(const std::string& app_id, const std::string& function_id,
-                    Duration execution, double memory_mb);
+  void OnInvocation(AppId app_id, FunctionId function_id, Duration execution,
+                    double memory_mb);
 
   // --- Fault hooks (driven by the cluster's fault schedule) ---
   // Snapshots every app's policy state (the periodic checkpoint a real
@@ -162,9 +170,11 @@ class Controller {
     IncCounter(&ClusterInstruments::invoker_restarts);
   }
 
-  const std::unordered_map<std::string, AppStats>& app_stats() const {
-    return app_stats_;
-  }
+  // Per-app tallies, indexed by AppId; slots for apps the replay never
+  // touched stay zero (filter on invocations > 0 when reporting).
+  const std::vector<AppStats>& app_stats() const { return app_stats_; }
+  // Stats slot for one app (zeros if the app was never routed).
+  const AppStats& StatsFor(AppId app_id) const;
   int64_t total_dropped() const { return total_dropped_; }
   int64_t total_rejected_outage() const { return total_rejected_outage_; }
   int64_t total_abandoned() const { return total_abandoned_; }
@@ -225,8 +235,8 @@ class Controller {
   // of its CURRENT attempt; completions/failures for superseded attempts
   // miss the table and are ignored (zombie executions).
   struct PendingActivation {
-    std::string app_id;
-    std::string function_id;
+    AppId app_id;
+    FunctionId function_id;
     Duration execution;
     double memory_mb = 0.0;
     int attempts = 1;  // Dispatch attempts made (1 = first attempt).
@@ -237,7 +247,7 @@ class Controller {
     TimePoint created_at;
   };
 
-  AppState& GetOrCreateApp(const std::string& app_id);
+  AppState& GetOrCreateApp(AppId app_id);
   void OnCompletion(const CompletionMessage& message);
   void OnFailure(const FailureMessage& message);
   void OnTimeout(int64_t activation_id);
@@ -264,6 +274,7 @@ class Controller {
 
   EventQueue* queue_;
   std::vector<Invoker*> invokers_;
+  const EntityIndex* entities_;
   const PolicyFactory& policy_factory_;
   LatencyModel latency_;
   Rng rng_;
@@ -272,12 +283,15 @@ class Controller {
   RetryPolicy retry_;
   const ClusterInstruments* instruments_;
 
-  std::unordered_map<std::string, AppState> apps_;
-  std::unordered_map<std::string, AppStats> app_stats_;
+  // Dense per-app state, indexed by AppId and grown on first touch.  A slot
+  // whose policy is null has never been routed.  The deque keeps AppState
+  // references stable while new apps grow the array.
+  std::deque<AppState> apps_;
+  std::vector<AppStats> app_stats_;
   std::unordered_map<int64_t, PendingActivation> pending_;
-  // Latest policy-state checkpoint per app (WipePolicyState restores these).
-  std::unordered_map<std::string, std::unique_ptr<PolicyStateSnapshot>>
-      checkpoints_;
+  // Latest policy-state checkpoint per app, parallel to `apps_`
+  // (WipePolicyState restores these).
+  std::vector<std::unique_ptr<PolicyStateSnapshot>> checkpoints_;
   FaultLedger ledger_;
   int64_t total_dropped_ = 0;
   int64_t total_rejected_outage_ = 0;

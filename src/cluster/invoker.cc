@@ -64,7 +64,7 @@ void Invoker::FinalizeAt(TimePoint end) {
   }
 }
 
-Invoker::Container* Invoker::FindIdleContainer(const std::string& app_id) {
+Invoker::Container* Invoker::FindIdleContainer(AppId app_id) {
   for (Container& container : containers_) {
     if (!container.busy && container.app_id == app_id) {
       return &container;
@@ -98,8 +98,7 @@ bool Invoker::EvictIdleContainers(double needed_mb) {
   return true;
 }
 
-Invoker::Container* Invoker::CreateContainer(const std::string& app_id,
-                                             double memory_mb) {
+Invoker::Container* Invoker::CreateContainer(AppId app_id, double memory_mb) {
   if (memory_in_use_mb_ + memory_mb > memory_capacity_mb_ &&
       !EvictIdleContainers(memory_mb)) {
     return nullptr;
@@ -111,7 +110,10 @@ Invoker::Container* Invoker::CreateContainer(const std::string& app_id,
   container.memory_mb = memory_mb;
   memory_in_use_mb_ += memory_mb;
   ++resident_containers_;
-  ++resident_count_by_app_[app_id];
+  if (app_id.index() >= resident_count_by_app_.size()) {
+    resident_count_by_app_.resize(app_id.index() + 1, 0);
+  }
+  ++resident_count_by_app_[app_id.index()];
   return &container;
 }
 
@@ -122,9 +124,8 @@ void Invoker::DestroyContainer(ContainerList::iterator it) {
   it->exec_end_event.Cancel();
   memory_in_use_mb_ -= it->memory_mb;
   --resident_containers_;
-  auto count_it = resident_count_by_app_.find(it->app_id);
-  if (count_it != resident_count_by_app_.end() && --count_it->second == 0) {
-    resident_count_by_app_.erase(count_it);
+  if (it->app_id.index() < resident_count_by_app_.size()) {
+    --resident_count_by_app_[it->app_id.index()];
   }
   containers_.erase(it);
 }
@@ -181,7 +182,7 @@ int64_t Invoker::Crash() {
     }
   }
   containers_.clear();
-  resident_count_by_app_.clear();
+  resident_count_by_app_.assign(resident_count_by_app_.size(), 0);
   memory_in_use_mb_ = 0.0;
   resident_containers_ = 0;
   if (on_failure_) {

@@ -20,8 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "src/cluster/event_queue.h"
 #include "src/cluster/latency_model.h"
@@ -97,7 +96,7 @@ class Invoker {
 
  private:
   struct Container {
-    std::string app_id;
+    AppId app_id;
     double memory_mb = 0.0;
     bool busy = false;
     // Activation currently executing in this container (0 when idle), used
@@ -110,9 +109,9 @@ class Invoker {
   using ContainerList = std::list<Container>;
 
   // Finds an idle resident container for the app, or returns nullptr.
-  Container* FindIdleContainer(const std::string& app_id);
+  Container* FindIdleContainer(AppId app_id);
   // Creates a container, evicting idle ones if needed; nullptr on failure.
-  Container* CreateContainer(const std::string& app_id, double memory_mb);
+  Container* CreateContainer(AppId app_id, double memory_mb);
   void DestroyContainer(ContainerList::iterator it);
   bool EvictIdleContainers(double needed_mb);
   void ArmKeepAlive(ContainerList::iterator it, Duration keepalive);
@@ -136,7 +135,9 @@ class Invoker {
   FailureCallback on_failure_;
 
   ContainerList containers_;
-  std::unordered_map<std::string, int> resident_count_by_app_;
+  // Resident containers per app, indexed by AppId (grown on demand): dense
+  // array bookkeeping instead of a string-keyed map node per app.
+  std::vector<int32_t> resident_count_by_app_;
 
   double memory_in_use_mb_ = 0.0;
   int resident_containers_ = 0;

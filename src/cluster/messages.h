@@ -9,16 +9,18 @@
 #define SRC_CLUSTER_MESSAGES_H_
 
 #include <cstdint>
-#include <string>
 
+#include "src/common/intern.h"
 #include "src/common/time.h"
 
 namespace faas {
 
+// Messages carry dense entity ids (see common/intern.h); the controller and
+// invokers never touch entity name strings on the activation path.
 struct ActivationMessage {
   int64_t activation_id = 0;
-  std::string app_id;
-  std::string function_id;
+  AppId app_id;
+  FunctionId function_id;
   // Memory footprint of the app's container.
   double memory_mb = 0.0;
   // Pure function execution time (excludes any cold-start latency).
@@ -32,7 +34,7 @@ struct ActivationMessage {
 };
 
 struct PrewarmMessage {
-  std::string app_id;
+  AppId app_id;
   double memory_mb = 0.0;
   // Keep-alive counted from the pre-warm load.
   Duration keepalive;
@@ -52,7 +54,7 @@ enum class FailureKind {
 // (a rejected placement is reported synchronously by HandleActivation).
 struct FailureMessage {
   int64_t activation_id = 0;
-  std::string app_id;
+  AppId app_id;
   int invoker_id = -1;
   FailureKind kind = FailureKind::kCrash;
 };
@@ -60,7 +62,7 @@ struct FailureMessage {
 // Completion notification from invoker back to the controller.
 struct CompletionMessage {
   int64_t activation_id = 0;
-  std::string app_id;
+  AppId app_id;
   int invoker_id = -1;
   bool cold_start = false;
   TimePoint execution_end;

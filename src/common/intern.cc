@@ -1,0 +1,33 @@
+#include "src/common/intern.h"
+
+#include "src/common/logging.h"
+
+namespace faas {
+
+uint32_t InternTable::Intern(std::string_view name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  FAAS_CHECK(names_.size() < static_cast<size_t>(UINT32_MAX))
+      << "intern table exhausted the u32 id space";
+  const auto id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+std::optional<uint32_t> InternTable::Find(std::string_view name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const std::string& InternTable::NameOf(uint32_t id) const {
+  FAAS_CHECK(id < names_.size()) << "unknown interned id " << id;
+  return names_[id];
+}
+
+}  // namespace faas

@@ -1,0 +1,121 @@
+// String interning: deterministic dense u32 handles for entity names.
+//
+// Every layer of the engine identifies applications and functions millions
+// of times per replay; carrying `std::string` keys through those paths costs
+// an allocation per copy and a full string hash + compare per lookup.  An
+// InternTable assigns each distinct name a dense id in *insertion order*, so
+// ids are bit-identical across runs and across `--threads` (interning always
+// happens single-threaded, at parse/generate time), and per-entity state can
+// live in flat arrays indexed by id instead of string-keyed hash maps.
+//
+// Strings exist at the I/O boundaries only: interned once when a trace is
+// read or generated, re-materialized via NameOf when results are written.
+//
+// AppId/FunctionId are strong wrappers around the u32 handle so an app id
+// can never be used where a function id is expected (and vice versa).
+
+#ifndef SRC_COMMON_INTERN_H_
+#define SRC_COMMON_INTERN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_map>
+
+namespace faas {
+
+// Dense handle for an interned application.  When built canonically from a
+// Trace (EntityIndex::Build), AppId(i) is exactly position i in trace.apps.
+struct AppId {
+  static constexpr uint32_t kInvalid = UINT32_MAX;
+
+  uint32_t value = kInvalid;
+
+  constexpr AppId() = default;
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  constexpr explicit AppId(T v) : value(static_cast<uint32_t>(v)) {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+  constexpr size_t index() const { return value; }
+
+  friend constexpr bool operator==(AppId, AppId) = default;
+  friend constexpr bool operator<(AppId a, AppId b) {
+    return a.value < b.value;
+  }
+};
+
+// Dense handle for an interned function.  Function names are only unique
+// within their owning app, so a FunctionId is always minted relative to an
+// AppId (EntityIndex::AddFunction).
+struct FunctionId {
+  static constexpr uint32_t kInvalid = UINT32_MAX;
+
+  uint32_t value = kInvalid;
+
+  constexpr FunctionId() = default;
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  constexpr explicit FunctionId(T v) : value(static_cast<uint32_t>(v)) {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+  constexpr size_t index() const { return value; }
+
+  friend constexpr bool operator==(FunctionId, FunctionId) = default;
+  friend constexpr bool operator<(FunctionId a, FunctionId b) {
+    return a.value < b.value;
+  }
+};
+
+// Insertion-ordered string -> dense u32 map.  Lookup is heterogeneous
+// (string_view, no temporary std::string); stored names have stable
+// addresses (deque), so NameOf references stay valid as the table grows.
+// Not thread-safe: intern on one thread, share const references freely.
+class InternTable {
+ public:
+  InternTable() = default;
+
+  InternTable(const InternTable&) = delete;
+  InternTable& operator=(const InternTable&) = delete;
+  InternTable(InternTable&&) = default;
+  InternTable& operator=(InternTable&&) = default;
+
+  // Returns the id of `name`, inserting it at the next dense id if new.
+  uint32_t Intern(std::string_view name);
+
+  // Lookup without insertion.
+  std::optional<uint32_t> Find(std::string_view name) const;
+
+  // The interned string for an id minted by this table.
+  const std::string& NameOf(uint32_t id) const;
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  // Names in insertion order; deque keeps element addresses stable so the
+  // index below can key string_views into the stored strings.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, uint32_t> index_;
+};
+
+}  // namespace faas
+
+template <>
+struct std::hash<faas::AppId> {
+  size_t operator()(faas::AppId id) const noexcept {
+    return std::hash<uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<faas::FunctionId> {
+  size_t operator()(faas::FunctionId id) const noexcept {
+    return std::hash<uint32_t>{}(id.value);
+  }
+};
+
+#endif  // SRC_COMMON_INTERN_H_

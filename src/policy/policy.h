@@ -64,6 +64,12 @@ class KeepAlivePolicy {
   // application transitions from executing to idle.
   virtual PolicyDecision NextWindows() = 0;
 
+  // True when NextWindows() always returns the same decision and
+  // RecordIdleTime is a no-op (fixed keep-alive, no-unloading).  The
+  // simulator hoists the decision out of the replay loop for such policies
+  // and skips both virtual calls per invocation.
+  virtual bool HasStaticDecision() const { return false; }
+
   virtual std::string name() const = 0;
 
   // Per-application metadata footprint, for the tracking-overhead analysis
@@ -111,6 +117,7 @@ class FixedKeepAlivePolicy final : public KeepAlivePolicy {
   PolicyDecision NextWindows() override {
     return {Duration::Zero(), keepalive_};
   }
+  bool HasStaticDecision() const override { return true; }
   std::string name() const override;
 
  private:
@@ -140,6 +147,7 @@ class NoUnloadPolicy final : public KeepAlivePolicy {
   PolicyDecision NextWindows() override {
     return {Duration::Zero(), Duration::Max()};
   }
+  bool HasStaticDecision() const override { return true; }
   std::string name() const override { return "no-unloading"; }
 };
 

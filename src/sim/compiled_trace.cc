@@ -4,17 +4,22 @@
 #include <utility>
 
 #include "src/common/parallel.h"
+#include "src/trace/entity_index.h"
 #include "src/trace/types.h"
 
 namespace faas {
 
+const std::string& CompiledTrace::AppName(size_t app) const {
+  return entities->AppName(AppId(app));
+}
+
 CompiledTrace CompiledTrace::Compile(const Trace& trace, int num_threads) {
   CompiledTrace compiled;
   compiled.horizon = trace.horizon;
+  compiled.entities = EntityIndexFor(trace);
 
   const size_t num_apps = trace.apps.size();
   compiled.spans.resize(num_apps);
-  compiled.app_ids.resize(num_apps);
   compiled.memory_mb.resize(num_apps);
 
   size_t total = 0;
@@ -25,7 +30,6 @@ CompiledTrace CompiledTrace::Compile(const Trace& trace, int num_threads) {
       total += function.invocations.size();
     }
     compiled.spans[a].end = total;
-    compiled.app_ids[a] = app.app_id;
     compiled.memory_mb[a] = app.memory.average_mb;
   }
   compiled.times_ms.resize(total);

@@ -26,13 +26,16 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/intern.h"
 #include "src/common/time.h"
 
 namespace faas {
 
+class EntityIndex;
 struct Trace;
 
 struct CompiledTrace {
@@ -45,14 +48,19 @@ struct CompiledTrace {
   // Invocation arenas; all apps' merged streams back to back.
   std::vector<int64_t> times_ms;
   std::vector<int64_t> exec_ms;
-  // Per-app slices of the arenas, in trace order.
+  // Per-app slices of the arenas, in trace order; the app at position a is
+  // AppId(a) in `entities` (the canonical index, see entity_index.h).
   std::vector<AppSpan> spans;
   // Per-app metadata, parallel to `spans`.
-  std::vector<std::string> app_ids;
   std::vector<double> memory_mb;
+  // Entity names for the spans; ids are positional, strings re-materialize
+  // only at the output boundary.
+  std::shared_ptr<const EntityIndex> entities;
   Duration horizon;
 
   size_t num_apps() const { return spans.size(); }
+  // The app's name, for writers.
+  const std::string& AppName(size_t app) const;
   int64_t total_invocations() const {
     return static_cast<int64_t>(times_ms.size());
   }

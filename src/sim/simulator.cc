@@ -8,6 +8,7 @@
 #include "src/common/logging.h"
 #include "src/common/parallel.h"
 #include "src/stats/descriptive.h"
+#include "src/trace/entity_index.h"
 
 namespace faas {
 
@@ -60,9 +61,9 @@ AppSimResult ColdStartSimulator::SimulateApp(const AppTrace& app,
                                              KeepAlivePolicy& policy) const {
   const MergedStream stream =
       MergeInvocations(app, options_.use_execution_times);
-  return SimulateStream(app.app_id, stream.times_ms.data(),
-                        stream.exec_ms.data(), stream.times_ms.size(),
-                        app.memory.average_mb, horizon, policy);
+  return SimulateStream(stream.times_ms.data(), stream.exec_ms.data(),
+                        stream.times_ms.size(), app.memory.average_mb, horizon,
+                        policy);
 }
 
 AppSimResult ColdStartSimulator::SimulateApp(
@@ -76,9 +77,9 @@ AppSimResult ColdStartSimulator::SimulateApp(
                             ? compiled.exec_ms.data() + span.begin
                             : nullptr;
   AppSimResult result = SimulateStream(
-      compiled.app_ids[app_index], compiled.times_ms.data() + span.begin,
-      exec, span.size(), compiled.memory_mb[app_index], compiled.horizon,
-      policy, instruments);
+      compiled.times_ms.data() + span.begin, exec, span.size(),
+      compiled.memory_mb[app_index], compiled.horizon, policy, instruments);
+  result.app = AppId(app_index);
   if (instruments != nullptr && instruments->tracer != nullptr &&
       span.size() > 0) {
     // One span per (policy, app): start at the first invocation, run to the
@@ -99,15 +100,93 @@ AppSimResult ColdStartSimulator::SimulateApp(
   return result;
 }
 
+AppSimResult ColdStartSimulator::SimulateStaticStream(
+    const int64_t* times_ms, const int64_t* exec_ms, size_t count,
+    double memory_mb, Duration horizon, PolicyDecision decision) const {
+  AppSimResult result;
+  result.invocations = static_cast<int64_t>(count);
+  // The first invocation is always a cold start (Section 5.1).
+  int64_t cold_starts = 1;
+  const int64_t ka_ms = decision.keepalive_window.millis();
+  double wasted_ms = 0.0;
+  int64_t exec_end = times_ms[0] + (exec_ms != nullptr ? exec_ms[0] : 0);
+  if (exec_ms == nullptr) {
+    // Zero execution times: exec_end is just the previous distinct instant,
+    // so the busy-warm branch only fires on duplicate timestamps.
+    for (size_t i = 1; i < count; ++i) {
+      const int64_t t = times_ms[i];
+      if (t <= exec_end) {
+        continue;
+      }
+      const int64_t idle = t - exec_end;
+      if (idle <= ka_ms) {
+        wasted_ms += static_cast<double>(idle);
+      } else {
+        ++cold_starts;
+        wasted_ms += static_cast<double>(ka_ms);
+      }
+      exec_end = t;
+    }
+  } else {
+    for (size_t i = 1; i < count; ++i) {
+      const int64_t t = times_ms[i];
+      if (t <= exec_end) {
+        const int64_t e = t + exec_ms[i];
+        if (e > exec_end) {
+          exec_end = e;
+        }
+        continue;
+      }
+      const int64_t idle = t - exec_end;
+      if (idle <= ka_ms) {
+        wasted_ms += static_cast<double>(idle);
+      } else {
+        ++cold_starts;
+        wasted_ms += static_cast<double>(ka_ms);
+      }
+      exec_end = t + exec_ms[i];
+    }
+  }
+  result.cold_starts = cold_starts;
+  if (options_.count_tail_residency) {
+    const int64_t horizon_end =
+        (TimePoint::Origin() + horizon).millis_since_origin();
+    if (horizon_end > exec_end) {
+      const int64_t remaining = horizon_end - exec_end;
+      wasted_ms += static_cast<double>(std::min(ka_ms, remaining));
+    }
+  }
+  result.wasted_memory_minutes = wasted_ms / 60'000.0;
+  if (options_.weight_by_memory) {
+    result.wasted_memory_minutes *= memory_mb;
+  }
+  return result;
+}
+
 AppSimResult ColdStartSimulator::SimulateStream(
-    std::string app_id, const int64_t* times_ms, const int64_t* exec_ms,
-    size_t count, double memory_mb, Duration horizon, KeepAlivePolicy& policy,
+    const int64_t* times_ms, const int64_t* exec_ms, size_t count,
+    double memory_mb, Duration horizon, KeepAlivePolicy& policy,
     const SimPolicyInstruments* instruments) const {
   AppSimResult result;
-  result.app_id = std::move(app_id);
   result.invocations = static_cast<int64_t>(count);
   if (count == 0) {
     return result;
+  }
+
+  // A policy whose decision never changes needs neither of its virtual calls
+  // in the loop; with no per-invocation telemetry attached the whole replay
+  // collapses to the tight integer loop above.  (Prewarm and keep-forever
+  // decisions take the general path: they are rare and branch-heavier.)
+  const bool static_decision = policy.HasStaticDecision();
+  const bool plain_replay =
+      instruments == nullptr || instruments->registry == nullptr;
+  if (static_decision && plain_replay && !options_.track_hourly) {
+    const PolicyDecision fixed = policy.NextWindows();
+    if (!fixed.KeepsLoadedForever() && fixed.prewarm_window.IsZero()) {
+      AppSimResult fast = SimulateStaticStream(times_ms, exec_ms, count,
+                                               memory_mb, horizon, fixed);
+      return fast;
+    }
   }
 
   const auto time_at = [&](size_t i) { return TimePoint(times_ms[i]); };
@@ -216,9 +295,13 @@ AppSimResult ColdStartSimulator::SimulateStream(
     }
     track(t, cold);
 
-    policy.RecordIdleTimeAt(t, idle);
+    if (!static_decision) {
+      policy.RecordIdleTimeAt(t, idle);
+    }
     exec_end = t + exec_at(i);
-    decision = policy.NextWindows();
+    if (!static_decision) {
+      decision = policy.NextWindows();
+    }
   }
 
   if (options_.count_tail_residency) {
@@ -265,6 +348,7 @@ SimulationResult ColdStartSimulator::Run(const CompiledTrace& compiled,
                                          const PolicyFactory& factory) const {
   SimulationResult result;
   result.policy_name = factory.name();
+  result.entities = compiled.entities;
   result.apps.resize(compiled.num_apps());
   // Register instruments before the parallel region (the registry sizes
   // per-thread shards on first touch).
@@ -284,6 +368,11 @@ SimulationResult ColdStartSimulator::Run(const CompiledTrace& compiled,
       },
       options_.num_threads);
   return result;
+}
+
+const std::string& SimulationResult::AppName(size_t i) const {
+  FAAS_CHECK(entities != nullptr) << "simulation result has no entity index";
+  return entities->AppName(apps[i].app);
 }
 
 int64_t SimulationResult::TotalInvocations() const {

@@ -22,9 +22,11 @@
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/intern.h"
 #include "src/policy/policy.h"
 #include "src/sim/compiled_trace.h"
 #include "src/stats/ecdf.h"
@@ -55,7 +57,10 @@ struct SimulatorOptions {
 };
 
 struct AppSimResult {
-  std::string app_id;
+  // The app's dense id — its position in the CompiledTrace / EntityIndex.
+  // Invalid (kInvalid) for the single-AppTrace legacy path, which has no
+  // index; names re-materialize via SimulationResult::AppName.
+  AppId app;
   int64_t invocations = 0;
   int64_t cold_starts = 0;
   // Number of pre-warm loads the policy scheduled that actually happened.
@@ -76,6 +81,12 @@ struct AppSimResult {
 struct SimulationResult {
   std::string policy_name;
   std::vector<AppSimResult> apps;
+  // Entity names for `apps` (shared with the compiled trace); writers
+  // re-materialize strings through it at the output boundary.
+  std::shared_ptr<const EntityIndex> entities;
+
+  // Name of apps[i], via `entities`.
+  const std::string& AppName(size_t i) const;
 
   int64_t TotalInvocations() const;
   int64_t TotalColdStarts() const;
@@ -123,13 +134,22 @@ class ColdStartSimulator {
 
  private:
   // Shared replay core over a merged, time-sorted invocation stream.
-  // `exec_ms` may be null, meaning every execution takes zero time.
-  AppSimResult SimulateStream(std::string app_id, const int64_t* times_ms,
-                              const int64_t* exec_ms, size_t count,
-                              double memory_mb, Duration horizon,
+  // `exec_ms` may be null, meaning every execution takes zero time.  The
+  // caller stamps identity (AppSimResult::app) on the returned result.
+  AppSimResult SimulateStream(const int64_t* times_ms, const int64_t* exec_ms,
+                              size_t count, double memory_mb, Duration horizon,
                               KeepAlivePolicy& policy,
                               const SimPolicyInstruments* instruments =
                                   nullptr) const;
+
+  // Devirtualized replay for policies with a static decision (fixed
+  // keep-alive), used when no per-invocation telemetry is attached.
+  // Bit-identical to the general loop: same accumulation order, same
+  // comparisons, just without the two virtual calls per invocation.
+  AppSimResult SimulateStaticStream(const int64_t* times_ms,
+                                    const int64_t* exec_ms, size_t count,
+                                    double memory_mb, Duration horizon,
+                                    PolicyDecision decision) const;
 
   SimulatorOptions options_;
 };

@@ -27,6 +27,7 @@ std::vector<PolicyPoint> EvaluatePolicies(
   for (size_t p = 0; p < num_policies; ++p) {
     points[p].name = factories[p]->name();
     points[p].result.policy_name = points[p].name;
+    points[p].result.entities = compiled.entities;
     points[p].result.apps.resize(num_apps);
   }
 

@@ -71,20 +71,20 @@ MetricsRegistry::MetricsRegistry()
 
 MetricsRegistry::~MetricsRegistry() = default;
 
-int32_t MetricsRegistry::FindOrAdd(const std::string& name,
-                                   const std::string& label, MetricKind kind,
-                                   Definition definition) {
+int32_t MetricsRegistry::FindOrAdd(MetricKind kind, Definition definition) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (const Definition& existing : definitions_) {
-    if (existing.name == name && existing.label == label) {
-      FAAS_CHECK(existing.kind == kind)
-          << "metric '" << name << "' re-registered with a different kind";
-      if (kind == MetricKind::kHistogram) {
-        FAAS_CHECK(*existing.edges == *definition.edges)
-            << "histogram '" << name << "' re-registered with new edges";
-      }
-      return existing.slot;
+  const auto it = definition_index_.find(
+      DefinitionKey{definition.name, definition.label});
+  if (it != definition_index_.end()) {
+    const Definition& existing = definitions_[static_cast<size_t>(it->second)];
+    FAAS_CHECK(existing.kind == kind)
+        << "metric '" << existing.name
+        << "' re-registered with a different kind";
+    if (kind == MetricKind::kHistogram) {
+      FAAS_CHECK(*existing.edges == *definition.edges)
+          << "histogram '" << existing.name << "' re-registered with new edges";
     }
+    return existing.slot;
   }
   switch (kind) {
     case MetricKind::kCounter:
@@ -102,6 +102,9 @@ int32_t MetricsRegistry::FindOrAdd(const std::string& name,
   }
   const int32_t slot = definition.slot;
   definitions_.push_back(std::move(definition));
+  const Definition& stored = definitions_.back();
+  definition_index_.emplace(DefinitionKey{stored.name, stored.label},
+                            static_cast<int32_t>(definitions_.size() - 1));
   version_.store(static_cast<int64_t>(definitions_.size()),
                  std::memory_order_relaxed);
   return slot;
@@ -110,23 +113,21 @@ int32_t MetricsRegistry::FindOrAdd(const std::string& name,
 CounterId MetricsRegistry::AddCounter(std::string name, std::string help,
                                       std::string label) {
   Definition definition;
-  definition.name = name;
-  definition.label = label;
+  definition.name = std::move(name);
+  definition.label = std::move(label);
   definition.help = std::move(help);
   definition.kind = MetricKind::kCounter;
-  return CounterId{FindOrAdd(name, label, MetricKind::kCounter,
-                             std::move(definition))};
+  return CounterId{FindOrAdd(MetricKind::kCounter, std::move(definition))};
 }
 
 GaugeId MetricsRegistry::AddGauge(std::string name, std::string help,
                                   std::string label) {
   Definition definition;
-  definition.name = name;
-  definition.label = label;
+  definition.name = std::move(name);
+  definition.label = std::move(label);
   definition.help = std::move(help);
   definition.kind = MetricKind::kGauge;
-  return GaugeId{FindOrAdd(name, label, MetricKind::kGauge,
-                           std::move(definition))};
+  return GaugeId{FindOrAdd(MetricKind::kGauge, std::move(definition))};
 }
 
 HistogramId MetricsRegistry::AddHistogram(std::string name, std::string help,
@@ -138,14 +139,13 @@ HistogramId MetricsRegistry::AddHistogram(std::string name, std::string help,
         << "histogram '" << name << "' edges must be strictly ascending";
   }
   Definition definition;
-  definition.name = name;
-  definition.label = label;
+  definition.name = std::move(name);
+  definition.label = std::move(label);
   definition.help = std::move(help);
   definition.kind = MetricKind::kHistogram;
   definition.edges =
       std::make_shared<const std::vector<double>>(std::move(edges));
-  return HistogramId{FindOrAdd(name, label, MetricKind::kHistogram,
-                               std::move(definition))};
+  return HistogramId{FindOrAdd(MetricKind::kHistogram, std::move(definition))};
 }
 
 SeriesId MetricsRegistry::AddSeries(std::string name, std::string help,
@@ -155,14 +155,13 @@ SeriesId MetricsRegistry::AddSeries(std::string name, std::string help,
       << "series '" << name << "' needs a positive bin width";
   FAAS_CHECK(num_bins > 0) << "series '" << name << "' needs bins";
   Definition definition;
-  definition.name = name;
-  definition.label = label;
+  definition.name = std::move(name);
+  definition.label = std::move(label);
   definition.help = std::move(help);
   definition.kind = MetricKind::kSeries;
   definition.bin_width_ms = bin_width.millis();
   definition.num_bins = num_bins;
-  return SeriesId{FindOrAdd(name, label, MetricKind::kSeries,
-                            std::move(definition))};
+  return SeriesId{FindOrAdd(MetricKind::kSeries, std::move(definition))};
 }
 
 MetricsRegistry::Shard& MetricsRegistry::LocalShard() const {

@@ -41,9 +41,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/time.h"
@@ -192,10 +195,25 @@ class MetricsRegistry {
     size_t num_bins = 0;                               // kSeries
   };
 
+  // Composite (name, label) key viewing into a stored Definition; lookups
+  // hash without concatenating or copying strings.
+  struct DefinitionKey {
+    std::string_view name;
+    std::string_view label;
+    friend bool operator==(const DefinitionKey&,
+                           const DefinitionKey&) = default;
+  };
+  struct DefinitionKeyHash {
+    size_t operator()(const DefinitionKey& key) const noexcept {
+      const size_t h = std::hash<std::string_view>{}(key.name);
+      return h ^ (std::hash<std::string_view>{}(key.label) +
+                  0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    }
+  };
+
   // Returns this thread's shard, creating + registering it on first use.
   Shard& LocalShard() const;
-  int32_t FindOrAdd(const std::string& name, const std::string& label,
-                    MetricKind kind, Definition definition);
+  int32_t FindOrAdd(MetricKind kind, Definition definition);
 
   const uint64_t serial_;  // Distinguishes registries in thread-local caches.
   // Bumped on every new definition; a cached shard with an older version is
@@ -203,7 +221,11 @@ class MetricsRegistry {
   std::atomic<int64_t> version_{0};
 
   mutable std::mutex mu_;
-  std::vector<Definition> definitions_;
+  // Deque keeps Definition addresses stable so the index below can view the
+  // stored name/label strings; registration order is preserved for Scrape.
+  std::deque<Definition> definitions_;
+  std::unordered_map<DefinitionKey, int32_t, DefinitionKeyHash>
+      definition_index_;
   // Slot counts per kind (sizes for newly created shards).
   int32_t num_counters_ = 0;
   int32_t num_gauges_ = 0;

@@ -6,7 +6,7 @@ namespace faas {
 
 namespace {
 
-std::string PolicyLabel(const std::string& policy_name) {
+std::string PolicyLabel(std::string_view policy_name) {
   // Pre-rendered Prometheus label body; escape the few characters the text
   // exposition format reserves inside label values.
   std::string escaped;
@@ -44,7 +44,7 @@ Telemetry::Telemetry(TelemetryConfig config)
     : config_(config), tracer_(config.ring_capacity) {}
 
 ClusterInstruments ClusterInstruments::Register(Telemetry& telemetry,
-                                                const std::string& policy_name,
+                                                std::string_view policy_name,
                                                 int16_t pid, Duration horizon,
                                                 Duration sample_interval) {
   ClusterInstruments instruments;
@@ -58,7 +58,8 @@ ClusterInstruments ClusterInstruments::Register(Telemetry& telemetry,
   const std::string label = PolicyLabel(policy_name);
   if (instruments.tracer != nullptr) {
     instruments.label_id = instruments.tracer->InternLabel(label);
-    instruments.tracer->RegisterProcess(pid, "cluster " + policy_name);
+    instruments.tracer->RegisterProcess(
+        pid, "cluster " + std::string(policy_name));
     instruments.tracer->RegisterThread(pid, 0, "controller");
   }
   if (instruments.registry == nullptr) {
@@ -141,7 +142,7 @@ ClusterInstruments ClusterInstruments::Register(Telemetry& telemetry,
 }
 
 SimPolicyInstruments SimPolicyInstruments::Register(
-    Telemetry& telemetry, const std::string& policy_name, int16_t pid,
+    Telemetry& telemetry, std::string_view policy_name, int16_t pid,
     int64_t trace_id_base, Duration horizon) {
   SimPolicyInstruments instruments;
   instruments.pid = pid;
@@ -155,7 +156,8 @@ SimPolicyInstruments SimPolicyInstruments::Register(
   const std::string label = PolicyLabel(policy_name);
   if (instruments.tracer != nullptr) {
     instruments.label_id = instruments.tracer->InternLabel(label);
-    instruments.tracer->RegisterProcess(pid, "sweep " + policy_name);
+    instruments.tracer->RegisterProcess(pid,
+                                        "sweep " + std::string(policy_name));
     instruments.tracer->RegisterThread(pid, 0, "apps");
   }
   if (instruments.registry == nullptr) {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/tracer.h"
@@ -98,7 +99,7 @@ struct ClusterInstruments {
   // Registers the bundle under `policy="<policy_name>"` on process lane
   // `pid`, sizing the minute series for `horizon`.
   static ClusterInstruments Register(Telemetry& telemetry,
-                                     const std::string& policy_name,
+                                     std::string_view policy_name,
                                      int16_t pid, Duration horizon,
                                      Duration sample_interval);
 };
@@ -125,7 +126,7 @@ struct SimPolicyInstruments {
   SeriesId minute_cold_starts;
 
   static SimPolicyInstruments Register(Telemetry& telemetry,
-                                       const std::string& policy_name,
+                                       std::string_view policy_name,
                                        int16_t pid, int64_t trace_id_base,
                                        Duration horizon);
 };

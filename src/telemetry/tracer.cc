@@ -82,15 +82,9 @@ Tracer::Tracer(size_t ring_capacity)
 
 Tracer::~Tracer() = default;
 
-int32_t Tracer::InternLabel(const std::string& label) {
+int32_t Tracer::InternLabel(std::string_view label) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (size_t i = 0; i < labels_.size(); ++i) {
-    if (labels_[i] == label) {
-      return static_cast<int32_t>(i);
-    }
-  }
-  labels_.push_back(label);
-  return static_cast<int32_t>(labels_.size() - 1);
+  return static_cast<int32_t>(labels_.Intern(label));
 }
 
 void Tracer::RegisterProcess(int16_t pid, std::string name) {
@@ -160,13 +154,14 @@ CollectedTrace Tracer::Collect() const {
     order[i] = i;
   }
   std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
-    return labels_[a] < labels_[b];
+    return labels_.NameOf(static_cast<uint32_t>(a)) <
+           labels_.NameOf(static_cast<uint32_t>(b));
   });
   std::vector<int32_t> remap(labels_.size(), -1);
   trace.labels.reserve(labels_.size());
   for (size_t rank = 0; rank < order.size(); ++rank) {
     remap[order[rank]] = static_cast<int32_t>(rank);
-    trace.labels.push_back(labels_[order[rank]]);
+    trace.labels.push_back(labels_.NameOf(static_cast<uint32_t>(order[rank])));
   }
 
   size_t total = flushed_.size();

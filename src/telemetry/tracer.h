@@ -24,9 +24,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "src/common/intern.h"
 #include "src/common/time.h"
 
 namespace faas {
@@ -105,8 +107,9 @@ class Tracer {
   Tracer& operator=(const Tracer&) = delete;
 
   // Interns a label string (idempotent), returning its id for SpanRecord.
-  // Call at setup time; takes the central mutex.
-  int32_t InternLabel(const std::string& label);
+  // Heterogeneous: a string_view interns without building a temporary
+  // std::string on lookup.  Call at setup time; takes the central mutex.
+  int32_t InternLabel(std::string_view label);
 
   // Names a process / thread lane for the Chrome trace metadata.
   void RegisterProcess(int16_t pid, std::string name);
@@ -134,7 +137,7 @@ class Tracer {
   const size_t ring_capacity_;
 
   mutable std::mutex mu_;
-  std::vector<std::string> labels_;
+  InternTable labels_;  // Dense label ids; O(1) idempotent interning.
   std::vector<std::pair<int16_t, std::string>> processes_;
   std::vector<std::pair<std::pair<int16_t, int32_t>, std::string>> threads_;
   mutable std::vector<std::unique_ptr<Ring>> rings_;

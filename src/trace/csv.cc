@@ -3,14 +3,17 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <vector>
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/trace/entity_index.h"
 
 namespace faas {
 
@@ -87,22 +90,6 @@ bool WriteMemory(const Trace& trace, const std::string& path) {
   }
   return out.good();
 }
-
-struct FunctionKey {
-  std::string owner;
-  std::string app;
-  std::string function;
-
-  bool operator<(const FunctionKey& other) const {
-    if (owner != other.owner) {
-      return owner < other.owner;
-    }
-    if (app != other.app) {
-      return app < other.app;
-    }
-    return function < other.function;
-  }
-};
 
 }  // namespace
 
@@ -190,15 +177,19 @@ TraceIoResult<Trace> ReadTraceCsv(const std::string& directory,
   // "file:line: reason" for every row skipped in skip-malformed mode.
   std::vector<std::string> warnings;
 
-  // Accumulate per-function state across day files.
+  // Accumulate per-function state across day files.  Entities are interned
+  // into a parse-local EntityIndex as rows arrive, so the duration/memory
+  // join passes below are heterogeneous hash lookups — no per-row temporary
+  // std::string keys.  First-seen order of the interned ids is the output
+  // order, as before.
   struct FunctionBuilder {
+    AppId app;
     TriggerType trigger = TriggerType::kHttp;
     std::vector<TimePoint> invocations;
     ExecutionStats execution;
   };
-  std::map<FunctionKey, FunctionBuilder> functions;
-  // Preserve first-seen order of apps and functions for deterministic output.
-  std::vector<FunctionKey> function_order;
+  EntityIndex index;
+  std::deque<FunctionBuilder> builders;  // builders[f] for parse FunctionId f.
 
   // ---- Invocations: per-day files, header-driven ---------------------------
   // Accepts both this library's file names and the Azure public dataset's
@@ -288,14 +279,16 @@ TraceIoResult<Trace> ReadTraceCsv(const std::string& directory,
         }
         return Result::Failure(message);
       }
-      FunctionKey key{std::string(fields[owner_col->second]),
-                      std::string(fields[app_col->second]),
-                      std::string(fields[function_col->second])};
-      auto [it, inserted] = functions.try_emplace(key);
-      if (inserted) {
-        function_order.push_back(key);
-        it->second.trigger = trigger_value;
+      const AppId app_id = index.AddApp(fields[owner_col->second],
+                                        fields[app_col->second]);
+      const FunctionId function_id =
+          index.AddFunction(app_id, fields[function_col->second]);
+      if (function_id.index() == builders.size()) {  // First sighting.
+        builders.emplace_back();
+        builders.back().app = app_id;
+        builders.back().trigger = trigger_value;
       }
+      FunctionBuilder& builder = builders[function_id.index()];
       for (int minute = 0; minute < kMinutesPerDay; ++minute) {
         const int64_t k = counts[static_cast<size_t>(minute)];
         if (k == 0) {
@@ -306,7 +299,7 @@ TraceIoResult<Trace> ReadTraceCsv(const std::string& directory,
             day_start_ms + static_cast<int64_t>(minute) * 60'000;
         for (int64_t i = 0; i < k; ++i) {
           const int64_t offset = (2 * i + 1) * 60'000 / (2 * k);
-          it->second.invocations.emplace_back(minute_start + offset);
+          builder.invocations.emplace_back(minute_start + offset);
         }
       }
     }
@@ -392,14 +385,16 @@ TraceIoResult<Trace> ReadTraceCsv(const std::string& directory,
           }
           return Result::Failure(message);
         }
-        FunctionKey key{std::string(fields[owner_col->second]),
-                        std::string(fields[app_col->second]),
-                        std::string(fields[function_col->second])};
-        const auto it = functions.find(key);
-        if (it == functions.end()) {
+        const std::optional<AppId> app_id =
+            index.FindApp(fields[owner_col->second], fields[app_col->second]);
+        const std::optional<FunctionId> function_id =
+            app_id.has_value()
+                ? index.FindFunction(*app_id, fields[function_col->second])
+                : std::nullopt;
+        if (!function_id.has_value()) {
           continue;  // Duration rows for functions with no invocations.
         }
-        ExecutionStats& stats = it->second.execution;
+        ExecutionStats& stats = builders[function_id->index()].execution;
         if (stats.count == 0) {
           stats = {average_value, minimum_value, maximum_value, count_value};
         } else {
@@ -420,10 +415,10 @@ TraceIoResult<Trace> ReadTraceCsv(const std::string& directory,
   }
 
   // ---- Memory: single file or the dataset's per-day files ------------------
-  struct AppMemory {
-    MemoryStats stats;
-  };
-  std::map<std::pair<std::string, std::string>, AppMemory> memory;
+  // Dense join target: one slot per interned app.  Rows for apps with no
+  // invocations are dropped here (they never reached the output before
+  // either — the assembly pass only consulted apps with functions).
+  std::vector<MemoryStats> app_memory(index.num_apps());
   {
     std::vector<std::string> candidates = {kMemoryFileName};
     for (int d = 1; d <= days_read; ++d) {
@@ -495,11 +490,12 @@ TraceIoResult<Trace> ReadTraceCsv(const std::string& directory,
           maximum =
               ParseDouble(fields[pct100_col->second]).value_or(average_value);
         }
-        const std::pair<std::string, std::string> app_key{
-            std::string(fields[owner_col->second]),
-            std::string(fields[app_col->second])};
-        AppMemory& entry = memory[app_key];
-        MemoryStats& stats = entry.stats;
+        const std::optional<AppId> app_id =
+            index.FindApp(fields[owner_col->second], fields[app_col->second]);
+        if (!app_id.has_value()) {
+          continue;  // Memory rows for apps with no invocations.
+        }
+        MemoryStats& stats = app_memory[app_id->index()];
         if (stats.sample_count == 0) {
           stats = {average_value, pct1, maximum, samples_value};
         } else {
@@ -523,31 +519,31 @@ TraceIoResult<Trace> ReadTraceCsv(const std::string& directory,
     }
   }
 
-  // Assemble apps, preserving first-seen order.
+  // Assemble positionally: AppId assignment order is first-seen order, so
+  // trace.apps[a] corresponds to AppId(a); functions append in global
+  // first-seen order, which within one app is that app's first-seen order —
+  // exactly the output order of the old string-keyed assembly.
   Trace trace;
   trace.horizon = Duration::Days(days_read);
-  std::map<std::pair<std::string, std::string>, size_t> app_index;
-  for (const FunctionKey& key : function_order) {
-    FunctionBuilder& builder = functions[key];
-    const std::pair<std::string, std::string> app_key{key.owner, key.app};
-    auto [it, inserted] = app_index.try_emplace(app_key, trace.apps.size());
-    if (inserted) {
-      AppTrace app;
-      app.owner_id = key.owner;
-      app.app_id = key.app;
-      const auto mem_it = memory.find(app_key);
-      if (mem_it != memory.end()) {
-        app.memory = mem_it->second.stats;
-      }
-      trace.apps.push_back(std::move(app));
-    }
+  trace.apps.resize(index.num_apps());
+  for (size_t a = 0; a < index.num_apps(); ++a) {
+    const AppId app_id(static_cast<uint32_t>(a));
+    trace.apps[a].owner_id = index.OwnerName(app_id);
+    trace.apps[a].app_id = index.AppName(app_id);
+    trace.apps[a].memory = app_memory[a];
+  }
+  for (size_t f = 0; f < builders.size(); ++f) {
+    FunctionBuilder& builder = builders[f];
     FunctionTrace function;
-    function.function_id = key.function;
+    function.function_id = index.FunctionName(FunctionId(static_cast<uint32_t>(f)));
     function.trigger = builder.trigger;
     function.invocations = std::move(builder.invocations);
     function.execution = builder.execution;
-    trace.apps[it->second].functions.push_back(std::move(function));
+    trace.apps[builder.app.index()].functions.push_back(std::move(function));
   }
+  // The parse-local index interned functions in global first-seen order;
+  // the canonical index the simulators rely on is app-major.  Rebuild.
+  trace.entities = EntityIndex::Build(trace);
   Result result = Result::Success(std::move(trace));
   result.warnings = std::move(warnings);
   return result;

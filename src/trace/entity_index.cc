@@ -1,0 +1,109 @@
+#include "src/trace/entity_index.h"
+
+#include "src/common/logging.h"
+#include "src/trace/types.h"
+
+namespace faas {
+
+std::shared_ptr<const EntityIndex> EntityIndex::Build(const Trace& trace) {
+  auto index = std::make_shared<EntityIndex>();
+  for (const AppTrace& app : trace.apps) {
+    const AppId app_id = index->AddApp(app.owner_id, app.app_id);
+    FAAS_CHECK(app_id.index() + 1 == index->num_apps())
+        << "duplicate (owner, app) pair in trace: " << app.owner_id << "/"
+        << app.app_id;
+    for (const FunctionTrace& function : app.functions) {
+      index->AddFunction(app_id, function.function_id);
+    }
+  }
+  return index;
+}
+
+AppId EntityIndex::AddApp(std::string_view owner, std::string_view app) {
+  const auto it = app_index_.find(AppKey{owner, app});
+  if (it != app_index_.end()) {
+    return AppId(it->second);
+  }
+  FAAS_CHECK(apps_.size() < static_cast<size_t>(AppId::kInvalid))
+      << "app id space exhausted";
+  const uint32_t owner_id = owners_.Intern(owner);
+  const auto id = static_cast<uint32_t>(apps_.size());
+  apps_.push_back(AppEntry{owner_id, std::string(app)});
+  const AppEntry& entry = apps_.back();
+  app_index_.emplace(
+      AppKey{std::string_view(owners_.NameOf(owner_id)),
+             std::string_view(entry.name)},
+      id);
+  return AppId(id);
+}
+
+FunctionId EntityIndex::AddFunction(AppId app, std::string_view function) {
+  FAAS_CHECK(app.valid() && app.index() < apps_.size())
+      << "function added under unknown app";
+  const auto it = function_index_.find(FunctionKey{app.value, function});
+  if (it != function_index_.end()) {
+    return FunctionId(it->second);
+  }
+  FAAS_CHECK(functions_.size() < static_cast<size_t>(FunctionId::kInvalid))
+      << "function id space exhausted";
+  const auto id = static_cast<uint32_t>(functions_.size());
+  functions_.push_back(FunctionEntry{app, std::string(function)});
+  const FunctionEntry& entry = functions_.back();
+  function_index_.emplace(FunctionKey{app.value, std::string_view(entry.name)},
+                          id);
+  return FunctionId(id);
+}
+
+std::optional<AppId> EntityIndex::FindApp(std::string_view owner,
+                                          std::string_view app) const {
+  const auto it = app_index_.find(AppKey{owner, app});
+  if (it == app_index_.end()) {
+    return std::nullopt;
+  }
+  return AppId(it->second);
+}
+
+std::optional<FunctionId> EntityIndex::FindFunction(
+    AppId app, std::string_view function) const {
+  if (!app.valid()) {
+    return std::nullopt;
+  }
+  const auto it = function_index_.find(FunctionKey{app.value, function});
+  if (it == function_index_.end()) {
+    return std::nullopt;
+  }
+  return FunctionId(it->second);
+}
+
+const std::string& EntityIndex::AppName(AppId id) const {
+  FAAS_CHECK(id.valid() && id.index() < apps_.size())
+      << "unknown app id " << id.value;
+  return apps_[id.index()].name;
+}
+
+const std::string& EntityIndex::OwnerName(AppId id) const {
+  FAAS_CHECK(id.valid() && id.index() < apps_.size())
+      << "unknown app id " << id.value;
+  return owners_.NameOf(apps_[id.index()].owner);
+}
+
+const std::string& EntityIndex::FunctionName(FunctionId id) const {
+  FAAS_CHECK(id.valid() && id.index() < functions_.size())
+      << "unknown function id " << id.value;
+  return functions_[id.index()].name;
+}
+
+AppId EntityIndex::AppOf(FunctionId id) const {
+  FAAS_CHECK(id.valid() && id.index() < functions_.size())
+      << "unknown function id " << id.value;
+  return functions_[id.index()].app;
+}
+
+std::shared_ptr<const EntityIndex> EntityIndexFor(const Trace& trace) {
+  if (trace.entities != nullptr) {
+    return trace.entities;
+  }
+  return EntityIndex::Build(trace);
+}
+
+}  // namespace faas

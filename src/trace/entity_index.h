@@ -1,0 +1,128 @@
+// EntityIndex: the trace's entity name table.
+//
+// Maps (owner, app) pairs to dense AppIds and (app, function) pairs to dense
+// FunctionIds, in first-seen order.  App identity is the (owner, app) pair —
+// two owners may reuse an app name — and function names are scoped to their
+// app, matching the Azure dataset's Hash{Owner,App,Function} triple keys.
+//
+// Canonical ids: EntityIndex::Build(trace) interns apps in trace order and
+// functions app-major, so
+//
+//   AppId(a)       == position a in trace.apps
+//   FunctionId(f)  == position in the app-major function enumeration
+//
+// which is what every simulator relies on to index flat per-app state
+// without any lookup at all.  The CSV reader and the workload generator
+// attach the canonical index to the Trace they produce; transforms rebuild
+// it.  Lookup is heterogeneous (string_view keys, no temporary allocations),
+// which is what the CSV reader's join passes use.
+//
+// Determinism: interning happens single-threaded at parse/generate time and
+// ids depend only on insertion order, so they are bit-identical across runs
+// and across --threads.
+
+#ifndef SRC_TRACE_ENTITY_INDEX_H_
+#define SRC_TRACE_ENTITY_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/common/intern.h"
+
+namespace faas {
+
+struct Trace;
+
+class EntityIndex {
+ public:
+  EntityIndex() = default;
+
+  EntityIndex(const EntityIndex&) = delete;
+  EntityIndex& operator=(const EntityIndex&) = delete;
+  EntityIndex(EntityIndex&&) = default;
+  EntityIndex& operator=(EntityIndex&&) = default;
+
+  // Canonical index for a trace: apps interned in trace order, functions
+  // app-major, so ids double as positions (see the header comment).
+  static std::shared_ptr<const EntityIndex> Build(const Trace& trace);
+
+  // Interns an app (idempotent: an existing (owner, app) pair returns its
+  // original id).
+  AppId AddApp(std::string_view owner, std::string_view app);
+  // Interns a function scoped to `app` (idempotent on the (app, name) pair).
+  FunctionId AddFunction(AppId app, std::string_view function);
+
+  // Heterogeneous lookups; no insertion, no temporary strings.
+  std::optional<AppId> FindApp(std::string_view owner,
+                               std::string_view app) const;
+  std::optional<FunctionId> FindFunction(AppId app,
+                                         std::string_view function) const;
+
+  // Name re-materialization for the I/O boundary.
+  const std::string& AppName(AppId id) const;
+  const std::string& OwnerName(AppId id) const;
+  const std::string& FunctionName(FunctionId id) const;
+  // The app that owns a function.
+  AppId AppOf(FunctionId id) const;
+
+  size_t num_apps() const { return apps_.size(); }
+  size_t num_functions() const { return functions_.size(); }
+  size_t num_owners() const { return owners_.size(); }
+
+ private:
+  struct AppEntry {
+    uint32_t owner = 0;  // Id in owners_.
+    std::string name;
+  };
+  struct FunctionEntry {
+    AppId app;
+    std::string name;
+  };
+
+  // Composite lookup keys; the views point into the deque-stored entries
+  // (stable addresses), so lookups never build a concatenated string.
+  struct AppKey {
+    std::string_view owner;
+    std::string_view app;
+    friend bool operator==(const AppKey&, const AppKey&) = default;
+  };
+  struct AppKeyHash {
+    size_t operator()(const AppKey& key) const noexcept {
+      const size_t h = std::hash<std::string_view>{}(key.owner);
+      return h ^ (std::hash<std::string_view>{}(key.app) + 0x9e3779b97f4a7c15ULL +
+                  (h << 6) + (h >> 2));
+    }
+  };
+  struct FunctionKey {
+    uint32_t app = 0;
+    std::string_view name;
+    friend bool operator==(const FunctionKey&, const FunctionKey&) = default;
+  };
+  struct FunctionKeyHash {
+    size_t operator()(const FunctionKey& key) const noexcept {
+      const size_t h = std::hash<uint32_t>{}(key.app);
+      return h ^ (std::hash<std::string_view>{}(key.name) +
+                  0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    }
+  };
+
+  InternTable owners_;  // Owner names deduplicate across their apps.
+  std::deque<AppEntry> apps_;
+  std::deque<FunctionEntry> functions_;
+  std::unordered_map<AppKey, uint32_t, AppKeyHash> app_index_;
+  std::unordered_map<FunctionKey, uint32_t, FunctionKeyHash> function_index_;
+};
+
+// The trace's canonical index: Trace::entities when the producer attached
+// one, otherwise freshly built.  Never null.
+std::shared_ptr<const EntityIndex> EntityIndexFor(const Trace& trace);
+
+}  // namespace faas
+
+#endif  // SRC_TRACE_ENTITY_INDEX_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/rng.h"
+#include "src/trace/entity_index.h"
 
 namespace faas {
 
@@ -28,6 +29,7 @@ Trace ClipToHorizon(const Trace& trace, Duration horizon) {
       clipped.apps.push_back(std::move(copy));
     }
   }
+  clipped.entities = EntityIndex::Build(clipped);
   return clipped;
 }
 
@@ -40,6 +42,7 @@ Trace FilterApps(const Trace& trace,
       filtered.apps.push_back(app);
     }
   }
+  filtered.entities = EntityIndex::Build(filtered);
   return filtered;
 }
 
@@ -64,6 +67,7 @@ Trace SampleApps(const Trace& trace, size_t count, uint64_t seed) {
             [](const AppTrace& a, const AppTrace& b) {
               return a.app_id < b.app_id;
             });
+  sampled.entities = EntityIndex::Build(sampled);
   return sampled;
 }
 

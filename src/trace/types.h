@@ -11,6 +11,7 @@
 #define SRC_TRACE_TYPES_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -20,6 +21,8 @@
 #include "src/common/time.h"
 
 namespace faas {
+
+class EntityIndex;
 
 // The paper groups Azure's many trigger kinds into 7 classes (Section 2).
 enum class TriggerType : uint8_t {
@@ -93,6 +96,10 @@ struct Trace {
   std::vector<AppTrace> apps;
   // Trace horizon: all invocations lie in [0, horizon).
   Duration horizon;
+  // Canonical entity-id index (AppId(i) == apps[i]); attached by the CSV
+  // reader, the generator, and the transforms.  May be null for hand-built
+  // traces — consumers go through EntityIndexFor(), which builds on demand.
+  std::shared_ptr<const EntityIndex> entities;
 
   int64_t TotalInvocations() const;
   int64_t TotalFunctions() const;

@@ -7,6 +7,7 @@
 
 #include "src/common/logging.h"
 #include "src/stats/distributions.h"
+#include "src/trace/entity_index.h"
 #include "src/workload/arrival.h"
 
 namespace faas {
@@ -491,6 +492,7 @@ Trace WorkloadGenerator::Generate() {
     app.memory.sample_count = std::max<int64_t>(app.TotalInvocations(), 1);
     trace.apps.push_back(std::move(app));
   }
+  trace.entities = EntityIndex::Build(trace);
   return trace;
 }
 

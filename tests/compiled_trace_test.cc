@@ -24,7 +24,8 @@ Trace MakeSeededTrace() {
 
 void ExpectSameAppResult(const AppSimResult& legacy,
                          const AppSimResult& compiled) {
-  EXPECT_EQ(legacy.app_id, compiled.app_id);
+  // The legacy per-AppTrace path has no entity index, so `app` is stamped
+  // only on the compiled path; compare the numeric payload.
   EXPECT_EQ(legacy.invocations, compiled.invocations);
   EXPECT_EQ(legacy.cold_starts, compiled.cold_starts);
   EXPECT_EQ(legacy.prewarm_loads, compiled.prewarm_loads);
@@ -52,7 +53,7 @@ TEST(CompiledTraceTest, ArenasAreContiguousAndSorted) {
     EXPECT_TRUE(std::is_sorted(compiled.times_ms.begin() + span.begin,
                                compiled.times_ms.begin() + span.end))
         << "app " << a;
-    EXPECT_EQ(compiled.app_ids[a], trace.apps[a].app_id);
+    EXPECT_EQ(compiled.AppName(a), trace.apps[a].app_id);
     EXPECT_DOUBLE_EQ(compiled.memory_mb[a], trace.apps[a].memory.average_mb);
     expected_begin = span.end;
   }

@@ -8,6 +8,7 @@
 
 #include "src/policy/hybrid.h"
 #include "src/policy/policy.h"
+#include "src/trace/entity_index.h"
 
 namespace faas {
 namespace {
@@ -26,15 +27,24 @@ class ControllerTest : public ::testing::Test {
       invoker_ptrs_.push_back(invokers_.back().get());
     }
     controller_ = std::make_unique<Controller>(&queue_, invoker_ptrs_,
-                                               factory, latency, rng.Fork());
+                                               &entities_, factory, latency,
+                                               rng.Fork());
   }
 
+  // Interns (idempotently) and invokes; tests keep addressing apps by name.
   void Invoke(const std::string& app, Duration execution,
               double memory_mb = 128.0) {
-    controller_->OnInvocation(app, "f", execution, memory_mb);
+    const AppId app_id = entities_.AddApp("o", app);
+    const FunctionId function_id = entities_.AddFunction(app_id, "f");
+    controller_->OnInvocation(app_id, function_id, execution, memory_mb);
+  }
+
+  const Controller::AppStats& Stats(const std::string& app) {
+    return controller_->StatsFor(entities_.AddApp("o", app));
   }
 
   EventQueue queue_;
+  EntityIndex entities_;
   std::vector<std::unique_ptr<Invoker>> invokers_;
   std::vector<Invoker*> invoker_ptrs_;
   std::unique_ptr<Controller> controller_;
@@ -49,7 +59,7 @@ TEST_F(ControllerTest, CountsInvocationsAndColdStarts) {
   queue_.RunUntil(TimePoint(30'000));
   Invoke("app", Duration::Seconds(1));
   queue_.RunUntil(TimePoint(60'000));
-  const auto& stats = controller_->app_stats().at("app");
+  const auto& stats = Stats("app");
   EXPECT_EQ(stats.invocations, 2);
   EXPECT_EQ(stats.cold_starts, 1);  // Second hit is warm.
   EXPECT_EQ(stats.dropped, 0);
@@ -77,7 +87,7 @@ TEST_F(ControllerTest, DropsWhenClusterIsFull) {
   Invoke("b", Duration::Minutes(5));  // No room anywhere: dropped.
   queue_.Run();
   EXPECT_EQ(controller_->total_dropped(), 1);
-  EXPECT_EQ(controller_->app_stats().at("b").dropped, 1);
+  EXPECT_EQ(Stats("b").dropped, 1);
 }
 
 TEST_F(ControllerTest, HybridSchedulesPrewarmAfterLearning) {
@@ -94,7 +104,7 @@ TEST_F(ControllerTest, HybridSchedulesPrewarmAfterLearning) {
   // After the histogram became representative the container is unloaded
   // after execution and re-created by pre-warm messages.
   EXPECT_GT(invokers_[0]->prewarm_loads(), 0);
-  const auto& stats = controller_->app_stats().at("app");
+  const auto& stats = Stats("app");
   // Early invocations may be cold; the trained tail must be warm.
   EXPECT_LT(stats.cold_starts, 4);
 }
@@ -113,7 +123,7 @@ TEST_F(ControllerTest, NoPrewarmWhileTrafficIsContinuous) {
   }
   queue_.Run();
   EXPECT_EQ(invokers_[0]->prewarm_loads(), 0);
-  EXPECT_EQ(controller_->app_stats().at("app").cold_starts, 1);
+  EXPECT_EQ(Stats("app").cold_starts, 1);
 }
 
 TEST_F(ControllerTest, AffinityFailsOverDuringOutageAndReturnsHome) {

@@ -1,0 +1,228 @@
+#include "src/common/intern.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/policy/hybrid.h"
+#include "src/policy/policy.h"
+#include "src/sim/sweep.h"
+#include "src/trace/csv.h"
+#include "src/trace/entity_index.h"
+#include "src/trace/types.h"
+#include "src/workload/generator.h"
+
+namespace faas {
+namespace {
+
+TEST(InternTableTest, AssignsDenseIdsInInsertionOrder) {
+  InternTable table;
+  EXPECT_EQ(table.Intern("alpha"), 0u);
+  EXPECT_EQ(table.Intern("beta"), 1u);
+  EXPECT_EQ(table.Intern("gamma"), 2u);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.NameOf(0), "alpha");
+  EXPECT_EQ(table.NameOf(1), "beta");
+  EXPECT_EQ(table.NameOf(2), "gamma");
+}
+
+TEST(InternTableTest, InterningIsIdempotent) {
+  InternTable table;
+  const uint32_t first = table.Intern("app-00042");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.Intern("app-00042"), first);
+  }
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(InternTableTest, HeterogeneousLookupFindsWithoutInserting) {
+  InternTable table;
+  table.Intern("present");
+  const std::string long_name(256, 'x');
+  table.Intern(long_name);
+  EXPECT_EQ(table.Find(std::string_view("present")), 0u);
+  EXPECT_EQ(table.Find(std::string_view(long_name)), 1u);
+  EXPECT_FALSE(table.Find("absent").has_value());
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(InternTableTest, NameReferencesStayValidAsTableGrows) {
+  // The deque backing guarantees stable addresses; NameOf references taken
+  // early must survive thousands of later insertions (ASan would flag a
+  // dangling view here if the storage reallocated).
+  InternTable table;
+  table.Intern("pinned");
+  const std::string& pinned = table.NameOf(0);
+  for (int i = 0; i < 10'000; ++i) {
+    table.Intern("filler-" + std::to_string(i));
+  }
+  EXPECT_EQ(pinned, "pinned");
+  EXPECT_EQ(table.Find("pinned"), 0u);
+}
+
+TEST(InternTableTest, IdsAreDeterministicAcrossInstances) {
+  // Two tables fed the same insertion sequence mint identical ids — the
+  // property every cross-thread determinism guarantee reduces to, since
+  // interning always happens single-threaded at parse/generate time.
+  std::vector<std::string> names;
+  std::mt19937 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    names.push_back("name-" + std::to_string(rng() % 200));  // Duplicates.
+  }
+  InternTable a;
+  InternTable b;
+  for (const std::string& name : names) {
+    EXPECT_EQ(a.Intern(name), b.Intern(name));
+  }
+  ASSERT_EQ(a.size(), b.size());
+  for (uint32_t id = 0; id < a.size(); ++id) {
+    EXPECT_EQ(a.NameOf(id), b.NameOf(id));
+  }
+}
+
+TEST(EntityIndexTest, SameAppNameUnderDifferentOwnersStaysDistinct) {
+  // App identity is the (owner, app) pair: the Azure dataset hashes names
+  // per owner, so two owners can collide on an app name.
+  EntityIndex index;
+  const AppId first = index.AddApp("owner-a", "shop");
+  const AppId second = index.AddApp("owner-b", "shop");
+  EXPECT_NE(first, second);
+  EXPECT_EQ(index.num_apps(), 2u);
+  EXPECT_EQ(index.AddApp("owner-a", "shop"), first);  // Idempotent.
+  EXPECT_EQ(index.AppName(first), "shop");
+  EXPECT_EQ(index.OwnerName(first), "owner-a");
+  EXPECT_EQ(index.OwnerName(second), "owner-b");
+  EXPECT_EQ(index.FindApp("owner-b", "shop"), second);
+  EXPECT_FALSE(index.FindApp("owner-c", "shop").has_value());
+}
+
+TEST(EntityIndexTest, SameFunctionNameUnderDifferentAppsStaysDistinct) {
+  EntityIndex index;
+  const AppId app_a = index.AddApp("o", "a");
+  const AppId app_b = index.AddApp("o", "b");
+  const FunctionId fa = index.AddFunction(app_a, "handler");
+  const FunctionId fb = index.AddFunction(app_b, "handler");
+  EXPECT_NE(fa, fb);
+  EXPECT_EQ(index.AddFunction(app_a, "handler"), fa);
+  EXPECT_EQ(index.AppOf(fa), app_a);
+  EXPECT_EQ(index.AppOf(fb), app_b);
+  EXPECT_EQ(index.FunctionName(fa), "handler");
+  EXPECT_EQ(index.FindFunction(app_b, "handler"), fb);
+  EXPECT_FALSE(index.FindFunction(app_a, "missing").has_value());
+}
+
+Trace MakeSeededTrace(int num_apps = 80, uint64_t seed = 19) {
+  GeneratorConfig config;
+  config.num_apps = num_apps;
+  config.days = 1;
+  config.seed = seed;
+  config.instants_rate_cap_per_day = 800.0;
+  return WorkloadGenerator(config).Generate();
+}
+
+TEST(EntityIndexTest, CanonicalIdsArePositional) {
+  const Trace trace = MakeSeededTrace();
+  ASSERT_NE(trace.entities, nullptr);
+  const EntityIndex& index = *trace.entities;
+  ASSERT_EQ(index.num_apps(), trace.apps.size());
+  size_t function_cursor = 0;
+  for (size_t a = 0; a < trace.apps.size(); ++a) {
+    const AppId app_id(a);
+    EXPECT_EQ(index.AppName(app_id), trace.apps[a].app_id);
+    EXPECT_EQ(index.OwnerName(app_id), trace.apps[a].owner_id);
+    EXPECT_EQ(index.FindApp(trace.apps[a].owner_id, trace.apps[a].app_id),
+              app_id);
+    for (const FunctionTrace& function : trace.apps[a].functions) {
+      const FunctionId function_id(function_cursor++);
+      EXPECT_EQ(index.FindFunction(app_id, function.function_id), function_id);
+      EXPECT_EQ(index.AppOf(function_id), app_id);
+    }
+  }
+  EXPECT_EQ(index.num_functions(), function_cursor);
+}
+
+TEST(EntityIndexTest, SurvivesCsvRoundTrip) {
+  const Trace trace = MakeSeededTrace(40, 23);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "faas_intern_roundtrip";
+  std::filesystem::remove_all(dir);
+  ASSERT_EQ(WriteTraceCsv(trace, dir.string()), "");
+  const TraceIoResult<Trace> read = ReadTraceCsv(dir.string());
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(read.ok) << read.error;
+  const Trace& round = read.value;
+  ASSERT_NE(round.entities, nullptr);
+
+  // The reader preserves first-seen order, which for a written trace is the
+  // original app order; entity ids therefore line up one-to-one.
+  ASSERT_EQ(round.apps.size(), trace.apps.size());
+  const EntityIndex& original = *trace.entities;
+  const EntityIndex& reread = *round.entities;
+  ASSERT_EQ(reread.num_apps(), original.num_apps());
+  ASSERT_EQ(reread.num_functions(), original.num_functions());
+  for (size_t a = 0; a < original.num_apps(); ++a) {
+    EXPECT_EQ(reread.AppName(AppId(a)), original.AppName(AppId(a)));
+    EXPECT_EQ(reread.OwnerName(AppId(a)), original.OwnerName(AppId(a)));
+  }
+  for (size_t f = 0; f < original.num_functions(); ++f) {
+    EXPECT_EQ(reread.FunctionName(FunctionId(f)),
+              original.FunctionName(FunctionId(f)));
+    EXPECT_EQ(reread.AppOf(FunctionId(f)), original.AppOf(FunctionId(f)));
+  }
+}
+
+void ExpectPointsBitIdentical(const std::vector<PolicyPoint>& a,
+                              const std::vector<PolicyPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t p = 0; p < a.size(); ++p) {
+    EXPECT_EQ(a[p].name, b[p].name);
+    EXPECT_EQ(a[p].cold_start_p75, b[p].cold_start_p75);
+    EXPECT_EQ(a[p].wasted_memory_minutes, b[p].wasted_memory_minutes);
+    EXPECT_EQ(a[p].normalized_wasted_memory_pct,
+              b[p].normalized_wasted_memory_pct);
+    ASSERT_EQ(a[p].result.apps.size(), b[p].result.apps.size());
+    for (size_t i = 0; i < a[p].result.apps.size(); ++i) {
+      const AppSimResult& ra = a[p].result.apps[i];
+      const AppSimResult& rb = b[p].result.apps[i];
+      EXPECT_EQ(ra.app, rb.app);
+      EXPECT_EQ(ra.invocations, rb.invocations);
+      EXPECT_EQ(ra.cold_starts, rb.cold_starts);
+      EXPECT_EQ(ra.prewarm_loads, rb.prewarm_loads);
+      EXPECT_EQ(ra.wasted_memory_minutes, rb.wasted_memory_minutes);
+    }
+  }
+}
+
+TEST(EntityIndexPropertyTest, SweepIsBitIdenticalWithAndWithoutAttachedIndex) {
+  // A trace whose producer attached the canonical index and a structural
+  // copy without one (forcing EntityIndexFor to rebuild) must sweep to
+  // bit-identical results — the ids are a pure function of trace order.
+  const Trace trace = MakeSeededTrace(120, 31);
+  Trace stripped;
+  stripped.horizon = trace.horizon;
+  stripped.apps = trace.apps;  // entities left null.
+
+  const FixedKeepAliveFactory fixed(Duration::Minutes(10));
+  const HybridPolicyFactory hybrid{HybridPolicyConfig{}};
+  const std::vector<const PolicyFactory*> factories = {&fixed, &hybrid};
+  SimulatorOptions options;
+  options.use_execution_times = true;
+
+  const auto with_index = EvaluatePolicies(trace, factories, 0, options);
+  const auto without_index = EvaluatePolicies(stripped, factories, 0, options);
+  ExpectPointsBitIdentical(with_index, without_index);
+
+  // And across thread counts, which is the determinism guarantee the dense
+  // ids must not disturb.
+  SimulatorOptions parallel = options;
+  parallel.num_threads = 4;
+  const auto threaded = EvaluatePolicies(trace, factories, 0, parallel);
+  ExpectPointsBitIdentical(with_index, threaded);
+}
+
+}  // namespace
+}  // namespace faas

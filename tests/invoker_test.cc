@@ -18,13 +18,13 @@ class InvokerTest : public ::testing::Test {
         });
   }
 
-  ActivationMessage MakeActivation(const std::string& app, double memory_mb,
+  ActivationMessage MakeActivation(AppId app, double memory_mb,
                                    Duration execution, Duration keepalive,
                                    bool unload_after = false) {
     ActivationMessage message;
     message.activation_id = next_id_++;
     message.app_id = app;
-    message.function_id = "f";
+    message.function_id = FunctionId(0);
     message.memory_mb = memory_mb;
     message.execution = execution;
     message.keepalive = keepalive;
@@ -40,7 +40,7 @@ class InvokerTest : public ::testing::Test {
 
 TEST_F(InvokerTest, FirstActivationIsColdStart) {
   ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
-      "app", 100.0, Duration::Seconds(1), Duration::Minutes(10))));
+      AppId(0), 100.0, Duration::Seconds(1), Duration::Minutes(10))));
   queue_.Run();
   ASSERT_EQ(completions_.size(), 1u);
   EXPECT_TRUE(completions_[0].cold_start);
@@ -52,10 +52,10 @@ TEST_F(InvokerTest, FirstActivationIsColdStart) {
 
 TEST_F(InvokerTest, SecondActivationWithinKeepAliveIsWarm) {
   ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
-      "app", 100.0, Duration::Seconds(1), Duration::Minutes(10))));
+      AppId(0), 100.0, Duration::Seconds(1), Duration::Minutes(10))));
   queue_.RunUntil(TimePoint(30'000));
   ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
-      "app", 100.0, Duration::Seconds(1), Duration::Minutes(10))));
+      AppId(0), 100.0, Duration::Seconds(1), Duration::Minutes(10))));
   queue_.Run();
   ASSERT_EQ(completions_.size(), 2u);
   EXPECT_FALSE(completions_[1].cold_start);
@@ -66,21 +66,21 @@ TEST_F(InvokerTest, SecondActivationWithinKeepAliveIsWarm) {
 
 TEST_F(InvokerTest, KeepAliveExpiryUnloadsContainer) {
   ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
-      "app", 100.0, Duration::Seconds(1), Duration::Minutes(10))));
+      AppId(0), 100.0, Duration::Seconds(1), Duration::Minutes(10))));
   queue_.Run();  // Runs execution AND the keep-alive unload timer.
   EXPECT_EQ(invoker_.resident_containers(), 0);
   EXPECT_DOUBLE_EQ(invoker_.memory_in_use_mb(), 0.0);
   // A new activation after expiry is cold again.
   ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
-      "app", 100.0, Duration::Seconds(1), Duration::Minutes(10))));
+      AppId(0), 100.0, Duration::Seconds(1), Duration::Minutes(10))));
   queue_.Run();
   EXPECT_EQ(invoker_.cold_starts(), 2);
 }
 
 TEST_F(InvokerTest, UnloadAfterExecutionRemovesContainerImmediately) {
   ASSERT_TRUE(invoker_.HandleActivation(
-      MakeActivation("app", 100.0, Duration::Seconds(1), Duration::Minutes(10),
-                     /*unload_after=*/true)));
+      MakeActivation(AppId(0), 100.0, Duration::Seconds(1),
+                     Duration::Minutes(10), /*unload_after=*/true)));
   queue_.Run();
   EXPECT_EQ(invoker_.resident_containers(), 0);
   ASSERT_EQ(completions_.size(), 1u);
@@ -88,7 +88,7 @@ TEST_F(InvokerTest, UnloadAfterExecutionRemovesContainerImmediately) {
 
 TEST_F(InvokerTest, PrewarmMakesNextActivationWarm) {
   PrewarmMessage prewarm;
-  prewarm.app_id = "app";
+  prewarm.app_id = AppId(0);
   prewarm.memory_mb = 100.0;
   prewarm.keepalive = Duration::Minutes(5);
   ASSERT_TRUE(invoker_.HandlePrewarm(prewarm));
@@ -96,7 +96,7 @@ TEST_F(InvokerTest, PrewarmMakesNextActivationWarm) {
   EXPECT_EQ(invoker_.resident_containers(), 1);
 
   ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
-      "app", 100.0, Duration::Seconds(1), Duration::Minutes(10))));
+      AppId(0), 100.0, Duration::Seconds(1), Duration::Minutes(10))));
   queue_.Run();
   ASSERT_EQ(completions_.size(), 1u);
   EXPECT_FALSE(completions_[0].cold_start);
@@ -104,7 +104,7 @@ TEST_F(InvokerTest, PrewarmMakesNextActivationWarm) {
 
 TEST_F(InvokerTest, PrewarmForResidentAppRefreshesTimer) {
   PrewarmMessage prewarm;
-  prewarm.app_id = "app";
+  prewarm.app_id = AppId(0);
   prewarm.memory_mb = 100.0;
   prewarm.keepalive = Duration::Minutes(5);
   ASSERT_TRUE(invoker_.HandlePrewarm(prewarm));
@@ -118,10 +118,10 @@ TEST_F(InvokerTest, ConcurrentActivationsNeedSeparateContainers) {
   // Two overlapping executions of the same app: the second cannot reuse the
   // busy container and cold-starts a second one.
   ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
-      "app", 100.0, Duration::Minutes(5), Duration::Minutes(10))));
+      AppId(0), 100.0, Duration::Minutes(5), Duration::Minutes(10))));
   queue_.RunUntil(TimePoint(1000));
   ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
-      "app", 100.0, Duration::Minutes(5), Duration::Minutes(10))));
+      AppId(0), 100.0, Duration::Minutes(5), Duration::Minutes(10))));
   EXPECT_EQ(invoker_.cold_starts(), 2);
   EXPECT_EQ(invoker_.resident_containers(), 2);
   queue_.Run();
@@ -131,22 +131,22 @@ TEST_F(InvokerTest, CapacityRejectionWhenAllBusy) {
   // Fill the 1000MB invoker with two busy 400MB containers; a 300MB app
   // cannot fit and nothing is evictable.
   ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
-      "a", 400.0, Duration::Minutes(5), Duration::Minutes(10))));
+      AppId(0), 400.0, Duration::Minutes(5), Duration::Minutes(10))));
   ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
-      "b", 400.0, Duration::Minutes(5), Duration::Minutes(10))));
+      AppId(1), 400.0, Duration::Minutes(5), Duration::Minutes(10))));
   EXPECT_FALSE(invoker_.HandleActivation(MakeActivation(
-      "c", 300.0, Duration::Minutes(5), Duration::Minutes(10))));
+      AppId(2), 300.0, Duration::Minutes(5), Duration::Minutes(10))));
   queue_.Run();
 }
 
 TEST_F(InvokerTest, EvictsIdleContainerUnderPressure) {
   // App a finishes and sits idle; app b then needs the space.
   ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
-      "a", 600.0, Duration::Seconds(1), Duration::Minutes(30))));
+      AppId(0), 600.0, Duration::Seconds(1), Duration::Minutes(30))));
   queue_.RunUntil(TimePoint(10'000));
   EXPECT_EQ(invoker_.resident_containers(), 1);
   ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
-      "b", 600.0, Duration::Seconds(1), Duration::Minutes(10))));
+      AppId(1), 600.0, Duration::Seconds(1), Duration::Minutes(10))));
   EXPECT_EQ(invoker_.evictions(), 1);
   EXPECT_EQ(invoker_.resident_containers(), 1);
   queue_.Run();
@@ -154,7 +154,7 @@ TEST_F(InvokerTest, EvictsIdleContainerUnderPressure) {
 
 TEST_F(InvokerTest, MemoryIntegralAccumulates) {
   ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
-      "app", 500.0, Duration::Seconds(10), Duration::Seconds(50))));
+      AppId(0), 500.0, Duration::Seconds(10), Duration::Seconds(50))));
   queue_.Run();
   invoker_.FinalizeAt(queue_.now());
   // The container lives from ~t=0 (activation) through execution (~10s plus
@@ -166,7 +166,7 @@ TEST_F(InvokerTest, MemoryIntegralAccumulates) {
 
 TEST_F(InvokerTest, InfiniteKeepAliveNeverUnloads) {
   ASSERT_TRUE(invoker_.HandleActivation(MakeActivation(
-      "app", 100.0, Duration::Seconds(1), Duration::Max())));
+      AppId(0), 100.0, Duration::Seconds(1), Duration::Max())));
   queue_.Run();
   EXPECT_EQ(invoker_.resident_containers(), 1);
 }

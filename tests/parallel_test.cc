@@ -56,7 +56,7 @@ TEST(ParallelSimulationTest, MatchesSequentialExactly) {
 
   ASSERT_EQ(a.apps.size(), b.apps.size());
   for (size_t i = 0; i < a.apps.size(); ++i) {
-    EXPECT_EQ(a.apps[i].app_id, b.apps[i].app_id);
+    EXPECT_EQ(a.apps[i].app, b.apps[i].app);
     EXPECT_EQ(a.apps[i].cold_starts, b.apps[i].cold_starts);
     EXPECT_DOUBLE_EQ(a.apps[i].wasted_memory_minutes,
                      b.apps[i].wasted_memory_minutes);

@@ -132,7 +132,7 @@ TEST(SweepTest, ParallelSweepBitIdenticalToSequential) {
               b[p].normalized_wasted_memory_pct);
     ASSERT_EQ(a[p].result.apps.size(), b[p].result.apps.size());
     for (size_t i = 0; i < a[p].result.apps.size(); ++i) {
-      EXPECT_EQ(a[p].result.apps[i].app_id, b[p].result.apps[i].app_id);
+      EXPECT_EQ(a[p].result.apps[i].app, b[p].result.apps[i].app);
       EXPECT_EQ(a[p].result.apps[i].cold_starts,
                 b[p].result.apps[i].cold_starts);
       EXPECT_EQ(a[p].result.apps[i].prewarm_loads,

@@ -2,20 +2,24 @@
 # Repo verification: tier-1 build + full test suite, then the concurrency
 # tests (thread pool, parallel-for, sweep engine, compiled trace) plus the
 # chaos-engine and telemetry tests rebuilt and re-run under ThreadSanitizer,
-# and the chaos/controller/telemetry tests once more under
-# UndefinedBehaviorSanitizer.
+# the chaos/controller/telemetry tests once more under
+# UndefinedBehaviorSanitizer, and the interning/trace/cluster tests under
+# AddressSanitizer (the intern tables hand out string_views into deque
+# storage — ASan is the pass that would catch a dangling view).
 #
-# Usage: tools/check.sh [--skip-tsan] [--skip-ubsan]
+# Usage: tools/check.sh [--skip-tsan] [--skip-ubsan] [--skip-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 SKIP_TSAN=0
 SKIP_UBSAN=0
+SKIP_ASAN=0
 for arg in "$@"; do
   case "${arg}" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-ubsan) SKIP_UBSAN=1 ;;
+    --skip-asan) SKIP_ASAN=1 ;;
     *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -50,6 +54,19 @@ else
       telemetry_tracer_test telemetry_export_test telemetry_integration_test
   (cd build-ubsan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
       -R 'FaultPlan|ChaosCluster|Controller|Cluster|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration')
+fi
+
+if [[ "${SKIP_ASAN}" == "1" ]]; then
+  echo "== skipping ASan pass =="
+else
+  echo "== ASan: interning + trace + cluster tests =="
+  cmake -B build-asan -S . -DFAAS_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "${JOBS}" --target \
+      intern_test trace_csv_test transform_test compiled_trace_test \
+      sweep_test controller_test cluster_test telemetry_metrics_test \
+      telemetry_tracer_test
+  (cd build-asan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
+      -R 'Intern|EntityIndex|Csv|Transform|CompiledTrace|CompiledReplay|Sweep|Controller|Cluster|TelemetryMetrics|TelemetryTracer')
 fi
 
 echo "== all checks passed =="
