@@ -45,7 +45,8 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
   if (config_.telemetry != nullptr) {
     instruments_storage = ClusterInstruments::Register(
         *config_.telemetry, factory.name(), config_.telemetry_pid,
-        trace.horizon, config_.metrics_interval);
+        trace.horizon, config_.metrics_interval,
+        config_.overload.AnyEnabled());
     instruments = &instruments_storage;
     if (instruments_storage.tracer != nullptr) {
       for (int i = 0; i < config_.num_invokers; ++i) {
@@ -67,7 +68,23 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
   const std::shared_ptr<const EntityIndex> entities = EntityIndexFor(trace);
   Controller controller(&queue, invoker_ptrs, entities.get(), factory,
                         config_.latency, rng.Fork(), config_.collect_latencies,
-                        config_.load_balancing, config_.retry, instruments);
+                        config_.load_balancing, config_.retry,
+                        config_.overload, instruments);
+
+  // Overload control plane wiring.  Both hooks are registered only when the
+  // corresponding feature is on, so a disabled control plane leaves the
+  // invokers (and the event schedule they produce) untouched.
+  if (config_.overload.admission.enabled()) {
+    for (Invoker* invoker : invoker_ptrs) {
+      invoker->set_release_callback(
+          [&controller]() { controller.OnCapacityReleased(); });
+    }
+  }
+  if (config_.overload.invoker_concurrency_cap > 0) {
+    for (Invoker* invoker : invoker_ptrs) {
+      invoker->set_concurrency_cap(config_.overload.invoker_concurrency_cap);
+    }
+  }
 
   // Flatten the trace into time-ordered replay events with pre-sampled
   // per-invocation execution times.
@@ -197,21 +214,27 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
       config_.metrics_interval > Duration::Zero()) {
     MetricsRegistry* registry = instruments->registry;
     const Duration interval = config_.metrics_interval;
-    auto last = std::make_shared<std::pair<int64_t, int64_t>>(0, 0);
+    const bool overload_on = config_.overload.AnyEnabled();
+    struct SampleState {
+      int64_t invocations = 0;
+      int64_t cold = 0;
+      int64_t shed = 0;
+    };
+    auto last = std::make_shared<SampleState>();
     auto sample = std::make_shared<std::function<void()>>();
     *sample = [&queue, &controller, &invoker_ptrs, sample, last, registry,
-               instruments, interval, end]() {
+               instruments, interval, end, overload_on]() {
       const TimePoint now = queue.now();
       const TimePoint window_start = now - interval;
       const int64_t invocations =
           registry->CounterValue(instruments->invocations);
       const int64_t cold = registry->CounterValue(instruments->cold_starts);
       registry->SeriesAdd(instruments->minute_invocations, window_start,
-                          invocations - last->first);
+                          invocations - last->invocations);
       registry->SeriesAdd(instruments->minute_cold_starts, window_start,
-                          cold - last->second);
-      last->first = invocations;
-      last->second = cold;
+                          cold - last->cold);
+      last->invocations = invocations;
+      last->cold = cold;
       double memory_mb = 0.0;
       for (Invoker* invoker : invoker_ptrs) {
         memory_mb += invoker->memory_in_use_mb();
@@ -222,6 +245,17 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
       registry->SeriesAdd(instruments->minute_memory_mb, window_start,
                           static_cast<int64_t>(memory_mb));
       registry->Set(instruments->memory_in_use_mb, memory_mb, now);
+      if (overload_on) {
+        // These slots exist only when the control plane registered them.
+        const int64_t shed =
+            controller.overload_ledger().TotalShed();
+        registry->SeriesAdd(instruments->minute_shed, window_start,
+                            shed - last->shed);
+        last->shed = shed;
+        registry->SeriesAdd(
+            instruments->minute_admission_queue, window_start,
+            static_cast<int64_t>(controller.admission_queue_depth()));
+      }
       if (now + interval <= end) {
         queue.ScheduleAfter(interval, *sample);
       }
@@ -249,6 +283,9 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
     result.memory_mb_seconds += invoker->memory_mb_seconds();
   }
   queue.Run();
+  // Flush any still-queued admissions and close open breaker intervals now
+  // that the event queue has fully drained.
+  controller.FinalizeOverload();
   for (const auto& invoker : invokers) {
     result.total_cold_starts += invoker->cold_starts();
     result.total_warm_starts += invoker->warm_starts();
@@ -288,6 +325,11 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
     result.total_lost += stats.lost;
   }
   result.faults = controller.ledger();
+  result.overload = controller.overload_ledger();
+  for (const auto& invoker : invokers) {
+    result.overload.cap_rejections += invoker->cap_rejections();
+  }
+  result.queue_wait_ms = controller.queue_wait_ms();
   std::sort(result.apps.begin(), result.apps.end(),
             [](const ClusterAppResult& a, const ClusterAppResult& b) {
               return a.app_id < b.app_id;

@@ -62,6 +62,12 @@ struct ClusterConfig {
   // snapshot.  Zero disables checkpointing.
   Duration policy_checkpoint_interval = Duration::Zero();
 
+  // Overload control plane: bounded admission queue, per-invoker circuit
+  // breakers and concurrency caps, hedged dispatch.  The default enables
+  // nothing — no callbacks registered, no events scheduled, no RNG drawn —
+  // so replays stay bit-identical to the pre-overload engine.
+  OverloadControlConfig overload;
+
   // Telemetry sink (optional, non-owning; must outlive the replay).  When
   // set, the replay registers a per-policy instrument bundle, emits
   // activation/container spans, and samples per-interval series (queue
@@ -117,6 +123,13 @@ struct ClusterResult {
   // Everything the fault machinery observed (crashes, retries, timeouts,
   // state wipes, degraded-mode recoveries); all-zero for fault-free runs.
   FaultLedger faults;
+
+  // Everything the overload control plane observed (queueing, shedding,
+  // hedging, breaker transitions, cap rejections); all-zero when disabled.
+  OverloadLedger overload;
+  // Per-activation admission-queue waits of drained activations, ms
+  // (populated only when collect_latencies is set and the queue is on).
+  std::vector<double> queue_wait_ms;
 
   // Integral of resident container memory over all invokers, MB*seconds,
   // and the same divided by (invokers * wall time): average resident MB.

@@ -30,6 +30,7 @@ Controller::Controller(EventQueue* queue, std::vector<Invoker*> invokers,
                        const LatencyModel& latency, Rng rng,
                        bool collect_latencies,
                        LoadBalancingPolicy load_balancing, RetryPolicy retry,
+                       OverloadControlConfig overload,
                        const ClusterInstruments* instruments)
     : queue_(queue),
       invokers_(std::move(invokers)),
@@ -40,11 +41,32 @@ Controller::Controller(EventQueue* queue, std::vector<Invoker*> invokers,
       collect_latencies_(collect_latencies),
       load_balancing_(load_balancing),
       retry_(retry),
-      instruments_(instruments) {
+      overload_(overload),
+      instruments_(instruments),
+      hedge_latency_(overload.hedge.latency_percentile > 0.0
+                         ? overload.hedge.latency_percentile / 100.0
+                         : 0.99) {
   FAAS_CHECK(queue_ != nullptr) << "controller needs an event queue";
   FAAS_CHECK(entities_ != nullptr) << "controller needs an entity index";
   FAAS_CHECK(!invokers_.empty()) << "controller needs at least one invoker";
   FAAS_CHECK(retry_.max_retries >= 0) << "negative retry budget";
+  FAAS_CHECK(overload_.admission.capacity >= 0) << "negative queue capacity";
+  FAAS_CHECK(overload_.hedge.latency_percentile >= 0.0 &&
+             overload_.hedge.latency_percentile < 100.0)
+      << "hedge percentile out of [0, 100)";
+  if (overload_.breaker.enabled) {
+    FAAS_CHECK(overload_.breaker.window > 0 &&
+               overload_.breaker.min_samples > 0 &&
+               overload_.breaker.half_open_probes > 0)
+        << "breaker window/samples/probes must be positive";
+    FAAS_CHECK(overload_.breaker.failure_threshold > 0.0 &&
+               overload_.breaker.failure_threshold <= 1.0)
+        << "breaker failure threshold out of (0, 1]";
+    breakers_.resize(invokers_.size());
+    for (BreakerState& breaker : breakers_) {
+      breaker.outcomes.assign(overload_.breaker.window, 0);
+    }
+  }
   for (Invoker* invoker : invokers_) {
     invoker->set_completion_callback(
         [this](const CompletionMessage& message) { OnCompletion(message); });
@@ -146,9 +168,33 @@ const Controller::AppStats& Controller::StatsFor(AppId app_id) const {
 }
 
 Controller::DispatchOutcome Controller::Dispatch(
-    AppState& state, const ActivationMessage& message) {
+    AppState& state, const ActivationMessage& message, int exclude_invoker,
+    int* accepted_invoker) {
   const size_t n = invokers_.size();
   bool saw_unhealthy = false;
+  // One placement attempt against one invoker; shared by both LB policies.
+  const auto try_invoker = [&](size_t index) -> bool {
+    if (static_cast<int>(index) == exclude_invoker) {
+      return false;  // A hedge never lands on its primary's invoker.
+    }
+    if (!invokers_[index]->healthy()) {
+      saw_unhealthy = true;
+      return false;
+    }
+    if (!BreakerAdmits(index)) {
+      ++overload_ledger_.breaker_rejections;
+      IncCounter(&ClusterInstruments::breaker_rejected);
+      return false;
+    }
+    if (invokers_[index]->HandleActivation(message)) {
+      NoteDispatchAccepted(index);
+      if (accepted_invoker != nullptr) {
+        *accepted_invoker = static_cast<int>(index);
+      }
+      return true;
+    }
+    return false;
+  };
   if (load_balancing_ == LoadBalancingPolicy::kLeastLoaded) {
     // Try invokers in order of free memory (most free first).
     std::vector<size_t> order(n);
@@ -163,11 +209,7 @@ Controller::DispatchOutcome Controller::Dispatch(
       return free_a > free_b;
     });
     for (size_t index : order) {
-      if (!invokers_[index]->healthy()) {
-        saw_unhealthy = true;
-        continue;
-      }
-      if (invokers_[index]->HandleActivation(message)) {
+      if (try_invoker(index)) {
         return DispatchOutcome::kAccepted;
       }
     }
@@ -177,11 +219,7 @@ Controller::DispatchOutcome Controller::Dispatch(
   for (size_t attempt = 0; attempt < n; ++attempt) {
     const size_t index =
         (static_cast<size_t>(state.home_invoker) + attempt) % n;
-    if (!invokers_[index]->healthy()) {
-      saw_unhealthy = true;
-      continue;
-    }
-    if (invokers_[index]->HandleActivation(message)) {
+    if (try_invoker(index)) {
       return DispatchOutcome::kAccepted;
     }
   }
@@ -228,6 +266,19 @@ void Controller::OnInvocation(AppId app_id, FunctionId function_id,
     ledger_.max_degraded_ms = std::max(ledger_.max_degraded_ms, degraded_ms);
   }
 
+  // Hedge eligibility is decided at admission: an app that has never
+  // executed, or whose idle gap outlived the keep-alive we last shipped
+  // with nothing in flight, will almost certainly cold-start — those are
+  // the activations worth a second attempt.
+  bool hedge_eligible = false;
+  if (overload_.hedge.enabled()) {
+    hedge_eligible =
+        !state.has_executed ||
+        (state.inflight == 0 &&
+         state.decision.keepalive_window != Duration::Max() &&
+         queue_->now() - state.last_exec_end > state.decision.keepalive_window);
+  }
+
   state.memory_mb = memory_mb;
   ++state.inflight;
 
@@ -238,20 +289,16 @@ void Controller::OnInvocation(AppId app_id, FunctionId function_id,
   pending.execution = execution;
   pending.memory_mb = memory_mb;
   pending.created_at = queue_->now();
+  pending.hedge_eligible = hedge_eligible;
   pending_.emplace(activation_id, std::move(pending));
   IncCounter(&ClusterInstruments::invocations);
   SetQueueDepthGauge();
   SendAttempt(activation_id);
 }
 
-void Controller::SendAttempt(int64_t activation_id) {
-  auto it = pending_.find(activation_id);
-  if (it == pending_.end()) {
-    return;  // Timed out while the retry backoff was pending.
-  }
-  PendingActivation& pending = it->second;
-  AppState& state = apps_[pending.app_id.index()];
-
+ActivationMessage Controller::BuildMessage(
+    int64_t activation_id, const PendingActivation& pending) const {
+  const AppState& state = apps_[pending.app_id.index()];
   ActivationMessage message;
   message.activation_id = activation_id;
   message.app_id = pending.app_id;
@@ -260,6 +307,17 @@ void Controller::SendAttempt(int64_t activation_id) {
   message.execution = pending.execution;
   message.keepalive = state.decision.keepalive_window;
   message.unload_after_execution = !state.decision.prewarm_window.IsZero();
+  message.hedge = pending.is_hedge;
+  return message;
+}
+
+void Controller::SendAttempt(int64_t activation_id) {
+  auto it = pending_.find(activation_id);
+  if (it == pending_.end()) {
+    return;  // Timed out while the retry backoff was pending.
+  }
+  PendingActivation& pending = it->second;
+  const ActivationMessage message = BuildMessage(activation_id, pending);
 
   if (retry_.activation_timeout != Duration::Max()) {
     pending.timeout_event.Cancel();
@@ -276,10 +334,19 @@ void Controller::SendAttempt(int64_t activation_id) {
       return;  // Timed out in flight.
     }
     AppState& app_state = apps_[message.app_id.index()];
-    switch (Dispatch(app_state, message)) {
+    int accepted = -1;
+    switch (Dispatch(app_state, message, /*exclude_invoker=*/-1, &accepted)) {
       case DispatchOutcome::kAccepted:
+        pending_it->second.dispatched_invoker = accepted;
+        MaybeArmHedge(activation_id);
         return;
       case DispatchOutcome::kNoCapacity:
+        if (overload_.admission.enabled()) {
+          // Saturation with the control plane on: park the activation in
+          // the bounded admission queue and wait for a container release.
+          EnqueueAdmission(activation_id);
+          return;
+        }
         // Memory pressure with every worker up: drop, as before the chaos
         // engine (retrying against a full cluster is not failover).
         pending_it->second.timeout_event.Cancel();
@@ -305,6 +372,22 @@ void Controller::FailAttempt(int64_t activation_id, FailureClass failure) {
   FAAS_CHECK(it != pending_.end()) << "failing an unknown activation";
   PendingActivation& pending = it->second;
   pending.timeout_event.Cancel();
+  pending.shed_event.Cancel();
+  pending.hedge_event.Cancel();
+  pending.queued = false;  // A queued id left in the deque is skipped lazily.
+  if (pending.hedge_partner != 0) {
+    auto partner_it = pending_.find(pending.hedge_partner);
+    if (partner_it != pending_.end()) {
+      // The other attempt of this hedged pair is still live: it carries the
+      // activation, and the failed attempt simply disappears (the pair
+      // holds a single inflight slot, released on the survivor's outcome).
+      partner_it->second.hedge_partner = 0;
+      pending_.erase(it);
+      SetQueueDepthGauge();
+      return;
+    }
+    pending.hedge_partner = 0;
+  }
   if (pending.first_failure == FailureClass::kNone) {
     pending.first_failure = failure;
   }
@@ -323,6 +406,10 @@ void Controller::FailAttempt(int64_t activation_id, FailureClass failure) {
     // (e.g. a zombie execution finishing after a timeout) misses the table.
     const int64_t new_id = next_activation_id_++;
     PendingActivation moved = std::move(pending);
+    // The fresh attempt starts with a clean overload slate: it may hedge
+    // again and has no accepted invoker yet.
+    moved.hedge_launched = false;
+    moved.dispatched_invoker = -1;
     pending_.erase(it);
     pending_.emplace(new_id, std::move(moved));
     queue_->ScheduleAfter(backoff,
@@ -367,6 +454,10 @@ void Controller::FailAttempt(int64_t activation_id, FailureClass failure) {
 }
 
 void Controller::OnFailure(const FailureMessage& message) {
+  // Breakers learn from every failure the invoker reports, including those
+  // of superseded attempts: the signal is about the invoker, not the
+  // activation.
+  RecordInvokerOutcome(message.invoker_id, /*bad=*/true);
   auto it = pending_.find(message.activation_id);
   if (it == pending_.end()) {
     return;  // A superseded (already retried / timed-out) attempt.
@@ -392,9 +483,42 @@ void Controller::OnTimeout(int64_t activation_id) {
 }
 
 void Controller::OnCompletion(const CompletionMessage& message) {
+  if (!breakers_.empty()) {
+    // A completion slower than the latency threshold counts as a bad
+    // outcome (latency-tripped breakers); otherwise it is a good one that
+    // heals the window.
+    const bool bad = overload_.breaker.latency_threshold_ms > 0.0 &&
+                     message.total_latency.seconds() * 1e3 >
+                         overload_.breaker.latency_threshold_ms;
+    RecordInvokerOutcome(message.invoker_id, bad);
+  }
   auto pending_it = pending_.find(message.activation_id);
   if (pending_it == pending_.end()) {
     return;  // Zombie execution of a timed-out attempt: result discarded.
+  }
+  // First-completion-wins: the losing attempt of a hedged pair is erased
+  // here; its execution finishes as a zombie and is discarded above — that
+  // zombie IS the cancellation.
+  if (pending_it->second.hedge_partner != 0) {
+    auto partner_it = pending_.find(pending_it->second.hedge_partner);
+    if (partner_it != pending_.end()) {
+      partner_it->second.timeout_event.Cancel();
+      partner_it->second.hedge_event.Cancel();
+      partner_it->second.shed_event.Cancel();
+      pending_.erase(partner_it);
+      if (pending_it->second.is_hedge) {
+        ++overload_ledger_.hedge_wins;
+        IncCounter(&ClusterInstruments::hedge_wins);
+      } else {
+        ++overload_ledger_.hedge_primary_wins;
+      }
+    }
+    pending_it->second.hedge_partner = 0;
+  }
+  pending_it->second.hedge_event.Cancel();
+  if (overload_.hedge.enabled()) {
+    hedge_latency_.Add(
+        (queue_->now() - pending_it->second.created_at).seconds() * 1e3);
   }
   const int attempts = pending_it->second.attempts;
   const FailureClass first_failure = pending_it->second.first_failure;
@@ -473,6 +597,403 @@ void Controller::OnCompletion(const CompletionMessage& message) {
             }
           }
         });
+  }
+}
+
+// --- Admission queue -------------------------------------------------------
+
+void Controller::OnCapacityReleased() {
+  if (!overload_.admission.enabled() || admission_queue_.empty() ||
+      drain_scheduled_) {
+    return;
+  }
+  // Coalesce a burst of releases (e.g. an eviction sweep) into one drain
+  // event, scheduled rather than run inline so a release fired from inside
+  // a dispatch cannot re-enter the invoker.
+  drain_scheduled_ = true;
+  queue_->ScheduleAfter(Duration::Zero(), [this]() { DrainAdmissionQueue(); });
+}
+
+void Controller::DrainAdmissionQueue() {
+  drain_scheduled_ = false;
+  const bool lifo =
+      overload_.admission.discipline == AdmissionDiscipline::kLifo;
+  while (!admission_queue_.empty()) {
+    const int64_t id =
+        lifo ? admission_queue_.back() : admission_queue_.front();
+    auto it = pending_.find(id);
+    if (it == pending_.end() || !it->second.queued) {
+      // Superseded (shed, timed out, or retried under a fresh id).
+      if (lifo) {
+        admission_queue_.pop_back();
+      } else {
+        admission_queue_.pop_front();
+      }
+      continue;
+    }
+    // The activation already paid its controller->invoker hop before it was
+    // parked, so drains dispatch directly.
+    AppState& state = apps_[it->second.app_id.index()];
+    const ActivationMessage message = BuildMessage(id, it->second);
+    int accepted = -1;
+    if (Dispatch(state, message, /*exclude_invoker=*/-1, &accepted) !=
+        DispatchOutcome::kAccepted) {
+      return;  // Still no room: wait for the next release.
+    }
+    if (lifo) {
+      admission_queue_.pop_back();
+    } else {
+      admission_queue_.pop_front();
+    }
+    PendingActivation& pending = it->second;
+    pending.queued = false;
+    pending.shed_event.Cancel();
+    pending.dispatched_invoker = accepted;
+    const double wait_ms =
+        (queue_->now() - pending.queued_since).seconds() * 1e3;
+    ++overload_ledger_.drained;
+    overload_ledger_.total_queue_wait_ms += wait_ms;
+    overload_ledger_.max_queue_wait_ms =
+        std::max(overload_ledger_.max_queue_wait_ms, wait_ms);
+    if (collect_latencies_) {
+      queue_wait_ms_.push_back(wait_ms);
+    }
+    ObserveHistogram(&ClusterInstruments::queue_wait_ms, wait_ms);
+    RecordSpan(SpanName::kAdmissionQueue, pending.queued_since,
+               queue_->now() - pending.queued_since, id, /*arg0=*/1);
+    MaybeArmHedge(id);
+  }
+}
+
+void Controller::CompactAdmissionQueue() {
+  std::erase_if(admission_queue_, [this](int64_t id) {
+    auto it = pending_.find(id);
+    return it == pending_.end() || !it->second.queued;
+  });
+}
+
+void Controller::EnqueueAdmission(int64_t activation_id) {
+  auto it = pending_.find(activation_id);
+  FAAS_CHECK(it != pending_.end()) << "queueing an unknown activation";
+  if (static_cast<int>(admission_queue_.size()) >=
+      overload_.admission.capacity) {
+    CompactAdmissionQueue();
+  }
+  if (static_cast<int>(admission_queue_.size()) >=
+      overload_.admission.capacity) {
+    if (overload_.admission.discipline == AdmissionDiscipline::kLifo) {
+      // LIFO sheds the oldest queued activation to admit the newcomer
+      // (fresh requests are the ones a caller is still waiting on).
+      const int64_t victim = admission_queue_.front();
+      admission_queue_.pop_front();
+      ShedActivation(victim, ShedReason::kQueueFull);
+    } else {
+      // FIFO/CoDel tail-drop the arrival.
+      ShedActivation(activation_id, ShedReason::kQueueFull);
+      return;
+    }
+  }
+  PendingActivation& pending = it->second;
+  pending.queued = true;
+  pending.queued_since = queue_->now();
+  ++overload_ledger_.queued;
+  IncCounter(&ClusterInstruments::queued);
+  admission_queue_.push_back(activation_id);
+  if (overload_.admission.discipline == AdmissionDiscipline::kCoDel) {
+    pending.shed_event = queue_->ScheduleAfter(
+        overload_.admission.max_wait, [this, activation_id]() {
+          auto sit = pending_.find(activation_id);
+          if (sit == pending_.end() || !sit->second.queued) {
+            return;  // Drained or superseded before the deadline.
+          }
+          ShedActivation(activation_id, ShedReason::kDeadline);
+        });
+  }
+}
+
+void Controller::ShedActivation(int64_t activation_id, ShedReason reason) {
+  auto it = pending_.find(activation_id);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingActivation& pending = it->second;
+  pending.timeout_event.Cancel();
+  pending.shed_event.Cancel();
+  pending.hedge_event.Cancel();
+  if (pending.queued) {
+    RecordSpan(SpanName::kAdmissionQueue, pending.queued_since,
+               queue_->now() - pending.queued_since, activation_id,
+               /*arg0=*/0);
+  }
+  AppState& state = apps_[pending.app_id.index()];
+  AppStats& stats = app_stats_[pending.app_id.index()];
+  RecordActivationSpan(pending, activation_id, 0);
+  RecordInstant(SpanName::kShed, activation_id,
+                static_cast<int64_t>(reason));
+  IncCounter(&ClusterInstruments::shed);
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      ++overload_ledger_.shed_queue_full;
+      break;
+    case ShedReason::kDeadline:
+      ++overload_ledger_.shed_deadline;
+      break;
+    case ShedReason::kShutdown:
+      ++overload_ledger_.shed_at_shutdown;
+      break;
+  }
+  // Sheds are capacity losses, so they fold into the same per-app column
+  // as pre-overload drops (Completed() stays consistent either way).
+  ++stats.dropped;
+  ++total_dropped_;
+  --state.inflight;
+  pending_.erase(it);
+  SetQueueDepthGauge();
+}
+
+// --- Hedged dispatch -------------------------------------------------------
+
+Duration Controller::HedgeDelay() const {
+  const HedgeConfig& hedge = overload_.hedge;
+  // The percentile trigger needs a latency population before the estimate
+  // means anything; until then fall back to the fixed delay (or the floor).
+  if (hedge.latency_percentile > 0.0 && hedge_latency_.count() >= 32) {
+    const auto ms = static_cast<int64_t>(hedge_latency_.Value());
+    return std::max(hedge.min_after, Duration::Millis(ms));
+  }
+  if (hedge.after > Duration::Zero()) {
+    return hedge.after;
+  }
+  return hedge.min_after;
+}
+
+void Controller::MaybeArmHedge(int64_t activation_id) {
+  if (!overload_.hedge.enabled()) {
+    return;
+  }
+  auto it = pending_.find(activation_id);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingActivation& pending = it->second;
+  if (pending.is_hedge || pending.hedge_launched || !pending.hedge_eligible) {
+    return;
+  }
+  pending.hedge_event.Cancel();
+  pending.hedge_event = queue_->ScheduleAfter(
+      HedgeDelay(), [this, activation_id]() { LaunchHedge(activation_id); });
+}
+
+void Controller::LaunchHedge(int64_t primary_id) {
+  auto it = pending_.find(primary_id);
+  if (it == pending_.end()) {
+    return;  // Completed or failed before the hedge timer fired.
+  }
+  PendingActivation& primary = it->second;
+  if (primary.hedge_launched || primary.is_hedge || primary.queued) {
+    return;
+  }
+  const int exclude = primary.dispatched_invoker;
+  const int64_t hedge_id = next_activation_id_++;
+  primary.hedge_launched = true;
+  primary.hedge_partner = hedge_id;
+
+  PendingActivation hedge;
+  hedge.app_id = primary.app_id;
+  hedge.function_id = primary.function_id;
+  hedge.execution = primary.execution;
+  hedge.memory_mb = primary.memory_mb;
+  hedge.attempts = primary.attempts;
+  hedge.first_failure = primary.first_failure;
+  hedge.created_at = primary.created_at;
+  hedge.is_hedge = true;
+  hedge.hedge_partner = primary_id;
+  const ActivationMessage message = BuildMessage(hedge_id, hedge);
+  pending_.emplace(hedge_id, std::move(hedge));
+  ++overload_ledger_.hedges_launched;
+  IncCounter(&ClusterInstruments::hedges);
+  RecordInstant(SpanName::kHedge, primary_id);
+  SetQueueDepthGauge();
+
+  // The hedge pays its own controller->invoker hop, then dispatches away
+  // from the invoker the primary landed on.
+  const Duration dispatch_delay = latency_.SampleDispatch(rng_);
+  queue_->ScheduleAfter(dispatch_delay, [this, hedge_id, message, exclude]() {
+    auto hedge_it = pending_.find(hedge_id);
+    if (hedge_it == pending_.end()) {
+      return;  // The primary completed while the hedge was in flight.
+    }
+    AppState& app_state = apps_[message.app_id.index()];
+    int accepted = -1;
+    if (Dispatch(app_state, message, exclude, &accepted) ==
+        DispatchOutcome::kAccepted) {
+      hedge_it->second.dispatched_invoker = accepted;
+      return;
+    }
+    // No other invoker had room: the hedge fizzles quietly and the primary
+    // carries the activation alone.
+    ++overload_ledger_.hedges_unplaced;
+    auto primary_it = pending_.find(hedge_it->second.hedge_partner);
+    if (primary_it != pending_.end()) {
+      primary_it->second.hedge_partner = 0;
+    }
+    pending_.erase(hedge_it);
+    SetQueueDepthGauge();
+  });
+}
+
+// --- Circuit breakers ------------------------------------------------------
+
+bool Controller::BreakerAdmits(size_t invoker) const {
+  if (breakers_.empty()) {
+    return true;
+  }
+  const BreakerState& breaker = breakers_[invoker];
+  switch (breaker.mode) {
+    case BreakerMode::kClosed:
+      return true;
+    case BreakerMode::kOpen:
+      return false;
+    case BreakerMode::kHalfOpen:
+      return breaker.half_open_inflight < overload_.breaker.half_open_probes;
+  }
+  return true;
+}
+
+void Controller::NoteDispatchAccepted(size_t invoker) {
+  if (breakers_.empty()) {
+    return;
+  }
+  BreakerState& breaker = breakers_[invoker];
+  if (breaker.mode == BreakerMode::kHalfOpen) {
+    ++breaker.half_open_inflight;
+  }
+}
+
+void Controller::RecordInvokerOutcome(int invoker, bool bad) {
+  if (breakers_.empty() || invoker < 0 ||
+      static_cast<size_t>(invoker) >= breakers_.size()) {
+    return;
+  }
+  BreakerState& breaker = breakers_[static_cast<size_t>(invoker)];
+  switch (breaker.mode) {
+    case BreakerMode::kClosed: {
+      const int window = overload_.breaker.window;
+      if (breaker.window_count < window) {
+        ++breaker.window_count;
+      } else {
+        breaker.bad_count -= breaker.outcomes[breaker.window_pos];
+      }
+      breaker.outcomes[breaker.window_pos] = bad ? 1 : 0;
+      breaker.bad_count += bad ? 1 : 0;
+      breaker.window_pos = (breaker.window_pos + 1) % window;
+      if (breaker.window_count >= overload_.breaker.min_samples &&
+          static_cast<double>(breaker.bad_count) >=
+              overload_.breaker.failure_threshold *
+                  static_cast<double>(breaker.window_count)) {
+        OpenBreaker(static_cast<size_t>(invoker));
+      }
+      break;
+    }
+    case BreakerMode::kHalfOpen:
+      if (breaker.half_open_inflight > 0) {
+        --breaker.half_open_inflight;
+      }
+      if (bad) {
+        OpenBreaker(static_cast<size_t>(invoker));
+      } else if (++breaker.half_open_good >=
+                 overload_.breaker.half_open_probes) {
+        CloseBreaker(static_cast<size_t>(invoker));
+      }
+      break;
+    case BreakerMode::kOpen:
+      break;  // Straggler outcome from before the trip.
+  }
+}
+
+void Controller::OpenBreaker(size_t invoker) {
+  BreakerState& breaker = breakers_[invoker];
+  breaker.mode = BreakerMode::kOpen;
+  if (!breaker.degraded) {
+    // Degraded-mode interval: from the first departure from closed until
+    // the breaker closes again (re-opens extend the same interval).
+    breaker.degraded = true;
+    breaker.degraded_since = queue_->now();
+  }
+  ++overload_ledger_.breaker_opens;
+  IncCounter(&ClusterInstruments::breaker_opens);
+  RecordInstant(SpanName::kBreakerTransition, static_cast<int64_t>(invoker),
+                /*arg0=*/1);
+  // The next closed phase starts with a fresh window.
+  std::fill(breaker.outcomes.begin(), breaker.outcomes.end(), 0);
+  breaker.window_pos = 0;
+  breaker.window_count = 0;
+  breaker.bad_count = 0;
+  breaker.half_open_inflight = 0;
+  breaker.half_open_good = 0;
+  breaker.half_open_event.Cancel();
+  breaker.half_open_event =
+      queue_->ScheduleAfter(overload_.breaker.open_duration,
+                            [this, invoker]() { HalfOpenBreaker(invoker); });
+}
+
+void Controller::HalfOpenBreaker(size_t invoker) {
+  BreakerState& breaker = breakers_[invoker];
+  if (breaker.mode != BreakerMode::kOpen) {
+    return;
+  }
+  breaker.mode = BreakerMode::kHalfOpen;
+  breaker.half_open_inflight = 0;
+  breaker.half_open_good = 0;
+  ++overload_ledger_.breaker_half_opens;
+  RecordInstant(SpanName::kBreakerTransition, static_cast<int64_t>(invoker),
+                /*arg0=*/2);
+}
+
+void Controller::CloseBreaker(size_t invoker) {
+  BreakerState& breaker = breakers_[invoker];
+  breaker.mode = BreakerMode::kClosed;
+  ++overload_ledger_.breaker_closes;
+  RecordInstant(SpanName::kBreakerTransition, static_cast<int64_t>(invoker),
+                /*arg0=*/0);
+  if (breaker.degraded) {
+    breaker.degraded = false;
+    const double degraded_ms =
+        (queue_->now() - breaker.degraded_since).seconds() * 1e3;
+    ++overload_ledger_.breaker_open_intervals;
+    overload_ledger_.total_breaker_open_ms += degraded_ms;
+    overload_ledger_.max_breaker_open_ms =
+        std::max(overload_ledger_.max_breaker_open_ms, degraded_ms);
+  }
+}
+
+void Controller::FinalizeOverload() {
+  if (!overload_.AnyEnabled()) {
+    return;
+  }
+  // Activations still parked when the replay ends were never served.
+  while (!admission_queue_.empty()) {
+    const int64_t id = admission_queue_.front();
+    admission_queue_.pop_front();
+    auto it = pending_.find(id);
+    if (it == pending_.end() || !it->second.queued) {
+      continue;
+    }
+    ShedActivation(id, ShedReason::kShutdown);
+  }
+  // A breaker still away from closed has an open-ended degraded interval;
+  // close it at the end of the replay so the ledger accounts for it.
+  for (BreakerState& breaker : breakers_) {
+    if (!breaker.degraded) {
+      continue;
+    }
+    breaker.degraded = false;
+    const double degraded_ms =
+        (queue_->now() - breaker.degraded_since).seconds() * 1e3;
+    ++overload_ledger_.breaker_open_intervals;
+    overload_ledger_.total_breaker_open_ms += degraded_ms;
+    overload_ledger_.max_breaker_open_ms =
+        std::max(overload_ledger_.max_breaker_open_ms, degraded_ms);
   }
 }
 

@@ -16,6 +16,15 @@
 // the normal dispatch path so failover respects the load-balancing policy.
 // Terminal outcomes are split by cause (memory drop / outage rejection /
 // timeout abandonment / crash loss) and recorded in a FaultLedger.
+//
+// The overload control plane (src/cluster/overload.h) layers three
+// mechanisms on top of that dispatch path, all disabled by default:
+// saturation parks activations in a bounded admission queue that drains on
+// container-release callbacks (instead of dropping or blind-retrying),
+// per-invoker circuit breakers deflect dispatches away from failing or slow
+// invokers, and cold-start-prone activations may hedge a second attempt on
+// a different invoker with first-completion-wins.  Everything the control
+// plane does is tallied in an OverloadLedger.
 
 #ifndef SRC_CLUSTER_CONTROLLER_H_
 #define SRC_CLUSTER_CONTROLLER_H_
@@ -29,6 +38,7 @@
 #include "src/cluster/event_queue.h"
 #include "src/cluster/invoker.h"
 #include "src/cluster/latency_model.h"
+#include "src/cluster/overload.h"
 #include "src/common/intern.h"
 #include "src/policy/policy.h"
 #include "src/stats/p2_quantile.h"
@@ -144,7 +154,7 @@ class Controller {
              Rng rng, bool collect_latencies = true,
              LoadBalancingPolicy load_balancing =
                  LoadBalancingPolicy::kAppAffinity,
-             RetryPolicy retry = {},
+             RetryPolicy retry = {}, OverloadControlConfig overload = {},
              const ClusterInstruments* instruments = nullptr);
 
   // Entry point for the trace replayer.
@@ -170,6 +180,18 @@ class Controller {
     IncCounter(&ClusterInstruments::invoker_restarts);
   }
 
+  // --- Overload control plane ---
+  // Invoker release hook: a container was destroyed or an invoker came
+  // back, so queued activations may now fit.  Coalesces into one
+  // zero-delay drain event per release burst.  Wired by the cluster only
+  // when the admission queue is enabled.
+  void OnCapacityReleased();
+  // End-of-replay accounting: sheds activations still parked in the
+  // admission queue and closes any breaker degraded-mode interval still
+  // open, stamping both at the queue's current time.  Call after the event
+  // queue has fully drained.
+  void FinalizeOverload();
+
   // Per-app tallies, indexed by AppId; slots for apps the replay never
   // touched stay zero (filter on invocations > 0 when reporting).
   const std::vector<AppStats>& app_stats() const { return app_stats_; }
@@ -180,6 +202,12 @@ class Controller {
   int64_t total_abandoned() const { return total_abandoned_; }
   int64_t total_lost() const { return total_lost_; }
   const FaultLedger& ledger() const { return ledger_; }
+  const OverloadLedger& overload_ledger() const { return overload_ledger_; }
+  // Activations currently parked in the admission queue.
+  size_t admission_queue_depth() const { return admission_queue_.size(); }
+  // Per-activation admission-queue waits, ms (drained activations only;
+  // collected when per-sample latency collection is on).
+  const std::vector<double>& queue_wait_ms() const { return queue_wait_ms_; }
   // Activations still awaiting completion/retry (drained replays end at 0).
   size_t pending_activations() const { return pending_.size(); }
   const std::vector<double>& billed_execution_ms() const {
@@ -215,6 +243,27 @@ class Controller {
   };
   // Why an attempt failed (kNone = never failed).
   enum class FailureClass { kNone, kCrash, kTransient, kTimeout, kOutage };
+  // Why a queued activation was shed (mirrors the OverloadLedger split).
+  enum class ShedReason { kQueueFull, kDeadline, kShutdown };
+  // Circuit-breaker state machine, one per invoker.
+  enum class BreakerMode { kClosed, kOpen, kHalfOpen };
+
+  struct BreakerState {
+    BreakerMode mode = BreakerMode::kClosed;
+    // Rolling outcome ring (1 = bad) evaluated while closed.
+    std::vector<int8_t> outcomes;
+    int window_pos = 0;
+    int window_count = 0;
+    int bad_count = 0;
+    // Half-open probe accounting: dispatches admitted vs good outcomes.
+    int half_open_inflight = 0;
+    int half_open_good = 0;
+    // Degraded-mode interval: set when the breaker first leaves closed,
+    // cleared (and tallied) when it closes again.
+    bool degraded = false;
+    TimePoint degraded_since;
+    EventQueue::Handle half_open_event;
+  };
 
   struct AppState {
     std::unique_ptr<KeepAlivePolicy> policy;
@@ -245,6 +294,21 @@ class Controller {
     // When the activation entered the controller (for the kActivation span
     // and the end-to-end latency histogram).
     TimePoint created_at;
+
+    // --- Overload control plane (all inert when the plane is off) ---
+    // Parked in the admission queue (id present in `admission_queue_`).
+    bool queued = false;
+    TimePoint queued_since;
+    EventQueue::Handle shed_event;  // CoDel age-bound timer.
+    // Hedged dispatch.  A hedged pair is two pending entries linked by
+    // `hedge_partner`; the first completion erases the partner (whose
+    // execution becomes a discarded zombie — that is the cancellation).
+    bool hedge_eligible = false;  // Predicted cold at admission time.
+    bool hedge_launched = false;
+    bool is_hedge = false;        // This entry IS the second attempt.
+    int64_t hedge_partner = 0;    // Live partner's activation id (0 = none).
+    EventQueue::Handle hedge_event;  // Launch timer, armed on dispatch.
+    int dispatched_invoker = -1;  // Accepting invoker (hedge exclusion).
   };
 
   AppState& GetOrCreateApp(AppId app_id);
@@ -258,8 +322,48 @@ class Controller {
   // otherwise records the terminal outcome and forgets the activation.
   void FailAttempt(int64_t activation_id, FailureClass failure);
   // Tries the home invoker first (container affinity, like OpenWhisk's
-  // hash-based co-primary), then the rest round-robin.
-  DispatchOutcome Dispatch(AppState& state, const ActivationMessage& message);
+  // hash-based co-primary), then the rest round-robin.  Skips unhealthy
+  // invokers, invokers whose breaker is not admitting, and
+  // `exclude_invoker` (>= 0: hedges avoid their primary's invoker).  On
+  // acceptance writes the chosen invoker into `accepted_invoker` if given.
+  DispatchOutcome Dispatch(AppState& state, const ActivationMessage& message,
+                           int exclude_invoker = -1,
+                           int* accepted_invoker = nullptr);
+
+  // --- Admission queue ---
+  // Parks pending activation `id` after a kNoCapacity dispatch; sheds per
+  // the discipline when the queue is full, arms the CoDel age bound.
+  void EnqueueAdmission(int64_t activation_id);
+  // Serves queued activations (per discipline) while dispatches succeed.
+  void DrainAdmissionQueue();
+  // Terminal: removes a QUEUED activation and records the shed.
+  void ShedActivation(int64_t activation_id, ShedReason reason);
+  // Drops ids whose pending entry is gone (superseded) from the deque.
+  void CompactAdmissionQueue();
+
+  // --- Hedged dispatch ---
+  // Builds the activation message for the current attempt of `pending`.
+  ActivationMessage BuildMessage(int64_t activation_id,
+                                 const PendingActivation& pending) const;
+  // Arms the hedge-launch timer on an accepted, hedge-eligible primary.
+  void MaybeArmHedge(int64_t activation_id);
+  // Fires the second attempt for primary `activation_id` (still pending).
+  void LaunchHedge(int64_t activation_id);
+  // Delay before hedging: the fixed `after` knob, or the observed
+  // end-to-end latency percentile (floored at `min_after`).
+  Duration HedgeDelay() const;
+
+  // --- Circuit breakers ---
+  // True when `invoker` may receive a dispatch (closed, or half-open with
+  // probe budget left).
+  bool BreakerAdmits(size_t invoker) const;
+  // Half-open probe accounting for an accepted dispatch.
+  void NoteDispatchAccepted(size_t invoker);
+  // Feeds one completion/failure outcome into the invoker's breaker.
+  void RecordInvokerOutcome(int invoker, bool bad);
+  void OpenBreaker(size_t invoker);
+  void HalfOpenBreaker(size_t invoker);
+  void CloseBreaker(size_t invoker);
 
   // --- Telemetry helpers (no-ops when instruments are absent) ---
   void RecordInstant(SpanName name, int64_t trace_id, int64_t arg0 = 0);
@@ -281,6 +385,7 @@ class Controller {
   bool collect_latencies_;
   LoadBalancingPolicy load_balancing_;
   RetryPolicy retry_;
+  OverloadControlConfig overload_;
   const ClusterInstruments* instruments_;
 
   // Dense per-app state, indexed by AppId and grown on first touch.  A slot
@@ -293,6 +398,18 @@ class Controller {
   // (WipePolicyState restores these).
   std::vector<std::unique_ptr<PolicyStateSnapshot>> checkpoints_;
   FaultLedger ledger_;
+  OverloadLedger overload_ledger_;
+  // Admission queue of parked activation ids.  Superseded ids (retried or
+  // shed entries) are skipped lazily, so membership is authoritative only
+  // jointly with PendingActivation::queued.
+  std::deque<int64_t> admission_queue_;
+  bool drain_scheduled_ = false;
+  // Per-invoker breakers; sized only when the breaker is enabled.
+  std::vector<BreakerState> breakers_;
+  // Observed end-to-end completion latency for the percentile hedge
+  // trigger (fed only while hedging is enabled).
+  P2Quantile hedge_latency_;
+  std::vector<double> queue_wait_ms_;
   int64_t total_dropped_ = 0;
   int64_t total_rejected_outage_ = 0;
   int64_t total_abandoned_ = 0;

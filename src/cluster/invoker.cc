@@ -128,6 +128,8 @@ void Invoker::DestroyContainer(ContainerList::iterator it) {
     --resident_count_by_app_[it->app_id.index()];
   }
   containers_.erase(it);
+  // Memory just freed: let the controller drain its admission queue.
+  NotifyRelease();
 }
 
 void Invoker::ArmKeepAlive(ContainerList::iterator it, Duration keepalive) {
@@ -185,6 +187,7 @@ int64_t Invoker::Crash() {
   resident_count_by_app_.assign(resident_count_by_app_.size(), 0);
   memory_in_use_mb_ = 0.0;
   resident_containers_ = 0;
+  busy_containers_ = 0;
   if (on_failure_) {
     for (const FailureMessage& failure : lost) {
       on_failure_(failure);
@@ -199,11 +202,19 @@ bool Invoker::Restart(int64_t epoch) {
   }
   healthy_ = true;
   AccrueMemoryTime();  // Re-anchor the (empty-pool) memory integral.
+  // A restarted invoker is fresh capacity back in rotation.
+  NotifyRelease();
   return true;
 }
 
 bool Invoker::HandleActivation(const ActivationMessage& message) {
   if (!healthy_) {
+    return false;
+  }
+  // Concurrency cap: a capped-out invoker refuses the activation just like
+  // memory pressure would (the controller fails over or queues it).
+  if (concurrency_cap_ > 0 && busy_containers_ >= concurrency_cap_) {
+    ++cap_rejections_;
     return false;
   }
   if (faults_ != nullptr) {
@@ -263,6 +274,7 @@ bool Invoker::HandleActivation(const ActivationMessage& message) {
   }
   container->busy = true;
   container->activation_id = message.activation_id;
+  ++busy_containers_;
 
   // Find the iterator for the container (list iterators are stable; for a
   // fresh container it is the last element, for a warm one we search).
@@ -292,6 +304,7 @@ bool Invoker::HandleActivation(const ActivationMessage& message) {
         it->busy = false;
         it->activation_id = 0;
         it->exec_end_event = EventQueue::Handle();
+        --busy_containers_;
         if (msg.unload_after_execution || !healthy_) {
           DestroyContainer(it);
         } else {
@@ -308,6 +321,9 @@ bool Invoker::HandleActivation(const ActivationMessage& message) {
           completion.billed_execution = billed;
           on_completion_(completion);
         }
+        // Even without a destroy, a finished execution frees a concurrency
+        // slot (and possibly the controller's queue head fits now).
+        NotifyRelease();
       });
   return true;
 }

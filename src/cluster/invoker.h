@@ -53,6 +53,17 @@ class Invoker {
   void set_failure_callback(FailureCallback callback) {
     on_failure_ = std::move(callback);
   }
+  // Overload control plane: invoked whenever capacity frees up (a container
+  // was destroyed, an execution finished, or the invoker restarted) so the
+  // controller can drain its admission queue.  Left unset (the default)
+  // when the admission queue is disabled — no callback, no extra events.
+  void set_release_callback(std::function<void()> callback) {
+    on_release_ = std::move(callback);
+  }
+  // Overload control plane: cap on concurrently-executing activations
+  // (0 = unlimited).  A capped-out invoker rejects the activation exactly
+  // like memory pressure, so the controller's queue absorbs the excess.
+  void set_concurrency_cap(int cap) { concurrency_cap_ = cap; }
 
   // Handles one activation.  Returns false when the invoker cannot host the
   // app even after evicting every idle container (the controller then tries
@@ -89,6 +100,8 @@ class Invoker {
   int64_t warm_starts() const { return warm_starts_; }
   int64_t evictions() const { return evictions_; }
   int64_t prewarm_loads() const { return prewarm_loads_; }
+  // Activations refused because the concurrency cap was reached.
+  int64_t cap_rejections() const { return cap_rejections_; }
   // Integral of resident container memory over time, MB*seconds.  Call
   // FinalizeAt once at the end of the run to close the integral.
   double memory_mb_seconds() const { return memory_mb_seconds_; }
@@ -116,6 +129,12 @@ class Invoker {
   bool EvictIdleContainers(double needed_mb);
   void ArmKeepAlive(ContainerList::iterator it, Duration keepalive);
   void AccrueMemoryTime();
+  // Fires the release callback if one is registered (admission draining).
+  void NotifyRelease() {
+    if (on_release_) {
+      on_release_();
+    }
+  }
 
   // --- Telemetry helpers (no-ops when instruments are absent) ---
   void IncCounter(CounterId ClusterInstruments::*field, int64_t delta = 1);
@@ -133,6 +152,10 @@ class Invoker {
   const ClusterInstruments* instruments_;
   CompletionCallback on_completion_;
   FailureCallback on_failure_;
+  std::function<void()> on_release_;
+  int concurrency_cap_ = 0;
+  int busy_containers_ = 0;
+  int64_t cap_rejections_ = 0;
 
   ContainerList containers_;
   // Resident containers per app, indexed by AppId (grown on demand): dense

@@ -31,6 +31,10 @@ struct ActivationMessage {
   // Whether the invoker should unload the container right after execution
   // (the controller will schedule a pre-warm instead).
   bool unload_after_execution = false;
+  // Marks the speculative second attempt of a hedged dispatch (overload
+  // control plane).  Informational for the invoker: execution is identical,
+  // but traces and logs can distinguish hedges from primaries.
+  bool hedge = false;
 };
 
 struct PrewarmMessage {

@@ -1,0 +1,31 @@
+#include "src/cluster/overload.h"
+
+namespace faas {
+
+std::optional<AdmissionDiscipline> ParseAdmissionDiscipline(
+    std::string_view name) {
+  if (name == "fifo") {
+    return AdmissionDiscipline::kFifo;
+  }
+  if (name == "lifo") {
+    return AdmissionDiscipline::kLifo;
+  }
+  if (name == "codel") {
+    return AdmissionDiscipline::kCoDel;
+  }
+  return std::nullopt;
+}
+
+const char* AdmissionDisciplineName(AdmissionDiscipline discipline) {
+  switch (discipline) {
+    case AdmissionDiscipline::kFifo:
+      return "fifo";
+    case AdmissionDiscipline::kLifo:
+      return "lifo";
+    case AdmissionDiscipline::kCoDel:
+      return "codel";
+  }
+  return "unknown";
+}
+
+}  // namespace faas

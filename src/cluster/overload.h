@@ -1,0 +1,168 @@
+// Overload control plane: the knobs and the ledger.
+//
+// The pre-overload controller had exactly two answers when every healthy
+// invoker was out of memory: drop the activation on the floor (kNoCapacity)
+// or burn retry budget spinning against a saturated fleet.  Real FaaS
+// front-ends survive flash crowds with *bounded* queues, shedding, and
+// circuit breakers instead.  This header holds the configuration for the
+// three mechanisms the controller adds —
+//
+//   1. a bounded per-controller admission queue (FIFO / LIFO / CoDel-style
+//      age shedding) that activations enter when no invoker has capacity and
+//      that drains on container-release events rather than blind backoff;
+//   2. per-invoker concurrency caps and circuit breakers
+//      (closed -> open -> half-open, driven by a rolling failure + latency
+//      window, so chaos-engine crashes and latency spikes trip them);
+//   3. hedged dispatch for cold-start-prone activations (a second attempt on
+//      a different invoker after a latency threshold, first completion wins)
+//
+// — plus the OverloadLedger that tallies what they did (mirroring
+// FaultLedger, comparable so determinism tests can assert bit-identity).
+//
+// Disabled-by-default contract: a default OverloadControlConfig enables
+// nothing, schedules no events, draws no random numbers and registers no
+// callbacks, so a replay with the control plane off is bit-identical to the
+// pre-overload engine.
+
+#ifndef SRC_CLUSTER_OVERLOAD_H_
+#define SRC_CLUSTER_OVERLOAD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "src/common/time.h"
+
+namespace faas {
+
+// How the admission queue picks victims when space or patience runs out.
+enum class AdmissionDiscipline {
+  // Serve oldest first; a full queue tail-drops the arriving activation.
+  kFifo,
+  // Serve newest first; a full queue sheds the OLDEST queued activation to
+  // admit the newcomer (fresh requests are the ones a caller still wants).
+  kLifo,
+  // FIFO service order plus CoDel-style age shedding: every queued
+  // activation carries a deadline of `max_wait` past its enqueue time and is
+  // shed when it expires (sojourn-bounded, so the queue cannot hide
+  // unbounded latency behind "eventually served").
+  kCoDel,
+};
+
+// "fifo" / "lifo" / "codel" (case-sensitive), nullopt otherwise.
+std::optional<AdmissionDiscipline> ParseAdmissionDiscipline(
+    std::string_view name);
+const char* AdmissionDisciplineName(AdmissionDiscipline discipline);
+
+struct AdmissionQueueConfig {
+  // Maximum queued activations; 0 (the default) disables the queue entirely
+  // and restores the pre-overload drop-on-saturation behaviour.
+  int capacity = 0;
+  AdmissionDiscipline discipline = AdmissionDiscipline::kFifo;
+  // CoDel age bound: a queued activation older than this is shed.  Ignored
+  // by the FIFO/LIFO disciplines (they bound space, not sojourn).
+  Duration max_wait = Duration::Seconds(30);
+
+  bool enabled() const { return capacity > 0; }
+};
+
+struct CircuitBreakerConfig {
+  bool enabled = false;
+  // Rolling per-invoker outcome window evaluated while the breaker is
+  // closed: with at least `min_samples` outcomes recorded, a bad fraction of
+  // `failure_threshold` or more opens the breaker.
+  int window = 20;
+  int min_samples = 10;
+  double failure_threshold = 0.5;
+  // A completion slower end-to-end than this also counts as a bad outcome
+  // (latency-tripped breakers, e.g. under a chaos-engine cold-start spike).
+  // 0 disables the latency signal; failures alone feed the window.
+  double latency_threshold_ms = 0.0;
+  // Open -> half-open after this cool-down.
+  Duration open_duration = Duration::Seconds(30);
+  // Half-open admits at most this many concurrent probe activations; this
+  // many consecutive good outcomes close the breaker, any bad one re-opens.
+  int half_open_probes = 3;
+};
+
+struct HedgeConfig {
+  // Launch a second attempt on a different invoker when the first has not
+  // completed after this fixed delay.  Zero = no fixed trigger.
+  Duration after = Duration::Zero();
+  // Alternative percentile trigger: hedge once the attempt outlives this
+  // percentile of observed end-to-end completion latency (P-square estimate,
+  // e.g. 99 for p99 hedging).  0 = use the fixed `after` delay only.
+  double latency_percentile = 0.0;
+  // Floor under the percentile trigger (and the fallback before enough
+  // latency samples exist): never hedge earlier than this.
+  Duration min_after = Duration::Millis(100);
+
+  bool enabled() const {
+    return after > Duration::Zero() || latency_percentile > 0.0;
+  }
+};
+
+struct OverloadControlConfig {
+  AdmissionQueueConfig admission;
+  CircuitBreakerConfig breaker;
+  HedgeConfig hedge;
+  // Per-invoker cap on concurrently-executing activations (0 = unlimited).
+  // Enforced by the invoker itself; a cap rejection surfaces to the
+  // controller as "no capacity", which feeds the admission queue.
+  int invoker_concurrency_cap = 0;
+
+  bool AnyEnabled() const {
+    return admission.enabled() || breaker.enabled || hedge.enabled() ||
+           invoker_concurrency_cap > 0;
+  }
+};
+
+// Tally of everything the overload control plane observed during a replay.
+// Comparable so determinism tests can assert bit-identical ledgers; all-zero
+// when the control plane is disabled.
+struct OverloadLedger {
+  // Admission queue.
+  int64_t queued = 0;            // Activations that entered the queue.
+  int64_t drained = 0;           // Left the queue via a successful dispatch.
+  int64_t shed_queue_full = 0;   // Shed because the queue was at capacity.
+  int64_t shed_deadline = 0;     // Shed by the CoDel age bound.
+  int64_t shed_at_shutdown = 0;  // Still queued when the replay ended.
+  double total_queue_wait_ms = 0.0;  // Over drained activations.
+  double max_queue_wait_ms = 0.0;
+
+  // Hedged dispatch.
+  int64_t hedges_launched = 0;
+  int64_t hedges_unplaced = 0;     // No second invoker had room; fizzled.
+  int64_t hedge_wins = 0;          // The hedge completed first.
+  int64_t hedge_primary_wins = 0;  // The primary beat its hedge.
+
+  // Circuit breakers.
+  int64_t breaker_opens = 0;
+  int64_t breaker_half_opens = 0;
+  int64_t breaker_closes = 0;
+  // Dispatch attempts deflected from an invoker by a non-closed breaker
+  // (counted per invoker-level skip, so one activation can deflect several
+  // times while failing over).
+  int64_t breaker_rejections = 0;
+  // Per-invoker concurrency-cap refusals (summed from the invokers).
+  int64_t cap_rejections = 0;
+  // Degraded-mode intervals: spans from a breaker first leaving closed to
+  // its next close (or the end of the replay).
+  int64_t breaker_open_intervals = 0;
+  double total_breaker_open_ms = 0.0;
+  double max_breaker_open_ms = 0.0;
+
+  int64_t TotalShed() const {
+    return shed_queue_full + shed_deadline + shed_at_shutdown;
+  }
+  double MeanQueueWaitMs() const {
+    return drained > 0 ? total_queue_wait_ms / static_cast<double>(drained)
+                       : 0.0;
+  }
+
+  bool operator==(const OverloadLedger&) const = default;
+};
+
+}  // namespace faas
+
+#endif  // SRC_CLUSTER_OVERLOAD_H_

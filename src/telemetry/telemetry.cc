@@ -46,7 +46,8 @@ Telemetry::Telemetry(TelemetryConfig config)
 ClusterInstruments ClusterInstruments::Register(Telemetry& telemetry,
                                                 std::string_view policy_name,
                                                 int16_t pid, Duration horizon,
-                                                Duration sample_interval) {
+                                                Duration sample_interval,
+                                                bool overload) {
   ClusterInstruments instruments;
   instruments.pid = pid;
   if (telemetry.metrics_enabled()) {
@@ -138,6 +139,43 @@ ClusterInstruments ClusterInstruments::Register(Telemetry& telemetry,
       "faas_cluster_minute_memory_mb",
       "Resident container MB sampled at each interval", sample_interval,
       bins, label);
+  if (overload) {
+    // Overload-control-plane instruments are registered only when the plane
+    // is enabled: the Prometheus writer prints every registered metric, so
+    // registering them unconditionally would change the exported text of
+    // replays that never touch them.
+    instruments.queued =
+        r.AddCounter("faas_cluster_queued_total",
+                     "Activations parked in the admission queue", label);
+    instruments.shed = r.AddCounter(
+        "faas_cluster_shed_total",
+        "Activations shed by the admission queue (all reasons)", label);
+    instruments.hedges = r.AddCounter(
+        "faas_cluster_hedges_total", "Hedged second attempts launched",
+        label);
+    instruments.hedge_wins = r.AddCounter(
+        "faas_cluster_hedge_wins_total",
+        "Hedged attempts that completed before their primary", label);
+    instruments.breaker_opens = r.AddCounter(
+        "faas_cluster_breaker_opens_total",
+        "Circuit-breaker open transitions", label);
+    instruments.breaker_rejected = r.AddCounter(
+        "faas_cluster_breaker_rejected_total",
+        "Dispatches deflected from an invoker by a non-closed breaker",
+        label);
+    instruments.queue_wait_ms = r.AddHistogram(
+        "faas_cluster_queue_wait_ms",
+        "Admission-queue wait of drained activations, ms", LatencyEdgesMs(),
+        label);
+    instruments.minute_shed =
+        r.AddSeries("faas_cluster_minute_shed",
+                    "Activations shed per sample interval", sample_interval,
+                    bins, label);
+    instruments.minute_admission_queue = r.AddSeries(
+        "faas_cluster_minute_admission_queue",
+        "Admission-queue depth sampled at each interval", sample_interval,
+        bins, label);
+  }
   return instruments;
 }
 

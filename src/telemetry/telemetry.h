@@ -95,13 +95,26 @@ struct ClusterInstruments {
   SeriesId minute_cold_starts;
   SeriesId minute_queue_depth;
   SeriesId minute_memory_mb;
+  // Overload control plane (registered only when the control plane is on,
+  // so replays with it off export a byte-identical metric set).
+  CounterId queued;
+  CounterId shed;
+  CounterId hedges;
+  CounterId hedge_wins;
+  CounterId breaker_opens;
+  CounterId breaker_rejected;
+  HistogramId queue_wait_ms;
+  SeriesId minute_shed;
+  SeriesId minute_admission_queue;
 
   // Registers the bundle under `policy="<policy_name>"` on process lane
-  // `pid`, sizing the minute series for `horizon`.
+  // `pid`, sizing the minute series for `horizon`.  `overload` additionally
+  // registers the overload-control-plane instruments above.
   static ClusterInstruments Register(Telemetry& telemetry,
                                      std::string_view policy_name,
                                      int16_t pid, Duration horizon,
-                                     Duration sample_interval);
+                                     Duration sample_interval,
+                                     bool overload = false);
 };
 
 // Instruments for one policy of an analytic sweep.  The hot loop

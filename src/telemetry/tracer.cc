@@ -68,6 +68,14 @@ const char* SpanNameString(SpanName name) {
       return "latency_spike";
     case SpanName::kFlakyWindow:
       return "flaky_window";
+    case SpanName::kAdmissionQueue:
+      return "admission_queue";
+    case SpanName::kShed:
+      return "shed";
+    case SpanName::kHedge:
+      return "hedge";
+    case SpanName::kBreakerTransition:
+      return "breaker_transition";
     case SpanName::kAppReplay:
       return "app_replay";
     case SpanName::kNumSpanNames:

@@ -61,6 +61,14 @@ enum class SpanName : int16_t {
   kOutage,          // Drain window of one invoker (dur = outage length).
   kLatencySpike,    // Cold-start latency multiplier window.
   kFlakyWindow,     // Transient-failure probability window.
+  // Overload control plane.
+  kAdmissionQueue,  // Queue residence of one activation (arg0: 1 = drained,
+                    // 0 = shed).
+  kShed,            // Instant: terminal — shed by the admission queue
+                    // (arg0: 0 = queue full, 1 = deadline, 2 = shutdown).
+  kHedge,           // Instant: a hedged second attempt was launched.
+  kBreakerTransition,  // Instant: breaker state change on invoker trace_id
+                       // (arg0: 0 = closed, 1 = open, 2 = half-open).
   // Analytic sweep.
   kAppReplay,       // One app under one policy (dur = active span of app).
   kNumSpanNames,    // Sentinel; keep last.

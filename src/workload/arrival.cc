@@ -139,6 +139,56 @@ std::vector<TimePoint> GenerateBurstyArrivals(double mean_rate_per_day,
   return arrivals;
 }
 
+void ApplyFlashCrowd(Trace& trace, const FlashCrowdSpec& spec, Rng& rng) {
+  if (!spec.enabled()) {
+    return;
+  }
+  FAAS_CHECK(spec.duration.millis() > 0) << "burst duration must be positive";
+  FAAS_CHECK(spec.fraction > 0.0 && spec.fraction <= 1.0)
+      << "participation fraction in (0,1]";
+  FAAS_CHECK(spec.events_per_function > 0.0)
+      << "events per function must be positive";
+
+  const double horizon_ms = static_cast<double>(trace.horizon.millis());
+  std::vector<double> epochs(static_cast<size_t>(spec.count));
+  for (double& epoch : epochs) {
+    epoch = rng.UniformDouble(0.15, 0.85) * horizon_ms;
+  }
+  std::sort(epochs.begin(), epochs.end());
+
+  const double duration_ms = static_cast<double>(spec.duration.millis());
+  const double offset_rate_per_ms = 4.0 / duration_ms;  // Mean duration/4.
+  for (AppTrace& app : trace.apps) {
+    // Independent stream per app: the draws an app consumes do not shift
+    // when another app's burst sizes change.
+    Rng app_rng = rng.Fork();
+    bool touched = false;
+    for (double epoch : epochs) {
+      if (!app_rng.Bernoulli(spec.fraction)) {
+        continue;
+      }
+      for (FunctionTrace& function : app.functions) {
+        const double extra = app_rng.NextPoisson(spec.events_per_function);
+        for (double k = 0; k < extra; k += 1.0) {
+          const double offset = std::min(
+              app_rng.NextExponential(offset_rate_per_ms), duration_ms - 1.0);
+          const double t = std::min(epoch + offset, horizon_ms - 1.0);
+          function.invocations.emplace_back(static_cast<int64_t>(t));
+          touched = true;
+        }
+      }
+    }
+    if (!touched) {
+      continue;
+    }
+    for (FunctionTrace& function : app.functions) {
+      std::sort(function.invocations.begin(), function.invocations.end());
+      function.execution.count = function.InvocationCount();
+    }
+    app.memory.sample_count = std::max<int64_t>(app.TotalInvocations(), 1);
+  }
+}
+
 Duration SnapToTimerPeriod(double desired_rate_per_day) {
   // Cron-style grid: 1, 2, 5, 10, 15, 30 minutes; 1, 2, 4, 6, 12 hours; 1 day.
   static const Duration kGrid[] = {

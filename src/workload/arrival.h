@@ -67,6 +67,36 @@ std::vector<TimePoint> GenerateBurstyArrivals(
 // once per minute, so the grid starts at one minute.
 Duration SnapToTimerPeriod(double desired_rate_per_day);
 
+// Flash-crowd overlay: synchronized bursts stacked on top of an existing
+// trace's arrival streams.  Each burst is an epoch at which a Bernoulli
+// `fraction` of apps simultaneously receive a clump of extra invocations,
+// front-loaded inside [epoch, epoch + duration) — the coordinated spike
+// (marketing push, incident storm, thundering-herd retry) that saturates a
+// cluster provisioned for the diurnal average and that the overload control
+// plane exists to absorb.  A default spec (count == 0) leaves the trace
+// untouched and draws no random numbers.
+struct FlashCrowdSpec {
+  // Number of burst epochs, placed uniformly in the middle 70% of the
+  // horizon so warm-up and drain-out do not mask the spike.
+  int count = 0;
+  // Width of each burst window; extra arrivals decay exponentially with
+  // mean duration/4, so most of the clump lands in the window's first half.
+  Duration duration = Duration::Minutes(10);
+  // Probability that a given app participates in a given burst.
+  double fraction = 0.3;
+  // Mean extra invocations per participating function per burst (Poisson).
+  double events_per_function = 80.0;
+
+  bool enabled() const { return count > 0; }
+};
+
+// Injects the spec's bursts into `trace` in place: participating functions
+// gain sorted extra invocation instants and their execution/memory sample
+// counts are refreshed.  Deterministic given (`trace`, `spec`, `rng` state);
+// apps consume independent forked streams, so per-app draws do not depend
+// on how many events earlier apps received.
+void ApplyFlashCrowd(Trace& trace, const FlashCrowdSpec& spec, Rng& rng);
+
 }  // namespace faas
 
 #endif  // SRC_WORKLOAD_ARRIVAL_H_

@@ -178,6 +178,18 @@ struct GeneratorConfig {
   double memory_min_mb = 10.0;
   double memory_max_mb = 4096.0;
 
+  // ---- Flash crowds (overload experiments) --------------------------------
+  // Synchronized burst trains stacked on the diurnal curve: at each of
+  // `flash_crowd_count` epochs, a `flash_crowd_fraction` of apps receives a
+  // Poisson(`flash_crowd_events_per_function`) clump of extra invocations
+  // front-loaded inside a `flash_crowd_duration` window.  The default (0
+  // crowds) adds nothing and draws no random numbers, so traces generated
+  // without the feature are bit-identical to pre-overload builds.
+  int flash_crowd_count = 0;
+  Duration flash_crowd_duration = Duration::Minutes(10);
+  double flash_crowd_fraction = 0.3;
+  double flash_crowd_events_per_function = 80.0;
+
   Duration Horizon() const { return Duration::Days(days); }
 };
 

@@ -492,6 +492,19 @@ Trace WorkloadGenerator::Generate() {
     app.memory.sample_count = std::max<int64_t>(app.TotalInvocations(), 1);
     trace.apps.push_back(std::move(app));
   }
+  // Flash-crowd overlay, after every app's own stream is materialised so
+  // the per-app forks above are untouched.  Gated on the knob: a zero count
+  // forks no RNG stream and leaves the trace bit-identical.
+  if (config_.flash_crowd_count > 0) {
+    FlashCrowdSpec spec;
+    spec.count = config_.flash_crowd_count;
+    spec.duration = config_.flash_crowd_duration;
+    spec.fraction = config_.flash_crowd_fraction;
+    spec.events_per_function = config_.flash_crowd_events_per_function;
+    Rng crowd_rng = root_rng_.Fork();
+    ApplyFlashCrowd(trace, spec, crowd_rng);
+  }
+
   trace.entities = EntityIndex::Build(trace);
   return trace;
 }

@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + full test suite, then the concurrency
 # tests (thread pool, parallel-for, sweep engine, compiled trace) plus the
-# chaos-engine and telemetry tests rebuilt and re-run under ThreadSanitizer,
-# the chaos/controller/telemetry tests once more under
-# UndefinedBehaviorSanitizer, and the interning/trace/cluster tests under
-# AddressSanitizer (the intern tables hand out string_views into deque
-# storage — ASan is the pass that would catch a dangling view).
+# chaos-engine, overload-control, and telemetry tests rebuilt and re-run
+# under ThreadSanitizer, the chaos/overload/controller/telemetry tests once
+# more under UndefinedBehaviorSanitizer, and the interning/trace/cluster
+# tests under AddressSanitizer (the intern tables hand out string_views into
+# deque storage — ASan is the pass that would catch a dangling view).
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-ubsan] [--skip-asan]
 set -euo pipefail
@@ -32,41 +32,42 @@ cmake --build build -j "${JOBS}"
 if [[ "${SKIP_TSAN}" == "1" ]]; then
   echo "== skipping TSan pass =="
 else
-  echo "== TSan: concurrency + chaos + telemetry tests =="
+  echo "== TSan: concurrency + chaos + overload + telemetry tests =="
   cmake -B build-tsan -S . -DFAAS_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "${JOBS}" --target \
       thread_pool_test parallel_test sweep_test compiled_trace_test \
-      faults_test controller_test telemetry_metrics_test \
+      faults_test overload_test controller_test telemetry_metrics_test \
       telemetry_tracer_test telemetry_export_test telemetry_integration_test
   # gtest_discover_tests registers suite names (not target names), so match
   # the suites those binaries contain.
   (cd build-tsan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'ThreadPool|ParallelFor|ParallelSimulation|Sweep|CompiledTrace|CompiledReplay|FaultPlan|ChaosCluster|Controller|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration')
+      -R 'ThreadPool|ParallelFor|ParallelSimulation|Sweep|CompiledTrace|CompiledReplay|FaultPlan|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration')
 fi
 
 if [[ "${SKIP_UBSAN}" == "1" ]]; then
   echo "== skipping UBSan pass =="
 else
-  echo "== UBSan: chaos + controller + telemetry tests =="
+  echo "== UBSan: chaos + overload + controller + telemetry tests =="
   cmake -B build-ubsan -S . -DFAAS_SANITIZE=undefined >/dev/null
   cmake --build build-ubsan -j "${JOBS}" --target \
-      faults_test controller_test cluster_test telemetry_metrics_test \
-      telemetry_tracer_test telemetry_export_test telemetry_integration_test
+      faults_test overload_test controller_test cluster_test \
+      telemetry_metrics_test telemetry_tracer_test telemetry_export_test \
+      telemetry_integration_test
   (cd build-ubsan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'FaultPlan|ChaosCluster|Controller|Cluster|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration')
+      -R 'FaultPlan|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|Cluster|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration')
 fi
 
 if [[ "${SKIP_ASAN}" == "1" ]]; then
   echo "== skipping ASan pass =="
 else
-  echo "== ASan: interning + trace + cluster tests =="
+  echo "== ASan: interning + trace + cluster + overload tests =="
   cmake -B build-asan -S . -DFAAS_SANITIZE=address >/dev/null
   cmake --build build-asan -j "${JOBS}" --target \
       intern_test trace_csv_test transform_test compiled_trace_test \
-      sweep_test controller_test cluster_test telemetry_metrics_test \
-      telemetry_tracer_test
+      sweep_test controller_test cluster_test overload_test \
+      telemetry_metrics_test telemetry_tracer_test
   (cd build-asan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'Intern|EntityIndex|Csv|Transform|CompiledTrace|CompiledReplay|Sweep|Controller|Cluster|TelemetryMetrics|TelemetryTracer')
+      -R 'Intern|EntityIndex|Csv|Transform|CompiledTrace|CompiledReplay|Sweep|Controller|Cluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|TelemetryMetrics|TelemetryTracer')
 fi
 
 echo "== all checks passed =="

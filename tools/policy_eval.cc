@@ -41,6 +41,25 @@
 // wipe:at=D; spike:at=D,for=D,x=M; flaky:at=D,for=D,p=P, with durations
 // accepting ms/s/m/h/d suffixes.  The report adds the failure ledger
 // (crashes, retries, timeouts, abandoned/lost activations, degraded time).
+//
+// Overload control plane — any of these also selects the cluster simulator
+// and adds the overload ledger to the report:
+//   --overload                enable the default bundle (admission queue of
+//                             64 FIFO + circuit breakers)
+//   --admission-queue N       bounded admission queue of N entries
+//   --admission-discipline P  fifo | lifo | codel (default fifo)
+//   --queue-max-wait D        shed queued work older than D (default 30s)
+//   --hedge D                 hedged dispatch after a fixed delay D
+//   --hedge-percentile P      hedge after the live e2e latency percentile P
+//   --concurrency-cap N       per-invoker concurrent-execution cap
+//   --breaker                 per-invoker circuit breakers (defaults)
+//   --breaker-window N --breaker-threshold F --breaker-open D
+//   --breaker-latency-ms X    count completions slower than X ms as bad
+//
+// Flash crowds — inject synchronized burst trains into the loaded trace
+// before evaluation (deterministic given --flash-seed):
+//   --flash-crowds N [--flash-minutes M=10] [--flash-fraction F=0.3]
+//   [--flash-events E=80] [--flash-seed S=1234]
 
 #include <atomic>
 #include <chrono>
@@ -62,6 +81,7 @@
 #include "src/telemetry/export.h"
 #include "src/telemetry/telemetry.h"
 #include "src/trace/csv.h"
+#include "src/workload/arrival.h"
 #include "tools/flags.h"
 
 namespace {
@@ -234,6 +254,104 @@ int WriteTelemetryOutputs(const FlagParser& flags,
   return 0;
 }
 
+// True when any overload-control or flash-crowd flag was passed (each one
+// routes evaluation through the cluster simulator, like the fault flags).
+bool HasOverloadFlags(const FlagParser& flags) {
+  static const char* kFlags[] = {
+      "overload",        "admission-queue",    "admission-discipline",
+      "queue-max-wait",  "hedge",              "hedge-percentile",
+      "concurrency-cap", "breaker",            "breaker-window",
+      "breaker-threshold", "breaker-open",     "breaker-latency-ms",
+      "flash-crowds",
+  };
+  for (const char* name : kFlags) {
+    if (flags.Has(name)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Fills `overload` from the command line.  Returns false (after printing a
+// diagnostic) on a malformed flag.
+bool ParseOverloadFlags(const FlagParser& flags,
+                        OverloadControlConfig* overload) {
+  if (flags.GetBool("overload", false)) {
+    // Default bundle: a modest FIFO queue plus breakers; hedging stays
+    // opt-in because it adds load to an already-loaded cluster.
+    overload->admission.capacity = 64;
+    overload->breaker.enabled = true;
+  }
+  if (flags.Has("admission-queue")) {
+    overload->admission.capacity =
+        static_cast<int>(flags.GetInt("admission-queue", 0));
+    if (overload->admission.capacity <= 0) {
+      std::fprintf(stderr, "--admission-queue must be positive\n");
+      return false;
+    }
+  }
+  if (flags.Has("admission-discipline")) {
+    const auto discipline = ParseAdmissionDiscipline(
+        flags.GetString("admission-discipline", ""));
+    if (!discipline.has_value()) {
+      std::fprintf(stderr,
+                   "--admission-discipline: want fifo, lifo or codel\n");
+      return false;
+    }
+    overload->admission.discipline = *discipline;
+  }
+  if (const auto max_wait = GetDurationFlag(flags, "queue-max-wait")) {
+    overload->admission.max_wait = *max_wait;
+  } else if (flags.Has("queue-max-wait")) {
+    return false;
+  }
+  if (const auto hedge = GetDurationFlag(flags, "hedge")) {
+    overload->hedge.after = *hedge;
+  } else if (flags.Has("hedge")) {
+    return false;
+  }
+  if (flags.Has("hedge-percentile")) {
+    overload->hedge.latency_percentile =
+        flags.GetDouble("hedge-percentile", 0.0);
+    if (overload->hedge.latency_percentile <= 0.0 ||
+        overload->hedge.latency_percentile >= 100.0) {
+      std::fprintf(stderr, "--hedge-percentile must be in (0, 100)\n");
+      return false;
+    }
+  }
+  if (flags.Has("concurrency-cap")) {
+    overload->invoker_concurrency_cap =
+        static_cast<int>(flags.GetInt("concurrency-cap", 0));
+    if (overload->invoker_concurrency_cap <= 0) {
+      std::fprintf(stderr, "--concurrency-cap must be positive\n");
+      return false;
+    }
+  }
+  if (flags.GetBool("breaker", false) || flags.Has("breaker-window") ||
+      flags.Has("breaker-threshold") || flags.Has("breaker-open") ||
+      flags.Has("breaker-latency-ms")) {
+    overload->breaker.enabled = true;
+  }
+  if (flags.Has("breaker-window")) {
+    overload->breaker.window =
+        static_cast<int>(flags.GetInt("breaker-window", 20));
+  }
+  if (flags.Has("breaker-threshold")) {
+    overload->breaker.failure_threshold =
+        flags.GetDouble("breaker-threshold", 0.5);
+  }
+  if (const auto open = GetDurationFlag(flags, "breaker-open")) {
+    overload->breaker.open_duration = *open;
+  } else if (flags.Has("breaker-open")) {
+    return false;
+  }
+  if (flags.Has("breaker-latency-ms")) {
+    overload->breaker.latency_threshold_ms =
+        flags.GetDouble("breaker-latency-ms", 0.0);
+  }
+  return true;
+}
+
 // Evaluates the requested policies on the cluster simulator under a fault
 // plan and prints the outcome split plus the failure ledger per policy.
 int RunChaosEvaluation(const FlagParser& flags, const Trace& trace,
@@ -293,6 +411,10 @@ int RunChaosEvaluation(const FlagParser& flags, const Trace& trace,
     return 2;
   }
 
+  if (!ParseOverloadFlags(flags, &config.overload)) {
+    return 2;
+  }
+
   config.telemetry = telemetry;
   config.metrics_interval = metrics_interval;
   std::printf("\nchaos evaluation: %d invokers, %zu crashes, %zu wipes, "
@@ -301,6 +423,17 @@ int RunChaosEvaluation(const FlagParser& flags, const Trace& trace,
               config.faults.wipes.size(), config.faults.spikes.size(),
               config.faults.transient_windows.size(),
               config.retry.max_retries);
+  if (config.overload.AnyEnabled()) {
+    std::printf("overload control: queue=%d (%s, max-wait %.1fs) "
+                "breaker=%s hedge=%s cap=%d\n",
+                config.overload.admission.capacity,
+                AdmissionDisciplineName(config.overload.admission.discipline),
+                static_cast<double>(
+                    config.overload.admission.max_wait.millis()) / 1e3,
+                config.overload.breaker.enabled ? "on" : "off",
+                config.overload.hedge.enabled() ? "on" : "off",
+                config.overload.invoker_concurrency_cap);
+  }
   const ProgressHeartbeat heartbeat(
       flags.GetBool("progress", false) && telemetry != nullptr &&
               telemetry->metrics_enabled()
@@ -347,6 +480,31 @@ int RunChaosEvaluation(const FlagParser& flags, const Trace& trace,
                 static_cast<long long>(ledger.cold_starts_after_timeout),
                 static_cast<long long>(ledger.cold_starts_after_outage),
                 static_cast<long long>(ledger.cold_starts_in_degraded_mode));
+    if (config.overload.AnyEnabled()) {
+      const OverloadLedger& overload = result.overload;
+      std::printf("    queued=%lld drained=%lld "
+                  "shed{full=%lld deadline=%lld shutdown=%lld} "
+                  "qwait{mean=%.1fms max=%.1fms}\n",
+                  static_cast<long long>(overload.queued),
+                  static_cast<long long>(overload.drained),
+                  static_cast<long long>(overload.shed_queue_full),
+                  static_cast<long long>(overload.shed_deadline),
+                  static_cast<long long>(overload.shed_at_shutdown),
+                  overload.MeanQueueWaitMs(), overload.max_queue_wait_ms);
+      std::printf("    hedges=%lld hedge-wins=%lld primary-wins=%lld "
+                  "unplaced=%lld breaker{opens=%lld half=%lld closes=%lld "
+                  "rejected=%lld open-time=%.1fs} cap-rejected=%lld\n",
+                  static_cast<long long>(overload.hedges_launched),
+                  static_cast<long long>(overload.hedge_wins),
+                  static_cast<long long>(overload.hedge_primary_wins),
+                  static_cast<long long>(overload.hedges_unplaced),
+                  static_cast<long long>(overload.breaker_opens),
+                  static_cast<long long>(overload.breaker_half_opens),
+                  static_cast<long long>(overload.breaker_closes),
+                  static_cast<long long>(overload.breaker_rejections),
+                  overload.total_breaker_open_ms / 1e3,
+                  static_cast<long long>(overload.cap_rejections));
+    }
   }
   return 0;
 }
@@ -373,13 +531,25 @@ int main(int argc, char** argv) {
         "                    [--wipe-mtbf H] [--fault-seed N]]\n"
         "                   [--invokers N=18] [--invoker-memory MB=4096]\n"
         "                   [--retries N] [--timeout D] [--backoff D]\n"
-        "                   [--checkpoint D]\n");
+        "                   [--checkpoint D]\n"
+        "overload control plane (also selects the cluster simulator):\n"
+        "                   [--overload] [--admission-queue N]\n"
+        "                   [--admission-discipline fifo|lifo|codel]\n"
+        "                   [--queue-max-wait D] [--hedge D]\n"
+        "                   [--hedge-percentile P] [--concurrency-cap N]\n"
+        "                   [--breaker] [--breaker-window N]\n"
+        "                   [--breaker-threshold F] [--breaker-open D]\n"
+        "                   [--breaker-latency-ms X]\n"
+        "flash crowds (burst trains injected into the loaded trace):\n"
+        "                   [--flash-crowds N] [--flash-minutes M=10]\n"
+        "                   [--flash-fraction F=0.3] [--flash-events E=80]\n"
+        "                   [--flash-seed S=1234]\n");
     return flags.Has("help") ? 0 : 2;
   }
 
   CsvReadOptions read_options;
   read_options.skip_malformed = flags.GetBool("skip-malformed", false);
-  const auto read = ReadTraceCsv(flags.GetString("trace", ""), read_options);
+  auto read = ReadTraceCsv(flags.GetString("trace", ""), read_options);
   if (!read.ok) {
     std::fprintf(stderr, "failed to read trace: %s\n", read.error.c_str());
     return 1;
@@ -387,6 +557,25 @@ int main(int argc, char** argv) {
   for (const std::string& warning : read.warnings) {
     std::fprintf(stderr, "warning: skipped malformed row: %s\n",
                  warning.c_str());
+  }
+  if (flags.Has("flash-crowds")) {
+    FlashCrowdSpec spec;
+    spec.count = static_cast<int>(flags.GetInt("flash-crowds", 0));
+    if (spec.count <= 0) {
+      std::fprintf(stderr, "--flash-crowds must be positive\n");
+      return 2;
+    }
+    spec.duration =
+        Duration::Minutes(flags.GetInt("flash-minutes", 10));
+    spec.fraction = flags.GetDouble("flash-fraction", 0.3);
+    spec.events_per_function = flags.GetDouble("flash-events", 80.0);
+    const int64_t before = read.value.TotalInvocations();
+    Rng crowd_rng(static_cast<uint64_t>(flags.GetInt("flash-seed", 1234)));
+    // Adding invocation instants leaves the name-keyed entity index valid.
+    ApplyFlashCrowd(read.value, spec, crowd_rng);
+    std::printf("flash crowds: %d bursts, +%lld invocations\n", spec.count,
+                static_cast<long long>(read.value.TotalInvocations() -
+                                       before));
   }
   const Trace& trace = read.value;
   std::printf("trace: %zu apps, %lld functions, %lld invocations, %d days\n",
@@ -456,7 +645,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (flags.Has("faults") || flags.Has("mtbf")) {
+  if (flags.Has("faults") || flags.Has("mtbf") || HasOverloadFlags(flags)) {
     const int status = RunChaosEvaluation(flags, trace, factories,
                                           telemetry.get(), metrics_interval);
     if (status != 0) {
