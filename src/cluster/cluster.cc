@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "src/cluster/controller.h"
 #include "src/cluster/event_queue.h"
@@ -33,6 +35,11 @@ struct ReplayEvent {
 ClusterResult ClusterSimulator::Replay(const Trace& trace,
                                        const PolicyFactory& factory) const {
   EventQueue queue;
+  // Self-rescheduling events (checkpoint tick, telemetry sampler) need a
+  // stable callable that queued copies can re-schedule.  Owning it here —
+  // rather than having the lambda capture a shared_ptr to itself, which
+  // forms an unreclaimable cycle — keeps the replay leak-free.
+  std::vector<std::unique_ptr<std::function<void()>>> repeating_events;
   Rng rng(config_.seed);
 
   const std::string fault_error =
@@ -195,7 +202,8 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
   }
   if (config_.policy_checkpoint_interval > Duration::Zero()) {
     const Duration interval = config_.policy_checkpoint_interval;
-    auto tick = std::make_shared<std::function<void()>>();
+    repeating_events.push_back(std::make_unique<std::function<void()>>());
+    std::function<void()>* tick = repeating_events.back().get();
     *tick = [&controller, &queue, tick, interval, end]() {
       controller.CheckpointPolicies();
       if (queue.now() + interval <= end) {
@@ -221,7 +229,8 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
       int64_t shed = 0;
     };
     auto last = std::make_shared<SampleState>();
-    auto sample = std::make_shared<std::function<void()>>();
+    repeating_events.push_back(std::make_unique<std::function<void()>>());
+    std::function<void()>* sample = repeating_events.back().get();
     *sample = [&queue, &controller, &invoker_ptrs, sample, last, registry,
                instruments, interval, end, overload_on]() {
       const TimePoint now = queue.now();

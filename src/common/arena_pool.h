@@ -1,0 +1,112 @@
+// Node-local arena recycler for the streaming shard pipeline.
+//
+// A streamed sweep rotates through thousands of shard arenas but only ever
+// holds a bounded handful resident; allocating and freeing multi-megabyte
+// vectors once per shard would put the allocator (and, under NUMA, the page
+// allocator of whichever node happened to free last) on the hot path.  The
+// pool keeps released arenas on per-NUMA-node freelists: a worker acquires
+// from its own node's shelf (falling back to other shelves, then to a fresh
+// arena), so a recycled buffer's pages stay on the memory controller that
+// first touched them.  With one node this degrades to a plain freelist.
+//
+// T must be default-constructible.  The pool never shrinks on its own;
+// bounded residency is the caller's job (the sweep pipeline releases each
+// shard before requesting more than `max_resident_shards` ahead).
+
+#ifndef SRC_COMMON_ARENA_POOL_H_
+#define SRC_COMMON_ARENA_POOL_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/common/cpu_topology.h"
+#include "src/common/thread_pool.h"
+
+namespace faas {
+
+template <typename T>
+class ArenaPool {
+ public:
+  // num_nodes == 0 sizes the pool to the detected topology.
+  explicit ArenaPool(int num_nodes = 0) {
+    if (num_nodes <= 0) {
+      num_nodes = CpuTopology::Detect().num_nodes();
+    }
+    shelves_ = std::vector<Shelf>(static_cast<size_t>(num_nodes));
+  }
+
+  // Pops a recycled arena, preferring the calling thread's node shelf, then
+  // stealing from the fullest other shelf; constructs a fresh T when every
+  // shelf is empty.
+  std::unique_ptr<T> Acquire() {
+    const size_t home = HomeShelf();
+    if (auto arena = PopFrom(home)) {
+      return arena;
+    }
+    for (size_t s = 0; s < shelves_.size(); ++s) {
+      if (s == home) {
+        continue;
+      }
+      if (auto arena = PopFrom(s)) {
+        return arena;
+      }
+    }
+    return std::make_unique<T>();
+  }
+
+  // Returns an arena to the calling thread's node shelf.  The arena keeps
+  // its capacity; the next Acquire on this node reuses it.
+  void Release(std::unique_ptr<T> arena) {
+    if (arena == nullptr) {
+      return;
+    }
+    Shelf& shelf = shelves_[HomeShelf()];
+    std::lock_guard<std::mutex> lock(shelf.mu);
+    shelf.items.push_back(std::move(arena));
+  }
+
+  // Total arenas currently parked across all shelves (diagnostics/tests).
+  size_t idle_count() const {
+    size_t total = 0;
+    for (const Shelf& shelf : shelves_) {
+      std::lock_guard<std::mutex> lock(shelf.mu);
+      total += shelf.items.size();
+    }
+    return total;
+  }
+
+  int num_shelves() const { return static_cast<int>(shelves_.size()); }
+
+ private:
+  struct Shelf {
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<T>> items;
+  };
+
+  size_t HomeShelf() const {
+    const int node = ThreadPool::CurrentNodeId();
+    return static_cast<size_t>(node) < shelves_.size()
+               ? static_cast<size_t>(node)
+               : 0;
+  }
+
+  std::unique_ptr<T> PopFrom(size_t s) {
+    Shelf& shelf = shelves_[s];
+    std::lock_guard<std::mutex> lock(shelf.mu);
+    if (shelf.items.empty()) {
+      return nullptr;
+    }
+    std::unique_ptr<T> arena = std::move(shelf.items.back());
+    shelf.items.pop_back();
+    return arena;
+  }
+
+  std::vector<Shelf> shelves_;
+};
+
+}  // namespace faas
+
+#endif  // SRC_COMMON_ARENA_POOL_H_

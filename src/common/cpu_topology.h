@@ -1,0 +1,56 @@
+// CPU / NUMA topology detection for worker pinning.
+//
+// The sweep engine's multi-thread scaling stalls when workers migrate
+// between sockets mid-sweep: a shard arena is first-touched (and therefore
+// page-allocated) on the node that generated it, and a worker that simulates
+// it from the other socket pays cross-socket latency on every invocation
+// load.  Pinning workers to CPUs — interleaved across NUMA nodes so a pool
+// smaller than the machine still spans every memory controller — keeps the
+// generate-on-node / simulate-on-node pairing stable.
+//
+// Detection reads /sys/devices/system/node/node*/cpulist on Linux and falls
+// back to a single node holding every hardware thread elsewhere (or when
+// sysfs is unreadable, e.g. in containers that mask it).  Detection never
+// fails: the fallback is always a valid topology.
+
+#ifndef SRC_COMMON_CPU_TOPOLOGY_H_
+#define SRC_COMMON_CPU_TOPOLOGY_H_
+
+#include <string_view>
+#include <vector>
+
+namespace faas {
+
+struct CpuTopology {
+  struct Node {
+    int id = 0;
+    std::vector<int> cpus;  // Online CPU ids on this node, ascending.
+  };
+  std::vector<Node> nodes;  // Ascending node id; never empty after Detect().
+
+  int num_nodes() const { return static_cast<int>(nodes.size()); }
+  int num_cpus() const;
+
+  // CPUs ordered round-robin across nodes (node0-cpu0, node1-cpu0, ...,
+  // node0-cpu1, ...), so pinning the first K workers to the first K entries
+  // spreads any pool size evenly over the memory controllers.
+  std::vector<int> InterleavedCpus() const;
+
+  // Dense position (in `nodes`) of the node owning `cpu`, or 0 when the CPU
+  // is not in the map — the safe default: callers use the value to pick an
+  // arena shelf, and shelf 0 always exists.  Positions, not Node::id, so the
+  // result indexes [0, num_nodes()) even with sparse node ids.
+  int NodeOfCpu(int cpu) const;
+
+  // Reads the machine topology (see header comment).  Cached per process;
+  // the first call pays the sysfs walk.
+  static const CpuTopology& Detect();
+
+  // Parses a sysfs cpulist string ("0-3,8,10-11") into CPU ids.  Exposed for
+  // tests; malformed chunks are skipped.
+  static std::vector<int> ParseCpuList(std::string_view list);
+};
+
+}  // namespace faas
+
+#endif  // SRC_COMMON_CPU_TOPOLOGY_H_

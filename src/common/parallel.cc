@@ -12,7 +12,7 @@ int HardwareThreads() {
 }
 
 void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
-                 int num_threads) {
+                 int num_threads, size_t chunk) {
   if (num_threads == 0) {
     num_threads = HardwareThreads();
   }
@@ -22,7 +22,7 @@ void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
     }
     return;
   }
-  ThreadPool::Shared().For(count, fn, num_threads);
+  ThreadPool::Shared().For(count, fn, num_threads, chunk);
 }
 
 }  // namespace faas

@@ -20,8 +20,11 @@ namespace faas {
 // hardware concurrency".  fn must be safe to call concurrently for distinct
 // indices.  The first exception thrown by any participant is rethrown on
 // the calling thread after the range drains; remaining chunks are skipped.
+// chunk == 0 picks a size yielding ~8 chunks per participant; callers that
+// permute the index range for priority scheduling (e.g. largest-shard-first
+// in the sweep engine) pass 1 so claims follow the permuted order exactly.
 void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
-                 int num_threads);
+                 int num_threads, size_t chunk = 0);
 
 // Hardware concurrency with a sane floor of 1.
 int HardwareThreads();

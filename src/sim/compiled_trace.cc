@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/logging.h"
 #include "src/common/parallel.h"
 #include "src/trace/entity_index.h"
 #include "src/trace/types.h"
@@ -64,6 +65,59 @@ CompiledTrace CompiledTrace::Compile(const Trace& trace, int num_threads) {
       },
       num_threads);
   return compiled;
+}
+
+void CompiledTrace::CompileRangeInto(const Trace& trace, size_t begin_app,
+                                     size_t end_app, CompiledTrace* out) {
+  FAAS_CHECK(begin_app <= end_app && end_app <= trace.apps.size())
+      << "app range [" << begin_app << ", " << end_app << ") out of [0, "
+      << trace.apps.size() << ")";
+  out->horizon = trace.horizon;
+
+  auto entities = std::make_shared<EntityIndex>();
+  const size_t num_apps = end_app - begin_app;
+  out->spans.resize(num_apps);
+  out->memory_mb.resize(num_apps);
+
+  size_t total = 0;
+  for (size_t a = 0; a < num_apps; ++a) {
+    const AppTrace& app = trace.apps[begin_app + a];
+    entities->AddApp(app.owner_id, app.app_id);
+    out->spans[a].begin = total;
+    for (const auto& function : app.functions) {
+      total += function.invocations.size();
+    }
+    out->spans[a].end = total;
+    out->memory_mb[a] = app.memory.average_mb;
+  }
+  out->entities = std::move(entities);
+  out->times_ms.resize(total);
+  out->exec_ms.resize(total);
+
+  // One reusable merge buffer for the whole shard: per-app scratch
+  // allocation would defeat the arena recycling this path exists for.
+  std::vector<std::pair<int64_t, int64_t>> merged;
+  for (size_t a = 0; a < num_apps; ++a) {
+    const AppTrace& app = trace.apps[begin_app + a];
+    const AppSpan span = out->spans[a];
+    merged.clear();
+    merged.reserve(span.size());
+    for (const auto& function : app.functions) {
+      const int64_t exec = static_cast<int64_t>(function.execution.average_ms);
+      for (TimePoint t : function.invocations) {
+        merged.emplace_back(t.millis_since_origin(), exec);
+      }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const std::pair<int64_t, int64_t>& lhs,
+                 const std::pair<int64_t, int64_t>& rhs) {
+                return lhs.first < rhs.first;
+              });
+    for (size_t i = 0; i < merged.size(); ++i) {
+      out->times_ms[span.begin + i] = merged[i].first;
+      out->exec_ms[span.begin + i] = merged[i].second;
+    }
+  }
 }
 
 }  // namespace faas

@@ -3,11 +3,21 @@
 // (cold-start %, normalized waste %) points that Figures 15-18 plot.
 //
 // The sweep engine compiles the trace once (CompiledTrace) and schedules
-// (policy x app-shard) tasks on the shared thread pool, so the merge/sort
+// (policy x app-shard) tasks on the shared thread pool — largest shard
+// first, so a handful of invocation-heavy shards (the rate distribution is
+// heavy-tailed) cannot serialise the tail of the region.  The merge/sort
 // cost is paid once per sweep instead of once per policy point, and all
 // policy points progress concurrently.  Each app still gets a fresh policy
 // instance and writes its own result slot, so the output is bit-identical
 // to evaluating the policies one after another on a single thread.
+//
+// EvaluatePoliciesStreamed replays the same sweep without ever holding the
+// full trace: a ShardSource materializes compiled per-app-shard arenas on
+// demand, a bounded-depth pipeline generates shard k+1 on pool workers
+// while shard k simulates, and per-app results fold into the output in
+// shard order.  Peak memory is O(max_resident_shards * shard size +
+// results) instead of O(trace).  Output is bit-identical to the
+// materialized path — see DESIGN.md for the determinism argument.
 
 #ifndef SRC_SIM_SWEEP_H_
 #define SRC_SIM_SWEEP_H_
@@ -17,6 +27,7 @@
 #include <vector>
 
 #include "src/sim/compiled_trace.h"
+#include "src/sim/shard_source.h"
 #include "src/sim/simulator.h"
 
 namespace faas {
@@ -48,6 +59,27 @@ std::vector<PolicyPoint> EvaluatePolicies(
     const CompiledTrace& compiled,
     const std::vector<const PolicyFactory*>& factories,
     size_t baseline_index = 0, const SimulatorOptions& options = {});
+
+struct StreamingSweepOptions {
+  // Upper bound on shard arenas alive at once: the consumer simulates shard
+  // k while pool workers pre-generate up to (max_resident_shards - 1)
+  // shards ahead.  1 disables prefetch (strictly alternate generate /
+  // simulate); 0 is clamped to 1.
+  int max_resident_shards = 2;
+};
+
+// Streaming counterpart of EvaluatePolicies: pulls shards from `source`
+// through a bounded pipeline, simulates every (policy, app) cell, and folds
+// per-app results in shard order, re-stamping shard-local app ids onto the
+// global dense range.  Bit-identical to EvaluatePolicies on the equivalent
+// materialized trace, for any max_resident_shards and any --threads.
+// Telemetry is not supported in streamed mode (instrument registration
+// needs the app population up front); options.telemetry must be null.
+std::vector<PolicyPoint> EvaluatePoliciesStreamed(
+    const ShardSource& source,
+    const std::vector<const PolicyFactory*>& factories,
+    size_t baseline_index = 0, const SimulatorOptions& options = {},
+    const StreamingSweepOptions& stream = {});
 
 }  // namespace faas
 

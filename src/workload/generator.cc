@@ -103,7 +103,7 @@ std::vector<double> WorkloadGenerator::SampleDailyRates(int n) {
   return rates;
 }
 
-int WorkloadGenerator::SampleFunctionsPerApp(Rng& rng) {
+int WorkloadGenerator::SampleFunctionsPerApp(Rng& rng) const {
   const double u = rng.NextDouble();
   if (u < config_.frac_single_function) {
     return 1;
@@ -147,7 +147,7 @@ int WorkloadGenerator::SampleFunctionsPerApp(Rng& rng) {
 }
 
 std::vector<TriggerType> WorkloadGenerator::SampleTriggerCombo(
-    int num_functions, Rng& rng) {
+    int num_functions, Rng& rng) const {
   if (num_functions <= 1) {
     std::vector<double> weights;
     weights.reserve(single_function_combos_.size());
@@ -192,7 +192,7 @@ std::vector<TriggerType> WorkloadGenerator::SampleTriggerCombo(
 }
 
 std::vector<TriggerType> WorkloadGenerator::AssignFunctionTriggers(
-    const std::vector<TriggerType>& combo, int count, Rng& rng) {
+    const std::vector<TriggerType>& combo, int count, Rng& rng) const {
   std::vector<TriggerType> assignment;
   assignment.reserve(static_cast<size_t>(count));
   // Every trigger in the combo appears at least once (apps in Figure 3b are
@@ -220,7 +220,7 @@ std::vector<TriggerType> WorkloadGenerator::AssignFunctionTriggers(
 }
 
 std::vector<TimePoint> WorkloadGenerator::GenerateInvocationsWithPatternChange(
-    TriggerType trigger, double rate_per_day, Rng& rng) {
+    TriggerType trigger, double rate_per_day, Rng& rng) const {
   // Split the horizon at a random point in the middle half; the pattern
   // after the switch has a rescaled rate and an independently sampled
   // arrival process.
@@ -242,7 +242,8 @@ std::vector<TimePoint> WorkloadGenerator::GenerateInvocationsWithPatternChange(
 }
 
 std::vector<TimePoint> WorkloadGenerator::GenerateInvocations(
-    TriggerType trigger, double rate_per_day, Duration horizon, Rng& rng) {
+    TriggerType trigger, double rate_per_day, Duration horizon,
+    Rng& rng) const {
   const DiurnalProfile profile(config_);
   GeneratorConfig::BehaviorMix mix =
       config_.behavior_by_trigger[static_cast<size_t>(trigger)];
@@ -306,7 +307,7 @@ std::vector<TimePoint> WorkloadGenerator::GenerateInvocations(
 
 ExecutionStats WorkloadGenerator::SampleExecutionStats(TriggerType trigger,
                                                        int64_t invocations,
-                                                       Rng& rng) {
+                                                       Rng& rng) const {
   // Average execution time: log-normal in seconds, scaled per trigger.
   const double multiplier =
       config_.exec_median_multiplier[static_cast<size_t>(trigger)];
@@ -330,7 +331,7 @@ ExecutionStats WorkloadGenerator::SampleExecutionStats(TriggerType trigger,
   return stats;
 }
 
-MemoryStats WorkloadGenerator::SampleMemoryStats(Rng& rng) {
+MemoryStats WorkloadGenerator::SampleMemoryStats(Rng& rng) const {
   const BurrXiiDistribution burr(config_.memory_burr_c, config_.memory_burr_k,
                                  config_.memory_burr_lambda);
   const double average = std::clamp(burr.Sample(rng), config_.memory_min_mb,
@@ -344,167 +345,196 @@ MemoryStats WorkloadGenerator::SampleMemoryStats(Rng& rng) {
   return stats;
 }
 
+void WorkloadGenerator::PreparePlans() {
+  std::call_once(plans_once_, [this] {
+    // Pass 1: sample each app's structure, then assign the sampled rates so
+    // that apps whose trigger combos have high invocation intensity (Event,
+    // Queue) preferentially receive the high rates.  The weighted-ranking-key
+    // trick (rank by u^(1/w)) preserves the marginal rate distribution
+    // exactly while inducing the correlation Figure 2 requires: 2.2% of
+    // functions (Event) carry 24.7% of invocations only if Event apps sit in
+    // the popularity tail.  Rates are sorted *globally*, which is why pass 1
+    // always covers the whole population even when only one shard will be
+    // materialised.
+    plans_.reserve(static_cast<size_t>(config_.num_apps));
+    std::vector<double> ranking_keys(static_cast<size_t>(config_.num_apps));
+    std::vector<double> rates(static_cast<size_t>(config_.num_apps));
+    for (int app_index = 0; app_index < config_.num_apps; ++app_index) {
+      AppPlan plan{root_rng_.Fork(), {}, 0.0, false};
+      plan.one_shot = plan.rng.Bernoulli(config_.frac_one_shot_apps);
+      const int num_functions = SampleFunctionsPerApp(plan.rng);
+      const std::vector<TriggerType> combo =
+          SampleTriggerCombo(num_functions, plan.rng);
+      plan.triggers = AssignFunctionTriggers(combo, num_functions, plan.rng);
+
+      double intensity = 0.0;
+      for (TriggerType trigger : combo) {
+        intensity = std::max(
+            intensity,
+            config_.invocation_intensity_by_trigger[static_cast<size_t>(
+                trigger)]);
+      }
+      // Clamp from below at neutral: the correlation only PULLS Event/Queue
+      // apps into the popularity tail; it must not shove timer-/HTTP-only
+      // apps to the rate floor.  Timer apps get a mild boost of their own —
+      // real cron schedules cluster in the 1-60 minute band (95% of timer
+      // functions fire at most once per minute, Section 3.2, i.e. the mode
+      // sits just below that bound), so timer apps should concentrate
+      // mid-range rather than follow the extreme low tail.
+      intensity = std::max(intensity, 1.0);
+      for (TriggerType trigger : combo) {
+        if (trigger == TriggerType::kTimer) {
+          intensity = std::max(intensity, 1.3);
+          break;
+        }
+      }
+      // Blend toward weight 1 (no correlation) per the config knob.
+      const double weight =
+          1.0 + config_.rate_intensity_correlation * (intensity - 1.0);
+      const double u = plan.rng.NextDouble();
+      ranking_keys[static_cast<size_t>(app_index)] =
+          std::pow(std::max(u, 1e-300), 1.0 / std::max(weight, 1e-3));
+      rates[static_cast<size_t>(app_index)] =
+          rate_model_.SampleCappedDailyRate(plan.rng);
+      plans_.push_back(std::move(plan));
+    }
+    // Highest keys get the highest rates.
+    std::vector<size_t> order(plans_.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    std::sort(order.begin(), order.end(),
+              [&ranking_keys](size_t a, size_t b) {
+                return ranking_keys[a] > ranking_keys[b];
+              });
+    std::sort(rates.begin(), rates.end(), std::greater<>());
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      plans_[order[rank]].rate = rates[rank];
+    }
+  });
+}
+
+std::optional<AppTrace> WorkloadGenerator::MaterializeApp(
+    int app_index) const {
+  const AppPlan& plan = plans_[static_cast<size_t>(app_index)];
+  // Pass 2 continues the app's pass-1 RNG stream from a *copy*, so the same
+  // app materialises identically no matter how many times, in what order, or
+  // on which thread shards are generated.
+  Rng app_rng = plan.rng;
+  AppTrace app;
+  app.owner_id = MakeId("owner", app_index / 4);  // ~4 apps per owner.
+  app.app_id = MakeId("app", app_index);
+
+  if (plan.one_shot) {
+    // A single invocation at a uniformly random instant.
+    FunctionTrace function;
+    function.function_id = MakeId("fn", 0);
+    function.trigger = plan.triggers[0];
+    function.invocations.emplace_back(static_cast<int64_t>(
+        app_rng.NextDouble() *
+        static_cast<double>(config_.Horizon().millis())));
+    function.execution = SampleExecutionStats(function.trigger, 1, app_rng);
+    app.functions.push_back(std::move(function));
+    app.memory = SampleMemoryStats(app_rng);
+    app.memory.sample_count = 1;
+    return app;
+  }
+
+  const int num_functions = static_cast<int>(plan.triggers.size());
+  const std::vector<TriggerType>& triggers = plan.triggers;
+  const double app_rate = plan.rate;
+
+  // Split the app's rate across functions: Zipf-ish rank weight times the
+  // trigger intensity factor (Event/Queue functions carry more traffic).
+  std::vector<double> weights(static_cast<size_t>(num_functions));
+  for (int f = 0; f < num_functions; ++f) {
+    const double rank_weight = 1.0 / static_cast<double>(f + 1);
+    const double intensity =
+        config_.invocation_intensity_by_trigger[static_cast<size_t>(
+            triggers[static_cast<size_t>(f)])];
+    weights[static_cast<size_t>(f)] = rank_weight * intensity;
+  }
+  double weight_total = 0.0;
+  for (double w : weights) {
+    weight_total += w;
+  }
+
+  const bool pattern_change =
+      app_rng.Bernoulli(config_.pattern_change_fraction);
+  for (int f = 0; f < num_functions; ++f) {
+    FunctionTrace function;
+    function.function_id = MakeId("fn", f);
+    function.trigger = triggers[static_cast<size_t>(f)];
+    const double function_rate =
+        app_rate * weights[static_cast<size_t>(f)] / weight_total;
+    function.invocations =
+        pattern_change
+            ? GenerateInvocationsWithPatternChange(function.trigger,
+                                                   function_rate, app_rng)
+            : GenerateInvocations(function.trigger, function_rate,
+                                  config_.Horizon(), app_rng);
+    if (function.invocations.empty()) {
+      continue;  // Functions that never fired are absent from the dataset.
+    }
+    function.execution = SampleExecutionStats(
+        function.trigger, function.InvocationCount(), app_rng);
+    app.functions.push_back(std::move(function));
+  }
+  if (app.functions.empty()) {
+    return std::nullopt;  // App never invoked during the horizon.
+  }
+  app.memory = SampleMemoryStats(app_rng);
+  // Memory is sampled every 5 seconds while the app is resident; use the
+  // invocation count as a cheap proxy for the sample volume.
+  app.memory.sample_count = std::max<int64_t>(app.TotalInvocations(), 1);
+  return app;
+}
+
 Trace WorkloadGenerator::Generate() {
+  PreparePlans();
   Trace trace;
   trace.horizon = config_.Horizon();
   trace.apps.reserve(static_cast<size_t>(config_.num_apps));
-
-  // Pass 1: sample each app's structure, then assign the sampled rates so
-  // that apps whose trigger combos have high invocation intensity (Event,
-  // Queue) preferentially receive the high rates.  The weighted-ranking-key
-  // trick (rank by u^(1/w)) preserves the marginal rate distribution exactly
-  // while inducing the correlation Figure 2 requires: 2.2% of functions
-  // (Event) carry 24.7% of invocations only if Event apps sit in the
-  // popularity tail.
-  struct AppPlan {
-    Rng rng;
-    std::vector<TriggerType> triggers;
-    double rate = 0.0;
-    double ranking_key = 0.0;
-    bool one_shot = false;
-  };
-  std::vector<AppPlan> plans;
-  plans.reserve(static_cast<size_t>(config_.num_apps));
-  std::vector<double> rates(static_cast<size_t>(config_.num_apps));
   for (int app_index = 0; app_index < config_.num_apps; ++app_index) {
-    AppPlan plan{root_rng_.Fork(), {}, 0.0, 0.0, false};
-    plan.one_shot = plan.rng.Bernoulli(config_.frac_one_shot_apps);
-    const int num_functions = SampleFunctionsPerApp(plan.rng);
-    const std::vector<TriggerType> combo =
-        SampleTriggerCombo(num_functions, plan.rng);
-    plan.triggers = AssignFunctionTriggers(combo, num_functions, plan.rng);
-
-    double intensity = 0.0;
-    for (TriggerType trigger : combo) {
-      intensity = std::max(
-          intensity,
-          config_.invocation_intensity_by_trigger[static_cast<size_t>(
-              trigger)]);
+    if (std::optional<AppTrace> app = MaterializeApp(app_index)) {
+      trace.apps.push_back(std::move(*app));
     }
-    // Clamp from below at neutral: the correlation only PULLS Event/Queue
-    // apps into the popularity tail; it must not shove timer-/HTTP-only apps
-    // to the rate floor.  Timer apps get a mild boost of their own — real
-    // cron schedules cluster in the 1-60 minute band (95% of timer functions
-    // fire at most once per minute, Section 3.2, i.e. the mode sits just
-    // below that bound), so timer apps should concentrate mid-range rather
-    // than follow the extreme low tail.
-    intensity = std::max(intensity, 1.0);
-    for (TriggerType trigger : combo) {
-      if (trigger == TriggerType::kTimer) {
-        intensity = std::max(intensity, 1.3);
-        break;
-      }
-    }
-    // Blend toward weight 1 (no correlation) per the config knob.
-    const double weight =
-        1.0 + config_.rate_intensity_correlation * (intensity - 1.0);
-    const double u = plan.rng.NextDouble();
-    plan.ranking_key =
-        std::pow(std::max(u, 1e-300), 1.0 / std::max(weight, 1e-3));
-    rates[static_cast<size_t>(app_index)] =
-        rate_model_.SampleCappedDailyRate(plan.rng);
-    plans.push_back(std::move(plan));
-  }
-  // Highest keys get the highest rates.
-  std::vector<size_t> order(plans.size());
-  for (size_t i = 0; i < order.size(); ++i) {
-    order[i] = i;
-  }
-  std::sort(order.begin(), order.end(), [&plans](size_t a, size_t b) {
-    return plans[a].ranking_key > plans[b].ranking_key;
-  });
-  std::sort(rates.begin(), rates.end(), std::greater<>());
-  for (size_t rank = 0; rank < order.size(); ++rank) {
-    plans[order[rank]].rate = rates[rank];
-  }
-
-  // Pass 2: materialise each app.
-  for (int app_index = 0; app_index < config_.num_apps; ++app_index) {
-    AppPlan& plan = plans[static_cast<size_t>(app_index)];
-    Rng& app_rng = plan.rng;
-    AppTrace app;
-    app.owner_id = MakeId("owner", app_index / 4);  // ~4 apps per owner.
-    app.app_id = MakeId("app", app_index);
-
-    if (plan.one_shot) {
-      // A single invocation at a uniformly random instant.
-      FunctionTrace function;
-      function.function_id = MakeId("fn", 0);
-      function.trigger = plan.triggers[0];
-      function.invocations.emplace_back(static_cast<int64_t>(
-          app_rng.NextDouble() *
-          static_cast<double>(config_.Horizon().millis())));
-      function.execution =
-          SampleExecutionStats(function.trigger, 1, app_rng);
-      app.functions.push_back(std::move(function));
-      app.memory = SampleMemoryStats(app_rng);
-      app.memory.sample_count = 1;
-      trace.apps.push_back(std::move(app));
-      continue;
-    }
-
-    const int num_functions = static_cast<int>(plan.triggers.size());
-    const std::vector<TriggerType>& triggers = plan.triggers;
-    const double app_rate = plan.rate;
-
-    // Split the app's rate across functions: Zipf-ish rank weight times the
-    // trigger intensity factor (Event/Queue functions carry more traffic).
-    std::vector<double> weights(static_cast<size_t>(num_functions));
-    for (int f = 0; f < num_functions; ++f) {
-      const double rank_weight = 1.0 / static_cast<double>(f + 1);
-      const double intensity =
-          config_.invocation_intensity_by_trigger[static_cast<size_t>(
-              triggers[static_cast<size_t>(f)])];
-      weights[static_cast<size_t>(f)] = rank_weight * intensity;
-    }
-    double weight_total = 0.0;
-    for (double w : weights) {
-      weight_total += w;
-    }
-
-    const bool pattern_change =
-        app_rng.Bernoulli(config_.pattern_change_fraction);
-    for (int f = 0; f < num_functions; ++f) {
-      FunctionTrace function;
-      function.function_id = MakeId("fn", f);
-      function.trigger = triggers[static_cast<size_t>(f)];
-      const double function_rate =
-          app_rate * weights[static_cast<size_t>(f)] / weight_total;
-      function.invocations =
-          pattern_change
-              ? GenerateInvocationsWithPatternChange(function.trigger,
-                                                     function_rate, app_rng)
-              : GenerateInvocations(function.trigger, function_rate,
-                                    config_.Horizon(), app_rng);
-      if (function.invocations.empty()) {
-        continue;  // Functions that never fired are absent from the dataset.
-      }
-      function.execution = SampleExecutionStats(
-          function.trigger, function.InvocationCount(), app_rng);
-      app.functions.push_back(std::move(function));
-    }
-    if (app.functions.empty()) {
-      continue;  // App never invoked during the horizon.
-    }
-    app.memory = SampleMemoryStats(app_rng);
-    // Memory is sampled every 5 seconds while the app is resident; use the
-    // invocation count as a cheap proxy for the sample volume.
-    app.memory.sample_count = std::max<int64_t>(app.TotalInvocations(), 1);
-    trace.apps.push_back(std::move(app));
   }
   // Flash-crowd overlay, after every app's own stream is materialised so
   // the per-app forks above are untouched.  Gated on the knob: a zero count
-  // forks no RNG stream and leaves the trace bit-identical.
+  // forks no RNG stream and leaves the trace bit-identical.  The fork comes
+  // from a copy of the post-pass-1 root state so Generate() stays idempotent.
   if (config_.flash_crowd_count > 0) {
     FlashCrowdSpec spec;
     spec.count = config_.flash_crowd_count;
     spec.duration = config_.flash_crowd_duration;
     spec.fraction = config_.flash_crowd_fraction;
     spec.events_per_function = config_.flash_crowd_events_per_function;
-    Rng crowd_rng = root_rng_.Fork();
+    Rng root_copy = root_rng_;
+    Rng crowd_rng = root_copy.Fork();
     ApplyFlashCrowd(trace, spec, crowd_rng);
   }
 
+  trace.entities = EntityIndex::Build(trace);
+  return trace;
+}
+
+Trace WorkloadGenerator::GenerateShard(int begin, int end) {
+  FAAS_CHECK(begin >= 0 && begin <= end && end <= config_.num_apps)
+      << "shard range [" << begin << ", " << end << ") out of [0, "
+      << config_.num_apps << ")";
+  FAAS_CHECK(config_.flash_crowd_count == 0)
+      << "flash crowds are a global overlay; shard-addressable generation "
+         "requires flash_crowd_count == 0";
+  PreparePlans();
+  Trace trace;
+  trace.horizon = config_.Horizon();
+  trace.apps.reserve(static_cast<size_t>(end - begin));
+  for (int app_index = begin; app_index < end; ++app_index) {
+    if (std::optional<AppTrace> app = MaterializeApp(app_index)) {
+      trace.apps.push_back(std::move(*app));
+    }
+  }
   trace.entities = EntityIndex::Build(trace);
   return trace;
 }

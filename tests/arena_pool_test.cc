@@ -1,0 +1,97 @@
+#include "src/common/arena_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace faas {
+namespace {
+
+TEST(ArenaPoolTest, AcquireOnEmptyPoolConstructsFresh) {
+  ArenaPool<std::vector<int>> pool(1);
+  std::unique_ptr<std::vector<int>> arena = pool.Acquire();
+  ASSERT_NE(arena, nullptr);
+  EXPECT_TRUE(arena->empty());
+  EXPECT_EQ(pool.idle_count(), 0u);
+}
+
+TEST(ArenaPoolTest, ReleaseThenAcquireRecyclesSameArena) {
+  ArenaPool<std::vector<int>> pool(1);
+  std::unique_ptr<std::vector<int>> arena = pool.Acquire();
+  arena->reserve(4096);
+  std::vector<int>* raw = arena.get();
+  pool.Release(std::move(arena));
+  EXPECT_EQ(pool.idle_count(), 1u);
+
+  std::unique_ptr<std::vector<int>> again = pool.Acquire();
+  EXPECT_EQ(again.get(), raw);  // Capacity survives the round trip.
+  EXPECT_GE(again->capacity(), 4096u);
+  EXPECT_EQ(pool.idle_count(), 0u);
+}
+
+TEST(ArenaPoolTest, ReleasingNullIsANoOp) {
+  ArenaPool<int> pool(1);
+  pool.Release(nullptr);
+  EXPECT_EQ(pool.idle_count(), 0u);
+}
+
+TEST(ArenaPoolTest, SizedToTopologyByDefault) {
+  ArenaPool<int> pool;
+  EXPECT_GE(pool.num_shelves(), 1);
+  ArenaPool<int> two_shelves(2);
+  EXPECT_EQ(two_shelves.num_shelves(), 2);
+}
+
+TEST(ArenaPoolTest, AcquireStealsFromOtherShelvesBeforeAllocating) {
+  // All releases from this (unpinned) thread land on shelf 0; a two-shelf
+  // pool must still hand those arenas back rather than allocating.
+  ArenaPool<std::vector<int>> pool(2);
+  pool.Release(std::make_unique<std::vector<int>>(128));
+  pool.Release(std::make_unique<std::vector<int>>(128));
+  EXPECT_EQ(pool.idle_count(), 2u);
+  auto a = pool.Acquire();
+  auto b = pool.Acquire();
+  EXPECT_EQ(a->size(), 128u);
+  EXPECT_EQ(b->size(), 128u);
+  EXPECT_EQ(pool.idle_count(), 0u);
+}
+
+// Concurrent acquire/release hammer; run under TSan this checks the shelf
+// locking, and the count invariant checks nothing is lost or duplicated.
+TEST(ArenaPoolTest, ConcurrentAcquireReleaseKeepsArenasIntact) {
+  ArenaPool<std::vector<int>> pool(2);
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 500;
+  std::atomic<int> constructed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &constructed] {
+      for (int r = 0; r < kRounds; ++r) {
+        std::unique_ptr<std::vector<int>> arena = pool.Acquire();
+        if (arena->empty()) {
+          constructed.fetch_add(1, std::memory_order_relaxed);
+          arena->resize(16, 7);
+        }
+        ASSERT_EQ(arena->size(), 16u);
+        ASSERT_EQ((*arena)[0], 7);
+        pool.Release(std::move(arena));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  // Every arena ever constructed is parked again, and recycling kept the
+  // population far below one-arena-per-round (a racy miss can construct a
+  // few extras, never hundreds).
+  EXPECT_EQ(pool.idle_count(),
+            static_cast<size_t>(constructed.load()));
+  EXPECT_LE(constructed.load(), kThreads * 8);
+}
+
+}  // namespace
+}  // namespace faas

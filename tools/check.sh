@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + full test suite, then the concurrency
-# tests (thread pool, parallel-for, sweep engine, compiled trace) plus the
-# chaos-engine, overload-control, and telemetry tests rebuilt and re-run
-# under ThreadSanitizer, the chaos/overload/controller/telemetry tests once
-# more under UndefinedBehaviorSanitizer, and the interning/trace/cluster
-# tests under AddressSanitizer (the intern tables hand out string_views into
-# deque storage — ASan is the pass that would catch a dangling view).
+# tests (thread pool, parallel-for, sweep engine, streaming pipeline, shard
+# generation, arena pool, compiled trace) plus the chaos-engine,
+# overload-control, and telemetry tests rebuilt and re-run under
+# ThreadSanitizer, the chaos/overload/controller/telemetry/streaming tests
+# once more under UndefinedBehaviorSanitizer, and the interning/trace/
+# cluster/streaming tests under AddressSanitizer (the intern tables hand out
+# string_views into deque storage, and the streaming sweep recycles shard
+# arenas while a chaos replay runs concurrently — ASan is the pass that
+# would catch a dangling view or a freed arena; the
+# SweepStreamTest.StreamedSweepWithConcurrentChaosReplay smoke drives both
+# at once).
 #
-# Usage: tools/check.sh [--skip-tsan] [--skip-ubsan] [--skip-asan]
+# Usage: tools/check.sh [--quick] [--skip-tsan] [--skip-ubsan] [--skip-asan]
+#   --quick   tier-1 build + ctest only; skips every sanitizer rebuild
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +23,7 @@ SKIP_UBSAN=0
 SKIP_ASAN=0
 for arg in "$@"; do
   case "${arg}" in
+    --quick) SKIP_TSAN=1; SKIP_UBSAN=1; SKIP_ASAN=1 ;;
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-ubsan) SKIP_UBSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
@@ -32,42 +39,49 @@ cmake --build build -j "${JOBS}"
 if [[ "${SKIP_TSAN}" == "1" ]]; then
   echo "== skipping TSan pass =="
 else
-  echo "== TSan: concurrency + chaos + overload + telemetry tests =="
+  echo "== TSan: concurrency + streaming + chaos + overload + telemetry tests =="
   cmake -B build-tsan -S . -DFAAS_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "${JOBS}" --target \
-      thread_pool_test parallel_test sweep_test compiled_trace_test \
-      faults_test overload_test controller_test telemetry_metrics_test \
-      telemetry_tracer_test telemetry_export_test telemetry_integration_test
+      thread_pool_test parallel_test sweep_test sweep_stream_test \
+      generator_shard_test arena_pool_test cpu_topology_test \
+      compiled_trace_test faults_test overload_test controller_test \
+      telemetry_metrics_test telemetry_tracer_test telemetry_export_test \
+      telemetry_integration_test
   # gtest_discover_tests registers suite names (not target names), so match
   # the suites those binaries contain.
   (cd build-tsan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'ThreadPool|ParallelFor|ParallelSimulation|Sweep|CompiledTrace|CompiledReplay|FaultPlan|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration')
+      -R 'ThreadPool|ParallelFor|ParallelSimulation|Sweep|SweepStream|GeneratorShard|ArenaPool|CpuTopology|CompiledTrace|CompiledReplay|FaultPlan|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration')
 fi
 
 if [[ "${SKIP_UBSAN}" == "1" ]]; then
   echo "== skipping UBSan pass =="
 else
-  echo "== UBSan: chaos + overload + controller + telemetry tests =="
+  echo "== UBSan: chaos + overload + controller + telemetry + streaming tests =="
   cmake -B build-ubsan -S . -DFAAS_SANITIZE=undefined >/dev/null
   cmake --build build-ubsan -j "${JOBS}" --target \
       faults_test overload_test controller_test cluster_test \
+      sweep_stream_test generator_shard_test \
       telemetry_metrics_test telemetry_tracer_test telemetry_export_test \
       telemetry_integration_test
   (cd build-ubsan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'FaultPlan|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|Cluster|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration')
+      -R 'FaultPlan|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|Cluster|SweepStream|GeneratorShard|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration')
 fi
 
 if [[ "${SKIP_ASAN}" == "1" ]]; then
   echo "== skipping ASan pass =="
 else
-  echo "== ASan: interning + trace + cluster + overload tests =="
+  echo "== ASan: interning + trace + cluster + overload + streaming tests =="
   cmake -B build-asan -S . -DFAAS_SANITIZE=address >/dev/null
   cmake --build build-asan -j "${JOBS}" --target \
       intern_test trace_csv_test transform_test compiled_trace_test \
-      sweep_test controller_test cluster_test overload_test \
+      sweep_test sweep_stream_test generator_shard_test arena_pool_test \
+      faults_test controller_test cluster_test overload_test \
       telemetry_metrics_test telemetry_tracer_test
+  # SweepStream covers the faults + streaming smoke
+  # (StreamedSweepWithConcurrentChaosReplay): a chaos replay with an active
+  # fault plan runs while the streamed sweep rotates shard arenas.
   (cd build-asan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'Intern|EntityIndex|Csv|Transform|CompiledTrace|CompiledReplay|Sweep|Controller|Cluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|TelemetryMetrics|TelemetryTracer')
+      -R 'Intern|EntityIndex|Csv|Transform|CompiledTrace|CompiledReplay|Sweep|SweepStream|GeneratorShard|ArenaPool|FaultPlan|ChaosCluster|Controller|Cluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|TelemetryMetrics|TelemetryTracer')
 fi
 
 echo "== all checks passed =="

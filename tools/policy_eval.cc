@@ -13,6 +13,24 @@
 // --skip-malformed tolerates malformed CSV rows (each is skipped with a
 // warning) instead of failing the read on the first bad row.
 //
+// Synthetic input — instead of --trace, sample a workload in-process:
+//   policy_eval --gen-apps N [--gen-days D=14] [--gen-seed S=42]
+//               [--gen-rate-cap R=8000]
+//
+// Streaming mode (sweep only; Azure-scale traces with bounded memory):
+//   --stream                 pull the trace through the sharded streaming
+//                            sweep engine instead of materializing it; with
+//                            --gen-apps the full trace is never built at
+//                            all (shards come straight from the generator)
+//   --shard-apps N=1024      apps per shard
+//   --max-resident-shards    bound on shard arenas resident at once
+//         K=2                (generation of shard k+1 overlaps simulation
+//                            of shard k when K >= 2 and --threads > 1)
+// Streamed results are byte-identical to the materialized sweep at any
+// shard size, residency bound and thread count.  Streaming is incompatible
+// with chaos/overload mode, telemetry exports and --flash-crowds.
+// Every run ends with a "peak rss" line (getrusage high-water mark).
+//
 // Telemetry (works in both sweep and chaos mode; all optional):
 //   --trace-out=FILE        Chrome trace_event JSON of activation /
 //                           container spans (chrome://tracing, Perfetto).
@@ -72,21 +90,52 @@
 #include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "src/cluster/cluster.h"
 #include "src/faults/fault_plan.h"
 #include "src/policy/hybrid.h"
 #include "src/policy/policy.h"
 #include "src/policy/production_policy.h"
+#include "src/sim/shard_source.h"
 #include "src/sim/sweep.h"
 #include "src/telemetry/export.h"
 #include "src/telemetry/telemetry.h"
 #include "src/trace/csv.h"
 #include "src/workload/arrival.h"
+#include "src/workload/generator.h"
 #include "tools/flags.h"
 
 namespace {
 
 using namespace faas;
+
+// Process peak RSS in MB (ru_maxrss is KB on Linux, bytes on macOS), or a
+// negative value when the platform has no getrusage.
+double PeakRssMb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return -1.0;
+  }
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+#else
+  return -1.0;
+#endif
+}
+
+void PrintPeakRss() {
+  const double mb = PeakRssMb();
+  if (mb >= 0.0) {
+    std::printf("peak rss: %.1f MB\n", mb);
+  }
+}
 
 std::unique_ptr<PolicyFactory> MakeFactory(std::string_view name,
                                            const HybridPolicyConfig& hybrid) {
@@ -513,10 +562,16 @@ int RunChaosEvaluation(const FlagParser& flags, const Trace& trace,
 
 int main(int argc, char** argv) {
   FlagParser flags;
-  if (!flags.Parse(argc, argv) || !flags.Has("trace") || flags.Has("help")) {
+  if (!flags.Parse(argc, argv) ||
+      (!flags.Has("trace") && !flags.Has("gen-apps")) || flags.Has("help")) {
     std::fprintf(
         stderr,
-        "usage: policy_eval --trace DIR [--policies fixed-10,hybrid,...]\n"
+        "usage: policy_eval --trace DIR | --gen-apps N\n"
+        "                   [--gen-days D=14] [--gen-seed S=42]\n"
+        "                   [--gen-rate-cap R=8000]\n"
+        "                   [--stream] [--shard-apps N=1024]\n"
+        "                   [--max-resident-shards K=2]\n"
+        "                   [--policies fixed-10,hybrid,...]\n"
         "                   [--range-minutes N=240] [--cv T=2]\n"
         "                   [--head P=5] [--tail P=99]\n"
         "                   [--use-exec-times] [--weight-by-memory]\n"
@@ -547,42 +602,95 @@ int main(int argc, char** argv) {
     return flags.Has("help") ? 0 : 2;
   }
 
-  CsvReadOptions read_options;
-  read_options.skip_malformed = flags.GetBool("skip-malformed", false);
-  auto read = ReadTraceCsv(flags.GetString("trace", ""), read_options);
-  if (!read.ok) {
-    std::fprintf(stderr, "failed to read trace: %s\n", read.error.c_str());
-    return 1;
+  const bool stream = flags.GetBool("stream", false);
+  const bool gen_mode = flags.Has("gen-apps");
+  if (gen_mode && flags.Has("trace")) {
+    std::fprintf(stderr, "--trace and --gen-apps are mutually exclusive\n");
+    return 2;
   }
-  for (const std::string& warning : read.warnings) {
-    std::fprintf(stderr, "warning: skipped malformed row: %s\n",
-                 warning.c_str());
+  if (stream &&
+      (flags.Has("faults") || flags.Has("mtbf") || HasOverloadFlags(flags) ||
+       flags.Has("trace-out") || flags.Has("metrics-out") ||
+       flags.Has("series-out") || flags.GetBool("progress", false))) {
+    std::fprintf(stderr,
+                 "--stream supports only the plain policy sweep (no chaos/"
+                 "overload mode, telemetry exports or --flash-crowds)\n");
+    return 2;
   }
-  if (flags.Has("flash-crowds")) {
-    FlashCrowdSpec spec;
-    spec.count = static_cast<int>(flags.GetInt("flash-crowds", 0));
-    if (spec.count <= 0) {
-      std::fprintf(stderr, "--flash-crowds must be positive\n");
+
+  GeneratorConfig gen_config;
+  std::optional<WorkloadGenerator> generator;
+  Trace trace;
+  if (gen_mode) {
+    if (flags.Has("flash-crowds")) {
+      std::fprintf(stderr, "--flash-crowds requires --trace input\n");
       return 2;
     }
-    spec.duration =
-        Duration::Minutes(flags.GetInt("flash-minutes", 10));
-    spec.fraction = flags.GetDouble("flash-fraction", 0.3);
-    spec.events_per_function = flags.GetDouble("flash-events", 80.0);
-    const int64_t before = read.value.TotalInvocations();
-    Rng crowd_rng(static_cast<uint64_t>(flags.GetInt("flash-seed", 1234)));
-    // Adding invocation instants leaves the name-keyed entity index valid.
-    ApplyFlashCrowd(read.value, spec, crowd_rng);
-    std::printf("flash crowds: %d bursts, +%lld invocations\n", spec.count,
-                static_cast<long long>(read.value.TotalInvocations() -
-                                       before));
+    gen_config.num_apps = static_cast<int>(flags.GetInt("gen-apps", 0));
+    if (gen_config.num_apps <= 0) {
+      std::fprintf(stderr, "--gen-apps must be positive\n");
+      return 2;
+    }
+    gen_config.days = static_cast<int>(flags.GetInt("gen-days", 14));
+    gen_config.seed = static_cast<uint64_t>(flags.GetInt("gen-seed", 42));
+    gen_config.instants_rate_cap_per_day =
+        flags.GetDouble("gen-rate-cap", 8000.0);
+    gen_config.flash_crowd_count = 0;
+    generator.emplace(gen_config);
+    std::printf("generator: %d sampled apps, %d days, seed %llu, rate cap "
+                "%.0f/day%s\n",
+                gen_config.num_apps, gen_config.days,
+                static_cast<unsigned long long>(gen_config.seed),
+                gen_config.instants_rate_cap_per_day,
+                stream ? " (streamed; full trace never materialized)" : "");
+    if (!stream) {
+      trace = generator->Generate();
+    }
+  } else {
+    CsvReadOptions read_options;
+    read_options.skip_malformed = flags.GetBool("skip-malformed", false);
+    auto read = ReadTraceCsv(flags.GetString("trace", ""), read_options);
+    if (!read.ok) {
+      std::fprintf(stderr, "failed to read trace: %s\n", read.error.c_str());
+      return 1;
+    }
+    for (const std::string& warning : read.warnings) {
+      std::fprintf(stderr, "warning: skipped malformed row: %s\n",
+                   warning.c_str());
+    }
+    if (flags.Has("flash-crowds")) {
+      if (stream) {
+        std::fprintf(stderr,
+                     "--flash-crowds is incompatible with --stream\n");
+        return 2;
+      }
+      FlashCrowdSpec spec;
+      spec.count = static_cast<int>(flags.GetInt("flash-crowds", 0));
+      if (spec.count <= 0) {
+        std::fprintf(stderr, "--flash-crowds must be positive\n");
+        return 2;
+      }
+      spec.duration =
+          Duration::Minutes(flags.GetInt("flash-minutes", 10));
+      spec.fraction = flags.GetDouble("flash-fraction", 0.3);
+      spec.events_per_function = flags.GetDouble("flash-events", 80.0);
+      const int64_t before = read.value.TotalInvocations();
+      Rng crowd_rng(static_cast<uint64_t>(flags.GetInt("flash-seed", 1234)));
+      // Adding invocation instants leaves the name-keyed entity index valid.
+      ApplyFlashCrowd(read.value, spec, crowd_rng);
+      std::printf("flash crowds: %d bursts, +%lld invocations\n", spec.count,
+                  static_cast<long long>(read.value.TotalInvocations() -
+                                         before));
+    }
+    trace = std::move(read.value);
   }
-  const Trace& trace = read.value;
-  std::printf("trace: %zu apps, %lld functions, %lld invocations, %d days\n",
-              trace.apps.size(),
-              static_cast<long long>(trace.TotalFunctions()),
-              static_cast<long long>(trace.TotalInvocations()),
-              static_cast<int>(trace.horizon.days()));
+  if (!gen_mode || !stream) {
+    std::printf(
+        "trace: %zu apps, %lld functions, %lld invocations, %d days\n",
+        trace.apps.size(), static_cast<long long>(trace.TotalFunctions()),
+        static_cast<long long>(trace.TotalInvocations()),
+        static_cast<int>(trace.horizon.days()));
+  }
 
   HybridPolicyConfig hybrid;
   hybrid.num_bins = static_cast<int>(flags.GetInt("range-minutes", 240));
@@ -651,12 +759,41 @@ int main(int argc, char** argv) {
     if (status != 0) {
       return status;
     }
+    PrintPeakRss();
     return WriteTelemetryOutputs(flags, telemetry.get());
   }
 
-  options.telemetry = telemetry.get();
   std::vector<PolicyPoint> points;
-  {
+  if (stream) {
+    const int shard_apps = static_cast<int>(flags.GetInt("shard-apps", 1024));
+    const int max_resident =
+        static_cast<int>(flags.GetInt("max-resident-shards", 2));
+    if (shard_apps <= 0 || max_resident <= 0) {
+      std::fprintf(stderr,
+                   "--shard-apps and --max-resident-shards must be "
+                   "positive\n");
+      return 2;
+    }
+    std::unique_ptr<ShardSource> source;
+    if (gen_mode) {
+      source = std::make_unique<GeneratorShardSource>(*generator, shard_apps);
+    } else {
+      source = std::make_unique<TraceShardSource>(trace, shard_apps);
+    }
+    StreamingSweepOptions stream_options;
+    stream_options.max_resident_shards = max_resident;
+    std::printf("streaming sweep: %d shards of %d apps, <=%d resident\n",
+                source->num_shards(), shard_apps, max_resident);
+    points = EvaluatePoliciesStreamed(*source, factories,
+                                      /*baseline_index=*/0, options,
+                                      stream_options);
+    if (!points.empty()) {
+      std::printf("streamed: %zu surviving apps, %lld invocations\n",
+                  points[0].result.apps.size(),
+                  static_cast<long long>(points[0].result.TotalInvocations()));
+    }
+  } else {
+    options.telemetry = telemetry.get();
     const ProgressHeartbeat heartbeat(
         flags.GetBool("progress", false) && telemetry != nullptr &&
                 telemetry->metrics_enabled()
@@ -681,5 +818,6 @@ int main(int argc, char** argv) {
                 100.0 * point.result.FractionAppsAlwaysCold(false),
                 point.normalized_wasted_memory_pct);
   }
+  PrintPeakRss();
   return 0;
 }
