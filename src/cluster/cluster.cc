@@ -45,6 +45,8 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
   const std::string fault_error =
       config_.faults.Validate(config_.num_invokers);
   FAAS_CHECK(fault_error.empty()) << "invalid fault plan: " << fault_error;
+  FAAS_CHECK(!config_.faults.HasNetworkFaults() || config_.network.enabled)
+      << "fault plan has network faults but the network model is disabled";
 
   // Telemetry instruments for this replay (one bundle per policy label).
   ClusterInstruments instruments_storage;
@@ -53,7 +55,7 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
     instruments_storage = ClusterInstruments::Register(
         *config_.telemetry, factory.name(), config_.telemetry_pid,
         trace.horizon, config_.metrics_interval,
-        config_.overload.AnyEnabled());
+        config_.overload.AnyEnabled(), config_.network.enabled);
     instruments = &instruments_storage;
     if (instruments_storage.tracer != nullptr) {
       for (int i = 0; i < config_.num_invokers; ++i) {
@@ -72,11 +74,23 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
         &config_.faults, instruments));
     invoker_ptrs.push_back(invokers.back().get());
   }
+  // Network model + RPC plane, constructed only when enabled: the fork
+  // below happens after the invoker forks and before the controller's, and
+  // is skipped entirely when the network is off — so disabled replays
+  // consume an identical fork sequence (and stay byte-identical).
+  std::unique_ptr<NetworkModel> network;
+  std::unique_ptr<RpcPlane> rpc;
+  if (config_.network.enabled) {
+    network = std::make_unique<NetworkModel>(
+        &queue, config_.network, &config_.faults, config_.num_invokers,
+        rng.Fork(), instruments);
+    rpc = std::make_unique<RpcPlane>(network.get());
+  }
   const std::shared_ptr<const EntityIndex> entities = EntityIndexFor(trace);
   Controller controller(&queue, invoker_ptrs, entities.get(), factory,
                         config_.latency, rng.Fork(), config_.collect_latencies,
                         config_.load_balancing, config_.retry,
-                        config_.overload, instruments);
+                        config_.overload, instruments, rpc.get());
 
   // Overload control plane wiring.  Both hooks are registered only when the
   // corresponding feature is on, so a disabled control plane leaves the
@@ -165,6 +179,20 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
                  window.duration.millis(), 0,
                  static_cast<int64_t>(window.failure_probability * 1e6));
   }
+  for (const NetPartitionEvent& partition : config_.faults.partitions) {
+    record_event(SpanName::kNetPartition,
+                 partition.start.millis_since_origin(),
+                 partition.duration.millis(),
+                 partition.invoker >= 0 ? partition.invoker + 1 : 0,
+                 static_cast<int64_t>(partition.dir));
+  }
+  for (const NetLossWindow& window : config_.faults.loss_windows) {
+    record_event(SpanName::kNetLossWindow,
+                 window.start.millis_since_origin(),
+                 window.duration.millis(),
+                 window.invoker >= 0 ? window.invoker + 1 : 0,
+                 static_cast<int64_t>(window.probability * 1e6));
+  }
 
   const TimePoint end = TimePoint::Origin() + trace.horizon;
 
@@ -223,16 +251,19 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
     MetricsRegistry* registry = instruments->registry;
     const Duration interval = config_.metrics_interval;
     const bool overload_on = config_.overload.AnyEnabled();
+    NetworkModel* network_ptr = network.get();
     struct SampleState {
       int64_t invocations = 0;
       int64_t cold = 0;
       int64_t shed = 0;
+      int64_t net_drops = 0;
+      int64_t net_retransmits = 0;
     };
     auto last = std::make_shared<SampleState>();
     repeating_events.push_back(std::make_unique<std::function<void()>>());
     std::function<void()>* sample = repeating_events.back().get();
     *sample = [&queue, &controller, &invoker_ptrs, sample, last, registry,
-               instruments, interval, end, overload_on]() {
+               instruments, interval, end, overload_on, network_ptr]() {
       const TimePoint now = queue.now();
       const TimePoint window_start = now - interval;
       const int64_t invocations =
@@ -264,6 +295,18 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
         registry->SeriesAdd(
             instruments->minute_admission_queue, window_start,
             static_cast<int64_t>(controller.admission_queue_depth()));
+      }
+      if (network_ptr != nullptr) {
+        // Transport series slots exist only when the network registered.
+        const NetCounters& net = network_ptr->counters();
+        const int64_t drops =
+            net.lost_to_loss + net.lost_to_partition + net.lost_to_queue;
+        registry->SeriesAdd(instruments->minute_net_drops, window_start,
+                            drops - last->net_drops);
+        last->net_drops = drops;
+        registry->SeriesAdd(instruments->minute_net_retransmits, window_start,
+                            net.rpc_retransmits - last->net_retransmits);
+        last->net_retransmits = net.rpc_retransmits;
       }
       if (now + interval <= end) {
         queue.ScheduleAfter(interval, *sample);
@@ -334,6 +377,21 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
     result.total_lost += stats.lost;
   }
   result.faults = controller.ledger();
+  if (network != nullptr) {
+    // Fold the transport's counters into the replay's ledger so determinism
+    // tests (operator== over FaultLedger) cover every drop/retransmit.
+    const NetCounters& net = network->counters();
+    result.faults.net_messages_sent = net.messages_sent;
+    result.faults.net_delivered = net.delivered;
+    result.faults.net_lost_to_loss = net.lost_to_loss;
+    result.faults.net_lost_to_partition = net.lost_to_partition;
+    result.faults.net_lost_to_queue = net.lost_to_queue;
+    result.faults.net_duplicates_delivered = net.duplicates_delivered;
+    result.faults.net_reordered = net.reordered;
+    result.faults.rpc_retransmits = net.rpc_retransmits;
+    result.faults.rpc_duplicates_suppressed = net.rpc_duplicates_suppressed;
+    result.faults.rpc_give_ups = net.rpc_give_ups;
+  }
   result.overload = controller.overload_ledger();
   for (const auto& invoker : invokers) {
     result.overload.cap_rejections += invoker->cap_rejections();

@@ -17,6 +17,7 @@
 
 #include "src/cluster/controller.h"
 #include "src/cluster/latency_model.h"
+#include "src/cluster/network.h"
 #include "src/faults/fault_plan.h"
 #include "src/policy/policy.h"
 #include "src/stats/ecdf.h"
@@ -67,6 +68,15 @@ struct ClusterConfig {
   // nothing — no callbacks registered, no events scheduled, no RNG drawn —
   // so replays stay bit-identical to the pre-overload engine.
   OverloadControlConfig overload;
+
+  // Network model between controller and invokers: per-link latency
+  // distributions, bounded queues, rate limiting, and the idempotent RPC
+  // plane with retransmit budgets.  Disabled by default — no NetworkModel
+  // is constructed, no RNG forked, no events scheduled — so network-off
+  // replays stay bit-identical to the pre-network engine.  The fault plan's
+  // network classes (partitions, loss/duplicate/reorder windows) require
+  // `network.enabled`.
+  NetworkConfig network;
 
   // Telemetry sink (optional, non-owning; must outlive the replay).  When
   // set, the replay registers a per-policy instrument bundle, emits

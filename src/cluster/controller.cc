@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "src/cluster/network.h"
 #include "src/common/logging.h"
 #include "src/trace/entity_index.h"
 
@@ -31,7 +32,7 @@ Controller::Controller(EventQueue* queue, std::vector<Invoker*> invokers,
                        bool collect_latencies,
                        LoadBalancingPolicy load_balancing, RetryPolicy retry,
                        OverloadControlConfig overload,
-                       const ClusterInstruments* instruments)
+                       const ClusterInstruments* instruments, RpcPlane* rpc)
     : queue_(queue),
       invokers_(std::move(invokers)),
       entities_(entities),
@@ -43,6 +44,7 @@ Controller::Controller(EventQueue* queue, std::vector<Invoker*> invokers,
       retry_(retry),
       overload_(overload),
       instruments_(instruments),
+      rpc_(rpc),
       hedge_latency_(overload.hedge.latency_percentile > 0.0
                          ? overload.hedge.latency_percentile / 100.0
                          : 0.99) {
@@ -68,10 +70,25 @@ Controller::Controller(EventQueue* queue, std::vector<Invoker*> invokers,
     }
   }
   for (Invoker* invoker : invokers_) {
-    invoker->set_completion_callback(
-        [this](const CompletionMessage& message) { OnCompletion(message); });
-    invoker->set_failure_callback(
-        [this](const FailureMessage& message) { OnFailure(message); });
+    if (rpc_ != nullptr) {
+      // Network mode: completions and failures ride the invoker's downlink
+      // as reliable notifies — duplicated deliveries are suppressed by the
+      // plane's seen-window, so a completion can never double-count.
+      invoker->set_completion_callback(
+          [this](const CompletionMessage& message) {
+            rpc_->Notify(message.invoker_id,
+                         [this, message]() { OnCompletion(message); });
+          });
+      invoker->set_failure_callback([this](const FailureMessage& message) {
+        rpc_->Notify(message.invoker_id,
+                     [this, message]() { OnFailure(message); });
+      });
+    } else {
+      invoker->set_completion_callback(
+          [this](const CompletionMessage& message) { OnCompletion(message); });
+      invoker->set_failure_callback(
+          [this](const FailureMessage& message) { OnFailure(message); });
+    }
   }
 }
 
@@ -326,6 +343,14 @@ void Controller::SendAttempt(int64_t activation_id) {
         [this, activation_id]() { OnTimeout(activation_id); });
   }
 
+  if (rpc_ != nullptr) {
+    // Network mode: the request's uplink transit IS the dispatch hop, so
+    // the sampled hop below is skipped and placement becomes an async probe
+    // walk over the candidate invokers.
+    StartNetworkScan(activation_id, /*exclude_invoker=*/-1);
+    return;
+  }
+
   // Model the controller -> invoker messaging hop.
   const Duration dispatch_delay = latency_.SampleDispatch(rng_);
   queue_->ScheduleAfter(dispatch_delay, [this, activation_id, message]() {
@@ -349,22 +374,257 @@ void Controller::SendAttempt(int64_t activation_id) {
         }
         // Memory pressure with every worker up: drop, as before the chaos
         // engine (retrying against a full cluster is not failover).
-        pending_it->second.timeout_event.Cancel();
-        RecordActivationSpan(pending_it->second, activation_id, 0);
-        RecordInstant(SpanName::kDrop, activation_id,
-                      pending_it->second.attempts);
-        IncCounter(&ClusterInstruments::dropped);
-        pending_.erase(pending_it);
-        SetQueueDepthGauge();
-        --app_state.inflight;
-        ++app_stats_[message.app_id.index()].dropped;
-        ++total_dropped_;
+        DropForCapacity(activation_id);
         return;
       case DispatchOutcome::kOutage:
         FailAttempt(activation_id, FailureClass::kOutage);
         return;
     }
   });
+}
+
+void Controller::DropForCapacity(int64_t activation_id) {
+  auto it = pending_.find(activation_id);
+  FAAS_CHECK(it != pending_.end()) << "dropping an unknown activation";
+  PendingActivation& pending = it->second;
+  AppState& state = apps_[pending.app_id.index()];
+  AppStats& stats = app_stats_[pending.app_id.index()];
+  pending.timeout_event.Cancel();
+  RecordActivationSpan(pending, activation_id, 0);
+  RecordInstant(SpanName::kDrop, activation_id, pending.attempts);
+  IncCounter(&ClusterInstruments::dropped);
+  pending_.erase(it);
+  SetQueueDepthGauge();
+  --state.inflight;
+  ++stats.dropped;
+  ++total_dropped_;
+}
+
+// --- Network-mode dispatch ------------------------------------------------
+//
+// With the network model on, the synchronous Dispatch loop cannot work: each
+// placement attempt is a real round trip that can be lost, retransmitted, or
+// partitioned away.  The scan below probes one candidate at a time with an
+// at-most-once RPC; the invoker-side handler runs HandleActivation, and the
+// response's bool is the accept/decline.  A probe whose retransmit budget is
+// spent marks the link suspect (the breaker hears about it) and the scan
+// moves on — that is the partition-aware failover.
+
+void Controller::StartNetworkScan(int64_t activation_id,
+                                  int exclude_invoker) {
+  auto it = pending_.find(activation_id);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingActivation& pending = it->second;
+  pending.net_candidates.clear();
+  pending.net_pos = 0;
+  pending.net_saw_unhealthy = false;
+  pending.net_saw_giveup = false;
+  const size_t n = invokers_.size();
+  if (load_balancing_ == LoadBalancingPolicy::kLeastLoaded) {
+    // Free-memory order snapshotted at scan start (the probe walk takes
+    // simulated time, but re-sorting mid-scan could revisit invokers).
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) {
+      order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+      const double free_a =
+          invokers_[a]->memory_capacity_mb() - invokers_[a]->memory_in_use_mb();
+      const double free_b =
+          invokers_[b]->memory_capacity_mb() - invokers_[b]->memory_in_use_mb();
+      return free_a > free_b;
+    });
+    for (size_t index : order) {
+      if (static_cast<int>(index) != exclude_invoker) {
+        pending.net_candidates.push_back(static_cast<int>(index));
+      }
+    }
+  } else {
+    const AppState& state = apps_[pending.app_id.index()];
+    for (size_t attempt = 0; attempt < n; ++attempt) {
+      const size_t index =
+          (static_cast<size_t>(state.home_invoker) + attempt) % n;
+      if (static_cast<int>(index) != exclude_invoker) {
+        pending.net_candidates.push_back(static_cast<int>(index));
+      }
+    }
+  }
+  AdvanceNetworkScan(activation_id);
+}
+
+void Controller::AdvanceNetworkScan(int64_t activation_id) {
+  auto it = pending_.find(activation_id);
+  if (it == pending_.end()) {
+    NetScanEnded(activation_id, /*reprobe_drain=*/true);
+    return;
+  }
+  PendingActivation& pending = it->second;
+  while (pending.net_pos < pending.net_candidates.size()) {
+    const int invoker_id = pending.net_candidates[pending.net_pos];
+    ++pending.net_pos;
+    const auto index = static_cast<size_t>(invoker_id);
+    if (!invokers_[index]->healthy()) {
+      pending.net_saw_unhealthy = true;
+      continue;
+    }
+    if (!BreakerAdmits(index)) {
+      ++overload_ledger_.breaker_rejections;
+      IncCounter(&ClusterInstruments::breaker_rejected);
+      continue;
+    }
+    const ActivationMessage message = BuildMessage(activation_id, pending);
+    Invoker* invoker = invokers_[index];
+    // The handler is carried by the request itself: a request that arrives
+    // after this scan moved on still executes (a zombie the duplicate
+    // suppression and the pending-table re-key render harmless).
+    rpc_->Call(
+        invoker_id,
+        [invoker, message]() { return invoker->HandleActivation(message); },
+        [this, activation_id, invoker_id](bool accepted) {
+          OnNetDispatchResponse(activation_id, invoker_id, accepted);
+        },
+        [this, activation_id, invoker_id]() {
+          OnNetDispatchGiveUp(activation_id, invoker_id);
+        });
+    return;  // One probe outstanding; the response continues the scan.
+  }
+  FinishNetworkScan(activation_id);
+}
+
+void Controller::OnNetDispatchResponse(int64_t activation_id, int invoker,
+                                       bool accepted) {
+  if (accepted) {
+    // Half-open probe accounting happens when the controller LEARNS of the
+    // accept (the response), not when the invoker accepted.
+    NoteDispatchAccepted(static_cast<size_t>(invoker));
+  }
+  auto it = pending_.find(activation_id);
+  if (it == pending_.end()) {
+    // Superseded mid-flight (timeout/retry/shed).  An accepted request is
+    // now a zombie execution; its completion will miss the pending table.
+    NetScanEnded(activation_id, /*reprobe_drain=*/true);
+    return;
+  }
+  if (!accepted) {
+    AdvanceNetworkScan(activation_id);
+    return;
+  }
+  PendingActivation& pending = it->second;
+  pending.dispatched_invoker = invoker;
+  if (pending.queued) {
+    // Drain probe landed: the head leaves the admission queue.
+    pending.queued = false;
+    pending.shed_event.Cancel();
+    std::erase(admission_queue_, activation_id);
+    const double wait_ms =
+        (queue_->now() - pending.queued_since).seconds() * 1e3;
+    ++overload_ledger_.drained;
+    overload_ledger_.total_queue_wait_ms += wait_ms;
+    overload_ledger_.max_queue_wait_ms =
+        std::max(overload_ledger_.max_queue_wait_ms, wait_ms);
+    if (collect_latencies_) {
+      queue_wait_ms_.push_back(wait_ms);
+    }
+    ObserveHistogram(&ClusterInstruments::queue_wait_ms, wait_ms);
+    RecordSpan(SpanName::kAdmissionQueue, pending.queued_since,
+               queue_->now() - pending.queued_since, activation_id,
+               /*arg0=*/1);
+  }
+  MaybeArmHedge(activation_id);
+  NetScanEnded(activation_id, /*reprobe_drain=*/true);
+}
+
+void Controller::OnNetDispatchGiveUp(int64_t activation_id, int invoker) {
+  // Partition-aware breaker/failover interaction: a spent retransmit budget
+  // is a bad outcome for the LINK, fed to the invoker's breaker whether or
+  // not the activation still exists — repeated give-ups open the breaker
+  // and keep later scans off the unreachable invoker.
+  RecordInvokerOutcome(invoker, /*bad=*/true);
+  auto it = pending_.find(activation_id);
+  if (it == pending_.end()) {
+    NetScanEnded(activation_id, /*reprobe_drain=*/true);
+    return;
+  }
+  it->second.net_saw_giveup = true;
+  AdvanceNetworkScan(activation_id);
+}
+
+void Controller::FinishNetworkScan(int64_t activation_id) {
+  auto it = pending_.find(activation_id);
+  if (it == pending_.end()) {
+    NetScanEnded(activation_id, /*reprobe_drain=*/true);
+    return;
+  }
+  PendingActivation& pending = it->second;
+  if (pending.queued) {
+    // Drain probe found no room: the head stays parked; the next release
+    // starts the next probe.
+    NetScanEnded(activation_id, /*reprobe_drain=*/false);
+    return;
+  }
+  if (pending.is_hedge) {
+    // No other invoker took the hedge: it fizzles and the primary carries
+    // the activation alone (mirrors the sync LaunchHedge fallback).
+    ++overload_ledger_.hedges_unplaced;
+    auto primary_it = pending_.find(pending.hedge_partner);
+    if (primary_it != pending_.end()) {
+      primary_it->second.hedge_partner = 0;
+    }
+    pending_.erase(it);
+    SetQueueDepthGauge();
+    return;
+  }
+  if (pending.net_saw_giveup) {
+    ++ledger_.network_failures;
+    FailAttempt(activation_id, FailureClass::kNetwork);
+    return;
+  }
+  if (pending.net_saw_unhealthy) {
+    FailAttempt(activation_id, FailureClass::kOutage);
+    return;
+  }
+  if (overload_.admission.enabled()) {
+    EnqueueAdmission(activation_id);
+    return;
+  }
+  DropForCapacity(activation_id);
+}
+
+void Controller::ProbeAdmissionHead() {
+  if (net_drain_id_ != 0) {
+    return;  // A head probe is already walking the cluster.
+  }
+  const bool lifo =
+      overload_.admission.discipline == AdmissionDiscipline::kLifo;
+  while (!admission_queue_.empty()) {
+    const int64_t id =
+        lifo ? admission_queue_.back() : admission_queue_.front();
+    auto it = pending_.find(id);
+    if (it == pending_.end() || !it->second.queued) {
+      if (lifo) {
+        admission_queue_.pop_back();
+      } else {
+        admission_queue_.pop_front();
+      }
+      continue;  // Superseded (shed, timed out, or retried).
+    }
+    // The head stays in the deque while probing; acceptance erases it.
+    net_drain_id_ = id;
+    StartNetworkScan(id, /*exclude_invoker=*/-1);
+    return;
+  }
+}
+
+void Controller::NetScanEnded(int64_t activation_id, bool reprobe_drain) {
+  if (net_drain_id_ != activation_id) {
+    return;
+  }
+  net_drain_id_ = 0;
+  if (reprobe_drain) {
+    ProbeAdmissionHead();
+  }
 }
 
 void Controller::FailAttempt(int64_t activation_id, FailureClass failure) {
@@ -410,6 +670,12 @@ void Controller::FailAttempt(int64_t activation_id, FailureClass failure) {
     // again and has no accepted invoker yet.
     moved.hedge_launched = false;
     moved.dispatched_invoker = -1;
+    // Any in-flight probe of the failed attempt still references the old id
+    // and will miss the table; the fresh attempt scans from scratch.
+    moved.net_candidates.clear();
+    moved.net_pos = 0;
+    moved.net_saw_unhealthy = false;
+    moved.net_saw_giveup = false;
     pending_.erase(it);
     pending_.emplace(new_id, std::move(moved));
     queue_->ScheduleAfter(backoff,
@@ -442,7 +708,22 @@ void Controller::FailAttempt(int64_t activation_id, FailureClass failure) {
       ++stats.lost;
       ++total_lost_;
       ++ledger_.lost;
+      ++ledger_.lost_crash;
       IncCounter(&ClusterInstruments::lost);
+      if (rpc_ != nullptr) {
+        // The crash/network split counters exist only when the network
+        // model registered them.
+        IncCounter(&ClusterInstruments::lost_crash);
+      }
+      RecordInstant(SpanName::kLost, activation_id, pending.attempts);
+      break;
+    case FailureClass::kNetwork:
+      ++stats.lost;
+      ++total_lost_;
+      ++ledger_.lost;
+      ++ledger_.lost_network;
+      IncCounter(&ClusterInstruments::lost);
+      IncCounter(&ClusterInstruments::lost_network);
       RecordInstant(SpanName::kLost, activation_id, pending.attempts);
       break;
     case FailureClass::kNone:
@@ -556,6 +837,9 @@ void Controller::OnCompletion(const CompletionMessage& message) {
       case FailureClass::kOutage:
         ++ledger_.cold_starts_after_outage;
         break;
+      case FailureClass::kNetwork:
+        ++ledger_.cold_starts_after_network;
+        break;
     }
   }
   if (attempts > 1) {
@@ -589,6 +873,17 @@ void Controller::OnCompletion(const CompletionMessage& message) {
           prewarm.app_id = app_id;
           prewarm.memory_mb = memory_mb;
           prewarm.keepalive = decision.keepalive_window;
+          if (rpc_ != nullptr) {
+            // Pre-warms are advisory, so network mode ships one
+            // fire-and-forget datagram to the home invoker only: a lost or
+            // declined pre-warm costs nothing but the cold start it would
+            // have hidden (no failover scan, no retransmit).
+            Invoker* invoker = invokers_[static_cast<size_t>(home)];
+            rpc_->network()->Send(
+                NetDirection::kUp, home, NetPriority::kData,
+                [invoker, prewarm]() { invoker->HandlePrewarm(prewarm); });
+            return;
+          }
           const size_t n = invokers_.size();
           for (size_t attempt = 0; attempt < n; ++attempt) {
             const size_t index = (static_cast<size_t>(home) + attempt) % n;
@@ -616,6 +911,12 @@ void Controller::OnCapacityReleased() {
 
 void Controller::DrainAdmissionQueue() {
   drain_scheduled_ = false;
+  if (rpc_ != nullptr) {
+    // Network mode: the sync while-loop below cannot wait on a round trip,
+    // so the drain becomes one async head probe at a time.
+    ProbeAdmissionHead();
+    return;
+  }
   const bool lifo =
       overload_.admission.discipline == AdmissionDiscipline::kLifo;
   while (!admission_queue_.empty()) {
@@ -817,6 +1118,12 @@ void Controller::LaunchHedge(int64_t primary_id) {
 
   // The hedge pays its own controller->invoker hop, then dispatches away
   // from the invoker the primary landed on.
+  if (rpc_ != nullptr) {
+    // Network mode: the hedge's uplink transit is its hop; the scan
+    // excludes the primary's invoker and fizzles via FinishNetworkScan.
+    StartNetworkScan(hedge_id, exclude);
+    return;
+  }
   const Duration dispatch_delay = latency_.SampleDispatch(rng_);
   queue_->ScheduleAfter(dispatch_delay, [this, hedge_id, message, exclude]() {
     auto hedge_it = pending_.find(hedge_id);

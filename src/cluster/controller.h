@@ -47,6 +47,7 @@
 namespace faas {
 
 class EntityIndex;
+class RpcPlane;
 
 // How the controller picks an invoker for an activation.
 enum class LoadBalancingPolicy {
@@ -104,7 +105,15 @@ struct FaultLedger {
   // Terminal failures (these activations never complete).
   int64_t abandoned = 0;            // Timed out with the budget spent.
   int64_t rejected_by_outage = 0;   // Unplaceable while workers were down.
-  int64_t lost = 0;                 // Crash/transient-killed, no retry left.
+  int64_t lost = 0;                 // All terminal losses (crash + network).
+  // Split of `lost` by cause (lost == lost_crash + lost_network): an
+  // activation can die to a machine fault or vanish in flight, and the two
+  // need different operator responses.
+  int64_t lost_crash = 0;           // Crash/transient-killed, no retry left.
+  int64_t lost_network = 0;         // Network give-up, no retry left.
+  // Non-terminal network failure events (an RPC scan that exhausted every
+  // link on give-ups; a retry may still succeed).
+  int64_t network_failures = 0;
 
   // Cold-start penalty attribution: cold starts on the eventual successful
   // attempt of a retried activation, by the class of its first failure.
@@ -112,6 +121,7 @@ struct FaultLedger {
   int64_t cold_starts_after_transient = 0;
   int64_t cold_starts_after_timeout = 0;
   int64_t cold_starts_after_outage = 0;
+  int64_t cold_starts_after_network = 0;
   // Cold starts taken while the app's policy was re-learning after a wipe.
   int64_t cold_starts_in_degraded_mode = 0;
 
@@ -120,6 +130,19 @@ struct FaultLedger {
   int64_t degraded_recoveries = 0;
   double total_degraded_ms = 0.0;
   double max_degraded_ms = 0.0;
+
+  // Transport accounting, folded from the NetworkModel's NetCounters at the
+  // end of a replay (all zero when the network model is off).
+  int64_t net_messages_sent = 0;
+  int64_t net_delivered = 0;
+  int64_t net_lost_to_loss = 0;
+  int64_t net_lost_to_partition = 0;
+  int64_t net_lost_to_queue = 0;
+  int64_t net_duplicates_delivered = 0;
+  int64_t net_reordered = 0;
+  int64_t rpc_retransmits = 0;
+  int64_t rpc_duplicates_suppressed = 0;
+  int64_t rpc_give_ups = 0;
 
   double MeanDegradedMs() const {
     return degraded_recoveries > 0
@@ -147,7 +170,10 @@ class Controller {
   // once per app for home-invoker placement.  `instruments` (optional,
   // non-owning) receives counters, latency histograms, the queue-depth
   // gauge, and activation-lifecycle spans; null (the default) leaves every
-  // telemetry site as a single pointer test.
+  // telemetry site as a single pointer test.  `rpc` (optional, non-owning)
+  // routes every controller<->invoker message through the network model's
+  // RPC plane (src/cluster/network.h); null keeps the direct in-process
+  // channel, byte-identical to the pre-network controller.
   Controller(EventQueue* queue, std::vector<Invoker*> invokers,
              const EntityIndex* entities,
              const PolicyFactory& policy_factory, const LatencyModel& latency,
@@ -155,7 +181,8 @@ class Controller {
              LoadBalancingPolicy load_balancing =
                  LoadBalancingPolicy::kAppAffinity,
              RetryPolicy retry = {}, OverloadControlConfig overload = {},
-             const ClusterInstruments* instruments = nullptr);
+             const ClusterInstruments* instruments = nullptr,
+             RpcPlane* rpc = nullptr);
 
   // Entry point for the trace replayer.
   void OnInvocation(AppId app_id, FunctionId function_id, Duration execution,
@@ -242,7 +269,14 @@ class Controller {
     kOutage,      // Placement failed and at least one invoker was down.
   };
   // Why an attempt failed (kNone = never failed).
-  enum class FailureClass { kNone, kCrash, kTransient, kTimeout, kOutage };
+  enum class FailureClass {
+    kNone,
+    kCrash,
+    kTransient,
+    kTimeout,
+    kOutage,
+    kNetwork,  // Every reachable invoker's RPC spent its retransmit budget.
+  };
   // Why a queued activation was shed (mirrors the OverloadLedger split).
   enum class ShedReason { kQueueFull, kDeadline, kShutdown };
   // Circuit-breaker state machine, one per invoker.
@@ -309,6 +343,14 @@ class Controller {
     int64_t hedge_partner = 0;    // Live partner's activation id (0 = none).
     EventQueue::Handle hedge_event;  // Launch timer, armed on dispatch.
     int dispatched_invoker = -1;  // Accepting invoker (hedge exclusion).
+
+    // --- Network-mode dispatch scan (inert when the network model is off).
+    // The synchronous Dispatch loop becomes an async probe sequence: one
+    // outstanding RPC at a time walks the candidate list.
+    std::vector<int> net_candidates;  // Invoker order for the current scan.
+    size_t net_pos = 0;               // Next candidate to probe.
+    bool net_saw_unhealthy = false;   // A candidate was down at probe time.
+    bool net_saw_giveup = false;      // A candidate's RPC spent its budget.
   };
 
   AppState& GetOrCreateApp(AppId app_id);
@@ -329,6 +371,30 @@ class Controller {
   DispatchOutcome Dispatch(AppState& state, const ActivationMessage& message,
                            int exclude_invoker = -1,
                            int* accepted_invoker = nullptr);
+
+  // --- Network-mode dispatch (async RPC scan; src/cluster/network.h) ---
+  // Terminal kNoCapacity bookkeeping shared by the sync and async paths.
+  void DropForCapacity(int64_t activation_id);
+  // Builds the candidate order (home-first or least-loaded snapshot, minus
+  // `exclude_invoker`) and begins probing.
+  void StartNetworkScan(int64_t activation_id, int exclude_invoker);
+  // Probes the next candidate whose breaker admits and that is up, or
+  // finishes the scan when the list is exhausted.
+  void AdvanceNetworkScan(int64_t activation_id);
+  // Response/give-up continuations of one probe RPC.
+  void OnNetDispatchResponse(int64_t activation_id, int invoker,
+                             bool accepted);
+  void OnNetDispatchGiveUp(int64_t activation_id, int invoker);
+  // Every candidate declined, gave up, or was down: routes the terminal
+  // outcome (hedge fizzle / kNetwork / kOutage / queue-or-drop).
+  void FinishNetworkScan(int64_t activation_id);
+  // Network-mode admission drain: one async probe of the queue head at a
+  // time (the sync while-loop cannot wait on a round trip).
+  void ProbeAdmissionHead();
+  // Clears the drain-probe slot when scan `activation_id` ends;
+  // `reprobe_drain` starts the next head probe (false when the head simply
+  // found no room and must wait for the next release).
+  void NetScanEnded(int64_t activation_id, bool reprobe_drain);
 
   // --- Admission queue ---
   // Parks pending activation `id` after a kNoCapacity dispatch; sheds per
@@ -387,6 +453,7 @@ class Controller {
   RetryPolicy retry_;
   OverloadControlConfig overload_;
   const ClusterInstruments* instruments_;
+  RpcPlane* rpc_;  // Null = direct in-process channel (network off).
 
   // Dense per-app state, indexed by AppId and grown on first touch.  A slot
   // whose policy is null has never been routed.  The deque keeps AppState
@@ -404,6 +471,9 @@ class Controller {
   // jointly with PendingActivation::queued.
   std::deque<int64_t> admission_queue_;
   bool drain_scheduled_ = false;
+  // Network-mode drain: the activation id currently probing the cluster on
+  // behalf of the admission queue (0 = no probe outstanding).
+  int64_t net_drain_id_ = 0;
   // Per-invoker breakers; sized only when the breaker is enabled.
   std::vector<BreakerState> breakers_;
   // Observed end-to-end completion latency for the percentile hedge

@@ -1,0 +1,394 @@
+#include "src/cluster/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace faas {
+
+NetworkModel::NetworkModel(EventQueue* queue, const NetworkConfig& config,
+                           const FaultPlan* faults, int num_invokers, Rng rng,
+                           const ClusterInstruments* instruments)
+    : queue_(queue),
+      config_(config),
+      faults_(faults),
+      num_invokers_(num_invokers),
+      instruments_(instruments) {
+  FAAS_CHECK(queue_ != nullptr) << "network model needs an event queue";
+  FAAS_CHECK(faults_ != nullptr) << "network model needs a fault plan";
+  FAAS_CHECK(num_invokers_ > 0) << "network model needs at least one link";
+  FAAS_CHECK(config_.max_retransmits >= 0) << "negative retransmit budget";
+  FAAS_CHECK(config_.dedup_window > 0) << "dedup window must be positive";
+  // Fixed fork order (all uplinks, then all downlinks) so link i's stream is
+  // a function of (seed, i) only.
+  uplinks_.reserve(static_cast<size_t>(num_invokers_));
+  downlinks_.reserve(static_cast<size_t>(num_invokers_));
+  for (int i = 0; i < num_invokers_; ++i) {
+    uplinks_.push_back({rng.Fork(), TimePoint::Origin(), 0});
+  }
+  for (int i = 0; i < num_invokers_; ++i) {
+    downlinks_.push_back({rng.Fork(), TimePoint::Origin(), 0});
+  }
+}
+
+NetworkModel::Link& NetworkModel::LinkFor(NetDirection dir, int invoker) {
+  FAAS_CHECK(invoker >= 0 && invoker < num_invokers_)
+      << "message for unknown invoker " << invoker;
+  FAAS_CHECK(dir != NetDirection::kBoth) << "messages travel one direction";
+  return dir == NetDirection::kUp ? uplinks_[static_cast<size_t>(invoker)]
+                                  : downlinks_[static_cast<size_t>(invoker)];
+}
+
+void NetworkModel::RecordDrop(int invoker, int64_t cause) {
+  if (instruments_ == nullptr) {
+    return;
+  }
+  if (instruments_->registry != nullptr) {
+    instruments_->registry->Inc(instruments_->net_dropped);
+  }
+  if (instruments_->tracer != nullptr) {
+    SpanRecord record;
+    record.start_ms = queue_->now().millis_since_origin();
+    record.trace_id = invoker;
+    record.arg0 = cause;
+    record.label_id = instruments_->label_id;
+    record.name = static_cast<int16_t>(SpanName::kNetDrop);
+    record.pid = instruments_->pid;
+    record.tid = 0;
+    instruments_->tracer->Record(record);
+  }
+}
+
+void NetworkModel::Send(NetDirection dir, int invoker, NetPriority priority,
+                        std::function<void()> deliver) {
+  ++counters_.messages_sent;
+  const TimePoint now = queue_->now();
+
+  // Partition/blackhole: a pure window lookup, no randomness, so a plan
+  // without partitions perturbs nothing.
+  if (faults_->LinkPartitionedAt(invoker, dir, now)) {
+    ++counters_.lost_to_partition;
+    RecordDrop(invoker, /*cause=*/1);
+    return;
+  }
+
+  Link& link = LinkFor(dir, invoker);
+
+  // Flaky loss: Bernoulli drawn from the link's own stream, and only while a
+  // window is active — an empty plan draws nothing here.
+  const double loss_p = faults_->NetLossProbabilityAt(invoker, now);
+  if (loss_p > 0.0 && link.rng.Bernoulli(loss_p)) {
+    ++counters_.lost_to_loss;
+    RecordDrop(invoker, /*cause=*/0);
+    return;
+  }
+
+  // Bounded queue over in-flight messages.  The priority discipline keeps
+  // the last quarter of the queue for control traffic, so responses and ACKs
+  // survive a burst that drowns data messages.
+  const NetLinkParams& params =
+      dir == NetDirection::kUp ? config_.uplink : config_.downlink;
+  if (params.queue_capacity > 0) {
+    int limit = params.queue_capacity;
+    if (params.discipline == NetQueueDiscipline::kPriority &&
+        priority == NetPriority::kData) {
+      limit = std::max(1, params.queue_capacity -
+                              std::max(1, params.queue_capacity / 4));
+    }
+    if (link.in_flight >= limit) {
+      ++counters_.lost_to_queue;
+      RecordDrop(invoker, /*cause=*/2);
+      return;
+    }
+  }
+
+  // Leaky-bucket serialization: the message waits behind the link's backlog,
+  // then occupies the serializer for one service interval.
+  Duration shaping = Duration::Zero();
+  if (params.rate_msgs_per_sec > 0.0) {
+    const Duration service =
+        Duration::FromSecondsF(1.0 / params.rate_msgs_per_sec);
+    const TimePoint start = std::max(now, link.next_free);
+    link.next_free = start + service;
+    shaping = link.next_free - now;
+  }
+
+  // One-way propagation latency, always sampled while the model is on (the
+  // null model is `enabled = false`, not a zero-latency plan).
+  const auto sample_latency = [&params](Rng& rng) {
+    return Duration::Millis(static_cast<int64_t>(
+        rng.NextLogNormal(std::log(params.latency_median_ms),
+                          params.latency_sigma)));
+  };
+  Duration latency = sample_latency(link.rng);
+
+  // Duplicate delivery: the copy samples its own latency below, so the pair
+  // can arrive in either order.
+  const double dup_p = faults_->NetDuplicateProbabilityAt(invoker, now);
+  const bool duplicate = dup_p > 0.0 && link.rng.Bernoulli(dup_p);
+
+  // Reordering: hold this message back so later sends can overtake it.
+  if (const NetReorderWindow* window = faults_->NetReorderAt(invoker, now);
+      window != nullptr && link.rng.Bernoulli(window->probability)) {
+    latency += Duration::Millis(static_cast<int64_t>(link.rng.UniformDouble(
+        0.0, static_cast<double>(std::max<int64_t>(
+                 1, window->extra_delay.millis())))));
+    ++counters_.reordered;
+  }
+
+  const auto schedule = [this, &link](Duration delay,
+                                      std::function<void()> action) {
+    ++link.in_flight;
+    Link* slot = &link;
+    queue_->ScheduleAfter(delay,
+                          [this, slot, action = std::move(action)]() {
+                            --slot->in_flight;
+                            ++counters_.delivered;
+                            action();
+                          });
+  };
+  if (duplicate) {
+    ++counters_.duplicates_delivered;
+    if (instruments_ != nullptr && instruments_->registry != nullptr) {
+      instruments_->registry->Inc(instruments_->net_duplicates);
+    }
+    schedule(shaping + sample_latency(link.rng), deliver);
+  }
+  schedule(shaping + latency, std::move(deliver));
+}
+
+void NetworkModel::NoteRetransmit(int invoker) {
+  ++counters_.rpc_retransmits;
+  if (instruments_ == nullptr) {
+    return;
+  }
+  if (instruments_->registry != nullptr) {
+    instruments_->registry->Inc(instruments_->net_retransmits);
+  }
+  if (instruments_->tracer != nullptr) {
+    SpanRecord record;
+    record.start_ms = queue_->now().millis_since_origin();
+    record.trace_id = invoker;
+    record.label_id = instruments_->label_id;
+    record.name = static_cast<int16_t>(SpanName::kNetRetransmit);
+    record.pid = instruments_->pid;
+    record.tid = 0;
+    instruments_->tracer->Record(record);
+  }
+}
+
+void NetworkModel::NoteDuplicateSuppressed(int invoker) {
+  ++counters_.rpc_duplicates_suppressed;
+  if (instruments_ == nullptr) {
+    return;
+  }
+  if (instruments_->registry != nullptr) {
+    instruments_->registry->Inc(instruments_->net_dup_suppressed);
+  }
+  if (instruments_->tracer != nullptr) {
+    SpanRecord record;
+    record.start_ms = queue_->now().millis_since_origin();
+    record.trace_id = invoker;
+    record.label_id = instruments_->label_id;
+    record.name = static_cast<int16_t>(SpanName::kNetDuplicate);
+    record.pid = instruments_->pid;
+    record.tid = 0;
+    instruments_->tracer->Record(record);
+  }
+}
+
+void NetworkModel::NoteGiveUp(int invoker) {
+  ++counters_.rpc_give_ups;
+  if (instruments_ == nullptr) {
+    return;
+  }
+  if (instruments_->registry != nullptr) {
+    instruments_->registry->Inc(instruments_->net_give_ups);
+  }
+  if (instruments_->tracer != nullptr) {
+    SpanRecord record;
+    record.start_ms = queue_->now().millis_since_origin();
+    record.trace_id = invoker;
+    record.label_id = instruments_->label_id;
+    record.name = static_cast<int16_t>(SpanName::kRpcGiveUp);
+    record.pid = instruments_->pid;
+    record.tid = 0;
+    instruments_->tracer->Record(record);
+  }
+}
+
+// --- RPC plane -------------------------------------------------------------
+
+void RpcPlane::DedupWindow::Insert(int64_t id, bool value, size_t capacity) {
+  entries.emplace(id, value);
+  order.push_back(id);
+  while (order.size() > capacity) {
+    entries.erase(order.front());
+    order.pop_front();
+  }
+}
+
+RpcPlane::RpcPlane(NetworkModel* network)
+    : net_(network),
+      queue_(network->queue()),
+      config_(network->config()),
+      reply_caches_(static_cast<size_t>(network->num_invokers())),
+      seen_notifies_(static_cast<size_t>(network->num_invokers())) {}
+
+void RpcPlane::Call(int invoker, std::function<bool()> handler,
+                    std::function<void(bool)> on_response,
+                    std::function<void()> on_give_up) {
+  const int64_t call_id = next_call_id_++;
+  CallState state;
+  state.invoker = invoker;
+  state.handler = std::move(handler);
+  state.on_response = std::move(on_response);
+  state.on_give_up = std::move(on_give_up);
+  state.retransmits_left = config_.max_retransmits;
+  calls_.emplace(call_id, std::move(state));
+  SendRequest(call_id);
+  ArmCallTimer(call_id);
+}
+
+void RpcPlane::SendRequest(int64_t call_id) {
+  auto it = calls_.find(call_id);
+  FAAS_CHECK(it != calls_.end()) << "sending an unknown call";
+  const int invoker = it->second.invoker;
+  // The request carries its own copy of the handler: a request that arrives
+  // after the caller gave up still executes (and is answered from the cache
+  // on any later duplicate) — the work it starts is a zombie the caller's
+  // duplicate-response suppression discards.
+  std::function<bool()> handler = it->second.handler;
+  net_->Send(
+      NetDirection::kUp, invoker, NetPriority::kData,
+      [this, call_id, invoker, handler = std::move(handler)]() {
+        DedupWindow& cache = reply_caches_[static_cast<size_t>(invoker)];
+        if (const auto cached = cache.entries.find(call_id);
+            cached != cache.entries.end()) {
+          // Retransmitted or duplicated request: answer from the reply cache
+          // without re-running the handler (at-most-once execution).
+          net_->NoteDuplicateSuppressed(invoker);
+          SendResponse(invoker, call_id, cached->second);
+          return;
+        }
+        const bool accepted = handler();
+        cache.Insert(call_id, accepted,
+                     static_cast<size_t>(config_.dedup_window));
+        SendResponse(invoker, call_id, accepted);
+      });
+}
+
+void RpcPlane::SendResponse(int invoker, int64_t call_id, bool accepted) {
+  net_->Send(NetDirection::kDown, invoker, NetPriority::kControl,
+             [this, invoker, call_id, accepted]() {
+               auto it = calls_.find(call_id);
+               if (it == calls_.end()) {
+                 // Response for a resolved call (duplicate, or the caller
+                 // already gave up): suppressed.
+                 net_->NoteDuplicateSuppressed(invoker);
+                 return;
+               }
+               it->second.timer.Cancel();
+               auto callback = std::move(it->second.on_response);
+               calls_.erase(it);
+               callback(accepted);
+             });
+}
+
+void RpcPlane::ArmCallTimer(int64_t call_id) {
+  auto it = calls_.find(call_id);
+  FAAS_CHECK(it != calls_.end()) << "arming a timer for an unknown call";
+  it->second.timer.Cancel();
+  it->second.timer = queue_->ScheduleAfter(
+      config_.rpc_timeout, [this, call_id]() { OnCallTimeout(call_id); });
+}
+
+void RpcPlane::OnCallTimeout(int64_t call_id) {
+  auto it = calls_.find(call_id);
+  if (it == calls_.end()) {
+    return;  // Resolved just before the timer fired.
+  }
+  if (it->second.retransmits_left > 0) {
+    --it->second.retransmits_left;
+    net_->NoteRetransmit(it->second.invoker);
+    SendRequest(call_id);
+    ArmCallTimer(call_id);
+    return;
+  }
+  net_->NoteGiveUp(it->second.invoker);
+  auto callback = std::move(it->second.on_give_up);
+  calls_.erase(it);
+  callback();
+}
+
+void RpcPlane::Notify(int invoker, std::function<void()> deliver) {
+  const int64_t notify_id = next_notify_id_++;
+  NotifyState state;
+  state.invoker = invoker;
+  state.deliver = std::move(deliver);
+  state.retransmits_left = config_.max_retransmits;
+  notifies_.emplace(notify_id, std::move(state));
+  SendNotify(notify_id);
+  ArmNotifyTimer(notify_id);
+}
+
+void RpcPlane::SendNotify(int64_t notify_id) {
+  auto it = notifies_.find(notify_id);
+  FAAS_CHECK(it != notifies_.end()) << "sending an unknown notify";
+  const int invoker = it->second.invoker;
+  std::function<void()> deliver = it->second.deliver;
+  net_->Send(
+      NetDirection::kDown, invoker, NetPriority::kData,
+      [this, notify_id, invoker, deliver = std::move(deliver)]() {
+        DedupWindow& seen = seen_notifies_[static_cast<size_t>(invoker)];
+        if (seen.Contains(notify_id)) {
+          // Duplicate (retransmit or fault-injected copy): deliver nothing,
+          // but re-ACK — the earlier ACK may be the message that was lost.
+          net_->NoteDuplicateSuppressed(invoker);
+        } else {
+          seen.Insert(notify_id, true,
+                      static_cast<size_t>(config_.dedup_window));
+          deliver();
+        }
+        // ACK travels the uplink as control traffic.
+        net_->Send(NetDirection::kUp, invoker, NetPriority::kControl,
+                   [this, notify_id]() {
+                     auto ack_it = notifies_.find(notify_id);
+                     if (ack_it == notifies_.end()) {
+                       return;  // Duplicate ACK.
+                     }
+                     ack_it->second.timer.Cancel();
+                     notifies_.erase(ack_it);
+                   });
+      });
+}
+
+void RpcPlane::ArmNotifyTimer(int64_t notify_id) {
+  auto it = notifies_.find(notify_id);
+  FAAS_CHECK(it != notifies_.end()) << "arming a timer for an unknown notify";
+  it->second.timer.Cancel();
+  it->second.timer = queue_->ScheduleAfter(
+      config_.rpc_timeout, [this, notify_id]() { OnNotifyTimeout(notify_id); });
+}
+
+void RpcPlane::OnNotifyTimeout(int64_t notify_id) {
+  auto it = notifies_.find(notify_id);
+  if (it == notifies_.end()) {
+    return;  // ACKed just before the timer fired.
+  }
+  if (it->second.retransmits_left > 0) {
+    --it->second.retransmits_left;
+    net_->NoteRetransmit(it->second.invoker);
+    SendNotify(notify_id);
+    ArmNotifyTimer(notify_id);
+    return;
+  }
+  // Budget spent: the notification is lost.  The controller's activation
+  // timeout is the backstop that eventually fails the silent activation.
+  net_->NoteGiveUp(it->second.invoker);
+  notifies_.erase(it);
+}
+
+}  // namespace faas

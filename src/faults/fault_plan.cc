@@ -28,6 +28,61 @@ double FaultPlan::TransientFailureProbabilityAt(TimePoint t) const {
   return probability;
 }
 
+namespace {
+
+// True when a fault scoped to `fault_invoker` applies to `invoker`'s link
+// (-1 scopes the fault to every link).
+bool CoversLink(int fault_invoker, int invoker) {
+  return fault_invoker < 0 || fault_invoker == invoker;
+}
+
+}  // namespace
+
+bool FaultPlan::LinkPartitionedAt(int invoker, NetDirection dir,
+                                  TimePoint t) const {
+  for (const NetPartitionEvent& partition : partitions) {
+    if (!CoversLink(partition.invoker, invoker) || !partition.Covers(t)) {
+      continue;
+    }
+    if (partition.dir == NetDirection::kBoth || partition.dir == dir) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultPlan::NetLossProbabilityAt(int invoker, TimePoint t) const {
+  double probability = 0.0;
+  for (const NetLossWindow& window : loss_windows) {
+    if (CoversLink(window.invoker, invoker) && window.Covers(t)) {
+      probability = std::max(probability, window.probability);
+    }
+  }
+  return probability;
+}
+
+double FaultPlan::NetDuplicateProbabilityAt(int invoker, TimePoint t) const {
+  double probability = 0.0;
+  for (const NetDuplicateWindow& window : duplicate_windows) {
+    if (CoversLink(window.invoker, invoker) && window.Covers(t)) {
+      probability = std::max(probability, window.probability);
+    }
+  }
+  return probability;
+}
+
+const NetReorderWindow* FaultPlan::NetReorderAt(int invoker,
+                                                TimePoint t) const {
+  const NetReorderWindow* best = nullptr;
+  for (const NetReorderWindow& window : reorder_windows) {
+    if (CoversLink(window.invoker, invoker) && window.Covers(t) &&
+        (best == nullptr || window.probability > best->probability)) {
+      best = &window;
+    }
+  }
+  return best;
+}
+
 std::string FaultPlan::Validate(int num_invokers) const {
   for (const CrashEvent& crash : crashes) {
     if (crash.invoker < 0 || crash.invoker >= num_invokers) {
@@ -58,6 +113,55 @@ std::string FaultPlan::Validate(int num_invokers) const {
     }
     if (window.start < TimePoint::Origin() || window.duration.IsNegative()) {
       return "transient window with negative time or duration";
+    }
+  }
+  for (const NetPartitionEvent& partition : partitions) {
+    if (partition.invoker >= num_invokers) {
+      return "partition targets invoker " + std::to_string(partition.invoker) +
+             " in a cluster of " + std::to_string(num_invokers);
+    }
+    if (partition.start < TimePoint::Origin() ||
+        partition.duration.IsNegative()) {
+      return "partition with negative time or duration";
+    }
+  }
+  for (const NetLossWindow& window : loss_windows) {
+    if (window.invoker >= num_invokers) {
+      return "netloss targets invoker " + std::to_string(window.invoker) +
+             " in a cluster of " + std::to_string(num_invokers);
+    }
+    if (window.probability < 0.0 || window.probability > 1.0) {
+      return "netloss probability outside [0, 1]";
+    }
+    if (window.start < TimePoint::Origin() || window.duration.IsNegative()) {
+      return "netloss window with negative time or duration";
+    }
+  }
+  for (const NetDuplicateWindow& window : duplicate_windows) {
+    if (window.invoker >= num_invokers) {
+      return "netdup targets invoker " + std::to_string(window.invoker) +
+             " in a cluster of " + std::to_string(num_invokers);
+    }
+    if (window.probability < 0.0 || window.probability > 1.0) {
+      return "netdup probability outside [0, 1]";
+    }
+    if (window.start < TimePoint::Origin() || window.duration.IsNegative()) {
+      return "netdup window with negative time or duration";
+    }
+  }
+  for (const NetReorderWindow& window : reorder_windows) {
+    if (window.invoker >= num_invokers) {
+      return "netreorder targets invoker " + std::to_string(window.invoker) +
+             " in a cluster of " + std::to_string(num_invokers);
+    }
+    if (window.probability < 0.0 || window.probability > 1.0) {
+      return "netreorder probability outside [0, 1]";
+    }
+    if (window.extra_delay.IsNegative()) {
+      return "netreorder with negative extra delay";
+    }
+    if (window.start < TimePoint::Origin() || window.duration.IsNegative()) {
+      return "netreorder window with negative time or duration";
     }
   }
   return "";
@@ -258,9 +362,73 @@ std::optional<FaultPlan> FaultPlan::Parse(std::string_view spec,
       }
       plan.transient_windows.push_back(
           {TimePoint::Origin() + *at, *duration, *p});
+    } else if (kind == "partition" || kind == "netloss" || kind == "netdup" ||
+               kind == "netreorder") {
+      const auto at = GetDuration(*args, "at", error, clause);
+      const auto duration = GetDuration(*args, "for", error, clause);
+      if (!at.has_value() || !duration.has_value()) {
+        return std::nullopt;
+      }
+      // Network clauses default to every link; invoker= narrows to one.
+      int invoker = -1;
+      if (const auto invoker_raw = args->Get("invoker");
+          invoker_raw.has_value()) {
+        const auto parsed = ParseInt64(*invoker_raw);
+        if (!parsed.has_value() || *parsed < 0) {
+          *error = std::string(clause) + ": bad invoker=";
+          return std::nullopt;
+        }
+        invoker = static_cast<int>(*parsed);
+      }
+      if (kind == "partition") {
+        NetDirection dir = NetDirection::kBoth;
+        if (const auto dir_raw = args->Get("dir"); dir_raw.has_value()) {
+          if (*dir_raw == "up") {
+            dir = NetDirection::kUp;
+          } else if (*dir_raw == "down") {
+            dir = NetDirection::kDown;
+          } else if (*dir_raw == "both") {
+            dir = NetDirection::kBoth;
+          } else {
+            *error = std::string(clause) + ": dir must be up/down/both";
+            return std::nullopt;
+          }
+        }
+        plan.partitions.push_back(
+            {invoker, TimePoint::Origin() + *at, *duration, dir});
+        continue;
+      }
+      const auto p_raw = args->Get("p");
+      const auto p = p_raw.has_value() ? ParseDouble(*p_raw) : std::nullopt;
+      if (!p.has_value()) {
+        *error = std::string(clause) + ": missing or bad p=";
+        return std::nullopt;
+      }
+      if (kind == "netloss") {
+        plan.loss_windows.push_back(
+            {invoker, TimePoint::Origin() + *at, *duration, *p});
+      } else if (kind == "netdup") {
+        plan.duplicate_windows.push_back(
+            {invoker, TimePoint::Origin() + *at, *duration, *p});
+      } else {
+        NetReorderWindow window;
+        window.invoker = invoker;
+        window.start = TimePoint::Origin() + *at;
+        window.duration = *duration;
+        window.probability = *p;
+        if (args->Get("delay").has_value()) {
+          const auto delay = GetDuration(*args, "delay", error, clause);
+          if (!delay.has_value()) {
+            return std::nullopt;
+          }
+          window.extra_delay = *delay;
+        }
+        plan.reorder_windows.push_back(window);
+      }
     } else {
       *error = "unknown fault clause '" + std::string(kind) +
-               "' (expected crash/wipe/spike/flaky)";
+               "' (expected crash/wipe/spike/flaky/partition/netloss/"
+               "netdup/netreorder)";
       return std::nullopt;
     }
   }

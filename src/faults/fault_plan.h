@@ -64,6 +64,68 @@ struct TransientFaultWindow {
   bool operator==(const TransientFaultWindow&) const = default;
 };
 
+// Which direction(s) of a controller<->invoker link a network fault covers.
+enum class NetDirection {
+  kUp,    // Controller -> invoker (activation requests, pre-warms, ACKs).
+  kDown,  // Invoker -> controller (responses, completion/failure notices).
+  kBoth,
+};
+
+// A link partition: every message on the covered direction(s) of invoker
+// `invoker`'s link is silently dropped during [start, start + duration), and
+// the link heals when the window closes.  `invoker` = -1 partitions every
+// link (a controller-side network brown-out).  A one-directional window
+// (dir = kUp or kDown) is a blackhole: one side keeps transmitting into the
+// void while the other hears nothing.
+struct NetPartitionEvent {
+  int invoker = -1;
+  TimePoint start;
+  Duration duration;
+  NetDirection dir = NetDirection::kBoth;
+
+  bool Covers(TimePoint t) const { return t >= start && t < start + duration; }
+  bool operator==(const NetPartitionEvent&) const = default;
+};
+
+// Flaky loss: messages on the covered link(s) are independently dropped with
+// `probability` while the window is active (both directions).
+struct NetLossWindow {
+  int invoker = -1;  // -1 = every link.
+  TimePoint start;
+  Duration duration;
+  double probability = 0.0;
+
+  bool Covers(TimePoint t) const { return t >= start && t < start + duration; }
+  bool operator==(const NetLossWindow&) const = default;
+};
+
+// Duplicate delivery: a message sent while the window is active is delivered
+// twice with `probability` (the copy samples its own latency, so the pair
+// may also arrive reordered).  Exercises the RPC plane's idempotency.
+struct NetDuplicateWindow {
+  int invoker = -1;
+  TimePoint start;
+  Duration duration;
+  double probability = 0.0;
+
+  bool Covers(TimePoint t) const { return t >= start && t < start + duration; }
+  bool operator==(const NetDuplicateWindow&) const = default;
+};
+
+// Reordered delivery: a message sent while the window is active is held back
+// by uniform[0, extra_delay) with `probability`, letting later sends overtake
+// it.
+struct NetReorderWindow {
+  int invoker = -1;
+  TimePoint start;
+  Duration duration;
+  double probability = 0.0;
+  Duration extra_delay = Duration::Millis(50);
+
+  bool Covers(TimePoint t) const { return t >= start && t < start + duration; }
+  bool operator==(const NetReorderWindow&) const = default;
+};
+
 // Parameters for the MTBF/MTTR plan generator.
 struct MtbfModel {
   // Mean time between crashes per invoker (exponential).
@@ -80,16 +142,37 @@ struct FaultPlan {
   std::vector<StateWipeEvent> wipes;
   std::vector<LatencySpike> spikes;
   std::vector<TransientFaultWindow> transient_windows;
+  // Network fault classes (take effect only when the cluster's NetworkModel
+  // is enabled; see src/cluster/network.h).
+  std::vector<NetPartitionEvent> partitions;
+  std::vector<NetLossWindow> loss_windows;
+  std::vector<NetDuplicateWindow> duplicate_windows;
+  std::vector<NetReorderWindow> reorder_windows;
 
   bool Empty() const {
     return crashes.empty() && wipes.empty() && spikes.empty() &&
-           transient_windows.empty();
+           transient_windows.empty() && !HasNetworkFaults();
+  }
+  bool HasNetworkFaults() const {
+    return !partitions.empty() || !loss_windows.empty() ||
+           !duplicate_windows.empty() || !reorder_windows.empty();
   }
 
   // Product of every spike multiplier active at `t` (1.0 when none).
   double LatencyMultiplierAt(TimePoint t) const;
   // Largest transient failure probability active at `t` (0.0 when none).
   double TransientFailureProbabilityAt(TimePoint t) const;
+
+  // --- Network fault lookups (pure reads; no randomness) ---
+  // True when a partition covers direction `dir` of invoker `invoker`'s link
+  // at `t`.
+  bool LinkPartitionedAt(int invoker, NetDirection dir, TimePoint t) const;
+  // Largest loss / duplicate probability active on the link at `t`.
+  double NetLossProbabilityAt(int invoker, TimePoint t) const;
+  double NetDuplicateProbabilityAt(int invoker, TimePoint t) const;
+  // Active reorder window for the link at `t` (the one with the largest
+  // probability), or nullptr.
+  const NetReorderWindow* NetReorderAt(int invoker, TimePoint t) const;
 
   // Empty string when the plan is well-formed for a cluster of
   // `num_invokers`; otherwise a description of the first problem.
@@ -107,7 +190,12 @@ struct FaultPlan {
   //   wipe:at=D
   //   spike:at=D,for=D,x=M
   //   flaky:at=D,for=D,p=P
-  // where durations D accept ms/s/m/h/d suffixes (bare numbers = seconds).
+  //   partition:at=D,for=D[,invoker=I][,dir=up|down|both]
+  //   netloss:at=D,for=D,p=P[,invoker=I]
+  //   netdup:at=D,for=D,p=P[,invoker=I]
+  //   netreorder:at=D,for=D,p=P[,delay=D][,invoker=I]
+  // where durations D accept ms/s/m/h/d suffixes (bare numbers = seconds)
+  // and invoker defaults to -1 (every link) for the network clauses.
   // Returns nullopt and sets *error on malformed input.
   static std::optional<FaultPlan> Parse(std::string_view spec,
                                         std::string* error);

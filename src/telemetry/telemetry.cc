@@ -47,7 +47,7 @@ ClusterInstruments ClusterInstruments::Register(Telemetry& telemetry,
                                                 std::string_view policy_name,
                                                 int16_t pid, Duration horizon,
                                                 Duration sample_interval,
-                                                bool overload) {
+                                                bool overload, bool network) {
   ClusterInstruments instruments;
   instruments.pid = pid;
   if (telemetry.metrics_enabled()) {
@@ -175,6 +175,42 @@ ClusterInstruments ClusterInstruments::Register(Telemetry& telemetry,
         "faas_cluster_minute_admission_queue",
         "Admission-queue depth sampled at each interval", sample_interval,
         bins, label);
+  }
+  if (network) {
+    // Same contract as the overload bundle: transport metrics exist only
+    // when the network model does, keeping network-off exports unchanged.
+    instruments.net_dropped = r.AddCounter(
+        "faas_cluster_net_dropped_total",
+        "Messages dropped in flight (loss, partition, queue overflow)",
+        label);
+    instruments.net_duplicates = r.AddCounter(
+        "faas_cluster_net_duplicates_total",
+        "Duplicate message copies injected by the fault plan", label);
+    instruments.net_retransmits = r.AddCounter(
+        "faas_cluster_net_retransmits_total",
+        "RPC retransmits fired by per-message timeouts", label);
+    instruments.net_dup_suppressed = r.AddCounter(
+        "faas_cluster_net_dup_suppressed_total",
+        "Duplicate requests/responses/notifies suppressed by dedup windows",
+        label);
+    instruments.net_give_ups = r.AddCounter(
+        "faas_cluster_net_give_ups_total",
+        "Calls/notifies that spent their retransmit budget", label);
+    instruments.lost_network = r.AddCounter(
+        "faas_cluster_lost_network_total",
+        "Terminal: activation lost to the network with no retry left",
+        label);
+    instruments.lost_crash = r.AddCounter(
+        "faas_cluster_lost_crash_total",
+        "Terminal: activation lost to a crash/transient with no retry left",
+        label);
+    instruments.minute_net_drops = r.AddSeries(
+        "faas_cluster_minute_net_drops",
+        "Messages dropped in flight per sample interval", sample_interval,
+        bins, label);
+    instruments.minute_net_retransmits = r.AddSeries(
+        "faas_cluster_minute_net_retransmits",
+        "RPC retransmits per sample interval", sample_interval, bins, label);
   }
   return instruments;
 }

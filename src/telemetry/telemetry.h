@@ -106,15 +106,28 @@ struct ClusterInstruments {
   HistogramId queue_wait_ms;
   SeriesId minute_shed;
   SeriesId minute_admission_queue;
+  // Network model + RPC plane (registered only when the network model is on,
+  // same byte-identity rationale as the overload bundle).
+  CounterId net_dropped;
+  CounterId net_duplicates;
+  CounterId net_retransmits;
+  CounterId net_dup_suppressed;
+  CounterId net_give_ups;
+  CounterId lost_network;
+  CounterId lost_crash;
+  SeriesId minute_net_drops;
+  SeriesId minute_net_retransmits;
 
   // Registers the bundle under `policy="<policy_name>"` on process lane
   // `pid`, sizing the minute series for `horizon`.  `overload` additionally
-  // registers the overload-control-plane instruments above.
+  // registers the overload-control-plane instruments above; `network` the
+  // transport-layer ones.
   static ClusterInstruments Register(Telemetry& telemetry,
                                      std::string_view policy_name,
                                      int16_t pid, Duration horizon,
                                      Duration sample_interval,
-                                     bool overload = false);
+                                     bool overload = false,
+                                     bool network = false);
 };
 
 // Instruments for one policy of an analytic sweep.  The hot loop

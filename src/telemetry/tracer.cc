@@ -76,6 +76,18 @@ const char* SpanNameString(SpanName name) {
       return "hedge";
     case SpanName::kBreakerTransition:
       return "breaker_transition";
+    case SpanName::kNetPartition:
+      return "net_partition";
+    case SpanName::kNetLossWindow:
+      return "net_loss_window";
+    case SpanName::kNetDrop:
+      return "net_drop";
+    case SpanName::kNetRetransmit:
+      return "net_retransmit";
+    case SpanName::kNetDuplicate:
+      return "net_duplicate";
+    case SpanName::kRpcGiveUp:
+      return "rpc_give_up";
     case SpanName::kAppReplay:
       return "app_replay";
     case SpanName::kNumSpanNames:

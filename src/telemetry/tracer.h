@@ -69,6 +69,14 @@ enum class SpanName : int16_t {
   kHedge,           // Instant: a hedged second attempt was launched.
   kBreakerTransition,  // Instant: breaker state change on invoker trace_id
                        // (arg0: 0 = closed, 1 = open, 2 = half-open).
+  // Network model + RPC plane (trace_id = invoker, -1 = every link).
+  kNetPartition,    // Partition/blackhole window of one link (dur = window).
+  kNetLossWindow,   // Flaky-loss probability window (dur = window).
+  kNetDrop,         // Instant: message dropped in flight (arg0: 0 = loss,
+                    // 1 = partition, 2 = queue overflow).
+  kNetRetransmit,   // Instant: RPC timeout fired a retransmit.
+  kNetDuplicate,    // Instant: duplicate request/response/notify suppressed.
+  kRpcGiveUp,       // Instant: call/notify spent its retransmit budget.
   // Analytic sweep.
   kAppReplay,       // One app under one policy (dur = active span of app).
   kNumSpanNames,    // Sentinel; keep last.

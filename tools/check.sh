@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + full test suite, then the concurrency
 # tests (thread pool, parallel-for, sweep engine, streaming pipeline, shard
-# generation, arena pool, compiled trace) plus the chaos-engine,
+# generation, arena pool, compiled trace) plus the chaos-engine, network,
 # overload-control, and telemetry tests rebuilt and re-run under
 # ThreadSanitizer, the chaos/overload/controller/telemetry/streaming tests
 # once more under UndefinedBehaviorSanitizer, and the interning/trace/
@@ -44,13 +44,13 @@ else
   cmake --build build-tsan -j "${JOBS}" --target \
       thread_pool_test parallel_test sweep_test sweep_stream_test \
       generator_shard_test arena_pool_test cpu_topology_test \
-      compiled_trace_test faults_test overload_test controller_test \
-      telemetry_metrics_test telemetry_tracer_test telemetry_export_test \
+      compiled_trace_test faults_test network_test overload_test \
+      controller_test telemetry_metrics_test telemetry_tracer_test telemetry_export_test \
       telemetry_integration_test
   # gtest_discover_tests registers suite names (not target names), so match
   # the suites those binaries contain.
   (cd build-tsan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'ThreadPool|ParallelFor|ParallelSimulation|Sweep|SweepStream|GeneratorShard|ArenaPool|CpuTopology|CompiledTrace|CompiledReplay|FaultPlan|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration')
+      -R 'ThreadPool|ParallelFor|ParallelSimulation|Sweep|SweepStream|GeneratorShard|ArenaPool|CpuTopology|CompiledTrace|CompiledReplay|FaultPlan|NetFaultPlan|NetworkModel|NetworkCluster|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration')
 fi
 
 if [[ "${SKIP_UBSAN}" == "1" ]]; then
@@ -59,12 +59,12 @@ else
   echo "== UBSan: chaos + overload + controller + telemetry + streaming tests =="
   cmake -B build-ubsan -S . -DFAAS_SANITIZE=undefined >/dev/null
   cmake --build build-ubsan -j "${JOBS}" --target \
-      faults_test overload_test controller_test cluster_test \
+      faults_test network_test overload_test controller_test cluster_test \
       sweep_stream_test generator_shard_test \
       telemetry_metrics_test telemetry_tracer_test telemetry_export_test \
       telemetry_integration_test
   (cd build-ubsan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'FaultPlan|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|Cluster|SweepStream|GeneratorShard|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration')
+      -R 'FaultPlan|NetFaultPlan|NetworkModel|NetworkCluster|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|Cluster|SweepStream|GeneratorShard|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration')
 fi
 
 if [[ "${SKIP_ASAN}" == "1" ]]; then
@@ -75,13 +75,13 @@ else
   cmake --build build-asan -j "${JOBS}" --target \
       intern_test trace_csv_test transform_test compiled_trace_test \
       sweep_test sweep_stream_test generator_shard_test arena_pool_test \
-      faults_test controller_test cluster_test overload_test \
+      faults_test network_test controller_test cluster_test overload_test \
       telemetry_metrics_test telemetry_tracer_test
   # SweepStream covers the faults + streaming smoke
   # (StreamedSweepWithConcurrentChaosReplay): a chaos replay with an active
   # fault plan runs while the streamed sweep rotates shard arenas.
   (cd build-asan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'Intern|EntityIndex|Csv|Transform|CompiledTrace|CompiledReplay|Sweep|SweepStream|GeneratorShard|ArenaPool|FaultPlan|ChaosCluster|Controller|Cluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|TelemetryMetrics|TelemetryTracer')
+      -R 'Intern|EntityIndex|Csv|Transform|CompiledTrace|CompiledReplay|Sweep|SweepStream|GeneratorShard|ArenaPool|FaultPlan|NetFaultPlan|NetworkModel|NetworkCluster|ChaosCluster|Controller|Cluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|TelemetryMetrics|TelemetryTracer')
 fi
 
 echo "== all checks passed =="

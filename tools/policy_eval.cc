@@ -83,6 +83,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <mutex>
@@ -321,6 +322,110 @@ bool HasOverloadFlags(const FlagParser& flags) {
   return false;
 }
 
+// True when any network-model flag was passed (each one routes evaluation
+// through the cluster simulator with the transport layer enabled).
+bool HasNetworkFlags(const FlagParser& flags) {
+  static const char* kFlags[] = {"net-latency", "net-queue-cap", "net-loss",
+                                 "net-partition"};
+  for (const char* name : kFlags) {
+    if (flags.Has(name)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Fills `config->network` (and appends the implied full-horizon loss window /
+// partition events to `config->faults`) from the command line.  Returns false
+// (after printing a diagnostic) on a malformed flag.
+bool ParseNetworkFlags(const FlagParser& flags, ClusterConfig* config,
+                       Duration horizon) {
+  if (!HasNetworkFlags(flags)) {
+    return true;
+  }
+  config->network.enabled = true;
+  if (flags.Has("net-latency")) {
+    const double median_ms = flags.GetDouble("net-latency", 0.5);
+    if (median_ms <= 0.0) {
+      std::fprintf(stderr, "--net-latency must be positive (median ms)\n");
+      return false;
+    }
+    config->network.uplink.latency_median_ms = median_ms;
+    config->network.downlink.latency_median_ms = median_ms;
+  }
+  if (flags.Has("net-queue-cap")) {
+    const int capacity = static_cast<int>(flags.GetInt("net-queue-cap", 0));
+    if (capacity <= 0) {
+      std::fprintf(stderr, "--net-queue-cap must be positive\n");
+      return false;
+    }
+    config->network.uplink.queue_capacity = capacity;
+    config->network.downlink.queue_capacity = capacity;
+  }
+  if (flags.Has("net-loss")) {
+    const double p = flags.GetDouble("net-loss", 0.0);
+    if (p < 0.0 || p >= 1.0) {
+      std::fprintf(stderr, "--net-loss must be in [0, 1)\n");
+      return false;
+    }
+    if (p > 0.0) {
+      NetLossWindow window;
+      window.invoker = -1;  // Every link.
+      window.start = TimePoint::Origin();
+      window.duration = horizon;
+      window.probability = p;
+      config->faults.loss_windows.push_back(window);
+    }
+  }
+  if (flags.Has("net-partition")) {
+    // Comma-separated "I@AT+DUR" items: invoker index (or `all`), partition
+    // start, partition duration, e.g. --net-partition "3@10m+2m,all@1h+30s".
+    const std::string spec = flags.GetString("net-partition", "");
+    for (std::string_view item : SplitString(spec, ',')) {
+      item = StripWhitespace(item);
+      if (item.empty()) {
+        continue;
+      }
+      const size_t at_pos = item.find('@');
+      const size_t plus_pos = item.find('+');
+      if (at_pos == std::string_view::npos ||
+          plus_pos == std::string_view::npos || plus_pos < at_pos) {
+        std::fprintf(stderr,
+                     "--net-partition: want I@AT+DUR (e.g. 3@10m+2m or "
+                     "all@1h+30s), got '%.*s'\n",
+                     static_cast<int>(item.size()), item.data());
+        return false;
+      }
+      NetPartitionEvent event;
+      const std::string who(StripWhitespace(item.substr(0, at_pos)));
+      if (who == "all") {
+        event.invoker = -1;
+      } else {
+        char* end = nullptr;
+        event.invoker = static_cast<int>(std::strtol(who.c_str(), &end, 10));
+        if (end == who.c_str() || *end != '\0' || event.invoker < 0) {
+          std::fprintf(stderr, "--net-partition: bad invoker '%s'\n",
+                       who.c_str());
+          return false;
+        }
+      }
+      const auto at =
+          ParseDuration(item.substr(at_pos + 1, plus_pos - at_pos - 1));
+      const auto duration = ParseDuration(item.substr(plus_pos + 1));
+      if (!at.has_value() || !duration.has_value() || at->IsNegative() ||
+          !(*duration > Duration::Zero())) {
+        std::fprintf(stderr, "--net-partition: bad window in '%.*s'\n",
+                     static_cast<int>(item.size()), item.data());
+        return false;
+      }
+      event.start = TimePoint::Origin() + *at;
+      event.duration = *duration;
+      config->faults.partitions.push_back(event);
+    }
+  }
+  return true;
+}
+
 // Fills `overload` from the command line.  Returns false (after printing a
 // diagnostic) on a malformed flag.
 bool ParseOverloadFlags(const FlagParser& flags,
@@ -437,6 +542,13 @@ int RunChaosEvaluation(const FlagParser& flags, const Trace& trace,
                 model.mtbf_hours, model.mttr_minutes,
                 static_cast<unsigned long long>(model.seed));
   }
+  if (!ParseNetworkFlags(flags, &config, trace.horizon)) {
+    return 2;
+  }
+  if (config.faults.HasNetworkFaults() && !config.network.enabled) {
+    // A --faults spec with network clauses implies the transport layer.
+    config.network.enabled = true;
+  }
   const std::string plan_error = config.faults.Validate(config.num_invokers);
   if (!plan_error.empty()) {
     std::fprintf(stderr, "invalid fault plan: %s\n", plan_error.c_str());
@@ -472,6 +584,21 @@ int RunChaosEvaluation(const FlagParser& flags, const Trace& trace,
               config.faults.wipes.size(), config.faults.spikes.size(),
               config.faults.transient_windows.size(),
               config.retry.max_retries);
+  if (config.network.enabled) {
+    std::printf("network: median latency %.2gms/%.2gms (up/down), queue "
+                "cap %d/%d, rpc timeout %.0fms, %d retransmits; faults: "
+                "%zu partitions, %zu loss, %zu dup, %zu reorder windows\n",
+                config.network.uplink.latency_median_ms,
+                config.network.downlink.latency_median_ms,
+                config.network.uplink.queue_capacity,
+                config.network.downlink.queue_capacity,
+                static_cast<double>(config.network.rpc_timeout.millis()),
+                config.network.max_retransmits,
+                config.faults.partitions.size(),
+                config.faults.loss_windows.size(),
+                config.faults.duplicate_windows.size(),
+                config.faults.reorder_windows.size());
+  }
   if (config.overload.AnyEnabled()) {
     std::printf("overload control: queue=%d (%s, max-wait %.1fs) "
                 "breaker=%s hedge=%s cap=%d\n",
@@ -529,6 +656,27 @@ int RunChaosEvaluation(const FlagParser& flags, const Trace& trace,
                 static_cast<long long>(ledger.cold_starts_after_timeout),
                 static_cast<long long>(ledger.cold_starts_after_outage),
                 static_cast<long long>(ledger.cold_starts_in_degraded_mode));
+    if (config.network.enabled) {
+      std::printf("    net{sent=%lld delivered=%lld "
+                  "lost{loss=%lld partition=%lld queue=%lld} dup=%lld "
+                  "reorder=%lld} rpc{retx=%lld dedup=%lld giveup=%lld}\n",
+                  static_cast<long long>(ledger.net_messages_sent),
+                  static_cast<long long>(ledger.net_delivered),
+                  static_cast<long long>(ledger.net_lost_to_loss),
+                  static_cast<long long>(ledger.net_lost_to_partition),
+                  static_cast<long long>(ledger.net_lost_to_queue),
+                  static_cast<long long>(ledger.net_duplicates_delivered),
+                  static_cast<long long>(ledger.net_reordered),
+                  static_cast<long long>(ledger.rpc_retransmits),
+                  static_cast<long long>(ledger.rpc_duplicates_suppressed),
+                  static_cast<long long>(ledger.rpc_give_ups));
+      std::printf("    lost-split{crash=%lld network=%lld} "
+                  "network-failures=%lld cold-after-network=%lld\n",
+                  static_cast<long long>(ledger.lost_crash),
+                  static_cast<long long>(ledger.lost_network),
+                  static_cast<long long>(ledger.network_failures),
+                  static_cast<long long>(ledger.cold_starts_after_network));
+    }
     if (config.overload.AnyEnabled()) {
       const OverloadLedger& overload = result.overload;
       std::printf("    queued=%lld drained=%lld "
@@ -595,6 +743,10 @@ int main(int argc, char** argv) {
         "                   [--breaker] [--breaker-window N]\n"
         "                   [--breaker-threshold F] [--breaker-open D]\n"
         "                   [--breaker-latency-ms X]\n"
+        "network model (also selects the cluster simulator):\n"
+        "                   [--net-latency MS] [--net-queue-cap N]\n"
+        "                   [--net-loss P] [--net-partition I@AT+DUR,...]\n"
+        "                   (I = invoker index or `all`; e.g. 3@10m+2m)\n"
         "flash crowds (burst trains injected into the loaded trace):\n"
         "                   [--flash-crowds N] [--flash-minutes M=10]\n"
         "                   [--flash-fraction F=0.3] [--flash-events E=80]\n"
@@ -610,6 +762,7 @@ int main(int argc, char** argv) {
   }
   if (stream &&
       (flags.Has("faults") || flags.Has("mtbf") || HasOverloadFlags(flags) ||
+       HasNetworkFlags(flags) ||
        flags.Has("trace-out") || flags.Has("metrics-out") ||
        flags.Has("series-out") || flags.GetBool("progress", false))) {
     std::fprintf(stderr,
@@ -753,7 +906,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (flags.Has("faults") || flags.Has("mtbf") || HasOverloadFlags(flags)) {
+  if (flags.Has("faults") || flags.Has("mtbf") || HasOverloadFlags(flags) ||
+      HasNetworkFlags(flags)) {
     const int status = RunChaosEvaluation(flags, trace, factories,
                                           telemetry.get(), metrics_interval);
     if (status != 0) {
