@@ -1,0 +1,270 @@
+// Wall-clock serving bench: loopback ingest throughput plus an offered-load
+// x admission-discipline sweep on the epoll front-end (src/serve).
+//
+// Two questions, two phases:
+//
+//   1. Ingest — can the wire protocol + event loops + admission bridge
+//      sustain >= 1M req/s on loopback with the overload plane enabled?
+//      A blast-mode open loop (pre-encoded frame blocks, written as fast as
+//      the socket accepts) against a pure-ingest server (service time 0,
+//      inline completion) measures peak frames/s end to end, replies
+//      included.
+//
+//   2. Overload shape — how do FIFO / LIFO / CoDel admission behave as the
+//      offered load crosses the server's capacity?  A deliberately small
+//      server (few executor shards, tight concurrency cap, real simulated
+//      service times) is driven by paced Poisson open loops below, near,
+//      and beyond saturation; each cell reports measured client-side
+//      p50/p99/p99.9, shed rates by cause, and the ledger's queue-wait
+//      price.  The disciplines spend the same shed budget differently:
+//      FIFO sheds arrivals and serves stale work, LIFO serves fresh work at
+//      the cost of queue-tail starvation, CoDel converts queue-full sheds
+//      into age sheds and caps the wait of everything it does serve.
+//
+// Every number is measured on the wall clock — nothing here consults the
+// simulator.  Rows land in results/serving.csv (SeriesWriter) and
+// BENCH_serving.json (override the path with FAAS_BENCH_SERVING_JSON; set
+// either to "off" to disable).  Skips cleanly, writing a "skipped" marker,
+// when the sandbox has no loopback sockets.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/series_writer.h"
+#include "src/serve/loadgen.h"
+#include "src/serve/server.h"
+
+namespace {
+
+using namespace faas;
+
+constexpr double kTargetIngestRps = 1'000'000.0;
+
+struct CellResult {
+  std::string config;     // "blast" or the discipline name.
+  std::string mode;       // "blast" / "paced".
+  double target_rps = 0;  // 0 = blast.
+  LoadGenResult client;
+  ServeStats server;
+
+  double shed_pct() const {
+    return client.replies > 0 ? 100.0 * static_cast<double>(
+                                    client.shed() + client.rejected) /
+                                    static_cast<double>(client.replies)
+                              : 0.0;
+  }
+  double p_ms(double p) const {
+    return client.latency.PercentileNs(p) / 1e6;
+  }
+};
+
+ServeConfig IngestServerConfig() {
+  ServeConfig config;
+  config.num_loops = 1;  // Loopback client and server share the machine.
+  // Overload plane on: admission queue + concurrency caps are in the path
+  // of every request even though service time 0 completes them inline.
+  config.bridge.num_executors = 4;
+  config.bridge.service_time_us = 0;
+  config.bridge.cold_start_us = 0;
+  config.bridge.overload.admission.capacity = 1024;
+  config.bridge.overload.admission.discipline = AdmissionDiscipline::kFifo;
+  config.bridge.overload.invoker_concurrency_cap = 0;
+  return config;
+}
+
+// A server small enough that the sweep's upper offered loads overrun it:
+// 4 shards x 8 slots / 400 us service time ~= 80k req/s of service
+// capacity before queueing.
+ServeConfig SweepServerConfig(AdmissionDiscipline discipline) {
+  ServeConfig config;
+  config.num_loops = 1;
+  config.bridge.num_executors = 4;
+  config.bridge.service_time_us = 400;
+  config.bridge.cold_start_us = 2'000;
+  config.bridge.keep_alive_ms = 10'000;
+  config.bridge.overload.invoker_concurrency_cap = 8;
+  config.bridge.overload.admission.capacity = 256;
+  config.bridge.overload.admission.discipline = discipline;
+  // CoDel age bound; FIFO/LIFO ignore it (they bound space, not sojourn).
+  config.bridge.overload.admission.max_wait = Duration::Millis(5);
+  return config;
+}
+
+bool RunCell(const ServeConfig& server_config, const LoadGenConfig& load,
+             const std::string& config_name, const std::string& mode,
+             CellResult* out, std::string* error) {
+  ServeServer server(server_config);
+  if (!server.Start(error)) {
+    return false;
+  }
+  LoadGenConfig client = load;
+  client.port = server.port();
+  LoadGenerator generator(client);
+  LoadGenResult result;
+  if (!generator.Run(&result, error)) {
+    server.Stop();
+    return false;
+  }
+  server.Stop();
+  out->config = config_name;
+  out->mode = mode;
+  out->target_rps = client.target_rps;
+  out->client = result;
+  out->server = server.Snapshot();
+  return true;
+}
+
+void PrintCell(const CellResult& cell) {
+  std::printf(
+      "  %-12s %9.0f rps offered | sent %9.0f/s replied %9.0f/s | "
+      "ok %8lld shedQ %6lld shedD %6lld rej %6lld (%.1f%% shed) | "
+      "p50 %7.3f p99 %7.3f p99.9 %7.3f ms | qwait mean %6.2f ms\n",
+      cell.config.c_str(), cell.target_rps, cell.client.sent_rps(),
+      cell.client.reply_rps(), static_cast<long long>(cell.client.ok),
+      static_cast<long long>(cell.client.shed_queue_full),
+      static_cast<long long>(cell.client.shed_deadline),
+      static_cast<long long>(cell.client.rejected), cell.shed_pct(),
+      cell.p_ms(50.0), cell.p_ms(99.0), cell.p_ms(99.9),
+      cell.server.ledger.MeanQueueWaitMs());
+}
+
+void WriteJson(const std::string& path, const std::vector<CellResult>& rows,
+               const CellResult* ingest, bool skipped,
+               const std::string& skip_reason) {
+  if (path == "off") {
+    return;
+  }
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"serving\",\n";
+  if (skipped) {
+    out << "  \"skipped\": true,\n  \"reason\": \"" << skip_reason
+        << "\",\n  \"rows\": []\n}\n";
+    std::printf("wrote %s (skipped)\n", path.c_str());
+    return;
+  }
+  out << "  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const CellResult& r = rows[i];
+    out << "    {\"config\": \"" << r.config << "\", \"mode\": \"" << r.mode
+        << "\", \"target_rps\": " << r.target_rps
+        << ", \"sent_rps\": " << r.client.sent_rps()
+        << ", \"reply_rps\": " << r.client.reply_rps()
+        << ", \"ok\": " << r.client.ok
+        << ", \"shed_queue_full\": " << r.client.shed_queue_full
+        << ", \"shed_deadline\": " << r.client.shed_deadline
+        << ", \"rejected\": " << r.client.rejected
+        << ", \"shed_pct\": " << r.shed_pct()
+        << ", \"p50_ms\": " << r.p_ms(50.0)
+        << ", \"p99_ms\": " << r.p_ms(99.0)
+        << ", \"p999_ms\": " << r.p_ms(99.9)
+        << ", \"mean_queue_wait_ms\": " << r.server.ledger.MeanQueueWaitMs()
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  const double measured = ingest != nullptr ? ingest->client.sent_rps() : 0.0;
+  const double replied = ingest != nullptr ? ingest->client.reply_rps() : 0.0;
+  out << "  \"acceptance\": {\"plan\": \"loopback-ingest-1M-rps\", "
+      << "\"target_rps\": " << kTargetIngestRps
+      << ", \"measured_sent_rps\": " << measured
+      << ", \"measured_reply_rps\": " << replied
+      << ", \"overload_plane_on\": true, \"met\": "
+      << (measured >= kTargetIngestRps ? "true" : "false") << "}\n";
+  out << "}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("Serving / wall clock",
+                   "loopback ingest throughput + RPS x admission sweep");
+  const char* env = std::getenv("FAAS_BENCH_SERVING_JSON");
+  const std::string json_path = env != nullptr ? env : "BENCH_serving.json";
+
+  // Phase 1: blast-mode ingest against the pure-ingest server.
+  std::printf("phase 1: blast ingest (pre-encoded frames, overload plane "
+              "on, service time 0)\n");
+  LoadGenConfig blast;
+  blast.mode = LoadMode::kOpen;
+  blast.target_rps = 0.0;  // Blast.
+  blast.connections = 2;
+  blast.duration_ms = 3'000;
+  blast.drain_ms = 2'000;
+  blast.num_functions = 64;
+
+  CellResult ingest;
+  std::string error;
+  if (!RunCell(IngestServerConfig(), blast, "blast", "blast", &ingest,
+               &error)) {
+    std::printf("serving bench skipped: %s\n", error.c_str());
+    WriteJson(json_path, {}, nullptr, /*skipped=*/true, error);
+    return 0;
+  }
+  PrintCell(ingest);
+  PrintPaperVsMeasured("ingest throughput (target vs measured, Mreq/s)",
+                       kTargetIngestRps / 1e6,
+                       ingest.client.sent_rps() / 1e6, "");
+  const bool target_met = ingest.client.sent_rps() >= kTargetIngestRps;
+  std::printf("  1M req/s target: %s\n", target_met ? "met" : "NOT MET");
+
+  // Phase 2: paced Poisson open loops below / near / beyond the sweep
+  // server's ~80k req/s service capacity, per discipline.
+  std::printf("phase 2: offered load x admission discipline "
+              "(4 shards x 8 slots, 400 us service, queue 256)\n");
+  const struct {
+    const char* name;
+    AdmissionDiscipline discipline;
+  } kDisciplines[] = {
+      {"fifo", AdmissionDiscipline::kFifo},
+      {"lifo", AdmissionDiscipline::kLifo},
+      {"codel", AdmissionDiscipline::kCoDel},
+  };
+  const double kOfferedRps[] = {40'000.0, 80'000.0, 160'000.0};
+
+  std::vector<CellResult> rows;
+  rows.push_back(ingest);
+  for (const auto& d : kDisciplines) {
+    for (const double rps : kOfferedRps) {
+      LoadGenConfig paced;
+      paced.mode = LoadMode::kOpen;
+      paced.target_rps = rps;
+      paced.connections = 4;
+      paced.duration_ms = 1'000;
+      paced.drain_ms = 2'000;
+      paced.num_functions = 256;
+      paced.seed = 42 + static_cast<uint64_t>(rps);
+      CellResult cell;
+      if (!RunCell(SweepServerConfig(d.discipline), paced, d.name, "paced",
+                   &cell, &error)) {
+        std::printf("sweep cell %s@%.0f failed: %s\n", d.name, rps,
+                    error.c_str());
+        continue;
+      }
+      PrintCell(cell);
+      rows.push_back(cell);
+    }
+  }
+
+  SeriesWriter series(
+      "serving",
+      {"config", "mode", "target_rps", "sent_rps", "reply_rps", "ok",
+       "shed_queue_full", "shed_deadline", "rejected", "shed_pct", "p50_ms",
+       "p99_ms", "p999_ms", "mean_queue_wait_ms"});
+  for (const CellResult& r : rows) {
+    series.Row(r.config, r.mode, r.target_rps, r.client.sent_rps(),
+               r.client.reply_rps(), r.client.ok, r.client.shed_queue_full,
+               r.client.shed_deadline, r.client.rejected, r.shed_pct(),
+               r.p_ms(50.0), r.p_ms(99.0), r.p_ms(99.9),
+               r.server.ledger.MeanQueueWaitMs());
+  }
+  if (series.enabled()) {
+    std::printf("wrote %s\n", series.path().c_str());
+  }
+  WriteJson(json_path, rows, &ingest, /*skipped=*/false, "");
+  return target_met ? 0 : 1;
+}

@@ -1,0 +1,580 @@
+#include "src/serve/bridge.h"
+
+#include <algorithm>
+
+#include "src/serve/clock.h"
+
+namespace faas {
+namespace {
+
+// Queue sweep cadence while requests are parked: bounds how stale a CoDel
+// age shed or a per-request deadline shed can be when no completion drains
+// the queue (1 ms against sojourn bounds that are tens of ms and up).
+constexpr int64_t kQueueSweepIntervalNs = 1'000'000;
+
+// Packs a pending-table key: slot index in the low 32 bits, generation in
+// the high 32 (generation 0 never issued, so key 0 means "none").
+uint64_t PackKey(uint32_t index, uint32_t generation) {
+  return (static_cast<uint64_t>(generation) << 32) | index;
+}
+
+}  // namespace
+
+AdmissionBridge::AdmissionBridge(const AdmissionBridgeConfig& config,
+                                 TimerWheel* wheel, ReplyFn reply_fn,
+                                 void* reply_ctx, LatencyRecorder* latency)
+    : config_(config),
+      wheel_(wheel),
+      reply_fn_(reply_fn),
+      reply_ctx_(reply_ctx),
+      latency_(latency),
+      executors_(std::max(config.num_executors, 1)),
+      pool_stride_(std::max<uint32_t>(config.num_functions_hint, 1)),
+      hedge_latency_ms_(config.overload.hedge.latency_percentile > 0.0
+                            ? config.overload.hedge.latency_percentile / 100.0
+                            : 0.99),
+      service_ns_(static_cast<int64_t>(config.service_time_us) * 1'000),
+      cold_ns_(static_cast<int64_t>(config.cold_start_us) * 1'000),
+      keep_alive_ns_(config.keep_alive_ms * 1'000'000) {
+  pools_.resize(executors_.size() * pool_stride_);
+  if (config_.overload.breaker.enabled) {
+    for (Executor& e : executors_) {
+      e.outcomes.assign(std::max(config_.overload.breaker.window, 1), 0);
+    }
+  }
+}
+
+AdmissionBridge::FunctionPool& AdmissionBridge::PoolFor(int executor,
+                                                        uint32_t function_id) {
+  if (function_id >= pool_stride_) {
+    // Rare resize: re-stride the pool matrix for the larger function space.
+    uint32_t stride = pool_stride_;
+    while (function_id >= stride) {
+      stride *= 2;
+    }
+    std::vector<FunctionPool> grown(executors_.size() * stride);
+    for (size_t e = 0; e < executors_.size(); ++e) {
+      for (uint32_t f = 0; f < pool_stride_; ++f) {
+        grown[e * stride + f] = std::move(pools_[e * pool_stride_ + f]);
+      }
+    }
+    pools_ = std::move(grown);
+    pool_stride_ = stride;
+  }
+  return pools_[static_cast<size_t>(executor) * pool_stride_ + function_id];
+}
+
+uint64_t AdmissionBridge::AllocPending(const Pending& pending) {
+  uint32_t index;
+  if (!free_pending_.empty()) {
+    index = free_pending_.back();
+    free_pending_.pop_back();
+  } else {
+    index = static_cast<uint32_t>(pending_.size());
+    pending_.emplace_back();
+  }
+  const uint32_t generation = pending_[index].generation + 1;
+  pending_[index] = pending;
+  pending_[index].generation = generation == 0 ? 1 : generation;
+  return PackKey(index, pending_[index].generation);
+}
+
+AdmissionBridge::Pending* AdmissionBridge::LookupPending(uint64_t key) {
+  const uint32_t index = static_cast<uint32_t>(key);
+  const uint32_t generation = static_cast<uint32_t>(key >> 32);
+  if (index >= pending_.size() || pending_[index].generation != generation ||
+      pending_[index].executor < 0) {
+    return nullptr;
+  }
+  return &pending_[index];
+}
+
+void AdmissionBridge::FreePending(uint64_t key) {
+  const uint32_t index = static_cast<uint32_t>(key);
+  pending_[index].executor = -1;  // Marks the slot dead for LookupPending.
+  free_pending_.push_back(index);
+}
+
+void AdmissionBridge::EmitReply(uint64_t conn_token, uint64_t request_id,
+                                ReplyStatus status, LatencyClass latency_class,
+                                int64_t arrival_ns, int64_t now_ns) {
+  ReplyFrame reply;
+  reply.request_id = request_id;
+  reply.status = status;
+  reply.latency_class = latency_class;
+  const int64_t us = (now_ns - arrival_ns) / 1'000;
+  reply.latency_us = us > 0 ? static_cast<uint32_t>(us) : 0;
+  reply_fn_(reply_ctx_, conn_token, reply);
+}
+
+void AdmissionBridge::OnRequest(uint64_t conn_token, const RequestFrame& frame,
+                                int64_t now_ns) {
+  ++stats_.requests;
+  last_now_ns_ = now_ns;
+  const int executor = PickExecutor(frame.function_id, -1);
+  if (executor >= 0) {
+    Execute(executor, conn_token, frame, now_ns, now_ns, false, 0);
+    return;
+  }
+  if (config_.overload.admission.enabled()) {
+    Enqueue(conn_token, frame, now_ns);
+    return;
+  }
+  ++stats_.rejected;
+  EmitReply(conn_token, frame.request_id, ReplyStatus::kRejected,
+            LatencyClass::kUnknown, now_ns, now_ns);
+}
+
+int AdmissionBridge::PickExecutor(uint32_t function_id, int exclude) {
+  const int n = static_cast<int>(executors_.size());
+  const int cap = config_.overload.invoker_concurrency_cap;
+  const bool breakers = config_.overload.breaker.enabled;
+  const int home = static_cast<int>(function_id % static_cast<uint32_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const int ex = home + k < n ? home + k : home + k - n;
+    if (ex == exclude) {
+      continue;
+    }
+    Executor& e = executors_[ex];
+    if (breakers && !BreakerAdmits(e)) {
+      ++ledger_.breaker_rejections;
+      continue;
+    }
+    if (cap > 0 && e.inflight >= cap) {
+      ++ledger_.cap_rejections;
+      continue;
+    }
+    return ex;
+  }
+  return -1;
+}
+
+void AdmissionBridge::Execute(int executor, uint64_t conn_token,
+                              const RequestFrame& frame, int64_t arrival_ns,
+                              int64_t now_ns, bool is_hedge,
+                              uint64_t primary_key) {
+  Executor& e = executors_[executor];
+  ++e.inflight;
+  ++inflight_;
+  bool probe = false;
+  if (config_.overload.breaker.enabled && e.mode == BreakerMode::kHalfOpen) {
+    ++e.half_open_inflight;
+    probe = true;
+  }
+
+  // Warm-pool lookup.  Idle expiries are pushed in completion order, so the
+  // deque is ascending: trim expired containers off the cold end, then any
+  // survivor is warm.
+  FunctionPool& pool = PoolFor(executor, frame.function_id);
+  while (!pool.idle_expiry_ns.empty() &&
+         pool.idle_expiry_ns.front() <= now_ns) {
+    pool.idle_expiry_ns.pop_front();
+    ++stats_.evictions;
+  }
+  bool cold = true;
+  if (!pool.idle_expiry_ns.empty()) {
+    pool.idle_expiry_ns.pop_back();
+    cold = false;
+  }
+
+  const int64_t total_ns = service_ns_ + (cold ? cold_ns_ : 0);
+  if (total_ns == 0) {
+    // Inline completion: the request never outlives this call.
+    --e.inflight;
+    --inflight_;
+    if (keep_alive_ns_ > 0) {
+      pool.idle_expiry_ns.push_back(now_ns + keep_alive_ns_);
+    }
+    if (cold) {
+      ++stats_.served_cold;
+    } else {
+      ++stats_.served_warm;
+    }
+    const double latency_ms =
+        static_cast<double>(now_ns - arrival_ns) / 1e6;
+    if (config_.overload.breaker.enabled) {
+      const double threshold = config_.overload.breaker.latency_threshold_ms;
+      RecordOutcome(executor, threshold > 0.0 && latency_ms > threshold,
+                    probe, now_ns);
+    }
+    if (config_.overload.hedge.enabled()) {
+      hedge_latency_ms_.Add(latency_ms);
+    }
+    if (latency_ != nullptr) {
+      latency_->Record(now_ns - arrival_ns);
+    }
+    EmitReply(conn_token, frame.request_id, ReplyStatus::kOk,
+              cold ? LatencyClass::kCold : LatencyClass::kWarm, arrival_ns,
+              now_ns);
+    if (!queue_.empty() && !in_drain_) {
+      DrainQueue(now_ns);
+    }
+    return;
+  }
+
+  Pending pending;
+  pending.conn_token = conn_token;
+  pending.request_id = frame.request_id;
+  pending.function_id = frame.function_id;
+  pending.arrival_ns = arrival_ns;
+  pending.executor = executor;
+  pending.cold = cold;
+  pending.is_hedge = is_hedge;
+  pending.half_open_probe = probe;
+  pending.deadline_us = frame.deadline_us;
+  const uint64_t key = AllocPending(pending);
+  if (is_hedge && primary_key != 0) {
+    pending_[static_cast<uint32_t>(key)].partner = primary_key;
+    if (Pending* primary = LookupPending(primary_key)) {
+      primary->partner = key;
+    }
+  }
+  wheel_->Schedule(now_ns + total_ns, &AdmissionBridge::CompletionTimer, this,
+                   key);
+  if (!is_hedge && cold && config_.overload.hedge.enabled() &&
+      executors_.size() > 1) {
+    wheel_->Schedule(now_ns + HedgeDelayNs(), &AdmissionBridge::HedgeTimer,
+                     this, key);
+  }
+}
+
+void AdmissionBridge::CompletionTimer(void* ctx, uint64_t data) {
+  auto* bridge = static_cast<AdmissionBridge*>(ctx);
+  bridge->Complete(data, MonotonicNowNs());
+}
+
+void AdmissionBridge::Complete(uint64_t key, int64_t now_ns) {
+  Pending* p = LookupPending(key);
+  if (p == nullptr) {
+    return;
+  }
+  last_now_ns_ = now_ns;
+  Executor& e = executors_[p->executor];
+  --e.inflight;
+  --inflight_;
+  if (keep_alive_ns_ > 0) {
+    PoolFor(p->executor, p->function_id)
+        .idle_expiry_ns.push_back(now_ns + keep_alive_ns_);
+  }
+
+  if (p->dead) {
+    // Lost the hedge race: the execution ran to completion as a zombie and
+    // only now returns its slot and container (controller semantics).
+    ++stats_.hedge_zombies;
+    if (p->half_open_probe && config_.overload.breaker.enabled) {
+      --e.half_open_inflight;
+    }
+    FreePending(key);
+    if (!queue_.empty() && !in_drain_) {
+      DrainQueue(now_ns);
+    }
+    return;
+  }
+
+  if (p->partner != 0) {
+    if (Pending* partner = LookupPending(p->partner)) {
+      partner->dead = true;
+      partner->partner = 0;
+    }
+    if (p->is_hedge) {
+      ++ledger_.hedge_wins;
+    } else {
+      ++ledger_.hedge_primary_wins;
+    }
+  }
+
+  if (p->cold) {
+    ++stats_.served_cold;
+  } else {
+    ++stats_.served_warm;
+  }
+  const double latency_ms = static_cast<double>(now_ns - p->arrival_ns) / 1e6;
+  if (config_.overload.breaker.enabled) {
+    const double threshold = config_.overload.breaker.latency_threshold_ms;
+    RecordOutcome(p->executor, threshold > 0.0 && latency_ms > threshold,
+                  p->half_open_probe, now_ns);
+  }
+  if (config_.overload.hedge.enabled()) {
+    hedge_latency_ms_.Add(latency_ms);
+  }
+  if (latency_ != nullptr) {
+    latency_->Record(now_ns - p->arrival_ns);
+  }
+  EmitReply(p->conn_token, p->request_id, ReplyStatus::kOk,
+            p->cold ? LatencyClass::kCold : LatencyClass::kWarm,
+            p->arrival_ns, now_ns);
+  FreePending(key);
+  if (!queue_.empty() && !in_drain_) {
+    DrainQueue(now_ns);
+  }
+}
+
+void AdmissionBridge::HedgeTimer(void* ctx, uint64_t data) {
+  auto* bridge = static_cast<AdmissionBridge*>(ctx);
+  bridge->LaunchHedge(data, MonotonicNowNs());
+}
+
+void AdmissionBridge::LaunchHedge(uint64_t key, int64_t now_ns) {
+  Pending* p = LookupPending(key);
+  if (p == nullptr || p->dead || p->partner != 0 || draining_) {
+    return;
+  }
+  const int executor = PickExecutor(p->function_id, p->executor);
+  if (executor < 0) {
+    ++ledger_.hedges_unplaced;
+    return;
+  }
+  ++ledger_.hedges_launched;
+  RequestFrame frame;
+  frame.request_id = p->request_id;
+  frame.function_id = p->function_id;
+  frame.deadline_us = p->deadline_us;
+  const int64_t arrival_ns = p->arrival_ns;
+  const uint64_t conn_token = p->conn_token;
+  // Execute() may grow pending_, invalidating `p` — copied what we need.
+  Execute(executor, conn_token, frame, arrival_ns, now_ns, true, key);
+}
+
+int64_t AdmissionBridge::HedgeDelayNs() {
+  const HedgeConfig& hedge = config_.overload.hedge;
+  const int64_t min_after_ns = hedge.min_after.millis() * 1'000'000;
+  if (hedge.latency_percentile > 0.0 && hedge_latency_ms_.count() >= 32) {
+    const auto estimate_ns =
+        static_cast<int64_t>(hedge_latency_ms_.Value() * 1e6);
+    return std::max(min_after_ns, estimate_ns);
+  }
+  if (hedge.after > Duration::Zero()) {
+    return hedge.after.millis() * 1'000'000;
+  }
+  return min_after_ns;
+}
+
+void AdmissionBridge::Enqueue(uint64_t conn_token, const RequestFrame& frame,
+                              int64_t now_ns) {
+  const AdmissionQueueConfig& adm = config_.overload.admission;
+  if (queue_.size() >= static_cast<size_t>(adm.capacity)) {
+    if (adm.discipline == AdmissionDiscipline::kLifo) {
+      // LIFO sheds the OLDEST queued request to admit the newcomer.
+      const QueuedRequest old = queue_.front();
+      queue_.pop_front();
+      ++ledger_.shed_queue_full;
+      EmitReply(old.conn_token, old.request_id, ReplyStatus::kShedQueueFull,
+                LatencyClass::kUnknown, old.arrival_ns, now_ns);
+    } else {
+      ++ledger_.shed_queue_full;
+      EmitReply(conn_token, frame.request_id, ReplyStatus::kShedQueueFull,
+                LatencyClass::kUnknown, now_ns, now_ns);
+      return;
+    }
+  }
+  queue_.push_back(QueuedRequest{conn_token, frame.request_id,
+                                 frame.function_id, frame.deadline_us,
+                                 now_ns});
+  ++ledger_.queued;
+  ArmQueueSweep(now_ns);
+}
+
+void AdmissionBridge::DrainQueue(int64_t now_ns) {
+  const AdmissionQueueConfig& adm = config_.overload.admission;
+  const bool lifo = adm.discipline == AdmissionDiscipline::kLifo;
+  const bool codel = adm.discipline == AdmissionDiscipline::kCoDel;
+  const int64_t max_wait_ns = adm.max_wait.millis() * 1'000'000;
+  in_drain_ = true;
+  while (!queue_.empty()) {
+    QueuedRequest& head = lifo ? queue_.back() : queue_.front();
+    const int64_t age_ns = now_ns - head.arrival_ns;
+    ReplyStatus shed = ReplyStatus::kOk;
+    if (codel && age_ns > max_wait_ns) {
+      shed = ReplyStatus::kShedDeadline;
+    } else if (head.deadline_us > 0 &&
+               age_ns > static_cast<int64_t>(head.deadline_us) * 1'000) {
+      shed = ReplyStatus::kShedDeadline;
+    }
+    if (shed != ReplyStatus::kOk) {
+      ++ledger_.shed_deadline;
+      EmitReply(head.conn_token, head.request_id, shed,
+                LatencyClass::kUnknown, head.arrival_ns, now_ns);
+      if (lifo) {
+        queue_.pop_back();
+      } else {
+        queue_.pop_front();
+      }
+      continue;
+    }
+    const int executor = PickExecutor(head.function_id, -1);
+    if (executor < 0) {
+      break;
+    }
+    const QueuedRequest req = head;
+    if (lifo) {
+      queue_.pop_back();
+    } else {
+      queue_.pop_front();
+    }
+    ++ledger_.drained;
+    const double wait_ms = static_cast<double>(age_ns) / 1e6;
+    ledger_.total_queue_wait_ms += wait_ms;
+    ledger_.max_queue_wait_ms = std::max(ledger_.max_queue_wait_ms, wait_ms);
+    RequestFrame frame;
+    frame.request_id = req.request_id;
+    frame.function_id = req.function_id;
+    frame.deadline_us = req.deadline_us;
+    Execute(executor, req.conn_token, frame, req.arrival_ns, now_ns, false, 0);
+  }
+  in_drain_ = false;
+}
+
+void AdmissionBridge::ArmQueueSweep(int64_t now_ns) {
+  if (queue_sweep_armed_ || queue_.empty() || draining_) {
+    return;
+  }
+  queue_sweep_armed_ = true;
+  wheel_->Schedule(now_ns + kQueueSweepIntervalNs,
+                   &AdmissionBridge::QueueSweepTimer, this, 0);
+}
+
+void AdmissionBridge::QueueSweepTimer(void* ctx, uint64_t /*data*/) {
+  auto* bridge = static_cast<AdmissionBridge*>(ctx);
+  bridge->queue_sweep_armed_ = false;
+  if (bridge->draining_) {
+    return;
+  }
+  const int64_t now_ns = MonotonicNowNs();
+  bridge->last_now_ns_ = now_ns;
+  if (!bridge->in_drain_) {
+    bridge->DrainQueue(now_ns);
+  }
+  bridge->ArmQueueSweep(now_ns);
+}
+
+bool AdmissionBridge::BreakerAdmits(const Executor& e) const {
+  switch (e.mode) {
+    case BreakerMode::kClosed:
+      return true;
+    case BreakerMode::kOpen:
+      return false;
+    case BreakerMode::kHalfOpen:
+      return e.half_open_inflight < config_.overload.breaker.half_open_probes;
+  }
+  return true;
+}
+
+void AdmissionBridge::RecordOutcome(int executor, bool bad,
+                                    bool was_half_open_probe, int64_t now_ns) {
+  Executor& e = executors_[executor];
+  const CircuitBreakerConfig& cfg = config_.overload.breaker;
+  if (was_half_open_probe) {
+    --e.half_open_inflight;
+    if (e.mode == BreakerMode::kHalfOpen) {
+      if (bad) {
+        OpenBreaker(executor, now_ns);
+      } else if (++e.half_open_good >= cfg.half_open_probes) {
+        CloseBreaker(executor, now_ns);
+      }
+    }
+    return;
+  }
+  if (e.mode != BreakerMode::kClosed) {
+    return;  // Straggler outcome while open/half-open: not part of a window.
+  }
+  const int8_t value = bad ? 1 : 0;
+  if (e.window_count == static_cast<int>(e.outcomes.size())) {
+    e.bad_count -= e.outcomes[e.window_pos];
+  } else {
+    ++e.window_count;
+  }
+  e.outcomes[e.window_pos] = value;
+  e.bad_count += value;
+  e.window_pos = (e.window_pos + 1) % static_cast<int>(e.outcomes.size());
+  if (e.window_count >= cfg.min_samples &&
+      static_cast<double>(e.bad_count) >=
+          cfg.failure_threshold * static_cast<double>(e.window_count)) {
+    OpenBreaker(executor, now_ns);
+  }
+}
+
+void AdmissionBridge::OpenBreaker(int executor, int64_t now_ns) {
+  Executor& e = executors_[executor];
+  e.mode = BreakerMode::kOpen;
+  ++e.breaker_epoch;
+  e.half_open_inflight = 0;
+  e.half_open_good = 0;
+  ++ledger_.breaker_opens;
+  if (!e.degraded) {
+    e.degraded = true;
+    e.degraded_since_ns = now_ns;
+  }
+  const int64_t open_ns =
+      config_.overload.breaker.open_duration.millis() * 1'000'000;
+  wheel_->Schedule(now_ns + open_ns, &AdmissionBridge::BreakerTimer, this,
+                   PackKey(static_cast<uint32_t>(executor), e.breaker_epoch));
+}
+
+void AdmissionBridge::BreakerTimer(void* ctx, uint64_t data) {
+  auto* bridge = static_cast<AdmissionBridge*>(ctx);
+  const auto executor = static_cast<int>(static_cast<uint32_t>(data));
+  const auto epoch = static_cast<uint32_t>(data >> 32);
+  Executor& e = bridge->executors_[executor];
+  // A re-open since this timer was armed mints a new epoch; stale timers
+  // must not half-open the newer open interval early.
+  if (e.breaker_epoch != epoch || e.mode != BreakerMode::kOpen) {
+    return;
+  }
+  bridge->HalfOpenBreaker(executor, MonotonicNowNs());
+}
+
+void AdmissionBridge::HalfOpenBreaker(int executor, int64_t now_ns) {
+  Executor& e = executors_[executor];
+  e.mode = BreakerMode::kHalfOpen;
+  e.half_open_inflight = 0;
+  e.half_open_good = 0;
+  ++ledger_.breaker_half_opens;
+  last_now_ns_ = now_ns;
+  // Probes arrive via normal dispatch; the queue may hold candidates.
+  if (!queue_.empty() && !in_drain_) {
+    DrainQueue(now_ns);
+  }
+}
+
+void AdmissionBridge::CloseBreaker(int executor, int64_t now_ns) {
+  Executor& e = executors_[executor];
+  e.mode = BreakerMode::kClosed;
+  std::fill(e.outcomes.begin(), e.outcomes.end(), 0);
+  e.window_pos = 0;
+  e.window_count = 0;
+  e.bad_count = 0;
+  ++ledger_.breaker_closes;
+  if (e.degraded) {
+    const double open_ms =
+        static_cast<double>(now_ns - e.degraded_since_ns) / 1e6;
+    ++ledger_.breaker_open_intervals;
+    ledger_.total_breaker_open_ms += open_ms;
+    ledger_.max_breaker_open_ms =
+        std::max(ledger_.max_breaker_open_ms, open_ms);
+    e.degraded = false;
+  }
+}
+
+void AdmissionBridge::Drain(int64_t now_ns) {
+  draining_ = true;
+  for (const QueuedRequest& req : queue_) {
+    ++ledger_.shed_at_shutdown;
+    EmitReply(req.conn_token, req.request_id, ReplyStatus::kShedShutdown,
+              LatencyClass::kUnknown, req.arrival_ns, now_ns);
+  }
+  queue_.clear();
+  // Close the books on breakers still degraded at shutdown.
+  for (Executor& e : executors_) {
+    if (e.degraded) {
+      const double open_ms =
+          static_cast<double>(now_ns - e.degraded_since_ns) / 1e6;
+      ++ledger_.breaker_open_intervals;
+      ledger_.total_breaker_open_ms += open_ms;
+      ledger_.max_breaker_open_ms =
+          std::max(ledger_.max_breaker_open_ms, open_ms);
+      e.degraded = false;
+    }
+  }
+}
+
+}  // namespace faas

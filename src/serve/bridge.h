@@ -1,0 +1,237 @@
+// AdmissionBridge: the cluster controller's admission path on a wall clock.
+//
+// The serving front-end (src/serve/server.h) terminates TCP and hands every
+// decoded request to one of these.  The bridge is the controller's overload
+// machinery — bounded admission queue with FIFO/LIFO/CoDel shedding,
+// per-executor concurrency caps and circuit breakers, hedged dispatch with
+// first-completion-wins — re-run against CLOCK_MONOTONIC instead of the
+// simulator's virtual EventQueue.  It reuses the cluster's configuration
+// and accounting types verbatim (OverloadControlConfig, AdmissionDiscipline,
+// OverloadLedger from src/cluster/overload.h), so a discipline swept in the
+// simulator and a discipline served over sockets are the same knobs and the
+// same ledger fields; what changes is only the substrate: future work goes
+// through a TimerWheel, and "executors" are concurrency shards standing in
+// for invokers (execution itself is simulated as a timer at
+// service_time + cold-start penalty, with a per-function warm-container
+// pool under a fixed keep-alive deciding cold vs warm).
+//
+// One bridge per event loop, single-threaded, no locks: a request is
+// admitted, queued, or shed on the loop that read it, and per-loop ledgers
+// and stats merge at scrape time.  Everything here is hot path — the
+// direct-dispatch case (free slot, warm container, zero service time) is a
+// few array reads, one pool pop/push, and one reply callback.
+
+#ifndef SRC_SERVE_BRIDGE_H_
+#define SRC_SERVE_BRIDGE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/cluster/overload.h"
+#include "src/serve/timer_wheel.h"
+#include "src/serve/wire.h"
+#include "src/stats/p2_quantile.h"
+#include "src/telemetry/latency_recorder.h"
+
+namespace faas {
+
+struct AdmissionBridgeConfig {
+  // The cluster's overload knobs, reused verbatim:
+  //   overload.admission                 bounded queue + discipline
+  //   overload.breaker                   per-executor circuit breakers
+  //   overload.hedge                     hedged dispatch for cold requests
+  //   overload.invoker_concurrency_cap   slots per executor (0 = unlimited)
+  // Duration fields are interpreted as wall-clock milliseconds.
+  OverloadControlConfig overload;
+  // Concurrency shards standing in for invokers (>= 1; hedging needs >= 2).
+  int num_executors = 2;
+  // Simulated execution time per request and extra cold-start penalty.
+  // 0/0 completes admitted requests inline with no timer (the pure-ingest
+  // configuration for throughput benches).
+  uint32_t service_time_us = 0;
+  uint32_t cold_start_us = 0;
+  // Fixed keep-alive for idle containers in the warm pool; 0 = every
+  // request is a cold start.
+  int64_t keep_alive_ms = 10'000;
+  // Pre-sized per-function state (grows on demand past the hint).
+  uint32_t num_functions_hint = 1024;
+};
+
+// Per-bridge serving tallies beyond what OverloadLedger covers.
+struct BridgeStats {
+  int64_t requests = 0;
+  int64_t served_warm = 0;
+  int64_t served_cold = 0;
+  int64_t rejected = 0;   // No queue configured and no executor admitted.
+  int64_t evictions = 0;  // Idle containers expired by the keep-alive.
+  int64_t hedge_zombies = 0;  // Cancelled-side executions run to completion.
+
+  int64_t served() const { return served_warm + served_cold; }
+
+  BridgeStats& operator+=(const BridgeStats& other) {
+    requests += other.requests;
+    served_warm += other.served_warm;
+    served_cold += other.served_cold;
+    rejected += other.rejected;
+    evictions += other.evictions;
+    hedge_zombies += other.hedge_zombies;
+    return *this;
+  }
+};
+
+class AdmissionBridge {
+ public:
+  // Emits one reply toward connection `conn_token` (a server-side handle
+  // the bridge never interprets).  Called inline from OnRequest for direct
+  // dispatches and sheds, and from timer context for completions.
+  using ReplyFn = void (*)(void* ctx, uint64_t conn_token,
+                           const ReplyFrame& reply);
+
+  // `wheel` and `latency` are non-owning and must outlive the bridge;
+  // `latency` (optional) records server-side latency of served requests in
+  // nanoseconds.
+  AdmissionBridge(const AdmissionBridgeConfig& config, TimerWheel* wheel,
+                  ReplyFn reply_fn, void* reply_ctx,
+                  LatencyRecorder* latency = nullptr);
+
+  // Admission entry point for one decoded request at wall time `now_ns`.
+  void OnRequest(uint64_t conn_token, const RequestFrame& frame,
+                 int64_t now_ns);
+
+  // Shutdown: sheds everything still queued (ShedShutdown) and stamps open
+  // breaker intervals.  In-flight simulated executions still complete;
+  // callers keep advancing the wheel until inflight() reaches zero.
+  void Drain(int64_t now_ns);
+
+  int64_t inflight() const { return inflight_; }
+  size_t queue_depth() const { return queue_.size(); }
+  const OverloadLedger& ledger() const { return ledger_; }
+  const BridgeStats& stats() const { return stats_; }
+
+ private:
+  enum class BreakerMode : uint8_t { kClosed, kOpen, kHalfOpen };
+
+  struct Executor {
+    int32_t inflight = 0;
+    // Circuit breaker (sized/used only when overload.breaker.enabled).
+    BreakerMode mode = BreakerMode::kClosed;
+    std::vector<int8_t> outcomes;  // Rolling ring, 1 = bad.
+    int window_pos = 0;
+    int window_count = 0;
+    int bad_count = 0;
+    int half_open_inflight = 0;
+    int half_open_good = 0;
+    uint32_t breaker_epoch = 0;  // Validates open->half-open timers.
+    bool degraded = false;
+    int64_t degraded_since_ns = 0;
+  };
+
+  // Warm-container pool for one (executor, function) pair: idle-container
+  // keep-alive expiry times in completion order (ascending), so expired
+  // containers trim off the front and the most recently used pops off the
+  // back.
+  struct FunctionPool {
+    std::deque<int64_t> idle_expiry_ns;
+  };
+
+  // One simulated in-flight execution.
+  struct Pending {
+    uint64_t conn_token = 0;
+    uint64_t request_id = 0;
+    uint32_t function_id = 0;
+    int64_t arrival_ns = 0;
+    int32_t executor = -1;
+    uint32_t generation = 0;
+    bool cold = false;
+    bool dead = false;      // Lost the hedge race; completes as a zombie.
+    bool is_hedge = false;
+    bool half_open_probe = false;
+    uint64_t partner = 0;   // Packed key of the live hedge partner (0=none).
+    uint32_t deadline_us = 0;
+  };
+
+  struct QueuedRequest {
+    uint64_t conn_token = 0;
+    uint64_t request_id = 0;
+    uint32_t function_id = 0;
+    uint32_t deadline_us = 0;
+    int64_t arrival_ns = 0;
+  };
+
+  // --- dispatch ---
+  // Picks an executor for `function_id` (home-first round-robin, skipping
+  // caps/breakers; `exclude` >= 0 for hedges).  Returns -1 if none admits.
+  int PickExecutor(uint32_t function_id, int exclude);
+  // Starts execution on `executor`; classifies warm/cold, schedules the
+  // completion timer (or completes inline), arms the hedge timer.
+  void Execute(int executor, uint64_t conn_token, const RequestFrame& frame,
+               int64_t arrival_ns, int64_t now_ns, bool is_hedge,
+               uint64_t primary_key);
+  void Complete(uint64_t key, int64_t now_ns);
+  void LaunchHedge(uint64_t key, int64_t now_ns);
+  int64_t HedgeDelayNs();
+
+  // --- admission queue ---
+  void Enqueue(uint64_t conn_token, const RequestFrame& frame,
+               int64_t now_ns);
+  void DrainQueue(int64_t now_ns);
+  void ArmQueueSweep(int64_t now_ns);
+
+  // --- breakers ---
+  bool BreakerAdmits(const Executor& e) const;
+  void RecordOutcome(int executor, bool bad, bool was_half_open_probe,
+                     int64_t now_ns);
+  void OpenBreaker(int executor, int64_t now_ns);
+  void HalfOpenBreaker(int executor, int64_t now_ns);
+  void CloseBreaker(int executor, int64_t now_ns);
+
+  // --- plumbing ---
+  FunctionPool& PoolFor(int executor, uint32_t function_id);
+  uint64_t AllocPending(const Pending& pending);
+  Pending* LookupPending(uint64_t key);
+  void FreePending(uint64_t key);
+  void EmitReply(uint64_t conn_token, uint64_t request_id, ReplyStatus status,
+                 LatencyClass latency_class, int64_t arrival_ns,
+                 int64_t now_ns);
+
+  static void CompletionTimer(void* ctx, uint64_t data);
+  static void HedgeTimer(void* ctx, uint64_t data);
+  static void BreakerTimer(void* ctx, uint64_t data);
+  static void QueueSweepTimer(void* ctx, uint64_t data);
+
+  AdmissionBridgeConfig config_;
+  TimerWheel* wheel_;
+  ReplyFn reply_fn_;
+  void* reply_ctx_;
+  LatencyRecorder* latency_;
+
+  std::vector<Executor> executors_;
+  // pools_[executor * stride + function]; grown when a function id exceeds
+  // the current stride.
+  std::vector<FunctionPool> pools_;
+  uint32_t pool_stride_ = 0;
+  std::deque<QueuedRequest> queue_;
+  bool queue_sweep_armed_ = false;
+  // Re-entrancy guard: Execute()'s inline-completion path may free a slot
+  // while DrainQueue is already walking the queue.
+  bool in_drain_ = false;
+
+  std::vector<Pending> pending_;
+  std::vector<uint32_t> free_pending_;
+  int64_t inflight_ = 0;
+  int64_t last_now_ns_ = 0;
+
+  P2Quantile hedge_latency_ms_;
+  int64_t service_ns_ = 0;
+  int64_t cold_ns_ = 0;
+  int64_t keep_alive_ns_ = 0;
+  bool draining_ = false;
+
+  OverloadLedger ledger_;
+  BridgeStats stats_;
+};
+
+}  // namespace faas
+
+#endif  // SRC_SERVE_BRIDGE_H_

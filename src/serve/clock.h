@@ -1,0 +1,24 @@
+// Wall-clock source for the serving subsystem.
+//
+// All serving timestamps are CLOCK_MONOTONIC nanoseconds: immune to NTP
+// steps, cheap to read (vDSO), and directly comparable across threads of
+// one process.  The load generators also stamp request ids with this clock,
+// so an end-to-end latency is one subtraction on reply receipt.
+
+#ifndef SRC_SERVE_CLOCK_H_
+#define SRC_SERVE_CLOCK_H_
+
+#include <cstdint>
+#include <ctime>
+
+namespace faas {
+
+inline int64_t MonotonicNowNs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace faas
+
+#endif  // SRC_SERVE_CLOCK_H_

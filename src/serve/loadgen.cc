@@ -1,0 +1,495 @@
+#include "src/serve/loadgen.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "src/serve/clock.h"
+#include "src/serve/wire.h"
+
+namespace faas {
+namespace {
+
+// Blast mode pre-encodes this many frames per block and re-stamps only the
+// request ids before each send, so the per-frame cost is a few stores.
+constexpr int kBlastBlockFrames = 256;
+// Bound on arrivals materialised per loop iteration when the Poisson
+// schedule has fallen behind wall time (the open loop catches up in bursts
+// rather than spinning unboundedly).
+constexpr int kMaxArrivalsPerIteration = 4096;
+// request_id (the send timestamp) lives at this offset in the header.
+constexpr size_t kRequestIdOffset = 16;
+
+struct Conn {
+  int fd = -1;
+  bool connected = false;   // Async connect() completed.
+  bool want_write = false;  // EPOLLOUT armed.
+  bool awaiting = false;    // Closed loop: reply outstanding.
+  int64_t next_send_ns = 0;  // Closed loop: think-time gate.
+  FrameDecoder decoder;
+  std::vector<uint8_t> out;
+  size_t out_pos = 0;
+};
+
+class Runner {
+ public:
+  Runner(const LoadGenConfig& config, LoadGenResult* result)
+      : config_(config), result_(result), rng_(config.seed) {}
+
+  ~Runner() {
+    for (Conn& conn : conns_) {
+      if (conn.fd >= 0) {
+        close(conn.fd);
+      }
+    }
+    if (epoll_fd_ >= 0) {
+      close(epoll_fd_);
+    }
+  }
+
+  bool Run(std::string* error);
+
+ private:
+  bool Fail(std::string* error, const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+
+  bool Connect(std::string* error);
+  void BuildBlastBlock();
+  uint32_t NextFunctionId() {
+    const uint32_t id = function_cursor_;
+    function_cursor_ = function_cursor_ + 1 == config_.num_functions
+                           ? 0
+                           : function_cursor_ + 1;
+    return id;
+  }
+  void AppendRequest(Conn& conn, int64_t now_ns);
+  void AppendBlastBlock(Conn& conn, int64_t now_ns);
+  bool FlushConn(size_t index);
+  void UpdateEpoll(size_t index, bool want_write);
+  bool ReadReplies(size_t index, int64_t now_ns);
+  void OnReply(const ReplyFrame& reply, int64_t now_ns);
+  size_t BacklogBytes() const;
+
+  const LoadGenConfig& config_;
+  LoadGenResult* result_;
+  std::mt19937_64 rng_;
+  std::exponential_distribution<double> inter_arrival_{1.0};
+  int epoll_fd_ = -1;
+  std::vector<Conn> conns_;
+  std::vector<uint8_t> blast_block_;
+  std::vector<uint8_t> read_buf_;
+  std::vector<uint8_t> payload_;
+  uint32_t function_cursor_ = 0;
+  size_t rr_ = 0;  // Open loop: round-robin connection cursor.
+  int live_conns_ = 0;
+};
+
+bool Runner::Connect(std::string* error) {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Fail(error, "epoll_create1");
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "invalid host: " + config_.host;
+    }
+    return false;
+  }
+  const int n = std::max(config_.connections, 1);
+  conns_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    Conn& conn = conns_[i];
+    conn.fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (conn.fd < 0) {
+      return Fail(error, "socket");
+    }
+    const int one = 1;
+    setsockopt(conn.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (connect(conn.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0 &&
+        errno != EINPROGRESS) {
+      return Fail(error, "connect");
+    }
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN | EPOLLOUT;  // EPOLLOUT signals connect completion.
+    ev.data.u64 = static_cast<uint64_t>(i);
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn.fd, &ev) != 0) {
+      return Fail(error, "epoll_ctl");
+    }
+    conn.want_write = true;
+  }
+  // Wait (bounded) until every connection either completes or fails.
+  const int64_t deadline_ns = MonotonicNowNs() + 2'000'000'000;
+  int pending = n;
+  std::vector<epoll_event> events(static_cast<size_t>(n));
+  while (pending > 0) {
+    const int64_t left_ms = (deadline_ns - MonotonicNowNs()) / 1'000'000;
+    if (left_ms <= 0) {
+      if (error != nullptr) {
+        *error = "connect timeout";
+      }
+      return false;
+    }
+    const int num_events =
+        epoll_wait(epoll_fd_, events.data(), n, static_cast<int>(left_ms));
+    for (int i = 0; i < num_events; ++i) {
+      Conn& conn = conns_[events[i].data.u64];
+      if (conn.connected) {
+        continue;
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0 || (events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        errno = err != 0 ? err : ECONNREFUSED;
+        return Fail(error, "connect");
+      }
+      conn.connected = true;
+      UpdateEpoll(events[i].data.u64, false);
+      --pending;
+    }
+  }
+  live_conns_ = n;
+  return true;
+}
+
+void Runner::BuildBlastBlock() {
+  std::vector<uint8_t> one;
+  RequestFrame frame;
+  frame.payload_size = config_.payload_bytes;
+  frame.deadline_us = config_.deadline_us;
+  for (int i = 0; i < kBlastBlockFrames; ++i) {
+    frame.function_id = NextFunctionId();
+    EncodeRequest(frame, one);
+    one.insert(one.end(), payload_.begin(), payload_.end());
+    blast_block_.insert(blast_block_.end(), one.begin(), one.end());
+    one.clear();
+  }
+}
+
+void Runner::AppendRequest(Conn& conn, int64_t now_ns) {
+  RequestFrame frame;
+  frame.request_id = static_cast<uint64_t>(now_ns);
+  frame.function_id = NextFunctionId();
+  frame.payload_size = config_.payload_bytes;
+  frame.deadline_us = config_.deadline_us;
+  EncodeRequest(frame, conn.out);
+  conn.out.insert(conn.out.end(), payload_.begin(), payload_.end());
+  ++result_->sent;
+}
+
+void Runner::AppendBlastBlock(Conn& conn, int64_t now_ns) {
+  // One timestamp per block: blast mode trades per-frame stamp precision
+  // (≤ the block's send time, microseconds) for a near-zero encode cost.
+  const size_t stride = kWireHeaderSize + config_.payload_bytes;
+  const uint64_t stamp = static_cast<uint64_t>(now_ns);
+  for (size_t off = 0; off < blast_block_.size(); off += stride) {
+    std::memcpy(blast_block_.data() + off + kRequestIdOffset, &stamp,
+                sizeof(stamp));
+  }
+  conn.out.insert(conn.out.end(), blast_block_.begin(), blast_block_.end());
+  result_->sent += kBlastBlockFrames;
+}
+
+void Runner::UpdateEpoll(size_t index, bool want_write) {
+  Conn& conn = conns_[index];
+  if (conn.want_write == want_write) {
+    return;
+  }
+  conn.want_write = want_write;
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = want_write ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  ev.data.u64 = static_cast<uint64_t>(index);
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+// Returns false when the connection died.
+bool Runner::FlushConn(size_t index) {
+  Conn& conn = conns_[index];
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t n = write(conn.fd, conn.out.data() + conn.out_pos,
+                            conn.out.size() - conn.out_pos);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        UpdateEpoll(index, true);
+        return true;
+      }
+      close(conn.fd);
+      conn.fd = -1;
+      --live_conns_;
+      return false;
+    }
+    result_->bytes_out += n;
+    conn.out_pos += static_cast<size_t>(n);
+  }
+  conn.out.clear();
+  conn.out_pos = 0;
+  UpdateEpoll(index, false);
+  return true;
+}
+
+void Runner::OnReply(const ReplyFrame& reply, int64_t now_ns) {
+  ++result_->replies;
+  switch (reply.status) {
+    case ReplyStatus::kOk:
+      ++result_->ok;
+      if (reply.latency_class == LatencyClass::kCold) {
+        ++result_->cold;
+      } else {
+        ++result_->warm;
+      }
+      result_->latency.Record(now_ns -
+                              static_cast<int64_t>(reply.request_id));
+      break;
+    case ReplyStatus::kShedQueueFull:
+      ++result_->shed_queue_full;
+      break;
+    case ReplyStatus::kShedDeadline:
+      ++result_->shed_deadline;
+      break;
+    case ReplyStatus::kShedShutdown:
+      ++result_->shed_shutdown;
+      break;
+    case ReplyStatus::kRejected:
+      ++result_->rejected;
+      break;
+  }
+}
+
+// Returns false when the connection died.
+bool Runner::ReadReplies(size_t index, int64_t now_ns) {
+  Conn& conn = conns_[index];
+  for (;;) {
+    const ssize_t n = read(conn.fd, read_buf_.data(), read_buf_.size());
+    if (n == 0) {
+      close(conn.fd);
+      conn.fd = -1;
+      --live_conns_;
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return true;
+      }
+      close(conn.fd);
+      conn.fd = -1;
+      --live_conns_;
+      return false;
+    }
+    result_->bytes_in += n;
+    conn.decoder.Push(read_buf_.data(), static_cast<size_t>(n));
+    DecodedFrame frame;
+    for (;;) {
+      const FrameDecoder::Result result = conn.decoder.Next(&frame);
+      if (result == FrameDecoder::Result::kNeedMore) {
+        break;
+      }
+      if (result == FrameDecoder::Result::kError ||
+          frame.type != FrameType::kReply) {
+        close(conn.fd);
+        conn.fd = -1;
+        --live_conns_;
+        return false;
+      }
+      OnReply(frame.reply, now_ns);
+      if (config_.mode == LoadMode::kClosed) {
+        conn.awaiting = false;
+        conn.next_send_ns = now_ns + config_.think_time_us * 1'000;
+      }
+    }
+    if (static_cast<size_t>(n) < read_buf_.size()) {
+      return true;
+    }
+  }
+}
+
+size_t Runner::BacklogBytes() const {
+  size_t total = 0;
+  for (const Conn& conn : conns_) {
+    if (conn.fd >= 0) {
+      total += conn.out.size() - conn.out_pos;
+    }
+  }
+  return total;
+}
+
+bool Runner::Run(std::string* error) {
+  read_buf_.resize(256 * 1024);
+  payload_.assign(config_.payload_bytes, 0);
+  if (!Connect(error)) {
+    return false;
+  }
+  const bool open = config_.mode == LoadMode::kOpen;
+  const bool blast = open && config_.target_rps <= 0.0;
+  if (blast) {
+    BuildBlastBlock();
+  } else if (open) {
+    inter_arrival_ =
+        std::exponential_distribution<double>(config_.target_rps / 1e9);
+  }
+
+  const int64_t start_ns = MonotonicNowNs();
+  const int64_t send_end_ns = start_ns + config_.duration_ms * 1'000'000;
+  int64_t next_arrival_ns = start_ns;
+  bool sending = true;
+  int64_t send_window_ns = 0;
+  std::vector<epoll_event> events(conns_.size() + 1);
+  int64_t drain_deadline_ns = 0;
+
+  while (live_conns_ > 0) {
+    const int64_t now_ns = MonotonicNowNs();
+    if (sending &&
+        (now_ns >= send_end_ns ||
+         (config_.stop != nullptr &&
+          config_.stop->load(std::memory_order_relaxed)))) {
+      sending = false;
+      send_window_ns = now_ns - start_ns;
+      drain_deadline_ns = now_ns + config_.drain_ms * 1'000'000;
+    }
+    if (!sending &&
+        (result_->replies >= result_->sent || now_ns >= drain_deadline_ns)) {
+      break;
+    }
+
+    // Generate whatever the load shape says is due.
+    if (sending) {
+      if (blast) {
+        for (size_t i = 0; i < conns_.size(); ++i) {
+          Conn& conn = conns_[i];
+          // Only refill connections whose previous block fully left the
+          // socket: blast throughput is bounded by the kernel, not by an
+          // ever-growing user-space backlog.
+          if (conn.fd >= 0 && conn.out_pos >= conn.out.size()) {
+            AppendBlastBlock(conn, now_ns);
+            FlushConn(i);
+          }
+        }
+      } else if (open) {
+        int burst = 0;
+        while (next_arrival_ns <= now_ns &&
+               burst < kMaxArrivalsPerIteration) {
+          // Round-robin across live connections; the arrival is dropped
+          // only if every connection died.
+          for (size_t probe = 0; probe < conns_.size(); ++probe) {
+            Conn& conn = conns_[rr_];
+            rr_ = rr_ + 1 == conns_.size() ? 0 : rr_ + 1;
+            if (conn.fd >= 0) {
+              AppendRequest(conn, now_ns);
+              break;
+            }
+          }
+          next_arrival_ns +=
+              static_cast<int64_t>(inter_arrival_(rng_)) + 1;
+          ++burst;
+        }
+        for (size_t i = 0; i < conns_.size(); ++i) {
+          if (conns_[i].fd >= 0 && conns_[i].out_pos < conns_[i].out.size()) {
+            FlushConn(i);
+          }
+        }
+        result_->peak_backlog_bytes =
+            std::max(result_->peak_backlog_bytes, BacklogBytes());
+      } else {  // Closed loop.
+        for (size_t i = 0; i < conns_.size(); ++i) {
+          Conn& conn = conns_[i];
+          if (conn.fd >= 0 && !conn.awaiting && now_ns >= conn.next_send_ns) {
+            AppendRequest(conn, now_ns);
+            conn.awaiting = true;
+            FlushConn(i);
+          }
+        }
+      }
+    }
+
+    // Pick a wait: blast never sleeps while sending; paced open sleeps to
+    // the next arrival; closed sleeps to the earliest think-time expiry.
+    int timeout_ms = 0;
+    if (!sending) {
+      timeout_ms = 1;
+    } else if (blast) {
+      timeout_ms = 0;
+    } else if (open) {
+      timeout_ms = static_cast<int>(
+          std::max<int64_t>((next_arrival_ns - now_ns) / 1'000'000, 0));
+    } else {
+      int64_t earliest = send_end_ns;
+      for (const Conn& conn : conns_) {
+        if (conn.fd >= 0 && !conn.awaiting) {
+          earliest = std::min(earliest, conn.next_send_ns);
+        }
+      }
+      timeout_ms = static_cast<int>(
+          std::max<int64_t>((earliest - now_ns) / 1'000'000, 0));
+      timeout_ms = std::min(timeout_ms, 100);
+    }
+
+    const int num_events =
+        epoll_wait(epoll_fd_, events.data(),
+                   static_cast<int>(events.size()), timeout_ms);
+    const int64_t recv_ns = MonotonicNowNs();
+    for (int i = 0; i < num_events; ++i) {
+      const size_t index = events[i].data.u64;
+      Conn& conn = conns_[index];
+      if (conn.fd < 0) {
+        continue;
+      }
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        close(conn.fd);
+        conn.fd = -1;
+        --live_conns_;
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0 && !ReadReplies(index, recv_ns)) {
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        FlushConn(index);
+      }
+    }
+  }
+
+  const int64_t end_ns = MonotonicNowNs();
+  result_->elapsed_ns = end_ns - start_ns;
+  result_->send_window_ns =
+      send_window_ns > 0 ? send_window_ns : end_ns - start_ns;
+  return true;
+}
+
+}  // namespace
+
+LoadGenerator::LoadGenerator(LoadGenConfig config)
+    : config_(std::move(config)) {}
+
+bool LoadGenerator::Run(LoadGenResult* result, std::string* error) {
+  *result = LoadGenResult{};
+  Runner runner(config_, result);
+  return runner.Run(error);
+}
+
+}  // namespace faas

@@ -1,0 +1,116 @@
+// Loopback load generators for the serving front-end.
+//
+// Two canonical load shapes drive the server:
+//
+//   Open loop   — arrivals follow a seeded Poisson process at a target rate
+//                 and are written regardless of how fast replies come back;
+//                 the generator never blocks on a response, so server-side
+//                 queueing delay shows up in the measured latency instead of
+//                 silently throttling the offered load.  target_rps == 0 is
+//                 "blast" mode: frames are pre-encoded in fixed blocks and
+//                 written as fast as the socket accepts them, which is how
+//                 the ingest-throughput bench measures peak frames/s.
+//   Closed loop — N connections each keep exactly one request in flight and
+//                 wait think_time between a reply and the next request, the
+//                 classic interactive-client model.
+//
+// Requests carry their send timestamp (CLOCK_MONOTONIC ns) as the request
+// id, so e2e latency on reply receipt is one subtraction — no in-flight
+// lookup table on either side.  Latencies land in a LatencyRecorder
+// (log-bucketed, mergeable), from which callers read p50/p99/p99.9.
+//
+// The generator is single-threaded (epoll over all connections).  An
+// optional external stop flag aborts the send window early — tools/serve_load
+// points it at its SIGINT handler.
+
+#ifndef SRC_SERVE_LOADGEN_H_
+#define SRC_SERVE_LOADGEN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/telemetry/latency_recorder.h"
+
+namespace faas {
+
+enum class LoadMode : uint8_t {
+  kOpen,    // Poisson arrivals at target_rps (0 = blast).
+  kClosed,  // One in-flight request per connection + think time.
+};
+
+struct LoadGenConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  LoadMode mode = LoadMode::kOpen;
+  int connections = 1;
+  // Open loop: offered load in requests/s; 0 means blast (max rate).
+  double target_rps = 0.0;
+  // Closed loop: pause between a reply and the connection's next request.
+  int64_t think_time_us = 0;
+  // Length of the send window; after it closes the generator keeps reading
+  // until every sent request is answered or drain_ms elapses.
+  int64_t duration_ms = 1'000;
+  int64_t drain_ms = 500;
+  // Function ids cycle through [0, num_functions).
+  uint32_t num_functions = 64;
+  uint32_t payload_bytes = 0;
+  // Per-request deadline carried on the wire (0 = none).
+  uint32_t deadline_us = 0;
+  uint64_t seed = 42;
+  // Optional external abort (e.g. a SIGINT flag); ends the send window.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+struct LoadGenResult {
+  int64_t sent = 0;
+  int64_t replies = 0;
+  // Reply status breakdown.
+  int64_t ok = 0;
+  int64_t shed_queue_full = 0;
+  int64_t shed_deadline = 0;
+  int64_t shed_shutdown = 0;
+  int64_t rejected = 0;
+  // Latency-class breakdown of ok replies.
+  int64_t warm = 0;
+  int64_t cold = 0;
+  int64_t bytes_out = 0;
+  int64_t bytes_in = 0;
+  int64_t elapsed_ns = 0;      // Whole run, including the drain phase.
+  int64_t send_window_ns = 0;  // Sending portion only.
+  // Largest open-loop backlog of encoded-but-unsent bytes (the open loop
+  // never blocks; backpressure accumulates here instead).
+  size_t peak_backlog_bytes = 0;
+  LatencyRecorder latency;  // Client-observed e2e latency of ok replies.
+
+  int64_t shed() const {
+    return shed_queue_full + shed_deadline + shed_shutdown;
+  }
+  double sent_rps() const {
+    return send_window_ns > 0
+               ? static_cast<double>(sent) * 1e9 /
+                     static_cast<double>(send_window_ns)
+               : 0.0;
+  }
+  double reply_rps() const {
+    return elapsed_ns > 0 ? static_cast<double>(replies) * 1e9 /
+                                static_cast<double>(elapsed_ns)
+                          : 0.0;
+  }
+};
+
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(LoadGenConfig config);
+
+  // Runs the configured load to completion.  False (with *error set) when
+  // the server is unreachable or sockets are unavailable.
+  bool Run(LoadGenResult* result, std::string* error);
+
+ private:
+  LoadGenConfig config_;
+};
+
+}  // namespace faas
+
+#endif  // SRC_SERVE_LOADGEN_H_

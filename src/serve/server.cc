@@ -1,0 +1,559 @@
+#include "src/serve/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sched.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "src/common/cpu_topology.h"
+#include "src/serve/clock.h"
+#include "src/serve/wire.h"
+
+namespace faas {
+namespace {
+
+// epoll_event user-data tags for the two non-connection descriptors.
+constexpr uint64_t kListenTag = ~uint64_t{0};
+constexpr uint64_t kWakeTag = ~uint64_t{0} - 1;
+
+// Per-EPOLLIN read budget: keeps one firehose connection from starving the
+// timer wheel.  Level-triggered epoll re-arms anything left unread.
+constexpr int kMaxReadsPerEvent = 4;
+
+void MergeLedgers(OverloadLedger& into, const OverloadLedger& from) {
+  into.queued += from.queued;
+  into.drained += from.drained;
+  into.shed_queue_full += from.shed_queue_full;
+  into.shed_deadline += from.shed_deadline;
+  into.shed_at_shutdown += from.shed_at_shutdown;
+  into.total_queue_wait_ms += from.total_queue_wait_ms;
+  into.max_queue_wait_ms =
+      std::max(into.max_queue_wait_ms, from.max_queue_wait_ms);
+  into.hedges_launched += from.hedges_launched;
+  into.hedges_unplaced += from.hedges_unplaced;
+  into.hedge_wins += from.hedge_wins;
+  into.hedge_primary_wins += from.hedge_primary_wins;
+  into.breaker_opens += from.breaker_opens;
+  into.breaker_half_opens += from.breaker_half_opens;
+  into.breaker_closes += from.breaker_closes;
+  into.breaker_rejections += from.breaker_rejections;
+  into.cap_rejections += from.cap_rejections;
+  into.breaker_open_intervals += from.breaker_open_intervals;
+  into.total_breaker_open_ms += from.total_breaker_open_ms;
+  into.max_breaker_open_ms =
+      std::max(into.max_breaker_open_ms, from.max_breaker_open_ms);
+}
+
+// Waits for events with nanosecond precision where the kernel offers it
+// (epoll_pwait2, Linux 5.11+); otherwise rounds the timeout up to whole
+// milliseconds so timers never fire early.
+int WaitForEvents(int epoll_fd, epoll_event* events, int max_events,
+                  int64_t timeout_ns) {
+#ifdef SYS_epoll_pwait2
+  if (timeout_ns >= 0) {
+    timespec ts;
+    ts.tv_sec = timeout_ns / 1'000'000'000;
+    ts.tv_nsec = timeout_ns % 1'000'000'000;
+    const long n = syscall(SYS_epoll_pwait2, epoll_fd, events, max_events,
+                           &ts, nullptr, 0);
+    if (n >= 0 || errno != ENOSYS) {
+      return static_cast<int>(n);
+    }
+    // Kernel predates epoll_pwait2: fall through to epoll_wait forever.
+  }
+#endif
+  int timeout_ms = -1;
+  if (timeout_ns >= 0) {
+    timeout_ms = static_cast<int>((timeout_ns + 999'999) / 1'000'000);
+  }
+  return epoll_wait(epoll_fd, events, max_events, timeout_ms);
+}
+
+}  // namespace
+
+ServeStats& ServeStats::operator+=(const ServeStats& other) {
+  connections_accepted += other.connections_accepted;
+  connections_closed += other.connections_closed;
+  protocol_errors += other.protocol_errors;
+  frames_in += other.frames_in;
+  replies_out += other.replies_out;
+  bytes_in += other.bytes_in;
+  bytes_out += other.bytes_out;
+  bridge += other.bridge;
+  MergeLedgers(ledger, other.ledger);
+  latency.Merge(other.latency);
+  return *this;
+}
+
+class ServeServer::EventLoop {
+ public:
+  EventLoop(const ServeConfig& config, int loop_id)
+      : config_(config),
+        loop_id_(loop_id),
+        wheel_(config.wheel_tick_ns, config.wheel_slots),
+        bridge_(config.bridge, &wheel_, &EventLoop::EmitReplyThunk, this,
+                &latency_),
+        read_buf_(config.read_buffer_bytes) {}
+
+  ~EventLoop() {
+    Join();
+    for (std::unique_ptr<Conn>& conn : conns_) {
+      if (conn != nullptr && conn->fd >= 0) {
+        close(conn->fd);
+      }
+    }
+    if (listen_fd_ >= 0) {
+      close(listen_fd_);
+    }
+    if (wake_fd_ >= 0) {
+      close(wake_fd_);
+    }
+    if (epoll_fd_ >= 0) {
+      close(epoll_fd_);
+    }
+  }
+
+  // Binds the loop's SO_REUSEPORT listening socket.  *port == 0 picks an
+  // ephemeral port and reports it (subsequent loops bind the same one).
+  bool Init(uint16_t* port, std::string* error) {
+    listen_fd_ =
+        socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      return Fail(error, "socket");
+    }
+    const int one = 1;
+    if (setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) !=
+        0) {
+      return Fail(error, "setsockopt(SO_REUSEPORT)");
+    }
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(*port);
+    if (inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+      if (error != nullptr) {
+        *error = "invalid host: " + config_.host;
+      }
+      return false;
+    }
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return Fail(error, "bind");
+    }
+    if (*port == 0) {
+      socklen_t len = sizeof(addr);
+      if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+          0) {
+        return Fail(error, "getsockname");
+      }
+      *port = ntohs(addr.sin_port);
+    }
+    if (listen(listen_fd_, config_.listen_backlog) != 0) {
+      return Fail(error, "listen");
+    }
+    epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      return Fail(error, "epoll_create1");
+    }
+    wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wake_fd_ < 0) {
+      return Fail(error, "eventfd");
+    }
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenTag;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+      return Fail(error, "epoll_ctl(listen)");
+    }
+    ev.data.u64 = kWakeTag;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+      return Fail(error, "epoll_ctl(wake)");
+    }
+    return true;
+  }
+
+  void Launch(int cpu) { thread_ = std::thread([this, cpu] { Run(cpu); }); }
+
+  void RequestStop() {
+    stop_requested_.store(true, std::memory_order_release);
+    if (wake_fd_ >= 0) {
+      const uint64_t one = 1;
+      [[maybe_unused]] const ssize_t n = write(wake_fd_, &one, sizeof(one));
+    }
+  }
+
+  void Join() {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+  ServeStats Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    ServeStats stats = counters_;
+    stats.bridge = bridge_.stats();
+    stats.ledger = bridge_.ledger();
+    stats.latency = latency_;
+    return stats;
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    uint32_t generation = 0;
+    bool want_write = false;
+    bool dirty = false;  // In dirty_ with bytes pending encode->flush.
+    FrameDecoder decoder;
+    std::vector<uint8_t> out;
+    size_t out_pos = 0;
+  };
+
+  bool Fail(std::string* error, const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+
+  static void EmitReplyThunk(void* ctx, uint64_t token,
+                             const ReplyFrame& reply) {
+    static_cast<EventLoop*>(ctx)->EmitReply(token, reply);
+  }
+
+  void EmitReply(uint64_t token, const ReplyFrame& reply) {
+    const auto fd = static_cast<uint32_t>(token);
+    const auto generation = static_cast<uint32_t>(token >> 32);
+    if (fd >= conns_.size() || conns_[fd] == nullptr ||
+        conns_[fd]->generation != generation) {
+      return;  // Connection closed while the request was in flight.
+    }
+    Conn& conn = *conns_[fd];
+    EncodeReply(reply, conn.out);
+    ++counters_.replies_out;
+    if (!conn.dirty) {
+      conn.dirty = true;
+      dirty_.push_back(fd);
+    }
+  }
+
+  uint64_t TokenFor(const Conn& conn) const {
+    return (static_cast<uint64_t>(conn.generation) << 32) |
+           static_cast<uint32_t>(conn.fd);
+  }
+
+  void HandleAccept() {
+    for (;;) {
+      const int fd = accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        return;  // EAGAIN or transient error; epoll will retry.
+      }
+      const int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (static_cast<size_t>(fd) >= conns_.size()) {
+        conns_.resize(fd + 1);
+        generations_.resize(fd + 1, 0);
+      }
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      conn->generation = ++generations_[fd];
+      epoll_event ev;
+      std::memset(&ev, 0, sizeof(ev));
+      ev.events = EPOLLIN;
+      ev.data.u64 = static_cast<uint64_t>(fd);
+      if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        close(fd);
+        continue;
+      }
+      conns_[fd] = std::move(conn);
+      ++counters_.connections_accepted;
+    }
+  }
+
+  void CloseConn(Conn& conn) {
+    const int fd = conn.fd;
+    ++generations_[fd];  // Invalidates tokens of in-flight requests.
+    close(fd);           // Also removes the fd from the epoll set.
+    ++counters_.connections_closed;
+    conns_[fd] = nullptr;
+  }
+
+  // Returns false when the connection was closed.
+  bool HandleRead(Conn& conn) {
+    for (int round = 0; round < kMaxReadsPerEvent; ++round) {
+      const ssize_t n = read(conn.fd, read_buf_.data(), read_buf_.size());
+      if (n == 0) {
+        CloseConn(conn);
+        return false;
+      }
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return true;
+        }
+        CloseConn(conn);
+        return false;
+      }
+      counters_.bytes_in += n;
+      const int64_t now_ns = MonotonicNowNs();
+      const uint64_t token = TokenFor(conn);
+      conn.decoder.Push(read_buf_.data(), static_cast<size_t>(n));
+      DecodedFrame frame;
+      for (;;) {
+        const FrameDecoder::Result result = conn.decoder.Next(&frame);
+        if (result == FrameDecoder::Result::kNeedMore) {
+          break;
+        }
+        if (result == FrameDecoder::Result::kError ||
+            frame.type != FrameType::kRequest) {
+          ++counters_.protocol_errors;
+          CloseConn(conn);
+          return false;
+        }
+        ++counters_.frames_in;
+        bridge_.OnRequest(token, frame.request, now_ns);
+      }
+      if (static_cast<size_t>(n) < read_buf_.size()) {
+        return true;  // Drained the socket; skip the EAGAIN round-trip.
+      }
+    }
+    return true;
+  }
+
+  // Returns false when the connection was closed.
+  bool FlushConn(Conn& conn) {
+    while (conn.out_pos < conn.out.size()) {
+      const ssize_t n = write(conn.fd, conn.out.data() + conn.out_pos,
+                              conn.out.size() - conn.out_pos);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          if (!conn.want_write) {
+            conn.want_write = true;
+            epoll_event ev;
+            std::memset(&ev, 0, sizeof(ev));
+            ev.events = EPOLLIN | EPOLLOUT;
+            ev.data.u64 = static_cast<uint64_t>(conn.fd);
+            epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+          }
+          return true;
+        }
+        CloseConn(conn);
+        return false;
+      }
+      counters_.bytes_out += n;
+      conn.out_pos += static_cast<size_t>(n);
+    }
+    conn.out.clear();
+    conn.out_pos = 0;
+    if (conn.want_write) {
+      conn.want_write = false;
+      epoll_event ev;
+      std::memset(&ev, 0, sizeof(ev));
+      ev.events = EPOLLIN;
+      ev.data.u64 = static_cast<uint64_t>(conn.fd);
+      epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+    }
+    return true;
+  }
+
+  void FlushDirty() {
+    for (const uint32_t fd : dirty_) {
+      if (fd < conns_.size() && conns_[fd] != nullptr) {
+        conns_[fd]->dirty = false;
+        FlushConn(*conns_[fd]);
+      }
+    }
+    dirty_.clear();
+  }
+
+  bool AllOutputFlushed() const {
+    for (const std::unique_ptr<Conn>& conn : conns_) {
+      if (conn != nullptr && conn->out_pos < conn->out.size()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Run(int cpu) {
+    if (cpu >= 0) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(cpu, &set);
+      sched_setaffinity(0, sizeof(set), &set);
+    }
+    std::vector<epoll_event> events(256);
+    bool draining = false;
+    int64_t drain_deadline_ns = 0;
+    int64_t timeout_ns = 0;
+    for (;;) {
+      const int num_events = WaitForEvents(epoll_fd_, events.data(),
+                                           static_cast<int>(events.size()),
+                                           timeout_ns);
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int i = 0; i < num_events; ++i) {
+        const uint64_t tag = events[i].data.u64;
+        if (tag == kListenTag) {
+          if (!draining) {
+            HandleAccept();
+          }
+          continue;
+        }
+        if (tag == kWakeTag) {
+          uint64_t drained;
+          [[maybe_unused]] const ssize_t n =
+              read(wake_fd_, &drained, sizeof(drained));
+          continue;
+        }
+        const auto fd = static_cast<uint32_t>(tag);
+        if (fd >= conns_.size() || conns_[fd] == nullptr) {
+          continue;  // Closed earlier in this batch.
+        }
+        Conn& conn = *conns_[fd];
+        if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+          CloseConn(conn);
+          continue;
+        }
+        if ((events[i].events & EPOLLOUT) != 0 && !FlushConn(conn)) {
+          continue;
+        }
+        if ((events[i].events & EPOLLIN) != 0 && !draining &&
+            !HandleRead(conn)) {
+          continue;
+        }
+      }
+      wheel_.Advance(MonotonicNowNs());
+      FlushDirty();
+
+      if (!draining && stop_requested_.load(std::memory_order_acquire)) {
+        draining = true;
+        epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        close(listen_fd_);
+        listen_fd_ = -1;
+        const int64_t now_ns = MonotonicNowNs();
+        bridge_.Drain(now_ns);
+        drain_deadline_ns = now_ns + config_.drain_timeout_ms * 1'000'000;
+        FlushDirty();  // Shutdown sheds enqueued replies just now.
+      }
+      if (draining) {
+        const int64_t now_ns = MonotonicNowNs();
+        if ((bridge_.inflight() == 0 && AllOutputFlushed()) ||
+            now_ns >= drain_deadline_ns) {
+          for (std::unique_ptr<Conn>& conn : conns_) {
+            if (conn != nullptr) {
+              CloseConn(*conn);
+            }
+          }
+          return;
+        }
+        timeout_ns = 1'000'000;  // Re-check the drain condition at 1 ms.
+        continue;
+      }
+      const int64_t next_deadline_ns = wheel_.NextDeadlineNs();
+      if (next_deadline_ns < 0) {
+        timeout_ns = 100'000'000;  // Pure socket wait; re-check stop at 100ms.
+      } else {
+        timeout_ns = std::max<int64_t>(next_deadline_ns - MonotonicNowNs(), 0);
+      }
+    }
+  }
+
+  const ServeConfig& config_;
+  [[maybe_unused]] const int loop_id_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+
+  // Everything below is loop-owned, guarded by mu_ only so Snapshot() can
+  // pause the loop at an iteration boundary (never contended per frame).
+  mutable std::mutex mu_;
+  TimerWheel wheel_;
+  LatencyRecorder latency_;
+  AdmissionBridge bridge_;
+  std::vector<uint8_t> read_buf_;
+  std::vector<std::unique_ptr<Conn>> conns_;  // Indexed by fd.
+  std::vector<uint32_t> generations_;         // Parallel to conns_.
+  std::vector<uint32_t> dirty_;               // Fds with pending replies.
+  ServeStats counters_;  // Socket-level tallies (bridge merged in Snapshot).
+};
+
+ServeServer::ServeServer(ServeConfig config) : config_(std::move(config)) {}
+
+ServeServer::~ServeServer() { Stop(); }
+
+bool ServeServer::Start(std::string* error) {
+  if (running_) {
+    return true;
+  }
+  int num_loops = config_.num_loops;
+  if (num_loops <= 0) {
+    num_loops = std::max(CpuTopology::Detect().num_cpus(), 1);
+  }
+  port_ = config_.port;
+  loops_.clear();
+  for (int i = 0; i < num_loops; ++i) {
+    auto loop = std::make_unique<EventLoop>(config_, i);
+    if (!loop->Init(&port_, error)) {
+      loops_.clear();
+      return false;
+    }
+    loops_.push_back(std::move(loop));
+  }
+  std::vector<int> cpus;
+  if (config_.pin_loops) {
+    cpus = CpuTopology::Detect().InterleavedCpus();
+  }
+  for (int i = 0; i < num_loops; ++i) {
+    const int cpu =
+        cpus.empty() ? -1 : cpus[static_cast<size_t>(i) % cpus.size()];
+    loops_[i]->Launch(cpu);
+  }
+  running_ = true;
+  return true;
+}
+
+void ServeServer::Stop() {
+  if (!running_) {
+    return;
+  }
+  for (std::unique_ptr<EventLoop>& loop : loops_) {
+    loop->RequestStop();
+  }
+  for (std::unique_ptr<EventLoop>& loop : loops_) {
+    loop->Join();
+  }
+  running_ = false;
+}
+
+int ServeServer::num_loops() const { return static_cast<int>(loops_.size()); }
+
+ServeStats ServeServer::Snapshot() const {
+  ServeStats stats;
+  for (const std::unique_ptr<EventLoop>& loop : loops_) {
+    stats += loop->Snapshot();
+  }
+  return stats;
+}
+
+}  // namespace faas

@@ -1,0 +1,226 @@
+#include "src/serve/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace faas {
+namespace {
+
+// Little-endian scalar access through memcpy: the compilers this repo
+// targets lower these to single loads/stores on x86-64 and aarch64.
+void PutU16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+uint16_t GetU16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+// Shared layout (offsets in bytes):
+//   [0..2)   magic        [2] version      [3] type
+// Request:
+//   [4..8)   function_id  [8..12) payload_size  [12..16) deadline_us
+//   [16..24) request_id
+// Reply:
+//   [4]      status       [5] latency_class    [6..8)  zero
+//   [8..12)  latency_us   [12..16) zero        [16..24) request_id
+
+size_t EncodeRequestTo(const RequestFrame& frame, uint8_t* out) {
+  PutU16(out + 0, kWireMagic);
+  out[2] = kWireVersion;
+  out[3] = static_cast<uint8_t>(FrameType::kRequest);
+  PutU32(out + 4, frame.function_id);
+  PutU32(out + 8, frame.payload_size);
+  PutU32(out + 12, frame.deadline_us);
+  PutU64(out + 16, frame.request_id);
+  return kWireHeaderSize;
+}
+
+size_t EncodeReplyTo(const ReplyFrame& frame, uint8_t* out) {
+  PutU16(out + 0, kWireMagic);
+  out[2] = kWireVersion;
+  out[3] = static_cast<uint8_t>(FrameType::kReply);
+  out[4] = static_cast<uint8_t>(frame.status);
+  out[5] = static_cast<uint8_t>(frame.latency_class);
+  PutU16(out + 6, 0);
+  PutU32(out + 8, frame.latency_us);
+  PutU32(out + 12, 0);
+  PutU64(out + 16, frame.request_id);
+  return kWireHeaderSize;
+}
+
+void EncodeRequest(const RequestFrame& frame, std::vector<uint8_t>& out) {
+  const size_t at = out.size();
+  out.resize(at + kWireHeaderSize);
+  EncodeRequestTo(frame, out.data() + at);
+}
+
+void EncodeReply(const ReplyFrame& frame, std::vector<uint8_t>& out) {
+  const size_t at = out.size();
+  out.resize(at + kWireHeaderSize);
+  EncodeReplyTo(frame, out.data() + at);
+}
+
+void FrameDecoder::Push(const uint8_t* data, size_t size) {
+  if (stash_consumed_) {
+    stash_.clear();
+    stash_consumed_ = false;
+  }
+  chunk_ = data;
+  chunk_size_ = size;
+  chunk_pos_ = 0;
+}
+
+FrameDecoder::Result FrameDecoder::ParseHeader(const uint8_t* header,
+                                               DecodedFrame* out,
+                                               size_t* payload_size) {
+  if (GetU16(header + 0) != kWireMagic) {
+    return Fail(Error::kBadMagic);
+  }
+  if (header[2] != kWireVersion) {
+    return Fail(Error::kBadVersion);
+  }
+  const uint8_t type = header[3];
+  if (type == static_cast<uint8_t>(FrameType::kRequest)) {
+    out->type = FrameType::kRequest;
+    out->request.function_id = GetU32(header + 4);
+    out->request.payload_size = GetU32(header + 8);
+    out->request.deadline_us = GetU32(header + 12);
+    out->request.request_id = GetU64(header + 16);
+    if (out->request.payload_size > max_payload_) {
+      return Fail(Error::kOversizedPayload);
+    }
+    *payload_size = out->request.payload_size;
+    return Result::kFrame;
+  }
+  if (type == static_cast<uint8_t>(FrameType::kReply)) {
+    out->type = FrameType::kReply;
+    out->reply.status = static_cast<ReplyStatus>(header[4]);
+    out->reply.latency_class = static_cast<LatencyClass>(header[5]);
+    out->reply.latency_us = GetU32(header + 8);
+    out->reply.request_id = GetU64(header + 16);
+    *payload_size = 0;
+    return Result::kFrame;
+  }
+  return Fail(Error::kBadType);
+}
+
+FrameDecoder::Result FrameDecoder::Next(DecodedFrame* out) {
+  if (error_ != Error::kNone) {
+    return Result::kError;
+  }
+  if (stash_consumed_) {
+    stash_.clear();
+    stash_consumed_ = false;
+  }
+  out->payload = nullptr;
+  out->payload_size = 0;
+
+  // A frame is straddling chunks: finish it through the stash.
+  if (!stash_.empty()) {
+    // Top up to a complete header first.
+    if (stash_.size() < kWireHeaderSize) {
+      const size_t want = kWireHeaderSize - stash_.size();
+      const size_t take = std::min(want, chunk_size_ - chunk_pos_);
+      stash_.insert(stash_.end(), chunk_ + chunk_pos_,
+                    chunk_ + chunk_pos_ + take);
+      chunk_pos_ += take;
+      if (stash_.size() < kWireHeaderSize) {
+        return Result::kNeedMore;
+      }
+    }
+    size_t payload_size = 0;
+    const Result parsed = ParseHeader(stash_.data(), out, &payload_size);
+    if (parsed != Result::kFrame) {
+      return parsed;
+    }
+    const size_t frame_size = kWireHeaderSize + payload_size;
+    if (stash_.size() < frame_size) {
+      const size_t want = frame_size - stash_.size();
+      const size_t take = std::min(want, chunk_size_ - chunk_pos_);
+      stash_.insert(stash_.end(), chunk_ + chunk_pos_,
+                    chunk_ + chunk_pos_ + take);
+      chunk_pos_ += take;
+      if (stash_.size() < frame_size) {
+        return Result::kNeedMore;
+      }
+      // Re-parse: insert() may have reallocated the stash.
+      size_t ignored = 0;
+      ParseHeader(stash_.data(), out, &ignored);
+    }
+    out->payload = stash_.data() + kWireHeaderSize;
+    out->payload_size = payload_size;
+    // The stash is logically consumed by this frame; it stays allocated
+    // (and its bytes valid) until the next Next()/Push() call.
+    stash_consumed_ = true;
+    return Result::kFrame;
+  }
+
+  const size_t avail = chunk_size_ - chunk_pos_;
+  if (avail < kWireHeaderSize) {
+    if (avail > 0) {
+      stash_.assign(chunk_ + chunk_pos_, chunk_ + chunk_size_);
+      chunk_pos_ = chunk_size_;
+    }
+    return Result::kNeedMore;
+  }
+  const uint8_t* header = chunk_ + chunk_pos_;
+  size_t payload_size = 0;
+  const Result parsed = ParseHeader(header, out, &payload_size);
+  if (parsed != Result::kFrame) {
+    return parsed;
+  }
+  const size_t frame_size = kWireHeaderSize + payload_size;
+  if (avail < frame_size) {
+    stash_.assign(chunk_ + chunk_pos_, chunk_ + chunk_size_);
+    chunk_pos_ = chunk_size_;
+    return Result::kNeedMore;
+  }
+  out->payload = header + kWireHeaderSize;
+  out->payload_size = payload_size;
+  chunk_pos_ += frame_size;
+  return Result::kFrame;
+}
+
+const char* ReplyStatusName(ReplyStatus status) {
+  switch (status) {
+    case ReplyStatus::kOk:
+      return "ok";
+    case ReplyStatus::kShedQueueFull:
+      return "shed_queue_full";
+    case ReplyStatus::kShedDeadline:
+      return "shed_deadline";
+    case ReplyStatus::kShedShutdown:
+      return "shed_shutdown";
+    case ReplyStatus::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+const char* LatencyClassName(LatencyClass latency_class) {
+  switch (latency_class) {
+    case LatencyClass::kUnknown:
+      return "unknown";
+    case LatencyClass::kWarm:
+      return "warm";
+    case LatencyClass::kCold:
+      return "cold";
+  }
+  return "unknown";
+}
+
+}  // namespace faas

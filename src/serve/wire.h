@@ -1,0 +1,155 @@
+// Wire protocol for the real-time serving front-end.
+//
+// The serving subsystem (src/serve/server.h) speaks a compact binary
+// protocol over TCP: every message is a fixed 24-byte little-endian header,
+// requests optionally followed by an opaque payload.  The header carries
+// exactly what the admission path needs — function id, payload size, and a
+// relative deadline — and the reply carries exactly what a load generator
+// needs to account an outcome: status, latency class (warm / cold /
+// queued), and the server-side latency in microseconds.  request_id is
+// opaque to the server and echoed verbatim; the bundled load generators
+// stamp it with the sender's monotonic nanosecond clock so end-to-end
+// latency needs no per-request lookup table on the client.
+//
+// FrameDecoder turns an arbitrary byte stream back into frames without
+// copying complete frames: bytes are pushed in whatever chunks the socket
+// produced, frames wholly inside one chunk are parsed in place, and only a
+// frame split across reads is reassembled through a small stash buffer.
+// Malformed input (bad magic/version/type, payload above the cap) is a
+// terminal protocol error: the decoder latches the error and the server
+// closes the connection.
+
+#ifndef SRC_SERVE_WIRE_H_
+#define SRC_SERVE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace faas {
+
+inline constexpr uint16_t kWireMagic = 0xFA5C;
+inline constexpr uint8_t kWireVersion = 1;
+// Both frame kinds are 24 bytes on the wire (requests add payload_size
+// bytes of opaque payload after the header).
+inline constexpr size_t kWireHeaderSize = 24;
+// Requests advertising a larger payload are a protocol error, not a
+// buffering problem: the cap bounds decoder stash growth per connection.
+inline constexpr uint32_t kMaxPayloadBytes = 64 * 1024;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kReply = 2,
+};
+
+// How the admission bridge disposed of a request.
+enum class ReplyStatus : uint8_t {
+  kOk = 0,              // Executed (warm or cold).
+  kShedQueueFull = 1,   // Admission queue at capacity.
+  kShedDeadline = 2,    // CoDel age bound or the request's own deadline.
+  kShedShutdown = 3,    // Still queued when the server drained.
+  kRejected = 4,        // No queue configured and no executor had a slot.
+};
+
+// Container temperature of a served request (kUnknown for non-kOk replies).
+enum class LatencyClass : uint8_t {
+  kUnknown = 0,
+  kWarm = 1,
+  kCold = 2,
+};
+
+struct RequestFrame {
+  uint64_t request_id = 0;
+  uint32_t function_id = 0;
+  uint32_t payload_size = 0;
+  // Relative deadline in microseconds from arrival; 0 = none.  Checked
+  // lazily at dispatch time, so a request that out-queues its deadline is
+  // shed instead of executed.
+  uint32_t deadline_us = 0;
+};
+
+struct ReplyFrame {
+  uint64_t request_id = 0;
+  uint32_t latency_us = 0;  // Server-side: arrival to reply enqueue.
+  ReplyStatus status = ReplyStatus::kOk;
+  LatencyClass latency_class = LatencyClass::kUnknown;
+};
+
+// Appends the encoded frame to `out` (requests: header only; the caller
+// appends payload_size further bytes itself).
+void EncodeRequest(const RequestFrame& frame, std::vector<uint8_t>& out);
+void EncodeReply(const ReplyFrame& frame, std::vector<uint8_t>& out);
+// Fixed-size encode into a raw buffer of at least kWireHeaderSize bytes;
+// returns kWireHeaderSize.  The hot path for batched senders.
+size_t EncodeRequestTo(const RequestFrame& frame, uint8_t* out);
+size_t EncodeReplyTo(const ReplyFrame& frame, uint8_t* out);
+
+// One decoded frame.  `payload` points either into the pushed chunk or into
+// the decoder's stash; it is valid only until the next Next()/Push() call.
+struct DecodedFrame {
+  FrameType type = FrameType::kRequest;
+  RequestFrame request;  // Valid when type == kRequest.
+  ReplyFrame reply;      // Valid when type == kReply.
+  const uint8_t* payload = nullptr;
+  size_t payload_size = 0;
+};
+
+class FrameDecoder {
+ public:
+  enum class Result {
+    kFrame,     // `out` holds the next frame.
+    kNeedMore,  // Chunk exhausted; push more bytes.
+    kError,     // Protocol violation; the stream is unrecoverable.
+  };
+  enum class Error {
+    kNone,
+    kBadMagic,
+    kBadVersion,
+    kBadType,
+    kOversizedPayload,
+  };
+
+  explicit FrameDecoder(uint32_t max_payload = kMaxPayloadBytes)
+      : max_payload_(max_payload) {}
+
+  // Hands the decoder the next chunk of the stream.  The previous chunk
+  // must be fully consumed (Next() returned kNeedMore or kError); the
+  // decoder stashes any partial trailing frame itself.
+  void Push(const uint8_t* data, size_t size);
+
+  // Produces the next complete frame from the current chunk + stash.
+  Result Next(DecodedFrame* out);
+
+  Error error() const { return error_; }
+  // Bytes currently stashed for a frame straddling chunk boundaries.
+  size_t stashed_bytes() const { return stash_.size(); }
+
+ private:
+  Result Fail(Error error) {
+    error_ = error;
+    return Result::kError;
+  }
+  // Parses the 24-byte header at `header` and validates it; on success
+  // fills `out` (payload not yet attached) and sets *payload_size.
+  Result ParseHeader(const uint8_t* header, DecodedFrame* out,
+                     size_t* payload_size);
+
+  uint32_t max_payload_;
+  const uint8_t* chunk_ = nullptr;
+  size_t chunk_size_ = 0;
+  size_t chunk_pos_ = 0;
+  // Prefix of a frame whose remainder has not arrived yet (header bytes
+  // and, once the header is complete, payload bytes).
+  std::vector<uint8_t> stash_;
+  // The stash holds an already-emitted frame whose payload pointer the
+  // caller may still be reading; cleared lazily on the next Next()/Push().
+  bool stash_consumed_ = false;
+  Error error_ = Error::kNone;
+};
+
+const char* ReplyStatusName(ReplyStatus status);
+const char* LatencyClassName(LatencyClass latency_class);
+
+}  // namespace faas
+
+#endif  // SRC_SERVE_WIRE_H_

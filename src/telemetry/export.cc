@@ -268,4 +268,68 @@ void WriteSeriesCsv(const RegistrySnapshot& snapshot, std::ostream& out) {
   }
 }
 
+void WriteLatencyPrometheus(const std::string& name, const std::string& label,
+                            const LatencyRecorder& recorder,
+                            std::ostream& out) {
+  const std::vector<LatencyRecorder::Bucket> buckets =
+      recorder.NonZeroBuckets();
+  out << "# HELP " << name << " Wall-clock latency in milliseconds.\n";
+  out << "# TYPE " << name << " histogram\n";
+  int64_t cumulative = 0;
+  for (const LatencyRecorder::Bucket& bucket : buckets) {
+    cumulative += bucket.count;
+    out << PrometheusSeries(
+               name + "_bucket", label,
+               "le=\"" +
+                   FormatMetricValue(static_cast<double>(bucket.hi_ns) / 1e6) +
+                   "\"")
+        << " " << cumulative << "\n";
+  }
+  out << PrometheusSeries(name + "_bucket", label, "le=\"+Inf\"") << " "
+      << recorder.count() << "\n";
+  out << PrometheusSeries(name + "_sum", label) << " "
+      << FormatMetricValue(recorder.sum_ms()) << "\n";
+  out << PrometheusSeries(name + "_count", label) << " " << recorder.count()
+      << "\n";
+  out << "# HELP " << name
+      << "_quantile_ms Latency quantiles in milliseconds.\n";
+  out << "# TYPE " << name << "_quantile_ms gauge\n";
+  static constexpr struct {
+    const char* tag;
+    double p;
+  } kQuantiles[] =
+      {{"0.5", 50.0}, {"0.9", 90.0}, {"0.99", 99.0}, {"0.999", 99.9}};
+  for (const auto& quantile : kQuantiles) {
+    out << PrometheusSeries(name + "_quantile_ms", label,
+                            std::string("q=\"") + quantile.tag + "\"")
+        << " " << FormatMetricValue(recorder.PercentileMs(quantile.p))
+        << "\n";
+  }
+}
+
+void WriteLatencyCsv(const std::string& name, const LatencyRecorder& recorder,
+                     std::ostream& out) {
+  out << "name,row,lo_ns,hi_ns,count,value_ms\n";
+  out << name << ",count,,," << recorder.count() << ",\n";
+  out << name << ",mean_ms,,,," << FormatMetricValue(recorder.mean_ms())
+      << "\n";
+  static constexpr struct {
+    const char* tag;
+    double p;
+  } kQuantiles[] =
+      {{"p50_ms", 50.0}, {"p90_ms", 90.0}, {"p99_ms", 99.0},
+       {"p999_ms", 99.9}};
+  for (const auto& quantile : kQuantiles) {
+    out << name << "," << quantile.tag << ",,,,"
+        << FormatMetricValue(recorder.PercentileMs(quantile.p)) << "\n";
+  }
+  out << name << ",max_ms,,,,"
+      << FormatMetricValue(static_cast<double>(recorder.max_ns()) / 1e6)
+      << "\n";
+  for (const LatencyRecorder::Bucket& bucket : recorder.NonZeroBuckets()) {
+    out << name << ",bucket," << bucket.lo_ns << "," << bucket.hi_ns << ","
+        << bucket.count << ",\n";
+  }
+}
+
 }  // namespace faas

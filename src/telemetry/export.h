@@ -21,6 +21,7 @@
 #include <ostream>
 #include <string>
 
+#include "src/telemetry/latency_recorder.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/tracer.h"
 
@@ -31,6 +32,22 @@ void WriteChromeTrace(const CollectedTrace& trace, std::ostream& out);
 void WritePrometheusText(const RegistrySnapshot& snapshot, std::ostream& out);
 
 void WriteSeriesCsv(const RegistrySnapshot& snapshot, std::ostream& out);
+
+// Prometheus text exposition of a wall-clock LatencyRecorder: a histogram
+// in milliseconds (cumulative `le` buckets over the recorder's non-zero
+// log-buckets, plus _sum/_count) followed by `<name>_quantile_ms` gauges at
+// p50/p90/p99/p99.9.  `label` is an optional label body ("mode=\"open\"").
+// Used by the serving tools; the registry path (WritePrometheusText) stays
+// untouched when serving is off.
+void WriteLatencyPrometheus(const std::string& name, const std::string& label,
+                            const LatencyRecorder& recorder,
+                            std::ostream& out);
+
+// CSV of the same recorder: a summary row (count, mean, quantiles, max)
+// followed by one row per non-zero bucket.  Deterministic for a given
+// recorder state.
+void WriteLatencyCsv(const std::string& name, const LatencyRecorder& recorder,
+                     std::ostream& out);
 
 // Shared by the writers and trace_stats --summary-metrics: stable text
 // rendering of a double (shortest round-trippable form, no locale).

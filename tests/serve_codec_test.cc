@@ -1,0 +1,245 @@
+// Wire-codec tests: encode/decode round trips (including a randomized
+// property sweep), rejection of truncated / oversized / garbage input, and
+// partial-frame reassembly when frames straddle arbitrarily fragmented
+// reads — the exact shapes a TCP stream produces.
+
+#include "src/serve/wire.h"
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace faas {
+namespace {
+
+RequestFrame MakeRequest(uint64_t id, uint32_t fn, uint32_t payload,
+                         uint32_t deadline) {
+  RequestFrame frame;
+  frame.request_id = id;
+  frame.function_id = fn;
+  frame.payload_size = payload;
+  frame.deadline_us = deadline;
+  return frame;
+}
+
+TEST(ServeCodecTest, RequestRoundTrip) {
+  std::vector<uint8_t> wire;
+  EncodeRequest(MakeRequest(0x1122334455667788ull, 42, 0, 1500), wire);
+  ASSERT_EQ(wire.size(), kWireHeaderSize);
+
+  FrameDecoder decoder;
+  decoder.Push(wire.data(), wire.size());
+  DecodedFrame frame;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kRequest);
+  EXPECT_EQ(frame.request.request_id, 0x1122334455667788ull);
+  EXPECT_EQ(frame.request.function_id, 42u);
+  EXPECT_EQ(frame.request.payload_size, 0u);
+  EXPECT_EQ(frame.request.deadline_us, 1500u);
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kNeedMore);
+}
+
+TEST(ServeCodecTest, ReplyRoundTrip) {
+  ReplyFrame reply;
+  reply.request_id = 7;
+  reply.latency_us = 12345;
+  reply.status = ReplyStatus::kShedDeadline;
+  reply.latency_class = LatencyClass::kCold;
+  std::vector<uint8_t> wire;
+  EncodeReply(reply, wire);
+  ASSERT_EQ(wire.size(), kWireHeaderSize);
+
+  FrameDecoder decoder;
+  decoder.Push(wire.data(), wire.size());
+  DecodedFrame frame;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kReply);
+  EXPECT_EQ(frame.reply.request_id, 7u);
+  EXPECT_EQ(frame.reply.latency_us, 12345u);
+  EXPECT_EQ(frame.reply.status, ReplyStatus::kShedDeadline);
+  EXPECT_EQ(frame.reply.latency_class, LatencyClass::kCold);
+}
+
+TEST(ServeCodecTest, RequestWithPayloadRoundTrip) {
+  std::vector<uint8_t> wire;
+  EncodeRequest(MakeRequest(1, 2, 5, 0), wire);
+  const uint8_t payload[5] = {10, 20, 30, 40, 50};
+  wire.insert(wire.end(), payload, payload + 5);
+
+  FrameDecoder decoder;
+  decoder.Push(wire.data(), wire.size());
+  DecodedFrame frame;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  ASSERT_EQ(frame.payload_size, 5u);
+  EXPECT_EQ(std::memcmp(frame.payload, payload, 5), 0);
+}
+
+TEST(ServeCodecTest, EncodeToMatchesVectorEncode) {
+  const RequestFrame request = MakeRequest(99, 3, 0, 77);
+  std::vector<uint8_t> vector_wire;
+  EncodeRequest(request, vector_wire);
+  uint8_t raw[kWireHeaderSize];
+  ASSERT_EQ(EncodeRequestTo(request, raw), kWireHeaderSize);
+  EXPECT_EQ(std::memcmp(raw, vector_wire.data(), kWireHeaderSize), 0);
+
+  ReplyFrame reply;
+  reply.request_id = 99;
+  reply.status = ReplyStatus::kOk;
+  std::vector<uint8_t> reply_wire;
+  EncodeReply(reply, reply_wire);
+  ASSERT_EQ(EncodeReplyTo(reply, raw), kWireHeaderSize);
+  EXPECT_EQ(std::memcmp(raw, reply_wire.data(), kWireHeaderSize), 0);
+}
+
+TEST(ServeCodecTest, GarbageIsRejected) {
+  // Bad magic.
+  uint8_t garbage[kWireHeaderSize] = {0xDE, 0xAD, 0xBE, 0xEF};
+  FrameDecoder decoder;
+  decoder.Push(garbage, sizeof(garbage));
+  DecodedFrame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kError);
+  EXPECT_EQ(decoder.error(), FrameDecoder::Error::kBadMagic);
+  // The error latches.
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kError);
+}
+
+TEST(ServeCodecTest, BadVersionAndTypeAreRejected) {
+  std::vector<uint8_t> wire;
+  EncodeRequest(MakeRequest(1, 2, 0, 0), wire);
+  {
+    std::vector<uint8_t> bad = wire;
+    bad[2] = kWireVersion + 1;
+    FrameDecoder decoder;
+    decoder.Push(bad.data(), bad.size());
+    DecodedFrame frame;
+    EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kError);
+    EXPECT_EQ(decoder.error(), FrameDecoder::Error::kBadVersion);
+  }
+  {
+    std::vector<uint8_t> bad = wire;
+    bad[3] = 9;  // Not a FrameType.
+    FrameDecoder decoder;
+    decoder.Push(bad.data(), bad.size());
+    DecodedFrame frame;
+    EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kError);
+    EXPECT_EQ(decoder.error(), FrameDecoder::Error::kBadType);
+  }
+}
+
+TEST(ServeCodecTest, OversizedPayloadIsRejectedBeforeBuffering) {
+  std::vector<uint8_t> wire;
+  EncodeRequest(MakeRequest(1, 2, kMaxPayloadBytes + 1, 0), wire);
+  FrameDecoder decoder;
+  decoder.Push(wire.data(), wire.size());
+  DecodedFrame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kError);
+  EXPECT_EQ(decoder.error(), FrameDecoder::Error::kOversizedPayload);
+}
+
+TEST(ServeCodecTest, TruncatedHeaderNeedsMore) {
+  std::vector<uint8_t> wire;
+  EncodeRequest(MakeRequest(5, 6, 0, 0), wire);
+  FrameDecoder decoder;
+  decoder.Push(wire.data(), kWireHeaderSize - 1);
+  DecodedFrame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kNeedMore);
+  // The final byte completes the stashed frame.
+  decoder.Push(wire.data() + kWireHeaderSize - 1, 1);
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.request.request_id, 5u);
+}
+
+TEST(ServeCodecTest, PartialReassemblyAcrossFragmentedReads) {
+  // A realistic stream: many frames with varying payloads, delivered in
+  // random chunk sizes (including single bytes), must decode identically
+  // to one contiguous delivery.  Property-test over several seeds.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<uint8_t> stream;
+    std::vector<RequestFrame> expected;
+    std::vector<std::vector<uint8_t>> payloads;
+    const int num_frames = 64;
+    for (int i = 0; i < num_frames; ++i) {
+      const uint32_t payload_size =
+          static_cast<uint32_t>(rng() % 200) * static_cast<uint32_t>(i % 2);
+      RequestFrame frame = MakeRequest(rng(), static_cast<uint32_t>(rng()),
+                                       payload_size,
+                                       static_cast<uint32_t>(rng() % 1000));
+      expected.push_back(frame);
+      EncodeRequest(frame, stream);
+      std::vector<uint8_t> payload(payload_size);
+      for (auto& byte : payload) {
+        byte = static_cast<uint8_t>(rng());
+      }
+      payloads.push_back(payload);
+      stream.insert(stream.end(), payload.begin(), payload.end());
+    }
+
+    FrameDecoder decoder;
+    size_t pos = 0;
+    size_t decoded = 0;
+    DecodedFrame frame;
+    while (pos < stream.size()) {
+      const size_t chunk = std::min<size_t>(1 + rng() % 61,
+                                            stream.size() - pos);
+      decoder.Push(stream.data() + pos, chunk);
+      pos += chunk;
+      for (;;) {
+        const FrameDecoder::Result result = decoder.Next(&frame);
+        if (result == FrameDecoder::Result::kNeedMore) {
+          break;
+        }
+        ASSERT_EQ(result, FrameDecoder::Result::kFrame);
+        ASSERT_LT(decoded, expected.size());
+        EXPECT_EQ(frame.request.request_id, expected[decoded].request_id);
+        EXPECT_EQ(frame.request.function_id, expected[decoded].function_id);
+        EXPECT_EQ(frame.request.payload_size, expected[decoded].payload_size);
+        EXPECT_EQ(frame.request.deadline_us, expected[decoded].deadline_us);
+        ASSERT_EQ(frame.payload_size, payloads[decoded].size());
+        if (frame.payload_size > 0) {
+          EXPECT_EQ(std::memcmp(frame.payload, payloads[decoded].data(),
+                                frame.payload_size),
+                    0);
+        }
+        ++decoded;
+      }
+    }
+    EXPECT_EQ(decoded, expected.size()) << "seed " << seed;
+    EXPECT_EQ(decoder.stashed_bytes(), 0u);
+  }
+}
+
+TEST(ServeCodecTest, MixedRequestAndReplyStream) {
+  std::vector<uint8_t> stream;
+  EncodeRequest(MakeRequest(1, 10, 0, 0), stream);
+  ReplyFrame reply;
+  reply.request_id = 2;
+  reply.status = ReplyStatus::kRejected;
+  EncodeReply(reply, stream);
+  EncodeRequest(MakeRequest(3, 30, 0, 0), stream);
+
+  FrameDecoder decoder;
+  decoder.Push(stream.data(), stream.size());
+  DecodedFrame frame;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kRequest);
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kReply);
+  EXPECT_EQ(frame.reply.status, ReplyStatus::kRejected);
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kRequest);
+  EXPECT_EQ(frame.request.request_id, 3u);
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kNeedMore);
+}
+
+TEST(ServeCodecTest, StatusAndClassNames) {
+  EXPECT_STREQ(ReplyStatusName(ReplyStatus::kOk), "ok");
+  EXPECT_STREQ(ReplyStatusName(ReplyStatus::kShedQueueFull),
+               "shed_queue_full");
+  EXPECT_STREQ(LatencyClassName(LatencyClass::kWarm), "warm");
+}
+
+}  // namespace
+}  // namespace faas

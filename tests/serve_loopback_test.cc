@@ -1,0 +1,231 @@
+// End-to-end serving test over real loopback sockets: boots a ServeServer
+// on an ephemeral port, pushes a few thousand closed-loop requests through
+// it, and checks that client-side accounting (ok / shed / rejected replies)
+// matches the server's OverloadLedger and BridgeStats exactly.  Environments
+// without socket support skip cleanly (Start() reports the error).
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "src/serve/loadgen.h"
+#include "src/serve/server.h"
+
+namespace faas {
+namespace {
+
+// Starts the server or skips the test when sockets are unavailable.
+#define START_OR_SKIP(server)                                         \
+  do {                                                                \
+    std::string error;                                                \
+    if (!(server).Start(&error)) {                                    \
+      GTEST_SKIP() << "sockets unavailable: " << error;               \
+    }                                                                 \
+  } while (0)
+
+ServeConfig BaseConfig() {
+  ServeConfig config;
+  config.port = 0;  // Ephemeral.
+  config.num_loops = 1;
+  return config;
+}
+
+TEST(ServeLoopbackTest, ClosedLoopServedAccountingMatchesLedger) {
+  ServeConfig config = BaseConfig();
+  config.bridge.num_executors = 2;
+  config.bridge.service_time_us = 50;
+  config.bridge.cold_start_us = 500;
+  ServeServer server(config);
+  START_OR_SKIP(server);
+  ASSERT_GT(server.port(), 0);
+
+  LoadGenConfig load;
+  load.port = server.port();
+  load.mode = LoadMode::kClosed;
+  load.connections = 8;
+  load.duration_ms = 1'000;
+  load.drain_ms = 1'000;
+  load.num_functions = 16;
+  LoadGenResult result;
+  std::string error;
+  ASSERT_TRUE(LoadGenerator(load).Run(&result, &error)) << error;
+
+  EXPECT_GE(result.sent, 2'000) << "closed loop should clear a few thousand "
+                                   "requests in a second";
+  EXPECT_EQ(result.replies, result.sent);
+  EXPECT_EQ(result.ok, result.sent);
+  EXPECT_EQ(result.shed(), 0);
+  EXPECT_EQ(result.rejected, 0);
+  EXPECT_GT(result.cold, 0);  // First touch of every function is cold.
+  EXPECT_GT(result.warm, result.cold);
+  EXPECT_EQ(result.latency.count(), result.ok);
+
+  server.Stop();
+  const ServeStats stats = server.Snapshot();
+  // Client and server books must agree exactly.
+  EXPECT_EQ(stats.bridge.requests, result.sent);
+  EXPECT_EQ(stats.bridge.served(), result.ok);
+  EXPECT_EQ(stats.bridge.served_warm, result.warm);
+  EXPECT_EQ(stats.bridge.served_cold, result.cold);
+  EXPECT_EQ(stats.bridge.rejected, 0);
+  EXPECT_EQ(stats.ledger.shed_queue_full, 0);
+  EXPECT_EQ(stats.ledger.shed_deadline, 0);
+  EXPECT_EQ(stats.frames_in, result.sent);
+  EXPECT_EQ(stats.replies_out, result.replies);
+  EXPECT_EQ(stats.latency.count(), result.ok);
+}
+
+TEST(ServeLoopbackTest, ConcurrencyCapShedsViaQueueAndLedgerAgrees) {
+  ServeConfig config = BaseConfig();
+  config.bridge.num_executors = 1;
+  config.bridge.service_time_us = 2'000;  // Slow: forces queueing.
+  config.bridge.overload.invoker_concurrency_cap = 1;
+  config.bridge.overload.admission.capacity = 4;
+  config.bridge.overload.admission.discipline = AdmissionDiscipline::kFifo;
+  ServeServer server(config);
+  START_OR_SKIP(server);
+
+  LoadGenConfig load;
+  load.port = server.port();
+  load.mode = LoadMode::kOpen;
+  load.target_rps = 4'000;  // ~8x what one 2ms-serial executor can do.
+  load.connections = 2;
+  load.duration_ms = 800;
+  load.drain_ms = 1'500;
+  LoadGenResult result;
+  std::string error;
+  ASSERT_TRUE(LoadGenerator(load).Run(&result, &error)) << error;
+
+  EXPECT_GT(result.ok, 0);
+  EXPECT_GT(result.shed_queue_full, 0) << "overload must shed at the queue";
+  EXPECT_EQ(result.replies, result.sent) << "every request gets a reply";
+
+  server.Stop();
+  const ServeStats stats = server.Snapshot();
+  EXPECT_EQ(stats.bridge.served(), result.ok);
+  EXPECT_EQ(stats.ledger.shed_queue_full, result.shed_queue_full);
+  EXPECT_EQ(stats.ledger.shed_deadline, result.shed_deadline);
+  EXPECT_EQ(stats.ledger.shed_at_shutdown, result.shed_shutdown);
+  EXPECT_EQ(stats.bridge.rejected, result.rejected);
+  EXPECT_EQ(stats.bridge.served() + stats.ledger.shed_queue_full +
+                stats.ledger.shed_deadline + stats.ledger.shed_at_shutdown +
+                stats.bridge.rejected,
+            result.sent)
+      << "every request is accounted exactly once";
+  EXPECT_GT(stats.ledger.queued, 0);
+  EXPECT_GT(stats.ledger.drained, 0);
+}
+
+TEST(ServeLoopbackTest, RejectsWithoutQueue) {
+  ServeConfig config = BaseConfig();
+  config.bridge.num_executors = 1;
+  config.bridge.service_time_us = 5'000;
+  config.bridge.overload.invoker_concurrency_cap = 1;
+  // No admission queue: overflow is rejected outright.
+  ServeServer server(config);
+  START_OR_SKIP(server);
+
+  LoadGenConfig load;
+  load.port = server.port();
+  load.mode = LoadMode::kOpen;
+  load.target_rps = 2'000;
+  load.duration_ms = 500;
+  load.drain_ms = 1'000;
+  LoadGenResult result;
+  std::string error;
+  ASSERT_TRUE(LoadGenerator(load).Run(&result, &error)) << error;
+
+  EXPECT_GT(result.rejected, 0);
+  server.Stop();
+  const ServeStats stats = server.Snapshot();
+  EXPECT_EQ(stats.bridge.rejected, result.rejected);
+  EXPECT_EQ(stats.bridge.served(), result.ok);
+}
+
+TEST(ServeLoopbackTest, GracefulStopShedsQueueAndRepliesToEverything) {
+  ServeConfig config = BaseConfig();
+  config.bridge.num_executors = 1;
+  config.bridge.service_time_us = 5'000;
+  config.bridge.overload.invoker_concurrency_cap = 1;
+  config.bridge.overload.admission.capacity = 512;
+  ServeServer server(config);
+  START_OR_SKIP(server);
+
+  // Send a burst that cannot finish within the send window, then stop the
+  // server mid-pile: the drain path must shed the queue as shed_shutdown
+  // and still deliver one reply per request.
+  LoadGenConfig load;
+  load.port = server.port();
+  load.mode = LoadMode::kOpen;
+  load.target_rps = 3'000;
+  load.duration_ms = 300;
+  load.drain_ms = 2'500;
+  LoadGenResult result;
+  std::string error;
+  std::atomic<bool> done{false};
+  std::thread stopper([&server, &done]() {
+    // Stop while the load generator is draining replies.
+    while (!done.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+      server.Stop();
+      return;
+    }
+  });
+  const bool ran = LoadGenerator(load).Run(&result, &error);
+  done.store(true);
+  stopper.join();
+  ASSERT_TRUE(ran) << error;
+  server.Stop();
+
+  const ServeStats stats = server.Snapshot();
+  EXPECT_GT(stats.ledger.shed_at_shutdown, 0)
+      << "queue should have been shed at shutdown";
+  EXPECT_EQ(stats.bridge.served() + stats.ledger.shed_at_shutdown +
+                stats.ledger.shed_queue_full + stats.ledger.shed_deadline +
+                stats.bridge.rejected,
+            stats.bridge.requests);
+  // The server replied to everything it admitted before the connections
+  // closed (client may see slightly fewer if its socket closed first).
+  EXPECT_EQ(stats.replies_out, stats.bridge.requests);
+  EXPECT_LE(result.replies, result.sent);
+}
+
+TEST(ServeLoopbackTest, ServesAcrossMultipleLoops) {
+  ServeConfig config = BaseConfig();
+  config.num_loops = 2;  // SO_REUSEPORT spreads connections.
+  config.bridge.num_executors = 2;
+  ServeServer server(config);
+  START_OR_SKIP(server);
+  EXPECT_EQ(server.num_loops(), 2);
+
+  LoadGenConfig load;
+  load.port = server.port();
+  load.mode = LoadMode::kClosed;
+  load.connections = 8;
+  load.duration_ms = 400;
+  LoadGenResult result;
+  std::string error;
+  ASSERT_TRUE(LoadGenerator(load).Run(&result, &error)) << error;
+  EXPECT_GT(result.ok, 0);
+  EXPECT_EQ(result.replies, result.sent);
+
+  server.Stop();
+  const ServeStats stats = server.Snapshot();
+  EXPECT_EQ(stats.bridge.served(), result.ok);
+  EXPECT_EQ(stats.connections_accepted, 8);
+}
+
+TEST(ServeLoopbackTest, StartupFailureReportsCleanly) {
+  ServeConfig config = BaseConfig();
+  config.host = "0.0.0.256";  // Not an address.
+  ServeServer server(config);
+  std::string error;
+  EXPECT_FALSE(server.Start(&error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace faas

@@ -10,7 +10,10 @@
 # arenas while a chaos replay runs concurrently — ASan is the pass that
 # would catch a dangling view or a freed arena; the
 # SweepStreamTest.StreamedSweepWithConcurrentChaosReplay smoke drives both
-# at once).
+# at once).  The serving leg (wire codec, timer wheel, latency recorder, and
+# the live loopback suite with its multi-loop epoll threads and graceful
+# shutdown) runs under both TSan and ASan: TSan watches the Snapshot/Stop
+# cross-thread paths, ASan the decoder stash and per-connection buffers.
 #
 # Usage: tools/check.sh [--quick] [--skip-tsan] [--skip-ubsan] [--skip-asan]
 #   --quick   tier-1 build + ctest only; skips every sanitizer rebuild
@@ -46,11 +49,12 @@ else
       generator_shard_test arena_pool_test cpu_topology_test \
       compiled_trace_test faults_test network_test overload_test \
       controller_test telemetry_metrics_test telemetry_tracer_test telemetry_export_test \
-      telemetry_integration_test
+      telemetry_integration_test \
+      serve_codec_test serve_loopback_test timer_wheel_test latency_recorder_test
   # gtest_discover_tests registers suite names (not target names), so match
   # the suites those binaries contain.
   (cd build-tsan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'ThreadPool|ParallelFor|ParallelSimulation|Sweep|SweepStream|GeneratorShard|ArenaPool|CpuTopology|CompiledTrace|CompiledReplay|FaultPlan|NetFaultPlan|NetworkModel|NetworkCluster|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration')
+      -R 'ThreadPool|ParallelFor|ParallelSimulation|Sweep|SweepStream|GeneratorShard|ArenaPool|CpuTopology|CompiledTrace|CompiledReplay|FaultPlan|NetFaultPlan|NetworkModel|NetworkCluster|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration|ServeCodec|ServeLoopback|TimerWheel|LatencyRecorder')
 fi
 
 if [[ "${SKIP_UBSAN}" == "1" ]]; then
@@ -76,12 +80,13 @@ else
       intern_test trace_csv_test transform_test compiled_trace_test \
       sweep_test sweep_stream_test generator_shard_test arena_pool_test \
       faults_test network_test controller_test cluster_test overload_test \
-      telemetry_metrics_test telemetry_tracer_test
+      telemetry_metrics_test telemetry_tracer_test \
+      serve_codec_test serve_loopback_test timer_wheel_test latency_recorder_test
   # SweepStream covers the faults + streaming smoke
   # (StreamedSweepWithConcurrentChaosReplay): a chaos replay with an active
   # fault plan runs while the streamed sweep rotates shard arenas.
   (cd build-asan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'Intern|EntityIndex|Csv|Transform|CompiledTrace|CompiledReplay|Sweep|SweepStream|GeneratorShard|ArenaPool|FaultPlan|NetFaultPlan|NetworkModel|NetworkCluster|ChaosCluster|Controller|Cluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|TelemetryMetrics|TelemetryTracer')
+      -R 'Intern|EntityIndex|Csv|Transform|CompiledTrace|CompiledReplay|Sweep|SweepStream|GeneratorShard|ArenaPool|FaultPlan|NetFaultPlan|NetworkModel|NetworkCluster|ChaosCluster|Controller|Cluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|TelemetryMetrics|TelemetryTracer|ServeCodec|ServeLoopback|TimerWheel|LatencyRecorder')
 fi
 
 echo "== all checks passed =="

@@ -82,6 +82,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -93,6 +94,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 #include "src/cluster/cluster.h"
@@ -303,6 +305,63 @@ int WriteTelemetryOutputs(const FlagParser& flags,
   }
   return 0;
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+// --progress marks a long interactive run; a SIGINT/SIGTERM mid-sweep
+// should still leave the requested telemetry exports on disk instead of
+// losing hours of counters.  The handler itself is async-signal-safe (one
+// byte to a self-pipe); a watcher thread does the flushing — MetricsRegistry
+// scrapes are sharded atomics, safe to read while workers run — and exits
+// with the conventional 128+signum status.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnTerminateSignal(int signum) {
+  const auto byte = static_cast<unsigned char>(signum);
+  [[maybe_unused]] const ssize_t n = write(g_signal_pipe[1], &byte, 1);
+}
+
+class SignalFlushGuard {
+ public:
+  SignalFlushGuard(const FlagParser& flags, const Telemetry* telemetry)
+      : flags_(flags), telemetry_(telemetry) {
+    if (pipe(g_signal_pipe) != 0) {
+      return;
+    }
+    std::signal(SIGINT, &OnTerminateSignal);
+    std::signal(SIGTERM, &OnTerminateSignal);
+    watcher_ = std::thread([this]() {
+      unsigned char byte = 0;
+      if (read(g_signal_pipe[0], &byte, 1) != 1 || byte == 0) {
+        return;  // Destructor shutdown, not a signal.
+      }
+      std::fprintf(stderr,
+                   "\ninterrupted (%s): flushing telemetry exports\n",
+                   byte == SIGTERM ? "SIGTERM" : "SIGINT");
+      WriteTelemetryOutputs(flags_, telemetry_);
+      std::_Exit(128 + byte);
+    });
+  }
+
+  ~SignalFlushGuard() {
+    if (!watcher_.joinable()) {
+      return;
+    }
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    const unsigned char zero = 0;
+    [[maybe_unused]] const ssize_t n = write(g_signal_pipe[1], &zero, 1);
+    watcher_.join();
+    close(g_signal_pipe[0]);
+    close(g_signal_pipe[1]);
+    g_signal_pipe[0] = g_signal_pipe[1] = -1;
+  }
+
+ private:
+  const FlagParser& flags_;
+  const Telemetry* telemetry_;
+  std::thread watcher_;
+};
+#endif
 
 // True when any overload-control or flash-crowd flag was passed (each one
 // routes evaluation through the cluster simulator, like the fault flags).
@@ -905,6 +964,13 @@ int main(int argc, char** argv) {
   } else if (flags.Has("metrics-interval")) {
     return 2;
   }
+
+#if defined(__unix__) || defined(__APPLE__)
+  std::optional<SignalFlushGuard> signal_guard;
+  if (flags.GetBool("progress", false) && telemetry != nullptr) {
+    signal_guard.emplace(flags, telemetry.get());
+  }
+#endif
 
   if (flags.Has("faults") || flags.Has("mtbf") || HasOverloadFlags(flags) ||
       HasNetworkFlags(flags)) {
