@@ -6,11 +6,20 @@
 // fixed curve — the 10-minute fixed policy has ~2.5x the cold starts of the
 // 4-hour hybrid at comparable memory, and the 2-hour fixed keep-alive needs
 // ~1.5x the memory for the cold-start level hybrid reaches much cheaper.
+//
+// Each point's ResourceLedger (src/common/resource_ledger.h) is priced
+// through a reference cost model and written to BENCH_pareto.json (override
+// the path with FAAS_BENCH_PARETO_JSON; set it to "off" to skip).  The
+// fig15_pareto.csv series keeps its historical columns.
 
+#include <cstdlib>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "bench/series_writer.h"
+#include "src/common/resource_ledger.h"
 #include "src/policy/hybrid.h"
 #include "src/policy/policy.h"
 #include "src/sim/sweep.h"
@@ -43,15 +52,26 @@ int main() {
   const std::vector<PolicyPoint> points =
       EvaluatePolicies(trace, factories, /*baseline_index=*/0, {.num_threads = 0});
 
+  // Reference pricing: AWS-Lambda-shaped $/GB-s plus $/1M requests, applied
+  // uniformly so points differ only through their ledgers.
+  CostModel cost;
+  cost.dollars_per_gb_second = 1.66667e-5;
+  cost.dollars_per_million_invocations = 0.20;
+
   SeriesWriter series("fig15_pareto",
                       {"policy", "p75_cold_pct", "normalized_waste_pct"});
-  std::printf("\n%-34s %16s %22s\n", "policy", "p75 cold-start",
-              "normalized waste");
+  std::printf("\n%-34s %16s %22s %14s %10s\n", "policy", "p75 cold-start",
+              "normalized waste", "idle GB-s", "cost $");
+  std::vector<ResourceLedger> ledgers;
+  ledgers.reserve(points.size());
   for (const PolicyPoint& point : points) {
-    std::printf("%-34s %15.1f%% %21.1f%%\n", point.name.c_str(),
-                point.cold_start_p75, point.normalized_wasted_memory_pct);
+    const ResourceLedger resources = point.result.TotalResources();
+    std::printf("%-34s %15.1f%% %21.1f%% %14.1f %10.4f\n", point.name.c_str(),
+                point.cold_start_p75, point.normalized_wasted_memory_pct,
+                resources.idle_gb_seconds(), resources.CostDollars(cost));
     series.Row(point.name, point.cold_start_p75,
                point.normalized_wasted_memory_pct);
+    ledgers.push_back(resources);
   }
 
   // Headline ratio: fixed-10min cold starts vs hybrid-4h cold starts.
@@ -64,8 +84,42 @@ int main() {
                        "x");
   PrintPaperVsMeasured("hybrid-4h normalized waste (%)", 100.0,
                        hybrid4h.normalized_wasted_memory_pct, "%");
+  PrintPaperVsMeasured(
+      "hybrid-4h / fixed-10min cost ratio", 1.0,
+      ledgers.back().CostDollars(cost) /
+          std::max(ledgers.front().CostDollars(cost), 1e-12),
+      "x");
   std::printf("\nShape check: every hybrid point should lie below-left of "
               "the fixed curve\n(fewer cold starts at comparable or lower "
               "memory).\n");
+
+  const char* env = std::getenv("FAAS_BENCH_PARETO_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_pareto.json";
+  if (path != "off") {
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"fig15_pareto\",\n";
+    out << "  \"policies\": " << points.size() << ",\n";
+    out << "  \"cost_model\": {\"dollars_per_gb_second\": "
+        << cost.dollars_per_gb_second
+        << ", \"dollars_per_million_invocations\": "
+        << cost.dollars_per_million_invocations << "},\n";
+    out << "  \"rows\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+      const PolicyPoint& point = points[i];
+      const ResourceLedger& resources = ledgers[i];
+      out << "    {\"policy\": \"" << point.name
+          << "\", \"p75_cold_pct\": " << point.cold_start_p75
+          << ", \"normalized_waste_pct\": "
+          << point.normalized_wasted_memory_pct
+          << ", \"idle_gb_seconds\": " << resources.idle_gb_seconds()
+          << ", \"busy_gb_seconds\": " << resources.busy_gb_seconds()
+          << ", \"invocations\": " << resources.invocations
+          << ", \"cold_loads\": " << resources.cold_loads
+          << ", \"cost_dollars\": " << resources.CostDollars(cost) << "}"
+          << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
   return 0;
 }

@@ -55,7 +55,8 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
     instruments_storage = ClusterInstruments::Register(
         *config_.telemetry, factory.name(), config_.telemetry_pid,
         trace.horizon, config_.metrics_interval,
-        config_.overload.AnyEnabled(), config_.network.enabled);
+        config_.overload.AnyEnabled(), config_.network.enabled,
+        config_.resource_telemetry);
     instruments = &instruments_storage;
     if (instruments_storage.tracer != nullptr) {
       for (int i = 0; i < config_.num_invokers; ++i) {
@@ -251,6 +252,8 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
     MetricsRegistry* registry = instruments->registry;
     const Duration interval = config_.metrics_interval;
     const bool overload_on = config_.overload.AnyEnabled();
+    const bool resources_on = config_.resource_telemetry;
+    const CostModel cost_model = config_.cost;
     NetworkModel* network_ptr = network.get();
     struct SampleState {
       int64_t invocations = 0;
@@ -258,12 +261,16 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
       int64_t shed = 0;
       int64_t net_drops = 0;
       int64_t net_retransmits = 0;
+      int64_t idle_mb_s = 0;
+      int64_t loads = 0;
+      int64_t unloads = 0;
     };
     auto last = std::make_shared<SampleState>();
     repeating_events.push_back(std::make_unique<std::function<void()>>());
     std::function<void()>* sample = repeating_events.back().get();
     *sample = [&queue, &controller, &invoker_ptrs, sample, last, registry,
-               instruments, interval, end, overload_on, network_ptr]() {
+               instruments, interval, end, overload_on, network_ptr,
+               resources_on, cost_model]() {
       const TimePoint now = queue.now();
       const TimePoint window_start = now - interval;
       const int64_t invocations =
@@ -308,6 +315,34 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
                             net.rpc_retransmits - last->net_retransmits);
         last->net_retransmits = net.rpc_retransmits;
       }
+      if (resources_on) {
+        // Resource-ledger slots exist only when resource telemetry is on.
+        // ResourcesAt advances the residency split to `now` without
+        // mutating the invoker (the sampler stays read-only).
+        ResourceLedger sampled;
+        for (Invoker* invoker : invoker_ptrs) {
+          sampled += invoker->ResourcesAt(now);
+        }
+        const int64_t idle_mb_s =
+            static_cast<int64_t>(sampled.idle_mb_ms / 1000.0);
+        registry->SeriesAdd(instruments->minute_idle_mb_seconds, window_start,
+                            idle_mb_s - last->idle_mb_s);
+        last->idle_mb_s = idle_mb_s;
+        registry->Inc(instruments->resource_container_loads,
+                      sampled.container_loads() - last->loads);
+        last->loads = sampled.container_loads();
+        registry->Inc(instruments->resource_container_unloads,
+                      sampled.container_unloads() - last->unloads);
+        last->unloads = sampled.container_unloads();
+        registry->Set(instruments->resource_idle_gb_seconds,
+                      sampled.idle_gb_seconds(), now);
+        registry->Set(instruments->resource_busy_gb_seconds,
+                      sampled.busy_gb_seconds(), now);
+        registry->Set(instruments->resource_cpu_seconds,
+                      sampled.cpu_seconds(), now);
+        registry->Set(instruments->resource_cost_dollars,
+                      sampled.CostDollars(cost_model), now);
+      }
       if (now + interval <= end) {
         queue.ScheduleAfter(interval, *sample);
       }
@@ -343,7 +378,13 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
     result.total_warm_starts += invoker->warm_starts();
     result.total_evictions += invoker->evictions();
     result.total_prewarm_loads += invoker->prewarm_loads();
+    // Fold the per-invoker resource ledgers in invoker-index order, so the
+    // replay's ledger is bit-identical run to run.  Happens after the
+    // queue drain: executions straddling the horizon have charged their
+    // CPU, while the residency split froze at FinalizeAt's horizon.
+    result.resources += invoker->resources();
   }
+  result.cost_dollars = result.resources.CostDollars(config_.cost);
   const double wall_seconds =
       static_cast<double>(end.millis_since_origin()) / 1e3;
   result.avg_resident_mb_per_invoker =
@@ -380,17 +421,7 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
   if (network != nullptr) {
     // Fold the transport's counters into the replay's ledger so determinism
     // tests (operator== over FaultLedger) cover every drop/retransmit.
-    const NetCounters& net = network->counters();
-    result.faults.net_messages_sent = net.messages_sent;
-    result.faults.net_delivered = net.delivered;
-    result.faults.net_lost_to_loss = net.lost_to_loss;
-    result.faults.net_lost_to_partition = net.lost_to_partition;
-    result.faults.net_lost_to_queue = net.lost_to_queue;
-    result.faults.net_duplicates_delivered = net.duplicates_delivered;
-    result.faults.net_reordered = net.reordered;
-    result.faults.rpc_retransmits = net.rpc_retransmits;
-    result.faults.rpc_duplicates_suppressed = net.rpc_duplicates_suppressed;
-    result.faults.rpc_give_ups = net.rpc_give_ups;
+    result.faults.FoldNetCounters(network->counters());
   }
   result.overload = controller.overload_ledger();
   for (const auto& invoker : invokers) {
@@ -409,6 +440,33 @@ ClusterResult ClusterSimulator::Replay(const Trace& trace,
   result.end_to_end_latency_ms = controller.end_to_end_latency_ms();
   result.policy_overhead_mean_us = controller.policy_overhead_mean_us();
   result.policy_overhead_max_us = controller.policy_overhead_max_us();
+
+  if (config_.resource_telemetry && instruments != nullptr) {
+    // End-of-replay ledger export: final gauge values at the horizon and
+    // one summary span over the whole replay window.
+    if (instruments->registry != nullptr) {
+      MetricsRegistry& r = *instruments->registry;
+      r.Set(instruments->resource_idle_gb_seconds,
+            result.resources.idle_gb_seconds(), end);
+      r.Set(instruments->resource_busy_gb_seconds,
+            result.resources.busy_gb_seconds(), end);
+      r.Set(instruments->resource_cpu_seconds, result.resources.cpu_seconds(),
+            end);
+      r.Set(instruments->resource_cost_dollars, result.cost_dollars, end);
+    }
+    if (instruments->tracer != nullptr) {
+      SpanRecord record;
+      record.start_ms = 0;
+      record.dur_ms = trace.horizon.millis();
+      record.arg0 = static_cast<int64_t>(result.resources.gb_seconds());
+      record.arg1 = static_cast<int64_t>(result.cost_dollars * 1e6);
+      record.label_id = instruments->label_id;
+      record.name = static_cast<int16_t>(SpanName::kResourceCost);
+      record.pid = instruments->pid;
+      record.tid = 0;
+      instruments->tracer->Record(record);
+    }
+  }
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include "src/cluster/controller.h"
 #include "src/cluster/latency_model.h"
 #include "src/cluster/network.h"
+#include "src/common/resource_ledger.h"
 #include "src/faults/fault_plan.h"
 #include "src/policy/policy.h"
 #include "src/stats/ecdf.h"
@@ -90,6 +91,16 @@ struct ClusterConfig {
   int16_t telemetry_pid = 0;
   // Sampling period for the per-interval series.
   Duration metrics_interval = Duration::Minutes(1);
+
+  // Register the `faas_resource_*` telemetry families (gauges, the churn
+  // counters, and the per-minute idle-GB-s series) and emit the end-of-
+  // replay cost span.  Off by default so telemetry exports stay
+  // byte-identical to pre-ledger builds; the ResourceLedger itself is
+  // always accounted (pure arithmetic, no events, no RNG).
+  bool resource_telemetry = false;
+  // Optional $/GB-s + $/CPU-s + $/1M-invocations pricing applied to the
+  // replay's ledger.  All-zero (the default) reports zero cost.
+  CostModel cost;
 };
 
 struct ClusterAppResult {
@@ -145,6 +156,14 @@ struct ClusterResult {
   // and the same divided by (invokers * wall time): average resident MB.
   double memory_mb_seconds = 0.0;
   double avg_resident_mb_per_invoker = 0.0;
+
+  // Cost-accounting spine: per-invoker ledgers folded in invoker-index
+  // order (bit-identical across runs).  The residency split integrates
+  // over the replay window; CPU includes executions that drained past it.
+  ResourceLedger resources;
+  // Price of `resources` under the replay config's cost model (0 when the
+  // model is disabled).
+  double cost_dollars = 0.0;
 
   // Billed execution time (function run + init on cold starts).  The vector
   // is populated only when collect_latencies is set; the streaming fields

@@ -12,6 +12,19 @@
 
 namespace faas {
 
+void FaultLedger::FoldNetCounters(const NetCounters& net) {
+  net_messages_sent = net.messages_sent;
+  net_delivered = net.delivered;
+  net_lost_to_loss = net.lost_to_loss;
+  net_lost_to_partition = net.lost_to_partition;
+  net_lost_to_queue = net.lost_to_queue;
+  net_duplicates_delivered = net.duplicates_delivered;
+  net_reordered = net.reordered;
+  rpc_retransmits = net.rpc_retransmits;
+  rpc_duplicates_suppressed = net.rpc_duplicates_suppressed;
+  rpc_give_ups = net.rpc_give_ups;
+}
+
 Duration RetryPolicy::BackoffForRetry(int retry_number, Rng& rng) const {
   const double max_ms = max_backoff.seconds() * 1e3;
   double ms = base_backoff.seconds() * 1e3;

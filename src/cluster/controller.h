@@ -48,6 +48,7 @@ namespace faas {
 
 class EntityIndex;
 class RpcPlane;
+struct NetCounters;
 
 // How the controller picks an invoker for an activation.
 enum class LoadBalancingPolicy {
@@ -148,6 +149,53 @@ struct FaultLedger {
     return degraded_recoveries > 0
                ? total_degraded_ms / static_cast<double>(degraded_recoveries)
                : 0.0;
+  }
+
+  // Folds the NetworkModel's end-of-replay transport counters into the
+  // net_*/rpc_* block above (one place instead of a field-by-field copy at
+  // every replay exit).
+  void FoldNetCounters(const NetCounters& net);
+
+  // Merge semantics for MergeLedger (src/common/resource_ledger.h): sums
+  // everywhere except the degraded-interval maximum.
+  template <class V>
+  static void VisitMergeFields(V& v) {
+    v.Sum(&FaultLedger::invoker_crashes);
+    v.Sum(&FaultLedger::invoker_restarts);
+    v.Sum(&FaultLedger::policy_state_wipes);
+    v.Sum(&FaultLedger::policy_states_restored);
+    v.Sum(&FaultLedger::policy_states_lost);
+    v.Sum(&FaultLedger::lost_in_flight);
+    v.Sum(&FaultLedger::transient_failures);
+    v.Sum(&FaultLedger::timeouts);
+    v.Sum(&FaultLedger::retries_scheduled);
+    v.Sum(&FaultLedger::retry_successes);
+    v.Sum(&FaultLedger::total_backoff_ms);
+    v.Sum(&FaultLedger::abandoned);
+    v.Sum(&FaultLedger::rejected_by_outage);
+    v.Sum(&FaultLedger::lost);
+    v.Sum(&FaultLedger::lost_crash);
+    v.Sum(&FaultLedger::lost_network);
+    v.Sum(&FaultLedger::network_failures);
+    v.Sum(&FaultLedger::cold_starts_after_crash);
+    v.Sum(&FaultLedger::cold_starts_after_transient);
+    v.Sum(&FaultLedger::cold_starts_after_timeout);
+    v.Sum(&FaultLedger::cold_starts_after_outage);
+    v.Sum(&FaultLedger::cold_starts_after_network);
+    v.Sum(&FaultLedger::cold_starts_in_degraded_mode);
+    v.Sum(&FaultLedger::degraded_recoveries);
+    v.Sum(&FaultLedger::total_degraded_ms);
+    v.Max(&FaultLedger::max_degraded_ms);
+    v.Sum(&FaultLedger::net_messages_sent);
+    v.Sum(&FaultLedger::net_delivered);
+    v.Sum(&FaultLedger::net_lost_to_loss);
+    v.Sum(&FaultLedger::net_lost_to_partition);
+    v.Sum(&FaultLedger::net_lost_to_queue);
+    v.Sum(&FaultLedger::net_duplicates_delivered);
+    v.Sum(&FaultLedger::net_reordered);
+    v.Sum(&FaultLedger::rpc_retransmits);
+    v.Sum(&FaultLedger::rpc_duplicates_suppressed);
+    v.Sum(&FaultLedger::rpc_give_ups);
   }
 
   bool operator==(const FaultLedger&) const = default;

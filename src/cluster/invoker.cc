@@ -18,7 +18,8 @@ Invoker::Invoker(int id, double memory_capacity_mb, EventQueue* queue,
       rng_(rng),
       faults_(faults),
       instruments_(instruments),
-      last_memory_change_(queue->now()) {
+      last_memory_change_(queue->now()),
+      last_split_change_(queue->now()) {
   FAAS_CHECK(queue != nullptr) << "invoker needs an event queue";
   FAAS_CHECK(memory_capacity_mb > 0.0) << "invoker memory must be positive";
 }
@@ -56,12 +57,46 @@ void Invoker::AccrueMemoryTime() {
   last_memory_change_ = now;
 }
 
+void Invoker::AccrueSplitTime() {
+  const TimePoint now = queue_->now();
+  const Duration elapsed = now - last_split_change_;
+  if (!elapsed.IsNegative() && !residency_frozen_) {
+    const double ms = static_cast<double>(elapsed.millis());
+    resources_.busy_mb_ms += busy_memory_mb_ * ms;
+    resources_.idle_mb_ms += (memory_in_use_mb_ - busy_memory_mb_) * ms;
+  }
+  last_split_change_ = now;
+}
+
+ResourceLedger Invoker::ResourcesAt(TimePoint now) const {
+  ResourceLedger snapshot = resources_;
+  const Duration elapsed = now - last_split_change_;
+  if (!elapsed.IsNegative() && !residency_frozen_) {
+    const double ms = static_cast<double>(elapsed.millis());
+    snapshot.busy_mb_ms += busy_memory_mb_ * ms;
+    snapshot.idle_mb_ms += (memory_in_use_mb_ - busy_memory_mb_) * ms;
+  }
+  return snapshot;
+}
+
 void Invoker::FinalizeAt(TimePoint end) {
   const Duration elapsed = end - last_memory_change_;
   if (!elapsed.IsNegative()) {
     memory_mb_seconds_ += memory_in_use_mb_ * elapsed.seconds();
     last_memory_change_ = end;
   }
+  // Close the ledger's split residency integral at the same horizon and
+  // freeze it: executions straddling the horizon still charge CPU while
+  // the queue drains, but residency — like memory_mb_seconds_ — is
+  // integrated over the replay window only.
+  const Duration split_elapsed = end - last_split_change_;
+  if (!split_elapsed.IsNegative() && !residency_frozen_) {
+    const double ms = static_cast<double>(split_elapsed.millis());
+    resources_.busy_mb_ms += busy_memory_mb_ * ms;
+    resources_.idle_mb_ms += (memory_in_use_mb_ - busy_memory_mb_) * ms;
+    last_split_change_ = end;
+  }
+  residency_frozen_ = true;
 }
 
 Invoker::Container* Invoker::FindIdleContainer(AppId app_id) {
@@ -91,6 +126,7 @@ bool Invoker::EvictIdleContainers(double needed_mb) {
       return false;  // Everything resident is busy.
     }
     ++evictions_;
+    ++resources_.evictions;
     IncCounter(&ClusterInstruments::evictions);
     RecordSpanAt(SpanName::kEviction, queue_->now(), SpanRecord::kInstant, 0);
     DestroyContainer(victim);
@@ -104,6 +140,7 @@ Invoker::Container* Invoker::CreateContainer(AppId app_id, double memory_mb) {
     return nullptr;
   }
   AccrueMemoryTime();
+  AccrueSplitTime();
   containers_.push_back(Container{});
   Container& container = containers_.back();
   container.app_id = app_id;
@@ -120,6 +157,7 @@ Invoker::Container* Invoker::CreateContainer(AppId app_id, double memory_mb) {
 void Invoker::DestroyContainer(ContainerList::iterator it) {
   FAAS_CHECK(!it->busy) << "destroying a busy container";
   AccrueMemoryTime();
+  AccrueSplitTime();
   it->unload_timer.Cancel();
   it->exec_end_event.Cancel();
   memory_in_use_mb_ -= it->memory_mb;
@@ -142,6 +180,9 @@ void Invoker::ArmKeepAlive(ContainerList::iterator it, Duration keepalive) {
   it->unload_timer =
       queue_->Schedule(it->keepalive_deadline, [this, it]() {
         if (!it->busy) {
+          // Keep-alive expiry (vs. pressure eviction) for the ledger's
+          // unload-cause split.
+          ++resources_.expirations;
           DestroyContainer(it);
         }
       });
@@ -168,6 +209,7 @@ int64_t Invoker::Crash() {
   ++crash_epoch_;
   healthy_ = false;
   AccrueMemoryTime();
+  AccrueSplitTime();
   // Collect in-flight losses first, then clear all container state, then
   // notify: the callback may re-dispatch, and must observe a dead invoker.
   std::vector<FailureMessage> lost;
@@ -188,6 +230,7 @@ int64_t Invoker::Crash() {
   memory_in_use_mb_ = 0.0;
   resident_containers_ = 0;
   busy_containers_ = 0;
+  busy_memory_mb_ = 0.0;
   if (on_failure_) {
     for (const FailureMessage& failure : lost) {
       on_failure_(failure);
@@ -202,6 +245,7 @@ bool Invoker::Restart(int64_t epoch) {
   }
   healthy_ = true;
   AccrueMemoryTime();  // Re-anchor the (empty-pool) memory integral.
+  AccrueSplitTime();
   // A restarted invoker is fresh capacity back in rotation.
   NotifyRelease();
   return true;
@@ -248,6 +292,7 @@ bool Invoker::HandleActivation(const ActivationMessage& message) {
 
   if (container != nullptr) {
     ++warm_starts_;
+    ++resources_.warm_hits;
     IncCounter(&ClusterInstruments::warm_starts);
     RecordSpanAt(SpanName::kWarmHit, queue_->now(), SpanRecord::kInstant,
                  message.activation_id);
@@ -259,6 +304,7 @@ bool Invoker::HandleActivation(const ActivationMessage& message) {
     }
     cold = true;
     ++cold_starts_;
+    ++resources_.cold_loads;
     const double scale = faults_ == nullptr
                              ? 1.0
                              : faults_->LatencyMultiplierAt(queue_->now());
@@ -272,6 +318,11 @@ bool Invoker::HandleActivation(const ActivationMessage& message) {
     RecordSpanAt(SpanName::kColdLoad, queue_->now(), startup.millis(),
                  message.activation_id);
   }
+  // The container is committed to this activation: advance the residency
+  // split with the old busy footprint, then move it into the busy bucket.
+  AccrueSplitTime();
+  ++resources_.invocations;
+  busy_memory_mb_ += container->memory_mb;
   container->busy = true;
   container->activation_id = message.activation_id;
   ++busy_containers_;
@@ -301,6 +352,9 @@ bool Invoker::HandleActivation(const ActivationMessage& message) {
   const ActivationMessage msg = message;  // Copy for the closure.
   it->exec_end_event = queue_->Schedule(
       exec_end, [this, it, msg, cold, total_latency, billed]() {
+        AccrueSplitTime();
+        resources_.cpu_ms += static_cast<double>(billed.millis());
+        busy_memory_mb_ -= it->memory_mb;
         it->busy = false;
         it->activation_id = 0;
         it->exec_end_event = EventQueue::Handle();
@@ -346,6 +400,7 @@ bool Invoker::HandlePrewarm(const PrewarmMessage& message) {
     return false;
   }
   ++prewarm_loads_;
+  ++resources_.prewarm_loads;
   IncCounter(&ClusterInstruments::prewarm_loads);
   RecordSpanAt(SpanName::kPrewarmLoad, queue_->now(), SpanRecord::kInstant,
                0);

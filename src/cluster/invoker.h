@@ -25,6 +25,7 @@
 #include "src/cluster/event_queue.h"
 #include "src/cluster/latency_model.h"
 #include "src/cluster/messages.h"
+#include "src/common/resource_ledger.h"
 #include "src/common/rng.h"
 #include "src/faults/fault_plan.h"
 #include "src/telemetry/telemetry.h"
@@ -106,6 +107,14 @@ class Invoker {
   // FinalizeAt once at the end of the run to close the integral.
   double memory_mb_seconds() const { return memory_mb_seconds_; }
   void FinalizeAt(TimePoint end);
+  // Resource ledger for this invoker: the residency integral split into
+  // executing vs. warm-idle MB·ms, billed CPU ms, and container churn.
+  // The residency split freezes at FinalizeAt's horizon (matching
+  // memory_mb_seconds_); CPU keeps accruing while the queue drains.
+  const ResourceLedger& resources() const { return resources_; }
+  // Ledger snapshot with the residency split advanced to `now` (read-only;
+  // lets the telemetry sampler observe the integral mid-replay).
+  ResourceLedger ResourcesAt(TimePoint now) const;
 
  private:
   struct Container {
@@ -129,6 +138,10 @@ class Invoker {
   bool EvictIdleContainers(double needed_mb);
   void ArmKeepAlive(ContainerList::iterator it, Duration keepalive);
   void AccrueMemoryTime();
+  // Advances the ledger's busy/idle residency split to now.  Must run
+  // before any change to memory_in_use_mb_ or the busy footprint (i.e.
+  // alongside every AccrueMemoryTime call and at busy-flag transitions).
+  void AccrueSplitTime();
   // Fires the release callback if one is registered (admission draining).
   void NotifyRelease() {
     if (on_release_) {
@@ -170,6 +183,15 @@ class Invoker {
   int64_t prewarm_loads_ = 0;
   double memory_mb_seconds_ = 0.0;
   TimePoint last_memory_change_;
+
+  // Cost-accounting spine (src/common/resource_ledger.h).  busy_memory_mb_
+  // tracks the footprint of currently-executing containers so the split
+  // integral needs no container scan; frozen after FinalizeAt so drain-time
+  // teardowns do not stretch the residency window past the horizon.
+  ResourceLedger resources_;
+  double busy_memory_mb_ = 0.0;
+  TimePoint last_split_change_;
+  bool residency_frozen_ = false;
 };
 
 }  // namespace faas

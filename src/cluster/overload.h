@@ -160,6 +160,31 @@ struct OverloadLedger {
                        : 0.0;
   }
 
+  // Merge semantics for MergeLedger (src/common/resource_ledger.h): sums
+  // everywhere except the two per-shard maxima.
+  template <class V>
+  static void VisitMergeFields(V& v) {
+    v.Sum(&OverloadLedger::queued);
+    v.Sum(&OverloadLedger::drained);
+    v.Sum(&OverloadLedger::shed_queue_full);
+    v.Sum(&OverloadLedger::shed_deadline);
+    v.Sum(&OverloadLedger::shed_at_shutdown);
+    v.Sum(&OverloadLedger::total_queue_wait_ms);
+    v.Max(&OverloadLedger::max_queue_wait_ms);
+    v.Sum(&OverloadLedger::hedges_launched);
+    v.Sum(&OverloadLedger::hedges_unplaced);
+    v.Sum(&OverloadLedger::hedge_wins);
+    v.Sum(&OverloadLedger::hedge_primary_wins);
+    v.Sum(&OverloadLedger::breaker_opens);
+    v.Sum(&OverloadLedger::breaker_half_opens);
+    v.Sum(&OverloadLedger::breaker_closes);
+    v.Sum(&OverloadLedger::breaker_rejections);
+    v.Sum(&OverloadLedger::cap_rejections);
+    v.Sum(&OverloadLedger::breaker_open_intervals);
+    v.Sum(&OverloadLedger::total_breaker_open_ms);
+    v.Max(&OverloadLedger::max_breaker_open_ms);
+  }
+
   bool operator==(const OverloadLedger&) const = default;
 };
 

@@ -1,0 +1,13 @@
+#include "src/common/resource_ledger.h"
+
+namespace faas {
+
+double ResourceLedger::CostDollars(const CostModel& model) const {
+  if (!model.enabled()) return 0.0;
+  return gb_seconds() * model.dollars_per_gb_second +
+         cpu_seconds() * model.dollars_per_cpu_second +
+         static_cast<double>(invocations) / 1'000'000.0 *
+             model.dollars_per_million_invocations;
+}
+
+}  // namespace faas

@@ -1,0 +1,141 @@
+// ResourceLedger: the one cost-accounting spine shared by the simulator,
+// the cluster engine, and the wall-clock serving bridge.
+//
+// The paper's Figure 14/15 tradeoff (cold-start rate vs. wasted memory
+// time) was computed ad-hoc per layer: AppSimResult summed idle
+// MB-minutes, the invoker kept a private memory integral, and the serve
+// bridge only counted evictions.  "The High Cost of Keeping Warm"
+// (arXiv 2509.03104) shows the metric operators actually optimize is
+// warm-pool resource overhead — memory-GB-seconds split into warm-idle
+// vs. executing, CPU-seconds, and container churn — optionally priced by
+// a $/GB-s + $/CPU-s + $/invocation model.  This header holds that
+// ledger, plus the generic field-visitor merge helper shared with
+// FaultLedger and OverloadLedger.
+//
+// Determinism rules (the same contract OverloadLedger follows):
+//   * Every field merges either by addition (Sum) or by maximum (Max);
+//     both are order-insensitive over the per-shard partials this repo
+//     produces, so folds in a fixed index order are bit-identical across
+//     --threads.
+//   * Charging sites multiply a memory footprint by an elapsed time in
+//     the SAME association per layer (footprint_mb * elapsed_ms), so a
+//     given replay charges bit-identical values regardless of how work
+//     was sharded.
+//   * Ledger-off paths stay byte-identical: charging is pure arithmetic
+//     on state the layers already track (no RNG draws, no scheduled
+//     events), and telemetry families register only when enabled.
+//
+// Units: memory integrals are MB·ms (power-of-two footprints times
+// integer milliseconds stay exactly representable); CPU time is ms.
+// Derived accessors convert to the GB-seconds operators quote.
+
+#ifndef SRC_COMMON_RESOURCE_LEDGER_H_
+#define SRC_COMMON_RESOURCE_LEDGER_H_
+
+#include <cstdint>
+
+namespace faas {
+
+namespace internal {
+
+// Visitor backing MergeLedger: accumulates `from` into `into` field by
+// field with the semantics the ledger declares per field.
+template <class L>
+struct LedgerMergeVisitor {
+  L* into;
+  const L* from;
+  template <class T>
+  void Sum(T L::*field) {
+    into->*field += from->*field;
+  }
+  template <class T>
+  void Max(T L::*field) {
+    if (from->*field > into->*field) into->*field = from->*field;
+  }
+};
+
+}  // namespace internal
+
+// Merges `from` into `into` for any ledger struct exposing
+//   template <class V> static void VisitMergeFields(V& v);
+// which calls v.Sum(&L::field) or v.Max(&L::field) once per field.
+// FaultLedger, OverloadLedger, and ResourceLedger all declare their merge
+// semantics this way, so there is exactly one fold implementation.
+template <class L>
+void MergeLedger(L& into, const L& from) {
+  internal::LedgerMergeVisitor<L> visitor{&into, &from};
+  L::VisitMergeFields(visitor);
+}
+
+// Optional pricing applied on top of a ResourceLedger.  All-zero (the
+// default) means "no cost model": CostDollars() returns 0 and nothing in
+// any output changes, preserving byte-identity with cost-off runs.
+struct CostModel {
+  double dollars_per_gb_second = 0.0;  // Memory residency (idle + busy).
+  double dollars_per_cpu_second = 0.0;
+  double dollars_per_million_invocations = 0.0;
+
+  bool enabled() const {
+    return dollars_per_gb_second > 0.0 || dollars_per_cpu_second > 0.0 ||
+           dollars_per_million_invocations > 0.0;
+  }
+};
+
+// Tally of the resources a replay (or one shard of one) consumed.
+// Comparable so determinism tests can assert bit-identical ledgers.
+struct ResourceLedger {
+  // Memory-residency integrals, MB·ms, split by what the container was
+  // doing: `idle_mb_ms` is the keep-alive waste the paper's Figure 14
+  // plots, `busy_mb_ms` is memory held while an execution ran.
+  double idle_mb_ms = 0.0;
+  double busy_mb_ms = 0.0;
+  // Execution time across containers, ms (the billed-CPU integral).
+  double cpu_ms = 0.0;
+
+  // Invocation outcomes.
+  int64_t invocations = 0;
+  int64_t warm_hits = 0;  // Served by an already-resident container.
+
+  // Container churn.  Loads split by trigger, unloads by cause; crash
+  // teardowns are tracked by the FaultLedger, not here.
+  int64_t cold_loads = 0;     // Created on demand (cold starts).
+  int64_t prewarm_loads = 0;  // Created by a pre-warm event.
+  int64_t evictions = 0;      // Unloaded early by memory pressure.
+  int64_t expirations = 0;    // Unloaded by keep-alive expiry.
+
+  // --- Derived views (never merged; computed from the integrals) ---
+  double idle_gb_seconds() const { return idle_mb_ms / (1024.0 * 1000.0); }
+  double busy_gb_seconds() const { return busy_mb_ms / (1024.0 * 1000.0); }
+  double gb_seconds() const { return idle_gb_seconds() + busy_gb_seconds(); }
+  double cpu_seconds() const { return cpu_ms / 1000.0; }
+  double wasted_memory_minutes() const { return idle_mb_ms / 60'000.0; }
+  int64_t container_loads() const { return cold_loads + prewarm_loads; }
+  int64_t container_unloads() const { return evictions + expirations; }
+
+  // Price of this ledger under `model` (0 when the model is disabled).
+  double CostDollars(const CostModel& model) const;
+
+  template <class V>
+  static void VisitMergeFields(V& v) {
+    v.Sum(&ResourceLedger::idle_mb_ms);
+    v.Sum(&ResourceLedger::busy_mb_ms);
+    v.Sum(&ResourceLedger::cpu_ms);
+    v.Sum(&ResourceLedger::invocations);
+    v.Sum(&ResourceLedger::warm_hits);
+    v.Sum(&ResourceLedger::cold_loads);
+    v.Sum(&ResourceLedger::prewarm_loads);
+    v.Sum(&ResourceLedger::evictions);
+    v.Sum(&ResourceLedger::expirations);
+  }
+
+  ResourceLedger& operator+=(const ResourceLedger& other) {
+    MergeLedger(*this, other);
+    return *this;
+  }
+
+  bool operator==(const ResourceLedger&) const = default;
+};
+
+}  // namespace faas
+
+#endif  // SRC_COMMON_RESOURCE_LEDGER_H_

@@ -35,7 +35,8 @@ AdmissionBridge::AdmissionBridge(const AdmissionBridgeConfig& config,
                             : 0.99),
       service_ns_(static_cast<int64_t>(config.service_time_us) * 1'000),
       cold_ns_(static_cast<int64_t>(config.cold_start_us) * 1'000),
-      keep_alive_ns_(config.keep_alive_ms * 1'000'000) {
+      keep_alive_ns_(config.keep_alive_ms * 1'000'000),
+      memory_mb_(config.container_memory_mb) {
   pools_.resize(executors_.size() * pool_stride_);
   if (config_.overload.breaker.enabled) {
     for (Executor& e : executors_) {
@@ -170,14 +171,30 @@ void AdmissionBridge::Execute(int executor, uint64_t conn_token,
          pool.idle_expiry_ns.front() <= now_ns) {
     pool.idle_expiry_ns.pop_front();
     ++stats_.evictions;
+    // An expired entry sat idle for its whole keep-alive window.
+    resources_.idle_mb_ms +=
+        memory_mb_ * static_cast<double>(keep_alive_ns_) / 1e6;
+    ++resources_.expirations;
   }
   bool cold = true;
   if (!pool.idle_expiry_ns.empty()) {
+    const int64_t expiry_ns = pool.idle_expiry_ns.back();
     pool.idle_expiry_ns.pop_back();
     cold = false;
+    // Lazy settle: the idle stretch began when the expiry was armed.
+    resources_.idle_mb_ms +=
+        memory_mb_ *
+        static_cast<double>(now_ns - (expiry_ns - keep_alive_ns_)) / 1e6;
+    ++resources_.warm_hits;
+  } else {
+    ++resources_.cold_loads;
   }
 
   const int64_t total_ns = service_ns_ + (cold ? cold_ns_ : 0);
+  ++resources_.invocations;
+  const double exec_ms = static_cast<double>(total_ns) / 1e6;
+  resources_.cpu_ms += exec_ms;
+  resources_.busy_mb_ms += memory_mb_ * exec_ms;
   if (total_ns == 0) {
     // Inline completion: the request never outlives this call.
     --e.inflight;
@@ -563,6 +580,19 @@ void AdmissionBridge::Drain(int64_t now_ns) {
               LatencyClass::kUnknown, req.arrival_ns, now_ns);
   }
   queue_.clear();
+  // Settle warm-pool idle time not yet observed by a trim or a warm hit.
+  // Entries pushed by completions after this point charge nothing.
+  for (FunctionPool& pool : pools_) {
+    for (const int64_t expiry_ns : pool.idle_expiry_ns) {
+      const int64_t idle_ns = std::clamp<int64_t>(
+          now_ns - (expiry_ns - keep_alive_ns_), 0, keep_alive_ns_);
+      resources_.idle_mb_ms += memory_mb_ * static_cast<double>(idle_ns) / 1e6;
+      if (expiry_ns <= now_ns) {
+        ++resources_.expirations;
+      }
+    }
+    pool.idle_expiry_ns.clear();
+  }
   // Close the books on breakers still degraded at shutdown.
   for (Executor& e : executors_) {
     if (e.degraded) {

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/cluster/overload.h"
+#include "src/common/resource_ledger.h"
 #include "src/serve/timer_wheel.h"
 #include "src/serve/wire.h"
 #include "src/stats/p2_quantile.h"
@@ -54,6 +55,9 @@ struct AdmissionBridgeConfig {
   // Fixed keep-alive for idle containers in the warm pool; 0 = every
   // request is a cold start.
   int64_t keep_alive_ms = 10'000;
+  // Memory footprint charged to the resource ledger per warm container and
+  // per executing request (the serve path has no per-function sizes).
+  double container_memory_mb = 128.0;
   // Pre-sized per-function state (grows on demand past the hint).
   uint32_t num_functions_hint = 1024;
 };
@@ -108,6 +112,12 @@ class AdmissionBridge {
   size_t queue_depth() const { return queue_.size(); }
   const OverloadLedger& ledger() const { return ledger_; }
   const BridgeStats& stats() const { return stats_; }
+  // Cost-accounting spine (src/common/resource_ledger.h).  Warm-pool idle
+  // time settles lazily — charged when a container expires off the pool, is
+  // popped for a warm hit, or at Drain — so a mid-run snapshot under-reports
+  // idle residency still parked in the pools; completions after Drain charge
+  // no further idle time.
+  const ResourceLedger& resources() const { return resources_; }
 
  private:
   enum class BreakerMode : uint8_t { kClosed, kOpen, kHalfOpen };
@@ -226,10 +236,12 @@ class AdmissionBridge {
   int64_t service_ns_ = 0;
   int64_t cold_ns_ = 0;
   int64_t keep_alive_ns_ = 0;
+  double memory_mb_ = 0.0;
   bool draining_ = false;
 
   OverloadLedger ledger_;
   BridgeStats stats_;
+  ResourceLedger resources_;
 };
 
 }  // namespace faas

@@ -33,30 +33,6 @@ constexpr uint64_t kWakeTag = ~uint64_t{0} - 1;
 // timer wheel.  Level-triggered epoll re-arms anything left unread.
 constexpr int kMaxReadsPerEvent = 4;
 
-void MergeLedgers(OverloadLedger& into, const OverloadLedger& from) {
-  into.queued += from.queued;
-  into.drained += from.drained;
-  into.shed_queue_full += from.shed_queue_full;
-  into.shed_deadline += from.shed_deadline;
-  into.shed_at_shutdown += from.shed_at_shutdown;
-  into.total_queue_wait_ms += from.total_queue_wait_ms;
-  into.max_queue_wait_ms =
-      std::max(into.max_queue_wait_ms, from.max_queue_wait_ms);
-  into.hedges_launched += from.hedges_launched;
-  into.hedges_unplaced += from.hedges_unplaced;
-  into.hedge_wins += from.hedge_wins;
-  into.hedge_primary_wins += from.hedge_primary_wins;
-  into.breaker_opens += from.breaker_opens;
-  into.breaker_half_opens += from.breaker_half_opens;
-  into.breaker_closes += from.breaker_closes;
-  into.breaker_rejections += from.breaker_rejections;
-  into.cap_rejections += from.cap_rejections;
-  into.breaker_open_intervals += from.breaker_open_intervals;
-  into.total_breaker_open_ms += from.total_breaker_open_ms;
-  into.max_breaker_open_ms =
-      std::max(into.max_breaker_open_ms, from.max_breaker_open_ms);
-}
-
 // Waits for events with nanosecond precision where the kernel offers it
 // (epoll_pwait2, Linux 5.11+); otherwise rounds the timeout up to whole
 // milliseconds so timers never fire early.
@@ -93,7 +69,8 @@ ServeStats& ServeStats::operator+=(const ServeStats& other) {
   bytes_in += other.bytes_in;
   bytes_out += other.bytes_out;
   bridge += other.bridge;
-  MergeLedgers(ledger, other.ledger);
+  MergeLedger(ledger, other.ledger);
+  MergeLedger(resources, other.resources);
   latency.Merge(other.latency);
   return *this;
 }
@@ -207,6 +184,7 @@ class ServeServer::EventLoop {
     ServeStats stats = counters_;
     stats.bridge = bridge_.stats();
     stats.ledger = bridge_.ledger();
+    stats.resources = bridge_.resources();
     stats.latency = latency_;
     return stats;
   }

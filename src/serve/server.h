@@ -71,6 +71,9 @@ struct ServeStats {
   int64_t bytes_out = 0;
   BridgeStats bridge;
   OverloadLedger ledger;
+  // Merged cost-accounting ledgers (lazy idle settlement; see
+  // AdmissionBridge::resources for the snapshot caveat).
+  ResourceLedger resources;
   LatencyRecorder latency;  // Server-side latency of served requests.
 
   ServeStats& operator+=(const ServeStats& other);

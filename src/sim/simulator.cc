@@ -54,6 +54,32 @@ MergedStream MergeInvocations(const AppTrace& app, bool use_execution_times) {
   return stream;
 }
 
+// Charges one app's replay into its ledger.  The idle integral keeps the
+// weighted association (`wasted_ms * weight`, exact for the unweighted
+// weight of 1.0, so ledger-off outputs stay byte-identical); CPU is the sum
+// of execution times (the billed integral — equal to the busy residency
+// wall time whenever executions do not overlap, which is how the
+// sim-vs-cluster charge-identity test pins the two layers together).
+void ChargeLedger(AppSimResult& result, double wasted_ms, double memory_mb,
+                  bool weight_by_memory, const int64_t* exec_ms,
+                  size_t count) {
+  const double weight = weight_by_memory ? memory_mb : 1.0;
+  ResourceLedger& ledger = result.ledger;
+  ledger.idle_mb_ms = wasted_ms * weight;
+  int64_t busy_ms = 0;
+  if (exec_ms != nullptr) {
+    for (size_t i = 0; i < count; ++i) {
+      busy_ms += exec_ms[i];
+    }
+  }
+  ledger.cpu_ms = static_cast<double>(busy_ms);
+  ledger.busy_mb_ms = static_cast<double>(busy_ms) * weight;
+  ledger.invocations = result.invocations;
+  ledger.cold_loads = result.cold_starts;
+  ledger.prewarm_loads = result.prewarm_loads;
+  ledger.warm_hits = result.invocations - result.cold_starts;
+}
+
 }  // namespace
 
 AppSimResult ColdStartSimulator::SimulateApp(const AppTrace& app,
@@ -156,10 +182,8 @@ AppSimResult ColdStartSimulator::SimulateStaticStream(
       wasted_ms += static_cast<double>(std::min(ka_ms, remaining));
     }
   }
-  result.wasted_memory_minutes = wasted_ms / 60'000.0;
-  if (options_.weight_by_memory) {
-    result.wasted_memory_minutes *= memory_mb;
-  }
+  ChargeLedger(result, wasted_ms, memory_mb, options_.weight_by_memory,
+               exec_ms, count);
   return result;
 }
 
@@ -324,10 +348,8 @@ AppSimResult ColdStartSimulator::SimulateStream(
     }
   }
 
-  result.wasted_memory_minutes = wasted_ms / 60'000.0;
-  if (options_.weight_by_memory) {
-    result.wasted_memory_minutes *= memory_mb;
-  }
+  ChargeLedger(result, wasted_ms, memory_mb, options_.weight_by_memory,
+               exec_ms, count);
   if (metrics != nullptr) {
     flush_series();
     metrics->Inc(instruments->apps);
@@ -394,7 +416,15 @@ int64_t SimulationResult::TotalColdStarts() const {
 double SimulationResult::TotalWastedMemoryMinutes() const {
   double total = 0.0;
   for (const auto& app : apps) {
-    total += app.wasted_memory_minutes;
+    total += app.wasted_memory_minutes();
+  }
+  return total;
+}
+
+ResourceLedger SimulationResult::TotalResources() const {
+  ResourceLedger total;
+  for (const auto& app : apps) {
+    total += app.ledger;
   }
   return total;
 }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/common/intern.h"
+#include "src/common/resource_ledger.h"
 #include "src/policy/policy.h"
 #include "src/sim/compiled_trace.h"
 #include "src/stats/ecdf.h"
@@ -65,12 +66,21 @@ struct AppSimResult {
   int64_t cold_starts = 0;
   // Number of pre-warm loads the policy scheduled that actually happened.
   int64_t prewarm_loads = 0;
-  // Loaded-but-idle time, in minutes (scaled by memory when weighting is on).
-  double wasted_memory_minutes = 0.0;
+  // Cost-accounting spine for this app's replay (src/common/
+  // resource_ledger.h): the loaded-but-idle integral (scaled by the app's
+  // memory when weighting is on), execution-time residency and CPU when
+  // execution times are enabled, and load/hit churn.  The wasted-memory
+  // view below derives from it.
+  ResourceLedger ledger;
   // Per-hour counts; populated only when SimulatorOptions::track_hourly.
   std::vector<int32_t> cold_per_hour;
   std::vector<int32_t> invocations_per_hour;
 
+  // Loaded-but-idle time, in minutes (scaled by memory when weighting is
+  // on) — a view over the ledger's idle residency integral.
+  double wasted_memory_minutes() const {
+    return ledger.wasted_memory_minutes();
+  }
   double ColdStartPercent() const {
     return invocations > 0 ? 100.0 * static_cast<double>(cold_starts) /
                                  static_cast<double>(invocations)
@@ -91,6 +101,8 @@ struct SimulationResult {
   int64_t TotalInvocations() const;
   int64_t TotalColdStarts() const;
   double TotalWastedMemoryMinutes() const;
+  // Per-app ledgers folded in app order (bit-identical across threads).
+  ResourceLedger TotalResources() const;
   // Percentile (e.g. 75 for the paper's headline metric) of the per-app
   // cold-start percentage distribution.
   double AppColdStartPercentile(double pct) const;

@@ -47,7 +47,8 @@ ClusterInstruments ClusterInstruments::Register(Telemetry& telemetry,
                                                 std::string_view policy_name,
                                                 int16_t pid, Duration horizon,
                                                 Duration sample_interval,
-                                                bool overload, bool network) {
+                                                bool overload, bool network,
+                                                bool resources) {
   ClusterInstruments instruments;
   instruments.pid = pid;
   if (telemetry.metrics_enabled()) {
@@ -211,6 +212,33 @@ ClusterInstruments ClusterInstruments::Register(Telemetry& telemetry,
     instruments.minute_net_retransmits = r.AddSeries(
         "faas_cluster_minute_net_retransmits",
         "RPC retransmits per sample interval", sample_interval, bins, label);
+  }
+  if (resources) {
+    // Resource-ledger families exist only when resource telemetry is on,
+    // keeping ledger-off exports byte-identical to pre-ledger builds.
+    instruments.resource_container_loads = r.AddCounter(
+        "faas_resource_container_loads_total",
+        "Containers loaded (cold starts + pre-warms)", label);
+    instruments.resource_container_unloads = r.AddCounter(
+        "faas_resource_container_unloads_total",
+        "Containers unloaded (keep-alive expiry + pressure eviction)",
+        label);
+    instruments.resource_idle_gb_seconds = r.AddGauge(
+        "faas_resource_idle_gb_seconds",
+        "Warm-idle memory residency integral, GB-seconds", label);
+    instruments.resource_busy_gb_seconds = r.AddGauge(
+        "faas_resource_busy_gb_seconds",
+        "Executing memory residency integral, GB-seconds", label);
+    instruments.resource_cpu_seconds = r.AddGauge(
+        "faas_resource_cpu_seconds",
+        "Billed execution time across containers, seconds", label);
+    instruments.resource_cost_dollars = r.AddGauge(
+        "faas_resource_cost_dollars",
+        "Ledger cost under the configured cost model, dollars", label);
+    instruments.minute_idle_mb_seconds = r.AddSeries(
+        "faas_resource_minute_idle_mb_seconds",
+        "Warm-idle MB-seconds accrued per sample interval", sample_interval,
+        bins, label);
   }
   return instruments;
 }

@@ -117,17 +117,27 @@ struct ClusterInstruments {
   CounterId lost_crash;
   SeriesId minute_net_drops;
   SeriesId minute_net_retransmits;
+  // Resource ledger (registered only when resource telemetry is on, same
+  // byte-identity rationale as the overload/network bundles).
+  CounterId resource_container_loads;
+  CounterId resource_container_unloads;
+  GaugeId resource_idle_gb_seconds;
+  GaugeId resource_busy_gb_seconds;
+  GaugeId resource_cpu_seconds;
+  GaugeId resource_cost_dollars;
+  SeriesId minute_idle_mb_seconds;
 
   // Registers the bundle under `policy="<policy_name>"` on process lane
   // `pid`, sizing the minute series for `horizon`.  `overload` additionally
   // registers the overload-control-plane instruments above; `network` the
-  // transport-layer ones.
+  // transport-layer ones; `resources` the resource-ledger families.
   static ClusterInstruments Register(Telemetry& telemetry,
                                      std::string_view policy_name,
                                      int16_t pid, Duration horizon,
                                      Duration sample_interval,
                                      bool overload = false,
-                                     bool network = false);
+                                     bool network = false,
+                                     bool resources = false);
 };
 
 // Instruments for one policy of an analytic sweep.  The hot loop

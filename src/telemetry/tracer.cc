@@ -90,6 +90,8 @@ const char* SpanNameString(SpanName name) {
       return "rpc_give_up";
     case SpanName::kAppReplay:
       return "app_replay";
+    case SpanName::kResourceCost:
+      return "resource_cost";
     case SpanName::kNumSpanNames:
       break;
   }

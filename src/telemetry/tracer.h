@@ -79,6 +79,9 @@ enum class SpanName : int16_t {
   kRpcGiveUp,       // Instant: call/notify spent its retransmit budget.
   // Analytic sweep.
   kAppReplay,       // One app under one policy (dur = active span of app).
+  // Resource ledger.
+  kResourceCost,    // End-of-replay cost summary (dur = horizon, arg0 =
+                    // total GB-seconds, arg1 = cost in micro-dollars).
   kNumSpanNames,    // Sentinel; keep last.
 };
 

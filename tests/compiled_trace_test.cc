@@ -29,8 +29,8 @@ void ExpectSameAppResult(const AppSimResult& legacy,
   EXPECT_EQ(legacy.invocations, compiled.invocations);
   EXPECT_EQ(legacy.cold_starts, compiled.cold_starts);
   EXPECT_EQ(legacy.prewarm_loads, compiled.prewarm_loads);
-  EXPECT_DOUBLE_EQ(legacy.wasted_memory_minutes,
-                   compiled.wasted_memory_minutes);
+  EXPECT_DOUBLE_EQ(legacy.wasted_memory_minutes(),
+                   compiled.wasted_memory_minutes());
   EXPECT_EQ(legacy.cold_per_hour, compiled.cold_per_hour);
   EXPECT_EQ(legacy.invocations_per_hour, compiled.invocations_per_hour);
 }
@@ -145,7 +145,7 @@ TEST(CompiledTraceTest, EmptyAppYieldsEmptyResult) {
   const AppSimResult result = simulator.SimulateApp(compiled, 0, policy);
   EXPECT_EQ(result.invocations, 0);
   EXPECT_EQ(result.cold_starts, 0);
-  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes, 0.0);
+  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes(), 0.0);
 }
 
 }  // namespace

@@ -192,7 +192,7 @@ void ExpectPointsBitIdentical(const std::vector<PolicyPoint>& a,
       EXPECT_EQ(ra.invocations, rb.invocations);
       EXPECT_EQ(ra.cold_starts, rb.cold_starts);
       EXPECT_EQ(ra.prewarm_loads, rb.prewarm_loads);
-      EXPECT_EQ(ra.wasted_memory_minutes, rb.wasted_memory_minutes);
+      EXPECT_EQ(ra.wasted_memory_minutes(), rb.wasted_memory_minutes());
     }
   }
 }

@@ -58,8 +58,8 @@ TEST(ParallelSimulationTest, MatchesSequentialExactly) {
   for (size_t i = 0; i < a.apps.size(); ++i) {
     EXPECT_EQ(a.apps[i].app, b.apps[i].app);
     EXPECT_EQ(a.apps[i].cold_starts, b.apps[i].cold_starts);
-    EXPECT_DOUBLE_EQ(a.apps[i].wasted_memory_minutes,
-                     b.apps[i].wasted_memory_minutes);
+    EXPECT_DOUBLE_EQ(a.apps[i].wasted_memory_minutes(),
+                     b.apps[i].wasted_memory_minutes());
   }
 }
 

@@ -57,8 +57,8 @@ TEST_P(SimulatorInvariantTest, HoldForAllPolicies) {
           << factory->name();
       EXPECT_LE(app.cold_starts, app.invocations) << factory->name();
       // Waste is non-negative and bounded by the whole horizon.
-      EXPECT_GE(app.wasted_memory_minutes, 0.0) << factory->name();
-      EXPECT_LE(app.wasted_memory_minutes, trace.horizon.minutes() + 1e-6)
+      EXPECT_GE(app.wasted_memory_minutes(), 0.0) << factory->name();
+      EXPECT_LE(app.wasted_memory_minutes(), trace.horizon.minutes() + 1e-6)
           << factory->name();
       total_invocations += app.invocations;
       // No-unloading is the per-app cold-start lower bound.

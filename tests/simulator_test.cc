@@ -73,7 +73,7 @@ TEST(SimulatorTest, FirstInvocationAlwaysCold) {
       {.count_tail_residency = false});
   EXPECT_EQ(result.invocations, 1);
   EXPECT_EQ(result.cold_starts, 1);
-  EXPECT_EQ(result.wasted_memory_minutes, 0.0);
+  EXPECT_EQ(result.wasted_memory_minutes(), 0.0);
 }
 
 TEST(SimulatorTest, KeepAliveHitIsWarm) {
@@ -83,7 +83,7 @@ TEST(SimulatorTest, KeepAliveHitIsWarm) {
       MakeApp({0, 5}), {Duration::Zero(), Duration::Minutes(10)},
       {.count_tail_residency = false});
   EXPECT_EQ(result.cold_starts, 1);
-  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes, 5.0);
+  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes(), 5.0);
 }
 
 TEST(SimulatorTest, KeepAliveMissIsColdAndChargesWholeWindow) {
@@ -93,7 +93,7 @@ TEST(SimulatorTest, KeepAliveMissIsColdAndChargesWholeWindow) {
       MakeApp({0, 30}), {Duration::Zero(), Duration::Minutes(10)},
       {.count_tail_residency = false});
   EXPECT_EQ(result.cold_starts, 2);
-  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes, 10.0);
+  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes(), 10.0);
 }
 
 TEST(SimulatorTest, BoundaryHitAtExactKeepAliveEndIsWarm) {
@@ -101,7 +101,7 @@ TEST(SimulatorTest, BoundaryHitAtExactKeepAliveEndIsWarm) {
       MakeApp({0, 10}), {Duration::Zero(), Duration::Minutes(10)},
       {.count_tail_residency = false});
   EXPECT_EQ(result.cold_starts, 1);
-  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes, 10.0);
+  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes(), 10.0);
 }
 
 TEST(SimulatorTest, PrewarmHitIsWarmAndOnlyChargesAfterLoad) {
@@ -113,7 +113,7 @@ TEST(SimulatorTest, PrewarmHitIsWarmAndOnlyChargesAfterLoad) {
       {.count_tail_residency = false});
   EXPECT_EQ(result.cold_starts, 1);
   EXPECT_EQ(result.prewarm_loads, 1);
-  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes, 5.0);
+  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes(), 5.0);
 }
 
 TEST(SimulatorTest, InvocationBeforePrewarmIsColdButFree) {
@@ -125,7 +125,7 @@ TEST(SimulatorTest, InvocationBeforePrewarmIsColdButFree) {
       {.count_tail_residency = false});
   EXPECT_EQ(result.cold_starts, 2);
   EXPECT_EQ(result.prewarm_loads, 0);
-  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes, 0.0);
+  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes(), 0.0);
 }
 
 TEST(SimulatorTest, InvocationAfterPrewarmWindowIsColdAndChargesWindow) {
@@ -137,7 +137,7 @@ TEST(SimulatorTest, InvocationAfterPrewarmWindowIsColdAndChargesWindow) {
       {.count_tail_residency = false});
   EXPECT_EQ(result.cold_starts, 2);
   EXPECT_EQ(result.prewarm_loads, 1);
-  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes, 10.0);
+  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes(), 10.0);
 }
 
 TEST(SimulatorTest, NoUnloadKeepsWarmAndChargesAllIdle) {
@@ -146,19 +146,19 @@ TEST(SimulatorTest, NoUnloadKeepsWarmAndChargesAllIdle) {
       ColdStartSimulator({.count_tail_residency = false})
           .SimulateApp(MakeApp({0, 60, 120}), kHorizon, policy);
   EXPECT_EQ(result.cold_starts, 1);
-  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes, 120.0);
+  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes(), 120.0);
 }
 
 TEST(SimulatorTest, TailResidencyChargedUntilWindowOrHorizon) {
   // Single invocation at t=0; keep-alive 10 minutes; horizon 10 hours.
   const AppSimResult with_tail = Simulate(
       MakeApp({0}), {Duration::Zero(), Duration::Minutes(10)});
-  EXPECT_DOUBLE_EQ(with_tail.wasted_memory_minutes, 10.0);
+  EXPECT_DOUBLE_EQ(with_tail.wasted_memory_minutes(), 10.0);
   // No-unload: charged to the end of the horizon.
   NoUnloadPolicy policy;
   const AppSimResult no_unload =
       ColdStartSimulator().SimulateApp(MakeApp({0}), kHorizon, policy);
-  EXPECT_DOUBLE_EQ(no_unload.wasted_memory_minutes, 600.0);
+  EXPECT_DOUBLE_EQ(no_unload.wasted_memory_minutes(), 600.0);
 }
 
 TEST(SimulatorTest, TailPrewarmChargesKeepAliveAfterPrewarmDelay) {
@@ -166,7 +166,7 @@ TEST(SimulatorTest, TailPrewarmChargesKeepAliveAfterPrewarmDelay) {
   // final pre-warmed window [20, 30] is wasted.
   const AppSimResult result = Simulate(
       MakeApp({0}), {Duration::Minutes(20), Duration::Minutes(10)});
-  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes, 10.0);
+  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes(), 10.0);
   EXPECT_EQ(result.prewarm_loads, 1);
 }
 
@@ -194,7 +194,7 @@ TEST(SimulatorTest, ExecutionTimesShiftIdleMeasurement) {
   ASSERT_EQ(policy.recorded().size(), 1u);
   EXPECT_EQ(policy.recorded()[0], Duration::Minutes(5));
   EXPECT_EQ(result.cold_starts, 1);  // 5min idle <= 6min keep-alive.
-  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes, 5.0);
+  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes(), 5.0);
 }
 
 TEST(SimulatorTest, ConcurrentInvocationDuringExecutionIsWarm) {
@@ -220,8 +220,8 @@ TEST(SimulatorTest, MemoryWeightingScalesWaste) {
   const AppSimResult weighted = Simulate(
       app, {Duration::Zero(), Duration::Minutes(10)},
       {.count_tail_residency = false, .weight_by_memory = true});
-  EXPECT_DOUBLE_EQ(weighted.wasted_memory_minutes,
-                   unweighted.wasted_memory_minutes * 200.0);
+  EXPECT_DOUBLE_EQ(weighted.wasted_memory_minutes(),
+                   unweighted.wasted_memory_minutes() * 200.0);
 }
 
 TEST(SimulatorTest, MultiFunctionInvocationsMergeAtAppLevel) {
@@ -281,7 +281,7 @@ TEST_P(WindowSemanticsTest, MatchesFigureNine) {
       {Duration::Minutes(c.prewarm_min), Duration::Minutes(c.keepalive_min)},
       {.count_tail_residency = false});
   EXPECT_EQ(result.cold_starts, c.expected_cold_starts);
-  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes, c.expected_waste_min);
+  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes(), c.expected_waste_min);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -314,7 +314,7 @@ TEST(SimulatorTest, ExecutionTimesCombineWithPrewarm) {
           .SimulateApp(app, kHorizon, policy);
   EXPECT_EQ(result.cold_starts, 2);
   EXPECT_EQ(result.prewarm_loads, 1);
-  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes, 10.0);
+  EXPECT_DOUBLE_EQ(result.wasted_memory_minutes(), 10.0);
 }
 
 TEST(SimulationResultTest, AggregatesAndPercentiles) {
@@ -375,7 +375,7 @@ TEST(SimulatorIntegrationTest, HybridLearnsPeriodicAppAndPrewarms) {
       ColdStartSimulator({.count_tail_residency = false})
           .SimulateApp(app, Duration::Hours(24), fixed);
   EXPECT_EQ(fixed_result.cold_starts, 40);
-  EXPECT_LT(result.wasted_memory_minutes, fixed_result.wasted_memory_minutes);
+  EXPECT_LT(result.wasted_memory_minutes(), fixed_result.wasted_memory_minutes());
 }
 
 }  // namespace

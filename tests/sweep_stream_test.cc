@@ -62,8 +62,8 @@ void ExpectPointsIdentical(const std::vector<PolicyPoint>& streamed,
           << "app " << a;
       ASSERT_EQ(lhs.apps[a].prewarm_loads, rhs.apps[a].prewarm_loads)
           << "app " << a;
-      ASSERT_EQ(lhs.apps[a].wasted_memory_minutes,
-                rhs.apps[a].wasted_memory_minutes)
+      ASSERT_EQ(lhs.apps[a].wasted_memory_minutes(),
+                rhs.apps[a].wasted_memory_minutes())
           << "app " << a;
       ASSERT_EQ(lhs.AppName(a), rhs.AppName(a)) << "app " << a;
     }

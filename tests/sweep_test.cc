@@ -137,8 +137,8 @@ TEST(SweepTest, ParallelSweepBitIdenticalToSequential) {
                 b[p].result.apps[i].cold_starts);
       EXPECT_EQ(a[p].result.apps[i].prewarm_loads,
                 b[p].result.apps[i].prewarm_loads);
-      EXPECT_EQ(a[p].result.apps[i].wasted_memory_minutes,
-                b[p].result.apps[i].wasted_memory_minutes);
+      EXPECT_EQ(a[p].result.apps[i].wasted_memory_minutes(),
+                b[p].result.apps[i].wasted_memory_minutes());
     }
   }
 }

@@ -14,9 +14,12 @@
 # the live loopback suite with its multi-loop epoll threads and graceful
 # shutdown) runs under both TSan and ASan: TSan watches the Snapshot/Stop
 # cross-thread paths, ASan the decoder stash and per-connection buffers.
+# The resource-ledger suite (cost-accounting merges, sim-vs-cluster charge
+# identity, thread-count determinism) rides in every sanitizer leg, and
+# --quick adds a pareto_sweep smoke over a small generated trace.
 #
 # Usage: tools/check.sh [--quick] [--skip-tsan] [--skip-ubsan] [--skip-asan]
-#   --quick   tier-1 build + ctest only; skips every sanitizer rebuild
+#   --quick   tier-1 build + ctest + pareto_sweep smoke; skips sanitizers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,6 +42,15 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
+if [[ "${SKIP_TSAN}" == "1" && "${SKIP_UBSAN}" == "1" && "${SKIP_ASAN}" == "1" ]]; then
+  echo "== quick: pareto_sweep smoke (streamed 120-app frontier) =="
+  ./build/tools/pareto_sweep --gen-apps 120 --gen-days 1 --threads 2 \
+      --shard-apps 32 --out build/pareto_smoke.csv >/dev/null
+  head -1 build/pareto_smoke.csv | grep -q \
+      'policy,goodput_pct,cold_start_p75' || {
+    echo "pareto_sweep smoke: unexpected CSV header" >&2; exit 1; }
+fi
+
 if [[ "${SKIP_TSAN}" == "1" ]]; then
   echo "== skipping TSan pass =="
 else
@@ -50,11 +62,12 @@ else
       compiled_trace_test faults_test network_test overload_test \
       controller_test telemetry_metrics_test telemetry_tracer_test telemetry_export_test \
       telemetry_integration_test \
-      serve_codec_test serve_loopback_test timer_wheel_test latency_recorder_test
+      serve_codec_test serve_loopback_test timer_wheel_test latency_recorder_test \
+      resource_ledger_test
   # gtest_discover_tests registers suite names (not target names), so match
   # the suites those binaries contain.
   (cd build-tsan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'ThreadPool|ParallelFor|ParallelSimulation|Sweep|SweepStream|GeneratorShard|ArenaPool|CpuTopology|CompiledTrace|CompiledReplay|FaultPlan|NetFaultPlan|NetworkModel|NetworkCluster|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration|ServeCodec|ServeLoopback|TimerWheel|LatencyRecorder')
+      -R 'ThreadPool|ParallelFor|ParallelSimulation|Sweep|SweepStream|GeneratorShard|ArenaPool|CpuTopology|CompiledTrace|CompiledReplay|FaultPlan|NetFaultPlan|NetworkModel|NetworkCluster|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration|ServeCodec|ServeLoopback|TimerWheel|LatencyRecorder|ResourceLedger')
 fi
 
 if [[ "${SKIP_UBSAN}" == "1" ]]; then
@@ -66,9 +79,9 @@ else
       faults_test network_test overload_test controller_test cluster_test \
       sweep_stream_test generator_shard_test \
       telemetry_metrics_test telemetry_tracer_test telemetry_export_test \
-      telemetry_integration_test
+      telemetry_integration_test resource_ledger_test
   (cd build-ubsan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'FaultPlan|NetFaultPlan|NetworkModel|NetworkCluster|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|Cluster|SweepStream|GeneratorShard|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration')
+      -R 'FaultPlan|NetFaultPlan|NetworkModel|NetworkCluster|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|Cluster|SweepStream|GeneratorShard|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration|ResourceLedger')
 fi
 
 if [[ "${SKIP_ASAN}" == "1" ]]; then
@@ -81,12 +94,13 @@ else
       sweep_test sweep_stream_test generator_shard_test arena_pool_test \
       faults_test network_test controller_test cluster_test overload_test \
       telemetry_metrics_test telemetry_tracer_test \
-      serve_codec_test serve_loopback_test timer_wheel_test latency_recorder_test
+      serve_codec_test serve_loopback_test timer_wheel_test latency_recorder_test \
+      resource_ledger_test
   # SweepStream covers the faults + streaming smoke
   # (StreamedSweepWithConcurrentChaosReplay): a chaos replay with an active
   # fault plan runs while the streamed sweep rotates shard arenas.
   (cd build-asan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'Intern|EntityIndex|Csv|Transform|CompiledTrace|CompiledReplay|Sweep|SweepStream|GeneratorShard|ArenaPool|FaultPlan|NetFaultPlan|NetworkModel|NetworkCluster|ChaosCluster|Controller|Cluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|TelemetryMetrics|TelemetryTracer|ServeCodec|ServeLoopback|TimerWheel|LatencyRecorder')
+      -R 'Intern|EntityIndex|Csv|Transform|CompiledTrace|CompiledReplay|Sweep|SweepStream|GeneratorShard|ArenaPool|FaultPlan|NetFaultPlan|NetworkModel|NetworkCluster|ChaosCluster|Controller|Cluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|TelemetryMetrics|TelemetryTracer|ServeCodec|ServeLoopback|TimerWheel|LatencyRecorder|ResourceLedger')
 fi
 
 echo "== all checks passed =="

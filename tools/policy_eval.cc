@@ -637,6 +637,14 @@ int RunChaosEvaluation(const FlagParser& flags, const Trace& trace,
 
   config.telemetry = telemetry;
   config.metrics_interval = metrics_interval;
+  config.cost.dollars_per_gb_second = flags.GetDouble("cost-gb-s", 0.0);
+  config.cost.dollars_per_cpu_second = flags.GetDouble("cost-cpu-s", 0.0);
+  config.cost.dollars_per_million_invocations =
+      flags.GetDouble("cost-invoke", 0.0);
+  // The faas_resource_* metric families register only on request (or when a
+  // cost model is priced in), keeping default telemetry exports unchanged.
+  config.resource_telemetry =
+      flags.GetBool("resource-telemetry", false) || config.cost.enabled();
   std::printf("\nchaos evaluation: %d invokers, %zu crashes, %zu wipes, "
               "%zu spikes, %zu flaky windows, retries=%d\n",
               config.num_invokers, config.faults.crashes.size(),
@@ -715,6 +723,17 @@ int RunChaosEvaluation(const FlagParser& flags, const Trace& trace,
                 static_cast<long long>(ledger.cold_starts_after_timeout),
                 static_cast<long long>(ledger.cold_starts_after_outage),
                 static_cast<long long>(ledger.cold_starts_in_degraded_mode));
+    const ResourceLedger& resources = result.resources;
+    std::printf("    resources{idle=%.1fGB-s busy=%.1fGB-s cpu=%.1fs "
+                "loads=%lld unloads=%lld}",
+                resources.idle_gb_seconds(), resources.busy_gb_seconds(),
+                resources.cpu_seconds(),
+                static_cast<long long>(resources.container_loads()),
+                static_cast<long long>(resources.container_unloads()));
+    if (config.cost.enabled()) {
+      std::printf(" cost=$%.4f", result.cost_dollars);
+    }
+    std::printf("\n");
     if (config.network.enabled) {
       std::printf("    net{sent=%lld delivered=%lld "
                   "lost{loss=%lld partition=%lld queue=%lld} dup=%lld "
@@ -802,6 +821,10 @@ int main(int argc, char** argv) {
         "                   [--breaker] [--breaker-window N]\n"
         "                   [--breaker-threshold F] [--breaker-open D]\n"
         "                   [--breaker-latency-ms X]\n"
+        "cost accounting (chaos mode; the cost model also enables the\n"
+        "faas_resource_* metric families):\n"
+        "                   [--cost-gb-s X] [--cost-cpu-s X]\n"
+        "                   [--cost-invoke X] [--resource-telemetry]\n"
         "network model (also selects the cluster simulator):\n"
         "                   [--net-latency MS] [--net-queue-cap N]\n"
         "                   [--net-loss P] [--net-partition I@AT+DUR,...]\n"
@@ -972,8 +995,11 @@ int main(int argc, char** argv) {
   }
 #endif
 
+  const bool has_cost_flags =
+      flags.Has("cost-gb-s") || flags.Has("cost-cpu-s") ||
+      flags.Has("cost-invoke") || flags.Has("resource-telemetry");
   if (flags.Has("faults") || flags.Has("mtbf") || HasOverloadFlags(flags) ||
-      HasNetworkFlags(flags)) {
+      HasNetworkFlags(flags) || has_cost_flags) {
     const int status = RunChaosEvaluation(flags, trace, factories,
                                           telemetry.get(), metrics_interval);
     if (status != 0) {
