@@ -1,0 +1,314 @@
+// Goodput-under-fault bench for the self-healing serve plane.
+//
+// Three cells, same offered load (paced Poisson open loop on loopback):
+//
+//   baseline   — no faults, plain client.  The goodput reference.
+//   fragile    — executor crash + long stall injected, but nothing defends:
+//                no watchdog, no dedupe, no client retries.  In-flight work
+//                dies with kFailed, the stalled shard's work is stranded
+//                until drain, goodput drops.
+//   resilient  — the same faults plus a 1% connection-reset window, with
+//                the full kit on: stalled-shard watchdog, idempotent
+//                request-id dedupe, and client-side deadline/retry/backoff.
+//                The claim under test: goodput recovers to >= 95% of the
+//                unique offered requests, and the recovery ledger reports
+//                MTTR for every outage.
+//
+// The resilient cell runs twice with the same seed: the client's Poisson
+// schedule and request-id sequence are seed-deterministic, so the unique
+// send count must reproduce exactly (retry *timing* is wall-clock and may
+// differ; the ledger identity holds either way).  The idempotency identity
+//   client_sends - retries_deduped - dupes_inflight == server_executions
+// is checked on every resilient run.
+//
+// Rows land in results/resilience.csv (SeriesWriter) and the headline
+// numbers in BENCH_resilience.json (override with FAAS_BENCH_RESILIENCE_JSON;
+// "off" disables).  Skips cleanly, writing a "skipped" marker, when the
+// sandbox has no loopback sockets.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/series_writer.h"
+#include "src/serve/chaos.h"
+#include "src/serve/idempotency.h"
+#include "src/serve/loadgen.h"
+#include "src/serve/server.h"
+
+namespace {
+
+using namespace faas;
+
+constexpr double kGoodputTarget = 0.95;
+constexpr uint64_t kClientSeed = 20190715;
+
+// crash: shard 1 dies at 700ms for 400ms (heals on its own schedule).
+// stall: shard 2 wedges at 1.2s and never recovers by itself — only the
+// watchdog (resilient cell) or the drain path (fragile cell) resolves it.
+constexpr const char* kFaultSpec =
+    "crash:executor=1,at=700ms,down=400ms; stall:executor=2,at=1200ms,for=30s";
+// The resilient cell additionally resets 1% of accepted connections for the
+// whole send window.
+constexpr const char* kResetSpec = "connreset:at=0ms,for=3s,p=0.01";
+
+struct Cell {
+  std::string name;
+  LoadGenResult client;
+  ServeStats server;
+  bool ran = false;
+
+  double goodput() const {
+    const int64_t unique = client.unique_sends();
+    return unique > 0
+               ? static_cast<double>(client.ok) / static_cast<double>(unique)
+               : 0.0;
+  }
+};
+
+ServeConfig ServerConfig(bool faults, bool resets, bool defenses,
+                         serve::IdempotencyIndex* dedupe) {
+  ServeConfig config;
+  config.port = 0;
+  config.num_loops = 2;
+  config.bridge.num_executors = 4;
+  config.bridge.service_time_us = 2'000;
+  config.bridge.cold_start_us = 20'000;
+  config.bridge.overload.invoker_concurrency_cap = 8;
+  config.bridge.overload.admission.capacity = 256;
+  config.bridge.overload.admission.discipline = AdmissionDiscipline::kFifo;
+  if (faults) {
+    std::string spec = kFaultSpec;
+    if (resets) {
+      spec += "; ";
+      spec += kResetSpec;
+    }
+    std::string error;
+    auto plan = serve::ServeChaosPlan::Parse(spec, &error);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "bad chaos spec: %s\n", error.c_str());
+      std::exit(2);
+    }
+    config.bridge.chaos = *plan;
+    config.bridge.chaos_seed = 7;
+  }
+  if (defenses) {
+    config.bridge.watchdog.enabled = true;
+    config.bridge.watchdog.interval = Duration::Millis(100);
+    config.bridge.watchdog.stall_threshold = Duration::Millis(250);
+    config.bridge.dedupe = dedupe;
+  }
+  return config;
+}
+
+LoadGenConfig ClientConfig(uint16_t port, bool retry) {
+  LoadGenConfig load;
+  load.port = port;
+  load.mode = LoadMode::kOpen;
+  load.target_rps = 2'000;
+  load.connections = 8;
+  load.duration_ms = 2'500;
+  load.drain_ms = 3'000;
+  load.num_functions = 32;
+  load.seed = kClientSeed;
+  if (retry) {
+    load.retry.enabled = true;
+    load.retry.timeout_us = 100'000;
+    load.retry.backoff_base_us = 5'000;
+    load.retry.backoff_cap_us = 100'000;
+    load.retry.max_attempts = 8;
+    load.retry.reconnect_delay_us = 2'000;
+  }
+  return load;
+}
+
+// Runs one cell.  The resilient cell's initial connects can land inside the
+// reset window (the retry kit only owns the connection after the dial
+// succeeds), so the whole run is retried a few times on connect failure.
+bool RunCell(const std::string& name, bool faults, bool resets, bool defenses,
+             bool retry, Cell* cell, std::string* error) {
+  cell->name = name;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    serve::IdempotencyIndex dedupe(/*ttl_ns=*/int64_t{30'000'000'000});
+    ServeServer server(ServerConfig(faults, resets, defenses, &dedupe));
+    if (!server.Start(error)) {
+      return false;  // No sockets at all: skip the bench.
+    }
+    cell->client = LoadGenResult{};
+    const bool ran =
+        LoadGenerator(ClientConfig(server.port(), retry)).Run(&cell->client,
+                                                              error);
+    server.Stop();
+    cell->server = server.Snapshot();
+    if (ran) {
+      cell->ran = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PrintCell(const Cell& cell) {
+  const RecoveryLedger& r = cell.server.recovery;
+  std::printf(
+      "  %-9s unique=%-6lld ok=%-6lld failed=%-5lld retries=%-5lld "
+      "goodput=%6.2f%%\n",
+      cell.name.c_str(),
+      static_cast<long long>(cell.client.unique_sends()),
+      static_cast<long long>(cell.client.ok),
+      static_cast<long long>(cell.client.failed),
+      static_cast<long long>(cell.client.retries), 100.0 * cell.goodput());
+  if (!r.Empty()) {
+    std::printf(
+        "            restarts{watchdog=%lld crash=%lld} inflight_failed=%lld "
+        "rescued=%lld deduped=%lld resets=%lld mttr{mean=%.1fms max=%.1fms "
+        "n=%lld}\n",
+        static_cast<long long>(r.watchdog_restarts),
+        static_cast<long long>(r.crash_restarts),
+        static_cast<long long>(r.inflight_failed),
+        static_cast<long long>(r.requests_rescued),
+        static_cast<long long>(r.retries_deduped),
+        static_cast<long long>(r.conn_resets_injected), r.MeanMttrMs(),
+        r.max_mttr_ms, static_cast<long long>(r.recoveries));
+  }
+}
+
+void WriteJson(const std::string& path, const std::vector<Cell>& cells,
+               bool identity_ok, bool deterministic, bool skipped,
+               const std::string& skip_reason) {
+  if (path == "off") {
+    return;
+  }
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"resilience\",\n";
+  if (skipped) {
+    out << "  \"skipped\": true,\n  \"reason\": \"" << skip_reason
+        << "\"\n}\n";
+    std::printf("wrote %s (skipped)\n", path.c_str());
+    return;
+  }
+  out << "  \"goodput_target\": " << kGoodputTarget << ",\n";
+  out << "  \"identity_ok\": " << (identity_ok ? "true" : "false") << ",\n";
+  out << "  \"deterministic_client_ledger\": "
+      << (deterministic ? "true" : "false") << ",\n";
+  out << "  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    const RecoveryLedger& r = c.server.recovery;
+    out << "    {\"name\": \"" << c.name << "\", \"unique_sends\": "
+        << c.client.unique_sends() << ", \"ok\": " << c.client.ok
+        << ", \"failed\": " << c.client.failed
+        << ", \"retries\": " << c.client.retries
+        << ", \"timeouts\": " << c.client.timeouts
+        << ", \"gave_up\": " << c.client.gave_up
+        << ", \"reconnects\": " << c.client.reconnects
+        << ", \"goodput\": " << c.goodput()
+        << ", \"watchdog_restarts\": " << r.watchdog_restarts
+        << ", \"crash_restarts\": " << r.crash_restarts
+        << ", \"inflight_failed\": " << r.inflight_failed
+        << ", \"requests_rescued\": " << r.requests_rescued
+        << ", \"retries_deduped\": " << r.retries_deduped
+        << ", \"dupes_inflight\": " << r.dupes_inflight
+        << ", \"executions\": " << r.executions
+        << ", \"conn_resets_injected\": " << r.conn_resets_injected
+        << ", \"recoveries\": " << r.recoveries
+        << ", \"mttr_mean_ms\": " << r.MeanMttrMs()
+        << ", \"mttr_max_ms\": " << r.max_mttr_ms << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::signal(SIGPIPE, SIG_IGN);
+  const char* env = std::getenv("FAAS_BENCH_RESILIENCE_JSON");
+  const std::string json_path = env != nullptr ? env : "BENCH_resilience.json";
+
+  std::printf("resilience bench: crash + stall (+1%% conn resets) at 2000 "
+              "rps open loop\n");
+  std::printf("faults: %s\n", kFaultSpec);
+
+  std::vector<Cell> cells(4);
+  std::string error;
+  if (!RunCell("baseline", /*faults=*/false, /*resets=*/false,
+               /*defenses=*/false, /*retry=*/false, &cells[0], &error)) {
+    std::printf("resilience bench skipped: %s\n", error.c_str());
+    WriteJson(json_path, {}, false, false, /*skipped=*/true, error);
+    return 0;
+  }
+  PrintCell(cells[0]);
+  if (!RunCell("fragile", /*faults=*/true, /*resets=*/false,
+               /*defenses=*/false, /*retry=*/false, &cells[1], &error) ||
+      !RunCell("resilient", /*faults=*/true, /*resets=*/true,
+               /*defenses=*/true, /*retry=*/true, &cells[2], &error) ||
+      !RunCell("resilient2", /*faults=*/true, /*resets=*/true,
+               /*defenses=*/true, /*retry=*/true, &cells[3], &error)) {
+    std::printf("resilience bench failed mid-run: %s\n", error.c_str());
+    WriteJson(json_path, {}, false, false, /*skipped=*/true, error);
+    return 1;
+  }
+  PrintCell(cells[1]);
+  PrintCell(cells[2]);
+  PrintCell(cells[3]);
+
+  // Idempotency identity on both resilient runs.
+  bool identity_ok = true;
+  for (size_t i = 2; i < cells.size(); ++i) {
+    const RecoveryLedger& r = cells[i].server.recovery;
+    // Frames lost to an injected reset never reach the server, so the
+    // client-side send count is an upper bound; the server-side identity
+    // relates what actually arrived.
+    const int64_t arrived = cells[i].server.frames_in;
+    if (arrived - r.retries_deduped - r.dupes_inflight != r.executions) {
+      identity_ok = false;
+      std::printf("IDENTITY VIOLATION (%s): %lld - %lld - %lld != %lld\n",
+                  cells[i].name.c_str(), static_cast<long long>(arrived),
+                  static_cast<long long>(r.retries_deduped),
+                  static_cast<long long>(r.dupes_inflight),
+                  static_cast<long long>(r.executions));
+    }
+  }
+
+  const bool deterministic =
+      cells[2].client.unique_sends() == cells[3].client.unique_sends();
+  const double goodput = cells[2].goodput();
+  const bool recovered = goodput >= kGoodputTarget;
+
+  std::printf("\n");
+  std::printf("  goodput: fragile=%.2f%%  resilient=%.2f%% (target >= %.0f%%) "
+              "-> %s\n",
+              100.0 * cells[1].goodput(), 100.0 * goodput,
+              100.0 * kGoodputTarget, recovered ? "PASS" : "FAIL");
+  std::printf("  idempotency identity: %s\n", identity_ok ? "PASS" : "FAIL");
+  std::printf("  same-seed unique sends: %lld vs %lld -> %s\n",
+              static_cast<long long>(cells[2].client.unique_sends()),
+              static_cast<long long>(cells[3].client.unique_sends()),
+              deterministic ? "PASS" : "FAIL");
+
+  SeriesWriter series(
+      "resilience",
+      {"cell", "unique_sends", "ok", "failed", "retries", "goodput",
+       "watchdog_restarts", "crash_restarts", "inflight_failed",
+       "requests_rescued", "retries_deduped", "conn_resets_injected",
+       "recoveries", "mttr_mean_ms", "mttr_max_ms"});
+  for (const Cell& c : cells) {
+    const RecoveryLedger& r = c.server.recovery;
+    series.Row(c.name, c.client.unique_sends(), c.client.ok, c.client.failed,
+               c.client.retries, c.goodput(), r.watchdog_restarts,
+               r.crash_restarts, r.inflight_failed, r.requests_rescued,
+               r.retries_deduped, r.conn_resets_injected, r.recoveries,
+               r.MeanMttrMs(), r.max_mttr_ms);
+  }
+  if (series.enabled()) {
+    std::printf("wrote %s\n", series.path().c_str());
+  }
+  WriteJson(json_path, cells, identity_ok, deterministic, false, "");
+  return recovered && identity_ok ? 0 : 1;
+}

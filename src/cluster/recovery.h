@@ -1,0 +1,107 @@
+// Recovery accounting for the self-healing serve plane.
+//
+// The serving layer (src/serve) injects faults from a ServeChaosPlan and
+// heals them with a watchdog (stalled-shard restarts), tiered degradation,
+// and a client-side retry kit deduplicated by request id.  The
+// RecoveryLedger is the single book both sides write: how often shards were
+// restarted and why, how long each outage lasted (MTTR), how many requests
+// the retry path saved versus double-sends the dedupe index absorbed, and
+// how long the bridge dwelt in each degradation tier.  Like the other
+// ledgers it is plain data merged with MergeLedger
+// (src/common/resource_ledger.h), so per-loop books fold deterministically.
+
+#ifndef SRC_CLUSTER_RECOVERY_H_
+#define SRC_CLUSTER_RECOVERY_H_
+
+#include <cstdint>
+
+namespace faas {
+
+// Number of graceful-degradation tiers (0 = healthy .. kDegradeTiers-1 =
+// retry-only).  Tier semantics live in src/serve/chaos.h.
+inline constexpr int kDegradeTiers = 4;
+
+struct RecoveryLedger {
+  // --- Watchdog / executor-shard lifecycle ---
+  // Restarts triggered by the watchdog detecting a stalled shard.
+  int64_t watchdog_restarts = 0;
+  // Restarts triggered by an injected (chaos-plan) crash healing.
+  int64_t crash_restarts = 0;
+  // In-flight executions failed (kFailed) because their shard crashed or
+  // was restarted under them.
+  int64_t inflight_failed = 0;
+  // Queued requests re-dispatched after a restart instead of being shed.
+  int64_t requests_rescued = 0;
+  // Warm containers quarantined (evicted with idle time settled) by a
+  // crash or watchdog restart.
+  int64_t warm_quarantined = 0;
+
+  // --- Idempotent retry plane ---
+  // Retried request ids answered from the dedupe cache (no re-execution).
+  int64_t retries_deduped = 0;
+  // Duplicate arrivals dropped because the original was still in flight.
+  int64_t dupes_inflight = 0;
+  // Executions actually started by the bridge (the server side of the
+  // identity client_sends - retries_deduped - dupes_inflight == executions).
+  int64_t executions = 0;
+
+  // --- Injected faults (server side) ---
+  int64_t conn_resets_injected = 0;
+  // Dispatch attempts diverted off an unhealthy shard.
+  int64_t unhealthy_skips = 0;
+
+  // --- Graceful degradation ---
+  int64_t degrade_escalations = 0;
+  int64_t degrade_recoveries = 0;
+  int64_t degrade_max_tier = 0;
+  // Dwell time per tier; tier 0 dwell is only charged once any escalation
+  // has happened (so a healthy run books nothing).
+  double tier_dwell_ms[kDegradeTiers] = {0.0, 0.0, 0.0, 0.0};
+  // Requests shed by degradation tiers (kShedDegraded replies).
+  int64_t shed_degraded = 0;
+  // Hedges suppressed by tier >= 1.
+  int64_t hedges_suppressed = 0;
+
+  // --- MTTR ---
+  // One recovery = one shard outage healed (crash heal or watchdog restart).
+  int64_t recoveries = 0;
+  double total_mttr_ms = 0.0;
+  double max_mttr_ms = 0.0;
+
+  bool Empty() const { return *this == RecoveryLedger{}; }
+
+  double MeanMttrMs() const {
+    return recoveries > 0 ? total_mttr_ms / static_cast<double>(recoveries)
+                          : 0.0;
+  }
+
+  // Merge semantics for MergeLedger: sums everywhere except the maxima.
+  template <class V>
+  static void VisitMergeFields(V& v) {
+    v.Sum(&RecoveryLedger::watchdog_restarts);
+    v.Sum(&RecoveryLedger::crash_restarts);
+    v.Sum(&RecoveryLedger::inflight_failed);
+    v.Sum(&RecoveryLedger::requests_rescued);
+    v.Sum(&RecoveryLedger::warm_quarantined);
+    v.Sum(&RecoveryLedger::retries_deduped);
+    v.Sum(&RecoveryLedger::dupes_inflight);
+    v.Sum(&RecoveryLedger::executions);
+    v.Sum(&RecoveryLedger::conn_resets_injected);
+    v.Sum(&RecoveryLedger::unhealthy_skips);
+    v.Sum(&RecoveryLedger::degrade_escalations);
+    v.Sum(&RecoveryLedger::degrade_recoveries);
+    v.Max(&RecoveryLedger::degrade_max_tier);
+    v.SumArray(&RecoveryLedger::tier_dwell_ms);
+    v.Sum(&RecoveryLedger::shed_degraded);
+    v.Sum(&RecoveryLedger::hedges_suppressed);
+    v.Sum(&RecoveryLedger::recoveries);
+    v.Sum(&RecoveryLedger::total_mttr_ms);
+    v.Max(&RecoveryLedger::max_mttr_ms);
+  }
+
+  bool operator==(const RecoveryLedger&) const = default;
+};
+
+}  // namespace faas
+
+#endif  // SRC_CLUSTER_RECOVERY_H_

@@ -52,6 +52,12 @@ struct LedgerMergeVisitor {
   void Max(T L::*field) {
     if (from->*field > into->*field) into->*field = from->*field;
   }
+  template <class T, unsigned long N>
+  void SumArray(T (L::*field)[N]) {
+    for (unsigned long i = 0; i < N; ++i) {
+      (into->*field)[i] += (from->*field)[i];
+    }
+  }
 };
 
 }  // namespace internal

@@ -5,6 +5,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/strings.h"
+#include "src/faults/spec_grammar.h"
 
 namespace faas {
 
@@ -238,62 +239,10 @@ std::optional<Duration> ParseDuration(std::string_view text) {
   return Duration::Millis(static_cast<int64_t>(*value * scale_ms + 0.5));
 }
 
-namespace {
-
-// One clause's key=value pairs, e.g. "invoker=0,at=30m,down=5m".
-struct ClauseArgs {
-  std::vector<std::pair<std::string_view, std::string_view>> pairs;
-
-  std::optional<std::string_view> Get(std::string_view key) const {
-    for (const auto& [k, v] : pairs) {
-      if (k == key) {
-        return v;
-      }
-    }
-    return std::nullopt;
-  }
-};
-
-std::optional<ClauseArgs> ParseArgs(std::string_view body, std::string* error,
-                                    std::string_view clause) {
-  ClauseArgs args;
-  for (std::string_view pair : SplitString(body, ',')) {
-    pair = StripWhitespace(pair);
-    if (pair.empty()) {
-      continue;
-    }
-    const size_t eq = pair.find('=');
-    if (eq == std::string_view::npos) {
-      *error = std::string(clause) + ": expected key=value, got '" +
-               std::string(pair) + "'";
-      return std::nullopt;
-    }
-    args.pairs.emplace_back(StripWhitespace(pair.substr(0, eq)),
-                            StripWhitespace(pair.substr(eq + 1)));
-  }
-  return args;
-}
-
-std::optional<Duration> GetDuration(const ClauseArgs& args,
-                                    std::string_view key, std::string* error,
-                                    std::string_view clause) {
-  const auto raw = args.Get(key);
-  if (!raw.has_value()) {
-    *error = std::string(clause) + ": missing " + std::string(key) + "=";
-    return std::nullopt;
-  }
-  const auto parsed = ParseDuration(*raw);
-  if (!parsed.has_value()) {
-    *error = std::string(clause) + ": bad duration '" + std::string(*raw) +
-             "' for " + std::string(key);
-  }
-  return parsed;
-}
-
-}  // namespace
-
 std::optional<FaultPlan> FaultPlan::Parse(std::string_view spec,
                                           std::string* error) {
+  using spec::GetDuration;
+  using spec::ParseArgs;
   std::string local_error;
   if (error == nullptr) {
     error = &local_error;

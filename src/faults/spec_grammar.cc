@@ -1,0 +1,77 @@
+#include "src/faults/spec_grammar.h"
+
+#include <cmath>
+
+#include "src/common/strings.h"
+#include "src/faults/fault_plan.h"
+
+namespace faas::spec {
+
+std::optional<std::string_view> ClauseArgs::Get(std::string_view key) const {
+  for (const auto& [k, v] : pairs) {
+    if (k == key) {
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ClauseArgs> ParseArgs(std::string_view body, std::string* error,
+                                    std::string_view clause) {
+  ClauseArgs args;
+  for (std::string_view pair : SplitString(body, ',')) {
+    pair = StripWhitespace(pair);
+    if (pair.empty()) {
+      continue;
+    }
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      *error = std::string(clause) + ": expected key=value, got '" +
+               std::string(pair) + "'";
+      return std::nullopt;
+    }
+    args.pairs.emplace_back(StripWhitespace(pair.substr(0, eq)),
+                            StripWhitespace(pair.substr(eq + 1)));
+  }
+  return args;
+}
+
+std::optional<Duration> GetDuration(const ClauseArgs& args,
+                                    std::string_view key, std::string* error,
+                                    std::string_view clause) {
+  const auto raw = args.Get(key);
+  if (!raw.has_value()) {
+    *error = std::string(clause) + ": missing " + std::string(key) + "=";
+    return std::nullopt;
+  }
+  const auto parsed = ParseDuration(*raw);
+  if (!parsed.has_value()) {
+    *error = std::string(clause) + ": bad duration '" + std::string(*raw) +
+             "' for " + std::string(key);
+  }
+  return parsed;
+}
+
+std::optional<double> GetDouble(const ClauseArgs& args, std::string_view key,
+                                std::string* error, std::string_view clause) {
+  const auto raw = args.Get(key);
+  const auto parsed = raw.has_value() ? ParseDouble(*raw) : std::nullopt;
+  if (!parsed.has_value() || !std::isfinite(*parsed)) {
+    *error = std::string(clause) + ": missing or bad " + std::string(key) + "=";
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+std::optional<int64_t> GetInt(const ClauseArgs& args, std::string_view key,
+                              std::string* error, std::string_view clause) {
+  const auto raw = args.Get(key);
+  const auto parsed = raw.has_value() ? ParseInt64(*raw) : std::nullopt;
+  if (!parsed.has_value()) {
+    *error = std::string(clause) + ": missing or bad " + std::string(key) + "=";
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+}  // namespace faas::spec

@@ -1,0 +1,48 @@
+// Shared clause grammar for fault/chaos specs.
+//
+// Both the simulator's FaultPlan (src/faults/fault_plan.h) and the serving
+// chaos plan (src/serve/chaos.h) parse the same compact textual form:
+// semicolon-separated clauses of `kind:key=value,key=value,...` where
+// durations accept ms/s/m/h/d suffixes.  This header holds the pieces both
+// parsers share — the key=value splitter and the typed argument getters —
+// so a clause that parses in one plan parses the same way in the other.
+
+#ifndef SRC_FAULTS_SPEC_GRAMMAR_H_
+#define SRC_FAULTS_SPEC_GRAMMAR_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace faas::spec {
+
+// One clause's key=value pairs, e.g. "invoker=0,at=30m,down=5m".
+struct ClauseArgs {
+  std::vector<std::pair<std::string_view, std::string_view>> pairs;
+
+  std::optional<std::string_view> Get(std::string_view key) const;
+};
+
+// Splits `body` into key=value pairs.  On malformed input sets *error
+// (prefixed with the full clause text for context) and returns nullopt.
+std::optional<ClauseArgs> ParseArgs(std::string_view body, std::string* error,
+                                    std::string_view clause);
+
+// Required duration argument (ms/s/m/h/d suffixes, bare numbers seconds).
+std::optional<Duration> GetDuration(const ClauseArgs& args,
+                                    std::string_view key, std::string* error,
+                                    std::string_view clause);
+
+// Required double / int argument; sets *error when missing or malformed.
+std::optional<double> GetDouble(const ClauseArgs& args, std::string_view key,
+                                std::string* error, std::string_view clause);
+std::optional<int64_t> GetInt(const ClauseArgs& args, std::string_view key,
+                              std::string* error, std::string_view clause);
+
+}  // namespace faas::spec
+
+#endif  // SRC_FAULTS_SPEC_GRAMMAR_H_

@@ -36,12 +36,33 @@ AdmissionBridge::AdmissionBridge(const AdmissionBridgeConfig& config,
       service_ns_(static_cast<int64_t>(config.service_time_us) * 1'000),
       cold_ns_(static_cast<int64_t>(config.cold_start_us) * 1'000),
       keep_alive_ns_(config.keep_alive_ms * 1'000'000),
-      memory_mb_(config.container_memory_mb) {
+      memory_mb_(config.container_memory_mb),
+      stall_threshold_ns_(config.watchdog.stall_threshold.millis() *
+                          1'000'000),
+      watchdog_interval_ns_(config.watchdog.interval.millis() * 1'000'000),
+      degrade_min_dwell_ns_(config.degrade.min_dwell.millis() * 1'000'000) {
   pools_.resize(executors_.size() * pool_stride_);
   if (config_.overload.breaker.enabled) {
     for (Executor& e : executors_) {
       e.outcomes.assign(std::max(config_.overload.breaker.window, 1), 0);
     }
+  }
+}
+
+void AdmissionBridge::StartClock(int64_t now_ns) {
+  chaos_start_ns_ = now_ns;
+  tier_since_ns_ = now_ns;
+  for (size_t i = 0; i < config_.chaos.crashes.size(); ++i) {
+    wheel_->Schedule(now_ns + config_.chaos.crashes[i].at.millis() * 1'000'000,
+                     &AdmissionBridge::ChaosCrashTimer, this, i);
+  }
+  for (size_t i = 0; i < config_.chaos.stalls.size(); ++i) {
+    wheel_->Schedule(now_ns + config_.chaos.stalls[i].at.millis() * 1'000'000,
+                     &AdmissionBridge::ChaosStallTimer, this, i);
+  }
+  if (config_.watchdog.enabled) {
+    wheel_->Schedule(now_ns + watchdog_interval_ns_,
+                     &AdmissionBridge::WatchdogTimer, this, 0);
   }
 }
 
@@ -105,6 +126,16 @@ void AdmissionBridge::EmitReply(uint64_t conn_token, uint64_t request_id,
   reply.latency_class = latency_class;
   const int64_t us = (now_ns - arrival_ns) / 1'000;
   reply.latency_us = us > 0 ? static_cast<uint32_t>(us) : 0;
+  if (config_.dedupe != nullptr) {
+    if (status == ReplyStatus::kOk) {
+      // Cache the success so a retry of this id re-emits instead of
+      // re-executing.
+      config_.dedupe->Done(request_id, reply, now_ns);
+    } else {
+      // Retriable outcome: release the claim so the retry re-attempts.
+      config_.dedupe->Forget(request_id);
+    }
+  }
   reply_fn_(reply_ctx_, conn_token, reply);
 }
 
@@ -112,6 +143,47 @@ void AdmissionBridge::OnRequest(uint64_t conn_token, const RequestFrame& frame,
                                 int64_t now_ns) {
   ++stats_.requests;
   last_now_ns_ = now_ns;
+  if (config_.dedupe != nullptr) {
+    ReplyFrame cached;
+    switch (config_.dedupe->Begin(frame.request_id, now_ns, &cached)) {
+      case serve::IdempotencyIndex::Claim::kDone:
+        // The original already succeeded: re-emit its reply, never
+        // re-execute.
+        ++recovery_.retries_deduped;
+        reply_fn_(reply_ctx_, conn_token, cached);
+        return;
+      case serve::IdempotencyIndex::Claim::kInflight:
+        // Original still running (likely replying toward a dead conn).  No
+        // reply; the client's next retry lands after Done() caches it.
+        ++recovery_.dupes_inflight;
+        return;
+      case serve::IdempotencyIndex::Claim::kFresh:
+        break;
+    }
+    ++recovery_.executions;
+  }
+  if (config_.degrade.enabled) {
+    UpdateDegrade(now_ns);
+    if (degrade_tier_ >= 2 && !frame.retry) {
+      bool shed = degrade_tier_ >= 3;
+      if (!shed) {
+        // Tier 2 sheds fresh traffic that would cold-start.  Cheap probe:
+        // the home shard's pool; a live entry there means a warm path
+        // plausibly exists.
+        const int home = static_cast<int>(
+            frame.function_id % static_cast<uint32_t>(executors_.size()));
+        FunctionPool& pool = PoolFor(home, frame.function_id);
+        shed = pool.idle_expiry_ns.empty() ||
+               pool.idle_expiry_ns.back() <= now_ns;
+      }
+      if (shed) {
+        ++recovery_.shed_degraded;
+        EmitReply(conn_token, frame.request_id, ReplyStatus::kShedDegraded,
+                  LatencyClass::kUnknown, now_ns, now_ns);
+        return;
+      }
+    }
+  }
   const int executor = PickExecutor(frame.function_id, -1);
   if (executor >= 0) {
     Execute(executor, conn_token, frame, now_ns, now_ns, false, 0);
@@ -137,6 +209,12 @@ int AdmissionBridge::PickExecutor(uint32_t function_id, int exclude) {
       continue;
     }
     Executor& e = executors_[ex];
+    if (e.health != ExecHealth::kUp) {
+      // Crashed shards have no slots; stalled shards would strand the
+      // execution until the watchdog notices.
+      ++recovery_.unhealthy_skips;
+      continue;
+    }
     if (breakers && !BreakerAdmits(e)) {
       ++ledger_.breaker_rejections;
       continue;
@@ -190,7 +268,15 @@ void AdmissionBridge::Execute(int executor, uint64_t conn_token,
     ++resources_.cold_loads;
   }
 
-  const int64_t total_ns = service_ns_ + (cold ? cold_ns_ : 0);
+  int64_t total_ns = service_ns_ + (cold ? cold_ns_ : 0);
+  if (!config_.chaos.spikes.empty()) {
+    const double multiplier =
+        config_.chaos.LatencyMultiplierAtNs(now_ns - chaos_start_ns_);
+    if (multiplier != 1.0) {
+      total_ns =
+          static_cast<int64_t>(static_cast<double>(total_ns) * multiplier);
+    }
+  }
   ++resources_.invocations;
   const double exec_ms = static_cast<double>(total_ns) / 1e6;
   resources_.cpu_ms += exec_ms;
@@ -239,6 +325,7 @@ void AdmissionBridge::Execute(int executor, uint64_t conn_token,
   pending.is_hedge = is_hedge;
   pending.half_open_probe = probe;
   pending.deadline_us = frame.deadline_us;
+  pending.complete_ns = now_ns + total_ns;
   const uint64_t key = AllocPending(pending);
   if (is_hedge && primary_key != 0) {
     pending_[static_cast<uint32_t>(key)].partner = primary_key;
@@ -250,8 +337,13 @@ void AdmissionBridge::Execute(int executor, uint64_t conn_token,
                    key);
   if (!is_hedge && cold && config_.overload.hedge.enabled() &&
       executors_.size() > 1) {
-    wheel_->Schedule(now_ns + HedgeDelayNs(), &AdmissionBridge::HedgeTimer,
-                     this, key);
+    if (config_.degrade.enabled && degrade_tier_ >= 1) {
+      // Tier 1: hedging is the first load we shed.
+      ++recovery_.hedges_suppressed;
+    } else {
+      wheel_->Schedule(now_ns + HedgeDelayNs(), &AdmissionBridge::HedgeTimer,
+                       this, key);
+    }
   }
 }
 
@@ -267,6 +359,12 @@ void AdmissionBridge::Complete(uint64_t key, int64_t now_ns) {
   }
   last_now_ns_ = now_ns;
   Executor& e = executors_[p->executor];
+  if (e.health == ExecHealth::kStalled && !draining_) {
+    // The shard is wedged: the execution hangs (still holding its slot)
+    // until an unstall releases it or a watchdog restart fails it.
+    e.frozen.push_back(key);
+    return;
+  }
   --e.inflight;
   --inflight_;
   if (keep_alive_ns_ > 0) {
@@ -334,6 +432,11 @@ void AdmissionBridge::HedgeTimer(void* ctx, uint64_t data) {
 void AdmissionBridge::LaunchHedge(uint64_t key, int64_t now_ns) {
   Pending* p = LookupPending(key);
   if (p == nullptr || p->dead || p->partner != 0 || draining_) {
+    return;
+  }
+  if (config_.degrade.enabled && degrade_tier_ >= 1) {
+    // Escalated after this hedge was armed.
+    ++recovery_.hedges_suppressed;
     return;
   }
   const int executor = PickExecutor(p->function_id, p->executor);
@@ -512,6 +615,9 @@ void AdmissionBridge::RecordOutcome(int executor, bool bad,
 
 void AdmissionBridge::OpenBreaker(int executor, int64_t now_ns) {
   Executor& e = executors_[executor];
+  if (e.mode != BreakerMode::kOpen) {
+    ++open_breakers_;
+  }
   e.mode = BreakerMode::kOpen;
   ++e.breaker_epoch;
   e.half_open_inflight = 0;
@@ -542,6 +648,9 @@ void AdmissionBridge::BreakerTimer(void* ctx, uint64_t data) {
 
 void AdmissionBridge::HalfOpenBreaker(int executor, int64_t now_ns) {
   Executor& e = executors_[executor];
+  if (e.mode == BreakerMode::kOpen) {
+    --open_breakers_;
+  }
   e.mode = BreakerMode::kHalfOpen;
   e.half_open_inflight = 0;
   e.half_open_good = 0;
@@ -572,8 +681,351 @@ void AdmissionBridge::CloseBreaker(int executor, int64_t now_ns) {
   }
 }
 
+void AdmissionBridge::ChaosCrashTimer(void* ctx, uint64_t data) {
+  auto* bridge = static_cast<AdmissionBridge*>(ctx);
+  if (bridge->draining_) {
+    return;
+  }
+  const serve::ExecCrashEvent& event = bridge->config_.chaos.crashes[data];
+  const int64_t now_ns = MonotonicNowNs();
+  bridge->CrashExecutor(event.executor, now_ns);
+  // Heal keyed by the post-crash epoch: a watchdog rebuild in between
+  // bumps it and this heal becomes a no-op.
+  bridge->wheel_->Schedule(
+      now_ns + event.downtime.millis() * 1'000'000,
+      &AdmissionBridge::ChaosHealTimer, bridge,
+      PackKey(static_cast<uint32_t>(event.executor),
+              bridge->executors_[event.executor].health_epoch));
+}
+
+void AdmissionBridge::ChaosHealTimer(void* ctx, uint64_t data) {
+  auto* bridge = static_cast<AdmissionBridge*>(ctx);
+  if (bridge->draining_) {
+    return;
+  }
+  const auto executor = static_cast<int>(static_cast<uint32_t>(data));
+  const auto epoch = static_cast<uint32_t>(data >> 32);
+  Executor& e = bridge->executors_[executor];
+  if (e.health != ExecHealth::kCrashed || e.health_epoch != epoch) {
+    return;
+  }
+  bridge->RestartExecutor(executor, MonotonicNowNs(), false);
+}
+
+void AdmissionBridge::ChaosStallTimer(void* ctx, uint64_t data) {
+  auto* bridge = static_cast<AdmissionBridge*>(ctx);
+  if (bridge->draining_) {
+    return;
+  }
+  const serve::ExecStallEvent& event = bridge->config_.chaos.stalls[data];
+  const int64_t now_ns = MonotonicNowNs();
+  bridge->StallExecutor(event.executor, now_ns);
+  bridge->wheel_->Schedule(
+      now_ns + event.duration.millis() * 1'000'000,
+      &AdmissionBridge::ChaosUnstallTimer, bridge,
+      PackKey(static_cast<uint32_t>(event.executor),
+              bridge->executors_[event.executor].health_epoch));
+}
+
+void AdmissionBridge::ChaosUnstallTimer(void* ctx, uint64_t data) {
+  auto* bridge = static_cast<AdmissionBridge*>(ctx);
+  if (bridge->draining_) {
+    return;
+  }
+  const auto executor = static_cast<int>(static_cast<uint32_t>(data));
+  const auto epoch = static_cast<uint32_t>(data >> 32);
+  Executor& e = bridge->executors_[executor];
+  if (e.health != ExecHealth::kStalled || e.health_epoch != epoch) {
+    return;  // The watchdog already rebuilt the shard.
+  }
+  bridge->UnstallExecutor(executor, MonotonicNowNs());
+}
+
+void AdmissionBridge::WatchdogTimer(void* ctx, uint64_t /*data*/) {
+  auto* bridge = static_cast<AdmissionBridge*>(ctx);
+  if (bridge->draining_) {
+    return;
+  }
+  bridge->WatchdogScan(MonotonicNowNs());
+}
+
+void AdmissionBridge::CrashExecutor(int executor, int64_t now_ns) {
+  Executor& e = executors_[executor];
+  if (e.health == ExecHealth::kCrashed) {
+    return;
+  }
+  if (e.health == ExecHealth::kUp) {
+    ++unhealthy_;
+    e.down_since_ns = now_ns;  // A stalled shard keeps its earlier stamp.
+  }
+  e.health = ExecHealth::kCrashed;
+  ++e.health_epoch;
+  FailInflightOn(executor, now_ns);
+  QuarantinePools(executor, now_ns);
+  // The shard rejoins with a fresh breaker; close the books on an open
+  // interval so OverloadLedger dwell accounting stays consistent.
+  if (config_.overload.breaker.enabled) {
+    if (e.mode == BreakerMode::kOpen) {
+      --open_breakers_;
+    }
+    e.mode = BreakerMode::kClosed;
+    std::fill(e.outcomes.begin(), e.outcomes.end(), 0);
+    e.window_pos = 0;
+    e.window_count = 0;
+    e.bad_count = 0;
+    e.half_open_inflight = 0;
+    e.half_open_good = 0;
+    ++e.breaker_epoch;
+    if (e.degraded) {
+      const double open_ms =
+          static_cast<double>(now_ns - e.degraded_since_ns) / 1e6;
+      ++ledger_.breaker_open_intervals;
+      ledger_.total_breaker_open_ms += open_ms;
+      ledger_.max_breaker_open_ms =
+          std::max(ledger_.max_breaker_open_ms, open_ms);
+      e.degraded = false;
+    }
+  }
+  if (config_.degrade.enabled) {
+    UpdateDegrade(now_ns);
+  }
+}
+
+void AdmissionBridge::StallExecutor(int executor, int64_t now_ns) {
+  Executor& e = executors_[executor];
+  if (e.health != ExecHealth::kUp) {
+    return;
+  }
+  ++unhealthy_;
+  e.health = ExecHealth::kStalled;
+  ++e.health_epoch;
+  e.down_since_ns = now_ns;
+  if (config_.degrade.enabled) {
+    UpdateDegrade(now_ns);
+  }
+}
+
+void AdmissionBridge::UnstallExecutor(int executor, int64_t now_ns) {
+  Executor& e = executors_[executor];
+  e.health = ExecHealth::kUp;
+  ++e.health_epoch;
+  --unhealthy_;
+  ++recovery_.recoveries;
+  const double mttr_ms = static_cast<double>(now_ns - e.down_since_ns) / 1e6;
+  recovery_.total_mttr_ms += mttr_ms;
+  recovery_.max_mttr_ms = std::max(recovery_.max_mttr_ms, mttr_ms);
+  // Frozen executions thaw and complete late.
+  std::vector<uint64_t> frozen = std::move(e.frozen);
+  e.frozen.clear();
+  for (const uint64_t key : frozen) {
+    Complete(key, now_ns);
+  }
+  if (!queue_.empty() && !in_drain_) {
+    DrainQueue(now_ns);
+  }
+}
+
+void AdmissionBridge::RestartExecutor(int executor, int64_t now_ns,
+                                      bool by_watchdog) {
+  Executor& e = executors_[executor];
+  if (by_watchdog) {
+    // Rebuilding mid-outage: stranded executions fail, warm state is
+    // suspect and quarantined, the breaker window restarts.
+    FailInflightOn(executor, now_ns);
+    QuarantinePools(executor, now_ns);
+    if (config_.overload.breaker.enabled) {
+      if (e.mode == BreakerMode::kOpen) {
+        --open_breakers_;
+      }
+      e.mode = BreakerMode::kClosed;
+      std::fill(e.outcomes.begin(), e.outcomes.end(), 0);
+      e.window_pos = 0;
+      e.window_count = 0;
+      e.bad_count = 0;
+      e.half_open_inflight = 0;
+      e.half_open_good = 0;
+      ++e.breaker_epoch;
+    }
+    ++recovery_.watchdog_restarts;
+  } else {
+    ++recovery_.crash_restarts;
+  }
+  if (e.health != ExecHealth::kUp) {
+    --unhealthy_;
+  }
+  e.health = ExecHealth::kUp;
+  ++e.health_epoch;
+  ++recovery_.recoveries;
+  const double mttr_ms = static_cast<double>(now_ns - e.down_since_ns) / 1e6;
+  recovery_.total_mttr_ms += mttr_ms;
+  recovery_.max_mttr_ms = std::max(recovery_.max_mttr_ms, mttr_ms);
+  if (config_.degrade.enabled) {
+    UpdateDegrade(now_ns);
+  }
+  // Fresh slots: rescue parked work instead of waiting for the sweep.
+  if ((!by_watchdog || config_.watchdog.rescue_queued) && !queue_.empty() &&
+      !in_drain_) {
+    const int64_t drained_before = ledger_.drained;
+    DrainQueue(now_ns);
+    recovery_.requests_rescued += ledger_.drained - drained_before;
+  }
+}
+
+void AdmissionBridge::FailInflightOn(int executor, int64_t now_ns) {
+  Executor& e = executors_[executor];
+  for (uint32_t index = 0; index < pending_.size(); ++index) {
+    Pending& p = pending_[index];
+    if (p.executor != executor) {
+      continue;  // Free slots carry executor = -1.
+    }
+    const uint64_t key = PackKey(index, p.generation);
+    --e.inflight;
+    --inflight_;
+    if (p.dead) {
+      // Zombie: its request was already answered by the hedge winner.
+      FreePending(key);
+      continue;
+    }
+    if (p.partner != 0) {
+      if (Pending* partner = LookupPending(p.partner)) {
+        // The hedge partner runs on another shard and is now the sole
+        // owner; it will deliver the reply.
+        partner->partner = 0;
+        FreePending(key);
+        continue;
+      }
+    }
+    ++recovery_.inflight_failed;
+    EmitReply(p.conn_token, p.request_id, ReplyStatus::kFailed,
+              LatencyClass::kUnknown, p.arrival_ns, now_ns);
+    FreePending(key);
+  }
+  e.frozen.clear();
+}
+
+void AdmissionBridge::QuarantinePools(int executor, int64_t now_ns) {
+  for (uint32_t f = 0; f < pool_stride_; ++f) {
+    FunctionPool& pool =
+        pools_[static_cast<size_t>(executor) * pool_stride_ + f];
+    for (const int64_t expiry_ns : pool.idle_expiry_ns) {
+      const int64_t idle_ns = std::clamp<int64_t>(
+          now_ns - (expiry_ns - keep_alive_ns_), 0, keep_alive_ns_);
+      resources_.idle_mb_ms += memory_mb_ * static_cast<double>(idle_ns) / 1e6;
+      ++resources_.evictions;
+      ++recovery_.warm_quarantined;
+    }
+    pool.idle_expiry_ns.clear();
+  }
+}
+
+void AdmissionBridge::WatchdogScan(int64_t now_ns) {
+  last_now_ns_ = now_ns;
+  // An execution overdue past its scheduled completion by more than the
+  // stall threshold means its shard stopped completing work (the wheel
+  // fires never-early / at-most-one-tick-late, so a healthy shard cannot
+  // trip this).
+  std::vector<int64_t> oldest_due(executors_.size(), 0);
+  for (const Pending& p : pending_) {
+    if (p.executor < 0) {
+      continue;
+    }
+    if (now_ns - p.complete_ns > stall_threshold_ns_) {
+      int64_t& due = oldest_due[p.executor];
+      due = due == 0 ? p.complete_ns : std::min(due, p.complete_ns);
+    }
+  }
+  for (size_t ex = 0; ex < executors_.size(); ++ex) {
+    if (oldest_due[ex] == 0) {
+      continue;
+    }
+    Executor& e = executors_[ex];
+    if (e.health == ExecHealth::kCrashed) {
+      continue;  // The crash heal timer owns this outage.
+    }
+    if (e.health == ExecHealth::kUp) {
+      // A stall the chaos plan never announced (or real lost work): the
+      // outage began when the oldest stuck execution came due.
+      ++unhealthy_;
+      e.health = ExecHealth::kStalled;
+      ++e.health_epoch;
+      e.down_since_ns = oldest_due[ex];
+    }
+    RestartExecutor(static_cast<int>(ex), now_ns, true);
+  }
+  if (config_.dedupe != nullptr) {
+    config_.dedupe->Sweep(now_ns);
+  }
+  if (config_.degrade.enabled) {
+    UpdateDegrade(now_ns);
+  }
+  wheel_->Schedule(now_ns + watchdog_interval_ns_,
+                   &AdmissionBridge::WatchdogTimer, this, 0);
+}
+
+double AdmissionBridge::DegradePressure() const {
+  double pressure = 0.0;
+  const AdmissionQueueConfig& adm = config_.overload.admission;
+  if (adm.enabled() && adm.capacity > 0) {
+    pressure = static_cast<double>(queue_.size()) /
+               static_cast<double>(adm.capacity);
+  }
+  const int bad = open_breakers_ + unhealthy_;
+  if (bad > 0) {
+    pressure = std::max(pressure, static_cast<double>(bad) /
+                                      static_cast<double>(executors_.size()));
+  }
+  return pressure;
+}
+
+void AdmissionBridge::UpdateDegrade(int64_t now_ns) {
+  const double pressure = DegradePressure();
+  int tier = degrade_tier_;
+  const bool dwelt = now_ns - tier_since_ns_ >= degrade_min_dwell_ns_;
+  if (pressure >= config_.degrade.enter_pressure) {
+    // First escalation is immediate; further tiers require the dwell so a
+    // single burst cannot slam straight to retry-only.
+    if (tier < kDegradeTiers - 1 && (tier == 0 || dwelt)) {
+      ++tier;
+    }
+  } else if (pressure <= config_.degrade.exit_pressure) {
+    if (tier > 0 && dwelt) {
+      --tier;
+    }
+  }
+  if (tier == degrade_tier_) {
+    return;
+  }
+  if (degrade_engaged_) {
+    recovery_.tier_dwell_ms[degrade_tier_] +=
+        static_cast<double>(now_ns - tier_since_ns_) / 1e6;
+  }
+  if (tier > degrade_tier_) {
+    ++recovery_.degrade_escalations;
+    degrade_engaged_ = true;
+  } else {
+    ++recovery_.degrade_recoveries;
+  }
+  recovery_.degrade_max_tier =
+      std::max(recovery_.degrade_max_tier, static_cast<int64_t>(tier));
+  degrade_tier_ = tier;
+  tier_since_ns_ = now_ns;
+}
+
 void AdmissionBridge::Drain(int64_t now_ns) {
   draining_ = true;
+  // Executions stranded on crashed/stalled shards cannot complete before
+  // the drain deadline; fail them now so every accepted request still gets
+  // exactly one reply.
+  for (size_t ex = 0; ex < executors_.size(); ++ex) {
+    if (executors_[ex].health != ExecHealth::kUp) {
+      FailInflightOn(static_cast<int>(ex), now_ns);
+    }
+  }
+  if (config_.degrade.enabled && degrade_engaged_) {
+    recovery_.tier_dwell_ms[degrade_tier_] +=
+        static_cast<double>(now_ns - tier_since_ns_) / 1e6;
+    tier_since_ns_ = now_ns;
+  }
   for (const QueuedRequest& req : queue_) {
     ++ledger_.shed_at_shutdown;
     EmitReply(req.conn_token, req.request_id, ReplyStatus::kShedShutdown,

@@ -29,7 +29,10 @@
 #include <vector>
 
 #include "src/cluster/overload.h"
+#include "src/cluster/recovery.h"
 #include "src/common/resource_ledger.h"
+#include "src/serve/chaos.h"
+#include "src/serve/idempotency.h"
 #include "src/serve/timer_wheel.h"
 #include "src/serve/wire.h"
 #include "src/stats/p2_quantile.h"
@@ -60,6 +63,22 @@ struct AdmissionBridgeConfig {
   double container_memory_mb = 128.0;
   // Pre-sized per-function state (grows on demand past the hint).
   uint32_t num_functions_hint = 1024;
+
+  // --- Chaos / self-healing (all off by default; when every knob below is
+  // off the bridge arms no extra timers, draws no randomness, and serves
+  // byte-identically to a build without them) ---
+  // Executor crash/stall schedule plus service-time spikes, offsets from
+  // StartClock().  Connection-reset windows are enforced by the server.
+  serve::ServeChaosPlan chaos;
+  // Seed for server-side probabilistic injections (connection resets).
+  uint64_t chaos_seed = 42;
+  // Stalled-shard watchdog and tiered graceful degradation.
+  serve::ServeWatchdogConfig watchdog;
+  serve::ServeDegradeConfig degrade;
+  // Idempotent request-id dedupe, shared across every loop's bridge
+  // (non-owning; nullptr = disabled).  With it on, a retried id whose
+  // original succeeded is answered from cache instead of re-executed.
+  serve::IdempotencyIndex* dedupe = nullptr;
 };
 
 // Per-bridge serving tallies beyond what OverloadLedger covers.
@@ -103,15 +122,24 @@ class AdmissionBridge {
   void OnRequest(uint64_t conn_token, const RequestFrame& frame,
                  int64_t now_ns);
 
-  // Shutdown: sheds everything still queued (ShedShutdown) and stamps open
-  // breaker intervals.  In-flight simulated executions still complete;
-  // callers keep advancing the wheel until inflight() reaches zero.
+  // Shutdown: sheds everything still queued (ShedShutdown), fails in-flight
+  // executions stranded on crashed/stalled shards (kFailed), and stamps open
+  // breaker intervals.  In-flight simulated executions on healthy shards
+  // still complete; callers keep advancing the wheel until inflight()
+  // reaches zero.
   void Drain(int64_t now_ns);
+
+  // Anchors chaos-plan offsets and arms the chaos/watchdog timers.  Called
+  // once by the owning event loop at startup; with an empty plan and the
+  // watchdog off this only records the epoch (no timers, no allocation).
+  void StartClock(int64_t now_ns);
 
   int64_t inflight() const { return inflight_; }
   size_t queue_depth() const { return queue_.size(); }
   const OverloadLedger& ledger() const { return ledger_; }
   const BridgeStats& stats() const { return stats_; }
+  const RecoveryLedger& recovery() const { return recovery_; }
+  int degrade_tier() const { return degrade_tier_; }
   // Cost-accounting spine (src/common/resource_ledger.h).  Warm-pool idle
   // time settles lazily — charged when a container expires off the pool, is
   // popped for a warm hit, or at Drain — so a mid-run snapshot under-reports
@@ -121,6 +149,7 @@ class AdmissionBridge {
 
  private:
   enum class BreakerMode : uint8_t { kClosed, kOpen, kHalfOpen };
+  enum class ExecHealth : uint8_t { kUp, kCrashed, kStalled };
 
   struct Executor {
     int32_t inflight = 0;
@@ -135,6 +164,15 @@ class AdmissionBridge {
     uint32_t breaker_epoch = 0;  // Validates open->half-open timers.
     bool degraded = false;
     int64_t degraded_since_ns = 0;
+    // Chaos / self-healing shard state.  health_epoch validates the chaos
+    // heal/unstall timers the same way breaker_epoch validates half-opens:
+    // a watchdog restart bumps it, so a stale heal cannot resurrect a shard
+    // the watchdog already rebuilt.
+    ExecHealth health = ExecHealth::kUp;
+    uint32_t health_epoch = 0;
+    int64_t down_since_ns = 0;
+    // Completion keys frozen by an active stall, released on unstall.
+    std::vector<uint64_t> frozen;
   };
 
   // Warm-container pool for one (executor, function) pair: idle-container
@@ -159,6 +197,9 @@ class AdmissionBridge {
     bool half_open_probe = false;
     uint64_t partner = 0;   // Packed key of the live hedge partner (0=none).
     uint32_t deadline_us = 0;
+    // Scheduled completion instant; the watchdog flags executions overdue
+    // past this by more than the stall threshold.
+    int64_t complete_ns = 0;
   };
 
   struct QueuedRequest {
@@ -188,6 +229,25 @@ class AdmissionBridge {
   void DrainQueue(int64_t now_ns);
   void ArmQueueSweep(int64_t now_ns);
 
+  // --- chaos / self-healing ---
+  // Kills shard `executor`: fails live executions (kFailed; hedged requests
+  // with a live partner elsewhere continue silently), quarantines its warm
+  // pools, and resets its breaker.  The shard rejoins via RestartExecutor.
+  void CrashExecutor(int executor, int64_t now_ns);
+  void StallExecutor(int executor, int64_t now_ns);
+  void UnstallExecutor(int executor, int64_t now_ns);
+  // Brings a shard back up (chaos heal or watchdog rescue) and books one
+  // recovery (MTTR = now - down_since_ns).  `by_watchdog` restarts also
+  // fail/quarantine first, since the shard is being rebuilt mid-outage.
+  void RestartExecutor(int executor, int64_t now_ns, bool by_watchdog);
+  void FailInflightOn(int executor, int64_t now_ns);
+  void QuarantinePools(int executor, int64_t now_ns);
+  void WatchdogScan(int64_t now_ns);
+  // Re-evaluates the degradation tier from the queue/breaker/health
+  // pressure signal and books tier dwell on changes.
+  void UpdateDegrade(int64_t now_ns);
+  double DegradePressure() const;
+
   // --- breakers ---
   bool BreakerAdmits(const Executor& e) const;
   void RecordOutcome(int executor, bool bad, bool was_half_open_probe,
@@ -209,6 +269,11 @@ class AdmissionBridge {
   static void HedgeTimer(void* ctx, uint64_t data);
   static void BreakerTimer(void* ctx, uint64_t data);
   static void QueueSweepTimer(void* ctx, uint64_t data);
+  static void ChaosCrashTimer(void* ctx, uint64_t data);
+  static void ChaosHealTimer(void* ctx, uint64_t data);
+  static void ChaosStallTimer(void* ctx, uint64_t data);
+  static void ChaosUnstallTimer(void* ctx, uint64_t data);
+  static void WatchdogTimer(void* ctx, uint64_t data);
 
   AdmissionBridgeConfig config_;
   TimerWheel* wheel_;
@@ -239,9 +304,21 @@ class AdmissionBridge {
   double memory_mb_ = 0.0;
   bool draining_ = false;
 
+  // --- chaos / self-healing state (all zero when the knobs are off) ---
+  int64_t chaos_start_ns_ = 0;  // StartClock() epoch for plan offsets.
+  int64_t stall_threshold_ns_ = 0;
+  int64_t watchdog_interval_ns_ = 0;
+  int open_breakers_ = 0;    // Executors in BreakerMode::kOpen.
+  int unhealthy_ = 0;        // Executors with health != kUp.
+  int degrade_tier_ = 0;
+  int64_t tier_since_ns_ = 0;
+  int64_t degrade_min_dwell_ns_ = 0;
+  bool degrade_engaged_ = false;  // Any escalation yet (gates tier-0 dwell).
+
   OverloadLedger ledger_;
   BridgeStats stats_;
   ResourceLedger resources_;
+  RecoveryLedger recovery_;
 };
 
 }  // namespace faas

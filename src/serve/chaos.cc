@@ -1,0 +1,134 @@
+#include "src/serve/chaos.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+#include "src/faults/spec_grammar.h"
+
+namespace faas::serve {
+
+double ServeChaosPlan::ConnResetProbabilityAtNs(int64_t offset_ns) const {
+  double probability = 0.0;
+  for (const ConnResetWindow& window : reset_windows) {
+    if (window.CoversNs(offset_ns)) {
+      probability = std::max(probability, window.probability);
+    }
+  }
+  return probability;
+}
+
+double ServeChaosPlan::LatencyMultiplierAtNs(int64_t offset_ns) const {
+  double multiplier = 1.0;
+  for (const ServeLatencySpike& spike : spikes) {
+    if (spike.CoversNs(offset_ns)) {
+      multiplier *= spike.multiplier;
+    }
+  }
+  return multiplier;
+}
+
+std::string ServeChaosPlan::Validate(int num_executors) const {
+  for (const ExecCrashEvent& crash : crashes) {
+    if (crash.executor < 0 || crash.executor >= num_executors) {
+      return "crash targets executor " + std::to_string(crash.executor) +
+             " with " + std::to_string(num_executors) + " shards";
+    }
+    if (crash.at.IsNegative() || crash.downtime.IsNegative()) {
+      return "crash with negative offset or downtime";
+    }
+  }
+  for (const ExecStallEvent& stall : stalls) {
+    if (stall.executor < 0 || stall.executor >= num_executors) {
+      return "stall targets executor " + std::to_string(stall.executor) +
+             " with " + std::to_string(num_executors) + " shards";
+    }
+    if (stall.at.IsNegative() || stall.duration.IsNegative()) {
+      return "stall with negative offset or duration";
+    }
+  }
+  for (const ConnResetWindow& window : reset_windows) {
+    if (window.probability < 0.0 || window.probability > 1.0) {
+      return "connreset probability outside [0, 1]";
+    }
+    if (window.at.IsNegative() || window.duration.IsNegative()) {
+      return "connreset window with negative offset or duration";
+    }
+  }
+  for (const ServeLatencySpike& spike : spikes) {
+    if (spike.multiplier < 1.0) {
+      return "spike multiplier below 1";
+    }
+    if (spike.at.IsNegative() || spike.duration.IsNegative()) {
+      return "spike with negative offset or duration";
+    }
+  }
+  return "";
+}
+
+std::optional<ServeChaosPlan> ServeChaosPlan::Parse(std::string_view spec,
+                                                    std::string* error) {
+  using spec::GetDouble;
+  using spec::GetDuration;
+  using spec::GetInt;
+  using spec::ParseArgs;
+  std::string local_error;
+  if (error == nullptr) {
+    error = &local_error;
+  }
+  ServeChaosPlan plan;
+  for (std::string_view clause : SplitString(spec, ';')) {
+    clause = StripWhitespace(clause);
+    if (clause.empty()) {
+      continue;
+    }
+    const size_t colon = clause.find(':');
+    const std::string_view kind = StripWhitespace(clause.substr(0, colon));
+    const std::string_view body = colon == std::string_view::npos
+                                      ? std::string_view{}
+                                      : clause.substr(colon + 1);
+    const auto args = ParseArgs(body, error, clause);
+    if (!args.has_value()) {
+      return std::nullopt;
+    }
+    if (kind == "crash") {
+      const auto executor = GetInt(*args, "executor", error, clause);
+      const auto at = GetDuration(*args, "at", error, clause);
+      const auto down = GetDuration(*args, "down", error, clause);
+      if (!executor.has_value() || !at.has_value() || !down.has_value()) {
+        return std::nullopt;
+      }
+      plan.crashes.push_back({static_cast<int>(*executor), *at, *down});
+    } else if (kind == "stall") {
+      const auto executor = GetInt(*args, "executor", error, clause);
+      const auto at = GetDuration(*args, "at", error, clause);
+      const auto duration = GetDuration(*args, "for", error, clause);
+      if (!executor.has_value() || !at.has_value() || !duration.has_value()) {
+        return std::nullopt;
+      }
+      plan.stalls.push_back({static_cast<int>(*executor), *at, *duration});
+    } else if (kind == "connreset") {
+      const auto at = GetDuration(*args, "at", error, clause);
+      const auto duration = GetDuration(*args, "for", error, clause);
+      const auto p = GetDouble(*args, "p", error, clause);
+      if (!at.has_value() || !duration.has_value() || !p.has_value()) {
+        return std::nullopt;
+      }
+      plan.reset_windows.push_back({*at, *duration, *p});
+    } else if (kind == "spike") {
+      const auto at = GetDuration(*args, "at", error, clause);
+      const auto duration = GetDuration(*args, "for", error, clause);
+      const auto x = GetDouble(*args, "x", error, clause);
+      if (!at.has_value() || !duration.has_value() || !x.has_value()) {
+        return std::nullopt;
+      }
+      plan.spikes.push_back({*at, *duration, *x});
+    } else {
+      *error = "unknown serve chaos clause '" + std::string(kind) +
+               "' (expected crash/stall/connreset/spike)";
+      return std::nullopt;
+    }
+  }
+  return plan;
+}
+
+}  // namespace faas::serve

@@ -1,0 +1,149 @@
+// Wall-clock chaos plan and self-healing knobs for the serving subsystem.
+//
+// The simulator's FaultPlan (src/faults/fault_plan.h) perturbs virtual
+// time; a ServeChaosPlan perturbs the real epoll serve path on
+// CLOCK_MONOTONIC schedules, using the same textual spec grammar.  All
+// offsets are relative to server start, so a plan is reproducible against
+// any run.  The plan only injects server-side faults — executor-shard
+// crashes and stalls, probabilistic connection resets, service-time
+// spikes; client misbehavior (slowloris reads, malformed frames) is
+// driven from outside by tools/serve_chaos.
+//
+// The empty plan is free: no chaos timers are armed, no RNG is
+// constructed, and every serving code path stays byte-identical to a
+// build without this header.
+
+#ifndef SRC_SERVE_CHAOS_H_
+#define SRC_SERVE_CHAOS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace faas::serve {
+
+// Executor shard `executor` crashes `at` after server start: every
+// in-flight execution on it fails, its warm pools are quarantined, its
+// breaker state resets, and it rejoins cold after `downtime`.
+struct ExecCrashEvent {
+  int executor = 0;
+  Duration at;
+  Duration downtime;
+
+  bool operator==(const ExecCrashEvent&) const = default;
+};
+
+// Executor shard `executor` stalls for `duration` starting `at`: new
+// completions on it stop firing (executions hang) until the watchdog
+// restarts it or the window would have ended.  Unlike a crash the shard
+// never heals itself — this is exactly the failure mode the watchdog
+// exists to catch.
+struct ExecStallEvent {
+  int executor = 0;
+  Duration at;
+  Duration duration;
+
+  bool operator==(const ExecStallEvent&) const = default;
+};
+
+// While [at, at + duration) is active, each newly accepted connection is
+// reset (SO_LINGER{1,0} close → RST) with `probability`.
+struct ConnResetWindow {
+  Duration at;
+  Duration duration;
+  double probability = 0.0;
+
+  bool CoversNs(int64_t offset_ns) const {
+    const int64_t start = at.millis() * 1'000'000;
+    return offset_ns >= start &&
+           offset_ns < start + duration.millis() * 1'000'000;
+  }
+  bool operator==(const ConnResetWindow&) const = default;
+};
+
+// Service times are multiplied by `multiplier` while the window is active
+// (an overloaded backend / image registry).
+struct ServeLatencySpike {
+  Duration at;
+  Duration duration;
+  double multiplier = 1.0;
+
+  bool CoversNs(int64_t offset_ns) const {
+    const int64_t start = at.millis() * 1'000'000;
+    return offset_ns >= start &&
+           offset_ns < start + duration.millis() * 1'000'000;
+  }
+  bool operator==(const ServeLatencySpike&) const = default;
+};
+
+struct ServeChaosPlan {
+  std::vector<ExecCrashEvent> crashes;
+  std::vector<ExecStallEvent> stalls;
+  std::vector<ConnResetWindow> reset_windows;
+  std::vector<ServeLatencySpike> spikes;
+
+  bool Empty() const {
+    return crashes.empty() && stalls.empty() && reset_windows.empty() &&
+           spikes.empty();
+  }
+
+  // Largest reset probability active `offset_ns` after server start.
+  double ConnResetProbabilityAtNs(int64_t offset_ns) const;
+  // Product of active spike multipliers (1.0 when none).
+  double LatencyMultiplierAtNs(int64_t offset_ns) const;
+
+  // Empty string when well-formed for `num_executors` shards; otherwise a
+  // description of the first problem.
+  std::string Validate(int num_executors) const;
+
+  // Parses a plan from the src/faults spec grammar: semicolon-separated
+  //   crash:executor=E,at=D,down=D
+  //   stall:executor=E,at=D,for=D
+  //   connreset:at=D,for=D,p=P
+  //   spike:at=D,for=D,x=M
+  // where durations D accept ms/s/m/h/d suffixes (bare numbers = seconds)
+  // and offsets are from server start.  Returns nullopt and sets *error on
+  // malformed input.
+  static std::optional<ServeChaosPlan> Parse(std::string_view spec,
+                                             std::string* error);
+
+  bool operator==(const ServeChaosPlan&) const = default;
+};
+
+// Watchdog scanning for stalled executor shards.  Disabled by default;
+// when disabled no scan timer is armed (empty-plan byte-identity).
+struct ServeWatchdogConfig {
+  bool enabled = false;
+  // How often each loop's bridge scans its in-flight table.
+  Duration interval = Duration::Millis(100);
+  // An execution older than this (beyond its expected service time) marks
+  // its shard stalled and triggers a restart.
+  Duration stall_threshold = Duration::Millis(1000);
+  // Re-dispatch the restarted shard's queued work instead of shedding it.
+  bool rescue_queued = true;
+};
+
+// Tiered graceful degradation driven by the breaker/queue signals the
+// bridge already tracks.  Tiers (see kDegradeTiers in
+// src/cluster/recovery.h):
+//   0  healthy — no intervention
+//   1  shed hedging (suppress hedge launches)
+//   2  + shed cold-start admissions for non-retry traffic
+//   3  + shed all non-retry traffic (retries still admitted)
+// Escalation when max(queue occupancy fraction, open-breaker fraction)
+// crosses `enter_pressure`; recovery one tier at a time once pressure
+// falls below `exit_pressure` and the tier has dwelt `min_dwell`.
+struct ServeDegradeConfig {
+  bool enabled = false;
+  double enter_pressure = 0.8;
+  double exit_pressure = 0.5;
+  Duration min_dwell = Duration::Millis(200);
+};
+
+}  // namespace faas::serve
+
+#endif  // SRC_SERVE_CHAOS_H_

@@ -1,0 +1,74 @@
+#include "src/serve/idempotency.h"
+
+namespace faas::serve {
+
+IdempotencyIndex::IdempotencyIndex(int64_t ttl_ns, int shards)
+    : ttl_ns_(ttl_ns), mask_(static_cast<uint64_t>(shards - 1)),
+      shards_(static_cast<size_t>(shards)) {}
+
+IdempotencyIndex::Claim IdempotencyIndex::Begin(uint64_t request_id,
+                                                int64_t now_ns,
+                                                ReplyFrame* cached) {
+  (void)now_ns;
+  Shard& shard = ShardFor(request_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.entries.try_emplace(request_id);
+  if (inserted) {
+    return Claim::kFresh;
+  }
+  if (!it->second.done) {
+    return Claim::kInflight;
+  }
+  if (cached != nullptr) {
+    *cached = it->second.reply;
+  }
+  return Claim::kDone;
+}
+
+void IdempotencyIndex::Done(uint64_t request_id, const ReplyFrame& reply,
+                            int64_t now_ns) {
+  Shard& shard = ShardFor(request_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry& entry = shard.entries[request_id];
+  entry.done = true;
+  entry.done_ns = now_ns;
+  entry.reply = reply;
+}
+
+void IdempotencyIndex::Forget(uint64_t request_id) {
+  Shard& shard = ShardFor(request_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(request_id);
+  // Only release inflight claims: a concurrent retry may have completed
+  // the id on another loop, and a cached success must stay cached.
+  if (it != shard.entries.end() && !it->second.done) {
+    shard.entries.erase(it);
+  }
+}
+
+void IdempotencyIndex::Sweep(int64_t now_ns) {
+  if (ttl_ns_ <= 0) {
+    return;
+  }
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (it->second.done && now_ns - it->second.done_ns > ttl_ns_) {
+        it = shard.entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+size_t IdempotencyIndex::Size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+}  // namespace faas::serve

@@ -1,0 +1,87 @@
+// Process-wide idempotent request-id index for the serving bridge.
+//
+// The client retry kit resends the same request_id after a timeout or a
+// retriable reply; the server must never execute that id twice once it
+// has succeeded.  The index is the transport-layer reply cache of the
+// PR-7 RPC plane rebuilt for wall-clock serving: Begin() claims an id
+// before execution, Done() caches the successful reply, Forget() releases
+// ids whose outcome the client is expected to resend (sheds, failures),
+// and retries of completed ids are answered straight from the cache on
+// whichever event loop the retry lands — retried connections usually hash
+// to a different SO_REUSEPORT loop, which is why this index is shared and
+// sharded rather than per-loop.
+//
+// Only constructed when dedupe is enabled, so the default serve path
+// allocates nothing and takes no locks (empty-plan byte-identity).
+
+#ifndef SRC_SERVE_IDEMPOTENCY_H_
+#define SRC_SERVE_IDEMPOTENCY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/serve/wire.h"
+
+namespace faas::serve {
+
+class IdempotencyIndex {
+ public:
+  enum class Claim {
+    kFresh,     // First sighting: caller must execute and Done()/Forget().
+    kInflight,  // Original still executing: drop this duplicate.
+    kDone,      // Already succeeded: *cached holds the reply to re-emit.
+  };
+
+  // `ttl_ns` bounds how long a completed id is remembered; 0 keeps ids
+  // until Sweep() is never useful (tests).  `shards` must be a power of
+  // two.
+  explicit IdempotencyIndex(int64_t ttl_ns, int shards = 16);
+
+  IdempotencyIndex(const IdempotencyIndex&) = delete;
+  IdempotencyIndex& operator=(const IdempotencyIndex&) = delete;
+
+  // Claims `request_id`.  kDone fills *cached with the stored reply.
+  Claim Begin(uint64_t request_id, int64_t now_ns, ReplyFrame* cached);
+
+  // Records the successful reply for a claimed id (only kOk outcomes are
+  // cached; retriable outcomes call Forget instead).
+  void Done(uint64_t request_id, const ReplyFrame& reply, int64_t now_ns);
+
+  // Releases a claimed id without caching, so a retry re-executes.
+  void Forget(uint64_t request_id);
+
+  // Evicts completed entries older than the TTL.  Called opportunistically
+  // from the owning bridge's timer path.
+  void Sweep(int64_t now_ns);
+
+  // Total live entries (inflight + cached), summed across shards.
+  size_t Size() const;
+
+ private:
+  struct Entry {
+    bool done = false;
+    int64_t done_ns = 0;
+    ReplyFrame reply;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Entry> entries;
+  };
+
+  Shard& ShardFor(uint64_t request_id) {
+    // Fibonacci hash of the id picks the shard; ids from one client are
+    // sequential, so low bits alone would pile onto one shard.
+    const uint64_t h = request_id * 0x9E3779B97F4A7C15ull;
+    return shards_[(h >> 48) & mask_];
+  }
+
+  const int64_t ttl_ns_;
+  const uint64_t mask_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace faas::serve
+
+#endif  // SRC_SERVE_IDEMPOTENCY_H_

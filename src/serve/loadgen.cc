@@ -12,6 +12,7 @@
 #include <cstring>
 #include <memory>
 #include <random>
+#include <unordered_map>
 #include <vector>
 
 #include "src/serve/clock.h"
@@ -36,15 +37,33 @@ struct Conn {
   bool want_write = false;  // EPOLLOUT armed.
   bool awaiting = false;    // Closed loop: reply outstanding.
   int64_t next_send_ns = 0;  // Closed loop: think-time gate.
+  int64_t reconnect_at_ns = 0;  // Retry mode: re-dial due time (fd < 0).
   FrameDecoder decoder;
   std::vector<uint8_t> out;
   size_t out_pos = 0;
 };
 
+// Retry mode: one in-flight request id.  due_ns is the next action for the
+// id — a client-side timeout while an attempt is outstanding
+// (awaiting_retry == false) or the backoff-delayed re-send time
+// (awaiting_retry == true).
+struct Outstanding {
+  int64_t first_send_ns = 0;  // Latency is measured from the FIRST send.
+  int64_t due_ns = 0;
+  int attempts = 0;  // Sends so far (first send counts).
+  bool awaiting_retry = false;
+  uint32_t function_id = 0;
+  size_t issuer = 0;  // Closed loop: conn whose in-flight slot this id holds.
+};
+
 class Runner {
  public:
   Runner(const LoadGenConfig& config, LoadGenResult* result)
-      : config_(config), result_(result), rng_(config.seed) {}
+      : config_(config),
+        result_(result),
+        rng_(config.seed),
+        retry_(config.retry.enabled),
+        jitter_rng_(config.seed ^ 0x9E3779B97F4A7C15ull) {}
 
   ~Runner() {
     for (Conn& conn : conns_) {
@@ -82,13 +101,25 @@ class Runner {
   void UpdateEpoll(size_t index, bool want_write);
   bool ReadReplies(size_t index, int64_t now_ns);
   void OnReply(const ReplyFrame& reply, int64_t now_ns);
+  void OnReplyRetry(const ReplyFrame& reply, int64_t now_ns);
   size_t BacklogBytes() const;
+
+  using OutstandingMap = std::unordered_map<uint64_t, Outstanding>;
+
+  void CloseConn(size_t index);
+  bool Reconnect(size_t index);
+  int64_t BackoffNs(int attempts);
+  void ScanOutstanding(int64_t now_ns);
+  void SendRetry(uint64_t id, Outstanding& o, int64_t now_ns);
+  OutstandingMap::iterator FinishOutstanding(OutstandingMap::iterator it,
+                                             int64_t now_ns);
 
   const LoadGenConfig& config_;
   LoadGenResult* result_;
   std::mt19937_64 rng_;
   std::exponential_distribution<double> inter_arrival_{1.0};
   int epoll_fd_ = -1;
+  sockaddr_in addr_{};
   std::vector<Conn> conns_;
   std::vector<uint8_t> blast_block_;
   std::vector<uint8_t> read_buf_;
@@ -96,6 +127,11 @@ class Runner {
   uint32_t function_cursor_ = 0;
   size_t rr_ = 0;  // Open loop: round-robin connection cursor.
   int live_conns_ = 0;
+  // Retry kit (inert unless config.retry.enabled).
+  const bool retry_;
+  std::mt19937_64 jitter_rng_;  // Backoff jitter only; keeps rng_ untouched.
+  uint64_t next_request_id_ = 0;
+  OutstandingMap outstanding_;
 };
 
 bool Runner::Connect(std::string* error) {
@@ -103,11 +139,10 @@ bool Runner::Connect(std::string* error) {
   if (epoll_fd_ < 0) {
     return Fail(error, "epoll_create1");
   }
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+  std::memset(&addr_, 0, sizeof(addr_));
+  addr_.sin_family = AF_INET;
+  addr_.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.host.c_str(), &addr_.sin_addr) != 1) {
     if (error != nullptr) {
       *error = "invalid host: " + config_.host;
     }
@@ -123,7 +158,7 @@ bool Runner::Connect(std::string* error) {
     }
     const int one = 1;
     setsockopt(conn.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    if (connect(conn.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+    if (connect(conn.fd, reinterpret_cast<sockaddr*>(&addr_), sizeof(addr_)) !=
             0 &&
         errno != EINPROGRESS) {
       return Fail(error, "connect");
@@ -188,10 +223,24 @@ void Runner::BuildBlastBlock() {
 
 void Runner::AppendRequest(Conn& conn, int64_t now_ns) {
   RequestFrame frame;
-  frame.request_id = static_cast<uint64_t>(now_ns);
   frame.function_id = NextFunctionId();
   frame.payload_size = config_.payload_bytes;
   frame.deadline_us = config_.deadline_us;
+  if (retry_) {
+    // Sequential ids: the id must stay stable across re-sends, so it can no
+    // longer double as the send timestamp — the outstanding table carries
+    // first_send_ns instead.
+    frame.request_id = ++next_request_id_;
+    Outstanding o;
+    o.first_send_ns = now_ns;
+    o.due_ns = now_ns + config_.retry.timeout_us * 1'000;
+    o.attempts = 1;
+    o.function_id = frame.function_id;
+    o.issuer = static_cast<size_t>(&conn - conns_.data());
+    outstanding_.emplace(frame.request_id, o);
+  } else {
+    frame.request_id = static_cast<uint64_t>(now_ns);
+  }
   EncodeRequest(frame, conn.out);
   conn.out.insert(conn.out.end(), payload_.begin(), payload_.end());
   ++result_->sent;
@@ -223,6 +272,53 @@ void Runner::UpdateEpoll(size_t index, bool want_write) {
   epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
 }
 
+void Runner::CloseConn(size_t index) {
+  Conn& conn = conns_[index];
+  close(conn.fd);
+  conn.fd = -1;
+  --live_conns_;
+  if (retry_) {
+    // Re-dial after a short delay; a tight reconnect loop against a downed
+    // server would spin the generator.
+    conn.reconnect_at_ns =
+        MonotonicNowNs() + config_.retry.reconnect_delay_us * 1'000;
+  }
+}
+
+bool Runner::Reconnect(size_t index) {
+  Conn& conn = conns_[index];
+  conn.fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (conn.fd < 0) {
+    return false;
+  }
+  const int one = 1;
+  setsockopt(conn.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (connect(conn.fd, reinterpret_cast<sockaddr*>(&addr_), sizeof(addr_)) !=
+          0 &&
+      errno != EINPROGRESS) {
+    close(conn.fd);
+    conn.fd = -1;
+    return false;
+  }
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN | EPOLLOUT;  // EPOLLOUT signals connect completion.
+  ev.data.u64 = static_cast<uint64_t>(index);
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn.fd, &ev) != 0) {
+    close(conn.fd);
+    conn.fd = -1;
+    return false;
+  }
+  conn.connected = false;
+  conn.want_write = true;
+  conn.awaiting = false;
+  conn.decoder = FrameDecoder();  // Any half-read frame died with the fd.
+  conn.out.clear();
+  conn.out_pos = 0;
+  ++live_conns_;  // Counted live while connecting; failure re-closes it.
+  return true;
+}
+
 // Returns false when the connection died.
 bool Runner::FlushConn(size_t index) {
   Conn& conn = conns_[index];
@@ -237,9 +333,7 @@ bool Runner::FlushConn(size_t index) {
         UpdateEpoll(index, true);
         return true;
       }
-      close(conn.fd);
-      conn.fd = -1;
-      --live_conns_;
+      CloseConn(index);
       return false;
     }
     result_->bytes_out += n;
@@ -251,8 +345,142 @@ bool Runner::FlushConn(size_t index) {
   return true;
 }
 
+int64_t Runner::BackoffNs(int attempts) {
+  const int shift = std::min(attempts - 1, 20);
+  int64_t delay_us = std::min(config_.retry.backoff_base_us << shift,
+                              config_.retry.backoff_cap_us);
+  if (config_.retry.jitter > 0.0) {
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    const double factor =
+        1.0 + config_.retry.jitter * (2.0 * u(jitter_rng_) - 1.0);
+    delay_us = std::max<int64_t>(
+        static_cast<int64_t>(static_cast<double>(delay_us) * factor), 0);
+  }
+  return delay_us * 1'000;
+}
+
+Runner::OutstandingMap::iterator Runner::FinishOutstanding(
+    OutstandingMap::iterator it, int64_t now_ns) {
+  if (config_.mode == LoadMode::kClosed) {
+    // Free the issuing connection's in-flight slot even if the completing
+    // reply arrived on a different connection via a retry.
+    Conn& conn = conns_[it->second.issuer];
+    conn.awaiting = false;
+    conn.next_send_ns = now_ns + config_.think_time_us * 1'000;
+  }
+  return outstanding_.erase(it);
+}
+
+void Runner::SendRetry(uint64_t id, Outstanding& o, int64_t now_ns) {
+  // Round-robin onto any live connection; with nothing up right now the
+  // entry stays due and fires again once a reconnect lands.
+  for (size_t probe = 0; probe < conns_.size(); ++probe) {
+    const size_t index = rr_;
+    rr_ = rr_ + 1 == conns_.size() ? 0 : rr_ + 1;
+    Conn& conn = conns_[index];
+    if (conn.fd < 0 || !conn.connected) {
+      continue;
+    }
+    RequestFrame frame;
+    frame.request_id = id;
+    frame.function_id = o.function_id;
+    frame.payload_size = config_.payload_bytes;
+    frame.deadline_us = config_.deadline_us;
+    frame.retry = true;
+    EncodeRequest(frame, conn.out);
+    conn.out.insert(conn.out.end(), payload_.begin(), payload_.end());
+    ++result_->sent;
+    ++result_->retries;
+    ++o.attempts;
+    o.awaiting_retry = false;
+    o.due_ns = now_ns + config_.retry.timeout_us * 1'000;
+    FlushConn(index);
+    return;
+  }
+  o.due_ns = now_ns + config_.retry.reconnect_delay_us * 1'000;
+}
+
+void Runner::ScanOutstanding(int64_t now_ns) {
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    Outstanding& o = it->second;
+    if (o.due_ns > now_ns) {
+      ++it;
+      continue;
+    }
+    if (o.awaiting_retry) {
+      SendRetry(it->first, o, now_ns);
+      ++it;
+      continue;
+    }
+    ++result_->timeouts;
+    if (o.attempts >= config_.retry.max_attempts) {
+      ++result_->gave_up;
+      it = FinishOutstanding(it, now_ns);
+      continue;
+    }
+    o.awaiting_retry = true;
+    o.due_ns = now_ns + BackoffNs(o.attempts);
+    ++it;
+  }
+}
+
+void Runner::OnReplyRetry(const ReplyFrame& reply, int64_t now_ns) {
+  auto it = outstanding_.find(reply.request_id);
+  if (it == outstanding_.end()) {
+    // Late reply for an id that already completed (e.g. the original answer
+    // racing a dedupe-cached retry answer) or was given up on.
+    if (reply.status == ReplyStatus::kOk) {
+      ++result_->duplicate_ok;
+    }
+    return;
+  }
+  Outstanding& o = it->second;
+  switch (reply.status) {
+    case ReplyStatus::kOk:
+      ++result_->ok;
+      if (reply.latency_class == LatencyClass::kCold) {
+        ++result_->cold;
+      } else {
+        ++result_->warm;
+      }
+      result_->latency.Record(now_ns - o.first_send_ns);
+      FinishOutstanding(it, now_ns);
+      return;
+    case ReplyStatus::kShedQueueFull:
+      ++result_->shed_queue_full;
+      break;
+    case ReplyStatus::kShedDeadline:
+      ++result_->shed_deadline;
+      break;
+    case ReplyStatus::kShedShutdown:
+      ++result_->shed_shutdown;
+      break;
+    case ReplyStatus::kRejected:
+      ++result_->rejected;
+      break;
+    case ReplyStatus::kFailed:
+      ++result_->failed;
+      break;
+    case ReplyStatus::kShedDegraded:
+      ++result_->shed_degraded;
+      break;
+  }
+  // Every non-kOk status is retriable (IsRetriableStatus).
+  if (o.attempts >= config_.retry.max_attempts) {
+    ++result_->gave_up;
+    FinishOutstanding(it, now_ns);
+    return;
+  }
+  o.awaiting_retry = true;
+  o.due_ns = now_ns + BackoffNs(o.attempts);
+}
+
 void Runner::OnReply(const ReplyFrame& reply, int64_t now_ns) {
   ++result_->replies;
+  if (retry_) {
+    OnReplyRetry(reply, now_ns);
+    return;
+  }
   switch (reply.status) {
     case ReplyStatus::kOk:
       ++result_->ok;
@@ -276,6 +504,12 @@ void Runner::OnReply(const ReplyFrame& reply, int64_t now_ns) {
     case ReplyStatus::kRejected:
       ++result_->rejected;
       break;
+    case ReplyStatus::kFailed:
+      ++result_->failed;
+      break;
+    case ReplyStatus::kShedDegraded:
+      ++result_->shed_degraded;
+      break;
   }
 }
 
@@ -285,9 +519,7 @@ bool Runner::ReadReplies(size_t index, int64_t now_ns) {
   for (;;) {
     const ssize_t n = read(conn.fd, read_buf_.data(), read_buf_.size());
     if (n == 0) {
-      close(conn.fd);
-      conn.fd = -1;
-      --live_conns_;
+      CloseConn(index);
       return false;
     }
     if (n < 0) {
@@ -297,9 +529,7 @@ bool Runner::ReadReplies(size_t index, int64_t now_ns) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         return true;
       }
-      close(conn.fd);
-      conn.fd = -1;
-      --live_conns_;
+      CloseConn(index);
       return false;
     }
     result_->bytes_in += n;
@@ -312,13 +542,13 @@ bool Runner::ReadReplies(size_t index, int64_t now_ns) {
       }
       if (result == FrameDecoder::Result::kError ||
           frame.type != FrameType::kReply) {
-        close(conn.fd);
-        conn.fd = -1;
-        --live_conns_;
+        CloseConn(index);
         return false;
       }
       OnReply(frame.reply, now_ns);
-      if (config_.mode == LoadMode::kClosed) {
+      if (config_.mode == LoadMode::kClosed && !retry_) {
+        // Retry mode frees the slot in FinishOutstanding instead, because
+        // a retriable reply keeps the id (and the slot) in flight.
         conn.awaiting = false;
         conn.next_send_ns = now_ns + config_.think_time_us * 1'000;
       }
@@ -342,11 +572,19 @@ size_t Runner::BacklogBytes() const {
 bool Runner::Run(std::string* error) {
   read_buf_.resize(256 * 1024);
   payload_.assign(config_.payload_bytes, 0);
+  const bool open = config_.mode == LoadMode::kOpen;
+  const bool blast = open && config_.target_rps <= 0.0;
+  if (blast && retry_) {
+    if (error != nullptr) {
+      *error =
+          "retry mode is incompatible with blast load (pre-encoded blocks "
+          "cannot carry stable per-request ids); set --rps > 0";
+    }
+    return false;
+  }
   if (!Connect(error)) {
     return false;
   }
-  const bool open = config_.mode == LoadMode::kOpen;
-  const bool blast = open && config_.target_rps <= 0.0;
   if (blast) {
     BuildBlastBlock();
   } else if (open) {
@@ -362,8 +600,20 @@ bool Runner::Run(std::string* error) {
   std::vector<epoll_event> events(conns_.size() + 1);
   int64_t drain_deadline_ns = 0;
 
-  while (live_conns_ > 0) {
+  for (;;) {
     const int64_t now_ns = MonotonicNowNs();
+    if (retry_) {
+      // Re-dial dead connections so injected resets don't strand the run.
+      for (size_t i = 0; i < conns_.size(); ++i) {
+        Conn& conn = conns_[i];
+        if (conn.fd < 0 && now_ns >= conn.reconnect_at_ns && !Reconnect(i)) {
+          conn.reconnect_at_ns =
+              now_ns + config_.retry.reconnect_delay_us * 1'000;
+        }
+      }
+    } else if (live_conns_ == 0) {
+      break;
+    }
     if (sending &&
         (now_ns >= send_end_ns ||
          (config_.stop != nullptr &&
@@ -372,9 +622,17 @@ bool Runner::Run(std::string* error) {
       send_window_ns = now_ns - start_ns;
       drain_deadline_ns = now_ns + config_.drain_ms * 1'000'000;
     }
-    if (!sending &&
-        (result_->replies >= result_->sent || now_ns >= drain_deadline_ns)) {
-      break;
+    if (!sending) {
+      // Retry mode drains until the outstanding table empties: a reply
+      // count alone can't tell rescued requests from deduped drops.
+      const bool all_done = retry_ ? outstanding_.empty()
+                                   : result_->replies >= result_->sent;
+      if (all_done || now_ns >= drain_deadline_ns) {
+        break;
+      }
+    }
+    if (retry_) {
+      ScanOutstanding(now_ns);
     }
 
     // Generate whatever the load shape says is due.
@@ -399,7 +657,7 @@ bool Runner::Run(std::string* error) {
           for (size_t probe = 0; probe < conns_.size(); ++probe) {
             Conn& conn = conns_[rr_];
             rr_ = rr_ + 1 == conns_.size() ? 0 : rr_ + 1;
-            if (conn.fd >= 0) {
+            if (conn.fd >= 0 && conn.connected) {
               AppendRequest(conn, now_ns);
               break;
             }
@@ -418,7 +676,8 @@ bool Runner::Run(std::string* error) {
       } else {  // Closed loop.
         for (size_t i = 0; i < conns_.size(); ++i) {
           Conn& conn = conns_[i];
-          if (conn.fd >= 0 && !conn.awaiting && now_ns >= conn.next_send_ns) {
+          if (conn.fd >= 0 && conn.connected && !conn.awaiting &&
+              now_ns >= conn.next_send_ns) {
             AppendRequest(conn, now_ns);
             conn.awaiting = true;
             FlushConn(i);
@@ -448,6 +707,11 @@ bool Runner::Run(std::string* error) {
           std::max<int64_t>((earliest - now_ns) / 1'000'000, 0));
       timeout_ms = std::min(timeout_ms, 100);
     }
+    if (retry_ && (!outstanding_.empty() ||
+                   live_conns_ < static_cast<int>(conns_.size()))) {
+      // Timeout/backoff/reconnect deadlines need sub-epoll granularity.
+      timeout_ms = std::min(timeout_ms, 1);
+    }
 
     const int num_events =
         epoll_wait(epoll_fd_, events.data(),
@@ -459,10 +723,22 @@ bool Runner::Run(std::string* error) {
       if (conn.fd < 0) {
         continue;
       }
+      if (!conn.connected) {
+        // A reconnect in progress: EPOLLOUT (or an error) decides it.
+        int err = 0;
+        socklen_t len = sizeof(err);
+        getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0 || (events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+          CloseConn(index);
+        } else {
+          conn.connected = true;
+          ++result_->reconnects;
+          UpdateEpoll(index, !conn.out.empty());
+        }
+        continue;
+      }
       if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
-        close(conn.fd);
-        conn.fd = -1;
-        --live_conns_;
+        CloseConn(index);
         continue;
       }
       if ((events[i].events & EPOLLIN) != 0 && !ReadReplies(index, recv_ns)) {

@@ -19,6 +19,18 @@
 // lookup table on either side.  Latencies land in a LatencyRecorder
 // (log-bucketed, mergeable), from which callers read p50/p99/p99.9.
 //
+// With RetryConfig.enabled the generator switches to a resilience kit:
+// request ids become sequential, every in-flight request is tracked in an
+// outstanding table keyed by id, and any retriable outcome — a non-kOk
+// reply, a per-attempt client timeout, a dead connection — re-sends the
+// SAME id with the wire retry bit set after an exponential-backoff-with-
+// jitter delay.  The server's idempotency index guarantees a retried id is
+// never executed twice, so `ok` counts unique completed requests (goodput)
+// and latency is measured from the FIRST send of the id.  Dead connections
+// are re-dialed so a burst of injected resets does not strand the client.
+// Blast mode is incompatible with retries (its pre-encoded blocks cannot
+// carry stable per-request ids) and is rejected at Run().
+//
 // The generator is single-threaded (epoll over all connections).  An
 // optional external stop flag aborts the send window early — tools/serve_load
 // points it at its SIGINT handler.
@@ -37,6 +49,27 @@ namespace faas {
 enum class LoadMode : uint8_t {
   kOpen,    // Poisson arrivals at target_rps (0 = blast).
   kClosed,  // One in-flight request per connection + think time.
+};
+
+// Client-side resilience kit (see header comment).  All-off by default:
+// with enabled == false the generator's behaviour and output are identical
+// to a build that predates retries.
+struct RetryConfig {
+  bool enabled = false;
+  // Per-attempt client-side timeout; an unanswered attempt counts as a
+  // timeout and (attempts permitting) triggers a retry.
+  int64_t timeout_us = 100'000;
+  // Exponential backoff between attempts: base doubles per attempt, capped.
+  int64_t backoff_base_us = 2'000;
+  int64_t backoff_cap_us = 100'000;
+  // Fraction of the backoff randomised: delay *= 1 + jitter*(2u-1), u~U[0,1).
+  // Jitter draws come from a dedicated RNG so enabling retries does not
+  // perturb the seeded Poisson arrival schedule.
+  double jitter = 0.5;
+  // Total sends per request id, including the first (>= 1).
+  int max_attempts = 4;
+  // Delay before re-dialing a dead connection.
+  int64_t reconnect_delay_us = 2'000;
 };
 
 struct LoadGenConfig {
@@ -60,6 +93,8 @@ struct LoadGenConfig {
   uint64_t seed = 42;
   // Optional external abort (e.g. a SIGINT flag); ends the send window.
   const std::atomic<bool>* stop = nullptr;
+  // Client-side retry/reconnect kit; incompatible with blast mode.
+  RetryConfig retry;
 };
 
 struct LoadGenResult {
@@ -71,6 +106,16 @@ struct LoadGenResult {
   int64_t shed_deadline = 0;
   int64_t shed_shutdown = 0;
   int64_t rejected = 0;
+  int64_t failed = 0;         // Execution killed by a crash/restart.
+  int64_t shed_degraded = 0;  // Shed by a graceful-degradation tier.
+  // Retry-kit accounting (all zero when retries are disabled).  In retry
+  // mode `sent` counts every frame written (first sends + retries) and `ok`
+  // counts UNIQUE completed request ids, so `ok` is the goodput numerator.
+  int64_t retries = 0;       // Re-sends of an already-sent id.
+  int64_t timeouts = 0;      // Attempts unanswered within retry.timeout_us.
+  int64_t gave_up = 0;       // Ids abandoned after max_attempts.
+  int64_t duplicate_ok = 0;  // kOk replies for an id already completed.
+  int64_t reconnects = 0;    // Dead connections successfully re-dialed.
   // Latency-class breakdown of ok replies.
   int64_t warm = 0;
   int64_t cold = 0;
@@ -84,7 +129,16 @@ struct LoadGenResult {
   LatencyRecorder latency;  // Client-observed e2e latency of ok replies.
 
   int64_t shed() const {
-    return shed_queue_full + shed_deadline + shed_shutdown;
+    return shed_queue_full + shed_deadline + shed_shutdown + shed_degraded;
+  }
+  // Unique first sends in retry mode (== sent when retries are off).
+  int64_t unique_sends() const { return sent - retries; }
+  // Fraction of unique requests that completed ok — the resilience bench's
+  // goodput metric.
+  double goodput() const {
+    return unique_sends() > 0
+               ? static_cast<double>(ok) / static_cast<double>(unique_sends())
+               : 0.0;
   }
   double sent_rps() const {
     return send_window_ns > 0

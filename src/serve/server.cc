@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "src/common/cpu_topology.h"
+#include "src/common/rng.h"
 #include "src/serve/clock.h"
 #include "src/serve/wire.h"
 
@@ -45,7 +46,13 @@ int WaitForEvents(int epoll_fd, epoll_event* events, int max_events,
     ts.tv_nsec = timeout_ns % 1'000'000'000;
     const long n = syscall(SYS_epoll_pwait2, epoll_fd, events, max_events,
                            &ts, nullptr, 0);
-    if (n >= 0 || errno != ENOSYS) {
+    if (n >= 0) {
+      return static_cast<int>(n);
+    }
+    if (errno == EINTR) {
+      return 0;  // Signal during the wait: surface as an empty batch.
+    }
+    if (errno != ENOSYS) {
       return static_cast<int>(n);
     }
     // Kernel predates epoll_pwait2: fall through to epoll_wait forever.
@@ -55,7 +62,11 @@ int WaitForEvents(int epoll_fd, epoll_event* events, int max_events,
   if (timeout_ns >= 0) {
     timeout_ms = static_cast<int>((timeout_ns + 999'999) / 1'000'000);
   }
-  return epoll_wait(epoll_fd, events, max_events, timeout_ms);
+  const int n = epoll_wait(epoll_fd, events, max_events, timeout_ms);
+  if (n < 0 && errno == EINTR) {
+    return 0;
+  }
+  return n;
 }
 
 }  // namespace
@@ -71,6 +82,7 @@ ServeStats& ServeStats::operator+=(const ServeStats& other) {
   bridge += other.bridge;
   MergeLedger(ledger, other.ledger);
   MergeLedger(resources, other.resources);
+  MergeLedger(recovery, other.recovery);
   latency.Merge(other.latency);
   return *this;
 }
@@ -169,7 +181,10 @@ class ServeServer::EventLoop {
     stop_requested_.store(true, std::memory_order_release);
     if (wake_fd_ >= 0) {
       const uint64_t one = 1;
-      [[maybe_unused]] const ssize_t n = write(wake_fd_, &one, sizeof(one));
+      ssize_t n;
+      do {
+        n = write(wake_fd_, &one, sizeof(one));
+      } while (n < 0 && errno == EINTR);
     }
   }
 
@@ -185,6 +200,8 @@ class ServeServer::EventLoop {
     stats.bridge = bridge_.stats();
     stats.ledger = bridge_.ledger();
     stats.resources = bridge_.resources();
+    stats.recovery = bridge_.recovery();
+    stats.recovery.conn_resets_injected += conn_resets_injected_;
     stats.latency = latency_;
     return stats;
   }
@@ -238,7 +255,24 @@ class ServeServer::EventLoop {
       const int fd = accept4(listen_fd_, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
       if (fd < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
         return;  // EAGAIN or transient error; epoll will retry.
+      }
+      if (chaos_rng_ != nullptr) {
+        const double p = config_.bridge.chaos.ConnResetProbabilityAtNs(
+            MonotonicNowNs() - chaos_start_ns_);
+        if (p > 0.0 && chaos_rng_->Bernoulli(p)) {
+          // RST the newcomer (SO_LINGER{1,0} close): exercises the client
+          // reconnect/retry path, not graceful FIN handling.
+          const linger hard_close{1, 0};
+          setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_close,
+                     sizeof(hard_close));
+          close(fd);
+          ++conn_resets_injected_;
+          continue;
+        }
       }
       const int one = 1;
       setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -317,8 +351,10 @@ class ServeServer::EventLoop {
   // Returns false when the connection was closed.
   bool FlushConn(Conn& conn) {
     while (conn.out_pos < conn.out.size()) {
-      const ssize_t n = write(conn.fd, conn.out.data() + conn.out_pos,
-                              conn.out.size() - conn.out_pos);
+      // MSG_NOSIGNAL: a peer that reset mid-reply yields EPIPE (handled
+      // below as a close) instead of a process-wide SIGPIPE.
+      const ssize_t n = send(conn.fd, conn.out.data() + conn.out_pos,
+                             conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) {
           continue;
@@ -378,6 +414,19 @@ class ServeServer::EventLoop {
       CPU_ZERO(&set);
       CPU_SET(cpu, &set);
       sched_setaffinity(0, sizeof(set), &set);
+    }
+    {
+      // Anchor chaos-plan offsets at loop start.  With an empty plan and
+      // the watchdog off this arms nothing; the reset RNG exists (and
+      // draws) only when reset windows do, keeping the default path free
+      // of randomness.
+      std::lock_guard<std::mutex> lock(mu_);
+      chaos_start_ns_ = MonotonicNowNs();
+      bridge_.StartClock(chaos_start_ns_);
+      if (!config_.bridge.chaos.reset_windows.empty()) {
+        chaos_rng_ = std::make_unique<Rng>(config_.bridge.chaos_seed +
+                                           static_cast<uint64_t>(loop_id_));
+      }
     }
     std::vector<epoll_event> events(256);
     bool draining = false;
@@ -456,7 +505,7 @@ class ServeServer::EventLoop {
   }
 
   const ServeConfig& config_;
-  [[maybe_unused]] const int loop_id_;
+  const int loop_id_;
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
@@ -469,6 +518,10 @@ class ServeServer::EventLoop {
   TimerWheel wheel_;
   LatencyRecorder latency_;
   AdmissionBridge bridge_;
+  // Chaos connection-reset state (null/zero with no reset windows).
+  std::unique_ptr<Rng> chaos_rng_;
+  int64_t chaos_start_ns_ = 0;
+  int64_t conn_resets_injected_ = 0;
   std::vector<uint8_t> read_buf_;
   std::vector<std::unique_ptr<Conn>> conns_;  // Indexed by fd.
   std::vector<uint32_t> generations_;         // Parallel to conns_.

@@ -74,6 +74,9 @@ struct ServeStats {
   // Merged cost-accounting ledgers (lazy idle settlement; see
   // AdmissionBridge::resources for the snapshot caveat).
   ResourceLedger resources;
+  // Self-healing book: watchdog restarts, MTTR, dedupe saves, degradation
+  // dwell (all-zero unless the chaos/watchdog/degrade/dedupe knobs are on).
+  RecoveryLedger recovery;
   LatencyRecorder latency;  // Server-side latency of served requests.
 
   ServeStats& operator+=(const ServeStats& other);

@@ -44,7 +44,8 @@ size_t EncodeRequestTo(const RequestFrame& frame, uint8_t* out) {
   out[3] = static_cast<uint8_t>(FrameType::kRequest);
   PutU32(out + 4, frame.function_id);
   PutU32(out + 8, frame.payload_size);
-  PutU32(out + 12, frame.deadline_us);
+  PutU32(out + 12, (frame.deadline_us & ~kWireRetryFlag) |
+                       (frame.retry ? kWireRetryFlag : 0));
   PutU64(out + 16, frame.request_id);
   return kWireHeaderSize;
 }
@@ -98,7 +99,9 @@ FrameDecoder::Result FrameDecoder::ParseHeader(const uint8_t* header,
     out->type = FrameType::kRequest;
     out->request.function_id = GetU32(header + 4);
     out->request.payload_size = GetU32(header + 8);
-    out->request.deadline_us = GetU32(header + 12);
+    const uint32_t deadline_raw = GetU32(header + 12);
+    out->request.deadline_us = deadline_raw & ~kWireRetryFlag;
+    out->request.retry = (deadline_raw & kWireRetryFlag) != 0;
     out->request.request_id = GetU64(header + 16);
     if (out->request.payload_size > max_payload_) {
       return Fail(Error::kOversizedPayload);
@@ -207,6 +210,10 @@ const char* ReplyStatusName(ReplyStatus status) {
       return "shed_shutdown";
     case ReplyStatus::kRejected:
       return "rejected";
+    case ReplyStatus::kFailed:
+      return "failed";
+    case ReplyStatus::kShedDegraded:
+      return "shed_degraded";
   }
   return "unknown";
 }

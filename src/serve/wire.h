@@ -49,7 +49,16 @@ enum class ReplyStatus : uint8_t {
   kShedDeadline = 2,    // CoDel age bound or the request's own deadline.
   kShedShutdown = 3,    // Still queued when the server drained.
   kRejected = 4,        // No queue configured and no executor had a slot.
+  kFailed = 5,          // Execution killed by an executor crash/restart.
+  kShedDegraded = 6,    // Shed by a graceful-degradation tier.
 };
+
+// A retriable outcome: safe (and expected) for the client to resend the
+// same request id.  kOk replies to a resent id are served from the
+// bridge's dedupe cache, so retries never double-execute.
+inline constexpr bool IsRetriableStatus(ReplyStatus status) {
+  return status != ReplyStatus::kOk;
+}
 
 // Container temperature of a served request (kUnknown for non-kOk replies).
 enum class LatencyClass : uint8_t {
@@ -58,14 +67,24 @@ enum class LatencyClass : uint8_t {
   kCold = 2,
 };
 
+// High bit of the wire deadline field marks a retry of an earlier send of
+// the same request_id.  Deadlines are relative microseconds, so bit 31
+// (~36 minutes) was never a meaningful deadline; reusing it keeps the
+// header at 24 bytes and old clients bit-compatible.
+inline constexpr uint32_t kWireRetryFlag = 0x8000'0000u;
+
 struct RequestFrame {
   uint64_t request_id = 0;
   uint32_t function_id = 0;
   uint32_t payload_size = 0;
   // Relative deadline in microseconds from arrival; 0 = none.  Checked
   // lazily at dispatch time, so a request that out-queues its deadline is
-  // shed instead of executed.
+  // shed instead of executed.  Capped below kWireRetryFlag on the wire.
   uint32_t deadline_us = 0;
+  // This send is a retry of an earlier send of the same request_id.
+  // Carried as kWireRetryFlag on the deadline field; degradation tiers
+  // keep admitting retries after they start shedding fresh traffic.
+  bool retry = false;
 };
 
 struct ReplyFrame {

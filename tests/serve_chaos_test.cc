@@ -1,0 +1,210 @@
+// Unit tests for the serve-plane chaos/self-healing building blocks:
+// ServeChaosPlan parsing + validation + window lookups, the sharded
+// IdempotencyIndex claim protocol, and RecoveryLedger merge semantics.
+// Socket-level behaviour (watchdog restarts, retry rescue, drain under
+// stall) lives in serve_loopback_test.cc.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/cluster/recovery.h"
+#include "src/common/resource_ledger.h"
+#include "src/serve/chaos.h"
+#include "src/serve/idempotency.h"
+#include "src/serve/wire.h"
+
+namespace faas {
+namespace {
+
+using serve::IdempotencyIndex;
+using serve::ServeChaosPlan;
+
+TEST(ServeChaosPlanTest, ParsesEveryClauseKind) {
+  std::string error;
+  const auto plan = ServeChaosPlan::Parse(
+      "crash:executor=1,at=500ms,down=2s; stall:executor=0,at=1s,for=250ms;"
+      "connreset:at=0s,for=10s,p=0.01; spike:at=2s,for=500ms,x=3.5",
+      &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  ASSERT_EQ(plan->crashes.size(), 1u);
+  EXPECT_EQ(plan->crashes[0].executor, 1);
+  EXPECT_EQ(plan->crashes[0].at.millis(), 500);
+  EXPECT_EQ(plan->crashes[0].downtime.millis(), 2'000);
+  ASSERT_EQ(plan->stalls.size(), 1u);
+  EXPECT_EQ(plan->stalls[0].executor, 0);
+  EXPECT_EQ(plan->stalls[0].at.millis(), 1'000);
+  EXPECT_EQ(plan->stalls[0].duration.millis(), 250);
+  ASSERT_EQ(plan->reset_windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan->reset_windows[0].probability, 0.01);
+  ASSERT_EQ(plan->spikes.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan->spikes[0].multiplier, 3.5);
+  EXPECT_FALSE(plan->Empty());
+  EXPECT_TRUE(plan->Validate(2).empty());
+}
+
+TEST(ServeChaosPlanTest, EmptySpecParsesToEmptyPlan) {
+  std::string error;
+  const auto plan = ServeChaosPlan::Parse("", &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_TRUE(plan->Empty());
+  EXPECT_TRUE(plan->Validate(1).empty());
+}
+
+TEST(ServeChaosPlanTest, RejectsMalformedSpecs) {
+  std::string error;
+  EXPECT_FALSE(ServeChaosPlan::Parse("crash:executor=0", &error).has_value())
+      << "missing at/down must not parse";
+  EXPECT_FALSE(ServeChaosPlan::Parse("explode:at=1s", &error).has_value())
+      << "unknown clause must not parse";
+  EXPECT_FALSE(
+      ServeChaosPlan::Parse("connreset:at=0s,for=1s,p=nope", &error)
+          .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ServeChaosPlanTest, ValidateCatchesOutOfRangeValues) {
+  std::string error;
+  const auto bad_executor =
+      ServeChaosPlan::Parse("crash:executor=5,at=1s,down=1s", &error);
+  ASSERT_TRUE(bad_executor.has_value()) << error;
+  EXPECT_FALSE(bad_executor->Validate(2).empty())
+      << "executor 5 of 2 must fail validation";
+  EXPECT_TRUE(bad_executor->Validate(8).empty());
+
+  const auto bad_p =
+      ServeChaosPlan::Parse("connreset:at=0s,for=1s,p=1.5", &error);
+  ASSERT_TRUE(bad_p.has_value()) << error;
+  EXPECT_FALSE(bad_p->Validate(1).empty());
+
+  const auto bad_x = ServeChaosPlan::Parse("spike:at=0s,for=1s,x=0.5", &error);
+  ASSERT_TRUE(bad_x.has_value()) << error;
+  EXPECT_FALSE(bad_x->Validate(1).empty())
+      << "spike multipliers below 1 must fail validation";
+}
+
+TEST(ServeChaosPlanTest, WindowLookupsCoverHalfOpenIntervals) {
+  std::string error;
+  const auto plan = ServeChaosPlan::Parse(
+      "connreset:at=100ms,for=200ms,p=0.25;"
+      "connreset:at=200ms,for=200ms,p=0.5;"
+      "spike:at=100ms,for=100ms,x=2; spike:at=150ms,for=100ms,x=3",
+      &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+
+  EXPECT_DOUBLE_EQ(plan->ConnResetProbabilityAtNs(0), 0.0);
+  EXPECT_DOUBLE_EQ(plan->ConnResetProbabilityAtNs(150 * 1'000'000), 0.25);
+  // Overlap takes the max, not the sum.
+  EXPECT_DOUBLE_EQ(plan->ConnResetProbabilityAtNs(250 * 1'000'000), 0.5);
+  EXPECT_DOUBLE_EQ(plan->ConnResetProbabilityAtNs(400 * 1'000'000), 0.0)
+      << "windows are half-open: at + for is outside";
+
+  EXPECT_DOUBLE_EQ(plan->LatencyMultiplierAtNs(0), 1.0);
+  EXPECT_DOUBLE_EQ(plan->LatencyMultiplierAtNs(120 * 1'000'000), 2.0);
+  // Overlapping spikes compound.
+  EXPECT_DOUBLE_EQ(plan->LatencyMultiplierAtNs(175 * 1'000'000), 6.0);
+  EXPECT_DOUBLE_EQ(plan->LatencyMultiplierAtNs(300 * 1'000'000), 1.0);
+}
+
+TEST(IdempotencyIndexTest, ClaimProtocol) {
+  IdempotencyIndex index(/*ttl_ns=*/1'000'000'000);
+  ReplyFrame cached;
+
+  // First claim of an id is fresh; a second concurrent claim is inflight.
+  EXPECT_EQ(index.Begin(7, 0, &cached), IdempotencyIndex::Claim::kFresh);
+  EXPECT_EQ(index.Begin(7, 0, &cached), IdempotencyIndex::Claim::kInflight);
+
+  // Completion caches the reply; later claims replay it verbatim.
+  ReplyFrame reply;
+  reply.request_id = 7;
+  reply.status = ReplyStatus::kOk;
+  reply.latency_class = LatencyClass::kWarm;
+  reply.latency_us = 123;
+  index.Done(7, reply, 10);
+  EXPECT_EQ(index.Begin(7, 20, &cached), IdempotencyIndex::Claim::kDone);
+  EXPECT_EQ(cached.request_id, 7u);
+  EXPECT_EQ(cached.status, ReplyStatus::kOk);
+  EXPECT_EQ(cached.latency_us, 123u);
+}
+
+TEST(IdempotencyIndexTest, ForgetReleasesInflightButKeepsDone) {
+  IdempotencyIndex index(/*ttl_ns=*/1'000'000'000);
+  ReplyFrame cached;
+
+  // A retriable outcome forgets the claim so the retry re-executes.
+  EXPECT_EQ(index.Begin(1, 0, &cached), IdempotencyIndex::Claim::kFresh);
+  index.Forget(1);
+  EXPECT_EQ(index.Begin(1, 0, &cached), IdempotencyIndex::Claim::kFresh);
+
+  // Forget must never evict a cached success.
+  ReplyFrame reply;
+  reply.request_id = 1;
+  index.Done(1, reply, 0);
+  index.Forget(1);
+  EXPECT_EQ(index.Begin(1, 0, &cached), IdempotencyIndex::Claim::kDone);
+}
+
+TEST(IdempotencyIndexTest, SweepEvictsOnlyExpiredDoneEntries) {
+  IdempotencyIndex index(/*ttl_ns=*/100);
+  ReplyFrame cached;
+  ReplyFrame reply;
+
+  ASSERT_EQ(index.Begin(1, 0, &cached), IdempotencyIndex::Claim::kFresh);
+  index.Done(1, reply, 0);
+  ASSERT_EQ(index.Begin(2, 0, &cached), IdempotencyIndex::Claim::kFresh);
+  // Id 2 stays inflight: sweeps must never drop an open claim.
+  EXPECT_EQ(index.Size(), 2u);
+
+  index.Sweep(50);  // Not expired yet.
+  EXPECT_EQ(index.Size(), 2u);
+  index.Sweep(500);  // Past ttl: the done entry goes, the claim stays.
+  EXPECT_EQ(index.Size(), 1u);
+  EXPECT_EQ(index.Begin(1, 600, &cached), IdempotencyIndex::Claim::kFresh)
+      << "expired id is claimable again";
+  EXPECT_EQ(index.Begin(2, 600, &cached), IdempotencyIndex::Claim::kInflight);
+}
+
+TEST(RecoveryLedgerTest, EmptyAndMerge) {
+  RecoveryLedger a;
+  EXPECT_TRUE(a.Empty());
+
+  a.watchdog_restarts = 2;
+  a.retries_deduped = 10;
+  a.executions = 100;
+  a.degrade_max_tier = 1;
+  a.tier_dwell_ms[1] = 50.0;
+  a.recoveries = 2;
+  a.total_mttr_ms = 80.0;
+  a.max_mttr_ms = 60.0;
+  EXPECT_FALSE(a.Empty());
+
+  RecoveryLedger b;
+  b.watchdog_restarts = 1;
+  b.executions = 50;
+  b.degrade_max_tier = 3;
+  b.tier_dwell_ms[1] = 25.0;
+  b.tier_dwell_ms[3] = 5.0;
+  b.recoveries = 1;
+  b.total_mttr_ms = 90.0;
+  b.max_mttr_ms = 90.0;
+
+  MergeLedger(a, b);
+  EXPECT_EQ(a.watchdog_restarts, 3);
+  EXPECT_EQ(a.retries_deduped, 10);
+  EXPECT_EQ(a.executions, 150);
+  EXPECT_EQ(a.degrade_max_tier, 3) << "max fields keep the max";
+  EXPECT_DOUBLE_EQ(a.tier_dwell_ms[1], 75.0) << "dwell arrays sum per tier";
+  EXPECT_DOUBLE_EQ(a.tier_dwell_ms[3], 5.0);
+  EXPECT_EQ(a.recoveries, 3);
+  EXPECT_DOUBLE_EQ(a.total_mttr_ms, 170.0);
+  EXPECT_DOUBLE_EQ(a.max_mttr_ms, 90.0);
+  EXPECT_NEAR(a.MeanMttrMs(), 170.0 / 3.0, 1e-9);
+}
+
+TEST(RecoveryLedgerTest, MeanMttrOfNoRecoveriesIsZero) {
+  RecoveryLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.MeanMttrMs(), 0.0);
+}
+
+}  // namespace
+}  // namespace faas

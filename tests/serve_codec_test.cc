@@ -238,7 +238,123 @@ TEST(ServeCodecTest, StatusAndClassNames) {
   EXPECT_STREQ(ReplyStatusName(ReplyStatus::kOk), "ok");
   EXPECT_STREQ(ReplyStatusName(ReplyStatus::kShedQueueFull),
                "shed_queue_full");
+  EXPECT_STREQ(ReplyStatusName(ReplyStatus::kFailed), "failed");
+  EXPECT_STREQ(ReplyStatusName(ReplyStatus::kShedDegraded), "shed_degraded");
   EXPECT_STREQ(LatencyClassName(LatencyClass::kWarm), "warm");
+}
+
+TEST(ServeCodecTest, RetryBitRoundTripsAndPreservesDeadline) {
+  RequestFrame request = MakeRequest(42, 7, 0, 1'234);
+  request.retry = true;
+  std::vector<uint8_t> wire;
+  EncodeRequest(request, wire);
+
+  FrameDecoder decoder;
+  decoder.Push(wire.data(), wire.size());
+  DecodedFrame frame;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_TRUE(frame.request.retry);
+  EXPECT_EQ(frame.request.deadline_us, 1'234u)
+      << "the flag bit must not leak into the deadline";
+
+  // A non-retry frame with the same deadline decodes retry == false, and
+  // the two encodings differ only in the flag bit.
+  request.retry = false;
+  std::vector<uint8_t> plain;
+  EncodeRequest(request, plain);
+  FrameDecoder decoder2;
+  decoder2.Push(plain.data(), plain.size());
+  ASSERT_EQ(decoder2.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_FALSE(frame.request.retry);
+  int differing_bits = 0;
+  for (size_t i = 0; i < kWireHeaderSize; ++i) {
+    differing_bits += __builtin_popcount(wire[i] ^ plain[i]);
+  }
+  EXPECT_EQ(differing_bits, 1);
+}
+
+// 10k-seeded-mutation fuzz: take a valid multi-frame stream, corrupt it
+// (byte flips, truncation, duplicated header bytes), feed it in random
+// chunks, and check the decoder's safety contract regardless of input:
+//   - it only ever returns kFrame / kNeedMore / kError,
+//   - an error latches (no frames after kError),
+//   - emitted frames always satisfy the header invariants,
+//   - the stash never grows past one frame (header + payload cap),
+// i.e. garbage can terminate the stream but never over-reads the stash or
+// fabricates an invalid frame.
+TEST(ServeCodecTest, FuzzSeededMutationsNeverBreakDecoderInvariants) {
+  constexpr int kIterations = 10'000;
+  for (uint64_t seed = 1; seed <= kIterations; ++seed) {
+    std::mt19937_64 rng(seed);
+
+    // A clean stream of a few frames with small payloads.
+    std::vector<uint8_t> stream;
+    const int num_frames = 1 + static_cast<int>(rng() % 4);
+    for (int i = 0; i < num_frames; ++i) {
+      const uint32_t payload_size = static_cast<uint32_t>(rng() % 48);
+      RequestFrame frame =
+          MakeRequest(rng(), static_cast<uint32_t>(rng() % 1'024),
+                      payload_size, static_cast<uint32_t>(rng() % 10'000));
+      frame.retry = (rng() & 1) != 0;
+      EncodeRequest(frame, stream);
+      for (uint32_t b = 0; b < payload_size; ++b) {
+        stream.push_back(static_cast<uint8_t>(rng()));
+      }
+    }
+
+    // Mutate: flip some bytes, maybe truncate, maybe duplicate a header
+    // prefix into the middle (a confused sender re-transmitting).
+    const int flips = static_cast<int>(rng() % 4);
+    for (int i = 0; i < flips; ++i) {
+      stream[rng() % stream.size()] ^= static_cast<uint8_t>(1 + rng() % 255);
+    }
+    if ((rng() & 3) == 0) {
+      stream.resize(1 + rng() % stream.size());  // Truncate.
+    }
+    if ((rng() & 3) == 1) {
+      const size_t dup_len = std::min<size_t>(kWireHeaderSize, stream.size());
+      const size_t at = rng() % (stream.size() + 1);
+      std::vector<uint8_t> dup(stream.begin(), stream.begin() + dup_len);
+      stream.insert(stream.begin() + at, dup.begin(), dup.end());
+    }
+
+    FrameDecoder decoder;
+    DecodedFrame frame;
+    size_t pos = 0;
+    bool errored = false;
+    while (pos < stream.size() && !errored) {
+      const size_t chunk =
+          std::min<size_t>(1 + rng() % 40, stream.size() - pos);
+      decoder.Push(stream.data() + pos, chunk);
+      pos += chunk;
+      for (;;) {
+        const FrameDecoder::Result result = decoder.Next(&frame);
+        if (result == FrameDecoder::Result::kNeedMore) {
+          break;
+        }
+        if (result == FrameDecoder::Result::kError) {
+          ASSERT_NE(decoder.error(), FrameDecoder::Error::kNone);
+          // The error latches: no more frames, ever.
+          ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kError);
+          errored = true;
+          break;
+        }
+        ASSERT_EQ(result, FrameDecoder::Result::kFrame);
+        // Every emitted frame satisfies the wire invariants.
+        ASSERT_TRUE(frame.type == FrameType::kRequest ||
+                    frame.type == FrameType::kReply);
+        if (frame.type == FrameType::kRequest) {
+          ASSERT_LE(frame.request.payload_size, kMaxPayloadBytes);
+          ASSERT_EQ(frame.payload_size, frame.request.payload_size);
+          ASSERT_LT(frame.request.deadline_us, kWireRetryFlag)
+              << "flag bit must be stripped from decoded deadlines";
+        }
+      }
+      // The stash holds at most one in-progress frame.
+      ASSERT_LE(decoder.stashed_bytes(),
+                kWireHeaderSize + static_cast<size_t>(kMaxPayloadBytes));
+    }
+  }
 }
 
 }  // namespace

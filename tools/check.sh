@@ -15,8 +15,15 @@
 # shutdown) runs under both TSan and ASan: TSan watches the Snapshot/Stop
 # cross-thread paths, ASan the decoder stash and per-connection buffers.
 # The resource-ledger suite (cost-accounting merges, sim-vs-cluster charge
-# identity, thread-count determinism) rides in every sanitizer leg, and
-# --quick adds a pareto_sweep smoke over a small generated trace.
+# identity, thread-count determinism) rides in every sanitizer leg.  The
+# serve-chaos suite (chaos-plan grammar, idempotency index, recovery-ledger
+# merges, plus the loopback watchdog/degrade/drain-under-stall tests) rides
+# the TSan and ASan serving legs: TSan crosses the watchdog timers with
+# Snapshot/Stop, ASan watches the frozen-key and dedupe-shard storage.
+# --quick adds a pareto_sweep smoke over a small generated trace and a
+# 2-second serve_chaos hostile-client battery (garbage, truncation,
+# half-frame RST, slowloris, oversize) against an in-process loopback
+# server.
 #
 # Usage: tools/check.sh [--quick] [--skip-tsan] [--skip-ubsan] [--skip-asan]
 #   --quick   tier-1 build + ctest + pareto_sweep smoke; skips sanitizers
@@ -49,6 +56,8 @@ if [[ "${SKIP_TSAN}" == "1" && "${SKIP_UBSAN}" == "1" && "${SKIP_ASAN}" == "1" ]
   head -1 build/pareto_smoke.csv | grep -q \
       'policy,goodput_pct,cold_start_p75' || {
     echo "pareto_sweep smoke: unexpected CSV header" >&2; exit 1; }
+  echo "== quick: serve_chaos smoke (hostile clients vs loopback server) =="
+  ./build/tools/serve_chaos --self --duration-ms 2000
 fi
 
 if [[ "${SKIP_TSAN}" == "1" ]]; then
@@ -62,12 +71,12 @@ else
       compiled_trace_test faults_test network_test overload_test \
       controller_test telemetry_metrics_test telemetry_tracer_test telemetry_export_test \
       telemetry_integration_test \
-      serve_codec_test serve_loopback_test timer_wheel_test latency_recorder_test \
-      resource_ledger_test
+      serve_codec_test serve_loopback_test serve_chaos_test timer_wheel_test \
+      latency_recorder_test resource_ledger_test
   # gtest_discover_tests registers suite names (not target names), so match
   # the suites those binaries contain.
   (cd build-tsan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'ThreadPool|ParallelFor|ParallelSimulation|Sweep|SweepStream|GeneratorShard|ArenaPool|CpuTopology|CompiledTrace|CompiledReplay|FaultPlan|NetFaultPlan|NetworkModel|NetworkCluster|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration|ServeCodec|ServeLoopback|TimerWheel|LatencyRecorder|ResourceLedger')
+      -R 'ThreadPool|ParallelFor|ParallelSimulation|Sweep|SweepStream|GeneratorShard|ArenaPool|CpuTopology|CompiledTrace|CompiledReplay|FaultPlan|NetFaultPlan|NetworkModel|NetworkCluster|ChaosCluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|Controller|TelemetryMetrics|TelemetryTracer|TelemetryExport|TelemetryIntegration|ServeCodec|ServeLoopback|ServeChaosPlan|IdempotencyIndex|RecoveryLedger|TimerWheel|LatencyRecorder|ResourceLedger')
 fi
 
 if [[ "${SKIP_UBSAN}" == "1" ]]; then
@@ -94,13 +103,13 @@ else
       sweep_test sweep_stream_test generator_shard_test arena_pool_test \
       faults_test network_test controller_test cluster_test overload_test \
       telemetry_metrics_test telemetry_tracer_test \
-      serve_codec_test serve_loopback_test timer_wheel_test latency_recorder_test \
-      resource_ledger_test
+      serve_codec_test serve_loopback_test serve_chaos_test timer_wheel_test \
+      latency_recorder_test resource_ledger_test
   # SweepStream covers the faults + streaming smoke
   # (StreamedSweepWithConcurrentChaosReplay): a chaos replay with an active
   # fault plan runs while the streamed sweep rotates shard arenas.
   (cd build-asan && ctest --output-on-failure -j "${JOBS}" --no-tests=error \
-      -R 'Intern|EntityIndex|Csv|Transform|CompiledTrace|CompiledReplay|Sweep|SweepStream|GeneratorShard|ArenaPool|FaultPlan|NetFaultPlan|NetworkModel|NetworkCluster|ChaosCluster|Controller|Cluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|TelemetryMetrics|TelemetryTracer|ServeCodec|ServeLoopback|TimerWheel|LatencyRecorder|ResourceLedger')
+      -R 'Intern|EntityIndex|Csv|Transform|CompiledTrace|CompiledReplay|Sweep|SweepStream|GeneratorShard|ArenaPool|FaultPlan|NetFaultPlan|NetworkModel|NetworkCluster|ChaosCluster|Controller|Cluster|Overload|AdmissionQueue|CircuitBreaker|Hedge|FlashCrowd|TelemetryMetrics|TelemetryTracer|ServeCodec|ServeLoopback|ServeChaosPlan|IdempotencyIndex|RecoveryLedger|TimerWheel|LatencyRecorder|ResourceLedger')
 fi
 
 echo "== all checks passed =="

@@ -34,17 +34,36 @@
 //   --service-us X=0           per-request service time (0 = inline ingest)
 //   --cold-us X=0              extra cold-start penalty
 //   --keep-alive-ms X=10000    warm-container keep-alive (0 = always cold)
+// chaos + self-healing (all off by default; off = byte-identical serving):
+//   --chaos SPEC               seeded fault plan, e.g.
+//                              "crash:executor=0,at=1s,down=500ms;
+//                               connreset:at=0s,for=10s,p=0.01"
+//   --chaos-seed S=42          RNG seed for probabilistic injections
+//   --watchdog                 scan for stalled shards and restart them
+//   --watchdog-interval-ms X=100   scan period
+//   --stall-threshold-ms X=1000    overdue-by threshold marking a stall
+//   --no-rescue                shed a restarted shard's queue (not re-run)
+//   --degrade                  tiered graceful degradation under pressure
+//   --degrade-enter F=0.8      pressure to escalate a tier
+//   --degrade-exit F=0.5       pressure to recover a tier
+//   --degrade-dwell-ms X=200   minimum dwell between tier changes
+//   --dedupe                   idempotent retry dedupe (request-id cache)
+//   --dedupe-ttl-ms X=10000    cached-reply retention
 // telemetry:
-//   --metrics-out FILE         Prometheus text (counters + latency histogram)
+//   --metrics-out FILE         Prometheus text (counters + latency histogram;
+//                              faas_serve_recovery_* only with knobs above)
 //   --latency-out FILE         latency summary + bucket CSV
 
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 
+#include "src/serve/chaos.h"
+#include "src/serve/idempotency.h"
 #include "src/serve/server.h"
 #include "src/telemetry/export.h"
 #include "src/telemetry/metrics.h"
@@ -73,7 +92,10 @@ bool ParseDiscipline(const std::string& name, AdmissionDiscipline* out) {
 
 // Folds a final ServeStats into a registry so the serving counters ride the
 // standard Prometheus exporter, then appends the latency histogram.
-void WriteMetrics(const ServeStats& stats, const std::string& path) {
+// Recovery metrics are registered only when the self-healing knobs were on,
+// so a plain run's export stays byte-identical to earlier builds.
+void WriteMetrics(const ServeStats& stats, bool recovery,
+                  const std::string& path) {
   MetricsRegistry registry;
   const struct {
     const char* name;
@@ -115,6 +137,68 @@ void WriteMetrics(const ServeStats& stats, const std::string& path) {
     registry.Inc(registry.AddCounter(counter.name, counter.help),
                  counter.value);
   }
+  if (recovery) {
+    const RecoveryLedger& r = stats.recovery;
+    const struct {
+      const char* name;
+      const char* help;
+      int64_t value;
+    } recovery_counters[] = {
+        {"faas_serve_recovery_watchdog_restarts_total",
+         "Stalled shards restarted by the watchdog.", r.watchdog_restarts},
+        {"faas_serve_recovery_crash_restarts_total",
+         "Crashed shards healed by the chaos plan.", r.crash_restarts},
+        {"faas_serve_recovery_inflight_failed_total",
+         "Executions failed by a shard crash/restart.", r.inflight_failed},
+        {"faas_serve_recovery_requests_rescued_total",
+         "Queued requests re-dispatched after a restart.",
+         r.requests_rescued},
+        {"faas_serve_recovery_warm_quarantined_total",
+         "Warm containers quarantined on crash/restart.",
+         r.warm_quarantined},
+        {"faas_serve_recovery_retries_deduped_total",
+         "Retries answered from the dedupe cache.", r.retries_deduped},
+        {"faas_serve_recovery_dupes_inflight_total",
+         "Duplicate arrivals dropped while the original ran.",
+         r.dupes_inflight},
+        {"faas_serve_recovery_executions_total",
+         "Executions actually started (dedupe identity).", r.executions},
+        {"faas_serve_recovery_conn_resets_injected_total",
+         "Connections reset by the chaos plan.", r.conn_resets_injected},
+        {"faas_serve_recovery_unhealthy_skips_total",
+         "Dispatches diverted off an unhealthy shard.", r.unhealthy_skips},
+        {"faas_serve_recovery_degrade_escalations_total",
+         "Degradation tier escalations.", r.degrade_escalations},
+        {"faas_serve_recovery_degrade_recoveries_total",
+         "Degradation tier recoveries.", r.degrade_recoveries},
+        {"faas_serve_recovery_shed_degraded_total",
+         "Requests shed by a degradation tier.", r.shed_degraded},
+        {"faas_serve_recovery_hedges_suppressed_total",
+         "Hedge launches suppressed by degradation.", r.hedges_suppressed},
+        {"faas_serve_recovery_recoveries_total",
+         "Shard outages healed (MTTR denominator).", r.recoveries},
+    };
+    for (const auto& counter : recovery_counters) {
+      registry.Inc(registry.AddCounter(counter.name, counter.help),
+                   counter.value);
+    }
+    registry.Set(registry.AddGauge("faas_serve_recovery_mttr_mean_ms",
+                                   "Mean time to recovery."),
+                 r.MeanMttrMs(), TimePoint{});
+    registry.Set(registry.AddGauge("faas_serve_recovery_mttr_max_ms",
+                                   "Worst single outage."),
+                 r.max_mttr_ms, TimePoint{});
+    registry.Set(registry.AddGauge("faas_serve_recovery_degrade_max_tier",
+                                   "Deepest degradation tier reached."),
+                 static_cast<double>(r.degrade_max_tier), TimePoint{});
+    for (int tier = 0; tier < kDegradeTiers; ++tier) {
+      registry.Set(
+          registry.AddGauge("faas_serve_recovery_tier_dwell_ms",
+                            "Dwell time per degradation tier.",
+                            "tier=\"" + std::to_string(tier) + "\""),
+          r.tier_dwell_ms[tier], TimePoint{});
+    }
+  }
   std::ofstream out(path, std::ios::binary);
   if (!out.is_open()) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -142,6 +226,13 @@ int main(int argc, char** argv) {
         "             [--hedge-ms X] [--hedge-percentile P]\n"
         "             [--service-us X=0] [--cold-us X=0] "
         "[--keep-alive-ms X=10000]\n"
+        "             [--chaos SPEC] [--chaos-seed S=42]\n"
+        "             [--watchdog] [--watchdog-interval-ms X=100]\n"
+        "             [--stall-threshold-ms X=1000] [--no-rescue]\n"
+        "             [--degrade] [--degrade-enter F=0.8] "
+        "[--degrade-exit F=0.5]\n"
+        "             [--degrade-dwell-ms X=200]\n"
+        "             [--dedupe] [--dedupe-ttl-ms X=10000]\n"
         "             [--metrics-out FILE] [--latency-out FILE]\n");
     return flags.Has("help") ? 0 : 2;
   }
@@ -186,6 +277,53 @@ int main(int argc, char** argv) {
   bridge.overload.hedge.latency_percentile =
       flags.GetDouble("hedge-percentile", 0.0);
 
+  if (flags.Has("chaos")) {
+    std::string parse_error;
+    const auto plan =
+        serve::ServeChaosPlan::Parse(flags.GetString("chaos", ""),
+                                     &parse_error);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "serve: bad --chaos: %s\n", parse_error.c_str());
+      return 2;
+    }
+    const std::string invalid = plan->Validate(bridge.num_executors);
+    if (!invalid.empty()) {
+      std::fprintf(stderr, "serve: bad --chaos: %s\n", invalid.c_str());
+      return 2;
+    }
+    bridge.chaos = *plan;
+  }
+  bridge.chaos_seed = static_cast<uint64_t>(flags.GetInt("chaos-seed", 42));
+  if (flags.GetBool("watchdog", false) || flags.Has("watchdog-interval-ms") ||
+      flags.Has("stall-threshold-ms")) {
+    bridge.watchdog.enabled = true;
+    bridge.watchdog.interval =
+        Duration::Millis(flags.GetInt("watchdog-interval-ms", 100));
+    bridge.watchdog.stall_threshold =
+        Duration::Millis(flags.GetInt("stall-threshold-ms", 1'000));
+    bridge.watchdog.rescue_queued = !flags.GetBool("no-rescue", false);
+  }
+  if (flags.GetBool("degrade", false) || flags.Has("degrade-enter") ||
+      flags.Has("degrade-exit") || flags.Has("degrade-dwell-ms")) {
+    bridge.degrade.enabled = true;
+    bridge.degrade.enter_pressure = flags.GetDouble("degrade-enter", 0.8);
+    bridge.degrade.exit_pressure = flags.GetDouble("degrade-exit", 0.5);
+    bridge.degrade.min_dwell =
+        Duration::Millis(flags.GetInt("degrade-dwell-ms", 200));
+  }
+  std::unique_ptr<serve::IdempotencyIndex> dedupe;
+  if (flags.GetBool("dedupe", false) || flags.Has("dedupe-ttl-ms")) {
+    dedupe = std::make_unique<serve::IdempotencyIndex>(
+        flags.GetInt("dedupe-ttl-ms", 10'000) * 1'000'000);
+    bridge.dedupe = dedupe.get();
+  }
+  const bool recovery_on = !bridge.chaos.Empty() || bridge.watchdog.enabled ||
+                           bridge.degrade.enabled || bridge.dedupe != nullptr;
+
+  // Library code uses MSG_NOSIGNAL, but injected resets can still surface
+  // EPIPE through racing writes; never let SIGPIPE kill the process.
+  std::signal(SIGPIPE, SIG_IGN);
+
   ServeServer server(config);
   std::string error;
   if (!server.Start(&error)) {
@@ -202,6 +340,13 @@ int main(int argc, char** argv) {
               bridge.overload.breaker.enabled ? "on" : "off",
               bridge.overload.hedge.enabled() ? "on" : "off",
               bridge.overload.invoker_concurrency_cap);
+  if (recovery_on) {
+    std::printf("serve: chaos=%s watchdog=%s degrade=%s dedupe=%s\n",
+                bridge.chaos.Empty() ? "off" : "on",
+                bridge.watchdog.enabled ? "on" : "off",
+                bridge.degrade.enabled ? "on" : "off",
+                bridge.dedupe != nullptr ? "on" : "off");
+  }
   std::fflush(stdout);
 
   const int64_t duration_s = flags.GetInt("duration", 0);
@@ -258,9 +403,25 @@ int main(int argc, char** argv) {
               stats.latency.PercentileMs(99.9),
               static_cast<double>(stats.latency.max_ns()) / 1e6,
               static_cast<long long>(stats.latency.count()));
+  if (recovery_on) {
+    const RecoveryLedger& r = stats.recovery;
+    std::printf(
+        "serve: recovery restarts{watchdog=%lld crash=%lld} "
+        "failed=%lld rescued=%lld deduped=%lld executions=%lld "
+        "resets=%lld mttr{mean=%.1fms max=%.1fms n=%lld} max-tier=%lld\n",
+        static_cast<long long>(r.watchdog_restarts),
+        static_cast<long long>(r.crash_restarts),
+        static_cast<long long>(r.inflight_failed),
+        static_cast<long long>(r.requests_rescued),
+        static_cast<long long>(r.retries_deduped),
+        static_cast<long long>(r.executions),
+        static_cast<long long>(r.conn_resets_injected), r.MeanMttrMs(),
+        r.max_mttr_ms, static_cast<long long>(r.recoveries),
+        static_cast<long long>(r.degrade_max_tier));
+  }
 
   if (flags.Has("metrics-out")) {
-    WriteMetrics(stats, flags.GetString("metrics-out", ""));
+    WriteMetrics(stats, recovery_on, flags.GetString("metrics-out", ""));
   }
   if (flags.Has("latency-out")) {
     std::ofstream out(flags.GetString("latency-out", ""), std::ios::binary);

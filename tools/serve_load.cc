@@ -30,6 +30,13 @@
 //   --deadline-us X=0        per-request deadline on the wire
 //   --seed S=42
 //   --latency-out FILE       latency summary + bucket CSV
+// retry kit (client-side resilience; incompatible with blast mode):
+//   --retry                  enable retries + reconnects + dedupe-safe ids
+//   --retry-timeout-us X=100000    per-attempt client timeout
+//   --retry-backoff-us X=2000      exponential backoff base
+//   --retry-cap-us X=100000        backoff cap
+//   --retry-jitter F=0.5           backoff jitter fraction
+//   --retry-max N=4                total attempts per request id
 
 #include <atomic>
 #include <csignal>
@@ -63,6 +70,10 @@ int main(int argc, char** argv) {
         "                  [--think-us X=0] [--duration-ms X=1000]\n"
         "                  [--drain-ms X=500] [--functions N=64]\n"
         "                  [--payload B=0] [--deadline-us X=0] [--seed S=42]\n"
+        "                  [--retry] [--retry-timeout-us X=100000]\n"
+        "                  [--retry-backoff-us X=2000] "
+        "[--retry-cap-us X=100000]\n"
+        "                  [--retry-jitter F=0.5] [--retry-max N=4]\n"
         "                  [--latency-out FILE]\n");
     return flags.Has("help") ? 0 : 2;
   }
@@ -83,8 +94,18 @@ int main(int argc, char** argv) {
   config.deadline_us = static_cast<uint32_t>(flags.GetInt("deadline-us", 0));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   config.stop = &g_stop;
+  if (flags.GetBool("retry", false) || flags.Has("retry-max") ||
+      flags.Has("retry-timeout-us")) {
+    config.retry.enabled = true;
+    config.retry.timeout_us = flags.GetInt("retry-timeout-us", 100'000);
+    config.retry.backoff_base_us = flags.GetInt("retry-backoff-us", 2'000);
+    config.retry.backoff_cap_us = flags.GetInt("retry-cap-us", 100'000);
+    config.retry.jitter = flags.GetDouble("retry-jitter", 0.5);
+    config.retry.max_attempts = static_cast<int>(flags.GetInt("retry-max", 4));
+  }
   std::signal(SIGINT, &OnSignal);
   std::signal(SIGTERM, &OnSignal);
+  std::signal(SIGPIPE, SIG_IGN);  // Reset-injected servers EPIPE mid-write.
 
   const bool open = config.mode == LoadMode::kOpen;
   std::printf("serve_load: %s loop, %d conn(s), %s, window %lldms\n",
@@ -113,16 +134,29 @@ int main(int argc, char** argv) {
               static_cast<long long>(result.sent), result.sent_rps(),
               static_cast<long long>(result.replies), result.reply_rps());
   std::printf("serve_load: ok=%lld (warm=%lld cold=%lld) "
-              "shed{full=%lld deadline=%lld shutdown=%lld} rejected=%lld "
-              "backlog-peak=%zuB\n",
+              "shed{full=%lld deadline=%lld shutdown=%lld degraded=%lld} "
+              "rejected=%lld failed=%lld backlog-peak=%zuB\n",
               static_cast<long long>(result.ok),
               static_cast<long long>(result.warm),
               static_cast<long long>(result.cold),
               static_cast<long long>(result.shed_queue_full),
               static_cast<long long>(result.shed_deadline),
               static_cast<long long>(result.shed_shutdown),
+              static_cast<long long>(result.shed_degraded),
               static_cast<long long>(result.rejected),
+              static_cast<long long>(result.failed),
               result.peak_backlog_bytes);
+  if (config.retry.enabled) {
+    std::printf("serve_load: retry unique=%lld retries=%lld timeouts=%lld "
+                "gave-up=%lld dup-ok=%lld reconnects=%lld goodput=%.2f%%\n",
+                static_cast<long long>(result.unique_sends()),
+                static_cast<long long>(result.retries),
+                static_cast<long long>(result.timeouts),
+                static_cast<long long>(result.gave_up),
+                static_cast<long long>(result.duplicate_ok),
+                static_cast<long long>(result.reconnects),
+                result.goodput() * 100.0);
+  }
   std::printf("serve_load: e2e p50=%.3fms p90=%.3fms p99=%.3fms "
               "p99.9=%.3fms max=%.3fms (n=%lld)\n",
               result.latency.PercentileMs(50.0),
